@@ -1,0 +1,28 @@
+//! Paper §2: Chord routing "scales logarithmically with the size of the
+//! network" — lookup cost as the overlay grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asa_chord::{Key, Overlay};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_routing");
+    for n in [16usize, 64, 256, 1024] {
+        let overlay =
+            Overlay::with_nodes((0..n as u64).map(|i| Key::hash(&i.to_be_bytes())), 8);
+        let origin = overlay.live_nodes()[0];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let key = Key::hash(&i.to_be_bytes());
+                black_box(overlay.route(origin, key).expect("routes").hops)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! End-to-end commit latency (paper §2.2): one update through the full
+//! version-history simulation — generated FSMs, peer set, network — for
+//! two family members.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asa_simnet::SimConfig;
+use asa_storage::{run_harness, HarnessConfig, Pid};
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_protocol");
+    group.sample_size(30);
+    for r in [4u32, 7, 13] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let config = HarnessConfig {
+                    replication_factor: r,
+                    client_updates: vec![vec![Pid::of(b"bench update")]],
+                    net: SimConfig { seed: 1, min_delay: 1, max_delay: 10, ..Default::default() },
+                    ..Default::default()
+                };
+                let report = run_harness(black_box(&config));
+                assert!(report.all_committed);
+                black_box(report.stats.delivered)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation of the generation pipeline's design choices (DESIGN.md):
+//! merge strategy (none / single pass / fixpoint), pruning, and
+//! documentation-annotation generation, measured on the r = 13 commit
+//! model (5408 initial states).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use stategen_commit::{CommitConfig, CommitModel};
+use stategen_core::{generate_with, GenerateOptions, MergeStrategy};
+
+fn bench_ablation(c: &mut Criterion) {
+    let model = CommitModel::new(CommitConfig::new(13).expect("valid"));
+    let mut group = c.benchmark_group("generation_ablation");
+    group.sample_size(30);
+
+    let variants: [(&str, GenerateOptions); 5] = [
+        ("full_pipeline", GenerateOptions::default()),
+        (
+            "no_merge",
+            GenerateOptions { merge: MergeStrategy::None, ..Default::default() },
+        ),
+        (
+            "single_pass_merge",
+            GenerateOptions { merge: MergeStrategy::SinglePass, ..Default::default() },
+        ),
+        (
+            "no_prune_no_merge",
+            GenerateOptions {
+                prune: false,
+                merge: MergeStrategy::None,
+                ..Default::default()
+            },
+        ),
+        (
+            "no_annotations",
+            GenerateOptions { annotate_states: false, ..Default::default() },
+        ),
+    ];
+    for (name, options) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let g = generate_with(black_box(&model), &options).expect("generates");
+                black_box(g.machine.state_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

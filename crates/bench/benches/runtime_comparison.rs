@@ -1,0 +1,58 @@
+//! Paper §4.4: "We have not yet compared the execution efficiency of a
+//! running FSM implementation with that of a non-FSM solution. However,
+//! we do not expect any significant difference."
+//!
+//! This bench performs the comparison the authors deferred: per-message
+//! dispatch cost of (a) the interpreted generated machine, (b) the
+//! build-time *generated source code*, (c) the hand-written generic
+//! algorithm, and (d) the parameter-generic EFSM, all executing the same
+//! canonical commit trace at r = 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use stategen_commit::{
+    commit_efsm, commit_efsm_instance, CommitConfig, CommitModel, ReferenceCommit,
+};
+use stategen_core::{generate, FsmInstance, ProtocolEngine};
+use stategen_generated::GeneratedCommitR4;
+
+const TRACE: [&str; 9] =
+    ["update", "vote", "vote", "commit", "not_free", "vote", "free", "commit", "vote"];
+
+fn drive(engine: &mut impl ProtocolEngine) -> usize {
+    let mut actions = 0;
+    for m in TRACE {
+        actions += engine.deliver(m).expect("valid message").len();
+    }
+    engine.reset();
+    actions
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let config = CommitConfig::new(4).expect("valid");
+    let machine = generate(&CommitModel::new(config)).expect("generates").machine;
+    let efsm = commit_efsm();
+    let mut group = c.benchmark_group("runtime_comparison");
+
+    group.bench_function("interpreted_fsm", |b| {
+        let mut engine = FsmInstance::new(&machine);
+        b.iter(|| black_box(drive(&mut engine)));
+    });
+    group.bench_function("generated_code", |b| {
+        let mut engine = GeneratedCommitR4::new();
+        b.iter(|| black_box(drive(&mut engine)));
+    });
+    group.bench_function("reference_algorithm", |b| {
+        let mut engine = ReferenceCommit::new(config);
+        b.iter(|| black_box(drive(&mut engine)));
+    });
+    group.bench_function("efsm", |b| {
+        let mut engine = commit_efsm_instance(&efsm, &config);
+        b.iter(|| black_box(drive(&mut engine)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

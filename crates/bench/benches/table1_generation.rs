@@ -1,0 +1,33 @@
+//! Paper Table 1: "Times to generate state machines of various
+//! complexities" — wall-clock generation time for every (f, r) row.
+//!
+//! The paper measured 0.10 s – 19.1 s on a 2007 MacBook Pro (Java);
+//! absolute numbers differ here, but the shape must hold: sub-second
+//! generation at r = 4, growth dominated by the `32·r²` state product,
+//! never a limiting factor (paper §4.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use stategen_commit::{CommitConfig, CommitModel};
+use stategen_core::generate;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_generation");
+    for r in [4u32, 7, 13, 25, 46] {
+        if r >= 25 {
+            group.sample_size(20);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let model = CommitModel::new(CommitConfig::new(r).expect("valid r"));
+            b.iter(|| {
+                let g = generate(black_box(&model)).expect("generates");
+                black_box(g.report.final_states)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

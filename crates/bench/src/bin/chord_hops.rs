@@ -1,0 +1,34 @@
+//! Paper §2: Chord's short-cut links yield "routing performance that
+//! scales logarithmically with the size of the network". Measures mean
+//! and maximum lookup hops as the overlay doubles.
+
+use asa_chord::{Key, Overlay};
+
+fn main() {
+    println!("{:>6} {:>10} {:>9} {:>9} {:>12}", "nodes", "lookups", "mean", "max", "0.5*log2(n)");
+    for exp in 4..=12u32 {
+        let n = 1usize << exp;
+        let overlay = Overlay::with_nodes((0..n as u64).map(|i| Key::hash(&i.to_be_bytes())), 8);
+        let nodes = overlay.live_nodes();
+        let samples = 2_000u64;
+        let mut total = 0usize;
+        let mut max = 0usize;
+        for i in 0..samples {
+            let origin = nodes[(i as usize * 31) % nodes.len()];
+            let key = Key::hash(&(1_000_000 + i).to_be_bytes());
+            let hops = overlay.route(origin, key).expect("routes").hops;
+            total += hops;
+            max = max.max(hops);
+        }
+        let mean = total as f64 / samples as f64;
+        println!(
+            "{:>6} {:>10} {:>9.2} {:>9} {:>12.2}",
+            n,
+            samples,
+            mean,
+            max,
+            0.5 * (n as f64).log2()
+        );
+    }
+    println!("\nmean hops should track ~0.5*log2(n): the paper's logarithmic scaling");
+}

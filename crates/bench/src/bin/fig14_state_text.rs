@@ -1,0 +1,16 @@
+//! Regenerates paper Fig 14: the generated textual description of state
+//! T/2/F/0/F/F/F of the r = 4 commit machine, commentary included.
+
+use stategen_commit::{CommitConfig, CommitModel};
+use stategen_core::generate;
+use stategen_render::TextRenderer;
+
+fn main() {
+    let g = generate(&CommitModel::new(CommitConfig::new(4).expect("valid")))
+        .expect("generation succeeds");
+    let (id, _) = g
+        .machine
+        .state_by_name("T/2/F/0/F/F/F")
+        .expect("the Fig 14 state survives pruning and merging");
+    print!("{}", TextRenderer::new().render_state(&g.machine, id));
+}

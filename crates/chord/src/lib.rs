@@ -1,0 +1,20 @@
+//! # asa-chord
+//!
+//! A simulated Chord (paper references 5 and 6) peer-to-peer key-based routing
+//! overlay: the P2P layer of the ASA storage architecture (paper §2,
+//! Fig 1). "All participating nodes are organised into a logical circle
+//! ... additional 'short-cut' links maintained by each node yield routing
+//! performance that scales logarithmically with the size of the network."
+//!
+//! The overlay "dynamically maps a given key to a unique live node, even
+//! though nodes may join and leave the network at arbitrary times" — the
+//! property the storage layer builds on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod overlay;
+pub mod ring;
+
+pub use overlay::{NodeState, Overlay, OverlayError, Route, FINGER_BITS};
+pub use ring::Key;

@@ -1,0 +1,621 @@
+//! The Chord overlay: nodes on a logical circle, each maintaining a
+//! successor list and a finger table of "short-cut" links, "yielding
+//! routing performance that scales logarithmically with the size of the
+//! network" (paper §2; Stoica et al., reference 6).
+//!
+//! The overlay is simulated at the data-structure level: routing walks
+//! the same greedy closest-preceding-finger algorithm a deployed Chord
+//! node executes, counting hops; `stabilize`/`fix_fingers`/join/failure
+//! follow the protocol's maintenance rules round by round.
+
+use std::collections::BTreeMap;
+
+use crate::ring::Key;
+
+/// Number of finger-table entries (one per key-space bit).
+pub const FINGER_BITS: u32 = 64;
+
+/// One overlay node's routing state.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    id: Key,
+    successor_list: Vec<Key>,
+    predecessor: Option<Key>,
+    fingers: Vec<Key>,
+}
+
+impl NodeState {
+    fn new(id: Key, successor_list_len: usize) -> Self {
+        NodeState {
+            id,
+            successor_list: vec![id; successor_list_len],
+            predecessor: None,
+            fingers: vec![id; FINGER_BITS as usize],
+        }
+    }
+
+    /// The node's ring identifier.
+    pub fn id(&self) -> Key {
+        self.id
+    }
+
+    /// The node's current successor.
+    pub fn successor(&self) -> Key {
+        self.successor_list[0]
+    }
+
+    /// The node's successor list (for failure resilience).
+    pub fn successor_list(&self) -> &[Key] {
+        &self.successor_list
+    }
+
+    /// The node's predecessor, if known.
+    pub fn predecessor(&self) -> Option<Key> {
+        self.predecessor
+    }
+
+    /// The finger table (entry `i` targets `successor(id + 2^i)`).
+    pub fn fingers(&self) -> &[Key] {
+        &self.fingers
+    }
+}
+
+/// The result of routing a lookup through the overlay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// The node responsible for the key.
+    pub owner: Key,
+    /// Number of inter-node hops taken.
+    pub hops: usize,
+    /// The nodes visited, starting with the origin.
+    pub path: Vec<Key>,
+}
+
+/// Errors returned by overlay operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The overlay has no live nodes.
+    Empty,
+    /// The named node is not a live member.
+    UnknownNode(Key),
+    /// A node with this identifier is already a member.
+    DuplicateNode(Key),
+    /// Routing gave up (disconnected overlay after excessive failures).
+    RoutingFailed {
+        /// The key being looked up.
+        key: Key,
+        /// Hops taken before giving up.
+        hops: usize,
+    },
+}
+
+impl std::fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverlayError::Empty => write!(f, "overlay has no live nodes"),
+            OverlayError::UnknownNode(k) => write!(f, "node {k} is not a live member"),
+            OverlayError::DuplicateNode(k) => write!(f, "node {k} already exists"),
+            OverlayError::RoutingFailed { key, hops } => {
+                write!(f, "routing for key {key} failed after {hops} hops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+/// A simulated Chord overlay.
+///
+/// # Examples
+///
+/// ```
+/// use asa_chord::{Key, Overlay};
+///
+/// let mut overlay = Overlay::with_nodes((0..32).map(|i| Key::hash(&i32::to_be_bytes(i))), 4);
+/// let origin = overlay.live_nodes()[0];
+/// let route = overlay.route(origin, Key::hash(b"some key"))?;
+/// assert!(route.hops <= 2 * 5); // O(log n) hops for n = 32
+/// # Ok::<(), asa_chord::OverlayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    nodes: BTreeMap<u64, NodeState>,
+    successor_list_len: usize,
+    /// Routing hop budget multiplier (gives up after `budget` hops).
+    hop_budget: usize,
+}
+
+impl Overlay {
+    /// Creates an empty overlay whose nodes keep `successor_list_len`
+    /// successors for failure resilience.
+    pub fn new(successor_list_len: usize) -> Self {
+        Overlay {
+            nodes: BTreeMap::new(),
+            successor_list_len: successor_list_len.max(1),
+            hop_budget: 512,
+        }
+    }
+
+    /// Creates an overlay from a set of node ids with fully correct
+    /// routing state (the steady state that stabilisation converges to).
+    pub fn with_nodes(ids: impl IntoIterator<Item = Key>, successor_list_len: usize) -> Self {
+        let mut overlay = Overlay::new(successor_list_len);
+        for id in ids {
+            overlay.nodes.entry(id.0).or_insert_with(|| NodeState::new(id, overlay.successor_list_len));
+        }
+        overlay.rebuild_all();
+        overlay
+    }
+
+    /// Ids of all live nodes, in ring order.
+    pub fn live_nodes(&self) -> Vec<Key> {
+        self.nodes.values().map(|n| n.id).collect()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no live nodes remain.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A node's routing state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] for non-members.
+    pub fn node(&self, id: Key) -> Result<&NodeState, OverlayError> {
+        self.nodes.get(&id.0).ok_or(OverlayError::UnknownNode(id))
+    }
+
+    /// Ground truth: the live node owning `key` (its circular successor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Empty`] when the overlay has no nodes.
+    pub fn owner_of(&self, key: Key) -> Result<Key, OverlayError> {
+        if self.nodes.is_empty() {
+            return Err(OverlayError::Empty);
+        }
+        let id = self
+            .nodes
+            .range(key.0..)
+            .next()
+            .or_else(|| self.nodes.iter().next())
+            .map(|(id, _)| *id)
+            .expect("non-empty map");
+        Ok(Key(id))
+    }
+
+    /// Routes a lookup for `key` starting at `from`, following successor
+    /// and finger pointers exactly as a deployed node would, and counting
+    /// hops.
+    ///
+    /// # Errors
+    ///
+    /// [`OverlayError::UnknownNode`] if `from` is not live;
+    /// [`OverlayError::RoutingFailed`] if the hop budget is exhausted
+    /// (possible only with stale routing state after heavy churn).
+    pub fn route(&self, from: Key, key: Key) -> Result<Route, OverlayError> {
+        let mut current = self.node(from)?.id;
+        let mut path = vec![current];
+        let mut hops = 0usize;
+        loop {
+            let node = self.node(current)?;
+            // Is the key owned by our successor?
+            let successor = self.first_live_successor(node);
+            if key.in_open_closed(node.id, successor) {
+                if successor != current {
+                    hops += 1;
+                    path.push(successor);
+                }
+                return Ok(Route { owner: successor, hops, path });
+            }
+            // Single-node ring: we own everything.
+            if successor == node.id {
+                return Ok(Route { owner: node.id, hops, path });
+            }
+            let next = self.closest_preceding_live(node, key);
+            let next = if next == node.id { successor } else { next };
+            hops += 1;
+            if hops > self.hop_budget {
+                return Err(OverlayError::RoutingFailed { key, hops });
+            }
+            path.push(next);
+            current = next;
+        }
+    }
+
+    /// Adds a node, wiring only its successor pointer via a route from
+    /// `bootstrap` (the protocol's join); periodic [`Overlay::stabilize`]
+    /// rounds then repair predecessors and fingers.
+    ///
+    /// # Errors
+    ///
+    /// [`OverlayError::DuplicateNode`] if the id is taken;
+    /// [`OverlayError::UnknownNode`] if the bootstrap is not live.
+    pub fn join(&mut self, id: Key, bootstrap: Key) -> Result<(), OverlayError> {
+        if self.nodes.contains_key(&id.0) {
+            return Err(OverlayError::DuplicateNode(id));
+        }
+        let successor = self.route(bootstrap, id)?.owner;
+        let mut state = NodeState::new(id, self.successor_list_len);
+        state.successor_list = vec![successor; self.successor_list_len];
+        state.fingers = vec![successor; FINGER_BITS as usize];
+        self.nodes.insert(id.0, state);
+        Ok(())
+    }
+
+    /// Removes a node abruptly (fail-stop). Remaining nodes still hold
+    /// pointers to it until maintenance rounds repair them; routing skips
+    /// dead successors via the successor list.
+    ///
+    /// # Errors
+    ///
+    /// [`OverlayError::UnknownNode`] for non-members.
+    pub fn fail(&mut self, id: Key) -> Result<(), OverlayError> {
+        self.nodes.remove(&id.0).map(|_| ()).ok_or(OverlayError::UnknownNode(id))
+    }
+
+    /// Removes a node gracefully: before departing it notifies its
+    /// neighbours, so the predecessor adopts the leaver's successor and
+    /// the successor adopts the leaver's predecessor. Fingers elsewhere
+    /// still point at the leaver until the next [`Overlay::fix_fingers`];
+    /// routing skips them via the liveness checks.
+    ///
+    /// # Errors
+    ///
+    /// [`OverlayError::UnknownNode`] for non-members.
+    pub fn leave(&mut self, id: Key) -> Result<(), OverlayError> {
+        let state = self.nodes.remove(&id.0).ok_or(OverlayError::UnknownNode(id))?;
+        let successor = state
+            .successor_list
+            .iter()
+            .copied()
+            .find(|s| self.nodes.contains_key(&s.0));
+        let predecessor = state.predecessor.filter(|p| self.nodes.contains_key(&p.0));
+        if let (Some(succ), Some(pred)) = (successor, predecessor) {
+            if let Some(p) = self.nodes.get_mut(&pred.0) {
+                p.successor_list[0] = succ;
+            }
+            if let Some(s) = self.nodes.get_mut(&succ.0) {
+                s.predecessor = Some(pred);
+            }
+            self.refresh_successor_list(pred);
+        }
+        Ok(())
+    }
+
+    /// One stabilisation round over all nodes: each node adopts its
+    /// successor's predecessor when closer, notifies its successor, and
+    /// refreshes its successor list — the Chord `stabilize`/`notify`
+    /// pair.
+    pub fn stabilize(&mut self) {
+        let ids: Vec<u64> = self.nodes.keys().copied().collect();
+        for &id in &ids {
+            let node_id = Key(id);
+            let Some(node) = self.nodes.get(&id) else { continue };
+            let successor = self.first_live_successor(node);
+            // Adopt successor's predecessor if it sits between us.
+            let adopted = match self.nodes.get(&successor.0).and_then(|s| s.predecessor) {
+                Some(p) if self.nodes.contains_key(&p.0) && p.in_open_open(node_id, successor) => p,
+                _ => successor,
+            };
+            if let Some(node) = self.nodes.get_mut(&id) {
+                node.successor_list[0] = adopted;
+            }
+            // Notify: the successor learns about us as a predecessor.
+            let succ_now = self.nodes.get(&id).map(|n| n.successor()).expect("node exists");
+            let better = match self.nodes.get(&succ_now.0).and_then(|s| s.predecessor) {
+                Some(p) if self.nodes.contains_key(&p.0) => node_id.in_open_open(p, succ_now),
+                _ => true,
+            };
+            if better && succ_now != node_id {
+                if let Some(succ_state) = self.nodes.get_mut(&succ_now.0) {
+                    succ_state.predecessor = Some(node_id);
+                }
+            }
+            self.refresh_successor_list(node_id);
+        }
+    }
+
+    /// One finger-maintenance round: every node re-resolves each finger
+    /// start by routing (the Chord `fix_fingers`, run for all entries).
+    pub fn fix_fingers(&mut self) {
+        let ids: Vec<u64> = self.nodes.keys().copied().collect();
+        for &id in &ids {
+            for i in 0..FINGER_BITS {
+                let start = Key(id).finger_start(i);
+                if let Ok(owner) = self.owner_of(start) {
+                    if let Some(node) = self.nodes.get_mut(&id) {
+                        node.fingers[i as usize] = owner;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recomputes all routing state exactly (successors, predecessors,
+    /// successor lists, fingers) — the fixpoint of the maintenance
+    /// protocol, used to build steady-state overlays for experiments.
+    pub fn rebuild_all(&mut self) {
+        let ids: Vec<u64> = self.nodes.keys().copied().collect();
+        if ids.is_empty() {
+            return;
+        }
+        let n = ids.len();
+        for (pos, &id) in ids.iter().enumerate() {
+            let succ = Key(ids[(pos + 1) % n]);
+            let pred = Key(ids[(pos + n - 1) % n]);
+            let mut list = Vec::with_capacity(self.successor_list_len);
+            for k in 1..=self.successor_list_len {
+                list.push(Key(ids[(pos + k) % n]));
+            }
+            let node = self.nodes.get_mut(&id).expect("id from key set");
+            node.successor_list = list;
+            node.predecessor = Some(pred);
+            let _ = succ;
+        }
+        self.fix_fingers();
+    }
+
+    /// First live entry of the node's successor list (skipping failed
+    /// nodes), or the node itself when the whole list is dead.
+    fn first_live_successor(&self, node: &NodeState) -> Key {
+        for &s in &node.successor_list {
+            if self.nodes.contains_key(&s.0) {
+                return s;
+            }
+        }
+        node.id
+    }
+
+    /// The closest live finger strictly preceding `key` (Chord's
+    /// `closest_preceding_node`).
+    fn closest_preceding_live(&self, node: &NodeState, key: Key) -> Key {
+        for i in (0..FINGER_BITS as usize).rev() {
+            let f = node.fingers[i];
+            if self.nodes.contains_key(&f.0) && f.in_open_open(node.id, key) {
+                return f;
+            }
+        }
+        // Fall back to the successor list.
+        for &s in &node.successor_list {
+            if self.nodes.contains_key(&s.0) && s.in_open_open(node.id, key) {
+                return s;
+            }
+        }
+        node.id
+    }
+
+    fn refresh_successor_list(&mut self, id: Key) {
+        let Some(node) = self.nodes.get(&id.0) else { return };
+        let mut list = Vec::with_capacity(self.successor_list_len);
+        let mut cursor = self.first_live_successor(node);
+        for _ in 0..self.successor_list_len {
+            list.push(cursor);
+            let Some(next) = self.nodes.get(&cursor.0) else { break };
+            let next_succ = self.first_live_successor(next);
+            if next_succ == id || next_succ == cursor {
+                break;
+            }
+            cursor = next_succ;
+        }
+        if let Some(node) = self.nodes.get_mut(&id.0) {
+            while list.len() < node.successor_list.len() {
+                let last = *list.last().expect("at least one successor");
+                list.push(last);
+            }
+            node.successor_list = list;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Key> {
+        (0..n).map(|i| Key::hash(&(i as u64).to_be_bytes())).collect()
+    }
+
+    fn overlay(n: usize) -> Overlay {
+        Overlay::with_nodes(keys(n), 4)
+    }
+
+    #[test]
+    fn ownership_ground_truth() {
+        let o = overlay(16);
+        let nodes = o.live_nodes();
+        // A node owns its own id.
+        for &n in &nodes {
+            assert_eq!(o.owner_of(n).unwrap(), n);
+        }
+        // A key strictly between two nodes belongs to the clockwise one.
+        let owner = o.owner_of(Key(nodes[3].0.wrapping_add(1))).unwrap();
+        assert_eq!(owner, nodes[4 % nodes.len()]);
+    }
+
+    #[test]
+    fn routing_agrees_with_ground_truth() {
+        let o = overlay(64);
+        let origin = o.live_nodes()[0];
+        for i in 0..200u64 {
+            let key = Key::hash(&(1_000_000 + i).to_be_bytes());
+            let route = o.route(origin, key).expect("routes");
+            assert_eq!(route.owner, o.owner_of(key).unwrap(), "key {key}");
+            assert_eq!(route.path.last().copied(), Some(route.owner));
+        }
+    }
+
+    #[test]
+    fn routing_from_every_origin() {
+        let o = overlay(32);
+        let key = Key::hash(b"shared key");
+        let owner = o.owner_of(key).unwrap();
+        for origin in o.live_nodes() {
+            assert_eq!(o.route(origin, key).unwrap().owner, owner);
+        }
+    }
+
+    #[test]
+    fn hops_scale_logarithmically() {
+        // Mean hops should be around (1/2) log2 N and certainly below
+        // 2 log2 N — the paper's "routing performance that scales
+        // logarithmically" (§2).
+        for n in [16usize, 64, 256] {
+            let o = overlay(n);
+            let origin = o.live_nodes()[0];
+            let mut total = 0usize;
+            let samples = 300;
+            for i in 0..samples {
+                let key = Key::hash(&(7_000_000u64 + i).to_be_bytes());
+                total += o.route(origin, key).unwrap().hops;
+            }
+            let mean = total as f64 / samples as f64;
+            let log2n = (n as f64).log2();
+            assert!(mean <= 2.0 * log2n, "n={n}: mean {mean:.2} vs 2log2(n) {:.2}", 2.0 * log2n);
+        }
+    }
+
+    #[test]
+    fn join_converges_after_stabilisation() {
+        let mut o = overlay(16);
+        let bootstrap = o.live_nodes()[0];
+        let newcomer = Key::hash(b"newcomer");
+        o.join(newcomer, bootstrap).unwrap();
+        for _ in 0..20 {
+            o.stabilize();
+        }
+        o.fix_fingers();
+        // The newcomer is now the owner of its own id and reachable.
+        assert_eq!(o.owner_of(newcomer).unwrap(), newcomer);
+        let route = o.route(bootstrap, newcomer).unwrap();
+        assert_eq!(route.owner, newcomer);
+        // Ring invariant: successors/predecessors consistent.
+        let state = o.node(newcomer).unwrap();
+        assert!(o.live_nodes().contains(&state.successor()));
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let mut o = overlay(4);
+        let existing = o.live_nodes()[1];
+        let bootstrap = o.live_nodes()[0];
+        assert_eq!(o.join(existing, bootstrap), Err(OverlayError::DuplicateNode(existing)));
+    }
+
+    #[test]
+    fn failure_recovery_via_successor_lists() {
+        let mut o = overlay(32);
+        let nodes = o.live_nodes();
+        // Fail three nodes, then route: successor lists bridge the gaps.
+        for &dead in &nodes[3..6] {
+            o.fail(dead).unwrap();
+        }
+        let origin = nodes[0];
+        for i in 0..100u64 {
+            let key = Key::hash(&(42_000 + i).to_be_bytes());
+            let route = o.route(origin, key).expect("routes despite failures");
+            assert_eq!(route.owner, o.owner_of(key).unwrap());
+        }
+        // After maintenance the state is clean again.
+        for _ in 0..8 {
+            o.stabilize();
+        }
+        o.fix_fingers();
+        let key = Key::hash(b"post-repair");
+        assert_eq!(o.route(origin, key).unwrap().owner, o.owner_of(key).unwrap());
+    }
+
+    #[test]
+    fn empty_overlay_errors() {
+        let o = Overlay::new(4);
+        assert_eq!(o.owner_of(Key(1)), Err(OverlayError::Empty));
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let id = Key::hash(b"solo");
+        let o = Overlay::with_nodes([id], 4);
+        assert_eq!(o.owner_of(Key(123)).unwrap(), id);
+        let route = o.route(id, Key(99)).unwrap();
+        assert_eq!(route.owner, id);
+        assert_eq!(route.hops, 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(OverlayError::Empty.to_string(), "overlay has no live nodes");
+        assert!(OverlayError::RoutingFailed { key: Key(1), hops: 7 }
+            .to_string()
+            .contains("after 7 hops"));
+    }
+}
+
+#[cfg(test)]
+mod leave_tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Key> {
+        (0..n).map(|i| Key::hash(&(i as u64).to_be_bytes())).collect()
+    }
+
+    #[test]
+    fn graceful_leave_keeps_routing_correct() {
+        let mut o = Overlay::with_nodes(keys(32), 4);
+        let nodes = o.live_nodes();
+        for &leaver in &nodes[5..10] {
+            o.leave(leaver).unwrap();
+        }
+        let origin = nodes[0];
+        for i in 0..100u64 {
+            let key = Key::hash(&(90_000 + i).to_be_bytes());
+            let route = o.route(origin, key).expect("routes after departures");
+            assert_eq!(route.owner, o.owner_of(key).unwrap());
+        }
+    }
+
+    #[test]
+    fn leave_patches_neighbours_immediately() {
+        let mut o = Overlay::with_nodes(keys(8), 4);
+        let nodes = o.live_nodes();
+        let leaver = nodes[3];
+        let pred = nodes[2];
+        let succ = nodes[4];
+        o.leave(leaver).unwrap();
+        assert_eq!(o.node(pred).unwrap().successor(), succ);
+        assert_eq!(o.node(succ).unwrap().predecessor(), Some(pred));
+    }
+
+    #[test]
+    fn leave_unknown_errors() {
+        let mut o = Overlay::with_nodes(keys(4), 4);
+        assert_eq!(o.leave(Key(12345)), Err(OverlayError::UnknownNode(Key(12345))));
+    }
+
+    #[test]
+    fn leaves_and_joins_interleave() {
+        let mut o = Overlay::with_nodes(keys(16), 4);
+        let bootstrap = o.live_nodes()[0];
+        for round in 0..5u64 {
+            let newcomer = Key::hash(&(7_777 + round).to_be_bytes());
+            o.join(newcomer, bootstrap).unwrap();
+            for _ in 0..8 {
+                o.stabilize();
+            }
+            o.fix_fingers();
+            let victim = o.live_nodes()[3];
+            if victim != bootstrap {
+                o.leave(victim).unwrap();
+            }
+            let key = Key::hash(&(31_337 + round).to_be_bytes());
+            let route = o.route(bootstrap, key).expect("routes through churn");
+            assert_eq!(route.owner, o.owner_of(key).unwrap(), "round {round}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Ring arithmetic for the Chord key space.
+//!
+//! Keys and node identifiers live on a circle of 2^64 points (the paper's
+//! deployment hashes onto the ring with SHA-1 (paper reference 6); we place digests via
+//! their 64-bit prefix). All interval tests are circular.
+
+/// A point on the Chord ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// Derives a key from arbitrary bytes via SHA-1, as the ASA layer
+    /// derives storage keys from PIDs/GUIDs (paper §2.1).
+    pub fn hash(data: &[u8]) -> Key {
+        Key(asa_sha1::Sha1::digest(data).prefix_u64())
+    }
+
+    /// Clockwise distance from `self` to `other`.
+    pub fn distance_to(self, other: Key) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// `true` if `self` lies in the half-open ring interval `(from, to]`.
+    ///
+    /// This is the Chord ownership test: node `s` owns key `k` iff
+    /// `k ∈ (predecessor(s), s]`.
+    pub fn in_open_closed(self, from: Key, to: Key) -> bool {
+        if from == to {
+            // The whole ring.
+            return true;
+        }
+        from.distance_to(self) != 0 && from.distance_to(self) <= from.distance_to(to)
+    }
+
+    /// `true` if `self` lies in the open ring interval `(from, to)`.
+    pub fn in_open_open(self, from: Key, to: Key) -> bool {
+        self != to && self.in_open_closed(from, to)
+    }
+
+    /// The point `2^i` clockwise of `self` (the start of finger `i`).
+    pub fn finger_start(self, i: u32) -> Key {
+        Key(self.0.wrapping_add(1u64.wrapping_shl(i)))
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(Key(10).distance_to(Key(15)), 5);
+        assert_eq!(Key(u64::MAX).distance_to(Key(4)), 5);
+        assert_eq!(Key(5).distance_to(Key(5)), 0);
+    }
+
+    #[test]
+    fn open_closed_basic() {
+        assert!(Key(5).in_open_closed(Key(1), Key(5)));
+        assert!(!Key(1).in_open_closed(Key(1), Key(5)));
+        assert!(Key(3).in_open_closed(Key(1), Key(5)));
+        assert!(!Key(7).in_open_closed(Key(1), Key(5)));
+    }
+
+    #[test]
+    fn open_closed_wrapping() {
+        // Interval wrapping zero: (MAX-2, 3]
+        assert!(Key(0).in_open_closed(Key(u64::MAX - 2), Key(3)));
+        assert!(Key(3).in_open_closed(Key(u64::MAX - 2), Key(3)));
+        assert!(!Key(4).in_open_closed(Key(u64::MAX - 2), Key(3)));
+        assert!(!Key(u64::MAX - 2).in_open_closed(Key(u64::MAX - 2), Key(3)));
+    }
+
+    #[test]
+    fn degenerate_interval_is_whole_ring() {
+        assert!(Key(42).in_open_closed(Key(7), Key(7)));
+        assert!(Key(7).in_open_closed(Key(7), Key(7)));
+    }
+
+    #[test]
+    fn open_open_excludes_both_ends() {
+        assert!(!Key(5).in_open_open(Key(1), Key(5)));
+        assert!(!Key(1).in_open_open(Key(1), Key(5)));
+        assert!(Key(3).in_open_open(Key(1), Key(5)));
+    }
+
+    #[test]
+    fn finger_starts_double() {
+        let k = Key(100);
+        assert_eq!(k.finger_start(0).0, 101);
+        assert_eq!(k.finger_start(1).0, 102);
+        assert_eq!(k.finger_start(10).0, 100 + 1024);
+        // Wrap-around.
+        assert_eq!(Key(u64::MAX).finger_start(0).0, 0);
+    }
+
+    #[test]
+    fn hash_is_sha1_prefix() {
+        let k = Key::hash(b"abc");
+        assert_eq!(k.0, asa_sha1::Sha1::digest(b"abc").prefix_u64());
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests: routing always agrees with ground-truth
+//! ownership, under arbitrary membership and bounded failures.
+
+use proptest::prelude::*;
+
+use asa_chord::{Key, Overlay};
+
+fn node_ids() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::btree_set(any::<u64>(), 1..80)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn routing_matches_ownership(ids in node_ids(), keys in prop::collection::vec(any::<u64>(), 1..40)) {
+        let overlay = Overlay::with_nodes(ids.iter().copied().map(Key), 4);
+        let origin = overlay.live_nodes()[0];
+        for k in keys {
+            let key = Key(k);
+            let route = overlay.route(origin, key).expect("routes");
+            prop_assert_eq!(route.owner, overlay.owner_of(key).expect("owner"));
+        }
+    }
+
+    #[test]
+    fn ownership_is_clockwise_successor(ids in node_ids(), k in any::<u64>()) {
+        let overlay = Overlay::with_nodes(ids.iter().copied().map(Key), 4);
+        let owner = overlay.owner_of(Key(k)).expect("owner");
+        // The owner is a member, and no live node lies strictly between
+        // the key and its owner (i.e. the owner is the closest clockwise
+        // successor of the key).
+        prop_assert!(ids.contains(&owner.0));
+        for &id in &ids {
+            let node = Key(id);
+            prop_assert!(!node.in_open_open(Key(k), owner), "node {node} between key and owner");
+        }
+    }
+
+    #[test]
+    fn survives_bounded_failures(ids in node_ids(), kill in prop::collection::vec(any::<prop::sample::Index>(), 0..3), k in any::<u64>()) {
+        prop_assume!(ids.len() > 4);
+        let mut overlay = Overlay::with_nodes(ids.iter().copied().map(Key), 4);
+        let nodes = overlay.live_nodes();
+        // Fail up to 3 distinct non-origin nodes (successor lists hold 4).
+        let mut killed = Vec::new();
+        for idx in kill {
+            let victim = nodes[1 + idx.index(nodes.len() - 1)];
+            if !killed.contains(&victim) && victim != nodes[0] {
+                let _ = overlay.fail(victim);
+                killed.push(victim);
+            }
+        }
+        let route = overlay.route(nodes[0], Key(k)).expect("routes despite failures");
+        prop_assert_eq!(route.owner, overlay.owner_of(Key(k)).expect("owner"));
+    }
+
+    #[test]
+    fn hops_bounded_by_ring_size(ids in node_ids(), k in any::<u64>()) {
+        let overlay = Overlay::with_nodes(ids.iter().copied().map(Key), 4);
+        let origin = overlay.live_nodes()[0];
+        let route = overlay.route(origin, Key(k)).expect("routes");
+        prop_assert!(route.hops <= overlay.len());
+    }
+}

@@ -1,0 +1,55 @@
+//! Calibration harness: checks the reconstructed protocol semantics
+//! against every state count the paper reports.
+//!
+//! Expected (paper §3.4 + Table 1):
+//!   r=4:  512 initial, 48 after pruning, 33 final
+//!   r=7:  1568 initial, 85 final
+//!   r=13: 5408 initial, 261 final
+//!   r=25: 20000 initial, 901 final
+//!   r=46: 67712 initial, 2945 final
+
+use stategen_commit::{CommitConfig, CommitModel};
+use stategen_core::generate;
+
+fn main() {
+    let expected: [(u32, u64, Option<usize>, usize); 5] = [
+        (4, 512, Some(48), 33),
+        (7, 1568, None, 85),
+        (13, 5408, None, 261),
+        (25, 20000, None, 901),
+        (46, 67712, None, 2945),
+    ];
+    let mut all_ok = true;
+    println!("{:>3} {:>8} {:>10} {:>8} {:>12}", "r", "initial", "reachable", "final", "time");
+    for (r, want_initial, want_reachable, want_final) in expected {
+        let model = CommitModel::new(CommitConfig::new(r).expect("valid r"));
+        let g = generate(&model).expect("generation succeeds");
+        let ok_initial = g.report.initial_states == want_initial;
+        let ok_reach = want_reachable.is_none_or(|w| g.report.reachable_states == w);
+        let ok_final = g.report.final_states == want_final;
+        let mark = if ok_initial && ok_reach && ok_final { "ok" } else { "MISMATCH" };
+        all_ok &= ok_initial && ok_reach && ok_final;
+        println!(
+            "{:>3} {:>8} {:>10} {:>8} {:>12?}   {}",
+            r, g.report.initial_states, g.report.reachable_states, g.report.final_states,
+            g.report.total, mark
+        );
+        if !ok_initial {
+            println!("    initial: want {want_initial}");
+        }
+        if let Some(w) = want_reachable {
+            if g.report.reachable_states != w {
+                println!("    reachable: want {w} (incl. FINISHED)");
+            }
+        }
+        if !ok_final {
+            println!("    final: want {want_final}");
+        }
+    }
+    if all_ok {
+        println!("\nall counts match the paper");
+    } else {
+        println!("\nCALIBRATION FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Protocol parameters and thresholds.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a [`CommitConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Replication factor below the minimum of 2 (with one node there is
+    /// no peer to exchange votes or commits with, so the protocol can
+    /// never complete).
+    ReplicationTooSmall(u32),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ReplicationTooSmall(r) => {
+                write!(f, "replication factor {r} is below the minimum of 2")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Parameters of one commit-protocol family member.
+///
+/// The protocol tolerates `f = floor((r-1)/3)` Byzantine-faulty peers for
+/// replication factor `r` (paper §2.2); Byzantine fault tolerance proper
+/// (`f ≥ 1`) requires `r ≥ 4`.
+///
+/// # Examples
+///
+/// ```
+/// use stategen_commit::CommitConfig;
+///
+/// let config = CommitConfig::new(4)?;
+/// assert_eq!(config.max_faulty(), 1);
+/// assert_eq!(config.vote_threshold(), 3);   // Fig 14: "vote threshold (3)"
+/// assert_eq!(config.commit_threshold(), 2); // Fig 14: "external commit threshold (2)"
+/// # Ok::<(), stategen_commit::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommitConfig {
+    replication_factor: u32,
+}
+
+impl CommitConfig {
+    /// Creates a configuration for the given replication factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ReplicationTooSmall`] for `r < 2`.
+    pub fn new(replication_factor: u32) -> Result<Self, ConfigError> {
+        if replication_factor < 2 {
+            return Err(ConfigError::ReplicationTooSmall(replication_factor));
+        }
+        Ok(CommitConfig { replication_factor })
+    }
+
+    /// The replication factor `r`: the number of peers holding a replica,
+    /// all of which participate in the protocol.
+    pub fn replication_factor(&self) -> u32 {
+        self.replication_factor
+    }
+
+    /// Maximum number of Byzantine-faulty peers tolerated:
+    /// `f = floor((r-1)/3)`.
+    pub fn max_faulty(&self) -> u32 {
+        (self.replication_factor - 1) / 3
+    }
+
+    /// `true` if the configuration tolerates at least one faulty peer
+    /// (`r ≥ 4`), as required for Byzantine fault tolerance.
+    pub fn is_byzantine_tolerant(&self) -> bool {
+        self.max_faulty() >= 1
+    }
+
+    /// The vote threshold: when the total of votes sent and received for an
+    /// update reaches the number of non-faulty peers (`r − f`), the update
+    /// is agreed and commits are exchanged. For `r = 3f + 1` this equals
+    /// the paper's `2f + 1` majority.
+    pub fn vote_threshold(&self) -> u32 {
+        self.replication_factor - self.max_faulty()
+    }
+
+    /// The external commit threshold: receipt of `f + 1` commit messages
+    /// guarantees at least one comes from a non-faulty peer, so the update
+    /// is globally agreed and the instance finishes.
+    pub fn commit_threshold(&self) -> u32 {
+        self.max_faulty() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_parameters() {
+        // Table 1 rows: (f, r) pairs.
+        for (f, r) in [(1u32, 4u32), (2, 7), (4, 13), (8, 25), (15, 46)] {
+            let c = CommitConfig::new(r).expect("valid");
+            assert_eq!(c.max_faulty(), f, "f for r={r}");
+            assert_eq!(c.vote_threshold(), r - f);
+            assert_eq!(c.commit_threshold(), f + 1);
+            assert!(c.is_byzantine_tolerant());
+        }
+    }
+
+    #[test]
+    fn r4_matches_fig14_thresholds() {
+        let c = CommitConfig::new(4).expect("valid");
+        assert_eq!(c.vote_threshold(), 3);
+        assert_eq!(c.commit_threshold(), 2);
+    }
+
+    #[test]
+    fn vote_threshold_equals_2f_plus_1_for_3f_plus_1() {
+        for f in 1..20u32 {
+            let c = CommitConfig::new(3 * f + 1).expect("valid");
+            assert_eq!(c.vote_threshold(), 2 * f + 1);
+        }
+    }
+
+    #[test]
+    fn small_replication_rejected() {
+        assert_eq!(CommitConfig::new(0), Err(ConfigError::ReplicationTooSmall(0)));
+        assert_eq!(CommitConfig::new(1), Err(ConfigError::ReplicationTooSmall(1)));
+        assert!(CommitConfig::new(2).is_ok());
+    }
+
+    #[test]
+    fn non_bft_configs_flagged() {
+        assert!(!CommitConfig::new(2).unwrap().is_byzantine_tolerant());
+        assert!(!CommitConfig::new(3).unwrap().is_byzantine_tolerant());
+        assert!(CommitConfig::new(4).unwrap().is_byzantine_tolerant());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            ConfigError::ReplicationTooSmall(1).to_string(),
+            "replication factor 1 is below the minimum of 2"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Reconstruction of the paper's *early* four-variable FSM design (Fig 3).
+//!
+//! The original state diagram was "constructed at an early stage in the
+//! design process, at which point it appeared that only four variables
+//! were necessary" (paper footnote 2): votes received, votes sent, commits
+//! received and commits sent, with state names like `1/0/1/0`. Fig 3 shows
+//! the transition `1/0/1/0 --<-vote--> 2/1/1/1`, firing "since the
+//! threshold for committing has been reached (in this case 2 votes and 1
+//! commit received)": the early design counted votes and commits
+//! *together* against the `2f+1` agreement threshold.
+//!
+//! The model is kept (a) as a faithful reproduction of Fig 3 and (b) as a
+//! second, structurally different instantiation of the generic
+//! [`stategen_core::AbstractModel`] framework.
+
+use stategen_core::{
+    AbstractModel, Action, Outcome, StateComponent, StateSpace, StateVector, TransitionSpec,
+};
+
+use crate::config::CommitConfig;
+use crate::messages::{COMMIT, VOTE};
+
+const VOTES_RECEIVED: usize = 0;
+const VOTES_SENT: usize = 1;
+const COMMITS_RECEIVED: usize = 2;
+const COMMITS_SENT: usize = 3;
+
+/// The early four-variable commit model (paper Fig 3).
+#[derive(Debug, Clone, Copy)]
+pub struct EarlyCommitModel {
+    config: CommitConfig,
+}
+
+impl EarlyCommitModel {
+    /// Creates the early model for the given configuration.
+    pub fn new(config: CommitConfig) -> Self {
+        EarlyCommitModel { config }
+    }
+
+    /// Combined-evidence agreement threshold (`2f + 1`).
+    pub fn agreement_threshold(&self) -> u32 {
+        2 * self.config.max_faulty() + 1
+    }
+
+    /// Elaborates the shared phase logic: once combined votes+commits
+    /// evidence reaches the agreement threshold, send this node's vote and
+    /// commit (each at most once).
+    fn apply_phase(&self, state: &mut StateVector, actions: &mut Vec<Action>) {
+        let evidence = state.get(VOTES_RECEIVED) + state.get(COMMITS_RECEIVED);
+        if evidence >= self.agreement_threshold() {
+            if state.get(VOTES_SENT) == 0 {
+                state.set(VOTES_SENT, 1);
+                actions.push(Action::send(VOTE));
+            }
+            if state.get(COMMITS_SENT) == 0 {
+                state.set(COMMITS_SENT, 1);
+                actions.push(Action::send(COMMIT));
+            }
+        }
+    }
+}
+
+impl AbstractModel for EarlyCommitModel {
+    fn machine_name(&self) -> String {
+        format!("early-commit@r={}", self.config.replication_factor())
+    }
+
+    fn state_space(&self) -> Result<StateSpace, stategen_core::SchemaError> {
+        let max = self.config.replication_factor() - 1;
+        StateSpace::new(vec![
+            StateComponent::int("votes_received", max),
+            StateComponent::int("votes_sent", 1),
+            StateComponent::int("commits_received", max),
+            StateComponent::int("commits_sent", 1),
+        ])
+    }
+
+    fn messages(&self) -> Vec<String> {
+        vec![VOTE.to_string(), COMMIT.to_string()]
+    }
+
+    fn start_state(&self) -> StateVector {
+        self.state_space().expect("schema is valid").zero_vector()
+    }
+
+    fn transition(&self, state: &StateVector, message: &str) -> Outcome {
+        let (count_idx, max) = match message {
+            VOTE => (VOTES_RECEIVED, self.config.replication_factor() - 1),
+            COMMIT => (COMMITS_RECEIVED, self.config.replication_factor() - 1),
+            _ => return Outcome::Ignored,
+        };
+        if state.get(count_idx) == max {
+            return Outcome::Ignored;
+        }
+        let mut target = state.clone();
+        target.set(count_idx, state.get(count_idx) + 1);
+        let mut actions = Vec::new();
+        self.apply_phase(&mut target, &mut actions);
+        Outcome::Transition(TransitionSpec { target, actions, annotations: Vec::new() })
+    }
+
+    fn is_final_state(&self, state: &StateVector) -> bool {
+        state.get(COMMITS_RECEIVED) >= self.config.commit_threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stategen_core::generate;
+
+    fn model() -> EarlyCommitModel {
+        EarlyCommitModel::new(CommitConfig::new(4).expect("valid"))
+    }
+
+    /// The labelled transition of paper Fig 3: a vote received in state
+    /// 1/0/1/0 crosses the combined threshold (2 votes + 1 commit), so the
+    /// node sends a commit and moves to 2/1/1/1.
+    #[test]
+    fn fig3_transition() {
+        let m = model();
+        let space = m.state_space().unwrap();
+        let s = space.parse_name("1/0/1/0").unwrap();
+        match m.transition(&s, VOTE) {
+            Outcome::Transition(spec) => {
+                assert_eq!(space.name_of(&spec.target), "2/1/1/1");
+                assert_eq!(spec.actions, vec![Action::send(VOTE), Action::send(COMMIT)]);
+            }
+            Outcome::Ignored => panic!("transition expected"),
+        }
+    }
+
+    #[test]
+    fn generates_a_small_family_member() {
+        let m = model();
+        let g = generate(&m).expect("generation succeeds");
+        assert_eq!(g.report.initial_states, 64); // 4 * 2 * 4 * 2
+        assert!(g.report.final_states < 64);
+        assert!(g.machine.unique_final().is_some());
+    }
+
+    #[test]
+    fn counts_bounded() {
+        let m = model();
+        let space = m.state_space().unwrap();
+        let s = space.parse_name("3/1/0/1").unwrap();
+        assert_eq!(m.transition(&s, VOTE), Outcome::Ignored);
+    }
+
+    #[test]
+    fn commit_threshold_is_final() {
+        let m = model();
+        let space = m.state_space().unwrap();
+        assert!(m.is_final_state(&space.parse_name("0/0/2/0").unwrap()));
+        assert!(!m.is_final_state(&space.parse_name("3/1/1/1").unwrap()));
+    }
+}

@@ -1,0 +1,133 @@
+//! The commit protocol's message alphabet (paper Fig 20).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Message name: `update`.
+pub const UPDATE: &str = "update";
+/// Message name: `vote`.
+pub const VOTE: &str = "vote";
+/// Message name: `commit`.
+pub const COMMIT: &str = "commit";
+/// Message name: `free`.
+pub const FREE: &str = "free";
+/// Message name: `not_free`.
+pub const NOT_FREE: &str = "not_free";
+
+/// All message names, in declaration order (paper Fig 20).
+pub const MESSAGE_NAMES: [&str; 5] = [UPDATE, VOTE, COMMIT, FREE, NOT_FREE];
+
+/// A message of the commit protocol.
+///
+/// `update`, `vote` and `commit` travel between peers; `free` and
+/// `not_free` are exchanged between the FSM instances running on a single
+/// node to serialise its choice of candidate update (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CommitMessage {
+    /// A client requests that this update be recorded.
+    Update,
+    /// A peer votes for this update.
+    Vote,
+    /// A peer commits to this update.
+    Commit,
+    /// The node's previously chosen update completed; instances may choose
+    /// again.
+    Free,
+    /// The node chose some update; other instances may not choose.
+    NotFree,
+}
+
+impl CommitMessage {
+    /// All messages in declaration order.
+    pub const ALL: [CommitMessage; 5] = [
+        CommitMessage::Update,
+        CommitMessage::Vote,
+        CommitMessage::Commit,
+        CommitMessage::Free,
+        CommitMessage::NotFree,
+    ];
+
+    /// The message's wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CommitMessage::Update => UPDATE,
+            CommitMessage::Vote => VOTE,
+            CommitMessage::Commit => COMMIT,
+            CommitMessage::Free => FREE,
+            CommitMessage::NotFree => NOT_FREE,
+        }
+    }
+
+    /// `true` for messages exchanged between peers (as opposed to the
+    /// node-local `free`/`not_free` signals).
+    pub fn is_peer_message(self) -> bool {
+        matches!(self, CommitMessage::Update | CommitMessage::Vote | CommitMessage::Commit)
+    }
+}
+
+impl fmt::Display for CommitMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a [`CommitMessage`] from its wire name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMessageError(pub String);
+
+impl fmt::Display for ParseMessageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown commit-protocol message `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseMessageError {}
+
+impl FromStr for CommitMessage {
+    type Err = ParseMessageError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            UPDATE => Ok(CommitMessage::Update),
+            VOTE => Ok(CommitMessage::Vote),
+            COMMIT => Ok(CommitMessage::Commit),
+            FREE => Ok(CommitMessage::Free),
+            NOT_FREE => Ok(CommitMessage::NotFree),
+            _ => Err(ParseMessageError(s.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_names() {
+        for m in CommitMessage::ALL {
+            assert_eq!(m.as_str().parse::<CommitMessage>().unwrap(), m);
+            assert_eq!(m.to_string(), m.as_str());
+        }
+    }
+
+    #[test]
+    fn order_matches_declaration() {
+        let names: Vec<&str> = CommitMessage::ALL.iter().map(|m| m.as_str()).collect();
+        assert_eq!(names, MESSAGE_NAMES);
+    }
+
+    #[test]
+    fn peer_message_classification() {
+        assert!(CommitMessage::Update.is_peer_message());
+        assert!(CommitMessage::Vote.is_peer_message());
+        assert!(CommitMessage::Commit.is_peer_message());
+        assert!(!CommitMessage::Free.is_peer_message());
+        assert!(!CommitMessage::NotFree.is_peer_message());
+    }
+
+    #[test]
+    fn parse_error() {
+        let err = "zap".parse::<CommitMessage>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown commit-protocol message `zap`");
+    }
+}

@@ -1,0 +1,135 @@
+//! Typed access to the commit protocol's state components.
+//!
+//! The paper (§3.1) identifies seven variables maintained per ongoing
+//! commit operation. Their order here fixes the rendered state names
+//! (`T/2/F/0/F/F/F`, Fig 14): `update_received / votes_received /
+//! vote_sent / commits_received / commit_sent / could_choose / has_chosen`.
+
+use stategen_core::{StateComponent, StateSpace, StateVector};
+
+use crate::config::CommitConfig;
+
+/// Component index of `update_received`.
+pub const UPDATE_RECEIVED: usize = 0;
+/// Component index of `votes_received`.
+pub const VOTES_RECEIVED: usize = 1;
+/// Component index of `vote_sent`.
+pub const VOTE_SENT: usize = 2;
+/// Component index of `commits_received`.
+pub const COMMITS_RECEIVED: usize = 3;
+/// Component index of `commit_sent`.
+pub const COMMIT_SENT: usize = 4;
+/// Component index of `could_choose`.
+pub const COULD_CHOOSE: usize = 5;
+/// Component index of `has_chosen`.
+pub const HAS_CHOSEN: usize = 6;
+
+/// Builds the commit protocol's state space for a replication factor
+/// (paper Fig 20): five booleans and two counters bounded by `r − 1`.
+pub fn commit_state_space(config: &CommitConfig) -> Result<StateSpace, stategen_core::SchemaError> {
+    let max_count = config.replication_factor() - 1;
+    StateSpace::new(vec![
+        StateComponent::boolean("update_received"),
+        StateComponent::int("votes_received", max_count),
+        StateComponent::boolean("vote_sent"),
+        StateComponent::int("commits_received", max_count),
+        StateComponent::boolean("commit_sent"),
+        StateComponent::boolean("could_choose"),
+        StateComponent::boolean("has_chosen"),
+    ])
+}
+
+/// Read access to the protocol variables of a commit-protocol state vector.
+///
+/// Implemented for [`StateVector`]; the methods assume the vector was
+/// produced by [`commit_state_space`].
+pub trait CommitStateExt {
+    /// Whether the update request has been received from the client.
+    fn update_received(&self) -> bool;
+    /// Number of vote messages received from other peers.
+    fn votes_received(&self) -> u32;
+    /// Whether this peer has sent its vote for this update.
+    fn vote_sent(&self) -> bool;
+    /// Number of commit messages received from other peers.
+    fn commits_received(&self) -> u32;
+    /// Whether this peer has sent its commit for this update.
+    fn commit_sent(&self) -> bool;
+    /// Whether this peer is free to choose an update to vote for
+    /// (false while another update is in progress on this node).
+    fn could_choose(&self) -> bool;
+    /// Whether this peer chose *this* update as its candidate.
+    fn has_chosen(&self) -> bool;
+    /// Total votes counted towards the vote threshold: votes received plus
+    /// this peer's own vote if sent (paper Fig 10 `getTotalVotes`).
+    fn total_votes(&self) -> u32 {
+        self.votes_received() + u32::from(self.vote_sent())
+    }
+}
+
+impl CommitStateExt for StateVector {
+    fn update_received(&self) -> bool {
+        self.flag(UPDATE_RECEIVED)
+    }
+
+    fn votes_received(&self) -> u32 {
+        self.get(VOTES_RECEIVED)
+    }
+
+    fn vote_sent(&self) -> bool {
+        self.flag(VOTE_SENT)
+    }
+
+    fn commits_received(&self) -> u32 {
+        self.get(COMMITS_RECEIVED)
+    }
+
+    fn commit_sent(&self) -> bool {
+        self.flag(COMMIT_SENT)
+    }
+
+    fn could_choose(&self) -> bool {
+        self.flag(COULD_CHOOSE)
+    }
+
+    fn has_chosen(&self) -> bool {
+        self.flag(HAS_CHOSEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_size_matches_paper() {
+        let c = CommitConfig::new(4).unwrap();
+        let space = commit_state_space(&c).unwrap();
+        assert_eq!(space.state_count(), 512);
+        assert_eq!(space.component_count(), 7);
+    }
+
+    #[test]
+    fn name_field_order_matches_fig14() {
+        let c = CommitConfig::new(4).unwrap();
+        let space = commit_state_space(&c).unwrap();
+        let v = space.parse_name("T/2/F/0/F/F/F").unwrap();
+        assert!(v.update_received());
+        assert_eq!(v.votes_received(), 2);
+        assert!(!v.vote_sent());
+        assert_eq!(v.commits_received(), 0);
+        assert!(!v.commit_sent());
+        assert!(!v.could_choose());
+        assert!(!v.has_chosen());
+    }
+
+    #[test]
+    fn total_votes_counts_own_vote() {
+        let c = CommitConfig::new(4).unwrap();
+        let space = commit_state_space(&c).unwrap();
+        let mut v = space.zero_vector();
+        v.set(VOTES_RECEIVED, 2);
+        assert_eq!(v.total_votes(), 2);
+        v.set_flag(VOTE_SENT, true);
+        assert_eq!(v.total_votes(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-implementation equivalence (paper §3.2's spectrum):
+//!
+//! * the generated FSM (interpreted) — many states, no variables;
+//! * the hand-written reference algorithm — one state, many variables;
+//! * the EFSM — few states, counter variables;
+//!
+//! must all emit identical action traces and agree on completion for any
+//! message sequence, for every family member. This is the property that
+//! makes the generative approach trustworthy: the generated artefacts
+//! really implement the algorithm.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use stategen_commit::{
+    commit_efsm, commit_efsm_instance, CommitConfig, CommitModel, ReferenceCommit, MESSAGE_NAMES,
+};
+use stategen_core::{generate, Efsm, FsmInstance, ProtocolEngine, StateMachine};
+
+fn machine(r: u32) -> &'static StateMachine {
+    static MACHINES: OnceLock<Vec<(u32, StateMachine)>> = OnceLock::new();
+    let machines = MACHINES.get_or_init(|| {
+        [4u32, 7, 13]
+            .iter()
+            .map(|&r| {
+                let model = CommitModel::new(CommitConfig::new(r).unwrap());
+                (r, generate(&model).unwrap().machine)
+            })
+            .collect()
+    });
+    &machines.iter().find(|(mr, _)| *mr == r).expect("prebuilt r").1
+}
+
+fn efsm() -> &'static Efsm {
+    static EFSM: OnceLock<Efsm> = OnceLock::new();
+    EFSM.get_or_init(commit_efsm)
+}
+
+/// Drives all three engines with the same messages, checking actions and
+/// completion agree after every delivery.
+fn check_equivalence(r: u32, messages: &[usize]) {
+    let config = CommitConfig::new(r).unwrap();
+    let mut fsm = FsmInstance::new(machine(r));
+    let mut reference = ReferenceCommit::new(config);
+    let mut efsm_i = commit_efsm_instance(efsm(), &config);
+    for (step, &mi) in messages.iter().enumerate() {
+        let name = MESSAGE_NAMES[mi % MESSAGE_NAMES.len()];
+        let a_fsm = fsm.deliver(name).unwrap();
+        let a_ref = reference.deliver(name).unwrap();
+        let a_efsm = efsm_i.deliver(name).unwrap();
+        assert_eq!(
+            a_fsm, a_ref,
+            "r={r} step {step} ({name}): FSM {a_fsm:?} vs reference {a_ref:?} \
+             (fsm state {}, ref state {})",
+            fsm.state_name(),
+            reference.state_name()
+        );
+        assert_eq!(
+            a_fsm, a_efsm,
+            "r={r} step {step} ({name}): FSM {a_fsm:?} vs EFSM {a_efsm:?} \
+             (fsm state {}, efsm state {})",
+            fsm.state_name(),
+            efsm_i.state_name()
+        );
+        assert_eq!(fsm.is_finished(), reference.is_finished(), "r={r} step {step} ({name})");
+        assert_eq!(fsm.is_finished(), efsm_i.is_finished(), "r={r} step {step} ({name})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn trace_equivalence_r4(messages in prop::collection::vec(0usize..5, 0..80)) {
+        check_equivalence(4, &messages);
+    }
+
+    #[test]
+    fn trace_equivalence_r7(messages in prop::collection::vec(0usize..5, 0..120)) {
+        check_equivalence(7, &messages);
+    }
+
+    #[test]
+    fn trace_equivalence_r13(messages in prop::collection::vec(0usize..5, 0..200)) {
+        check_equivalence(13, &messages);
+    }
+}
+
+/// Exhaustive equivalence over all short message sequences for r = 4:
+/// every sequence of up to 6 messages (5^6 = 15625 sequences).
+#[test]
+fn exhaustive_short_traces_r4() {
+    let mut sequence = Vec::new();
+    fn recurse(sequence: &mut Vec<usize>, depth: usize) {
+        check_equivalence(4, sequence);
+        if depth == 0 {
+            return;
+        }
+        for m in 0..5 {
+            sequence.push(m);
+            recurse(sequence, depth - 1);
+            sequence.pop();
+        }
+    }
+    recurse(&mut sequence, 6);
+}
+
+/// A canonical happy-path trace: update, two votes, two commits.
+#[test]
+fn canonical_commit_trace() {
+    let config = CommitConfig::new(4).unwrap();
+    let mut fsm = FsmInstance::new(machine(4));
+    let mut reference = ReferenceCommit::new(config);
+    for name in ["update", "vote", "vote", "commit", "commit"] {
+        let a = fsm.deliver(name).unwrap();
+        let b = reference.deliver(name).unwrap();
+        assert_eq!(a, b);
+    }
+    assert!(fsm.is_finished());
+    assert!(reference.is_finished());
+}

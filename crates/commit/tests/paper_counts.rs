@@ -1,0 +1,141 @@
+//! Oracle tests: the generation pipeline must reproduce every state count
+//! the paper reports (§3.4, Figs 12/13, Table 1, §5.3).
+
+use stategen_commit::{commit_efsm, CommitConfig, CommitModel};
+use stategen_core::{generate, generate_with, validate_machine, GenerateOptions, MergeStrategy};
+
+/// Paper Table 1: f, r, initial states, final states.
+const TABLE1: [(u32, u32, u64, usize); 5] = [
+    (1, 4, 512, 33),
+    (2, 7, 1568, 85),
+    (4, 13, 5408, 261),
+    (8, 25, 20000, 901),
+    (15, 46, 67712, 2945),
+];
+
+#[test]
+fn table1_state_counts() {
+    for (f, r, initial, final_states) in TABLE1 {
+        let config = CommitConfig::new(r).expect("valid r");
+        assert_eq!(config.max_faulty(), f, "f for r={r}");
+        let g = generate(&CommitModel::new(config)).expect("generation succeeds");
+        assert_eq!(g.report.initial_states, initial, "initial states for r={r}");
+        assert_eq!(g.report.final_states, final_states, "final states for r={r}");
+    }
+}
+
+/// Paper §3.4 / Figs 12–13: for r = 4, pruning reduces 512 states to 48
+/// and combining equivalent states reduces 48 to 33.
+#[test]
+fn fig12_fig13_pipeline_counts_r4() {
+    let g = generate(&CommitModel::new(CommitConfig::new(4).unwrap())).unwrap();
+    assert_eq!(g.report.initial_states, 512);
+    assert_eq!(g.report.reachable_states, 48);
+    assert_eq!(g.report.final_states, 33);
+}
+
+/// Paper §3.1 characterises the r = 4 FSM as "33 states with 3-4
+/// transitions from each". That description fits the authors' original
+/// hand diagram; in the generated machine the out-degree ranges 1–4
+/// (corner states with exhausted counters and a sent vote accept fewer
+/// messages) with at least half the states at 3–4, and every message not
+/// listed is simply inapplicable.
+#[test]
+fn fig3_transition_degree_r4() {
+    let g = generate(&CommitModel::new(CommitConfig::new(4).unwrap())).unwrap();
+    let mut with_3_or_4 = 0usize;
+    let mut active = 0usize;
+    for state in g.machine.states() {
+        let n = state.transition_count();
+        if state.role() == stategen_core::StateRole::Finish {
+            assert_eq!(n, 0);
+            continue;
+        }
+        active += 1;
+        assert!(
+            (1..=4).contains(&n),
+            "state {} has {} transitions, expected 1-4",
+            state.name(),
+            n
+        );
+        if (3..=4).contains(&n) {
+            with_3_or_4 += 1;
+        }
+    }
+    assert_eq!(active, 32);
+    assert!(with_3_or_4 * 2 >= active, "only {with_3_or_4} of {active} states have 3-4 transitions");
+}
+
+/// Every generated family member passes structural validation.
+#[test]
+fn generated_machines_validate() {
+    for r in [4u32, 7, 13] {
+        let g = generate(&CommitModel::new(CommitConfig::new(r).unwrap())).unwrap();
+        let report = validate_machine(&g.machine);
+        assert!(report.is_valid(), "r={r}: {:?}", report.issues);
+        assert_eq!(report.issues.len(), 0, "r={r}: {:?}", report.issues);
+    }
+}
+
+/// The merged machine still has exactly one final state, and the merge is
+/// idempotent.
+#[test]
+fn merge_is_idempotent() {
+    let g = generate(&CommitModel::new(CommitConfig::new(4).unwrap())).unwrap();
+    assert!(g.machine.unique_final().is_some());
+    let (again, _rounds) =
+        stategen_core::merge_equivalent_states(&g.machine, MergeStrategy::ToFixpoint);
+    assert_eq!(again.state_count(), g.machine.state_count());
+}
+
+/// Without merging, the machine is the 48-state pruned machine; without
+/// pruning, the full 512-state product survives.
+#[test]
+fn pipeline_stage_options() {
+    let model = CommitModel::new(CommitConfig::new(4).unwrap());
+    let no_merge = GenerateOptions { merge: MergeStrategy::None, ..Default::default() };
+    let g = generate_with(&model, &no_merge).unwrap();
+    assert_eq!(g.machine.state_count(), 48);
+
+    let no_prune = GenerateOptions {
+        prune: false,
+        merge: MergeStrategy::None,
+        ..Default::default()
+    };
+    let g = generate_with(&model, &no_prune).unwrap();
+    assert_eq!(g.machine.state_count(), 512);
+}
+
+/// Single-pass merging is enough to collapse the 16 completed states of
+/// the r = 4 machine (they are directly equivalent), but fixpoint merging
+/// is the default because equivalences can cascade.
+#[test]
+fn single_pass_merges_finals() {
+    let model = CommitModel::new(CommitConfig::new(4).unwrap());
+    let single = GenerateOptions { merge: MergeStrategy::SinglePass, ..Default::default() };
+    let g = generate_with(&model, &single).unwrap();
+    assert!(g.machine.final_state_ids().len() == 1, "finals merged in one pass");
+}
+
+/// Paper §5.3: the EFSM has 9 states for every replication factor.
+#[test]
+fn efsm_has_nine_states() {
+    assert_eq!(commit_efsm().state_count(), 9);
+}
+
+/// The initial state space is 2^5 * r^2 (paper §3.4).
+#[test]
+fn initial_space_formula() {
+    for r in [4u32, 7, 13, 25, 46] {
+        let g = generate(&CommitModel::new(CommitConfig::new(r).unwrap())).unwrap();
+        assert_eq!(g.report.initial_states, 32 * u64::from(r) * u64::from(r));
+    }
+}
+
+/// The paper's Fig 14 state survives pruning and merging as its own state.
+#[test]
+fn fig14_state_survives() {
+    let g = generate(&CommitModel::new(CommitConfig::new(4).unwrap())).unwrap();
+    let (_, state) = g.machine.state_by_name("T/2/F/0/F/F/F").expect("state exists");
+    assert_eq!(state.transition_count(), 3); // VOTE, COMMIT, FREE
+}

@@ -1,0 +1,198 @@
+//! Error types for the generative state-machine toolkit.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error constructing a [`StateSpace`](crate::StateSpace) from component
+/// declarations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// No components were supplied; a state space must be non-empty.
+    Empty,
+    /// Two components share the same name.
+    DuplicateComponent(String),
+    /// A component name is empty or contains the `/` separator used in
+    /// rendered state names.
+    InvalidComponentName(String),
+    /// The product of component cardinalities exceeds the supported maximum
+    /// (`u32::MAX` states).
+    TooManyStates(u128),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Empty => write!(f, "state space has no components"),
+            SchemaError::DuplicateComponent(name) => {
+                write!(f, "duplicate state component name `{name}`")
+            }
+            SchemaError::InvalidComponentName(name) => {
+                write!(f, "invalid state component name `{name}`")
+            }
+            SchemaError::TooManyStates(n) => {
+                write!(f, "state space of {n} states exceeds the supported maximum")
+            }
+        }
+    }
+}
+
+impl Error for SchemaError {}
+
+/// An error raised while executing an abstract model to generate a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The model declared no messages.
+    NoMessages,
+    /// The model declared two messages with the same name.
+    DuplicateMessage(String),
+    /// The schema supplied by the model was invalid.
+    Schema(SchemaError),
+    /// A state vector produced by the model does not fit the declared
+    /// state space (wrong arity or out-of-range component value).
+    InvalidVector {
+        /// Description of the offending vector.
+        vector: String,
+        /// Which step produced it.
+        context: &'static str,
+    },
+    /// The start state declared by the model is not inside the state space.
+    InvalidStart(String),
+    /// Pruning removed every state (the start state was invalid).
+    EmptyMachine,
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::NoMessages => write!(f, "abstract model declares no messages"),
+            GenerateError::DuplicateMessage(name) => {
+                write!(f, "duplicate message name `{name}`")
+            }
+            GenerateError::Schema(e) => write!(f, "invalid state space: {e}"),
+            GenerateError::InvalidVector { vector, context } => {
+                write!(f, "model produced state vector {vector} outside the state space during {context}")
+            }
+            GenerateError::InvalidStart(name) => {
+                write!(f, "start state {name} is outside the state space")
+            }
+            GenerateError::EmptyMachine => write!(f, "generated machine has no states"),
+        }
+    }
+}
+
+impl Error for GenerateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GenerateError::Schema(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemaError> for GenerateError {
+    fn from(e: SchemaError) -> Self {
+        GenerateError::Schema(e)
+    }
+}
+
+/// An error raised when driving a machine interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The message name is not one of the machine's declared messages.
+    UnknownMessage(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UnknownMessage(name) => {
+                write!(f, "message `{name}` is not declared by this machine")
+            }
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// An error raised when parsing a rendered state name back into a vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNameError {
+    /// The name has a different number of `/`-separated fields than the
+    /// state space has components.
+    WrongArity {
+        /// Fields found in the name.
+        found: usize,
+        /// Components in the state space.
+        expected: usize,
+    },
+    /// A field could not be parsed for its component kind.
+    BadField {
+        /// Index of the offending field.
+        index: usize,
+        /// The raw field text.
+        text: String,
+    },
+    /// A parsed integer exceeds the component's maximum.
+    OutOfRange {
+        /// Index of the offending field.
+        index: usize,
+        /// Parsed value.
+        value: u32,
+        /// Component maximum.
+        max: u32,
+    },
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNameError::WrongArity { found, expected } => {
+                write!(f, "state name has {found} fields, expected {expected}")
+            }
+            ParseNameError::BadField { index, text } => {
+                write!(f, "field {index} (`{text}`) cannot be parsed")
+            }
+            ParseNameError::OutOfRange { index, value, max } => {
+                write!(f, "field {index} value {value} exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl Error for ParseNameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_error_display() {
+        assert_eq!(
+            SchemaError::DuplicateComponent("votes".into()).to_string(),
+            "duplicate state component name `votes`"
+        );
+        assert_eq!(SchemaError::Empty.to_string(), "state space has no components");
+    }
+
+    #[test]
+    fn generate_error_display_and_source() {
+        let e = GenerateError::from(SchemaError::Empty);
+        assert!(e.to_string().contains("invalid state space"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&GenerateError::NoMessages).is_none());
+    }
+
+    #[test]
+    fn interp_error_display() {
+        assert_eq!(
+            InterpError::UnknownMessage("zap".into()).to_string(),
+            "message `zap` is not declared by this machine"
+        );
+    }
+
+    #[test]
+    fn parse_name_error_display() {
+        let e = ParseNameError::WrongArity { found: 3, expected: 7 };
+        assert_eq!(e.to_string(), "state name has 3 fields, expected 7");
+    }
+}

@@ -1,0 +1,801 @@
+//! The generation engine: executes an [`AbstractModel`] to produce one
+//! member of its FSM family.
+//!
+//! The pipeline follows paper §3.4 exactly:
+//!
+//! 1. **enumerate** — build representations of all possible states (the
+//!    full component product, e.g. 512 states for the commit protocol at
+//!    replication factor 4);
+//! 2. **transitions** — for each state, elaborate the effect of every
+//!    message via [`AbstractModel::transition`] and record the resulting
+//!    transitions and actions; states where the protocol has completed
+//!    ([`AbstractModel::is_final_state`]) process no messages;
+//! 3. **prune** — remove states unreachable from the start state
+//!    (512 → 48 for the commit protocol at r = 4);
+//! 4. **merge** — combine equivalent states, i.e. states whose outgoing
+//!    transitions perform the same actions and lead to the same target
+//!    (48 → 33 at r = 4; in particular all completed states — which have
+//!    no outgoing transitions — merge into the single conceptual finish
+//!    state).
+//!
+//! The engine reports per-stage counts and timings in a
+//! [`GenerationReport`], which is the data behind the paper's Table 1.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use crate::component::StateVector;
+use crate::error::GenerateError;
+use crate::machine::{Action, MessageId, State, StateId, StateMachine, StateRole, Transition};
+use crate::model::{AbstractModel, Outcome};
+
+/// How aggressively equivalent states are combined (paper §3.4 step 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeStrategy {
+    /// Do not merge.
+    None,
+    /// A single grouping pass over the states.
+    SinglePass,
+    /// Repeat grouping until a fixpoint is reached (states merged in one
+    /// round can make further states equivalent in the next).
+    #[default]
+    ToFixpoint,
+}
+
+/// Options controlling the generation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateOptions {
+    /// Run the reachability pruning step (paper step 3). Default `true`.
+    pub prune: bool,
+    /// Equivalent-state merging strategy (paper step 4).
+    pub merge: MergeStrategy,
+    /// Record transitions that neither change state nor perform actions.
+    /// The paper's generator omits them (a message with no effect is simply
+    /// not applicable in that state). Default `false`.
+    pub keep_self_loops: bool,
+    /// Attach per-state commentary from
+    /// [`AbstractModel::describe_state`] to the surviving states.
+    /// Default `true`.
+    pub annotate_states: bool,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> Self {
+        GenerateOptions {
+            prune: true,
+            merge: MergeStrategy::ToFixpoint,
+            keep_self_loops: false,
+            annotate_states: true,
+        }
+    }
+}
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Step 1: enumerating the state space.
+    pub enumerate: Duration,
+    /// Step 2: elaborating transitions for every (state, message) pair.
+    pub transitions: Duration,
+    /// Step 3: reachability pruning.
+    pub prune: Duration,
+    /// Step 4: equivalent-state merging.
+    pub merge: Duration,
+    /// Attaching generated documentation to surviving states.
+    pub annotate: Duration,
+}
+
+/// Counts and timings from one run of the generation pipeline — the data
+/// behind the paper's Table 1 and Figs 12/13.
+#[derive(Debug, Clone)]
+pub struct GenerationReport {
+    /// Name of the generated machine.
+    pub machine_name: String,
+    /// States in the full component product (Table 1 "initial states").
+    pub initial_states: u64,
+    /// `(state, message)` pairs elaborated in step 2 (final states are
+    /// not elaborated).
+    pub elaborations: u64,
+    /// Transitions recorded in step 2 (excludes ignored messages and,
+    /// unless configured otherwise, no-op self loops).
+    pub transitions_recorded: u64,
+    /// `(state, message)` pairs the model declared not applicable.
+    pub ignored: u64,
+    /// No-op self loops dropped by the engine.
+    pub self_loops_dropped: u64,
+    /// States surviving reachability pruning (48 for the commit protocol
+    /// at r = 4, paper Fig 12).
+    pub reachable_states: usize,
+    /// States after equivalent-state merging (Table 1 "final states";
+    /// 33 for the commit protocol at r = 4).
+    pub final_states: usize,
+    /// Grouping rounds performed by the merge step (including the final
+    /// pass that confirms the fixpoint).
+    pub merge_rounds: usize,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Total wall-clock generation time (Table 1 "generation time").
+    pub total: Duration,
+}
+
+/// A generated machine together with its generation report.
+#[derive(Debug, Clone)]
+pub struct GeneratedMachine {
+    /// The generated finite state machine.
+    pub machine: StateMachine,
+    /// Pipeline statistics.
+    pub report: GenerationReport,
+}
+
+#[derive(Debug, Clone)]
+struct RawTransition {
+    target: u64,
+    actions: Vec<Action>,
+    annotations: Vec<String>,
+}
+
+/// Executes `model` with default [`GenerateOptions`].
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if the model's schema, messages, start state
+/// or produced vectors are malformed.
+///
+/// # Examples
+///
+/// ```
+/// use stategen_core::{generate, AbstractModel, Outcome, StateComponent,
+///     StateSpace, StateVector};
+///
+/// struct Count3;
+/// impl AbstractModel for Count3 {
+///     fn machine_name(&self) -> String { "count3".into() }
+///     fn state_space(&self) -> Result<StateSpace, stategen_core::SchemaError> {
+///         StateSpace::new(vec![StateComponent::int("n", 3)])
+///     }
+///     fn messages(&self) -> Vec<String> { vec!["tick".into()] }
+///     fn start_state(&self) -> StateVector {
+///         self.state_space().unwrap().zero_vector()
+///     }
+///     fn transition(&self, s: &StateVector, _m: &str) -> Outcome {
+///         let mut t = s.clone();
+///         t.set(0, s.get(0) + 1);
+///         Outcome::to(t, vec![])
+///     }
+///     fn is_final_state(&self, s: &StateVector) -> bool { s.get(0) == 3 }
+/// }
+///
+/// let generated = generate(&Count3)?;
+/// assert_eq!(generated.report.initial_states, 4);
+/// assert_eq!(generated.machine.final_state_ids().len(), 1);
+/// # Ok::<(), stategen_core::GenerateError>(())
+/// ```
+pub fn generate(model: &dyn AbstractModel) -> Result<GeneratedMachine, GenerateError> {
+    generate_with(model, &GenerateOptions::default())
+}
+
+/// Executes `model` with explicit options.
+///
+/// # Errors
+///
+/// As for [`generate`].
+pub fn generate_with(
+    model: &dyn AbstractModel,
+    options: &GenerateOptions,
+) -> Result<GeneratedMachine, GenerateError> {
+    let overall = Instant::now();
+    let mut timings = StageTimings::default();
+
+    // -- Validate the model interface. ------------------------------------
+    let space = model.state_space()?;
+    let messages = model.messages();
+    if messages.is_empty() {
+        return Err(GenerateError::NoMessages);
+    }
+    assert!(messages.len() <= usize::from(u16::MAX), "too many messages");
+    for (i, m) in messages.iter().enumerate() {
+        if messages[..i].contains(m) {
+            return Err(GenerateError::DuplicateMessage(m.clone()));
+        }
+    }
+    let start_vector = model.start_state();
+    if !space.contains(&start_vector) {
+        return Err(GenerateError::InvalidStart(format!("{start_vector}")));
+    }
+
+    // -- Step 1: enumerate all possible states. ---------------------------
+    let stage = Instant::now();
+    let state_count = space.state_count();
+    let n = state_count as usize;
+    let vectors: Vec<StateVector> = space.iter().collect();
+    let finals: Vec<bool> = vectors.iter().map(|v| model.is_final_state(v)).collect();
+    timings.enumerate = stage.elapsed();
+
+    // -- Step 2: elaborate transitions for every (state, message). --------
+    let stage = Instant::now();
+    let mut raw: Vec<Vec<Option<RawTransition>>> = vec![Vec::new(); n];
+    let mut elaborations = 0u64;
+    let mut transitions_recorded = 0u64;
+    let mut ignored = 0u64;
+    let mut self_loops_dropped = 0u64;
+    for (code, vector) in vectors.iter().enumerate() {
+        if finals[code] {
+            // A completed instance processes no further messages.
+            continue;
+        }
+        let mut row: Vec<Option<RawTransition>> = Vec::with_capacity(messages.len());
+        for message in &messages {
+            elaborations += 1;
+            let outcome = model.transition(vector, message);
+            let slot = match outcome {
+                Outcome::Ignored => {
+                    ignored += 1;
+                    None
+                }
+                Outcome::Transition(spec) => {
+                    if !space.contains(&spec.target) {
+                        return Err(GenerateError::InvalidVector {
+                            vector: format!("{}", spec.target),
+                            context: "transition elaboration",
+                        });
+                    }
+                    if spec.target == *vector
+                        && spec.actions.is_empty()
+                        && !options.keep_self_loops
+                    {
+                        self_loops_dropped += 1;
+                        None
+                    } else {
+                        transitions_recorded += 1;
+                        Some(RawTransition {
+                            target: space.encode(&spec.target),
+                            actions: spec.actions,
+                            annotations: spec.annotations,
+                        })
+                    }
+                }
+            };
+            row.push(slot);
+        }
+        raw[code] = row;
+    }
+    timings.transitions = stage.elapsed();
+
+    // -- Step 3: prune unreachable states. --------------------------------
+    let stage = Instant::now();
+    let start_code = space.encode(&start_vector);
+    let kept_codes = if options.prune {
+        reachable_from(&raw, start_code)
+    } else {
+        (0..state_count).collect()
+    };
+    timings.prune = stage.elapsed();
+
+    // -- Materialise the (pruned) machine. --------------------------------
+    let mut code_to_id: BTreeMap<u64, StateId> = BTreeMap::new();
+    for (i, &code) in kept_codes.iter().enumerate() {
+        code_to_id.insert(code, StateId(i as u32));
+    }
+    let mut states: Vec<State> = Vec::with_capacity(kept_codes.len());
+    for &code in &kept_codes {
+        let vector = &vectors[code as usize];
+        let role = if finals[code as usize] { StateRole::Finish } else { StateRole::Normal };
+        states.push(State::new(space.name_of(vector), Some(vector.clone()), role, Vec::new()));
+    }
+    for (i, &code) in kept_codes.iter().enumerate() {
+        for (mid, slot) in raw[code as usize].iter().enumerate() {
+            let Some(rt) = slot else { continue };
+            let target = code_to_id[&rt.target];
+            states[i].insert_transition(
+                MessageId(mid as u16),
+                Transition::new(target, rt.actions.clone(), rt.annotations.clone()),
+            );
+        }
+    }
+    let start_id = *code_to_id.get(&start_code).ok_or(GenerateError::EmptyMachine)?;
+    let machine =
+        StateMachine::from_parts(model.machine_name(), messages.clone(), states, start_id);
+    let reachable_states = machine.state_count();
+
+    // -- Step 4: combine equivalent states. -------------------------------
+    let stage = Instant::now();
+    let (mut machine, merge_rounds) = match options.merge {
+        MergeStrategy::None => (machine, 0),
+        strategy => merge_equivalent_states(&machine, strategy),
+    };
+    timings.merge = stage.elapsed();
+    let final_states = machine.state_count();
+
+    // -- Attach generated documentation (paper footnote 3). ---------------
+    let stage = Instant::now();
+    if options.annotate_states {
+        machine = annotate_states(machine, model);
+    }
+    timings.annotate = stage.elapsed();
+
+    let report = GenerationReport {
+        machine_name: machine.name().to_string(),
+        initial_states: state_count,
+        elaborations,
+        transitions_recorded,
+        ignored,
+        self_loops_dropped,
+        reachable_states,
+        final_states,
+        merge_rounds,
+        timings,
+        total: overall.elapsed(),
+    };
+    Ok(GeneratedMachine { machine, report })
+}
+
+/// BFS over the raw transition table; returns the sorted list of reachable
+/// state codes.
+fn reachable_from(raw: &[Vec<Option<RawTransition>>], start: u64) -> Vec<u64> {
+    let mut seen = vec![false; raw.len()];
+    let mut queue = VecDeque::new();
+    seen[start as usize] = true;
+    queue.push_back(start);
+    while let Some(code) = queue.pop_front() {
+        for slot in &raw[code as usize] {
+            let Some(rt) = slot else { continue };
+            if !seen[rt.target as usize] {
+                seen[rt.target as usize] = true;
+                queue.push_back(rt.target);
+            }
+        }
+    }
+    seen.iter().enumerate().filter_map(|(c, &s)| s.then_some(c as u64)).collect()
+}
+
+/// Removes states unreachable from the start state (paper §3.4 step 3),
+/// returning the pruned machine.
+///
+/// This is the standalone form used on hand-built machines; the generation
+/// pipeline prunes on its internal representation before materialising.
+pub fn prune_unreachable(machine: &StateMachine) -> StateMachine {
+    let mut seen = vec![false; machine.state_count()];
+    let mut queue = VecDeque::new();
+    seen[machine.start().index()] = true;
+    queue.push_back(machine.start());
+    while let Some(id) = queue.pop_front() {
+        for (_m, t) in machine.state(id).transitions() {
+            if !seen[t.target().index()] {
+                seen[t.target().index()] = true;
+                queue.push_back(t.target());
+            }
+        }
+    }
+    let mut remap: Vec<Option<StateId>> = vec![None; machine.state_count()];
+    let mut next = 0u32;
+    for (i, &kept) in seen.iter().enumerate() {
+        if kept {
+            remap[i] = Some(StateId(next));
+            next += 1;
+        }
+    }
+    let mut states = Vec::with_capacity(next as usize);
+    for (id, state) in machine.states_with_ids() {
+        if !seen[id.index()] {
+            continue;
+        }
+        let mut new_state = State::new(
+            state.name(),
+            state.vector().cloned(),
+            state.role(),
+            state.annotations().to_vec(),
+        );
+        for (mid, t) in state.transitions() {
+            let target = remap[t.target().index()]
+                .expect("transition from reachable state must point to reachable state");
+            new_state.insert_transition(
+                mid,
+                Transition::new(target, t.actions().to_vec(), t.annotations().to_vec()),
+            );
+        }
+        states.push(new_state);
+    }
+    let start = remap[machine.start().index()].expect("start state is reachable");
+    StateMachine::from_parts(
+        machine.name().to_string(),
+        machine.messages().to_vec(),
+        states,
+        start,
+    )
+}
+
+/// Combines equivalent states (paper §3.4 step 4): states are equivalent
+/// when their outgoing transitions fire on the same messages, perform the
+/// same actions and lead to the same destination. With
+/// [`MergeStrategy::ToFixpoint`], destinations are compared up to the
+/// equivalence computed so far and grouping repeats until stable.
+///
+/// Returns the merged machine and the number of grouping rounds performed
+/// (including the final pass that confirms the fixpoint). The
+/// representative (and name) of each merged group is its lowest-numbered
+/// member. Completed states only merge with completed states.
+pub fn merge_equivalent_states(
+    machine: &StateMachine,
+    strategy: MergeStrategy,
+) -> (StateMachine, usize) {
+    if matches!(strategy, MergeStrategy::None) {
+        return (machine.clone(), 0);
+    }
+    let n = machine.state_count();
+    // class[i] = lowest state index in i's equivalence group.
+    let mut class: Vec<u32> = (0..n as u32).collect();
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        // Signature: per-message (action list, target class) plus a
+        // pseudo-entry encoding the role, so finish states only group with
+        // finish states.
+        let mut groups: BTreeMap<Vec<(u16, Vec<&str>, u32)>, Vec<u32>> = BTreeMap::new();
+        for (id, state) in machine.states_with_ids() {
+            let mut sig: Vec<(u16, Vec<&str>, u32)> = state
+                .transitions()
+                .map(|(m, t)| {
+                    (
+                        m.0,
+                        t.actions().iter().map(Action::message).collect(),
+                        class[t.target().index()],
+                    )
+                })
+                .collect();
+            let role_tag = match state.role() {
+                StateRole::Normal => 0,
+                StateRole::Finish => 1,
+            };
+            sig.push((u16::MAX, Vec::new(), role_tag));
+            groups.entry(sig).or_default().push(id.0);
+        }
+        let mut next_class = class.clone();
+        for members in groups.values() {
+            let rep = *members.iter().min().expect("group is non-empty");
+            for &m in members {
+                next_class[m as usize] = rep;
+            }
+        }
+        let changed = next_class != class;
+        class = next_class;
+        if matches!(strategy, MergeStrategy::SinglePass) || !changed {
+            break;
+        }
+    }
+    // Materialise one state per class, ordered by representative index.
+    let mut reps: Vec<u32> = class.clone();
+    reps.sort_unstable();
+    reps.dedup();
+    let mut rep_to_new: BTreeMap<u32, StateId> = BTreeMap::new();
+    for (i, &rep) in reps.iter().enumerate() {
+        rep_to_new.insert(rep, StateId(i as u32));
+    }
+    let mut states = Vec::with_capacity(reps.len());
+    for &rep in &reps {
+        let old = machine.state(StateId(rep));
+        let mut new_state = State::new(
+            old.name(),
+            old.vector().cloned(),
+            old.role(),
+            old.annotations().to_vec(),
+        );
+        for (mid, t) in old.transitions() {
+            let target = rep_to_new[&class[t.target().index()]];
+            new_state.insert_transition(
+                mid,
+                Transition::new(target, t.actions().to_vec(), t.annotations().to_vec()),
+            );
+        }
+        states.push(new_state);
+    }
+    let start = rep_to_new[&class[machine.start().index()]];
+    let merged = StateMachine::from_parts(
+        machine.name().to_string(),
+        machine.messages().to_vec(),
+        states,
+        start,
+    );
+    (merged, rounds)
+}
+
+/// Attaches [`AbstractModel::describe_state`] commentary to every surviving
+/// state that has an underlying vector.
+fn annotate_states(machine: StateMachine, model: &dyn AbstractModel) -> StateMachine {
+    let mut states = Vec::with_capacity(machine.state_count());
+    for state in machine.states() {
+        let annotations = match state.vector() {
+            Some(v) => model.describe_state(v),
+            None => state.annotations().to_vec(),
+        };
+        let mut new_state =
+            State::new(state.name(), state.vector().cloned(), state.role(), annotations);
+        for (mid, t) in state.transitions() {
+            new_state.insert_transition(mid, t.clone());
+        }
+        states.push(new_state);
+    }
+    StateMachine::from_parts(
+        machine.name().to_string(),
+        machine.messages().to_vec(),
+        states,
+        machine.start(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{StateComponent, StateSpace};
+
+    /// Counter that completes at `max` and emits a "fire" action at
+    /// `threshold` (a miniature phase transition).
+    struct ThresholdCounter {
+        max: u32,
+        threshold: u32,
+    }
+
+    impl AbstractModel for ThresholdCounter {
+        fn machine_name(&self) -> String {
+            format!("threshold@{}/{}", self.threshold, self.max)
+        }
+
+        fn state_space(&self) -> Result<StateSpace, crate::SchemaError> {
+            StateSpace::new(vec![
+                StateComponent::int("n", self.max),
+                StateComponent::boolean("fired"),
+            ])
+        }
+
+        fn messages(&self) -> Vec<String> {
+            vec!["tick".into(), "noop".into()]
+        }
+
+        fn start_state(&self) -> StateVector {
+            self.state_space().expect("schema").zero_vector()
+        }
+
+        fn transition(&self, state: &StateVector, message: &str) -> Outcome {
+            match message {
+                "noop" => Outcome::to(state.clone(), vec![]),
+                "tick" => {
+                    let mut t = state.clone();
+                    t.set(0, state.get(0) + 1);
+                    let mut actions = Vec::new();
+                    if t.get(0) == self.threshold && !t.flag(1) {
+                        t.set_flag(1, true);
+                        actions.push(Action::send("fire"));
+                    }
+                    Outcome::to(t, actions)
+                }
+                other => panic!("unknown message {other}"),
+            }
+        }
+
+        fn is_final_state(&self, state: &StateVector) -> bool {
+            state.get(0) == self.max
+        }
+    }
+
+    #[test]
+    fn pipeline_counts() {
+        let model = ThresholdCounter { max: 3, threshold: 2 };
+        let g = generate(&model).expect("generate");
+        // 4 counter values x 2 flag values.
+        assert_eq!(g.report.initial_states, 8);
+        // Final states (n == 3, either flag) are not elaborated.
+        assert_eq!(g.report.elaborations, 12);
+        // Reachable: (0,F) (1,F) (2,T) (3,T).
+        assert_eq!(g.report.reachable_states, 4);
+        // No two distinct reachable states are equivalent here.
+        assert_eq!(g.report.final_states, 4);
+        assert_eq!(g.machine.final_state_ids().len(), 1);
+        // noop self-loops dropped for each of the 6 elaborated states.
+        assert_eq!(g.report.self_loops_dropped, 6);
+    }
+
+    #[test]
+    fn keep_self_loops_option() {
+        let model = ThresholdCounter { max: 3, threshold: 2 };
+        let options = GenerateOptions { keep_self_loops: true, ..Default::default() };
+        let g = generate_with(&model, &options).expect("generate");
+        assert_eq!(g.report.self_loops_dropped, 0);
+        let noop = g.machine.message_id("noop").unwrap();
+        assert!(g.machine.state(g.machine.start()).transition(noop).is_some());
+    }
+
+    #[test]
+    fn no_prune_keeps_full_space() {
+        let model = ThresholdCounter { max: 3, threshold: 2 };
+        let options = GenerateOptions {
+            prune: false,
+            merge: MergeStrategy::None,
+            ..Default::default()
+        };
+        let g = generate_with(&model, &options).expect("generate");
+        assert_eq!(g.machine.state_count(), 8);
+        // Both (3,F) and (3,T) are final in the unpruned machine.
+        assert_eq!(g.machine.final_state_ids().len(), 2);
+    }
+
+    #[test]
+    fn equivalent_finals_merge_to_one() {
+        let model = ThresholdCounter { max: 3, threshold: 2 };
+        let options = GenerateOptions { prune: false, ..Default::default() };
+        let g = generate_with(&model, &options).expect("generate");
+        // Merging combines the two final states even without pruning.
+        assert_eq!(g.machine.final_state_ids().len(), 1);
+        assert!(g.machine.unique_final().is_some());
+    }
+
+    #[test]
+    fn phase_transition_detected() {
+        let model = ThresholdCounter { max: 3, threshold: 2 };
+        let g = generate(&model).expect("generate");
+        assert_eq!(g.machine.phase_transition_count(), 1);
+        let tick = g.machine.message_id("tick").unwrap();
+        let s1 = g.machine.state(g.machine.start()).transition(tick).unwrap().target();
+        let t = g.machine.state(s1).transition(tick).unwrap();
+        assert_eq!(t.actions(), &[Action::send("fire")]);
+    }
+
+    #[test]
+    fn final_state_is_terminal() {
+        let model = ThresholdCounter { max: 3, threshold: 2 };
+        let g = generate(&model).expect("generate");
+        let finish = g.machine.unique_final().expect("unique final state");
+        let state = g.machine.state(finish);
+        assert_eq!(state.role(), StateRole::Finish);
+        assert_eq!(state.transition_count(), 0);
+        assert_eq!(state.name(), "3/T");
+    }
+
+    /// Two chains that do the same thing should merge into one under
+    /// fixpoint merging.
+    #[test]
+    fn merge_collapses_parallel_chains() {
+        use crate::machine::StateMachineBuilder;
+        let mut b = StateMachineBuilder::new("twin", ["go"]);
+        let s0 = b.add_state("s0");
+        let a1 = b.add_state("a1");
+        let b1 = b.add_state("b1");
+        let end = b.add_state("end");
+        // Two distinct intermediate states with identical behaviour.
+        b.add_transition(s0, "go", a1, vec![Action::send("x")]);
+        b.add_transition(a1, "go", end, vec![]);
+        b.add_transition(b1, "go", end, vec![]);
+        let m = b.build(s0);
+        let (merged, _rounds) = merge_equivalent_states(&m, MergeStrategy::ToFixpoint);
+        // a1 and b1 merge; s0 and end stay distinct.
+        assert_eq!(merged.state_count(), 3);
+    }
+
+    #[test]
+    fn merge_single_pass_weaker_than_fixpoint() {
+        use crate::machine::StateMachineBuilder;
+        // Chain pairs: (a2,b2) merge only after (a1,b1) merged.
+        let mut b = StateMachineBuilder::new("chain", ["go"]);
+        let s0 = b.add_state("s0");
+        let a2 = b.add_state("a2");
+        let b2 = b.add_state("b2");
+        let a1 = b.add_state("a1");
+        let b1 = b.add_state("b1");
+        let end = b.add_state("end");
+        b.add_transition(s0, "go", a2, vec![Action::send("x")]);
+        b.add_transition(a2, "go", a1, vec![]);
+        b.add_transition(b2, "go", b1, vec![]);
+        b.add_transition(a1, "go", end, vec![]);
+        b.add_transition(b1, "go", end, vec![]);
+        let m = b.build(s0);
+        let (single, _) = merge_equivalent_states(&m, MergeStrategy::SinglePass);
+        let (fix, _) = merge_equivalent_states(&m, MergeStrategy::ToFixpoint);
+        assert_eq!(single.state_count(), 5); // only (a1,b1) merged
+        assert_eq!(fix.state_count(), 4); // both pairs merged
+    }
+
+    #[test]
+    fn merge_respects_roles() {
+        use crate::machine::StateMachineBuilder;
+        // A dead-end normal state must not merge with a final state.
+        let mut b = StateMachineBuilder::new("roles", ["go"]);
+        let s0 = b.add_state("s0");
+        let dead = b.add_state("dead");
+        let fin = b.add_state_full("fin", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "go", dead, vec![]);
+        b.add_transition(dead, "go", fin, vec![]);
+        let m = b.build(s0);
+        let (merged, _) = merge_equivalent_states(&m, MergeStrategy::ToFixpoint);
+        assert_eq!(merged.state_count(), 3);
+    }
+
+    #[test]
+    fn prune_standalone() {
+        use crate::machine::StateMachineBuilder;
+        let mut b = StateMachineBuilder::new("m", ["go"]);
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let orphan = b.add_state("orphan");
+        b.add_transition(s0, "go", s1, vec![]);
+        b.add_transition(orphan, "go", s1, vec![]);
+        let m = b.build(s0);
+        let pruned = prune_unreachable(&m);
+        assert_eq!(pruned.state_count(), 2);
+        assert!(pruned.state_by_name("orphan").is_none());
+        assert_eq!(pruned.state(pruned.start()).name(), "s0");
+    }
+
+    #[test]
+    fn invalid_start_rejected() {
+        struct BadStart;
+        impl AbstractModel for BadStart {
+            fn machine_name(&self) -> String {
+                "bad".into()
+            }
+            fn state_space(&self) -> Result<StateSpace, crate::SchemaError> {
+                StateSpace::new(vec![StateComponent::int("n", 1)])
+            }
+            fn messages(&self) -> Vec<String> {
+                vec!["tick".into()]
+            }
+            fn start_state(&self) -> StateVector {
+                let mut v = self.state_space().unwrap().zero_vector();
+                v.set(0, 9); // out of range
+                v
+            }
+            fn transition(&self, s: &StateVector, _m: &str) -> Outcome {
+                Outcome::to(s.clone(), vec![])
+            }
+        }
+        assert!(matches!(generate(&BadStart), Err(GenerateError::InvalidStart(_))));
+    }
+
+    #[test]
+    fn invalid_target_rejected() {
+        struct BadTarget;
+        impl AbstractModel for BadTarget {
+            fn machine_name(&self) -> String {
+                "bad".into()
+            }
+            fn state_space(&self) -> Result<StateSpace, crate::SchemaError> {
+                StateSpace::new(vec![StateComponent::int("n", 1)])
+            }
+            fn messages(&self) -> Vec<String> {
+                vec!["tick".into()]
+            }
+            fn start_state(&self) -> StateVector {
+                self.state_space().unwrap().zero_vector()
+            }
+            fn transition(&self, s: &StateVector, _m: &str) -> Outcome {
+                let mut t = s.clone();
+                t.set(0, 9);
+                Outcome::to(t, vec![])
+            }
+        }
+        assert!(matches!(
+            generate(&BadTarget),
+            Err(GenerateError::InvalidVector { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_messages_rejected() {
+        struct DupMsg;
+        impl AbstractModel for DupMsg {
+            fn machine_name(&self) -> String {
+                "dup".into()
+            }
+            fn state_space(&self) -> Result<StateSpace, crate::SchemaError> {
+                StateSpace::new(vec![StateComponent::boolean("f")])
+            }
+            fn messages(&self) -> Vec<String> {
+                vec!["a".into(), "a".into()]
+            }
+            fn start_state(&self) -> StateVector {
+                self.state_space().unwrap().zero_vector()
+            }
+            fn transition(&self, s: &StateVector, _m: &str) -> Outcome {
+                Outcome::to(s.clone(), vec![])
+            }
+        }
+        assert!(matches!(generate(&DupMsg), Err(GenerateError::DuplicateMessage(_))));
+    }
+}

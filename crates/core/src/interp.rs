@@ -1,0 +1,196 @@
+//! Runtime interpreter for generated machines.
+//!
+//! The paper deploys FSMs by rendering them to source code (§3.5) — covered
+//! by the `stategen-render` and `stategen-generated` crates — but also
+//! discusses generating implementations *on the fly* (§4.2). [`FsmInstance`]
+//! covers that policy without a runtime compiler: it walks a generated
+//! [`StateMachine`] directly, one instance per ongoing protocol execution.
+
+use crate::error::InterpError;
+use crate::machine::{Action, MessageId, State, StateId, StateMachine, StateRole};
+
+/// A common interface over the different ways of executing a protocol
+/// (interpreted FSM, generated source code, hand-written algorithm, EFSM),
+/// used by the equivalence test-suites and the network simulator.
+pub trait ProtocolEngine {
+    /// Delivers `message`; returns the actions (outgoing messages)
+    /// triggered by it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::UnknownMessage`] if the message is not part
+    /// of the protocol alphabet. Messages that are valid but not applicable
+    /// in the current state are ignored (empty action list), matching the
+    /// generated code's behaviour of having no `case` arm for them.
+    fn deliver(&mut self, message: &str) -> Result<Vec<Action>, InterpError>;
+
+    /// `true` once the protocol instance has completed.
+    fn is_finished(&self) -> bool;
+
+    /// Display name of the current state.
+    fn state_name(&self) -> String;
+
+    /// Resets the engine to its start state.
+    fn reset(&mut self);
+}
+
+/// One executing instance of a generated [`StateMachine`].
+///
+/// # Examples
+///
+/// ```
+/// use stategen_core::{Action, FsmInstance, ProtocolEngine, StateMachineBuilder};
+///
+/// let mut b = StateMachineBuilder::new("ping", ["ping"]);
+/// let idle = b.add_state("idle");
+/// let done = b.add_state("done");
+/// b.add_transition(idle, "ping", done, vec![Action::send("pong")]);
+/// let machine = b.build(idle);
+///
+/// let mut fsm = FsmInstance::new(&machine);
+/// let actions = fsm.deliver("ping")?;
+/// assert_eq!(actions, vec![Action::send("pong")]);
+/// assert_eq!(fsm.state_name(), "done");
+/// # Ok::<(), stategen_core::InterpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FsmInstance<'m> {
+    machine: &'m StateMachine,
+    current: StateId,
+    steps: u64,
+}
+
+impl<'m> FsmInstance<'m> {
+    /// Creates an instance positioned at the machine's start state.
+    pub fn new(machine: &'m StateMachine) -> Self {
+        FsmInstance { machine, current: machine.start(), steps: 0 }
+    }
+
+    /// The machine this instance executes.
+    pub fn machine(&self) -> &'m StateMachine {
+        self.machine
+    }
+
+    /// The current state.
+    pub fn current(&self) -> &'m State {
+        self.machine.state(self.current)
+    }
+
+    /// The current state's id.
+    pub fn current_id(&self) -> StateId {
+        self.current
+    }
+
+    /// Number of transitions taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Delivers a message by id (avoids the name lookup of
+    /// [`ProtocolEngine::deliver`]); returns the triggered actions.
+    pub fn deliver_id(&mut self, message: MessageId) -> &[Action] {
+        if self.is_finished() {
+            return &[];
+        }
+        match self.machine.state(self.current).transition(message) {
+            Some(t) => {
+                self.current = t.target();
+                self.steps += 1;
+                t.actions()
+            }
+            None => &[],
+        }
+    }
+}
+
+impl ProtocolEngine for FsmInstance<'_> {
+    fn deliver(&mut self, message: &str) -> Result<Vec<Action>, InterpError> {
+        let id = self
+            .machine
+            .message_id(message)
+            .ok_or_else(|| InterpError::UnknownMessage(message.to_string()))?;
+        Ok(self.deliver_id(id).to_vec())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.machine.state(self.current).role() == StateRole::Finish
+    }
+
+    fn state_name(&self) -> String {
+        self.current().name().to_string()
+    }
+
+    fn reset(&mut self) {
+        self.current = self.machine.start();
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::StateMachineBuilder;
+
+    fn finishing_machine() -> StateMachine {
+        let mut b = StateMachineBuilder::new("m", ["a", "b"]);
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let fin = b.add_state_full("FINISHED", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "a", s1, vec![Action::send("x")]);
+        b.add_transition(s1, "a", fin, vec![]);
+        b.build(s0)
+    }
+
+    #[test]
+    fn walk_to_finish() {
+        let m = finishing_machine();
+        let mut i = FsmInstance::new(&m);
+        assert!(!i.is_finished());
+        assert_eq!(i.deliver("a").unwrap(), vec![Action::send("x")]);
+        assert_eq!(i.state_name(), "s1");
+        assert!(i.deliver("a").unwrap().is_empty());
+        assert!(i.is_finished());
+        assert_eq!(i.steps(), 2);
+    }
+
+    #[test]
+    fn inapplicable_message_ignored() {
+        let m = finishing_machine();
+        let mut i = FsmInstance::new(&m);
+        assert!(i.deliver("b").unwrap().is_empty());
+        assert_eq!(i.state_name(), "s0");
+        assert_eq!(i.steps(), 0);
+    }
+
+    #[test]
+    fn unknown_message_is_error() {
+        let m = finishing_machine();
+        let mut i = FsmInstance::new(&m);
+        assert_eq!(
+            i.deliver("zap"),
+            Err(InterpError::UnknownMessage("zap".to_string()))
+        );
+    }
+
+    #[test]
+    fn messages_after_finish_ignored() {
+        let m = finishing_machine();
+        let mut i = FsmInstance::new(&m);
+        i.deliver("a").unwrap();
+        i.deliver("a").unwrap();
+        assert!(i.is_finished());
+        assert!(i.deliver("a").unwrap().is_empty());
+        assert_eq!(i.state_name(), "FINISHED");
+        assert_eq!(i.steps(), 2);
+    }
+
+    #[test]
+    fn reset_returns_to_start() {
+        let m = finishing_machine();
+        let mut i = FsmInstance::new(&m);
+        i.deliver("a").unwrap();
+        i.reset();
+        assert_eq!(i.state_name(), "s0");
+        assert_eq!(i.steps(), 0);
+    }
+}

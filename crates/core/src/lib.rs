@@ -1,0 +1,88 @@
+//! # stategen-core
+//!
+//! Core of a generative state-machine toolkit, reproducing *"Design,
+//! Implementation and Deployment of State Machines Using a Generative
+//! Approach"* (Kirby, Dearle & Norcross, DSN 2007).
+//!
+//! A distributed algorithm whose state space depends on a parameter (such
+//! as the replication factor of a BFT commit protocol) cannot be expressed
+//! as a single finite state machine. Instead it is captured once as an
+//! [`AbstractModel`]; executing the model for a concrete parameter value
+//! (via [`generate`]) produces one member of a *family* of FSMs as a
+//! [`StateMachine`] value, from which renderers (see the `stategen-render`
+//! crate) produce diagrams, documentation and source-level protocol
+//! implementations.
+//!
+//! The generation pipeline follows the paper's four steps: enumerate all
+//! possible states, elaborate the transitions for every message, prune
+//! unreachable states, and combine equivalent states. Per-stage counts and
+//! timings are reported in a [`GenerationReport`].
+//!
+//! The crate also provides:
+//!
+//! * [`FsmInstance`] — a runtime interpreter for generated machines
+//!   (the paper's "generate on the fly" deployment policy, §4.2);
+//! * [`efsm`] — extended finite state machines, the intermediate points on
+//!   the paper's algorithm↔FSM spectrum (§3.2, §5.3);
+//! * [`validate_machine`] — structural validation of machines.
+//!
+//! ## Example
+//!
+//! ```
+//! use stategen_core::{generate, AbstractModel, Outcome,
+//!     StateComponent, StateSpace, StateVector};
+//!
+//! /// Waits for `quorum` acknowledgements, then completes.
+//! struct AckQuorum { quorum: u32 }
+//!
+//! impl AbstractModel for AckQuorum {
+//!     fn machine_name(&self) -> String { format!("acks@{}", self.quorum) }
+//!     fn state_space(&self) -> Result<StateSpace, stategen_core::SchemaError> {
+//!         StateSpace::new(vec![StateComponent::int("acks", self.quorum)])
+//!     }
+//!     fn messages(&self) -> Vec<String> { vec!["ack".into()] }
+//!     fn start_state(&self) -> StateVector {
+//!         self.state_space().unwrap().zero_vector()
+//!     }
+//!     fn transition(&self, s: &StateVector, _m: &str) -> Outcome {
+//!         let mut t = s.clone();
+//!         t.set(0, s.get(0) + 1);
+//!         Outcome::to(t, vec![])
+//!     }
+//!     fn is_final_state(&self, s: &StateVector) -> bool {
+//!         s.get(0) == self.quorum
+//!     }
+//! }
+//!
+//! let generated = generate(&AckQuorum { quorum: 3 })?;
+//! // acks ∈ {0,1,2,3}; the acks=3 state is final.
+//! assert_eq!(generated.machine.state_count(), 4);
+//! assert!(generated.machine.unique_final().is_some());
+//! # Ok::<(), stategen_core::GenerateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod efsm;
+pub mod error;
+pub mod generator;
+pub mod interp;
+pub mod machine;
+pub mod model;
+pub mod validate;
+
+pub use component::{ComponentKind, StateComponent, StateSpace, StateVector};
+pub use efsm::{Efsm, EfsmBuilder, EfsmInstance};
+pub use error::{GenerateError, InterpError, ParseNameError, SchemaError};
+pub use generator::{
+    generate, generate_with, merge_equivalent_states, prune_unreachable, GeneratedMachine,
+    GenerateOptions, GenerationReport, MergeStrategy, StageTimings,
+};
+pub use interp::{FsmInstance, ProtocolEngine};
+pub use machine::{
+    Action, MessageId, State, StateId, StateMachine, StateMachineBuilder, StateRole, Transition,
+};
+pub use model::{AbstractModel, Outcome, TransitionSpec};
+pub use validate::{missing_transitions, validate_machine, Severity, ValidationIssue, ValidationReport};

@@ -1,0 +1,160 @@
+//! The abstract-model interface.
+//!
+//! An [`AbstractModel`] captures the structure common to a whole *family*
+//! of finite state machines (paper §3.3–3.4): the shape of the state space,
+//! the message alphabet, and — crucially — the transition logic, i.e. what
+//! happens to a state when each message is received. Executing the model
+//! for a concrete parameter value (via [`generate`](crate::generate))
+//! yields one member of the family as a [`StateMachine`](crate::StateMachine).
+
+use crate::component::{StateSpace, StateVector};
+use crate::machine::Action;
+
+/// The result of elaborating one `(state, message)` pair at generation
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The message is not applicable in this state (the paper's
+    /// `InvalidStateException` path); no transition is recorded.
+    Ignored,
+    /// A transition to another point in the state space.
+    Transition(TransitionSpec),
+}
+
+impl Outcome {
+    /// Convenience constructor for a transition without annotations.
+    pub fn to(target: StateVector, actions: Vec<Action>) -> Self {
+        Outcome::Transition(TransitionSpec { target, actions, annotations: Vec::new() })
+    }
+}
+
+/// Target, actions and documentation for a transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionSpec {
+    /// The state reached after the message is processed.
+    pub target: StateVector,
+    /// Messages sent while processing (empty ⇒ simple transition,
+    /// non-empty ⇒ phase transition).
+    pub actions: Vec<Action>,
+    /// Automatically generated rationale for the transition (paper fn. 3).
+    pub annotations: Vec<String>,
+}
+
+/// A model of a family of finite state machines, executed at generation
+/// time to produce family members.
+///
+/// Implementations hold the family parameter(s) — e.g. the replication
+/// factor — as struct fields; `generate` interrogates the model for the
+/// state space, messages and per-state transition logic.
+pub trait AbstractModel {
+    /// A short name for the machine this model instance generates
+    /// (conventionally `<algorithm>@<parameter>=<value>`).
+    fn machine_name(&self) -> String;
+
+    /// The state-component schema (paper Fig 20).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError`](crate::SchemaError) if the component list is
+    /// malformed; `generate` propagates this as a
+    /// [`GenerateError`](crate::GenerateError).
+    fn state_space(&self) -> Result<StateSpace, crate::SchemaError>;
+
+    /// The message alphabet.
+    fn messages(&self) -> Vec<String>;
+
+    /// The state in which a fresh protocol instance starts.
+    fn start_state(&self) -> StateVector;
+
+    /// Elaborates the effect of receiving `message` in state `state`
+    /// (paper Fig 9/10): the core logic of the modelled algorithm, executed
+    /// at generation time rather than at run time.
+    ///
+    /// Never called for states where [`AbstractModel::is_final_state`]
+    /// holds — a completed instance processes no further messages.
+    fn transition(&self, state: &StateVector, message: &str) -> Outcome;
+
+    /// `true` if the protocol instance has *completed* in this state.
+    ///
+    /// Final states get no outgoing transitions and are marked with
+    /// [`StateRole::Finish`](crate::StateRole). For the commit protocol
+    /// these are the states where `commits_received` has reached the
+    /// external commit threshold `f + 1`; the merge step then combines
+    /// them into the single conceptual finish state. Default: no state is
+    /// final.
+    fn is_final_state(&self, state: &StateVector) -> bool {
+        let _ = state;
+        false
+    }
+
+    /// Human-readable description of a state, used by renderers to emit
+    /// the paper's per-state commentary (Fig 14). Default: none.
+    fn describe_state(&self, state: &StateVector) -> Vec<String> {
+        let _ = state;
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{StateComponent, StateSpace};
+
+    /// A tiny one-counter model used to exercise the trait's defaults.
+    struct Counter {
+        max: u32,
+    }
+
+    impl AbstractModel for Counter {
+        fn machine_name(&self) -> String {
+            format!("counter@max={}", self.max)
+        }
+
+        fn state_space(&self) -> Result<StateSpace, crate::SchemaError> {
+            StateSpace::new(vec![StateComponent::int("count", self.max)])
+        }
+
+        fn messages(&self) -> Vec<String> {
+            vec!["tick".to_string()]
+        }
+
+        fn start_state(&self) -> StateVector {
+            self.state_space().expect("schema").zero_vector()
+        }
+
+        fn transition(&self, state: &StateVector, message: &str) -> Outcome {
+            assert_eq!(message, "tick");
+            let mut next = state.clone();
+            next.set(0, state.get(0) + 1);
+            Outcome::to(next, vec![])
+        }
+
+        fn is_final_state(&self, state: &StateVector) -> bool {
+            state.get(0) == self.max
+        }
+    }
+
+    #[test]
+    fn trait_defaults() {
+        let m = Counter { max: 3 };
+        assert!(m.describe_state(&m.start_state()).is_empty());
+        assert_eq!(m.machine_name(), "counter@max=3");
+        assert!(!m.is_final_state(&m.start_state()));
+        let mut v = m.start_state();
+        v.set(0, 3);
+        assert!(m.is_final_state(&v));
+    }
+
+    #[test]
+    fn outcome_constructor() {
+        let m = Counter { max: 3 };
+        let v = m.start_state();
+        match m.transition(&v, "tick") {
+            Outcome::Transition(spec) => {
+                assert_eq!(spec.target.get(0), 1);
+                assert!(spec.actions.is_empty());
+            }
+            Outcome::Ignored => panic!("unexpected ignore"),
+        }
+    }
+}

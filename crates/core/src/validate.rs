@@ -1,0 +1,234 @@
+//! Structural validation of generated machines.
+//!
+//! The generation engine produces machines that are well-formed by
+//! construction; this module provides an independent checker used by the
+//! test-suites, and by callers that build machines by hand.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::machine::{MessageId, StateId, StateMachine, StateRole};
+
+/// Severity of a validation finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The machine violates a structural invariant.
+    Error,
+    /// Suspicious but not structurally invalid.
+    Warning,
+}
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    /// How severe the finding is.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+/// The outcome of validating a machine.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// All findings.
+    pub issues: Vec<ValidationIssue>,
+}
+
+impl ValidationReport {
+    /// `true` if no error-severity issues were found.
+    pub fn is_valid(&self) -> bool {
+        self.issues.iter().all(|i| i.severity != Severity::Error)
+    }
+
+    /// Error-severity issues.
+    pub fn errors(&self) -> impl Iterator<Item = &ValidationIssue> {
+        self.issues.iter().filter(|i| i.severity == Severity::Error)
+    }
+
+    /// Warning-severity issues.
+    pub fn warnings(&self) -> impl Iterator<Item = &ValidationIssue> {
+        self.issues.iter().filter(|i| i.severity == Severity::Warning)
+    }
+
+    fn error(&mut self, message: String) {
+        self.issues.push(ValidationIssue { severity: Severity::Error, message });
+    }
+
+    fn warning(&mut self, message: String) {
+        self.issues.push(ValidationIssue { severity: Severity::Warning, message });
+    }
+}
+
+/// Validates the structural invariants of a machine:
+///
+/// * final states (role `Finish`) have no outgoing transitions (error);
+/// * all states are reachable from the start state (warning otherwise);
+/// * non-final dead-end states (warning);
+/// * state names are unique (warning otherwise).
+///
+/// Transition-target and message-id range validity are enforced by
+/// construction ([`StateMachineBuilder`](crate::StateMachineBuilder) panics
+/// on violations), so they cannot be observed here.
+pub fn validate_machine(machine: &StateMachine) -> ValidationReport {
+    let mut report = ValidationReport::default();
+
+    // Final states process no messages.
+    for (_id, state) in machine.states_with_ids() {
+        if state.role() == StateRole::Finish && state.transition_count() != 0 {
+            report.error(format!(
+                "final state `{}` has {} outgoing transitions",
+                state.name(),
+                state.transition_count()
+            ));
+        }
+    }
+
+    // Reachability.
+    let mut seen = vec![false; machine.state_count()];
+    let mut queue = VecDeque::new();
+    seen[machine.start().index()] = true;
+    queue.push_back(machine.start());
+    while let Some(id) = queue.pop_front() {
+        for (_m, t) in machine.state(id).transitions() {
+            if !seen[t.target().index()] {
+                seen[t.target().index()] = true;
+                queue.push_back(t.target());
+            }
+        }
+    }
+    for (id, state) in machine.states_with_ids() {
+        if !seen[id.index()] {
+            report.warning(format!("state `{}` is unreachable from the start state", state.name()));
+        }
+    }
+
+    // Dead ends that are not final states.
+    for (_id, state) in machine.states_with_ids() {
+        if state.transition_count() == 0 && state.role() != StateRole::Finish {
+            report.warning(format!(
+                "state `{}` has no outgoing transitions but is not a final state",
+                state.name()
+            ));
+        }
+    }
+
+    // Duplicate names.
+    let mut names: Vec<&str> = machine.states().iter().map(|s| s.name()).collect();
+    names.sort_unstable();
+    for pair in names.windows(2) {
+        if pair[0] == pair[1] {
+            report.warning(format!("duplicate state name `{}`", pair[0]));
+        }
+    }
+
+    report
+}
+
+/// Lists the `(state, message)` pairs with no transition — the messages
+/// the paper's generator found "not applicable" in each state. Useful as
+/// a coverage diagnostic when developing an abstract model: an
+/// unexpectedly inapplicable message usually means a missed handler
+/// branch. Final states are skipped (they ignore everything by design).
+pub fn missing_transitions(machine: &StateMachine) -> Vec<(StateId, MessageId)> {
+    let mut missing = Vec::new();
+    for (id, state) in machine.states_with_ids() {
+        if state.role() == StateRole::Finish {
+            continue;
+        }
+        for mi in 0..machine.messages().len() {
+            let mid = machine
+                .message_id(&machine.messages()[mi])
+                .expect("message from the machine's own table");
+            if state.transition(mid).is_none() {
+                missing.push((id, mid));
+            }
+        }
+    }
+    missing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Action, StateMachineBuilder, StateRole};
+
+    #[test]
+    fn clean_machine_validates() {
+        let mut b = StateMachineBuilder::new("m", ["a"]);
+        let s0 = b.add_state("s0");
+        let fin = b.add_state_full("FINISHED", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "a", fin, vec![Action::send("x")]);
+        let m = b.build(s0);
+        let report = validate_machine(&m);
+        assert!(report.is_valid(), "unexpected issues: {:?}", report.issues);
+        assert_eq!(report.issues.len(), 0);
+    }
+
+    #[test]
+    fn unreachable_state_warns() {
+        let mut b = StateMachineBuilder::new("m", ["a"]);
+        let s0 = b.add_state("s0");
+        let _orphan = b.add_state("orphan");
+        b.add_transition(s0, "a", s0, vec![Action::send("x")]);
+        let m = b.build(s0);
+        let report = validate_machine(&m);
+        assert!(report.is_valid());
+        assert_eq!(report.warnings().count(), 2); // unreachable + dead end
+    }
+
+    #[test]
+    fn final_with_outgoing_is_error() {
+        let mut b = StateMachineBuilder::new("m", ["a"]);
+        let s0 = b.add_state_full("s0", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "a", s0, vec![]);
+        let m = b.build(s0);
+        let report = validate_machine(&m);
+        assert!(!report.is_valid());
+        assert_eq!(report.errors().count(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_warn() {
+        let mut b = StateMachineBuilder::new("m", ["a"]);
+        let s0 = b.add_state("dup");
+        let s1 = b.add_state("dup");
+        b.add_transition(s0, "a", s1, vec![]);
+        b.add_transition(s1, "a", s0, vec![]);
+        let m = b.build(s0);
+        let report = validate_machine(&m);
+        assert!(report.warnings().any(|w| w.message.contains("duplicate state name")));
+    }
+
+    #[test]
+    fn missing_transitions_reported() {
+        let mut b = StateMachineBuilder::new("m", ["a", "b"]);
+        let s0 = b.add_state("s0");
+        let fin = b.add_state_full("end", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "a", fin, vec![]);
+        let m = b.build(s0);
+        let missing = missing_transitions(&m);
+        // s0 lacks `b`; the final state is skipped.
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].0, s0);
+        assert_eq!(m.message_name(missing[0].1), "b");
+    }
+
+    #[test]
+    fn issue_display() {
+        let issue = ValidationIssue {
+            severity: Severity::Error,
+            message: "boom".to_string(),
+        };
+        assert_eq!(issue.to_string(), "error: boom");
+    }
+}

@@ -1,0 +1,31 @@
+//! # stategen-models
+//!
+//! Further *message-counting* abstract models, demonstrating the paper's
+//! §5.2 claim that the generative FSM methodology applies beyond the
+//! motivating commit protocol:
+//!
+//! * [`BroadcastModel`] — Byzantine reliable broadcast (threshold
+//!   echo/ready counting);
+//! * [`RoundsModel`] — rotating-coordinator round consensus in the style
+//!   the paper attributes to Chandra & Toueg (reference 15);
+//! * [`TerminationModel`] — Dijkstra–Scholten-style distributed
+//!   termination detection (message counting per Mattern, reference 16).
+//!
+//! Each is an ordinary [`AbstractModel`](stategen_core::AbstractModel):
+//! the same generation pipeline, renderers and interpreters apply without
+//! any new generative code (paper §5.1: "it is possible to apply the
+//! methodology to new algorithms without writing any new generative
+//! code").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod broadcast_efsm;
+pub mod rounds;
+pub mod termination;
+
+pub use broadcast::BroadcastModel;
+pub use broadcast_efsm::{broadcast_efsm, broadcast_efsm_instance};
+pub use rounds::RoundsModel;
+pub use termination::TerminationModel;

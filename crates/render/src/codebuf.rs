@@ -1,0 +1,258 @@
+//! Code-generation buffer utilities (paper Fig 18).
+//!
+//! Generative code is hard to read when it controls the generated code's
+//! indentation through explicit whitespace in string literals (paper
+//! Fig 17). This module provides the paper's small set of utility methods
+//! — `add`, `addLn`, `enterBlock`, `exitBlock` and indent control — which
+//! "make a significant difference to legibility" (§4.1) of both the
+//! generative and the generated code.
+
+use std::fmt::Write as _;
+
+/// An indentation-aware output buffer for generated source code.
+///
+/// # Examples
+///
+/// ```
+/// use stategen_render::CodeBuffer;
+///
+/// let mut buf = CodeBuffer::new();
+/// buf.add(["fn answer() -> u32"]);
+/// buf.enter_block();
+/// buf.add_ln(["42"]);
+/// buf.exit_block();
+/// assert_eq!(buf.into_string(), "fn answer() -> u32 {\n    42\n}\n");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CodeBuffer {
+    out: String,
+    indent: usize,
+    /// Width of one indent level in spaces.
+    indent_width: usize,
+    at_line_start: bool,
+    /// Block delimiters; `{`/`}` for Rust and Java.
+    open: &'static str,
+    close: &'static str,
+}
+
+impl CodeBuffer {
+    /// Creates a buffer with 4-space indentation and `{`/`}` blocks.
+    pub fn new() -> Self {
+        CodeBuffer {
+            out: String::new(),
+            indent: 0,
+            indent_width: 4,
+            at_line_start: true,
+            open: "{",
+            close: "}",
+        }
+    }
+
+    /// Creates a buffer with a custom indent width.
+    pub fn with_indent_width(width: usize) -> Self {
+        CodeBuffer { indent_width: width, ..CodeBuffer::new() }
+    }
+
+    /// Adds the items to the output buffer (paper: `add`).
+    pub fn add<I, S>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for item in items {
+            self.write_indent_if_needed();
+            self.out.push_str(item.as_ref());
+        }
+    }
+
+    /// Adds the items and a newline (paper: `addLn`).
+    pub fn add_ln<I, S>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.add(items);
+        self.newline();
+    }
+
+    /// Ends the current line.
+    pub fn newline(&mut self) {
+        self.out.push('\n');
+        self.at_line_start = true;
+    }
+
+    /// Adds a blank line.
+    pub fn blank(&mut self) {
+        // Avoid trailing indentation on blank lines.
+        self.out.push('\n');
+        self.at_line_start = true;
+    }
+
+    /// Opens a new block and increases the indent level (paper:
+    /// `enterBlock`). The opening delimiter is appended to the current
+    /// line (`... {`) if one is in progress, else on its own line.
+    pub fn enter_block(&mut self) {
+        if self.at_line_start {
+            self.write_indent_if_needed();
+            self.out.push_str(self.open);
+        } else {
+            let _ = write!(self.out, " {}", self.open);
+        }
+        self.newline();
+        self.increase_indent();
+    }
+
+    /// Exits the current block and decreases the indent level (paper:
+    /// `exitBlock`).
+    pub fn exit_block(&mut self) {
+        self.decrease_indent();
+        self.write_indent_if_needed();
+        self.out.push_str(self.close);
+        self.newline();
+    }
+
+    /// Exits the current block, appending `suffix` after the closing
+    /// delimiter (e.g. `,` inside match arms).
+    pub fn exit_block_with(&mut self, suffix: &str) {
+        self.decrease_indent();
+        self.write_indent_if_needed();
+        self.out.push_str(self.close);
+        self.out.push_str(suffix);
+        self.newline();
+    }
+
+    /// Increases the indent level (paper: `increaseIndent`).
+    pub fn increase_indent(&mut self) {
+        self.indent += 1;
+    }
+
+    /// Decreases the indent level (paper: `decreaseIndent`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indent level is already zero (an unbalanced
+    /// `exit_block` in the generative code).
+    pub fn decrease_indent(&mut self) {
+        assert!(self.indent > 0, "unbalanced exit_block / decrease_indent");
+        self.indent -= 1;
+    }
+
+    /// Resets indentation to the top level (paper: `resetIndent`).
+    pub fn reset_indent(&mut self) {
+        self.indent = 0;
+    }
+
+    /// Current indent level (in levels, not spaces).
+    pub fn indent_level(&self) -> usize {
+        self.indent
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Extracts the generated text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    /// Borrows the generated text so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    fn write_indent_if_needed(&mut self) {
+        if self.at_line_start {
+            for _ in 0..self.indent * self.indent_width {
+                self.out.push(' ');
+            }
+            self.at_line_start = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_blocks_indent() {
+        let mut b = CodeBuffer::new();
+        b.add(["fn f()"]);
+        b.enter_block();
+        b.add(["if x"]);
+        b.enter_block();
+        b.add_ln(["y();"]);
+        b.exit_block();
+        b.exit_block();
+        assert_eq!(b.into_string(), "fn f() {\n    if x {\n        y();\n    }\n}\n");
+    }
+
+    #[test]
+    fn add_concatenates_items() {
+        let mut b = CodeBuffer::new();
+        b.add(["a", "b", "c"]);
+        b.newline();
+        assert_eq!(b.into_string(), "abc\n");
+    }
+
+    #[test]
+    fn blank_lines_carry_no_indent() {
+        let mut b = CodeBuffer::new();
+        b.enter_block();
+        b.blank();
+        b.add_ln(["x"]);
+        b.exit_block();
+        assert_eq!(b.into_string(), "{\n\n    x\n}\n");
+    }
+
+    #[test]
+    fn custom_indent_width() {
+        let mut b = CodeBuffer::with_indent_width(2);
+        b.enter_block();
+        b.add_ln(["x"]);
+        b.exit_block();
+        assert_eq!(b.into_string(), "{\n  x\n}\n");
+    }
+
+    #[test]
+    fn exit_block_with_suffix() {
+        let mut b = CodeBuffer::new();
+        b.add(["match x"]);
+        b.enter_block();
+        b.add(["A =>"]);
+        b.enter_block();
+        b.add_ln(["1"]);
+        b.exit_block_with(",");
+        b.exit_block();
+        assert_eq!(b.into_string(), "match x {\n    A => {\n        1\n    },\n}\n");
+    }
+
+    #[test]
+    fn reset_indent() {
+        let mut b = CodeBuffer::new();
+        b.enter_block();
+        b.enter_block();
+        b.reset_indent();
+        b.add_ln(["flush left"]);
+        assert_eq!(b.as_str(), "{\n    {\nflush left\n");
+        assert_eq!(b.indent_level(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_exit_panics() {
+        let mut b = CodeBuffer::new();
+        b.exit_block();
+    }
+
+    #[test]
+    fn enter_block_on_fresh_line() {
+        let mut b = CodeBuffer::new();
+        b.enter_block();
+        b.add_ln(["x"]);
+        b.exit_block();
+        assert_eq!(b.into_string(), "{\n    x\n}\n");
+    }
+}

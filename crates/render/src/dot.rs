@@ -1,0 +1,122 @@
+//! Graphviz DOT renderer for state-transition diagrams (paper §3.5,
+//! Fig 15).
+//!
+//! The paper renders diagrams by exporting XML into a diagramming tool;
+//! DOT is today's lingua franca for the same artefact class. Phase
+//! transitions (those that perform actions) are drawn with heavier pens,
+//! matching the paper's Fig 8 convention of thin vs. thick arrows.
+
+use std::fmt::Write as _;
+
+use stategen_core::{StateMachine, StateRole};
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Left-to-right layout (`rankdir=LR`). Default true.
+    pub left_to_right: bool,
+    /// Include the action list on edge labels. Default true.
+    pub edge_actions: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { left_to_right: true, edge_actions: true }
+    }
+}
+
+/// Escapes a string for use inside a DOT double-quoted label.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the machine as a Graphviz DOT document.
+pub fn render_dot(machine: &StateMachine, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(machine.name()));
+    if options.left_to_right {
+        out.push_str("    rankdir=LR;\n");
+    }
+    out.push_str("    node [shape=box, style=rounded, fontsize=10, fontname=\"Helvetica\"];\n");
+    out.push_str("    edge [fontsize=9, fontname=\"Helvetica\"];\n");
+    out.push_str("    __start [shape=point];\n");
+    for (id, state) in machine.states_with_ids() {
+        let shape = match state.role() {
+            StateRole::Finish => ", peripheries=2",
+            StateRole::Normal => "",
+        };
+        let _ = writeln!(
+            out,
+            "    s{} [label=\"{}\"{}];",
+            id.index(),
+            escape(state.name()),
+            shape
+        );
+    }
+    let _ = writeln!(out, "    __start -> s{};", machine.start().index());
+    for (id, state) in machine.states_with_ids() {
+        for (mid, t) in state.transitions() {
+            let mut label = machine.message_name(mid).to_uppercase();
+            if options.edge_actions {
+                for a in t.actions() {
+                    let _ = write!(label, "\\n->{}", a.message());
+                }
+            }
+            let width = if t.is_phase_transition() { ", penwidth=2" } else { "" };
+            let _ = writeln!(
+                out,
+                "    s{} -> s{} [label=\"{}\"{}];",
+                id.index(),
+                t.target().index(),
+                escape(&label).replace("\\\\n", "\\n"),
+                width
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stategen_core::{Action, StateMachineBuilder};
+
+    fn sample() -> StateMachine {
+        let mut b = StateMachineBuilder::new("dia\"gram", ["go"]);
+        let s0 = b.add_state("A");
+        let fin = b.add_state_full("B", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "go", fin, vec![Action::send("x")]);
+        b.build(s0)
+    }
+
+    #[test]
+    fn structure() {
+        let out = render_dot(&sample(), &DotOptions::default());
+        assert!(out.starts_with("digraph \"dia\\\"gram\" {"));
+        assert!(out.contains("__start -> s0;"));
+        assert!(out.contains("s0 [label=\"A\"];"));
+        assert!(out.contains("s1 [label=\"B\", peripheries=2];"));
+        assert!(out.contains("s0 -> s1 [label=\"GO\\n->x\", penwidth=2];"));
+        assert!(out.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn actions_can_be_hidden() {
+        let options = DotOptions { edge_actions: false, ..Default::default() };
+        let out = render_dot(&sample(), &options);
+        assert!(out.contains("[label=\"GO\", penwidth=2]"));
+    }
+
+    #[test]
+    fn no_rankdir_when_disabled() {
+        let options = DotOptions { left_to_right: false, ..Default::default() };
+        let out = render_dot(&sample(), &options);
+        assert!(!out.contains("rankdir"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+}

@@ -1,0 +1,223 @@
+//! Textual and DOT renderers for EFSMs (paper §5.3).
+//!
+//! EFSM transitions carry guards over variables and parameters; the
+//! renderers print them in a compact mathematical syntax:
+//!
+//! ```text
+//! idle-free --vote [votes_received+1 >= vote_threshold] / votes_received+=1
+//!     ! ->not_free ->vote ->commit --> forced-chosen
+//! ```
+
+use std::fmt::Write as _;
+
+use stategen_core::efsm::{Efsm, EfsmTransition, Guard, LinExpr, Operand, Update};
+
+/// Formats a linear expression using the EFSM's variable/parameter names.
+pub fn format_expr(efsm: &Efsm, expr: &LinExpr) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (coeff, op) in expr.terms() {
+        let name = match op {
+            Operand::Var(v) => efsm.variables()[v.index()].clone(),
+            Operand::Param(p) => efsm.params()[p.index()].clone(),
+        };
+        match coeff {
+            1 => parts.push(name),
+            -1 => parts.push(format!("-{name}")),
+            c => parts.push(format!("{c}*{name}")),
+        }
+    }
+    let c = expr.constant_part();
+    if c != 0 || parts.is_empty() {
+        parts.push(c.to_string());
+    }
+    let mut out = String::new();
+    for (i, p) in parts.iter().enumerate() {
+        if i > 0 && !p.starts_with('-') {
+            out.push('+');
+        }
+        out.push_str(p);
+    }
+    out
+}
+
+/// Formats a guard as a bracketed conjunction, or the empty string for the
+/// always-true guard.
+pub fn format_guard(efsm: &Efsm, guard: &Guard) -> String {
+    if guard.conditions().is_empty() {
+        return String::new();
+    }
+    let conds: Vec<String> = guard
+        .conditions()
+        .iter()
+        .map(|c| {
+            format!(
+                "{} {} {}",
+                format_expr(efsm, &c.lhs),
+                c.op,
+                format_expr(efsm, &c.rhs)
+            )
+        })
+        .collect();
+    format!("[{}]", conds.join(" && "))
+}
+
+/// Formats a transition's variable updates.
+pub fn format_updates(efsm: &Efsm, updates: &[Update]) -> String {
+    updates
+        .iter()
+        .map(|u| match u {
+            Update::Inc(v) => format!("{}+=1", efsm.variables()[v.index()]),
+            Update::Set(v, e) => {
+                format!("{}:={}", efsm.variables()[v.index()], format_expr(efsm, e))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn format_transition(efsm: &Efsm, t: &EfsmTransition) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "--{}", efsm.messages()[t.message_index()]);
+    let guard = format_guard(efsm, t.guard());
+    if !guard.is_empty() {
+        let _ = write!(out, " {guard}");
+    }
+    let updates = format_updates(efsm, t.updates());
+    if !updates.is_empty() {
+        let _ = write!(out, " / {updates}");
+    }
+    if !t.actions().is_empty() {
+        let sends: Vec<String> =
+            t.actions().iter().map(|a| format!("->{}", a.message())).collect();
+        let _ = write!(out, " ! {}", sends.join(" "));
+    }
+    let _ = write!(out, " --> {}", efsm.states()[t.target().index()].name());
+    out
+}
+
+/// Renders the whole EFSM as text.
+pub fn render_efsm_text(efsm: &Efsm) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "efsm: {}", efsm.name());
+    let _ = writeln!(out, "params: {}", efsm.params().join(", "));
+    let _ = writeln!(out, "variables: {}", efsm.variables().join(", "));
+    let _ = writeln!(out, "states: {}", efsm.state_count());
+    let _ = writeln!(out, "start: {}", efsm.states()[efsm.start().index()].name());
+    if let Some(f) = efsm.finish() {
+        let _ = writeln!(out, "finish: {}", efsm.states()[f.index()].name());
+    }
+    for state in efsm.states() {
+        out.push('\n');
+        let _ = writeln!(out, "state: {}", state.name());
+        for a in state.annotations() {
+            let _ = writeln!(out, "  # {a}");
+        }
+        for t in state.transitions() {
+            let _ = writeln!(out, "  {}", format_transition(efsm, t));
+        }
+    }
+    out
+}
+
+/// Renders the EFSM as a Graphviz DOT document, with guards and updates on
+/// the edge labels.
+pub fn render_efsm_dot(efsm: &Efsm) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", efsm.name().replace('"', "\\\""));
+    out.push_str("    rankdir=LR;\n");
+    out.push_str("    node [shape=box, style=rounded, fontsize=10];\n");
+    out.push_str("    edge [fontsize=8];\n");
+    out.push_str("    __start [shape=point];\n");
+    for (i, state) in efsm.states().iter().enumerate() {
+        let peripheries =
+            if Some(i) == efsm.finish().map(|f| f.index()) { ", peripheries=2" } else { "" };
+        let _ = writeln!(out, "    s{i} [label=\"{}\"{peripheries}];", state.name());
+    }
+    let _ = writeln!(out, "    __start -> s{};", efsm.start().index());
+    for (i, state) in efsm.states().iter().enumerate() {
+        for t in state.transitions() {
+            let mut label = efsm.messages()[t.message_index()].to_uppercase();
+            let guard = format_guard(efsm, t.guard());
+            if !guard.is_empty() {
+                let _ = write!(label, "\\n{guard}");
+            }
+            let updates = format_updates(efsm, t.updates());
+            if !updates.is_empty() {
+                let _ = write!(label, "\\n/ {updates}");
+            }
+            for a in t.actions() {
+                let _ = write!(label, "\\n->{}", a.message());
+            }
+            let width = if t.actions().is_empty() { "" } else { ", penwidth=2" };
+            let _ = writeln!(
+                out,
+                "    s{i} -> s{} [label=\"{}\"{width}];",
+                t.target().index(),
+                label.replace('"', "\\\"")
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stategen_core::efsm::{CmpOp, EfsmBuilder};
+    use stategen_core::Action;
+
+    fn counter() -> Efsm {
+        let mut b = EfsmBuilder::new("counter", ["tick"]);
+        let limit = b.add_param("limit");
+        let n = b.add_var("n");
+        let counting = b.add_state("counting");
+        let done = b.add_state("done");
+        b.add_transition(
+            counting,
+            "tick",
+            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Lt, LinExpr::param(limit)),
+            vec![Update::Inc(n)],
+            vec![],
+            counting,
+        );
+        b.add_transition(
+            counting,
+            "tick",
+            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Ge, LinExpr::param(limit)),
+            vec![Update::Inc(n)],
+            vec![Action::send("fire")],
+            done,
+        );
+        b.build(counting, Some(done))
+    }
+
+    #[test]
+    fn expr_formatting() {
+        let efsm = counter();
+        let t = &efsm.states()[0].transitions()[0];
+        let lhs = &t.guard().conditions()[0].lhs;
+        assert_eq!(format_expr(&efsm, lhs), "n+1");
+        let rhs = &t.guard().conditions()[0].rhs;
+        assert_eq!(format_expr(&efsm, rhs), "limit");
+    }
+
+    #[test]
+    fn text_rendering() {
+        let out = render_efsm_text(&counter());
+        assert!(out.contains("efsm: counter"));
+        assert!(out.contains("params: limit"));
+        assert!(out.contains("state: counting"));
+        assert!(out.contains("--tick [n+1 < limit] / n+=1 --> counting"));
+        assert!(out.contains("--tick [n+1 >= limit] / n+=1 ! ->fire --> done"));
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let out = render_efsm_dot(&counter());
+        assert!(out.starts_with("digraph \"counter\" {"));
+        assert!(out.contains("s1 [label=\"done\", peripheries=2];"));
+        assert!(out.contains("penwidth=2"));
+        assert!(out.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,68 @@
+//! Mermaid `stateDiagram-v2` renderer — a modern, markdown-embeddable
+//! rendering of the paper's Fig 15 diagram artefact.
+
+use std::fmt::Write as _;
+
+use stategen_core::{StateMachine, StateRole};
+
+/// Renders the machine as a Mermaid state diagram.
+pub fn render_mermaid(machine: &StateMachine) -> String {
+    let mut out = String::from("stateDiagram-v2\n");
+    for (id, state) in machine.states_with_ids() {
+        let _ = writeln!(out, "    s{} : {}", id.index(), state.name());
+    }
+    let _ = writeln!(out, "    [*] --> s{}", machine.start().index());
+    for (id, state) in machine.states_with_ids() {
+        for (mid, t) in state.transitions() {
+            let mut label = machine.message_name(mid).to_uppercase();
+            if !t.actions().is_empty() {
+                let sends: Vec<&str> = t.actions().iter().map(|a| a.message()).collect();
+                let _ = write!(label, " / {}", sends.join(", "));
+            }
+            let _ = writeln!(
+                out,
+                "    s{} --> s{} : {}",
+                id.index(),
+                t.target().index(),
+                label
+            );
+        }
+        if state.role() == StateRole::Finish {
+            let _ = writeln!(out, "    s{} --> [*]", id.index());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stategen_core::{Action, StateMachineBuilder};
+
+    #[test]
+    fn diagram_shape() {
+        let mut b = StateMachineBuilder::new("m", ["go"]);
+        let s0 = b.add_state("A");
+        let fin = b.add_state_full("B", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "go", fin, vec![Action::send("x"), Action::send("y")]);
+        let m = b.build(s0);
+        let out = render_mermaid(&m);
+        assert!(out.starts_with("stateDiagram-v2\n"));
+        assert!(out.contains("    s0 : A\n"));
+        assert!(out.contains("    [*] --> s0\n"));
+        assert!(out.contains("    s0 --> s1 : GO / x, y\n"));
+        assert!(out.contains("    s1 --> [*]\n"));
+    }
+
+    #[test]
+    fn simple_transition_has_no_action_suffix() {
+        let mut b = StateMachineBuilder::new("m", ["go"]);
+        let s0 = b.add_state("A");
+        let s1 = b.add_state("B");
+        b.add_transition(s0, "go", s1, vec![]);
+        let m = b.build(s0);
+        let out = render_mermaid(&m);
+        assert!(out.contains("    s0 --> s1 : GO\n"));
+        assert!(!out.contains(" / "));
+    }
+}

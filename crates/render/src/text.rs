@@ -1,0 +1,178 @@
+//! The textual FSM renderer (paper §3.5, Fig 14).
+//!
+//! Renders each state with its automatically generated commentary and its
+//! outgoing transitions, in the exact layout of the paper's example:
+//!
+//! ```text
+//! state: T/2/F/0/F/F/F
+//! --------------------
+//! Description:
+//!
+//! Have received initial update from client.
+//! ...
+//!
+//! Transitions:
+//!
+//!  message: VOTE
+//!   action: ->vote
+//!   action: ->commit
+//!   transition to: T/3/T/0/T/F/F
+//! ```
+
+use stategen_core::{StateId, StateMachine};
+
+/// Display form of a message name: upper-cased, underscores as spaces
+/// (paper Fig 14 shows `message: VOTE`).
+fn display_message(name: &str) -> String {
+    name.to_uppercase().replace('_', " ")
+}
+
+/// Renders machines to the paper's textual format.
+///
+/// The renderer is algorithm-independent (paper §5.1): everything it needs
+/// is in the [`StateMachine`] representation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextRenderer {
+    /// Include the `Description:` block of state annotations. Default true.
+    pub include_descriptions: bool,
+}
+
+impl TextRenderer {
+    /// Creates a renderer with descriptions enabled.
+    pub fn new() -> Self {
+        TextRenderer { include_descriptions: true }
+    }
+
+    /// Renders a single state with its transitions (paper Fig 14).
+    pub fn render_state(&self, machine: &StateMachine, id: StateId) -> String {
+        let state = machine.state(id);
+        let mut out = String::new();
+        let header = format!("state: {}", state.name());
+        out.push_str(&header);
+        out.push('\n');
+        out.push_str(&"-".repeat(header.len()));
+        out.push('\n');
+
+        if self.include_descriptions {
+            out.push_str("Description:\n\n");
+            for line in state.annotations() {
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+
+        out.push_str("\nTransitions:\n");
+        for (mid, t) in state.transitions() {
+            out.push('\n');
+            out.push_str(&format!(" message: {}\n", display_message(machine.message_name(mid))));
+            for action in t.actions() {
+                // The paper renders `not_free` as `->not free` (Fig 14).
+                out.push_str(&format!("  action: ->{}\n", action.message().replace('_', " ")));
+            }
+            out.push_str(&format!(
+                "  transition to: {}\n",
+                machine.state(t.target()).name()
+            ));
+        }
+        out
+    }
+
+    /// Renders the whole machine: a summary header followed by every state.
+    pub fn render(&self, machine: &StateMachine) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("machine: {}\n", machine.name()));
+        out.push_str(&format!(
+            "messages: {}\n",
+            machine
+                .messages()
+                .iter()
+                .map(|m| display_message(m))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("states: {}\n", machine.state_count()));
+        out.push_str(&format!(
+            "start: {}\n",
+            machine.state(machine.start()).name()
+        ));
+        if let Some(f) = machine.unique_final() {
+            out.push_str(&format!("finish: {}\n", machine.state(f).name()));
+        }
+        out.push_str(&format!("transitions: {}\n", machine.transition_count()));
+        for (id, _) in machine.states_with_ids() {
+            out.push('\n');
+            out.push_str(&self.render_state(machine, id));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stategen_core::{Action, StateMachineBuilder};
+
+    fn sample() -> StateMachine {
+        let mut b = StateMachineBuilder::new("sample", ["go", "stop"]);
+        let s0 = b.add_state_full(
+            "A",
+            None,
+            stategen_core::StateRole::Normal,
+            vec!["First line.".into(), "Second line.".into()],
+        );
+        let s1 = b.add_state("B");
+        b.add_transition(s0, "go", s1, vec![Action::send("ping"), Action::send("pong")]);
+        b.add_transition(s1, "stop", s0, vec![]);
+        b.build(s0)
+    }
+
+    #[test]
+    fn state_block_layout() {
+        let m = sample();
+        let text = TextRenderer::new().render_state(&m, m.start());
+        let expected = "state: A\n\
+                        --------\n\
+                        Description:\n\
+                        \n\
+                        First line.\n\
+                        Second line.\n\
+                        \n\
+                        \n\
+                        Transitions:\n\
+                        \n \
+                        message: GO\n  \
+                        action: ->ping\n  \
+                        action: ->pong\n  \
+                        transition to: B\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn machine_header() {
+        let m = sample();
+        let text = TextRenderer::new().render(&m);
+        assert!(text.starts_with("machine: sample\nmessages: GO, STOP\nstates: 2\nstart: A\n"));
+        assert!(text.contains("state: B"));
+    }
+
+    #[test]
+    fn descriptions_can_be_disabled() {
+        let m = sample();
+        let r = TextRenderer { include_descriptions: false };
+        let text = r.render_state(&m, m.start());
+        assert!(!text.contains("Description:"));
+        assert!(text.contains("message: GO"));
+    }
+
+    #[test]
+    fn underline_matches_header_width() {
+        let m = sample();
+        let text = TextRenderer::new().render_state(&m, m.start());
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        let underline = lines.next().unwrap();
+        assert_eq!(header.len(), underline.len());
+        assert!(underline.chars().all(|c| c == '-'));
+    }
+}

@@ -1,0 +1,152 @@
+//! XML diagram renderer (paper §3.5, Fig 15).
+//!
+//! The paper generates "an XML diagram representation that can be imported
+//! into a diagramming tool (in this case, Together)". Together's format is
+//! proprietary; this renderer emits a self-contained, schema-documented
+//! XML document carrying the same information: states (with generated
+//! commentary), transitions, actions and layout hints, suitable for import
+//! by downstream tooling.
+
+use std::fmt::Write as _;
+
+use stategen_core::{StateMachine, StateRole};
+
+/// Escapes text for XML content and attribute values.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine as an XML diagram document.
+pub fn render_xml(machine: &StateMachine) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    let _ = writeln!(
+        out,
+        "<statemachine name=\"{}\" states=\"{}\" transitions=\"{}\">",
+        escape(machine.name()),
+        machine.state_count(),
+        machine.transition_count()
+    );
+    out.push_str("  <messages>\n");
+    for m in machine.messages() {
+        let _ = writeln!(out, "    <message name=\"{}\"/>", escape(m));
+    }
+    out.push_str("  </messages>\n");
+    out.push_str("  <states>\n");
+    for (id, state) in machine.states_with_ids() {
+        let role = match state.role() {
+            StateRole::Normal => "normal",
+            StateRole::Finish => "finish",
+        };
+        let start = if id == machine.start() { " start=\"true\"" } else { "" };
+        if state.annotations().is_empty() {
+            let _ = writeln!(
+                out,
+                "    <state id=\"{}\" name=\"{}\" role=\"{role}\"{start}/>",
+                id.index(),
+                escape(state.name())
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "    <state id=\"{}\" name=\"{}\" role=\"{role}\"{start}>",
+                id.index(),
+                escape(state.name())
+            );
+            for a in state.annotations() {
+                let _ = writeln!(out, "      <annotation>{}</annotation>", escape(a));
+            }
+            out.push_str("    </state>\n");
+        }
+    }
+    out.push_str("  </states>\n");
+    out.push_str("  <transitions>\n");
+    for (id, state) in machine.states_with_ids() {
+        for (mid, t) in state.transitions() {
+            let _ = write!(
+                out,
+                "    <transition from=\"{}\" to=\"{}\" message=\"{}\" phase=\"{}\"",
+                id.index(),
+                t.target().index(),
+                escape(machine.message_name(mid)),
+                t.is_phase_transition()
+            );
+            if t.actions().is_empty() && t.annotations().is_empty() {
+                out.push_str("/>\n");
+                continue;
+            }
+            out.push_str(">\n");
+            for a in t.actions() {
+                let _ = writeln!(out, "      <action send=\"{}\"/>", escape(a.message()));
+            }
+            for a in t.annotations() {
+                let _ = writeln!(out, "      <annotation>{}</annotation>", escape(a));
+            }
+            out.push_str("    </transition>\n");
+        }
+    }
+    out.push_str("  </transitions>\n");
+    out.push_str("</statemachine>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stategen_core::{Action, StateMachineBuilder};
+
+    fn sample() -> StateMachine {
+        let mut b = StateMachineBuilder::new("x<y", ["go"]);
+        let s0 = b.add_state_full(
+            "A&B",
+            None,
+            StateRole::Normal,
+            vec!["a \"note\"".to_string()],
+        );
+        let fin = b.add_state_full("END", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "go", fin, vec![Action::send("x")]);
+        b.build(s0)
+    }
+
+    #[test]
+    fn document_shape() {
+        let out = render_xml(&sample());
+        assert!(out.starts_with("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"));
+        assert!(out.contains("<statemachine name=\"x&lt;y\" states=\"2\" transitions=\"1\">"));
+        assert!(out.contains("<state id=\"0\" name=\"A&amp;B\" role=\"normal\" start=\"true\">"));
+        assert!(out.contains("<annotation>a &quot;note&quot;</annotation>"));
+        assert!(out.contains("<state id=\"1\" name=\"END\" role=\"finish\"/>"));
+        assert!(out.contains(
+            "<transition from=\"0\" to=\"1\" message=\"go\" phase=\"true\">"
+        ));
+        assert!(out.contains("<action send=\"x\"/>"));
+        assert!(out.trim_end().ends_with("</statemachine>"));
+    }
+
+    #[test]
+    fn escaping_all_specials() {
+        assert_eq!(escape("&<>\"'"), "&amp;&lt;&gt;&quot;&apos;");
+    }
+
+    #[test]
+    fn balanced_tags() {
+        let out = render_xml(&sample());
+        for tag in ["statemachine", "messages", "states", "transitions"] {
+            let opens = out.matches(&format!("<{tag}")).count();
+            let closes = out.matches(&format!("</{tag}>")).count()
+                + out.matches(&format!("<{tag} ")).filter(|_| false).count();
+            assert!(opens >= closes, "{tag}: {opens} opens, {closes} closes");
+        }
+    }
+}

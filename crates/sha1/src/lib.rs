@@ -1,0 +1,285 @@
+//! # asa-sha1
+//!
+//! SHA-1 (RFC 3174, paper reference 8) implemented from scratch. The ASA
+//! storage layer uses it to derive PIDs: "the service endpoint calculates
+//! a unique PID for the data using a secure hashing algorithm (SHA1)"
+//! (paper §2.1), and to verify retrieved blocks against their PID.
+//!
+//! SHA-1 is used here exactly as the paper used it in 2007 — as a
+//! content-addressing function inside a research storage system — not as
+//! a collision-resistant primitive for new security designs.
+//!
+//! ```
+//! use asa_sha1::Sha1;
+//!
+//! let digest = Sha1::digest(b"abc");
+//! assert_eq!(digest.to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A 160-bit SHA-1 digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 20]);
+
+impl Digest {
+    /// Renders the digest as 40 lowercase hex digits.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            s.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble < 16"));
+            s.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble < 16"));
+        }
+        s
+    }
+
+    /// Parses a digest from 40 hex digits.
+    ///
+    /// Returns `None` when the input is not exactly 40 hex digits.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 40 || !s.is_ascii() {
+            return None;
+        }
+        let bytes = s.as_bytes();
+        let mut out = [0u8; 20];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let hi = (bytes[2 * i] as char).to_digit(16)?;
+            let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+            *slot = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// The first 8 bytes as a big-endian integer — convenient for placing
+    /// digests on a 64-bit ring (the Chord key space).
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("slice of 8"))
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Incremental SHA-1 hasher.
+///
+/// Create with [`Sha1::new`], feed with [`Sha1::update`], finish with
+/// [`Sha1::finalize`]; or use the one-shot [`Sha1::digest`].
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    /// Bytes processed so far (for the length padding).
+    length: u64,
+    buffer: [u8; 64],
+    buffered: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the RFC 3174 initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            h: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            length: 0,
+            buffer: [0u8; 64],
+            buffered: 0,
+        }
+    }
+
+    /// One-shot convenience: hashes `data` in a single call.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.process_block(block.try_into().expect("exactly 64 bytes"));
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Applies the RFC 3174 padding and produces the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_length = self.length.wrapping_mul(8);
+        // Padding: a single 0x80 byte, zeros, then the 64-bit bit length.
+        self.update_padding(&[0x80]);
+        while self.buffered != 56 {
+            self.update_padding(&[0]);
+        }
+        self.update_padding(&bit_length.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// `update` without counting the bytes towards the message length
+    /// (used for padding).
+    fn update_padding(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.buffer[self.buffered] = byte;
+            self.buffered += 1;
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffered = 0;
+            }
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(wt)
+                .wrapping_add(k);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 3174 test vectors (section 7.3) plus standard extras.
+    #[test]
+    fn rfc3174_vectors() {
+        let cases: [(&[u8], &str); 4] = [
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(Sha1::digest(input).to_hex(), expected);
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        // RFC 3174: one million repetitions of 'a'.
+        let mut h = Sha1::new();
+        for _ in 0..10_000 {
+            h.update(&[b'a'; 100]);
+        }
+        assert_eq!(h.finalize().to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        for chunk_size in [1usize, 3, 7, 63, 64, 65, 100] {
+            let mut h = Sha1::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), Sha1::digest(&data), "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Padding edge cases around the 55/56/64-byte boundaries.
+        for len in [54usize, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128] {
+            let data = vec![0xA5u8; len];
+            let mut h = Sha1::new();
+            h.update(&data);
+            let inc = h.finalize();
+            assert_eq!(inc, Sha1::digest(&data), "length {len}");
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = Sha1::digest(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("short"), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(40)), None);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let d = Sha1::digest(b"abc");
+        assert_eq!(format!("{d}"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn prefix_u64_is_big_endian() {
+        let d = Digest([
+            0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+        ]);
+        assert_eq!(d.prefix_u64(), 0x0102030405060708);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        // Smoke check, not a security claim.
+        let a = Sha1::digest(b"block-a");
+        let b = Sha1::digest(b"block-b");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,37 @@
+//! Property-based tests: incremental hashing is chunking-invariant and
+//! hex encoding round-trips.
+
+use proptest::prelude::*;
+
+use asa_sha1::{Digest, Sha1};
+
+proptest! {
+    #[test]
+    fn chunking_invariant(data in prop::collection::vec(any::<u8>(), 0..2048),
+                          cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..8)) {
+        let oneshot = Sha1::digest(&data);
+        let mut boundaries: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        boundaries.push(0);
+        boundaries.push(data.len());
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let mut h = Sha1::new();
+        for w in boundaries.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn hex_roundtrip(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let d = Sha1::digest(&data);
+        let hex = d.to_hex();
+        prop_assert_eq!(hex.len(), 40);
+        prop_assert_eq!(Digest::from_hex(&hex), Some(d));
+    }
+
+    #[test]
+    fn deterministic(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(Sha1::digest(&data), Sha1::digest(&data));
+    }
+}

@@ -1,0 +1,466 @@
+//! The discrete-event simulation core.
+//!
+//! The paper's system runs on "non-trusted platforms" over a P2P overlay
+//! (§2); reproducing its behaviour requires a network in which messages
+//! are delayed, lost, duplicated and reordered, and nodes fail — all
+//! *deterministically*, so that every BFT safety test is replayable from
+//! a seed. Nodes implement [`SimNode`]; the simulator delivers messages
+//! and timer events in virtual-time order with a deterministic
+//! tie-breaker.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use crate::rng::SimRng;
+use crate::trace::{Trace, TraceKind};
+
+/// Identifier of a node within a simulation (index into the node vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The node's index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Virtual time, in abstract ticks.
+pub type SimTime = u64;
+
+/// Behaviour of one simulated node.
+///
+/// Handlers receive a [`Context`] through which they read the clock, send
+/// messages, set timers and draw deterministic randomness.
+pub trait SimNode<M> {
+    /// Invoked once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when a message is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, message: M);
+
+    /// Invoked when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+}
+
+/// Network and schedule parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for all randomness (delays, drops, node RNGs).
+    pub seed: u64,
+    /// Minimum message latency in ticks.
+    pub min_delay: SimTime,
+    /// Maximum message latency in ticks (inclusive).
+    pub max_delay: SimTime,
+    /// Probability that a message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability that a delivered message is delivered twice.
+    pub duplicate_probability: f64,
+    /// Upper bound on processed events (guards against runaway loops).
+    pub max_steps: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            min_delay: 1,
+            max_delay: 10,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+/// Side-effect interface handed to node handlers.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: NodeId,
+    node_count: usize,
+    rng: &'a mut SimRng,
+    effects: &'a mut Vec<Effect<M>>,
+}
+
+impl<M> Context<'_, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Deterministic per-node randomness.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sends `message` to `to` (latency, loss and duplication are applied
+    /// by the simulator).
+    pub fn send(&mut self, to: NodeId, message: M) {
+        self.effects.push(Effect::Send { to, message });
+    }
+
+    /// Sends `message` to every node except this one.
+    pub fn broadcast(&mut self, message: M)
+    where
+        M: Clone,
+    {
+        for i in 0..self.node_count {
+            if i != self.self_id.0 {
+                self.send(NodeId(i), message.clone());
+            }
+        }
+    }
+
+    /// Schedules [`SimNode::on_timer`] with `tag` after `delay` ticks.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        self.effects.push(Effect::Timer { delay, tag });
+    }
+}
+
+#[derive(Debug)]
+enum Effect<M> {
+    Send { to: NodeId, message: M },
+    Timer { delay: SimTime, tag: u64 },
+}
+
+#[derive(Debug)]
+enum Payload<M> {
+    Message { from: NodeId, message: M },
+    Timer { tag: u64 },
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    to: NodeId,
+    payload: Payload<M>,
+}
+
+// Ordering for the BinaryHeap (via Reverse): by time, then insertion
+// sequence — fully deterministic.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Counters describing one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages delivered to handlers.
+    pub delivered: u64,
+    /// Messages dropped by the network.
+    pub dropped: u64,
+    /// Extra deliveries caused by duplication.
+    pub duplicated: u64,
+    /// Messages discarded because the destination had crashed.
+    pub to_crashed: u64,
+    /// Timer events fired.
+    pub timers: u64,
+    /// Total events processed.
+    pub steps: u64,
+}
+
+/// A deterministic discrete-event simulation over a vector of nodes.
+///
+/// # Examples
+///
+/// ```
+/// use asa_simnet::{Context, NodeId, SimConfig, SimNode, Simulation};
+///
+/// struct Echo { got: u32 }
+/// impl SimNode<u32> for Echo {
+///     fn on_message(&mut self, _ctx: &mut Context<'_, u32>, _from: NodeId, m: u32) {
+///         self.got += m;
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(SimConfig::default(), vec![Echo { got: 0 }, Echo { got: 0 }]);
+/// sim.post(NodeId(0), NodeId(1), 5);
+/// sim.run();
+/// assert_eq!(sim.node(NodeId(1)).got, 5);
+/// ```
+#[derive(Debug)]
+pub struct Simulation<M, N> {
+    config: SimConfig,
+    nodes: Vec<N>,
+    crashed: Vec<bool>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    node_rngs: Vec<SimRng>,
+    net_rng: SimRng,
+    now: SimTime,
+    seq: u64,
+    stats: SimStats,
+    started: bool,
+    trace: Option<Trace>,
+}
+
+impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
+    /// Creates a simulation over `nodes`.
+    pub fn new(config: SimConfig, nodes: Vec<N>) -> Self {
+        let mut root = SimRng::new(config.seed);
+        let node_rngs = (0..nodes.len()).map(|_| root.fork()).collect();
+        let net_rng = root.fork();
+        let crashed = vec![false; nodes.len()];
+        Simulation {
+            config,
+            nodes,
+            crashed,
+            queue: BinaryHeap::new(),
+            node_rngs,
+            net_rng,
+            now: 0,
+            seq: 0,
+            stats: SimStats::default(),
+            started: false,
+            trace: None,
+        }
+    }
+
+    /// Enables event tracing, keeping at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::with_capacity(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn record(&mut self, kind: TraceKind) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(self.now, kind);
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node (e.g. to inspect or adjust between runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.0]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Marks a node fail-stopped: all its queued and future events are
+    /// discarded (paper §2.2: fail-stop faults detected by timeouts).
+    pub fn crash(&mut self, id: NodeId) {
+        self.crashed[id.0] = true;
+    }
+
+    /// Whether a node has been crashed.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.crashed[id.0]
+    }
+
+    /// Injects a message from an external source (e.g. a client outside
+    /// the node vector) or on behalf of `from`, subject to network
+    /// effects.
+    pub fn post(&mut self, from: NodeId, to: NodeId, message: M) {
+        self.enqueue_send(from, to, message);
+    }
+
+    /// Schedules a timer for `node` at `now + delay` (external injection).
+    pub fn post_timer(&mut self, node: NodeId, delay: SimTime, tag: u64) {
+        let at = self.now + delay;
+        self.push_event(at, node, Payload::Timer { tag });
+    }
+
+    /// Runs `on_start` on every node (idempotent; called automatically by
+    /// [`Simulation::run`]).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            let mut effects = Vec::new();
+            let mut ctx = Context {
+                now: self.now,
+                self_id: NodeId(i),
+                node_count: self.nodes.len(),
+                rng: &mut self.node_rngs[i],
+                effects: &mut effects,
+            };
+            self.nodes[i].on_start(&mut ctx);
+            self.apply_effects(NodeId(i), effects);
+        }
+    }
+
+    /// Processes a single event; returns `false` when the queue is empty
+    /// or the step budget is exhausted.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        if self.stats.steps >= self.config.max_steps {
+            return false;
+        }
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "time must not run backwards");
+        self.now = event.at;
+        self.stats.steps += 1;
+        let to = event.to;
+        if self.crashed[to.0] {
+            self.stats.to_crashed += 1;
+            if let Payload::Message { from, .. } = event.payload {
+                self.record(TraceKind::ToCrashed { from, to });
+            }
+            return true;
+        }
+        let mut effects = Vec::new();
+        let mut ctx = Context {
+            now: self.now,
+            self_id: to,
+            node_count: self.nodes.len(),
+            rng: &mut self.node_rngs[to.0],
+            effects: &mut effects,
+        };
+        let traced = match &event.payload {
+            Payload::Message { from, .. } => TraceKind::Delivered { from: *from, to },
+            Payload::Timer { tag } => TraceKind::Timer { node: to, tag: *tag },
+        };
+        match event.payload {
+            Payload::Message { from, message } => {
+                self.stats.delivered += 1;
+                self.nodes[to.0].on_message(&mut ctx, from, message);
+            }
+            Payload::Timer { tag } => {
+                self.stats.timers += 1;
+                self.nodes[to.0].on_timer(&mut ctx, tag);
+            }
+        }
+        self.record(traced);
+        self.apply_effects(to, effects);
+        true
+    }
+
+    /// Runs until the event queue drains (or the step budget is hit);
+    /// returns the final statistics.
+    pub fn run(&mut self) -> SimStats {
+        while self.step() {}
+        self.stats
+    }
+
+    /// Runs until the next event would exceed `deadline`, or the queue
+    /// drains. The clock stays at the last processed event.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimStats {
+        self.start();
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(e)) if e.at <= deadline => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.stats
+    }
+
+    fn apply_effects(&mut self, origin: NodeId, effects: Vec<Effect<M>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, message } => self.enqueue_send(origin, to, message),
+                Effect::Timer { delay, tag } => {
+                    let at = self.now + delay;
+                    self.push_event(at, origin, Payload::Timer { tag });
+                }
+            }
+        }
+    }
+
+    fn enqueue_send(&mut self, from: NodeId, to: NodeId, message: M) {
+        if self.net_rng.chance(self.config.drop_probability) {
+            self.stats.dropped += 1;
+            self.record(TraceKind::Dropped { from, to });
+            return;
+        }
+        let delay = self
+            .net_rng
+            .range_inclusive(self.config.min_delay, self.config.max_delay);
+        if self.net_rng.chance(self.config.duplicate_probability) {
+            self.stats.duplicated += 1;
+            self.record(TraceKind::Duplicated { from, to });
+            let extra = self
+                .net_rng
+                .range_inclusive(self.config.min_delay, self.config.max_delay);
+            let at = self.now + extra;
+            self.push_event(at, to, Payload::Message { from, message: message.clone() });
+        }
+        let at = self.now + delay;
+        self.push_event(at, to, Payload::Message { from, message });
+    }
+
+    fn push_event(&mut self, at: SimTime, to: NodeId, payload: Payload<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, to, payload }));
+    }
+}

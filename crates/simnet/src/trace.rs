@@ -1,0 +1,122 @@
+//! Event tracing: an optional, bounded record of everything the
+//! simulator does, for debugging protocol runs and asserting determinism.
+
+use crate::sim::{NodeId, SimTime};
+
+/// What happened at one traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was delivered to a node's handler.
+    Delivered {
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+    },
+    /// A message was dropped by the network.
+    Dropped {
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+    /// A duplicate copy was scheduled.
+    Duplicated {
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+    },
+    /// A message addressed to a crashed node was discarded.
+    ToCrashed {
+        /// Sender.
+        from: NodeId,
+        /// Crashed recipient.
+        to: NodeId,
+    },
+    /// A timer fired.
+    Timer {
+        /// The node whose timer fired.
+        node: NodeId,
+        /// The timer tag.
+        tag: u64,
+    },
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded in-memory event trace. Recording stops silently at the
+/// capacity (the counters in [`SimStats`](crate::SimStats) remain exact).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    truncated: bool,
+}
+
+impl Trace {
+    /// Creates a trace that keeps at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace { events: Vec::new(), capacity, truncated: false }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// `true` if events were discarded after the capacity was reached.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub(crate) fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { at, kind });
+        } else {
+            self.truncated = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_recording() {
+        let mut t = Trace::with_capacity(2);
+        t.record(1, TraceKind::Timer { node: NodeId(0), tag: 7 });
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_truncated());
+        t.record(2, TraceKind::Timer { node: NodeId(0), tag: 8 });
+        t.record(3, TraceKind::Timer { node: NodeId(0), tag: 9 });
+        assert_eq!(t.len(), 2);
+        assert!(t.is_truncated());
+        assert_eq!(t.events()[0].at, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::with_capacity(8);
+        assert!(t.is_empty());
+        assert_eq!(t.events(), &[]);
+    }
+}

@@ -1,0 +1,346 @@
+//! The top-level storage facade: the API the paper's generic storage
+//! layer presents to the layers above (paper §2, Fig 1/2).
+//!
+//! "The generic storage layer provides a ubiquitous resilient mutable
+//! storage facility for unstructured data, with an historical record"
+//! and "does not include any destructive update operation; data can only
+//! be appended." [`AsaStore`] composes the two services:
+//!
+//! * writing a version stores the block through the data-storage service
+//!   (PID = SHA-1, replicas at the placement keys, `r − f` quorum), then
+//!   records the GUID → PID mapping by running one execution of the BFT
+//!   commit protocol across the GUID's peer set (one simulation per
+//!   update — exactly the paper's "particular execution" granularity);
+//! * reading resolves a version from the `f + 1`-consistent history and
+//!   retrieves the block with hash verification.
+
+use std::collections::BTreeMap;
+
+use asa_chord::Overlay;
+use asa_simnet::SimConfig;
+
+use crate::data_service::{DataService, DataServiceError};
+use crate::entities::{DataBlock, Guid, Pid};
+use crate::version_service::{run_harness, HarnessConfig, PeerBehaviour};
+
+/// Errors from the storage facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The block layer failed (quorum or retrieval).
+    Data(DataServiceError),
+    /// The commit protocol did not record the version (deadlock beyond
+    /// the retry budget, or too many faulty peers).
+    CommitFailed(Guid),
+    /// The peers' answers never agreed on a history (more than `f`
+    /// Byzantine members).
+    InconsistentHistory(Guid),
+    /// The requested version index does not exist.
+    NoSuchVersion {
+        /// The object queried.
+        guid: Guid,
+        /// The requested index.
+        index: usize,
+        /// Versions recorded.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Data(e) => write!(f, "data service: {e}"),
+            StoreError::CommitFailed(g) => write!(f, "commit protocol failed for {g}"),
+            StoreError::InconsistentHistory(g) => {
+                write!(f, "no f+1-consistent history for {g}")
+            }
+            StoreError::NoSuchVersion { guid, index, available } => {
+                write!(f, "{guid} has {available} version(s); index {index} does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataServiceError> for StoreError {
+    fn from(e: DataServiceError) -> Self {
+        StoreError::Data(e)
+    }
+}
+
+/// Configuration of an [`AsaStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Replication factor for blocks and version histories.
+    pub replication_factor: u32,
+    /// Behaviour of the version-history peer set (padded with `Correct`).
+    pub peer_behaviours: Vec<PeerBehaviour>,
+    /// Network parameters for the commit-protocol simulations.
+    pub net: SimConfig,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            replication_factor: 4,
+            peer_behaviours: Vec::new(),
+            net: SimConfig { min_delay: 1, max_delay: 10, ..Default::default() },
+        }
+    }
+}
+
+/// The ASA storage facade: append-only versioned storage of unstructured
+/// data over untrusted replicas.
+///
+/// # Examples
+///
+/// ```
+/// use asa_chord::{Key, Overlay};
+/// use asa_storage::{AsaStore, StoreConfig};
+///
+/// let overlay = Overlay::with_nodes((0..64u64).map(|i| Key::hash(&i.to_be_bytes())), 4);
+/// let mut store = AsaStore::new(overlay, StoreConfig::default(), 7);
+/// let guid = store.create("report.txt");
+/// store.append_version(guid, b"draft one".to_vec())?;
+/// store.append_version(guid, b"draft two".to_vec())?;
+/// assert_eq!(store.version_count(guid)?, 2);
+/// assert_eq!(store.read_version(guid, 0)?.data(), b"draft one");
+/// assert_eq!(store.read_latest(guid)?.data(), b"draft two");
+/// # Ok::<(), asa_storage::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct AsaStore {
+    data: DataService,
+    config: StoreConfig,
+    /// Confirmed histories, per GUID (the endpoint's view, each entry
+    /// established by an `f + 1`-consistent read of the peer set).
+    histories: BTreeMap<Guid, Vec<Pid>>,
+    commit_seed: u64,
+}
+
+impl AsaStore {
+    /// Creates a store over the given overlay.
+    pub fn new(overlay: Overlay, config: StoreConfig, seed: u64) -> Self {
+        AsaStore {
+            data: DataService::new(overlay, config.replication_factor, seed),
+            config,
+            histories: BTreeMap::new(),
+            commit_seed: seed,
+        }
+    }
+
+    /// Access to the underlying data-storage service (e.g. for fault
+    /// injection in tests).
+    pub fn data_service_mut(&mut self) -> &mut DataService {
+        &mut self.data
+    }
+
+    /// Mints a GUID for a named object and registers an empty history.
+    pub fn create(&mut self, name: &str) -> Guid {
+        let guid = Guid::from_name(name);
+        self.histories.entry(guid).or_default();
+        guid
+    }
+
+    /// Appends a new version: stores the block, then records the
+    /// GUID → PID mapping through the commit protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Data`] if the block store misses its quorum;
+    /// [`StoreError::CommitFailed`] if the protocol does not complete;
+    /// [`StoreError::InconsistentHistory`] if the peers cannot produce an
+    /// `f + 1`-consistent answer.
+    pub fn append_version(&mut self, guid: Guid, data: Vec<u8>) -> Result<Pid, StoreError> {
+        let block = DataBlock::new(data);
+        let pid = self.data.store(&block)?;
+        // One protocol execution per update (paper §2.2). The simulation
+        // seed advances so repeated appends see fresh schedules.
+        self.commit_seed = self.commit_seed.wrapping_mul(6364136223846793005).wrapping_add(97);
+        let harness = HarnessConfig {
+            replication_factor: self.config.replication_factor,
+            behaviours: self.config.peer_behaviours.clone(),
+            client_updates: vec![vec![pid]],
+            net: SimConfig { seed: self.commit_seed, ..self.config.net.clone() },
+            ..Default::default()
+        };
+        let report = run_harness(&harness);
+        if !report.all_committed {
+            return Err(StoreError::CommitFailed(guid));
+        }
+        let f = (self.config.replication_factor - 1) / 3;
+        let history = report
+            .read_consistent(f)
+            .ok_or(StoreError::InconsistentHistory(guid))?;
+        if !history.contains(&pid) {
+            return Err(StoreError::CommitFailed(guid));
+        }
+        self.histories.entry(guid).or_default().push(pid);
+        Ok(pid)
+    }
+
+    /// Number of versions recorded for `guid`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchVersion`] with `available = 0` when the GUID
+    /// was never created.
+    pub fn version_count(&self, guid: Guid) -> Result<usize, StoreError> {
+        self.histories
+            .get(&guid)
+            .map(Vec::len)
+            .ok_or(StoreError::NoSuchVersion { guid, index: 0, available: 0 })
+    }
+
+    /// The recorded history of `guid`.
+    pub fn history(&self, guid: Guid) -> Option<&[Pid]> {
+        self.histories.get(&guid).map(Vec::as_slice)
+    }
+
+    /// Retrieves version `index` (0-based) of `guid`, hash-verified.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchVersion`] for unknown GUIDs or indexes;
+    /// [`StoreError::Data`] if no replica verifies.
+    pub fn read_version(&mut self, guid: Guid, index: usize) -> Result<DataBlock, StoreError> {
+        let history = self.histories.get(&guid).ok_or(StoreError::NoSuchVersion {
+            guid,
+            index,
+            available: 0,
+        })?;
+        let pid = *history.get(index).ok_or(StoreError::NoSuchVersion {
+            guid,
+            index,
+            available: history.len(),
+        })?;
+        Ok(self.data.retrieve(pid)?)
+    }
+
+    /// Retrieves the latest version of `guid`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AsaStore::read_version`].
+    pub fn read_latest(&mut self, guid: Guid) -> Result<DataBlock, StoreError> {
+        let count = self.version_count(guid)?;
+        if count == 0 {
+            return Err(StoreError::NoSuchVersion { guid, index: 0, available: 0 });
+        }
+        self.read_version(guid, count - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asa_chord::Key;
+
+    fn overlay() -> Overlay {
+        Overlay::with_nodes((0..64u64).map(|i| Key::hash(&i.to_be_bytes())), 4)
+    }
+
+    fn store() -> AsaStore {
+        AsaStore::new(overlay(), StoreConfig::default(), 5)
+    }
+
+    #[test]
+    fn versioned_roundtrip() {
+        let mut s = store();
+        let guid = s.create("a/file");
+        let p1 = s.append_version(guid, b"v1".to_vec()).unwrap();
+        let p2 = s.append_version(guid, b"v2".to_vec()).unwrap();
+        assert_ne!(p1, p2);
+        assert_eq!(s.version_count(guid).unwrap(), 2);
+        assert_eq!(s.read_version(guid, 0).unwrap().data(), b"v1");
+        assert_eq!(s.read_latest(guid).unwrap().data(), b"v2");
+        assert_eq!(s.history(guid).unwrap(), &[p1, p2]);
+    }
+
+    #[test]
+    fn append_only_history_grows() {
+        let mut s = store();
+        let guid = s.create("log");
+        for i in 0..5 {
+            s.append_version(guid, format!("entry {i}").into_bytes()).unwrap();
+        }
+        assert_eq!(s.version_count(guid).unwrap(), 5);
+        // Old versions remain readable: nothing is destroyed.
+        for i in 0..5 {
+            assert_eq!(
+                s.read_version(guid, i).unwrap().data(),
+                format!("entry {i}").as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn survives_byzantine_peer() {
+        let config = StoreConfig {
+            peer_behaviours: vec![PeerBehaviour::Equivocator],
+            ..Default::default()
+        };
+        let mut s = AsaStore::new(overlay(), config, 11);
+        let guid = s.create("contested");
+        s.append_version(guid, b"payload".to_vec()).unwrap();
+        assert_eq!(s.read_latest(guid).unwrap().data(), b"payload");
+    }
+
+    #[test]
+    fn commit_failure_with_too_many_silent_peers() {
+        let config = StoreConfig {
+            // 2 silent peers out of r = 4 leave only 2 active: below the
+            // 2f+1 = 3 vote threshold, so the protocol cannot complete.
+            peer_behaviours: vec![PeerBehaviour::Silent, PeerBehaviour::Silent],
+            ..Default::default()
+        };
+        let mut s = AsaStore::new(overlay(), config, 13);
+        let guid = s.create("doomed");
+        assert_eq!(
+            s.append_version(guid, b"never lands".to_vec()),
+            Err(StoreError::CommitFailed(guid))
+        );
+        assert_eq!(s.version_count(guid).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_guid_and_index_errors() {
+        let mut s = store();
+        let ghost = Guid::from_name("never created");
+        assert!(matches!(
+            s.read_latest(ghost),
+            Err(StoreError::NoSuchVersion { available: 0, .. })
+        ));
+        let guid = s.create("thin");
+        s.append_version(guid, b"only one".to_vec()).unwrap();
+        assert!(matches!(
+            s.read_version(guid, 3),
+            Err(StoreError::NoSuchVersion { index: 3, available: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_guids_isolated() {
+        let mut s = store();
+        let a = s.create("a");
+        let b = s.create("b");
+        s.append_version(a, b"for a".to_vec()).unwrap();
+        assert_eq!(s.version_count(a).unwrap(), 1);
+        assert_eq!(s.version_count(b).unwrap(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let guid = Guid::from_name("x");
+        assert!(StoreError::CommitFailed(guid).to_string().contains("commit protocol failed"));
+        let e = StoreError::NoSuchVersion { guid, index: 7, available: 2 };
+        assert!(e.to_string().contains("index 7"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Endpoint timeout/retry schemes (paper §2.2).
+//!
+//! "Various schemes such as random or exponential back-off, or fixed or
+//! random server ordering, could be used to attempt to reduce the
+//! probability of repeated deadlocks."
+
+use asa_simnet::{SimRng, SimTime};
+
+/// How long an endpoint waits before retrying an update that has not
+/// committed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryScheme {
+    /// Retry after a fixed delay.
+    Fixed {
+        /// The delay in ticks.
+        delay: SimTime,
+    },
+    /// Retry after a uniformly random delay in `[min, max]`.
+    Random {
+        /// Minimum delay.
+        min: SimTime,
+        /// Maximum delay (inclusive).
+        max: SimTime,
+    },
+    /// Exponential back-off: `base * 2^attempt`, capped at `max`, with
+    /// ±50% jitter.
+    Exponential {
+        /// First retry delay.
+        base: SimTime,
+        /// Cap on the delay.
+        max: SimTime,
+    },
+}
+
+impl RetryScheme {
+    /// Delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32, rng: &mut SimRng) -> SimTime {
+        match *self {
+            RetryScheme::Fixed { delay } => delay,
+            RetryScheme::Random { min, max } => rng.range_inclusive(min, max.max(min)),
+            RetryScheme::Exponential { base, max } => {
+                let raw = base.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX)).min(max);
+                let jitter_span = (raw / 2).max(1);
+                let low = raw.saturating_sub(jitter_span / 2).max(1);
+                rng.range_inclusive(low, low + jitter_span)
+            }
+        }
+    }
+}
+
+/// In which order the endpoint contacts the peer set (paper §2.2:
+/// "fixed or random server ordering").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerOrdering {
+    /// All endpoints use the same (ring) order — requests race less
+    /// because every peer tends to see the same update first.
+    Fixed,
+    /// Each request shuffles the peer set independently.
+    Random,
+}
+
+impl ServerOrdering {
+    /// Produces the contact order over `n` peers.
+    pub fn order(&self, n: usize, rng: &mut SimRng) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        if *self == ServerOrdering::Random {
+            rng.shuffle(&mut order);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SimRng::new(1);
+        let s = RetryScheme::Fixed { delay: 50 };
+        assert_eq!(s.delay(0, &mut rng), 50);
+        assert_eq!(s.delay(9, &mut rng), 50);
+    }
+
+    #[test]
+    fn random_within_bounds() {
+        let mut rng = SimRng::new(2);
+        let s = RetryScheme::Random { min: 10, max: 20 };
+        for attempt in 0..50 {
+            let d = s.delay(attempt, &mut rng);
+            assert!((10..=20).contains(&d), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn exponential_grows_then_caps() {
+        let mut rng = SimRng::new(3);
+        let s = RetryScheme::Exponential { base: 10, max: 1000 };
+        let d0 = s.delay(0, &mut rng);
+        assert!((5..=20).contains(&d0), "d0 = {d0}");
+        let d6 = s.delay(6, &mut rng);
+        assert!(d6 >= 300, "d6 = {d6}");
+        let d20 = s.delay(20, &mut rng);
+        assert!(d20 <= 1600, "capped with jitter: {d20}");
+    }
+
+    #[test]
+    fn exponential_handles_huge_attempts() {
+        let mut rng = SimRng::new(4);
+        let s = RetryScheme::Exponential { base: 10, max: 500 };
+        let d = s.delay(63, &mut rng);
+        assert!(d <= 800);
+        let d = s.delay(64, &mut rng); // shift overflow guarded
+        assert!(d <= 800);
+    }
+
+    #[test]
+    fn orderings() {
+        let mut rng = SimRng::new(5);
+        assert_eq!(ServerOrdering::Fixed.order(4, &mut rng), vec![0, 1, 2, 3]);
+        let mut saw_shuffled = false;
+        for _ in 0..10 {
+            let o = ServerOrdering::Random.order(4, &mut rng);
+            let mut sorted = o.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+            if o != vec![0, 1, 2, 3] {
+                saw_shuffled = true;
+            }
+        }
+        assert!(saw_shuffled);
+    }
+}

@@ -1,0 +1,361 @@
+//! The data storage service (paper §2.1): mapping PIDs to immutable,
+//! replicated data blocks.
+//!
+//! *Store*: compute the PID (SHA-1), derive the replica keys, locate the
+//! peer set via the routing layer, send a copy to each peer; the store
+//! completes once `r − f` peers acknowledge — even if `f` of those
+//! replies are misleading, at least `f + 1` correct nodes hold replicas.
+//!
+//! *Retrieve*: contact a single replica node and verify the returned
+//! block against the PID; on mismatch (a Byzantine replica) try another.
+//!
+//! Node misbehaviour is injected per node: fail-stop (no replies) or
+//! Byzantine (acknowledges but serves corrupted data).
+
+use std::collections::BTreeMap;
+
+use asa_chord::{Key, Overlay, OverlayError};
+use asa_simnet::SimRng;
+
+use crate::entities::{DataBlock, Pid};
+use crate::placement::{peer_set, pid_key};
+
+/// How a storage node behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeBehaviour {
+    /// Stores and serves faithfully.
+    #[default]
+    Correct,
+    /// Crashed: never acknowledges, never replies.
+    FailStop,
+    /// Byzantine: acknowledges stores but serves corrupted bytes.
+    Byzantine,
+}
+
+/// Errors from the data storage service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataServiceError {
+    /// Routing failed (empty or broken overlay).
+    Overlay(OverlayError),
+    /// Fewer than `r − f` peers acknowledged the store.
+    QuorumNotReached {
+        /// Acknowledgements received.
+        acks: u32,
+        /// Acknowledgements required (`r − f`).
+        needed: u32,
+    },
+    /// No replica produced a block matching the PID.
+    NotRetrievable(Pid),
+}
+
+impl std::fmt::Display for DataServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataServiceError::Overlay(e) => write!(f, "overlay error: {e}"),
+            DataServiceError::QuorumNotReached { acks, needed } => {
+                write!(f, "store reached only {acks} of {needed} required acknowledgements")
+            }
+            DataServiceError::NotRetrievable(pid) => {
+                write!(f, "no replica served a verifiable block for {pid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataServiceError::Overlay(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OverlayError> for DataServiceError {
+    fn from(e: OverlayError) -> Self {
+        DataServiceError::Overlay(e)
+    }
+}
+
+/// Statistics of one service instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataServiceStats {
+    /// Successful stores.
+    pub stores: u64,
+    /// Blocks sent to replicas (including to faulty nodes).
+    pub replicas_written: u64,
+    /// Retrievals that succeeded.
+    pub retrievals: u64,
+    /// Replica responses rejected by hash verification.
+    pub verification_failures: u64,
+    /// Replicas recreated by the repair process.
+    pub repaired: u64,
+}
+
+/// The data storage service over a Chord overlay with per-node block
+/// stores and injected faults.
+#[derive(Debug)]
+pub struct DataService {
+    overlay: Overlay,
+    replication_factor: u32,
+    max_faulty: u32,
+    stores: BTreeMap<u64, BTreeMap<Pid, Vec<u8>>>,
+    behaviour: BTreeMap<u64, NodeBehaviour>,
+    rng: SimRng,
+    stats: DataServiceStats,
+}
+
+impl DataService {
+    /// Creates a service over `overlay` with the given replication factor;
+    /// tolerates `f = floor((r-1)/3)` faulty replicas per peer set.
+    pub fn new(overlay: Overlay, replication_factor: u32, seed: u64) -> Self {
+        assert!(replication_factor >= 1, "need at least one replica");
+        let max_faulty = (replication_factor - 1) / 3;
+        DataService {
+            overlay,
+            replication_factor,
+            max_faulty,
+            stores: BTreeMap::new(),
+            behaviour: BTreeMap::new(),
+            rng: SimRng::new(seed),
+            stats: DataServiceStats::default(),
+        }
+    }
+
+    /// The underlying overlay.
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// Service statistics.
+    pub fn stats(&self) -> DataServiceStats {
+        self.stats
+    }
+
+    /// Tolerated faulty replicas per peer set.
+    pub fn max_faulty(&self) -> u32 {
+        self.max_faulty
+    }
+
+    /// Sets a node's behaviour (fault injection).
+    pub fn set_behaviour(&mut self, node: Key, behaviour: NodeBehaviour) {
+        self.behaviour.insert(node.0, behaviour);
+    }
+
+    fn behaviour_of(&self, node: Key) -> NodeBehaviour {
+        self.behaviour.get(&node.0).copied().unwrap_or_default()
+    }
+
+    /// Stores a block: returns its PID once `r − f` replicas acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`DataServiceError::QuorumNotReached`] when too many peers are
+    /// faulty, or an overlay error.
+    pub fn store(&mut self, block: &DataBlock) -> Result<Pid, DataServiceError> {
+        let pid = block.pid();
+        let peers = peer_set(&self.overlay, pid_key(&pid), self.replication_factor)?;
+        let needed = self.replication_factor - self.max_faulty;
+        let mut acks = 0u32;
+        for &peer in &peers {
+            match self.behaviour_of(peer) {
+                NodeBehaviour::Correct => {
+                    self.stores.entry(peer.0).or_default().insert(pid, block.data().to_vec());
+                    self.stats.replicas_written += 1;
+                    acks += 1;
+                }
+                NodeBehaviour::Byzantine => {
+                    // Acknowledges, but corrupts what it stores.
+                    let mut corrupted = block.data().to_vec();
+                    if let Some(first) = corrupted.first_mut() {
+                        *first ^= 0xFF;
+                    } else {
+                        corrupted.push(0xFF);
+                    }
+                    self.stores.entry(peer.0).or_default().insert(pid, corrupted);
+                    self.stats.replicas_written += 1;
+                    acks += 1;
+                }
+                NodeBehaviour::FailStop => {}
+            }
+        }
+        if acks < needed {
+            return Err(DataServiceError::QuorumNotReached { acks, needed });
+        }
+        self.stats.stores += 1;
+        Ok(pid)
+    }
+
+    /// Retrieves the block for `pid`, verifying each candidate against
+    /// the PID and trying further replicas after failures (paper §2.1:
+    /// "If this check fails, another node can be tried").
+    ///
+    /// # Errors
+    ///
+    /// [`DataServiceError::NotRetrievable`] when no replica verifies.
+    pub fn retrieve(&mut self, pid: Pid) -> Result<DataBlock, DataServiceError> {
+        let mut peers = peer_set(&self.overlay, pid_key(&pid), self.replication_factor)?;
+        // Pick replicas in random order (the paper: "at random, or guided
+        // by some 'closeness' metric").
+        self.rng.shuffle(&mut peers);
+        for peer in peers {
+            if self.behaviour_of(peer) == NodeBehaviour::FailStop {
+                continue;
+            }
+            let Some(data) = self.stores.get(&peer.0).and_then(|s| s.get(&pid)) else {
+                continue;
+            };
+            if pid.verifies(data) {
+                self.stats.retrievals += 1;
+                return Ok(DataBlock::new(data.clone()));
+            }
+            self.stats.verification_failures += 1;
+        }
+        Err(DataServiceError::NotRetrievable(pid))
+    }
+
+    /// Background replica maintenance (paper §2.2): regenerates missing
+    /// or corrupt replicas from a verified copy. Returns the number of
+    /// replicas recreated.
+    pub fn repair(&mut self) -> usize {
+        // Collect every PID known to any node.
+        let mut pids: Vec<Pid> = Vec::new();
+        for store in self.stores.values() {
+            for pid in store.keys() {
+                if !pids.contains(pid) {
+                    pids.push(*pid);
+                }
+            }
+        }
+        let mut repaired = 0usize;
+        for pid in pids {
+            let Ok(good) = self.retrieve(pid) else { continue };
+            let Ok(peers) = peer_set(&self.overlay, pid_key(&pid), self.replication_factor) else {
+                continue;
+            };
+            for peer in peers {
+                if self.behaviour_of(peer) != NodeBehaviour::Correct {
+                    continue;
+                }
+                let store = self.stores.entry(peer.0).or_default();
+                let ok = store.get(&pid).is_some_and(|d| pid.verifies(d));
+                if !ok {
+                    store.insert(pid, good.data().to_vec());
+                    repaired += 1;
+                }
+            }
+        }
+        self.stats.repaired += repaired as u64;
+        repaired
+    }
+
+    /// Number of verified replicas currently held for `pid`.
+    pub fn replica_count(&self, pid: Pid) -> usize {
+        self.stores
+            .values()
+            .filter(|s| s.get(&pid).is_some_and(|d| pid.verifies(d)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlay(n: usize) -> Overlay {
+        Overlay::with_nodes((0..n as u64).map(|i| Key::hash(&i.to_be_bytes())), 4)
+    }
+
+    fn service(n: usize, r: u32) -> DataService {
+        DataService::new(overlay(n), r, 7)
+    }
+
+    #[test]
+    fn store_and_retrieve_roundtrip() {
+        let mut svc = service(64, 4);
+        let block = DataBlock::new(b"the quick brown fox".to_vec());
+        let pid = svc.store(&block).unwrap();
+        assert_eq!(pid, block.pid());
+        let back = svc.retrieve(pid).unwrap();
+        assert_eq!(back, block);
+        assert_eq!(svc.replica_count(pid), 4);
+    }
+
+    #[test]
+    fn tolerates_f_byzantine_replicas() {
+        let mut svc = service(64, 4);
+        let block = DataBlock::new(b"important".to_vec());
+        // Mark one replica-owner Byzantine (f = 1 for r = 4).
+        let peers = peer_set(svc.overlay(), pid_key(&block.pid()), 4).unwrap();
+        svc.set_behaviour(peers[0], NodeBehaviour::Byzantine);
+        let pid = svc.store(&block).unwrap();
+        // Retrieval always verifies; possibly after rejecting bad copies.
+        for _ in 0..10 {
+            assert_eq!(svc.retrieve(pid).unwrap(), block);
+        }
+    }
+
+    #[test]
+    fn store_fails_beyond_f_failstop() {
+        let mut svc = service(64, 4);
+        let block = DataBlock::new(b"fragile".to_vec());
+        let peers = peer_set(svc.overlay(), pid_key(&block.pid()), 4).unwrap();
+        // r - f = 3 acks needed; 2 fail-stop peers leave only 2.
+        svc.set_behaviour(peers[0], NodeBehaviour::FailStop);
+        svc.set_behaviour(peers[1], NodeBehaviour::FailStop);
+        assert_eq!(
+            svc.store(&block),
+            Err(DataServiceError::QuorumNotReached { acks: 2, needed: 3 })
+        );
+    }
+
+    #[test]
+    fn all_byzantine_makes_block_unretrievable() {
+        let mut svc = service(64, 4);
+        let block = DataBlock::new(b"doomed".to_vec());
+        let peers = peer_set(svc.overlay(), pid_key(&block.pid()), 4).unwrap();
+        for p in peers {
+            svc.set_behaviour(p, NodeBehaviour::Byzantine);
+        }
+        let pid = svc.store(&block).unwrap(); // they all "ack"
+        assert_eq!(svc.retrieve(pid), Err(DataServiceError::NotRetrievable(pid)));
+        assert!(svc.stats().verification_failures >= 4);
+    }
+
+    #[test]
+    fn repair_restores_replication() {
+        let mut svc = service(64, 4);
+        let block = DataBlock::new(b"heal me".to_vec());
+        let peers = peer_set(svc.overlay(), pid_key(&block.pid()), 4).unwrap();
+        svc.set_behaviour(peers[0], NodeBehaviour::FailStop);
+        let pid = svc.store(&block).unwrap();
+        assert_eq!(svc.replica_count(pid), 3);
+        // The node recovers; repair recreates its replica.
+        svc.set_behaviour(peers[0], NodeBehaviour::Correct);
+        let repaired = svc.repair();
+        assert_eq!(repaired, 1);
+        assert_eq!(svc.replica_count(pid), 4);
+    }
+
+    #[test]
+    fn verification_rejects_tampering() {
+        let mut svc = service(64, 4);
+        let block = DataBlock::new(b"tamper target".to_vec());
+        let peers = peer_set(svc.overlay(), pid_key(&block.pid()), 4).unwrap();
+        svc.set_behaviour(peers[0], NodeBehaviour::Byzantine);
+        svc.set_behaviour(peers[1], NodeBehaviour::Byzantine);
+        svc.set_behaviour(peers[2], NodeBehaviour::Byzantine);
+        let pid = svc.store(&block).unwrap();
+        // One honest replica remains; retrieval must find it.
+        assert_eq!(svc.retrieve(pid).unwrap(), block);
+    }
+
+    #[test]
+    fn distinct_blocks_distinct_pids() {
+        let mut svc = service(64, 4);
+        let a = svc.store(&DataBlock::new(b"a".to_vec())).unwrap();
+        let b = svc.store(&DataBlock::new(b"b".to_vec())).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(svc.stats().stores, 2);
+    }
+}

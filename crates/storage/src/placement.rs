@@ -1,0 +1,107 @@
+//! Replica placement: the globally known key-generation function.
+//!
+//! Paper §2.1: the endpoint "determines which participating nodes should
+//! store replicas of the data, by applying a globally known function that
+//! deterministically generates a set of keys from a single PID. In the
+//! current prototype, the key generation function returns a set of keys
+//! that are evenly distributed in key space. The number of keys is
+//! determined by the data replication factor."
+
+use asa_chord::{Key, Overlay, OverlayError};
+
+use crate::entities::{Guid, Pid};
+
+/// Generates `replication_factor` keys evenly distributed around the
+/// ring, anchored at the identifier's own ring position.
+pub fn replica_keys(anchor: Key, replication_factor: u32) -> Vec<Key> {
+    assert!(replication_factor > 0, "replication factor must be positive");
+    let r = u64::from(replication_factor);
+    let stride = u64::MAX / r; // ≈ 2^64 / r; rounding skew is negligible
+    (0..r).map(|i| Key(anchor.0.wrapping_add(i.wrapping_mul(stride)))).collect()
+}
+
+/// The ring anchor of a PID.
+pub fn pid_key(pid: &Pid) -> Key {
+    Key(pid.0.prefix_u64())
+}
+
+/// The ring anchor of a GUID.
+pub fn guid_key(guid: &Guid) -> Key {
+    Key(guid.0.prefix_u64())
+}
+
+/// Resolves the *peer set* for an identifier: the live nodes owning each
+/// replica key (paper §2.1 "the replication nodes, referred to as the
+/// peer set for the data key"). Distinct keys can resolve to the same
+/// node on small rings; duplicates are removed, so the peer set can be
+/// smaller than the replication factor when the overlay is small.
+///
+/// # Errors
+///
+/// Returns [`OverlayError::Empty`] when the overlay has no live nodes.
+pub fn peer_set(
+    overlay: &Overlay,
+    anchor: Key,
+    replication_factor: u32,
+) -> Result<Vec<Key>, OverlayError> {
+    let mut peers = Vec::new();
+    for key in replica_keys(anchor, replication_factor) {
+        let owner = overlay.owner_of(key)?;
+        if !peers.contains(&owner) {
+            peers.push(owner);
+        }
+    }
+    Ok(peers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_evenly_spread() {
+        let anchor = Key(1000);
+        let keys = replica_keys(anchor, 4);
+        assert_eq!(keys.len(), 4);
+        assert_eq!(keys[0], anchor);
+        // Gaps between consecutive keys are ~2^62.
+        for w in keys.windows(2) {
+            let gap = w[0].distance_to(w[1]);
+            let expected = u64::MAX / 4;
+            assert!(gap.abs_diff(expected) <= 4, "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let pid = Pid::of(b"block");
+        assert_eq!(replica_keys(pid_key(&pid), 7), replica_keys(pid_key(&pid), 7));
+    }
+
+    #[test]
+    fn peer_set_resolves_to_live_owners() {
+        let overlay = Overlay::with_nodes(
+            (0..64u64).map(|i| Key::hash(&i.to_be_bytes())),
+            4,
+        );
+        let pid = Pid::of(b"data");
+        let peers = peer_set(&overlay, pid_key(&pid), 4).unwrap();
+        assert_eq!(peers.len(), 4, "64 nodes comfortably separate 4 keys");
+        for (key, peer) in replica_keys(pid_key(&pid), 4).iter().zip(&peers) {
+            assert_eq!(overlay.owner_of(*key).unwrap(), *peer);
+        }
+    }
+
+    #[test]
+    fn small_overlay_dedupes_peers() {
+        let overlay = Overlay::with_nodes([Key(1), Key(2)], 1);
+        let peers = peer_set(&overlay, Key(0), 4).unwrap();
+        assert!(peers.len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor must be positive")]
+    fn zero_replication_panics() {
+        replica_keys(Key(0), 0);
+    }
+}

@@ -1,0 +1,699 @@
+//! The version-history service (paper §2.2): recording new GUID→PID
+//! mappings through the Byzantine-fault-tolerant commit protocol.
+//!
+//! One harness instance models the peer set of a single GUID: `r` peers
+//! (each running one generated-FSM instance per ongoing update attempt)
+//! plus one or more client endpoints, all exchanging messages over the
+//! deterministic network simulator. Peers vote for updates in arrival
+//! order, exchange `vote`/`commit` messages, and append an update to
+//! their local history once the external commit threshold is reached;
+//! endpoints detect completion when `f + 1` distinct peers report the
+//! commit (the only answer a Byzantine minority cannot forge) and operate
+//! the paper's timeout/retry scheme with configurable back-off.
+//!
+//! ## Reconstruction note (documented in DESIGN.md)
+//!
+//! The paper names the endpoint timeout/retry scheme but does not specify
+//! how a deadlocked attempt is abandoned at the peers. We model a retry
+//! as a *fresh attempt* (same PID, new attempt number) preceded by an
+//! `abort` of the old one; a peer abandons an attempt only while it has
+//! not yet sent a `commit` for it, releasing its choice lock (`free`) so
+//! the new attempt can be voted for. Committed attempts for an
+//! already-recorded PID are deduplicated when appending to the history.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use asa_simnet::{Context, NodeId, SimConfig, SimNode, SimStats, SimTime, Simulation};
+use stategen_commit::{CommitConfig, CommitMessage, CommitModel, CommitStateExt};
+use stategen_core::{generate, FsmInstance, ProtocolEngine, StateMachine};
+
+use crate::backoff::{RetryScheme, ServerOrdering};
+use crate::entities::Pid;
+
+/// Identifier of one protocol execution: an update (PID) plus the
+/// endpoint's attempt number (retries are fresh executions, paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttemptId {
+    /// The version being recorded.
+    pub pid: Pid,
+    /// Which client submitted it (disambiguates concurrent clients).
+    pub client: u32,
+    /// Retry number, starting at 0.
+    pub attempt: u32,
+}
+
+/// Messages of the version-history service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VhMsg {
+    /// Client → peers: request to record this update.
+    ClientUpdate(AttemptId),
+    /// Peer → peers: vote for an update.
+    Vote(AttemptId),
+    /// Peer → peers: commit an update.
+    Commit(AttemptId),
+    /// Client → peers: abandon a (presumed deadlocked) attempt.
+    Abort(AttemptId),
+    /// Peer → client: this peer has committed the update.
+    Committed(AttemptId),
+}
+
+/// How a peer behaves (paper §2: operation on non-trusted platforms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeerBehaviour {
+    /// Follows the protocol.
+    #[default]
+    Correct,
+    /// Fail-stop: never reacts (crashed from the start).
+    Silent,
+    /// Byzantine: votes and commits for every attempt it hears about,
+    /// trying to commit conflicting updates.
+    Equivocator,
+}
+
+/// One peer-set member running the generated commit FSM.
+#[derive(Debug)]
+pub struct CommitPeer<'m> {
+    machine: &'m StateMachine,
+    behaviour: PeerBehaviour,
+    peer_count: usize,
+    instances: BTreeMap<AttemptId, FsmInstance<'m>>,
+    /// Sender-level deduplication: each peer's vote/commit for an attempt
+    /// is counted once, whatever a Byzantine sender replays.
+    seen: BTreeSet<(AttemptId, NodeId, u8)>,
+    /// The client that requested each attempt (for completion reports).
+    clients: BTreeMap<AttemptId, NodeId>,
+    committed: BTreeSet<AttemptId>,
+    history: Vec<Pid>,
+    /// Abandon unfinished executions after this many ticks (paper §2.2:
+    /// the tolerance bound "applies to the duration of a particular
+    /// execution of the commit protocol" — executions have bounded
+    /// lifetime). Also the livelock breaker: a stuck instance holding the
+    /// node's choice lock is eventually released.
+    gc_after: SimTime,
+    gc_tags: BTreeMap<u64, AttemptId>,
+    next_gc_tag: u64,
+}
+
+impl<'m> CommitPeer<'m> {
+    /// Creates a peer executing `machine`; the first `peer_count` nodes
+    /// of the simulation are the peer set.
+    pub fn new(
+        machine: &'m StateMachine,
+        peer_count: usize,
+        behaviour: PeerBehaviour,
+        gc_after: SimTime,
+    ) -> Self {
+        CommitPeer {
+            machine,
+            behaviour,
+            peer_count,
+            instances: BTreeMap::new(),
+            seen: BTreeSet::new(),
+            clients: BTreeMap::new(),
+            committed: BTreeSet::new(),
+            history: Vec::new(),
+            gc_after,
+            gc_tags: BTreeMap::new(),
+            next_gc_tag: 0,
+        }
+    }
+
+    /// The sequence of versions this peer has recorded.
+    pub fn history(&self) -> &[Pid] {
+        &self.history
+    }
+
+    /// Attempts this peer has committed.
+    pub fn committed(&self) -> &BTreeSet<AttemptId> {
+        &self.committed
+    }
+
+    /// This peer's behaviour.
+    pub fn behaviour(&self) -> PeerBehaviour {
+        self.behaviour
+    }
+
+    fn broadcast_peers(&self, ctx: &mut Context<'_, VhMsg>, message: VhMsg) {
+        for i in 0..self.peer_count {
+            if i != ctx.self_id().index() {
+                ctx.send(NodeId(i), message.clone());
+            }
+        }
+    }
+
+    /// Delivers a protocol message to the attempt's FSM instance and
+    /// propagates all resulting actions, including the node-local
+    /// `free`/`not free` signals between sibling instances.
+    fn feed(
+        &mut self,
+        ctx: &mut Context<'_, VhMsg>,
+        attempt: AttemptId,
+        message: CommitMessage,
+    ) {
+        let mut queue: VecDeque<(AttemptId, CommitMessage)> = VecDeque::new();
+        queue.push_back((attempt, message));
+        while let Some((a, m)) = queue.pop_front() {
+            // A fresh attempt for a PID this peer already recorded is not
+            // re-executed (retries of a committed update are idempotent).
+            if m == CommitMessage::Update && self.history.contains(&a.pid) {
+                continue;
+            }
+            // A new instance must reflect the node's current choice state:
+            // if a sibling instance has already chosen an update, this
+            // node is not free (the `not_free` signal predates the
+            // instance's creation).
+            if !self.instances.contains_key(&a) {
+                let mut engine = FsmInstance::new(self.machine);
+                if self.node_has_chosen() {
+                    // The node's choice lock predates this instance.
+                    engine
+                        .deliver(CommitMessage::NotFree.as_str())
+                        .expect("commit alphabet is fixed");
+                }
+                self.instances.insert(a, engine);
+                let tag = self.next_gc_tag;
+                self.next_gc_tag += 1;
+                self.gc_tags.insert(tag, a);
+                ctx.set_timer(self.gc_after, tag);
+            }
+            let engine = self.instances.get_mut(&a).expect("inserted above");
+            let actions = engine.deliver(m.as_str()).expect("commit alphabet is fixed");
+            let finished = engine.is_finished();
+            for action in &actions {
+                match action.message() {
+                    "vote" => self.broadcast_peers(ctx, VhMsg::Vote(a)),
+                    "commit" => self.broadcast_peers(ctx, VhMsg::Commit(a)),
+                    "not_free" => {
+                        for sibling in self.local_siblings(a) {
+                            queue.push_back((sibling, CommitMessage::NotFree));
+                        }
+                    }
+                    "free" => {
+                        for sibling in self.local_siblings(a) {
+                            queue.push_back((sibling, CommitMessage::Free));
+                        }
+                    }
+                    other => unreachable!("unexpected action {other}"),
+                }
+            }
+            if finished && self.committed.insert(a) {
+                if !self.history.contains(&a.pid) {
+                    self.history.push(a.pid);
+                }
+                if let Some(&client) = self.clients.get(&a) {
+                    ctx.send(client, VhMsg::Committed(a));
+                }
+            }
+        }
+    }
+
+    /// `true` while some unfinished instance on this node has chosen its
+    /// update (the node's choice lock is held).
+    fn node_has_chosen(&self) -> bool {
+        self.instances.values().any(|engine| {
+            !engine.is_finished()
+                && engine.current().vector().is_some_and(CommitStateExt::has_chosen)
+        })
+    }
+
+    fn local_siblings(&self, attempt: AttemptId) -> Vec<AttemptId> {
+        self.instances
+            .iter()
+            .filter(|(a, engine)| **a != attempt && !engine.is_finished())
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Abandons an attempt on client request, unless this peer already
+    /// sent a commit for it (the update may be about to agree; the
+    /// instance garbage collector reclaims it later if not).
+    fn abort(&mut self, ctx: &mut Context<'_, VhMsg>, attempt: AttemptId) {
+        let Some(engine) = self.instances.get(&attempt) else { return };
+        if engine.is_finished() {
+            return;
+        }
+        if engine.current().vector().is_some_and(CommitStateExt::commit_sent) {
+            return;
+        }
+        self.drop_instance(ctx, attempt);
+    }
+
+    fn dedup(&mut self, attempt: AttemptId, from: NodeId, kind: u8) -> bool {
+        self.seen.insert((attempt, from, kind))
+    }
+
+    /// Drops an unfinished instance and, if it held the node's choice
+    /// lock, releases it by signalling `free` to the sibling instances.
+    fn drop_instance(&mut self, ctx: &mut Context<'_, VhMsg>, attempt: AttemptId) {
+        let Some(engine) = self.instances.get(&attempt) else { return };
+        if engine.is_finished() {
+            return;
+        }
+        let had_chosen =
+            engine.current().vector().is_some_and(CommitStateExt::has_chosen);
+        self.instances.remove(&attempt);
+        if had_chosen {
+            for sibling in self.local_siblings(attempt) {
+                self.feed(ctx, sibling, CommitMessage::Free);
+            }
+        }
+    }
+}
+
+impl SimNode<VhMsg> for CommitPeer<'_> {
+    fn on_timer(&mut self, ctx: &mut Context<'_, VhMsg>, tag: u64) {
+        if let Some(attempt) = self.gc_tags.remove(&tag) {
+            self.drop_instance(ctx, attempt);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, VhMsg>, from: NodeId, message: VhMsg) {
+        match self.behaviour {
+            PeerBehaviour::Silent => {}
+            PeerBehaviour::Equivocator => {
+                // Vote and commit for every attempt it hears about,
+                // trying to drive conflicting updates to commit. One
+                // blast per attempt: replays would be deduplicated by
+                // correct peers anyway, so this loses no adversarial
+                // power while keeping equivocator pairs from flooding
+                // each other forever.
+                let attempt = match message {
+                    VhMsg::ClientUpdate(a)
+                    | VhMsg::Vote(a)
+                    | VhMsg::Commit(a)
+                    | VhMsg::Abort(a) => a,
+                    VhMsg::Committed(_) => return,
+                };
+                if self.seen.insert((attempt, NodeId(usize::MAX), u8::MAX)) {
+                    self.broadcast_peers(ctx, VhMsg::Vote(attempt));
+                    self.broadcast_peers(ctx, VhMsg::Commit(attempt));
+                }
+            }
+            PeerBehaviour::Correct => match message {
+                VhMsg::ClientUpdate(a) => {
+                    if self.history.contains(&a.pid) {
+                        // Already recorded (an earlier attempt won):
+                        // confirm without re-executing the protocol.
+                        ctx.send(from, VhMsg::Committed(a));
+                    } else if self.dedup(a, from, 0) {
+                        self.clients.insert(a, from);
+                        self.feed(ctx, a, CommitMessage::Update);
+                    }
+                }
+                VhMsg::Vote(a) => {
+                    if self.dedup(a, from, 1) {
+                        self.feed(ctx, a, CommitMessage::Vote);
+                    }
+                }
+                VhMsg::Commit(a) => {
+                    if self.dedup(a, from, 2) {
+                        self.feed(ctx, a, CommitMessage::Commit);
+                    }
+                }
+                VhMsg::Abort(a) => self.abort(ctx, a),
+                VhMsg::Committed(_) => {}
+            },
+        }
+    }
+}
+
+/// Outcome of one client update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// The version recorded.
+    pub pid: Pid,
+    /// Attempts needed (1 = no retry).
+    pub attempts: u32,
+    /// Virtual time from first submission to confirmed commit.
+    pub latency: SimTime,
+}
+
+/// A client endpoint: submits its updates sequentially, confirms each
+/// commit via `f + 1` peer reports, retries deadlocked attempts with the
+/// configured back-off (paper §2.2).
+#[derive(Debug)]
+pub struct ClientEndpoint {
+    id: u32,
+    peer_count: usize,
+    needed_reports: u32,
+    updates: VecDeque<Pid>,
+    retry: RetryScheme,
+    ordering: ServerOrdering,
+    timeout: SimTime,
+    contact_stagger: SimTime,
+    pending: Option<Pending>,
+    outcomes: Vec<UpdateOutcome>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    attempt: AttemptId,
+    reporters: BTreeSet<NodeId>,
+    submitted_at: SimTime,
+    first_submitted_at: SimTime,
+}
+
+/// Endpoint timer tags.
+const TAG_TIMEOUT: u64 = 1 << 62;
+const TAG_CONTACT: u64 = 1 << 61;
+
+impl ClientEndpoint {
+    /// Creates an endpoint submitting `updates` (in order) to the peer
+    /// set formed by the first `peer_count` simulation nodes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u32,
+        peer_count: usize,
+        max_faulty: u32,
+        updates: Vec<Pid>,
+        retry: RetryScheme,
+        ordering: ServerOrdering,
+        timeout: SimTime,
+        contact_stagger: SimTime,
+    ) -> Self {
+        ClientEndpoint {
+            id,
+            peer_count,
+            needed_reports: max_faulty + 1,
+            updates: updates.into(),
+            retry,
+            ordering,
+            timeout,
+            contact_stagger,
+            pending: None,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Completed updates, in submission order.
+    pub fn outcomes(&self) -> &[UpdateOutcome] {
+        &self.outcomes
+    }
+
+    /// `true` once every queued update committed.
+    pub fn is_done(&self) -> bool {
+        self.pending.is_none() && self.updates.is_empty()
+    }
+
+    fn submit_next(&mut self, ctx: &mut Context<'_, VhMsg>) {
+        let Some(pid) = self.updates.pop_front() else { return };
+        let attempt = AttemptId { pid, client: self.id, attempt: 0 };
+        let now = ctx.now();
+        self.pending = Some(Pending {
+            attempt,
+            reporters: BTreeSet::new(),
+            submitted_at: now,
+            first_submitted_at: now,
+        });
+        self.contact_peers(ctx, attempt);
+    }
+
+    fn contact_peers(&mut self, ctx: &mut Context<'_, VhMsg>, attempt: AttemptId) {
+        // Paper §2.2: fixed or random server ordering. Contacts are
+        // staggered so the order is visible through network latency.
+        let order = self.ordering.order(self.peer_count, ctx.rng());
+        for (slot, peer) in order.into_iter().enumerate() {
+            let delay = self.contact_stagger * slot as u64;
+            if delay == 0 {
+                ctx.send(NodeId(peer), VhMsg::ClientUpdate(attempt));
+            } else {
+                ctx.set_timer(delay, TAG_CONTACT | (attempt.attempt as u64) << 16 | peer as u64);
+            }
+        }
+        ctx.set_timer(self.timeout, TAG_TIMEOUT | u64::from(attempt.attempt));
+    }
+
+    fn on_committed(&mut self, ctx: &mut Context<'_, VhMsg>, from: NodeId, attempt: AttemptId) {
+        let Some(pending) = self.pending.as_mut() else { return };
+        if attempt.pid != pending.attempt.pid || attempt.client != self.id {
+            return;
+        }
+        pending.reporters.insert(from);
+        if pending.reporters.len() as u32 >= self.needed_reports {
+            let outcome = UpdateOutcome {
+                pid: attempt.pid,
+                attempts: pending.attempt.attempt + 1,
+                latency: ctx.now() - pending.first_submitted_at,
+            };
+            self.outcomes.push(outcome);
+            self.pending = None;
+            self.submit_next(ctx);
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Context<'_, VhMsg>, stale_attempt: u32) {
+        let Some(pending) = self.pending.as_mut() else { return };
+        if pending.attempt.attempt != stale_attempt {
+            return; // a newer attempt is already in flight
+        }
+        // Abort the stalled attempt, back off, retry as a new execution.
+        let old = pending.attempt;
+        for i in 0..self.peer_count {
+            ctx.send(NodeId(i), VhMsg::Abort(old));
+        }
+        let next = AttemptId { pid: old.pid, client: self.id, attempt: old.attempt + 1 };
+        pending.attempt = next;
+        pending.reporters.clear();
+        pending.submitted_at = ctx.now();
+        let backoff = self.retry.delay(old.attempt, ctx.rng());
+        ctx.set_timer(backoff, TAG_CONTACT | (next.attempt as u64) << 16 | 0xFFFF);
+    }
+}
+
+impl SimNode<VhMsg> for ClientEndpoint {
+    fn on_start(&mut self, ctx: &mut Context<'_, VhMsg>) {
+        self.submit_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, VhMsg>, from: NodeId, message: VhMsg) {
+        if let VhMsg::Committed(attempt) = message {
+            self.on_committed(ctx, from, attempt);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, VhMsg>, tag: u64) {
+        if tag & TAG_TIMEOUT != 0 {
+            self.on_timeout(ctx, (tag & 0xFFFF) as u32);
+        } else if tag & TAG_CONTACT != 0 {
+            let peer = (tag & 0xFFFF) as usize;
+            let attempt_no = ((tag >> 16) & 0xFFFF) as u32;
+            let Some(pending) = self.pending.as_ref() else { return };
+            if pending.attempt.attempt != attempt_no {
+                return;
+            }
+            let attempt = pending.attempt;
+            if peer == 0xFFFF {
+                // Back-off elapsed: contact the peer set for the retry.
+                self.contact_peers(ctx, attempt);
+            } else {
+                ctx.send(NodeId(peer), VhMsg::ClientUpdate(attempt));
+            }
+        }
+    }
+}
+
+/// Heterogeneous node wrapper for the harness.
+#[derive(Debug)]
+pub enum VhNode<'m> {
+    /// A peer-set member.
+    Peer(CommitPeer<'m>),
+    /// A client endpoint.
+    Client(ClientEndpoint),
+}
+
+impl SimNode<VhMsg> for VhNode<'_> {
+    fn on_start(&mut self, ctx: &mut Context<'_, VhMsg>) {
+        match self {
+            VhNode::Peer(p) => p.on_start(ctx),
+            VhNode::Client(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, VhMsg>, from: NodeId, message: VhMsg) {
+        match self {
+            VhNode::Peer(p) => p.on_message(ctx, from, message),
+            VhNode::Client(c) => c.on_message(ctx, from, message),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, VhMsg>, tag: u64) {
+        match self {
+            VhNode::Peer(p) => p.on_timer(ctx, tag),
+            VhNode::Client(c) => c.on_timer(ctx, tag),
+        }
+    }
+}
+
+/// Parameters of a version-history simulation.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Replication factor (peer-set size).
+    pub replication_factor: u32,
+    /// Behaviour of each peer (padded with `Correct`).
+    pub behaviours: Vec<PeerBehaviour>,
+    /// Updates submitted by each client (one endpoint per entry).
+    pub client_updates: Vec<Vec<Pid>>,
+    /// Endpoint retry scheme.
+    pub retry: RetryScheme,
+    /// Endpoint server-contact ordering.
+    pub ordering: ServerOrdering,
+    /// Endpoint timeout before declaring an attempt deadlocked.
+    pub timeout: SimTime,
+    /// Stagger between contacting consecutive peers.
+    pub contact_stagger: SimTime,
+    /// Peers abandon unfinished protocol executions after this long.
+    pub peer_gc: SimTime,
+    /// Network parameters.
+    pub net: SimConfig,
+    /// Abandon the run at this virtual time.
+    pub deadline: SimTime,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            replication_factor: 4,
+            behaviours: Vec::new(),
+            client_updates: vec![vec![Pid::of(b"default update")]],
+            retry: RetryScheme::Exponential { base: 200, max: 5_000 },
+            ordering: ServerOrdering::Fixed,
+            timeout: 1_000,
+            contact_stagger: 2,
+            peer_gc: 4_000,
+            net: SimConfig::default(),
+            deadline: 2_000_000,
+        }
+    }
+}
+
+/// Results of a harness run.
+#[derive(Debug, Clone)]
+pub struct HarnessReport {
+    /// Per-peer recorded history (index = peer node id).
+    pub histories: Vec<Vec<Pid>>,
+    /// Behaviour of each peer (same indexing).
+    pub behaviours: Vec<PeerBehaviour>,
+    /// Per-client outcomes.
+    pub outcomes: Vec<Vec<UpdateOutcome>>,
+    /// `true` if every client confirmed every update.
+    pub all_committed: bool,
+    /// Network statistics.
+    pub stats: SimStats,
+    /// Virtual time when the run ended.
+    pub end_time: SimTime,
+}
+
+impl HarnessReport {
+    /// Histories of the correct peers only.
+    pub fn correct_histories(&self) -> Vec<&Vec<Pid>> {
+        self.histories
+            .iter()
+            .zip(&self.behaviours)
+            .filter(|(_, b)| **b == PeerBehaviour::Correct)
+            .map(|(h, _)| h)
+            .collect()
+    }
+
+    /// `true` when all correct peers recorded exactly the same sequence
+    /// (the paper's serialisation requirement: "a globally consistent
+    /// view ... the same orderings in the version history").
+    pub fn orders_agree(&self) -> bool {
+        let correct = self.correct_histories();
+        correct.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// `true` when all correct peers recorded the same *set* of versions.
+    pub fn sets_agree(&self) -> bool {
+        let correct = self.correct_histories();
+        correct.windows(2).all(|w| {
+            let a: BTreeSet<&Pid> = w[0].iter().collect();
+            let b: BTreeSet<&Pid> = w[1].iter().collect();
+            a == b
+        })
+    }
+
+    /// The history returned consistently by at least `max_faulty + 1`
+    /// peers — the only answer a Byzantine minority cannot forge (paper
+    /// §2.2: "select the (only possible) one that is returned
+    /// consistently by at least f+1 nodes").
+    pub fn read_consistent(&self, max_faulty: u32) -> Option<Vec<Pid>> {
+        let needed = (max_faulty + 1) as usize;
+        for candidate in &self.histories {
+            let agreeing = self.histories.iter().filter(|h| *h == candidate).count();
+            if agreeing >= needed {
+                return Some(candidate.clone());
+            }
+        }
+        None
+    }
+
+    /// Total retries across all clients.
+    pub fn total_retries(&self) -> u32 {
+        self.outcomes
+            .iter()
+            .flatten()
+            .map(|o| o.attempts.saturating_sub(1))
+            .sum()
+    }
+}
+
+/// Runs a version-history simulation with the generated commit FSM for
+/// the configured replication factor.
+pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
+    let commit_config =
+        CommitConfig::new(config.replication_factor).expect("valid replication factor");
+    let machine = generate(&CommitModel::new(commit_config))
+        .expect("commit model generates")
+        .machine;
+    let r = config.replication_factor as usize;
+    let mut nodes: Vec<VhNode<'_>> = Vec::new();
+    for i in 0..r {
+        let behaviour = config.behaviours.get(i).copied().unwrap_or_default();
+        nodes.push(VhNode::Peer(CommitPeer::new(&machine, r, behaviour, config.peer_gc)));
+    }
+    for (ci, updates) in config.client_updates.iter().enumerate() {
+        nodes.push(VhNode::Client(ClientEndpoint::new(
+            ci as u32,
+            r,
+            commit_config.max_faulty(),
+            updates.clone(),
+            config.retry,
+            config.ordering,
+            config.timeout,
+            config.contact_stagger,
+        )));
+    }
+    let mut sim = Simulation::new(config.net.clone(), nodes);
+    sim.run_until(config.deadline);
+    let mut histories = Vec::with_capacity(r);
+    let mut behaviours = Vec::with_capacity(r);
+    for i in 0..r {
+        match sim.node(NodeId(i)) {
+            VhNode::Peer(p) => {
+                histories.push(p.history().to_vec());
+                behaviours.push(p.behaviour());
+            }
+            VhNode::Client(_) => unreachable!("peers precede clients"),
+        }
+    }
+    let mut outcomes = Vec::new();
+    let mut all_committed = true;
+    for i in r..sim.node_count() {
+        match sim.node(NodeId(i)) {
+            VhNode::Client(c) => {
+                all_committed &= c.is_done();
+                outcomes.push(c.outcomes().to_vec());
+            }
+            VhNode::Peer(_) => unreachable!("clients follow peers"),
+        }
+    }
+    let end_time = sim.now();
+    HarnessReport {
+        histories,
+        behaviours,
+        outcomes,
+        all_committed,
+        stats: sim.stats(),
+        end_time,
+    }
+}

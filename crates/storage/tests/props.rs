@@ -1,0 +1,74 @@
+//! Property-based tests of the storage layer: placement determinism,
+//! quorum arithmetic, and store/retrieve round-trips under bounded
+//! Byzantine behaviour.
+
+use proptest::prelude::*;
+
+use asa_chord::{Key, Overlay};
+use asa_storage::{
+    peer_set, pid_key, replica_keys, DataBlock, DataService, NodeBehaviour, Pid,
+};
+
+fn overlay(n: usize) -> Overlay {
+    Overlay::with_nodes((0..n as u64).map(|i| Key::hash(&i.to_be_bytes())), 4)
+}
+
+proptest! {
+    #[test]
+    fn replica_keys_deterministic_and_sized(anchor in any::<u64>(), r in 1u32..20) {
+        let a = replica_keys(Key(anchor), r);
+        let b = replica_keys(Key(anchor), r);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), r as usize);
+        prop_assert_eq!(a[0], Key(anchor));
+    }
+
+    #[test]
+    fn replica_keys_distinct(anchor in any::<u64>(), r in 2u32..20) {
+        let mut keys = replica_keys(Key(anchor), r);
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), r as usize, "evenly spread keys never collide");
+    }
+
+    #[test]
+    fn peer_set_members_are_live(data in prop::collection::vec(any::<u8>(), 0..128)) {
+        let overlay = overlay(64);
+        let pid = Pid::of(&data);
+        let peers = peer_set(&overlay, pid_key(&pid), 4).expect("peer set");
+        let live = overlay.live_nodes();
+        for p in peers {
+            prop_assert!(live.contains(&p));
+        }
+    }
+
+    #[test]
+    fn store_retrieve_roundtrip_with_byzantine_minority(
+        blocks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let mut service = DataService::new(overlay(64), 4, seed);
+        let blocks: Vec<DataBlock> = blocks.into_iter().map(DataBlock::new).collect();
+        // For each block, mark exactly f = 1 of its replica peers Byzantine.
+        for b in &blocks {
+            let peers = peer_set(service.overlay(), pid_key(&b.pid()), 4).expect("peer set");
+            service.set_behaviour(peers[0], NodeBehaviour::Byzantine);
+        }
+        let mut pids = Vec::new();
+        for b in &blocks {
+            pids.push(service.store(b).expect("store reaches quorum"));
+        }
+        for (pid, b) in pids.iter().zip(&blocks) {
+            let got = service.retrieve(*pid).expect("retrieval verifies");
+            prop_assert_eq!(&got, b);
+        }
+    }
+
+    #[test]
+    fn duplicate_content_same_pid(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut service = DataService::new(overlay(32), 4, 1);
+        let a = service.store(&DataBlock::new(data.clone())).expect("store");
+        let b = service.store(&DataBlock::new(data)).expect("store");
+        prop_assert_eq!(a, b, "content addressing is deterministic");
+    }
+}

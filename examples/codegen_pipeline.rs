@@ -1,0 +1,50 @@
+//! The artefact-generation pipeline (paper §3.5, Figs 14–19): one
+//! generated machine rendered as text, DOT, XML, Mermaid, Java and Rust —
+//! plus the raw-vs-abstracted generative-code comparison of Figs 17/19.
+//!
+//! Run with: `cargo run --example codegen_pipeline`
+
+use stategen::commit::{CommitConfig, CommitModel};
+use stategen::fsm::generate;
+use stategen::render::{
+    java_src, render_dot, render_mermaid, render_rust_module, render_xml, DotOptions,
+    JavaRenderer, TextRenderer,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generated = generate(&CommitModel::new(CommitConfig::new(4)?))?;
+    let machine = &generated.machine;
+
+    let text = TextRenderer::new().render(machine);
+    let dot = render_dot(machine, &DotOptions::default());
+    let xml = render_xml(machine);
+    let mermaid = render_mermaid(machine);
+    let rust = render_rust_module(machine);
+    let java = JavaRenderer::new("CommitFsm", "CommitActions").render(machine);
+
+    println!("machine `{}`: {} states, {} transitions", machine.name(),
+        machine.state_count(), machine.transition_count());
+    for (name, artefact) in [
+        ("text (Fig 14)", &text),
+        ("DOT (Fig 15)", &dot),
+        ("XML (Fig 15)", &xml),
+        ("Mermaid", &mermaid),
+        ("Rust module (Fig 16)", &rust),
+        ("Java class (Fig 16)", &java),
+    ] {
+        println!("  {name:<22} {} lines", artefact.lines().count());
+    }
+
+    // Paper Figs 17/19: the raw string-buffer generator and the
+    // CodeBuffer-based one emit byte-identical code.
+    let raw = java_src::render_handlers_raw(machine);
+    let abstracted = java_src::render_handlers(machine);
+    assert_eq!(raw, abstracted);
+    println!("\nraw and abstracted generators emit identical code ({} bytes)", raw.len());
+
+    println!("\nFirst lines of the generated Rust module:\n");
+    for line in rust.lines().take(14) {
+        println!("{line}");
+    }
+    Ok(())
+}
