@@ -14,7 +14,7 @@ use std::hint::black_box;
 use stategen_commit::{
     commit_efsm, commit_efsm_instance, CommitConfig, CommitModel, ReferenceCommit,
 };
-use stategen_core::{generate, FsmInstance, ProtocolEngine};
+use stategen_core::{generate, CompiledMachine, FsmInstance, ProtocolEngine, SessionPool};
 use stategen_generated::GeneratedCommitR4;
 
 const TRACE: [&str; 9] =
@@ -29,6 +29,16 @@ fn drive(engine: &mut impl ProtocolEngine) -> usize {
     actions
 }
 
+/// Like [`drive`], but through the borrowing zero-copy interface.
+fn drive_ref(engine: &mut impl ProtocolEngine) -> usize {
+    let mut actions = 0;
+    for m in TRACE {
+        actions += engine.deliver_ref(m).expect("valid message").len();
+    }
+    engine.reset();
+    actions
+}
+
 fn bench_runtime(c: &mut Criterion) {
     let config = CommitConfig::new(4).expect("valid");
     let machine = generate(&CommitModel::new(config)).expect("generates").machine;
@@ -38,6 +48,47 @@ fn bench_runtime(c: &mut Criterion) {
     group.bench_function("interpreted_fsm", |b| {
         let mut engine = FsmInstance::new(&machine);
         b.iter(|| black_box(drive(&mut engine)));
+    });
+    group.bench_function("interpreted_fsm_ref", |b| {
+        let mut engine = FsmInstance::new(&machine);
+        b.iter(|| black_box(drive_ref(&mut engine)));
+    });
+    let compiled = CompiledMachine::compile(&machine);
+    group.bench_function("compiled_fsm", |b| {
+        let mut engine = compiled.instance();
+        b.iter(|| black_box(drive(&mut engine)));
+    });
+    group.bench_function("compiled_fsm_ref", |b| {
+        let mut engine = compiled.instance();
+        b.iter(|| black_box(drive_ref(&mut engine)));
+    });
+    group.bench_function("compiled_fsm_id", |b| {
+        let ids: Vec<_> =
+            TRACE.iter().map(|m| compiled.message_id(m).expect("valid message")).collect();
+        let mut engine = compiled.instance();
+        b.iter(|| {
+            let mut actions = 0;
+            for &id in &ids {
+                actions += engine.deliver_id(id).len();
+            }
+            engine.reset();
+            black_box(actions)
+        });
+    });
+    group.bench_function("session_pool_1k", |b| {
+        // Per-iteration cost covers 1024 sessions; divide by 1024 for the
+        // per-session figure.
+        let ids: Vec<_> =
+            TRACE.iter().map(|m| compiled.message_id(m).expect("valid message")).collect();
+        let mut pool = SessionPool::new(&compiled, 1024);
+        b.iter(|| {
+            let mut transitions = 0;
+            for &id in &ids {
+                transitions += pool.deliver_all(id);
+            }
+            pool.reset_all();
+            black_box(transitions)
+        });
     });
     group.bench_function("generated_code", |b| {
         let mut engine = GeneratedCommitR4::new();

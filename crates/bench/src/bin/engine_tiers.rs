@@ -1,0 +1,220 @@
+//! Engine-tier comparison: ns/delivery and allocation counts for the
+//! interpreted, compiled, batched and build-time-generated execution
+//! tiers, all running the same canonical commit trace at r = 4.
+//!
+//! Emits a machine-readable `BENCH_engine_tiers.json` at the workspace
+//! root (ns/delivery per tier, speedup ratios vs the interpreted
+//! baseline, allocations per delivery) so future PRs can track the
+//! performance trajectory, plus a human-readable table on stdout.
+//!
+//! A counting global allocator verifies the headline claim directly: the
+//! compiled and batched hot paths perform **zero** heap allocations per
+//! delivered message.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use stategen_commit::{CommitConfig, CommitModel};
+use stategen_core::{generate, CompiledMachine, FsmInstance, ProtocolEngine, SessionPool};
+use stategen_generated::GeneratedCommitR4;
+
+/// System allocator wrapped with an allocation counter, so the harness
+/// can assert which tiers allocate on the delivery path.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed
+// atomic increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// The canonical commit trace driven by every tier (same as the
+/// `runtime_comparison` bench).
+const TRACE: [&str; 9] =
+    ["update", "vote", "vote", "commit", "not_free", "vote", "free", "commit", "vote"];
+
+/// Deliveries per measurement run for the single-instance tiers.
+const SINGLE_DELIVERIES: u64 = 1_800_000;
+
+/// Sessions in the batched tier (deliveries = sessions × trace rounds).
+const POOL_SESSIONS: usize = 4096;
+
+struct TierResult {
+    name: &'static str,
+    ns_per_delivery: f64,
+    allocs_per_delivery: f64,
+}
+
+/// Runs `work` (which performs `deliveries` message deliveries) twice —
+/// a warm-up pass and a measured pass — returning ns and allocations per
+/// delivery.
+fn measure(name: &'static str, deliveries: u64, mut work: impl FnMut() -> u64) -> TierResult {
+    let mut checksum = work(); // warm-up: page in tables, size scratch buffers
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    checksum ^= work();
+    let elapsed = start.elapsed();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    std::hint::black_box(checksum);
+    TierResult {
+        name,
+        ns_per_delivery: elapsed.as_nanos() as f64 / deliveries as f64,
+        allocs_per_delivery: allocs as f64 / deliveries as f64,
+    }
+}
+
+fn main() {
+    let config = CommitConfig::new(4).expect("valid replication factor");
+    let machine = generate(&CommitModel::new(config)).expect("generates").machine;
+    let compiled = CompiledMachine::compile(&machine);
+    let ids: Vec<_> =
+        TRACE.iter().map(|m| machine.message_id(m).expect("valid message")).collect();
+
+    let rounds = SINGLE_DELIVERIES / TRACE.len() as u64;
+    let mut results = Vec::new();
+
+    // Tier 1: interpreted, name-based trait path (the pre-optimisation
+    // baseline shape: string lookup + BTreeMap walk + Vec per call).
+    results.push(measure("interpreted_name", rounds * TRACE.len() as u64, || {
+        let mut engine = FsmInstance::new(&machine);
+        let mut actions = 0;
+        for _ in 0..rounds {
+            for m in TRACE {
+                actions += engine.deliver(m).expect("valid message").len() as u64;
+            }
+            engine.reset();
+        }
+        actions
+    }));
+
+    // Tier 2: interpreted, id-based borrowing path (BTreeMap walk, no
+    // allocation).
+    results.push(measure("interpreted_id", rounds * TRACE.len() as u64, || {
+        let mut engine = FsmInstance::new(&machine);
+        let mut actions = 0;
+        for _ in 0..rounds {
+            for &id in &ids {
+                actions += engine.deliver_id(id).len() as u64;
+            }
+            engine.reset();
+        }
+        actions
+    }));
+
+    // Tier 3: compiled dense-table dispatch.
+    results.push(measure("compiled", rounds * TRACE.len() as u64, || {
+        let mut engine = compiled.instance();
+        let mut actions = 0;
+        for _ in 0..rounds {
+            for &id in &ids {
+                actions += engine.deliver_id(id).len() as u64;
+            }
+            engine.reset();
+        }
+        actions
+    }));
+
+    // Tier 4: batched sessions (struct-of-arrays pool; per-delivery cost
+    // amortised over POOL_SESSIONS concurrent instances).
+    let pool_rounds = (SINGLE_DELIVERIES / (POOL_SESSIONS as u64 * TRACE.len() as u64)).max(1);
+    let pool_deliveries = pool_rounds * POOL_SESSIONS as u64 * TRACE.len() as u64;
+    let mut pool = SessionPool::new(&compiled, POOL_SESSIONS);
+    results.push(measure("batched_pool", pool_deliveries, || {
+        let mut transitions = 0;
+        for _ in 0..pool_rounds {
+            for &id in &ids {
+                transitions += pool.deliver_all(id);
+            }
+            pool.reset_all();
+        }
+        transitions
+    }));
+
+    // Tier 5: build-time generated source (match over enum states,
+    // static send lists).
+    results.push(measure("generated", rounds * TRACE.len() as u64, || {
+        let mut engine = GeneratedCommitR4::new();
+        let mut actions = 0;
+        for _ in 0..rounds {
+            for m in TRACE {
+                if let Some(sends) = engine.deliver_raw(m) {
+                    actions += sends.len() as u64;
+                }
+            }
+            engine.reset();
+        }
+        actions
+    }));
+
+    let baseline = results[0].ns_per_delivery;
+    println!("engine tiers — {} ({} states), canonical trace", machine.name(), machine.state_count());
+    println!("{:<18} {:>14} {:>10} {:>18}", "tier", "ns/delivery", "speedup", "allocs/delivery");
+    for r in &results {
+        println!(
+            "{:<18} {:>14.2} {:>9.1}x {:>18.4}",
+            r.name,
+            r.ns_per_delivery,
+            baseline / r.ns_per_delivery,
+            r.allocs_per_delivery
+        );
+    }
+
+    for r in &results {
+        if matches!(r.name, "interpreted_id" | "compiled" | "batched_pool") {
+            assert_eq!(
+                r.allocs_per_delivery, 0.0,
+                "{} tier must not allocate per delivery",
+                r.name
+            );
+        }
+    }
+    let compiled_result = results.iter().find(|r| r.name == "compiled").expect("measured");
+    println!(
+        "\ncompiled vs interpreted (name path): {:.1}x",
+        baseline / compiled_result.ns_per_delivery
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"machine\": \"{}\",", machine.name());
+    let _ = writeln!(json, "  \"states\": {},", machine.state_count());
+    let _ = writeln!(json, "  \"trace_len\": {},", TRACE.len());
+    let _ = writeln!(json, "  \"pool_sessions\": {POOL_SESSIONS},");
+    json.push_str("  \"tiers\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ns_per_delivery\": {:.3}, \"speedup_vs_interpreted_name\": {:.3}, \"allocs_per_delivery\": {:.6}}}{}",
+            r.name,
+            r.ns_per_delivery,
+            baseline / r.ns_per_delivery,
+            r.allocs_per_delivery,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine_tiers.json");
+    std::fs::write(&path, &json).expect("write BENCH_engine_tiers.json");
+    println!("wrote {}", path.display());
+}

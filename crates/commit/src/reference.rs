@@ -26,6 +26,10 @@ pub struct ReferenceCommit {
     commit_sent: bool,
     could_choose: bool,
     has_chosen: bool,
+    /// Action buffer reused across deliveries so the
+    /// [`ProtocolEngine::deliver_ref`] path does not allocate a fresh
+    /// vector per message.
+    scratch: Vec<Action>,
 }
 
 impl ReferenceCommit {
@@ -40,6 +44,7 @@ impl ReferenceCommit {
             commit_sent: false,
             could_choose: true,
             has_chosen: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -89,22 +94,19 @@ impl ReferenceCommit {
         actions.push(Action::send(messages::NOT_FREE));
     }
 
-    fn on_update(&mut self) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_update(&mut self, actions: &mut Vec<Action>) {
         if self.update_received {
-            return actions;
+            return;
         }
         self.update_received = true;
         if self.could_choose && !self.has_chosen && !self.vote_sent {
-            self.choose_and_vote(&mut actions);
+            self.choose_and_vote(actions);
         }
-        actions
     }
 
-    fn on_vote(&mut self) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_vote(&mut self, actions: &mut Vec<Action>) {
         if self.votes_received == self.config.replication_factor() - 1 {
-            return actions;
+            return;
         }
         self.votes_received += 1;
         if self.vote_threshold_reached() {
@@ -121,13 +123,11 @@ impl ReferenceCommit {
                 actions.push(Action::send(messages::COMMIT));
             }
         }
-        actions
     }
 
-    fn on_commit(&mut self) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_commit(&mut self, actions: &mut Vec<Action>) {
         if self.commits_received == self.config.replication_factor() - 1 {
-            return actions;
+            return;
         }
         self.commits_received += 1;
         if self.commits_received >= self.config.commit_threshold() {
@@ -143,44 +143,45 @@ impl ReferenceCommit {
                 actions.push(Action::send(messages::FREE));
             }
         }
-        actions
     }
 
-    fn on_free(&mut self) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_free(&mut self, actions: &mut Vec<Action>) {
         if self.vote_sent || self.has_chosen {
-            return actions;
+            return;
         }
         self.could_choose = true;
         if self.update_received {
-            self.choose_and_vote(&mut actions);
+            self.choose_and_vote(actions);
         }
-        actions
     }
 
-    fn on_not_free(&mut self) -> Vec<Action> {
+    fn on_not_free(&mut self) {
         if !self.vote_sent && !self.has_chosen {
             self.could_choose = false;
         }
-        Vec::new()
     }
 }
 
 impl ProtocolEngine for ReferenceCommit {
-    fn deliver(&mut self, message: &str) -> Result<Vec<Action>, InterpError> {
+    fn deliver_ref(&mut self, message: &str) -> Result<&[Action], InterpError> {
         let message: CommitMessage = message
             .parse()
             .map_err(|_| InterpError::UnknownMessage(message.to_string()))?;
-        if self.is_finished() {
-            return Ok(Vec::new());
+        // Move the scratch buffer out while the handlers run, so they can
+        // borrow `self` mutably alongside it.
+        let mut actions = std::mem::take(&mut self.scratch);
+        actions.clear();
+        if !self.is_finished() {
+            match message {
+                CommitMessage::Update => self.on_update(&mut actions),
+                CommitMessage::Vote => self.on_vote(&mut actions),
+                CommitMessage::Commit => self.on_commit(&mut actions),
+                CommitMessage::Free => self.on_free(&mut actions),
+                CommitMessage::NotFree => self.on_not_free(),
+            }
         }
-        Ok(match message {
-            CommitMessage::Update => self.on_update(),
-            CommitMessage::Vote => self.on_vote(),
-            CommitMessage::Commit => self.on_commit(),
-            CommitMessage::Free => self.on_free(),
-            CommitMessage::NotFree => self.on_not_free(),
-        })
+        self.scratch = actions;
+        Ok(&self.scratch)
     }
 
     fn is_finished(&self) -> bool {
@@ -208,7 +209,10 @@ impl ProtocolEngine for ReferenceCommit {
     }
 
     fn reset(&mut self) {
+        // Keep the scratch buffer's capacity across resets.
+        let scratch = std::mem::take(&mut self.scratch);
         *self = ReferenceCommit::new(self.config);
+        self.scratch = scratch;
     }
 }
 

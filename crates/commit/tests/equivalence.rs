@@ -16,12 +16,19 @@ use proptest::prelude::*;
 use stategen_commit::{
     commit_efsm, commit_efsm_instance, CommitConfig, CommitModel, ReferenceCommit, MESSAGE_NAMES,
 };
-use stategen_core::{generate, Efsm, FsmInstance, ProtocolEngine, StateMachine};
+use stategen_core::{
+    generate, CompiledInstance, CompiledMachine, Efsm, FsmInstance, ProtocolEngine, SessionPool,
+    StateMachine,
+};
+
+/// Family members exercised by the equivalence suites: every machine up
+/// to r = 6, plus two larger representatives.
+const FAMILY: [u32; 7] = [2, 3, 4, 5, 6, 7, 13];
 
 fn machine(r: u32) -> &'static StateMachine {
     static MACHINES: OnceLock<Vec<(u32, StateMachine)>> = OnceLock::new();
     let machines = MACHINES.get_or_init(|| {
-        [4u32, 7, 13]
+        FAMILY
             .iter()
             .map(|&r| {
                 let model = CommitModel::new(CommitConfig::new(r).unwrap());
@@ -30,6 +37,17 @@ fn machine(r: u32) -> &'static StateMachine {
             .collect()
     });
     &machines.iter().find(|(mr, _)| *mr == r).expect("prebuilt r").1
+}
+
+fn compiled(r: u32) -> &'static CompiledMachine {
+    static COMPILED: OnceLock<Vec<(u32, CompiledMachine)>> = OnceLock::new();
+    let compiled = COMPILED.get_or_init(|| {
+        FAMILY
+            .iter()
+            .map(|&r| (r, CompiledMachine::compile(machine(r))))
+            .collect()
+    });
+    &compiled.iter().find(|(cr, _)| *cr == r).expect("prebuilt r").1
 }
 
 fn efsm() -> &'static Efsm {
@@ -68,6 +86,39 @@ fn check_equivalence(r: u32, messages: &[usize]) {
     }
 }
 
+/// Drives the interpreted engine, the compiled engine and two batched
+/// sessions with the same messages, checking actions, state and
+/// completion agree after every delivery (the compiled tier must be
+/// observationally indistinguishable from the machine it flattened).
+fn check_compiled_equivalence(r: u32, messages: &[usize]) {
+    let compiled = compiled(r);
+    let mut fsm = FsmInstance::new(machine(r));
+    let mut single = CompiledInstance::new(compiled);
+    let mut pool = SessionPool::new(compiled, 2);
+    for (step, &mi) in messages.iter().enumerate() {
+        let name = MESSAGE_NAMES[mi % MESSAGE_NAMES.len()];
+        let a_fsm = fsm.deliver(name).unwrap();
+        let a_single = single.deliver(name).unwrap();
+        let mid = compiled.message_id(name).unwrap();
+        let a_pool0 = pool.deliver(0, mid);
+        assert_eq!(
+            a_fsm, a_single,
+            "r={r} step {step} ({name}): FSM {a_fsm:?} vs compiled {a_single:?} \
+             (fsm state {}, compiled state {})",
+            fsm.state_name_str(),
+            single.state_name_str()
+        );
+        assert_eq!(a_fsm, a_pool0, "r={r} step {step} ({name}): pool session diverged");
+        pool.deliver(1, mid);
+        assert_eq!(fsm.state_name_str(), single.state_name_str(), "r={r} step {step} ({name})");
+        assert_eq!(single.current_state(), pool.state(0), "r={r} step {step} ({name})");
+        assert_eq!(pool.state(0), pool.state(1), "r={r} step {step} ({name})");
+        assert_eq!(fsm.is_finished(), single.is_finished(), "r={r} step {step} ({name})");
+        assert_eq!(single.is_finished(), pool.is_finished(0), "r={r} step {step} ({name})");
+        assert_eq!(fsm.steps(), single.steps(), "r={r} step {step} ({name})");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -85,6 +136,18 @@ proptest! {
     fn trace_equivalence_r13(messages in prop::collection::vec(0usize..5, 0..200)) {
         check_equivalence(13, &messages);
     }
+
+    /// Seeded random traces through every family member up to r = 6,
+    /// cross-checking the interpreted, compiled and batched engines.
+    #[test]
+    fn compiled_trace_equivalence_to_r6(r in 2u32..=6, messages in prop::collection::vec(0usize..5, 0..200)) {
+        check_compiled_equivalence(r, &messages);
+    }
+
+    #[test]
+    fn compiled_trace_equivalence_r13(messages in prop::collection::vec(0usize..5, 0..200)) {
+        check_compiled_equivalence(13, &messages);
+    }
 }
 
 /// Exhaustive equivalence over all short message sequences for r = 4:
@@ -94,6 +157,7 @@ fn exhaustive_short_traces_r4() {
     let mut sequence = Vec::new();
     fn recurse(sequence: &mut Vec<usize>, depth: usize) {
         check_equivalence(4, sequence);
+        check_compiled_equivalence(4, sequence);
         if depth == 0 {
             return;
         }

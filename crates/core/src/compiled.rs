@@ -1,0 +1,436 @@
+//! Ahead-of-time compiled machines: dense transition tables with
+//! zero-allocation dispatch.
+//!
+//! [`FsmInstance`](crate::FsmInstance) interprets a generated
+//! [`StateMachine`] by walking a per-state `BTreeMap` on every delivery.
+//! That is flexible but slow: each message costs a tree lookup plus (on
+//! the name-based path) a string hash, and the engine-trait path
+//! allocates a fresh `Vec<Action>` per call. The paper renders machines
+//! to source code precisely because interpreted dispatch is too slow to
+//! deploy (§4.2); [`CompiledMachine`] is the runtime equivalent of that
+//! rendering step — a one-time *flattening* pass that turns any machine
+//! into:
+//!
+//! * a dense `states × messages` table of target state ids (`u32`, with
+//!   a sentinel for "no transition"), so dispatch is one indexed load;
+//! * an interned action arena: each distinct action list is stored once
+//!   and every transition references it by `(offset, len)` range, so
+//!   delivering a message returns a borrowed `&[Action]` without copying
+//!   or allocating;
+//! * an O(1) message-name lookup map.
+//!
+//! Finish states are compiled with empty rows, so they are absorbing by
+//! construction and the hot path needs no role check.
+//!
+//! Compilation is behaviour-preserving: a [`CompiledInstance`] is
+//! observationally equivalent to the [`FsmInstance`](crate::FsmInstance)
+//! it was compiled from (asserted by the cross-engine property suites).
+//!
+//! # Examples
+//!
+//! ```
+//! use stategen_core::{Action, CompiledMachine, ProtocolEngine, StateMachineBuilder};
+//!
+//! let mut b = StateMachineBuilder::new("ping", ["ping"]);
+//! let idle = b.add_state("idle");
+//! let done = b.add_state("done");
+//! b.add_transition(idle, "ping", done, vec![Action::send("pong")]);
+//! let machine = b.build(idle);
+//!
+//! let compiled = CompiledMachine::compile(&machine);
+//! let mut instance = compiled.instance();
+//! let actions = instance.deliver_ref("ping")?;
+//! assert_eq!(actions, [Action::send("pong")]);
+//! assert_eq!(instance.state_name_str(), "done");
+//! # Ok::<(), stategen_core::InterpError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::InterpError;
+use crate::interp::ProtocolEngine;
+use crate::machine::{Action, MessageId, StateMachine, StateRole};
+
+/// Sentinel target meaning "message not applicable in this state".
+const NO_TRANSITION: u32 = u32::MAX;
+
+/// `(offset, len)` range into the interned action arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct ActionRange {
+    offset: u32,
+    len: u32,
+}
+
+/// A [`StateMachine`] flattened into dense integer index tables.
+///
+/// Compile once (at generation, startup or build time), then create any
+/// number of cheap execution cursors: [`CompiledInstance`] for a single
+/// protocol execution, or [`SessionPool`](crate::SessionPool) for
+/// thousands of concurrent ones.
+#[derive(Debug, Clone)]
+pub struct CompiledMachine {
+    name: String,
+    messages: Box<[String]>,
+    message_lookup: HashMap<String, u16>,
+    state_names: Box<[String]>,
+    finish: Box<[bool]>,
+    start: u32,
+    stride: usize,
+    targets: Box<[u32]>,
+    cells: Box<[ActionRange]>,
+    arena: Box<[Action]>,
+    interned_lists: usize,
+}
+
+impl CompiledMachine {
+    /// Flattens `machine` into dense tables.
+    ///
+    /// This is the only expensive step — O(states × messages) time and
+    /// space — and is meant to run once per machine, off the hot path.
+    pub fn compile(machine: &StateMachine) -> Self {
+        let stride = machine.messages().len();
+        let state_count = machine.state_count();
+        let mut targets = vec![NO_TRANSITION; state_count * stride];
+        let mut cells = vec![ActionRange::default(); state_count * stride];
+        let mut arena: Vec<Action> = Vec::new();
+        let mut interned: HashMap<Vec<Action>, ActionRange> = HashMap::new();
+        let mut state_names = Vec::with_capacity(state_count);
+        let mut finish = Vec::with_capacity(state_count);
+
+        for (sid, state) in machine.states_with_ids() {
+            state_names.push(state.name().to_string());
+            let is_finish = state.role() == StateRole::Finish;
+            finish.push(is_finish);
+            if is_finish {
+                // Finish states absorb every message; leave the whole row
+                // at the sentinel even if the source machine carries
+                // (unreachable) transitions out of them.
+                continue;
+            }
+            let row = sid.index() * stride;
+            for (mid, transition) in state.transitions() {
+                let idx = row + mid.index();
+                targets[idx] = transition.target().index() as u32;
+                if transition.actions().is_empty() {
+                    continue;
+                }
+                let range = match interned.get(transition.actions()) {
+                    Some(&range) => range,
+                    None => {
+                        let range = ActionRange {
+                            offset: arena.len() as u32,
+                            len: transition.actions().len() as u32,
+                        };
+                        arena.extend_from_slice(transition.actions());
+                        interned.insert(transition.actions().to_vec(), range);
+                        range
+                    }
+                };
+                cells[idx] = range;
+            }
+        }
+
+        CompiledMachine {
+            name: machine.name().to_string(),
+            messages: machine.messages().to_vec().into_boxed_slice(),
+            message_lookup: machine.message_lookup().clone(),
+            state_names: state_names.into_boxed_slice(),
+            finish: finish.into_boxed_slice(),
+            start: machine.start().index() as u32,
+            stride,
+            targets: targets.into_boxed_slice(),
+            cells: cells.into_boxed_slice(),
+            arena: arena.into_boxed_slice(),
+            interned_lists: interned.len(),
+        }
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The message alphabet, in declaration order.
+    pub fn messages(&self) -> &[String] {
+        &self.messages
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// The start state's dense id.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Looks up a message id by name in O(1).
+    pub fn message_id(&self, name: &str) -> Option<MessageId> {
+        self.message_lookup.get(name).copied().map(MessageId)
+    }
+
+    /// The message name for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this machine.
+    pub fn message_name(&self, id: MessageId) -> &str {
+        &self.messages[id.index()]
+    }
+
+    /// Display name of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn state_name(&self, state: u32) -> &str {
+        &self.state_names[state as usize]
+    }
+
+    /// `true` if `state` is a finish state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn is_finish_state(&self, state: u32) -> bool {
+        self.finish[state as usize]
+    }
+
+    /// Number of distinct action lists stored in the interned arena.
+    pub fn interned_action_lists(&self) -> usize {
+        self.interned_lists
+    }
+
+    /// Executes one transition: from `state` on `message`, returns the
+    /// target state and the borrowed action list, or `None` if the
+    /// message is not applicable (including any message in a finish
+    /// state).
+    ///
+    /// This is the allocation-free hot path: one indexed load for the
+    /// target, one for the action range.
+    ///
+    /// `message` must come from this machine (via
+    /// [`CompiledMachine::message_id`]) or one with an identical
+    /// alphabet; an id from a machine with a larger alphabet indexes the
+    /// wrong table cell (debug builds assert, release builds do not pay
+    /// for the check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range for this machine.
+    #[inline]
+    pub fn step(&self, state: u32, message: MessageId) -> Option<(u32, &[Action])> {
+        debug_assert!(message.index() < self.stride, "message id from a different machine");
+        let idx = state as usize * self.stride + message.index();
+        let target = self.targets[idx];
+        if target == NO_TRANSITION {
+            return None;
+        }
+        let range = self.cells[idx];
+        let actions = &self.arena[range.offset as usize..(range.offset + range.len) as usize];
+        Some((target, actions))
+    }
+
+    /// Creates an execution cursor positioned at the start state.
+    pub fn instance(&self) -> CompiledInstance<'_> {
+        CompiledInstance::new(self)
+    }
+}
+
+/// One executing instance of a [`CompiledMachine`]: a dense state id plus
+/// a machine reference — 16 bytes of mutable state, no allocation on any
+/// delivery path.
+#[derive(Debug, Clone)]
+pub struct CompiledInstance<'m> {
+    machine: &'m CompiledMachine,
+    current: u32,
+    steps: u64,
+}
+
+impl<'m> CompiledInstance<'m> {
+    /// Creates an instance positioned at the machine's start state.
+    pub fn new(machine: &'m CompiledMachine) -> Self {
+        CompiledInstance { machine, current: machine.start(), steps: 0 }
+    }
+
+    /// The machine this instance executes.
+    pub fn machine(&self) -> &'m CompiledMachine {
+        self.machine
+    }
+
+    /// The current state's dense id.
+    pub fn current_state(&self) -> u32 {
+        self.current
+    }
+
+    /// Number of transitions taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Display name of the current state, borrowed from the machine
+    /// (non-allocating form of [`ProtocolEngine::state_name`]).
+    pub fn state_name_str(&self) -> &'m str {
+        self.machine.state_name(self.current)
+    }
+
+    /// Delivers a message by id; returns the triggered actions.
+    ///
+    /// The returned slice borrows from the machine's interned arena, not
+    /// from the instance, so it stays valid across further deliveries.
+    /// No heap allocation occurs on this path.
+    #[inline]
+    pub fn deliver_id(&mut self, message: MessageId) -> &'m [Action] {
+        match self.machine.step(self.current, message) {
+            Some((target, actions)) => {
+                self.current = target;
+                self.steps += 1;
+                actions
+            }
+            None => &[],
+        }
+    }
+}
+
+impl ProtocolEngine for CompiledInstance<'_> {
+    fn deliver_ref(&mut self, message: &str) -> Result<&[Action], InterpError> {
+        let id = self
+            .machine
+            .message_id(message)
+            .ok_or_else(|| InterpError::UnknownMessage(message.to_string()))?;
+        Ok(self.deliver_id(id))
+    }
+
+    fn is_finished(&self) -> bool {
+        self.machine.is_finish_state(self.current)
+    }
+
+    fn state_name(&self) -> String {
+        self.state_name_str().to_string()
+    }
+
+    fn reset(&mut self) {
+        self.current = self.machine.start();
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{StateMachineBuilder, StateRole};
+
+    fn finishing_machine() -> StateMachine {
+        let mut b = StateMachineBuilder::new("m", ["a", "b"]);
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let fin = b.add_state_full("FINISHED", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "a", s1, vec![Action::send("x")]);
+        b.add_transition(s1, "a", fin, vec![]);
+        b.add_transition(s1, "b", s0, vec![Action::send("x")]);
+        b.build(s0)
+    }
+
+    #[test]
+    fn walk_to_finish_matches_interpreter() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let mut i = compiled.instance();
+        assert!(!i.is_finished());
+        assert_eq!(i.deliver_ref("a").unwrap(), [Action::send("x")]);
+        assert_eq!(i.state_name_str(), "s1");
+        assert!(i.deliver_ref("a").unwrap().is_empty());
+        assert!(i.is_finished());
+        assert_eq!(i.state_name(), "FINISHED");
+        assert_eq!(i.steps(), 2);
+    }
+
+    #[test]
+    fn inapplicable_message_ignored() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let mut i = compiled.instance();
+        assert!(i.deliver_ref("b").unwrap().is_empty());
+        assert_eq!(i.state_name_str(), "s0");
+        assert_eq!(i.steps(), 0);
+    }
+
+    #[test]
+    fn unknown_message_is_error() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let mut i = compiled.instance();
+        assert_eq!(
+            i.deliver_ref("zap").map(<[Action]>::to_vec),
+            Err(InterpError::UnknownMessage("zap".to_string()))
+        );
+    }
+
+    #[test]
+    fn messages_after_finish_ignored() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let mut i = compiled.instance();
+        i.deliver_ref("a").unwrap();
+        i.deliver_ref("a").unwrap();
+        assert!(i.is_finished());
+        assert!(i.deliver_ref("a").unwrap().is_empty());
+        assert!(i.deliver_ref("b").unwrap().is_empty());
+        assert_eq!(i.steps(), 2);
+    }
+
+    #[test]
+    fn reset_returns_to_start() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let mut i = compiled.instance();
+        i.deliver_ref("a").unwrap();
+        i.reset();
+        assert_eq!(i.state_name_str(), "s0");
+        assert_eq!(i.steps(), 0);
+    }
+
+    #[test]
+    fn engine_trait_default_deliver_matches_ref() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let mut i = compiled.instance();
+        assert_eq!(i.deliver("a").unwrap(), vec![Action::send("x")]);
+    }
+
+    #[test]
+    fn action_lists_are_interned() {
+        // Both phase transitions carry the same [->x] list; the arena
+        // stores it once.
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        assert_eq!(compiled.interned_action_lists(), 1);
+        assert_eq!(compiled.arena.len(), 1);
+    }
+
+    #[test]
+    fn returned_slice_outlives_further_deliveries() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let mut i = compiled.instance();
+        let first = i.deliver_id(compiled.message_id("a").unwrap());
+        let _ = i.deliver_id(compiled.message_id("a").unwrap());
+        // `first` borrows from the machine arena, not the instance.
+        assert_eq!(first, [Action::send("x")]);
+    }
+
+    #[test]
+    fn table_metadata_matches_source() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        assert_eq!(compiled.name(), "m");
+        assert_eq!(compiled.state_count(), 3);
+        assert_eq!(compiled.messages(), ["a", "b"]);
+        assert_eq!(compiled.start(), 0);
+        assert_eq!(compiled.message_id("b"), m.message_id("b"));
+        assert_eq!(compiled.message_name(compiled.message_id("b").unwrap()), "b");
+        assert!(compiled.is_finish_state(2));
+        assert!(!compiled.is_finish_state(0));
+    }
+}

@@ -587,6 +587,9 @@ pub struct EfsmInstance<'e> {
     efsm: &'e Efsm,
     params: Vec<i64>,
     vars: Vec<i64>,
+    /// Pre-transition variable snapshot, reused across deliveries so the
+    /// hot path does not allocate.
+    old_vars: Vec<i64>,
     current: EfsmStateId,
 }
 
@@ -600,7 +603,13 @@ impl<'e> EfsmInstance<'e> {
     /// declaration.
     pub fn new(efsm: &'e Efsm, params: Vec<i64>) -> Self {
         assert_eq!(params.len(), efsm.params.len(), "wrong parameter count");
-        EfsmInstance { efsm, params, vars: vec![0; efsm.variables.len()], current: efsm.start }
+        EfsmInstance {
+            efsm,
+            params,
+            vars: vec![0; efsm.variables.len()],
+            old_vars: vec![0; efsm.variables.len()],
+            current: efsm.start,
+        }
     }
 
     /// The EFSM this instance executes.
@@ -617,34 +626,43 @@ impl<'e> EfsmInstance<'e> {
     pub fn current(&self) -> &'e EfsmState {
         &self.efsm.states[self.current.index()]
     }
+
+    /// Display name of the current state, borrowed from the EFSM
+    /// (non-allocating form of [`ProtocolEngine::state_name`]).
+    pub fn state_name_str(&self) -> &'e str {
+        &self.current().name
+    }
 }
 
 impl ProtocolEngine for EfsmInstance<'_> {
-    fn deliver(&mut self, message: &str) -> Result<Vec<Action>, InterpError> {
-        let mid = self
-            .efsm
+    fn deliver_ref(&mut self, message: &str) -> Result<&[Action], InterpError> {
+        let efsm = self.efsm;
+        let mid = efsm
             .message_id(message)
             .ok_or_else(|| InterpError::UnknownMessage(message.to_string()))?;
         if self.is_finished() {
-            return Ok(Vec::new());
+            return Ok(&[]);
         }
-        let state = &self.efsm.states[self.current.index()];
+        let state = &efsm.states[self.current.index()];
         for t in &state.transitions {
             if t.message != mid || !t.guard.eval(&self.vars, &self.params) {
                 continue;
             }
-            // Updates read pre-transition values.
-            let old = self.vars.clone();
+            // Updates read pre-transition values (snapshot into the
+            // reusable buffer; no allocation per delivery).
+            self.old_vars.copy_from_slice(&self.vars);
             for u in &t.updates {
                 match u {
-                    Update::Set(v, expr) => self.vars[v.0] = expr.eval(&old, &self.params),
-                    Update::Inc(v) => self.vars[v.0] = old[v.0] + 1,
+                    Update::Set(v, expr) => {
+                        self.vars[v.0] = expr.eval(&self.old_vars, &self.params)
+                    }
+                    Update::Inc(v) => self.vars[v.0] = self.old_vars[v.0] + 1,
                 }
             }
             self.current = t.target;
-            return Ok(t.actions.to_vec());
+            return Ok(&t.actions);
         }
-        Ok(Vec::new())
+        Ok(&[])
     }
 
     fn is_finished(&self) -> bool {
@@ -657,7 +675,7 @@ impl ProtocolEngine for EfsmInstance<'_> {
 
     fn reset(&mut self) {
         self.current = self.efsm.start;
-        self.vars = vec![0; self.efsm.variables.len()];
+        self.vars.fill(0);
     }
 }
 

@@ -14,7 +14,13 @@ use crate::machine::{Action, MessageId, State, StateId, StateMachine, StateRole}
 /// used by the equivalence test-suites and the network simulator.
 pub trait ProtocolEngine {
     /// Delivers `message`; returns the actions (outgoing messages)
-    /// triggered by it.
+    /// triggered by it as a borrowed slice.
+    ///
+    /// This is the zero-copy fast path shared by the interpreted,
+    /// compiled and generated engines: implementations return a slice
+    /// borrowed from the machine representation (or from an internal
+    /// scratch buffer reused across deliveries), so callers that only
+    /// inspect the actions pay no per-message allocation.
     ///
     /// # Errors
     ///
@@ -22,7 +28,18 @@ pub trait ProtocolEngine {
     /// of the protocol alphabet. Messages that are valid but not applicable
     /// in the current state are ignored (empty action list), matching the
     /// generated code's behaviour of having no `case` arm for them.
-    fn deliver(&mut self, message: &str) -> Result<Vec<Action>, InterpError>;
+    fn deliver_ref(&mut self, message: &str) -> Result<&[Action], InterpError>;
+
+    /// Delivers `message`; returns the triggered actions as an owned
+    /// vector (allocating convenience form of
+    /// [`ProtocolEngine::deliver_ref`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ProtocolEngine::deliver_ref`].
+    fn deliver(&mut self, message: &str) -> Result<Vec<Action>, InterpError> {
+        self.deliver_ref(message).map(<[Action]>::to_vec)
+    }
 
     /// `true` once the protocol instance has completed.
     fn is_finished(&self) -> bool;
@@ -86,9 +103,18 @@ impl<'m> FsmInstance<'m> {
         self.steps
     }
 
+    /// Display name of the current state, borrowed from the machine
+    /// (non-allocating form of [`ProtocolEngine::state_name`]).
+    pub fn state_name_str(&self) -> &'m str {
+        self.current().name()
+    }
+
     /// Delivers a message by id (avoids the name lookup of
     /// [`ProtocolEngine::deliver`]); returns the triggered actions.
-    pub fn deliver_id(&mut self, message: MessageId) -> &[Action] {
+    ///
+    /// The returned slice borrows from the machine, not from the
+    /// instance, so it stays valid across further deliveries.
+    pub fn deliver_id(&mut self, message: MessageId) -> &'m [Action] {
         if self.is_finished() {
             return &[];
         }
@@ -104,12 +130,12 @@ impl<'m> FsmInstance<'m> {
 }
 
 impl ProtocolEngine for FsmInstance<'_> {
-    fn deliver(&mut self, message: &str) -> Result<Vec<Action>, InterpError> {
+    fn deliver_ref(&mut self, message: &str) -> Result<&[Action], InterpError> {
         let id = self
             .machine
             .message_id(message)
             .ok_or_else(|| InterpError::UnknownMessage(message.to_string()))?;
-        Ok(self.deliver_id(id).to_vec())
+        Ok(self.deliver_id(id))
     }
 
     fn is_finished(&self) -> bool {

@@ -22,9 +22,32 @@
 //!
 //! * [`FsmInstance`] — a runtime interpreter for generated machines
 //!   (the paper's "generate on the fly" deployment policy, §4.2);
+//! * [`CompiledMachine`] / [`SessionPool`] — the compiled execution tier:
+//!   dense transition tables with zero-allocation dispatch and batched
+//!   multi-instance stepping;
 //! * [`efsm`] — extended finite state machines, the intermediate points on
 //!   the paper's algorithm↔FSM spectrum (§3.2, §5.3);
 //! * [`validate_machine`] — structural validation of machines.
+//!
+//! ## Engine tiers
+//!
+//! A generated [`StateMachine`] can be executed three ways, all behind
+//! the common [`ProtocolEngine`] interface and all behaviourally
+//! equivalent (asserted by the cross-engine property suites):
+//!
+//! | tier | type | dispatch cost | use when |
+//! |---|---|---|---|
+//! | interpreted | [`FsmInstance`] | `BTreeMap` walk per message | exploring freshly generated machines; debugging; one-off runs |
+//! | compiled | [`CompiledMachine`] → [`CompiledInstance`] / [`SessionPool`] | dense-table indexed load, zero allocation | serving traffic at runtime: many instances, hot dispatch, machine known at startup |
+//! | generated | `stategen-generated` (build-time rendered source) | `match` over enum states | machine known at *build* time; maximum specialisation, no machine data at runtime |
+//!
+//! The interpreted tier needs no preparation; the compiled tier pays a
+//! one-time O(states × messages) flattening pass
+//! ([`CompiledMachine::compile`]) and then dispatches in a few
+//! nanoseconds; the generated tier moves that specialisation to the
+//! build. [`SessionPool`] extends the compiled tier to thousands of
+//! concurrent protocol instances stored struct-of-arrays: one `u32` per
+//! session plus a finished bitset, stepped with no per-event allocation.
 //!
 //! ## Example
 //!
@@ -64,6 +87,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod component;
 pub mod efsm;
 pub mod error;
@@ -71,8 +95,10 @@ pub mod generator;
 pub mod interp;
 pub mod machine;
 pub mod model;
+pub mod session;
 pub mod validate;
 
+pub use compiled::{CompiledInstance, CompiledMachine};
 pub use component::{ComponentKind, StateComponent, StateSpace, StateVector};
 pub use efsm::{Efsm, EfsmBuilder, EfsmInstance};
 pub use error::{GenerateError, InterpError, ParseNameError, SchemaError};
@@ -85,4 +111,5 @@ pub use machine::{
     Action, MessageId, State, StateId, StateMachine, StateMachineBuilder, StateRole, Transition,
 };
 pub use model::{AbstractModel, Outcome, TransitionSpec};
+pub use session::SessionPool;
 pub use validate::{missing_transitions, validate_machine, Severity, ValidationIssue, ValidationReport};

@@ -6,7 +6,7 @@
 //! (outgoing messages to send) and both states and transitions may carry
 //! documentation annotations.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::component::StateVector;
@@ -181,6 +181,9 @@ impl State {
 pub struct StateMachine {
     name: String,
     messages: Vec<String>,
+    /// Prebuilt name→id lookup so [`StateMachine::message_id`] is O(1)
+    /// instead of a linear scan over the alphabet.
+    message_lookup: HashMap<String, u16>,
     states: Vec<State>,
     start: StateId,
 }
@@ -192,7 +195,13 @@ impl StateMachine {
         states: Vec<State>,
         start: StateId,
     ) -> Self {
-        StateMachine { name, messages, states, start }
+        let message_lookup = messages
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i as u16))
+            .collect::<HashMap<_, _>>();
+        debug_assert_eq!(message_lookup.len(), messages.len(), "duplicate message names");
+        StateMachine { name, messages, message_lookup, states, start }
     }
 
     /// The machine's name (usually `<model>@r=<parameter>`).
@@ -205,9 +214,15 @@ impl StateMachine {
         &self.messages
     }
 
-    /// Looks up a message id by name.
+    /// Looks up a message id by name in O(1).
     pub fn message_id(&self, name: &str) -> Option<MessageId> {
-        self.messages.iter().position(|m| m == name).map(|i| MessageId(i as u16))
+        self.message_lookup.get(name).copied().map(MessageId)
+    }
+
+    /// The prebuilt name→id map (shared with the compiled tier so it is
+    /// constructed in exactly one place).
+    pub(crate) fn message_lookup(&self) -> &HashMap<String, u16> {
+        &self.message_lookup
     }
 
     /// The message name for an id.

@@ -1,0 +1,328 @@
+//! Batched execution of many protocol instances over one compiled
+//! machine.
+//!
+//! A deployed protocol node does not run *one* state machine — it runs
+//! one instance per in-flight protocol execution (the paper's ASA peers
+//! hold an FSM instance per commit attempt, §2.2). Scaling that to
+//! "millions of users" means the per-instance representation must be
+//! tiny and stepping must not allocate. [`SessionPool`] stores sessions
+//! as a struct-of-arrays over a shared [`CompiledMachine`]:
+//!
+//! * `current` — one dense `u32` state id per session;
+//! * a finished bitset (one bit per session), maintained incrementally;
+//!
+//! so a pool of a million sessions is ~4 MB of state, stepping a session
+//! is two indexed loads and a store, and delivering a message to every
+//! live session walks a contiguous array. No session operation allocates.
+//!
+//! # Examples
+//!
+//! ```
+//! use stategen_core::{Action, CompiledMachine, SessionPool, StateMachineBuilder};
+//!
+//! let mut b = StateMachineBuilder::new("ping", ["ping"]);
+//! let idle = b.add_state("idle");
+//! let done = b.add_state_full("done", None, stategen_core::StateRole::Finish, vec![]);
+//! b.add_transition(idle, "ping", done, vec![Action::send("pong")]);
+//! let machine = b.build(idle);
+//! let compiled = CompiledMachine::compile(&machine);
+//!
+//! let mut pool = SessionPool::new(&compiled, 3);
+//! let ping = compiled.message_id("ping").unwrap();
+//! assert_eq!(pool.deliver(1, ping), [Action::send("pong")]);
+//! assert_eq!(pool.finished_count(), 1);
+//! pool.deliver_all(ping); // steps the remaining live sessions
+//! assert!(pool.all_finished());
+//! ```
+
+use crate::compiled::CompiledMachine;
+use crate::machine::{Action, MessageId};
+
+/// A pool of concurrent protocol sessions executing one
+/// [`CompiledMachine`], stored struct-of-arrays and stepped without
+/// per-event allocation.
+#[derive(Debug, Clone)]
+pub struct SessionPool<'m> {
+    machine: &'m CompiledMachine,
+    current: Vec<u32>,
+    finished: Vec<u64>,
+    finished_count: usize,
+    steps: u64,
+}
+
+impl<'m> SessionPool<'m> {
+    /// Creates a pool of `count` sessions, all at the start state.
+    pub fn new(machine: &'m CompiledMachine, count: usize) -> Self {
+        let mut pool = SessionPool {
+            machine,
+            current: Vec::with_capacity(count),
+            finished: vec![0; count.div_ceil(64)],
+            finished_count: 0,
+            steps: 0,
+        };
+        for _ in 0..count {
+            pool.spawn();
+        }
+        pool
+    }
+
+    /// The machine all sessions execute.
+    pub fn machine(&self) -> &'m CompiledMachine {
+        self.machine
+    }
+
+    /// Number of sessions in the pool.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// `true` if the pool holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Adds a session at the start state; returns its index.
+    ///
+    /// Amortised O(1); this is the only pool operation that may allocate
+    /// (growing the session arrays, never per-event).
+    pub fn spawn(&mut self) -> usize {
+        let session = self.current.len();
+        let start = self.machine.start();
+        self.current.push(start);
+        if self.finished.len() * 64 < self.current.len() {
+            self.finished.push(0);
+        }
+        if self.machine.is_finish_state(start) {
+            self.set_finished(session);
+        }
+        session
+    }
+
+    /// The dense state id of a session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn state(&self, session: usize) -> u32 {
+        self.current[session]
+    }
+
+    /// Display name of a session's state, borrowed from the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn state_name(&self, session: usize) -> &'m str {
+        self.machine.state_name(self.current[session])
+    }
+
+    /// `true` once a session has reached a finish state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn is_finished(&self, session: usize) -> bool {
+        assert!(session < self.current.len(), "session out of range");
+        self.finished[session / 64] & (1 << (session % 64)) != 0
+    }
+
+    /// Number of finished sessions (maintained incrementally; O(1)).
+    pub fn finished_count(&self) -> usize {
+        self.finished_count
+    }
+
+    /// `true` once every session has finished.
+    pub fn all_finished(&self) -> bool {
+        self.finished_count == self.current.len()
+    }
+
+    /// Total transitions taken across all sessions.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    #[inline]
+    fn set_finished(&mut self, session: usize) {
+        let word = session / 64;
+        let bit = 1u64 << (session % 64);
+        if self.finished[word] & bit == 0 {
+            self.finished[word] |= bit;
+            self.finished_count += 1;
+        }
+    }
+
+    /// Delivers a message to one session; returns the triggered actions,
+    /// borrowed from the machine's interned arena. Finished sessions
+    /// absorb every message. No allocation occurs on this path.
+    ///
+    /// `message` must come from this pool's machine (see
+    /// [`CompiledMachine::step`] for the exact contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    #[inline]
+    pub fn deliver(&mut self, session: usize, message: MessageId) -> &'m [Action] {
+        let machine = self.machine;
+        match machine.step(self.current[session], message) {
+            Some((target, actions)) => {
+                self.current[session] = target;
+                self.steps += 1;
+                if machine.is_finish_state(target) {
+                    self.set_finished(session);
+                }
+                actions
+            }
+            None => &[],
+        }
+    }
+
+    /// Delivers a message to every session, discarding actions; returns
+    /// the number of transitions taken. This is the batch hot loop: a
+    /// linear walk over the contiguous state array with no allocation.
+    pub fn deliver_all(&mut self, message: MessageId) -> u64 {
+        self.deliver_all_with(message, |_, _| {})
+    }
+
+    /// Delivers a message to every session, invoking `visit(session,
+    /// actions)` for each delivery that triggered a non-empty action
+    /// list; returns the number of transitions taken.
+    pub fn deliver_all_with<F>(&mut self, message: MessageId, mut visit: F) -> u64
+    where
+        F: FnMut(usize, &'m [Action]),
+    {
+        let machine = self.machine;
+        let mut transitions = 0;
+        for session in 0..self.current.len() {
+            if let Some((target, actions)) = machine.step(self.current[session], message) {
+                self.current[session] = target;
+                transitions += 1;
+                if machine.is_finish_state(target) {
+                    self.set_finished(session);
+                }
+                if !actions.is_empty() {
+                    visit(session, actions);
+                }
+            }
+        }
+        self.steps += transitions;
+        transitions
+    }
+
+    /// Returns every session to the start state.
+    pub fn reset_all(&mut self) {
+        let start = self.machine.start();
+        self.current.fill(start);
+        self.finished.fill(0);
+        self.finished_count = 0;
+        self.steps = 0;
+        if self.machine.is_finish_state(start) {
+            for session in 0..self.current.len() {
+                self.set_finished(session);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{StateMachine, StateMachineBuilder, StateRole};
+
+    fn finishing_machine() -> StateMachine {
+        let mut b = StateMachineBuilder::new("m", ["a", "b"]);
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let fin = b.add_state_full("FINISHED", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "a", s1, vec![Action::send("x")]);
+        b.add_transition(s1, "a", fin, vec![]);
+        b.build(s0)
+    }
+
+    #[test]
+    fn pool_steps_sessions_independently() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let mut pool = SessionPool::new(&compiled, 3);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.deliver(0, a), [Action::send("x")]);
+        assert_eq!(pool.state_name(0), "s1");
+        assert_eq!(pool.state_name(1), "s0");
+        pool.deliver(0, a);
+        assert!(pool.is_finished(0));
+        assert!(!pool.is_finished(1));
+        assert_eq!(pool.finished_count(), 1);
+        assert_eq!(pool.steps(), 2);
+    }
+
+    #[test]
+    fn deliver_all_walks_every_live_session() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let b = compiled.message_id("b").unwrap();
+        let mut pool = SessionPool::new(&compiled, 100);
+        assert_eq!(pool.deliver_all(b), 0); // `b` applicable nowhere
+        assert_eq!(pool.deliver_all(a), 100);
+        assert_eq!(pool.finished_count(), 0);
+        assert_eq!(pool.deliver_all(a), 100);
+        assert!(pool.all_finished());
+        // Finished sessions absorb further messages.
+        assert_eq!(pool.deliver_all(a), 0);
+        assert_eq!(pool.steps(), 200);
+    }
+
+    #[test]
+    fn deliver_all_with_visits_phase_transitions() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let mut pool = SessionPool::new(&compiled, 5);
+        let mut seen = Vec::new();
+        pool.deliver_all_with(a, |session, actions| {
+            seen.push((session, actions.len()));
+        });
+        assert_eq!(seen, (0..5).map(|s| (s, 1)).collect::<Vec<_>>());
+        // Second hop is a simple transition: no visits.
+        let mut visits = 0;
+        pool.deliver_all_with(a, |_, _| visits += 1);
+        assert_eq!(visits, 0);
+    }
+
+    #[test]
+    fn spawn_grows_pool_and_reset_restores() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let mut pool = SessionPool::new(&compiled, 0);
+        assert!(pool.is_empty());
+        for _ in 0..70 {
+            pool.spawn(); // crosses a bitset word boundary
+        }
+        assert_eq!(pool.len(), 70);
+        pool.deliver_all(a);
+        pool.deliver_all(a);
+        assert!(pool.all_finished());
+        pool.reset_all();
+        assert_eq!(pool.finished_count(), 0);
+        assert_eq!(pool.state_name(69), "s0");
+        assert_eq!(pool.steps(), 0);
+    }
+
+    #[test]
+    fn matches_single_instance_semantics() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let mut pool = SessionPool::new(&compiled, 1);
+        let mut single = compiled.instance();
+        for name in ["b", "a", "b", "a", "a"] {
+            let id = compiled.message_id(name).unwrap();
+            let from_pool = pool.deliver(0, id);
+            let from_single = single.deliver_id(id);
+            assert_eq!(from_pool, from_single);
+            assert_eq!(pool.state(0), single.current_state());
+        }
+        assert!(pool.is_finished(0));
+    }
+}

@@ -32,20 +32,46 @@ pub mod commit_r7 {
 macro_rules! engine_wrapper {
     ($(#[$doc:meta])* $name:ident, $module:ident) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, Copy)]
+        #[derive(Debug, Clone)]
         pub struct $name {
             state: $module::State,
+            /// Action buffer reused across deliveries for the borrowing
+            /// [`ProtocolEngine::deliver_ref`] path.
+            scratch: Vec<Action>,
         }
 
         impl $name {
             /// Creates an instance positioned at the generated start state.
             pub fn new() -> Self {
-                $name { state: $module::START }
+                $name { state: $module::START, scratch: Vec::new() }
             }
 
             /// The current generated state.
             pub fn state(&self) -> $module::State {
                 self.state
+            }
+
+            /// Display name of the current state (borrowed from the
+            /// generated module's static tables).
+            pub fn state_name_str(&self) -> &'static str {
+                $module::state_name(self.state)
+            }
+
+            /// The raw generated sends for `message`, without wrapping
+            /// them in [`Action`] values: `None` when the message is not
+            /// applicable in the current state.
+            ///
+            /// `message` must belong to the protocol alphabet (debug
+            /// builds assert); use [`ProtocolEngine::deliver_ref`] for
+            /// the checked, erroring path.
+            pub fn deliver_raw(&mut self, message: &str) -> Option<&'static [&'static str]> {
+                debug_assert!(
+                    $module::MESSAGES.contains(&message),
+                    "message `{message}` is not in the protocol alphabet"
+                );
+                let (next, sends) = $module::receive(self.state, message)?;
+                self.state = next;
+                Some(sends)
             }
         }
 
@@ -56,17 +82,15 @@ macro_rules! engine_wrapper {
         }
 
         impl ProtocolEngine for $name {
-            fn deliver(&mut self, message: &str) -> Result<Vec<Action>, InterpError> {
+            fn deliver_ref(&mut self, message: &str) -> Result<&[Action], InterpError> {
                 if !$module::MESSAGES.contains(&message) {
                     return Err(InterpError::UnknownMessage(message.to_string()));
                 }
-                match $module::receive(self.state, message) {
-                    Some((next, sends)) => {
-                        self.state = next;
-                        Ok(sends.iter().map(|s| Action::send(*s)).collect())
-                    }
-                    None => Ok(Vec::new()),
+                self.scratch.clear();
+                if let Some(sends) = self.deliver_raw(message) {
+                    self.scratch.extend(sends.iter().map(|s| Action::send(*s)));
                 }
+                Ok(&self.scratch)
             }
 
             fn is_finished(&self) -> bool {
@@ -74,11 +98,12 @@ macro_rules! engine_wrapper {
             }
 
             fn state_name(&self) -> String {
-                $module::state_name(self.state).to_string()
+                self.state_name_str().to_string()
             }
 
             fn reset(&mut self) {
                 self.state = $module::START;
+                self.scratch.clear();
             }
         }
     };

@@ -226,6 +226,11 @@ pub struct Simulation<M, N> {
     stats: SimStats,
     started: bool,
     trace: Option<Trace>,
+    /// Effect buffer reused across events: handlers push into it through
+    /// their [`Context`], the simulator drains it, and the (empty)
+    /// allocation is kept for the next event instead of allocating a
+    /// fresh `Vec` per delivery.
+    scratch: Vec<Effect<M>>,
 }
 
 impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
@@ -247,6 +252,7 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
             stats: SimStats::default(),
             started: false,
             trace: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -339,7 +345,7 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
             if self.crashed[i] {
                 continue;
             }
-            let mut effects = Vec::new();
+            let mut effects = std::mem::take(&mut self.scratch);
             let mut ctx = Context {
                 now: self.now,
                 self_id: NodeId(i),
@@ -348,7 +354,8 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
                 effects: &mut effects,
             };
             self.nodes[i].on_start(&mut ctx);
-            self.apply_effects(NodeId(i), effects);
+            self.apply_effects(NodeId(i), &mut effects);
+            self.scratch = effects;
         }
     }
 
@@ -373,7 +380,7 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
             }
             return true;
         }
-        let mut effects = Vec::new();
+        let mut effects = std::mem::take(&mut self.scratch);
         let mut ctx = Context {
             now: self.now,
             self_id: to,
@@ -381,22 +388,20 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
             rng: &mut self.node_rngs[to.0],
             effects: &mut effects,
         };
-        let traced = match &event.payload {
-            Payload::Message { from, .. } => TraceKind::Delivered { from: *from, to },
-            Payload::Timer { tag } => TraceKind::Timer { node: to, tag: *tag },
-        };
         match event.payload {
             Payload::Message { from, message } => {
                 self.stats.delivered += 1;
                 self.nodes[to.0].on_message(&mut ctx, from, message);
+                self.record(TraceKind::Delivered { from, to });
             }
             Payload::Timer { tag } => {
                 self.stats.timers += 1;
                 self.nodes[to.0].on_timer(&mut ctx, tag);
+                self.record(TraceKind::Timer { node: to, tag });
             }
         }
-        self.record(traced);
-        self.apply_effects(to, effects);
+        self.apply_effects(to, &mut effects);
+        self.scratch = effects;
         true
     }
 
@@ -424,8 +429,8 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
         self.stats
     }
 
-    fn apply_effects(&mut self, origin: NodeId, effects: Vec<Effect<M>>) {
-        for effect in effects {
+    fn apply_effects(&mut self, origin: NodeId, effects: &mut Vec<Effect<M>>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, message } => self.enqueue_send(origin, to, message),
                 Effect::Timer { delay, tag } => {

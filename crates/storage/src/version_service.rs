@@ -162,13 +162,17 @@ impl<'m> CommitPeer<'m> {
             // if a sibling instance has already chosen an update, this
             // node is not free (the `not_free` signal predates the
             // instance's creation).
+            // Message-id delivery: O(1) lookup once, then the borrowing
+            // `deliver_id` fast path — no per-delivery allocation.
+            let mid = |name: &str| {
+                self.machine.message_id(name).expect("commit alphabet is fixed")
+            };
+            let message_id = mid(m.as_str());
             if !self.instances.contains_key(&a) {
                 let mut engine = FsmInstance::new(self.machine);
                 if self.node_has_chosen() {
                     // The node's choice lock predates this instance.
-                    engine
-                        .deliver(CommitMessage::NotFree.as_str())
-                        .expect("commit alphabet is fixed");
+                    engine.deliver_id(mid(CommitMessage::NotFree.as_str()));
                 }
                 self.instances.insert(a, engine);
                 let tag = self.next_gc_tag;
@@ -177,9 +181,11 @@ impl<'m> CommitPeer<'m> {
                 ctx.set_timer(self.gc_after, tag);
             }
             let engine = self.instances.get_mut(&a).expect("inserted above");
-            let actions = engine.deliver(m.as_str()).expect("commit alphabet is fixed");
+            // The returned slice borrows from the machine (lifetime 'm),
+            // so it stays usable while `self` is borrowed below.
+            let actions = engine.deliver_id(message_id);
             let finished = engine.is_finished();
-            for action in &actions {
+            for action in actions {
                 match action.message() {
                     "vote" => self.broadcast_peers(ctx, VhMsg::Vote(a)),
                     "commit" => self.broadcast_peers(ctx, VhMsg::Commit(a)),

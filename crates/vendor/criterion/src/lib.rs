@@ -1,0 +1,230 @@
+//! Offline shim of the `criterion` crate.
+//!
+//! The real `criterion` is unavailable in this build environment (no
+//! registry access); this crate implements the subset the workspace's
+//! benches use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `sample_size`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros — with a simple
+//! calibrate-then-measure timer instead of the full statistical
+//! machinery. Results are printed as `group/bench ... <ns>/iter` lines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short by the real crate's standards; the shim reports a point
+        // estimate, so long sampling buys nothing.
+        Criterion { measurement_time: Duration::from_millis(60) }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let time = self.measurement_time;
+        run_bench(None, &id.into().id, time, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's timing loop is
+    /// calibrated by wall-clock budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    /// Measures `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let time = self.criterion.measurement_time;
+        run_bench(Some(&self.name), &id.into().id, time, &mut f);
+        self
+    }
+
+    /// Measures `f` applied to `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let time = self.criterion.measurement_time;
+        run_bench(Some(&self.name), &id.into().id, time, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; measures the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &str, budget: Duration, f: &mut F) {
+    // Calibrate: find an iteration count filling ~1/8 of the budget.
+    let mut iters: u64 = 1;
+    let probe_budget = budget / 8;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= probe_budget || iters >= 1 << 30 {
+            break;
+        }
+        // Grow geometrically, aiming directly at the probe budget once a
+        // measurable elapsed time exists.
+        let grown = if b.elapsed < Duration::from_micros(20) {
+            iters * 8
+        } else {
+            let ratio = probe_budget.as_nanos() as f64 / b.elapsed.as_nanos().max(1) as f64;
+            ((iters as f64 * ratio) as u64).clamp(iters + 1, iters * 64)
+        };
+        iters = grown;
+    }
+    // Measure: best of three runs at the calibrated iteration count.
+    let mut best_ns_per_iter = f64::INFINITY;
+    for _ in 0..3 {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+        if ns < best_ns_per_iter {
+            best_ns_per_iter = ns;
+        }
+    }
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!("bench: {full:<48} {best_ns_per_iter:>14.1} ns/iter ({iters} iters)");
+}
+
+/// Declares a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.measurement_time(Duration::from_millis(2));
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        let mut c = Criterion::default();
+        targets(&mut c);
+        c.bench_function("loose", |b| b.iter(|| black_box(1u32)));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("route", 64).id, "route/64");
+        assert_eq!(BenchmarkId::from_parameter(4).id, "4");
+    }
+}

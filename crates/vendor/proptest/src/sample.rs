@@ -1,0 +1,38 @@
+//! Sampling helpers: the [`Index`] type for picking into runtime-sized
+//! collections.
+
+/// An abstract index resolved against a collection length at use time,
+/// generated via `any::<prop::sample::Index>()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Index { raw }
+    }
+
+    /// Resolves the index against a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_bounded() {
+        let i = Index::from_raw(u64::MAX - 3);
+        for len in 1..50usize {
+            assert!(i.index(len) < len);
+        }
+    }
+}

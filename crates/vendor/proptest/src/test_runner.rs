@@ -1,0 +1,103 @@
+//! Test-runner types: configuration, case outcomes and the deterministic
+//! RNG driving generation.
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the (unshrunk,
+        // deterministic) shim fast while still exercising each property
+        // across a spread of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed; the test fails with this message.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is regenerated.
+    Reject(String),
+}
+
+/// Result of running one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic SplitMix64 generator. Each test derives its seed from
+/// its own name, so runs are replayable and independent of test order.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Creates a generator seeded from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(hash)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        // Modulo bias is negligible for the small bounds used in tests.
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let a: Vec<u64> = (0..4).map({ let mut r = TestRng::from_name("x"); move |_| r.next_u64() }).collect();
+        let b: Vec<u64> = (0..4).map({ let mut r = TestRng::from_name("x"); move |_| r.next_u64() }).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = (0..4).map({ let mut r = TestRng::from_name("y"); move |_| r.next_u64() }).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_is_bounded() {
+        let mut r = TestRng::new(7);
+        for _ in 0..100 {
+            assert!(r.below(10) < 10);
+        }
+    }
+}
