@@ -1,15 +1,23 @@
 //! Engine-tier comparison: ns/delivery and allocation counts for the
-//! interpreted, compiled, batched and build-time-generated execution
-//! tiers, all running the same canonical commit trace at r = 4.
+//! interpreted, compiled, batched, sharded, EFSM and
+//! build-time-generated execution tiers, all running the same canonical
+//! commit trace at r = 4.
 //!
 //! Emits a machine-readable `BENCH_engine_tiers.json` at the workspace
 //! root (ns/delivery per tier, speedup ratios vs the interpreted
 //! baseline, allocations per delivery) so future PRs can track the
 //! performance trajectory, plus a human-readable table on stdout.
 //!
-//! A counting global allocator verifies the headline claim directly: the
-//! compiled and batched hot paths perform **zero** heap allocations per
-//! delivered message.
+//! A counting global allocator verifies the headline claims directly:
+//! every steady-state *compiled* hot path — and the interpreted FSM
+//! paths, including the name path, which resolves messages through the
+//! machine's interned name→id map and borrows the action slice instead
+//! of copying it — performs **zero** heap allocations per delivered
+//! message. Two tiers are deliberately exempt from the assertion: the
+//! interpreted EFSM baseline (driven through the owned-`Vec` trait
+//! path its callers use, so it allocates per phase transition) and the
+//! sharded tiers (spawning a worker thread per shard allocates by
+//! design, amortised over tens of thousands of sessions per batch).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -17,8 +25,13 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use stategen_commit::{CommitConfig, CommitModel};
-use stategen_core::{generate, CompiledMachine, FsmInstance, ProtocolEngine, SessionPool};
+use stategen_commit::{
+    commit_efsm, commit_efsm_instance, commit_efsm_params, CommitConfig, CommitModel,
+};
+use stategen_core::{
+    generate, CompiledEfsm, CompiledMachine, EfsmSessionPool, FsmInstance, ProtocolEngine,
+    SessionPool, ShardedPool,
+};
 use stategen_generated::GeneratedCommitR4;
 
 /// System allocator wrapped with an allocation counter, so the harness
@@ -59,27 +72,46 @@ const SINGLE_DELIVERIES: u64 = 1_800_000;
 /// Sessions in the batched tier (deliveries = sessions × trace rounds).
 const POOL_SESSIONS: usize = 4096;
 
+/// Sessions in the sharded tiers (the multi-core scaling measurement;
+/// the acceptance bar is ≥ 64k concurrent sessions).
+const SHARDED_SESSIONS: usize = 65_536;
+
 struct TierResult {
-    name: &'static str,
+    name: String,
     ns_per_delivery: f64,
     allocs_per_delivery: f64,
+    /// Whether the steady-state path must be allocation-free.
+    assert_zero_alloc: bool,
 }
 
-/// Runs `work` (which performs `deliveries` message deliveries) twice —
-/// a warm-up pass and a measured pass — returning ns and allocations per
-/// delivery.
-fn measure(name: &'static str, deliveries: u64, mut work: impl FnMut() -> u64) -> TierResult {
+/// Runs `work` (which performs `deliveries` message deliveries) once as
+/// a warm-up pass and then three measured passes, returning best-of ns
+/// (this box is shared and single-pass timings jitter) and worst-of
+/// allocations per delivery.
+fn measure(
+    name: impl Into<String>,
+    deliveries: u64,
+    assert_zero_alloc: bool,
+    mut work: impl FnMut() -> u64,
+) -> TierResult {
     let mut checksum = work(); // warm-up: page in tables, size scratch buffers
-    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
-    let start = Instant::now();
-    checksum ^= work();
-    let elapsed = start.elapsed();
-    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let mut best_ns = f64::INFINITY;
+    let mut worst_allocs = 0u64;
+    for _ in 0..3 {
+        let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+        let start = Instant::now();
+        checksum ^= work();
+        let elapsed = start.elapsed();
+        let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+        best_ns = best_ns.min(elapsed.as_nanos() as f64);
+        worst_allocs = worst_allocs.max(allocs);
+    }
     std::hint::black_box(checksum);
     TierResult {
-        name,
-        ns_per_delivery: elapsed.as_nanos() as f64 / deliveries as f64,
-        allocs_per_delivery: allocs as f64 / deliveries as f64,
+        name: name.into(),
+        ns_per_delivery: best_ns / deliveries as f64,
+        allocs_per_delivery: worst_allocs as f64 / deliveries as f64,
+        assert_zero_alloc,
     }
 }
 
@@ -87,20 +119,27 @@ fn main() {
     let config = CommitConfig::new(4).expect("valid replication factor");
     let machine = generate(&CommitModel::new(config)).expect("generates").machine;
     let compiled = CompiledMachine::compile(&machine);
+    let efsm = commit_efsm();
+    let compiled_efsm = CompiledEfsm::compile(&efsm).expect("commit EFSM compiles");
+    let efsm_params = commit_efsm_params(&config);
     let ids: Vec<_> =
         TRACE.iter().map(|m| machine.message_id(m).expect("valid message")).collect();
+    let efsm_ids: Vec<_> =
+        TRACE.iter().map(|m| compiled_efsm.message_id(m).expect("valid message")).collect();
 
     let rounds = SINGLE_DELIVERIES / TRACE.len() as u64;
     let mut results = Vec::new();
 
-    // Tier 1: interpreted, name-based trait path (the pre-optimisation
-    // baseline shape: string lookup + BTreeMap walk + Vec per call).
-    results.push(measure("interpreted_name", rounds * TRACE.len() as u64, || {
+    // Tier 1: interpreted, name-based borrowing path. Message names are
+    // resolved through the machine's interned name→id map (built once at
+    // generation time) and the action slice is borrowed, so even the
+    // string-keyed path is allocation-free.
+    results.push(measure("interpreted_name", rounds * TRACE.len() as u64, true, || {
         let mut engine = FsmInstance::new(&machine);
         let mut actions = 0;
         for _ in 0..rounds {
             for m in TRACE {
-                actions += engine.deliver(m).expect("valid message").len() as u64;
+                actions += engine.deliver_ref(m).expect("valid message").len() as u64;
             }
             engine.reset();
         }
@@ -108,8 +147,8 @@ fn main() {
     }));
 
     // Tier 2: interpreted, id-based borrowing path (BTreeMap walk, no
-    // allocation).
-    results.push(measure("interpreted_id", rounds * TRACE.len() as u64, || {
+    // name resolution).
+    results.push(measure("interpreted_id", rounds * TRACE.len() as u64, true, || {
         let mut engine = FsmInstance::new(&machine);
         let mut actions = 0;
         for _ in 0..rounds {
@@ -122,7 +161,7 @@ fn main() {
     }));
 
     // Tier 3: compiled dense-table dispatch.
-    results.push(measure("compiled", rounds * TRACE.len() as u64, || {
+    results.push(measure("compiled", rounds * TRACE.len() as u64, true, || {
         let mut engine = compiled.instance();
         let mut actions = 0;
         for _ in 0..rounds {
@@ -139,7 +178,7 @@ fn main() {
     let pool_rounds = (SINGLE_DELIVERIES / (POOL_SESSIONS as u64 * TRACE.len() as u64)).max(1);
     let pool_deliveries = pool_rounds * POOL_SESSIONS as u64 * TRACE.len() as u64;
     let mut pool = SessionPool::new(&compiled, POOL_SESSIONS);
-    results.push(measure("batched_pool", pool_deliveries, || {
+    results.push(measure("batched_pool", pool_deliveries, true, || {
         let mut transitions = 0;
         for _ in 0..pool_rounds {
             for &id in &ids {
@@ -150,9 +189,76 @@ fn main() {
         transitions
     }));
 
-    // Tier 5: build-time generated source (match over enum states,
+    // Tier 5: the EFSM interpreter — the machine generic over r, walking
+    // `Guard`/`Update` enum trees per message with a linear name scan,
+    // driven through the trait-level `deliver` path every current EFSM
+    // caller uses (PR 1's baseline-shape convention: owned action
+    // vectors, so this tier allocates per phase transition).
+    let efsm_rounds = rounds / 4; // the enum-tree walk is slow; keep runs short
+    let mut efsm_interp = commit_efsm_instance(&efsm, &config);
+    results.push(measure("efsm_interpreted", efsm_rounds * TRACE.len() as u64, false, || {
+        let mut actions = 0;
+        for _ in 0..efsm_rounds {
+            for m in TRACE {
+                actions += efsm_interp.deliver(m).expect("valid message").len() as u64;
+            }
+            efsm_interp.reset();
+        }
+        actions
+    }));
+
+    // Tier 6: the compiled EFSM — the same machine lowered to flat
+    // guard/update bytecode with a constant pool; id-based dispatch.
+    // (The instance's register buffers are allocated once, out here.)
+    let mut efsm_engine = compiled_efsm.instance(efsm_params.clone());
+    results.push(measure("efsm_compiled", rounds * TRACE.len() as u64, true, || {
+        let mut actions = 0;
+        for _ in 0..rounds {
+            for &id in &efsm_ids {
+                actions += efsm_engine.deliver_id(id).len() as u64;
+            }
+            efsm_engine.reset();
+        }
+        actions
+    }));
+
+    // Tier 7: batched EFSM sessions (variable registers struct-of-arrays).
+    let mut efsm_pool = EfsmSessionPool::new(&compiled_efsm, efsm_params.clone(), POOL_SESSIONS);
+    results.push(measure("efsm_pool", pool_deliveries, true, || {
+        let mut transitions = 0;
+        for _ in 0..pool_rounds {
+            for &id in &efsm_ids {
+                transitions += efsm_pool.deliver_all(id);
+            }
+            efsm_pool.reset_all();
+        }
+        transitions
+    }));
+
+    // Tiers 8–10: sharded multi-core batch stepping over 64k sessions,
+    // one worker thread per shard. Shard results are bit-identical to a
+    // single pool; the rows track how batch throughput scales with
+    // worker count on this machine's cores.
+    let sharded_rounds = 4u64;
+    let sharded_deliveries = sharded_rounds * SHARDED_SESSIONS as u64 * TRACE.len() as u64;
+    for shards in [1usize, 2, 4] {
+        let mut sharded =
+            ShardedPool::split(SHARDED_SESSIONS, shards, |len| SessionPool::new(&compiled, len));
+        results.push(measure(format!("sharded_pool_{shards}"), sharded_deliveries, false, || {
+            let mut transitions = 0;
+            for _ in 0..sharded_rounds {
+                for &id in &ids {
+                    transitions += sharded.deliver_all(id);
+                }
+                sharded.reset_all();
+            }
+            transitions
+        }));
+    }
+
+    // Tier 11: build-time generated source (match over enum states,
     // static send lists).
-    results.push(measure("generated", rounds * TRACE.len() as u64, || {
+    results.push(measure("generated", rounds * TRACE.len() as u64, false, || {
         let mut engine = GeneratedCommitR4::new();
         let mut actions = 0;
         for _ in 0..rounds {
@@ -167,7 +273,13 @@ fn main() {
     }));
 
     let baseline = results[0].ns_per_delivery;
-    println!("engine tiers — {} ({} states), canonical trace", machine.name(), machine.state_count());
+    println!(
+        "engine tiers — {} ({} states) / {} ({} states), canonical trace",
+        machine.name(),
+        machine.state_count(),
+        compiled_efsm.name(),
+        compiled_efsm.state_count()
+    );
     println!("{:<18} {:>14} {:>10} {:>18}", "tier", "ns/delivery", "speedup", "allocs/delivery");
     for r in &results {
         println!(
@@ -180,7 +292,7 @@ fn main() {
     }
 
     for r in &results {
-        if matches!(r.name, "interpreted_id" | "compiled" | "batched_pool") {
+        if r.assert_zero_alloc {
             assert_eq!(
                 r.allocs_per_delivery, 0.0,
                 "{} tier must not allocate per delivery",
@@ -188,18 +300,47 @@ fn main() {
             );
         }
     }
-    let compiled_result = results.iter().find(|r| r.name == "compiled").expect("measured");
+    let by_name = |name: &str| {
+        results.iter().find(|r| r.name == name).expect("measured").ns_per_delivery
+    };
+    println!("\ncompiled vs interpreted (name path): {:.1}x", baseline / by_name("compiled"));
+    let efsm_speedup = by_name("efsm_interpreted") / by_name("efsm_compiled");
+    println!("efsm_compiled vs efsm_interpreted:   {efsm_speedup:.1}x");
+    // The ~8x-on-idle-hardware claim is tracked through the committed
+    // BENCH_engine_tiers.json (reviewers diff it per PR); it is a
+    // comparison of two wall-clock measurements, so unlike the exact
+    // zero-alloc asserts above it must not hard-fail the verify gate —
+    // a loaded shared container can deschedule one tier arbitrarily.
+    if efsm_speedup < 5.0 {
+        eprintln!(
+            "warning: efsm_compiled speedup {efsm_speedup:.1}x is below the 5x target \
+             (~8x expected on idle hardware) — rerun on an idle machine before treating \
+             this as a regression"
+        );
+    }
+    let sharded_scaling = by_name("sharded_pool_1") / by_name("sharded_pool_4");
     println!(
-        "\ncompiled vs interpreted (name path): {:.1}x",
-        baseline / compiled_result.ns_per_delivery
+        "sharded 4-thread vs 1-thread:        {:.2}x ({} sessions, {} hardware threads)",
+        sharded_scaling,
+        SHARDED_SESSIONS,
+        std::thread::available_parallelism().map_or(0, usize::from)
     );
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"machine\": \"{}\",", machine.name());
     let _ = writeln!(json, "  \"states\": {},", machine.state_count());
+    let _ = writeln!(json, "  \"efsm_states\": {},", compiled_efsm.state_count());
     let _ = writeln!(json, "  \"trace_len\": {},", TRACE.len());
     let _ = writeln!(json, "  \"pool_sessions\": {POOL_SESSIONS},");
+    let _ = writeln!(json, "  \"sharded_sessions\": {SHARDED_SESSIONS},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    let _ = writeln!(json, "  \"efsm_compiled_speedup\": {efsm_speedup:.3},");
+    let _ = writeln!(json, "  \"sharded_4_thread_scaling\": {sharded_scaling:.3},");
     json.push_str("  \"tiers\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = writeln!(

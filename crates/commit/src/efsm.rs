@@ -262,16 +262,23 @@ pub fn commit_efsm() -> Efsm {
     b.build(idle_free, Some(finished))
 }
 
+/// The parameter vector binding [`commit_efsm`] to a concrete
+/// configuration, in the EFSM's declaration order (`r`,
+/// `vote_threshold`, `commit_threshold`).
+///
+/// Use this everywhere an instance or pool is created — the order is
+/// load-bearing, so it must be built in exactly one place.
+pub fn commit_efsm_params(config: &CommitConfig) -> Vec<i64> {
+    vec![
+        i64::from(config.replication_factor()),
+        i64::from(config.vote_threshold()),
+        i64::from(config.commit_threshold()),
+    ]
+}
+
 /// Instantiates [`commit_efsm`] for a concrete configuration.
 pub fn commit_efsm_instance<'e>(efsm: &'e Efsm, config: &CommitConfig) -> EfsmInstance<'e> {
-    EfsmInstance::new(
-        efsm,
-        vec![
-            i64::from(config.replication_factor()),
-            i64::from(config.vote_threshold()),
-            i64::from(config.commit_threshold()),
-        ],
-    )
+    EfsmInstance::new(efsm, commit_efsm_params(config))
 }
 
 #[cfg(test)]

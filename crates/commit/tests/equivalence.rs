@@ -14,11 +14,12 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 
 use stategen_commit::{
-    commit_efsm, commit_efsm_instance, CommitConfig, CommitModel, ReferenceCommit, MESSAGE_NAMES,
+    commit_efsm, commit_efsm_instance, commit_efsm_params, CommitConfig, CommitModel,
+    ReferenceCommit, MESSAGE_NAMES,
 };
 use stategen_core::{
-    generate, CompiledInstance, CompiledMachine, Efsm, FsmInstance, ProtocolEngine, SessionPool,
-    StateMachine,
+    generate, CompiledEfsm, CompiledInstance, CompiledMachine, Efsm, EfsmSessionPool, FsmInstance,
+    ProtocolEngine, SessionPool, StateMachine,
 };
 
 /// Family members exercised by the equivalence suites: every machine up
@@ -53,6 +54,46 @@ fn compiled(r: u32) -> &'static CompiledMachine {
 fn efsm() -> &'static Efsm {
     static EFSM: OnceLock<Efsm> = OnceLock::new();
     EFSM.get_or_init(commit_efsm)
+}
+
+fn compiled_efsm() -> &'static CompiledEfsm {
+    static COMPILED: OnceLock<CompiledEfsm> = OnceLock::new();
+    COMPILED.get_or_init(|| CompiledEfsm::compile(efsm()).expect("commit EFSM compiles"))
+}
+
+/// Drives the interpreted EFSM, the compiled-bytecode EFSM and a batched
+/// EFSM session with the same messages, checking actions, variables and
+/// completion agree after every delivery (the bytecode tier must be
+/// observationally indistinguishable from the enum-tree interpreter).
+fn check_compiled_efsm_equivalence(r: u32, messages: &[usize]) {
+    let config = CommitConfig::new(r).unwrap();
+    let compiled = compiled_efsm();
+    let mut interp = commit_efsm_instance(efsm(), &config);
+    let mut single = compiled.instance(commit_efsm_params(&config));
+    let mut pool = EfsmSessionPool::new(compiled, commit_efsm_params(&config), 2);
+    for (step, &mi) in messages.iter().enumerate() {
+        let name = MESSAGE_NAMES[mi % MESSAGE_NAMES.len()];
+        let a_interp = interp.deliver(name).unwrap();
+        let a_single = single.deliver(name).unwrap();
+        let mid = compiled.message_id(name).unwrap();
+        let a_pool0 = pool.deliver(0, mid);
+        assert_eq!(
+            a_interp, a_single,
+            "r={r} step {step} ({name}): interpreted {a_interp:?} vs compiled {a_single:?} \
+             (interp state {}, compiled state {})",
+            interp.state_name(),
+            single.state_name_str()
+        );
+        assert_eq!(a_interp, a_pool0, "r={r} step {step} ({name}): pool session diverged");
+        pool.deliver(1, mid);
+        assert_eq!(interp.vars(), single.vars(), "r={r} step {step} ({name})");
+        assert_eq!(single.vars(), pool.vars(0), "r={r} step {step} ({name})");
+        assert_eq!(pool.vars(0), pool.vars(1), "r={r} step {step} ({name})");
+        assert_eq!(interp.state_name(), single.state_name(), "r={r} step {step} ({name})");
+        assert_eq!(single.current_state(), pool.state(0), "r={r} step {step} ({name})");
+        assert_eq!(interp.is_finished(), single.is_finished(), "r={r} step {step} ({name})");
+        assert_eq!(single.is_finished(), pool.is_finished(0), "r={r} step {step} ({name})");
+    }
 }
 
 /// Drives all three engines with the same messages, checking actions and
@@ -148,6 +189,19 @@ proptest! {
     fn compiled_trace_equivalence_r13(messages in prop::collection::vec(0usize..5, 0..200)) {
         check_compiled_equivalence(13, &messages);
     }
+
+    /// Seeded random traces cross-checking the interpreted EFSM against
+    /// the compiled guard/update bytecode (single instance and batched
+    /// pool) for every family member up to r = 6.
+    #[test]
+    fn compiled_efsm_trace_equivalence_to_r6(r in 2u32..=6, messages in prop::collection::vec(0usize..5, 0..200)) {
+        check_compiled_efsm_equivalence(r, &messages);
+    }
+
+    #[test]
+    fn compiled_efsm_trace_equivalence_r13(messages in prop::collection::vec(0usize..5, 0..200)) {
+        check_compiled_efsm_equivalence(13, &messages);
+    }
 }
 
 /// Exhaustive equivalence over all short message sequences for r = 4:
@@ -158,6 +212,7 @@ fn exhaustive_short_traces_r4() {
     fn recurse(sequence: &mut Vec<usize>, depth: usize) {
         check_equivalence(4, sequence);
         check_compiled_equivalence(4, sequence);
+        check_compiled_efsm_equivalence(4, sequence);
         if depth == 0 {
             return;
         }

@@ -95,6 +95,52 @@ impl From<SchemaError> for GenerateError {
     }
 }
 
+/// An error raised while flattening a machine for execution (building a
+/// transition into a dense table, or lowering an EFSM to bytecode).
+///
+/// The dense-table runtimes admit exactly one transition per
+/// `(state, message)` cell (per guard, for EFSMs); a duplicate would
+/// silently lose to the first match, so it is reported as an error
+/// instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Two transitions leave the same state on the same message (with
+    /// identical guards, for EFSMs); the second could never fire.
+    DuplicateTransition {
+        /// Display name of the offending state.
+        state: String,
+        /// The message both transitions claim.
+        message: String,
+    },
+    /// The transition names a message outside the machine's alphabet.
+    UnknownMessage(String),
+    /// A state id is out of range for the machine under construction.
+    StateOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of states declared so far.
+        states: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::DuplicateTransition { state, message } => {
+                write!(f, "duplicate transition from state `{state}` on message `{message}`")
+            }
+            CompileError::UnknownMessage(name) => {
+                write!(f, "unknown message `{name}`")
+            }
+            CompileError::StateOutOfRange { index, states } => {
+                write!(f, "state id {index} is out of range ({states} states declared)")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
 /// An error raised when driving a machine interpreter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InterpError {
@@ -180,6 +226,18 @@ mod tests {
         assert!(e.to_string().contains("invalid state space"));
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&GenerateError::NoMessages).is_none());
+    }
+
+    #[test]
+    fn compile_error_display() {
+        let e = CompileError::DuplicateTransition {
+            state: "s0".into(),
+            message: "vote".into(),
+        };
+        assert_eq!(e.to_string(), "duplicate transition from state `s0` on message `vote`");
+        assert!(CompileError::UnknownMessage("zap".into()).to_string().contains("zap"));
+        let e = CompileError::StateOutOfRange { index: 9, states: 3 };
+        assert!(e.to_string().contains("out of range"));
     }
 
     #[test]

@@ -31,23 +31,28 @@
 //!
 //! ## Engine tiers
 //!
-//! A generated [`StateMachine`] can be executed three ways, all behind
-//! the common [`ProtocolEngine`] interface and all behaviourally
-//! equivalent (asserted by the cross-engine property suites):
+//! A machine can be executed four ways, all behind the common
+//! [`ProtocolEngine`] interface and all behaviourally equivalent
+//! (asserted by the cross-engine property suites):
 //!
 //! | tier | type | dispatch cost | use when |
 //! |---|---|---|---|
-//! | interpreted | [`FsmInstance`] | `BTreeMap` walk per message | exploring freshly generated machines; debugging; one-off runs |
+//! | interpreted | [`FsmInstance`] / [`EfsmInstance`] | `BTreeMap` walk / guard enum-tree walk per message | exploring freshly generated machines; debugging; one-off runs |
 //! | compiled | [`CompiledMachine`] → [`CompiledInstance`] / [`SessionPool`] | dense-table indexed load, zero allocation | serving traffic at runtime: many instances, hot dispatch, machine known at startup |
+//! | compiled EFSM | [`CompiledEfsm`] → [`CompiledEfsmInstance`] / [`EfsmSessionPool`] | guard/update bytecode over a flat op stream, zero allocation | the EFSM tier at runtime: one machine generic over the protocol parameter |
 //! | generated | `stategen-generated` (build-time rendered source) | `match` over enum states | machine known at *build* time; maximum specialisation, no machine data at runtime |
 //!
-//! The interpreted tier needs no preparation; the compiled tier pays a
-//! one-time O(states × messages) flattening pass
-//! ([`CompiledMachine::compile`]) and then dispatches in a few
-//! nanoseconds; the generated tier moves that specialisation to the
-//! build. [`SessionPool`] extends the compiled tier to thousands of
-//! concurrent protocol instances stored struct-of-arrays: one `u32` per
-//! session plus a finished bitset, stepped with no per-event allocation.
+//! The interpreted tier needs no preparation; the compiled tiers pay a
+//! one-time flattening pass ([`CompiledMachine::compile`],
+//! [`CompiledEfsm::compile`]) and then dispatch in a few nanoseconds;
+//! the generated tier moves that specialisation to the build.
+//! [`SessionPool`] / [`EfsmSessionPool`] extend the compiled tiers to
+//! thousands of concurrent protocol instances stored struct-of-arrays
+//! (one `u32` — plus the EFSM's variable registers — per session),
+//! stepped with no per-event allocation, and [`ShardedPool`] partitions
+//! either pool across `std::thread` workers for multi-core batch
+//! stepping (sessions are independent, so sharded results are identical
+//! to single-threaded stepping).
 //!
 //! ## Example
 //!
@@ -90,6 +95,7 @@
 pub mod compiled;
 pub mod component;
 pub mod efsm;
+pub mod efsm_compiled;
 pub mod error;
 pub mod generator;
 pub mod interp;
@@ -101,7 +107,8 @@ pub mod validate;
 pub use compiled::{CompiledInstance, CompiledMachine};
 pub use component::{ComponentKind, StateComponent, StateSpace, StateVector};
 pub use efsm::{Efsm, EfsmBuilder, EfsmInstance};
-pub use error::{GenerateError, InterpError, ParseNameError, SchemaError};
+pub use efsm_compiled::{CompiledEfsm, CompiledEfsmInstance, EfsmBinding};
+pub use error::{CompileError, GenerateError, InterpError, ParseNameError, SchemaError};
 pub use generator::{
     generate, generate_with, merge_equivalent_states, prune_unreachable, GeneratedMachine,
     GenerateOptions, GenerationReport, MergeStrategy, StageTimings,
@@ -111,5 +118,5 @@ pub use machine::{
     Action, MessageId, State, StateId, StateMachine, StateMachineBuilder, StateRole, Transition,
 };
 pub use model::{AbstractModel, Outcome, TransitionSpec};
-pub use session::SessionPool;
+pub use session::{BatchEngine, EfsmSessionPool, SessionPool, ShardedPool};
 pub use validate::{missing_transitions, validate_machine, Severity, ValidationIssue, ValidationReport};

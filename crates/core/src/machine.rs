@@ -10,6 +10,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::component::StateVector;
+use crate::error::CompileError;
 
 /// Identifier of a message within a [`StateMachine`] (index into
 /// [`StateMachine::messages`]).
@@ -399,18 +400,69 @@ impl StateMachineBuilder {
         actions: Vec<Action>,
         annotations: Vec<String>,
     ) {
+        if let Err(e) = self.try_add_transition_annotated(from, message, to, actions, annotations) {
+            panic!("{e}");
+        }
+    }
+
+    /// Adds a transition, reporting violations of the machine's
+    /// determinism and range invariants as a [`CompileError`] instead of
+    /// panicking — for callers constructing machines from untrusted or
+    /// generated input.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::UnknownMessage`] if the message is not in the
+    /// alphabet; [`CompileError::StateOutOfRange`] if a state id is
+    /// invalid; [`CompileError::DuplicateTransition`] if `(from, message)`
+    /// already has a transition (machines are deterministic — a second
+    /// transition would silently lose to the first in the dense table).
+    pub fn try_add_transition(
+        &mut self,
+        from: StateId,
+        message: &str,
+        to: StateId,
+        actions: Vec<Action>,
+    ) -> Result<(), CompileError> {
+        self.try_add_transition_annotated(from, message, to, actions, Vec::new())
+    }
+
+    /// Adds an annotated transition, reporting invariant violations as a
+    /// [`CompileError`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`StateMachineBuilder::try_add_transition`].
+    pub fn try_add_transition_annotated(
+        &mut self,
+        from: StateId,
+        message: &str,
+        to: StateId,
+        actions: Vec<Action>,
+        annotations: Vec<String>,
+    ) -> Result<(), CompileError> {
         let mid = self
             .messages
             .iter()
             .position(|m| m == message)
-            .unwrap_or_else(|| panic!("unknown message `{message}`"));
-        assert!(to.index() < self.states.len(), "target state out of range");
+            .ok_or_else(|| CompileError::UnknownMessage(message.to_string()))?;
+        for id in [from, to] {
+            if id.index() >= self.states.len() {
+                return Err(CompileError::StateOutOfRange {
+                    index: id.index(),
+                    states: self.states.len(),
+                });
+            }
+        }
         let state = &mut self.states[from.index()];
-        assert!(
-            state.transitions.insert(mid as u16, Transition::new(to, actions, annotations)).is_none(),
-            "duplicate transition from `{}` on `{message}`",
-            state.name
-        );
+        if state.transitions.contains_key(&(mid as u16)) {
+            return Err(CompileError::DuplicateTransition {
+                state: state.name.clone(),
+                message: message.to_string(),
+            });
+        }
+        state.transitions.insert(mid as u16, Transition::new(to, actions, annotations));
+        Ok(())
     }
 
     /// Finalises the machine.
@@ -502,6 +554,28 @@ mod tests {
     #[should_panic(expected = "duplicate message")]
     fn duplicate_message_alphabet_panics() {
         StateMachineBuilder::new("m", ["a", "a"]);
+    }
+
+    #[test]
+    fn try_add_transition_reports_errors() {
+        let mut b = StateMachineBuilder::new("m", ["a"]);
+        let s0 = b.add_state("s0");
+        assert!(b.try_add_transition(s0, "a", s0, vec![]).is_ok());
+        assert_eq!(
+            b.try_add_transition(s0, "a", s0, vec![]),
+            Err(CompileError::DuplicateTransition { state: "s0".into(), message: "a".into() })
+        );
+        assert_eq!(
+            b.try_add_transition(s0, "zap", s0, vec![]),
+            Err(CompileError::UnknownMessage("zap".into()))
+        );
+        assert_eq!(
+            b.try_add_transition(s0, "a", StateId(7), vec![]),
+            Err(CompileError::StateOutOfRange { index: 7, states: 1 })
+        );
+        // The machine still builds with the one accepted transition.
+        let m = b.build(s0);
+        assert_eq!(m.transition_count(), 1);
     }
 
     #[test]

@@ -15,6 +15,17 @@
 //! is two indexed loads and a store, and delivering a message to every
 //! live session walks a contiguous array. No session operation allocates.
 //!
+//! [`EfsmSessionPool`] is the same shape for compiled EFSMs
+//! ([`CompiledEfsm`]): the per-session variable registers are stored
+//! struct-of-arrays next to the state ids, and one parameter binding is
+//! shared by the whole pool.
+//!
+//! Sessions are independent, so pools scale across cores:
+//! [`ShardedPool`] partitions sessions over any [`BatchEngine`] shards
+//! (each with its own scratch buffers) and steps them on `std::thread`
+//! workers, with results identical to single-threaded stepping whatever
+//! the scheduling.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,7 +47,64 @@
 //! ```
 
 use crate::compiled::CompiledMachine;
+use crate::efsm_compiled::{CompiledEfsm, EfsmBinding};
 use crate::machine::{Action, MessageId};
+
+/// Incrementally maintained finished-session bitset, shared by
+/// [`SessionPool`] and [`EfsmSessionPool`] so the word/bit arithmetic
+/// and the count bookkeeping live in exactly one place.
+#[derive(Debug, Clone, Default)]
+struct FinishedSet {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl FinishedSet {
+    /// An empty set with words preallocated for `sessions` sessions.
+    fn with_capacity(sessions: usize) -> Self {
+        FinishedSet { words: vec![0; sessions.div_ceil(64)], count: 0 }
+    }
+
+    /// Ensures capacity for `sessions` sessions (amortised O(1)).
+    fn grow_for(&mut self, sessions: usize) {
+        let needed = sessions.div_ceil(64);
+        if self.words.len() < needed {
+            self.words.resize(needed, 0);
+        }
+    }
+
+    fn get(&self, session: usize) -> bool {
+        self.words[session / 64] & (1 << (session % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, session: usize) {
+        let word = session / 64;
+        let bit = 1u64 << (session % 64);
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.count += 1;
+        }
+    }
+
+    fn clear(&mut self, session: usize) {
+        let word = session / 64;
+        let bit = 1u64 << (session % 64);
+        if self.words[word] & bit != 0 {
+            self.words[word] &= !bit;
+            self.count -= 1;
+        }
+    }
+
+    fn clear_all(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
+    fn count(&self) -> usize {
+        self.count
+    }
+}
 
 /// A pool of concurrent protocol sessions executing one
 /// [`CompiledMachine`], stored struct-of-arrays and stepped without
@@ -45,8 +113,7 @@ use crate::machine::{Action, MessageId};
 pub struct SessionPool<'m> {
     machine: &'m CompiledMachine,
     current: Vec<u32>,
-    finished: Vec<u64>,
-    finished_count: usize,
+    finished: FinishedSet,
     steps: u64,
 }
 
@@ -56,8 +123,7 @@ impl<'m> SessionPool<'m> {
         let mut pool = SessionPool {
             machine,
             current: Vec::with_capacity(count),
-            finished: vec![0; count.div_ceil(64)],
-            finished_count: 0,
+            finished: FinishedSet::with_capacity(count),
             steps: 0,
         };
         for _ in 0..count {
@@ -89,11 +155,9 @@ impl<'m> SessionPool<'m> {
         let session = self.current.len();
         let start = self.machine.start();
         self.current.push(start);
-        if self.finished.len() * 64 < self.current.len() {
-            self.finished.push(0);
-        }
+        self.finished.grow_for(self.current.len());
         if self.machine.is_finish_state(start) {
-            self.set_finished(session);
+            self.finished.set(session);
         }
         session
     }
@@ -123,32 +187,22 @@ impl<'m> SessionPool<'m> {
     /// Panics if `session` is out of range.
     pub fn is_finished(&self, session: usize) -> bool {
         assert!(session < self.current.len(), "session out of range");
-        self.finished[session / 64] & (1 << (session % 64)) != 0
+        self.finished.get(session)
     }
 
     /// Number of finished sessions (maintained incrementally; O(1)).
     pub fn finished_count(&self) -> usize {
-        self.finished_count
+        self.finished.count()
     }
 
     /// `true` once every session has finished.
     pub fn all_finished(&self) -> bool {
-        self.finished_count == self.current.len()
+        self.finished.count() == self.current.len()
     }
 
     /// Total transitions taken across all sessions.
     pub fn steps(&self) -> u64 {
         self.steps
-    }
-
-    #[inline]
-    fn set_finished(&mut self, session: usize) {
-        let word = session / 64;
-        let bit = 1u64 << (session % 64);
-        if self.finished[word] & bit == 0 {
-            self.finished[word] |= bit;
-            self.finished_count += 1;
-        }
     }
 
     /// Delivers a message to one session; returns the triggered actions,
@@ -169,7 +223,7 @@ impl<'m> SessionPool<'m> {
                 self.current[session] = target;
                 self.steps += 1;
                 if machine.is_finish_state(target) {
-                    self.set_finished(session);
+                    self.finished.set(session);
                 }
                 actions
             }
@@ -198,7 +252,7 @@ impl<'m> SessionPool<'m> {
                 self.current[session] = target;
                 transitions += 1;
                 if machine.is_finish_state(target) {
-                    self.set_finished(session);
+                    self.finished.set(session);
                 }
                 if !actions.is_empty() {
                     visit(session, actions);
@@ -209,18 +263,559 @@ impl<'m> SessionPool<'m> {
         transitions
     }
 
+    /// Returns one session to the start state (recycling its slot for a
+    /// fresh protocol execution). O(1), no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn reset_session(&mut self, session: usize) {
+        assert!(session < self.current.len(), "session out of range");
+        self.finished.clear(session);
+        let start = self.machine.start();
+        self.current[session] = start;
+        if self.machine.is_finish_state(start) {
+            self.finished.set(session);
+        }
+    }
+
     /// Returns every session to the start state.
     pub fn reset_all(&mut self) {
         let start = self.machine.start();
         self.current.fill(start);
-        self.finished.fill(0);
-        self.finished_count = 0;
+        self.finished.clear_all();
         self.steps = 0;
         if self.machine.is_finish_state(start) {
             for session in 0..self.current.len() {
-                self.set_finished(session);
+                self.finished.set(session);
             }
         }
+    }
+}
+
+/// A pool of concurrent protocol sessions executing one
+/// [`CompiledEfsm`] under a shared parameter binding.
+///
+/// Per-session state is stored struct-of-arrays: a dense `u32` state id
+/// per session, plus the variable registers laid out contiguously
+/// (`vars[session * var_count ..][.. var_count]`), so stepping a session
+/// touches two cache lines and delivering a message to every session
+/// walks two contiguous arrays. A single scratch buffer (sized at
+/// compile time) serves all staged updates — no session operation
+/// allocates.
+///
+/// # Examples
+///
+/// ```
+/// use stategen_core::efsm::{CmpOp, EfsmBuilder, Guard, LinExpr, Update};
+/// use stategen_core::{Action, CompiledEfsm, EfsmSessionPool};
+///
+/// let mut b = EfsmBuilder::new("counter", ["tick"]);
+/// let limit = b.add_param("limit");
+/// let n = b.add_var("n");
+/// let counting = b.add_state("counting");
+/// let done = b.add_state("done");
+/// b.add_transition(
+///     counting, "tick",
+///     Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Lt, LinExpr::param(limit)),
+///     vec![Update::Inc(n)], vec![], counting,
+/// );
+/// b.add_transition(
+///     counting, "tick",
+///     Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Ge, LinExpr::param(limit)),
+///     vec![Update::Inc(n)], vec![Action::send("done")], done,
+/// );
+/// let efsm = b.build(counting, Some(done));
+/// let compiled = CompiledEfsm::compile(&efsm)?;
+///
+/// let mut pool = EfsmSessionPool::new(&compiled, vec![2], 100);
+/// let tick = compiled.message_id("tick").unwrap();
+/// pool.deliver_all(tick);
+/// assert_eq!(pool.finished_count(), 0);
+/// pool.deliver_all(tick);
+/// assert!(pool.all_finished());
+/// assert_eq!(pool.vars(42), &[2]);
+/// # Ok::<(), stategen_core::CompileError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EfsmSessionPool<'e> {
+    machine: &'e CompiledEfsm,
+    /// One parameter-specialised dispatch table shared by every session
+    /// in the pool (see [`CompiledEfsm::bind`]).
+    binding: EfsmBinding,
+    current: Vec<u32>,
+    /// Session-major variable registers: session `s`'s registers live at
+    /// `vars[s * n_regs .. (s + 1) * n_regs]` (see
+    /// [`CompiledEfsm::reg_count`]).
+    vars: Vec<i64>,
+    scratch: Vec<i64>,
+    n_regs: usize,
+    finished: FinishedSet,
+    steps: u64,
+}
+
+impl<'e> EfsmSessionPool<'e> {
+    /// Creates a pool of `count` sessions, all at the start state with
+    /// zeroed variables, sharing the given parameter binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of parameters differs from the EFSM's
+    /// declaration.
+    pub fn new(machine: &'e CompiledEfsm, params: Vec<i64>, count: usize) -> Self {
+        let binding = machine.bind(&params);
+        let n_regs = machine.reg_count();
+        let mut pool = EfsmSessionPool {
+            machine,
+            binding,
+            current: Vec::with_capacity(count),
+            vars: Vec::with_capacity(count * n_regs),
+            scratch: vec![0; machine.scratch_len()],
+            n_regs,
+            finished: FinishedSet::with_capacity(count),
+            steps: 0,
+        };
+        for _ in 0..count {
+            pool.spawn();
+        }
+        pool
+    }
+
+    /// The machine all sessions execute.
+    pub fn machine(&self) -> &'e CompiledEfsm {
+        self.machine
+    }
+
+    /// The shared parameter binding.
+    pub fn params(&self) -> &[i64] {
+        self.binding.params()
+    }
+
+    /// Number of sessions in the pool.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// `true` if the pool holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Adds a session at the start state with zeroed variables; returns
+    /// its index. Amortised O(1); the only pool operation that may
+    /// allocate (growing the arrays, never per-event).
+    pub fn spawn(&mut self) -> usize {
+        let session = self.current.len();
+        let start = self.machine.start();
+        self.current.push(start);
+        self.vars.extend(std::iter::repeat_n(0, self.n_regs));
+        self.finished.grow_for(self.current.len());
+        if self.machine.is_finish_state(start) {
+            self.finished.set(session);
+        }
+        session
+    }
+
+    /// The dense state id of a session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn state(&self, session: usize) -> u32 {
+        self.current[session]
+    }
+
+    /// Display name of a session's state, borrowed from the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn state_name(&self, session: usize) -> &'e str {
+        self.machine.state_name(self.current[session])
+    }
+
+    /// A session's variable registers, in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn vars(&self, session: usize) -> &[i64] {
+        assert!(session < self.current.len(), "session out of range");
+        &self.vars[session * self.n_regs..][..self.machine.var_count()]
+    }
+
+    /// `true` once a session has reached the finish state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn is_finished(&self, session: usize) -> bool {
+        assert!(session < self.current.len(), "session out of range");
+        self.finished.get(session)
+    }
+
+    /// Number of finished sessions (maintained incrementally; O(1)).
+    pub fn finished_count(&self) -> usize {
+        self.finished.count()
+    }
+
+    /// `true` once every session has finished.
+    pub fn all_finished(&self) -> bool {
+        self.finished.count() == self.current.len()
+    }
+
+    /// Total transitions taken across all sessions.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Delivers a message to one session; returns the triggered actions,
+    /// borrowed from the machine's interned arena. The finish state
+    /// absorbs every message. No allocation occurs on this path.
+    ///
+    /// `message` must come from this pool's machine (via
+    /// [`CompiledEfsm::message_id`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    #[inline]
+    pub fn deliver(&mut self, session: usize, message: MessageId) -> &'e [Action] {
+        let machine = self.machine;
+        let vars = &mut self.vars[session * self.n_regs..][..self.n_regs];
+        match machine.step(self.current[session], message, &self.binding, vars, &mut self.scratch)
+        {
+            Some((target, actions)) => {
+                self.current[session] = target;
+                self.steps += 1;
+                if machine.is_finish_state(target) {
+                    self.finished.set(session);
+                }
+                actions
+            }
+            None => &[],
+        }
+    }
+
+    /// Delivers a message to every session, discarding actions; returns
+    /// the number of transitions taken. The batch hot loop: a linear walk
+    /// over the contiguous state and register arrays with no allocation.
+    pub fn deliver_all(&mut self, message: MessageId) -> u64 {
+        self.deliver_all_with(message, |_, _| {})
+    }
+
+    /// Delivers a message to every session, invoking `visit(session,
+    /// actions)` for each delivery that triggered a non-empty action
+    /// list; returns the number of transitions taken.
+    pub fn deliver_all_with<F>(&mut self, message: MessageId, mut visit: F) -> u64
+    where
+        F: FnMut(usize, &'e [Action]),
+    {
+        let machine = self.machine;
+        let mut transitions = 0;
+        for session in 0..self.current.len() {
+            let vars = &mut self.vars[session * self.n_regs..][..self.n_regs];
+            if let Some((target, actions)) =
+                machine.step(self.current[session], message, &self.binding, vars, &mut self.scratch)
+            {
+                self.current[session] = target;
+                transitions += 1;
+                if machine.is_finish_state(target) {
+                    self.finished.set(session);
+                }
+                if !actions.is_empty() {
+                    visit(session, actions);
+                }
+            }
+        }
+        self.steps += transitions;
+        transitions
+    }
+
+    /// Returns one session to the start state with zeroed variables
+    /// (recycling its slot for a fresh protocol execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn reset_session(&mut self, session: usize) {
+        assert!(session < self.current.len(), "session out of range");
+        self.finished.clear(session);
+        let start = self.machine.start();
+        self.current[session] = start;
+        self.vars[session * self.n_regs..][..self.n_regs].fill(0);
+        if self.machine.is_finish_state(start) {
+            self.finished.set(session);
+        }
+    }
+
+    /// Returns every session to the start state with zeroed variables.
+    pub fn reset_all(&mut self) {
+        let start = self.machine.start();
+        self.current.fill(start);
+        self.vars.fill(0);
+        self.finished.clear_all();
+        self.steps = 0;
+        if self.machine.is_finish_state(start) {
+            for session in 0..self.current.len() {
+                self.finished.set(session);
+            }
+        }
+    }
+}
+
+/// The batch-stepping interface shared by [`SessionPool`] and
+/// [`EfsmSessionPool`], used by [`ShardedPool`] to scale either across
+/// worker threads.
+pub trait BatchEngine {
+    /// Number of sessions in the engine.
+    fn session_count(&self) -> usize;
+
+    /// Dense state id of one session.
+    fn session_state(&self, session: usize) -> u32;
+
+    /// `true` once a session has finished.
+    fn session_finished(&self, session: usize) -> bool;
+
+    /// Delivers a message to every session; returns transitions taken.
+    fn deliver_all(&mut self, message: MessageId) -> u64;
+
+    /// Number of finished sessions.
+    fn finished_count(&self) -> usize;
+
+    /// Total transitions taken across all sessions.
+    fn steps(&self) -> u64;
+
+    /// Returns every session to the start state.
+    fn reset_all(&mut self);
+}
+
+impl BatchEngine for SessionPool<'_> {
+    fn session_count(&self) -> usize {
+        self.len()
+    }
+
+    fn session_state(&self, session: usize) -> u32 {
+        self.state(session)
+    }
+
+    fn session_finished(&self, session: usize) -> bool {
+        self.is_finished(session)
+    }
+
+    fn deliver_all(&mut self, message: MessageId) -> u64 {
+        SessionPool::deliver_all(self, message)
+    }
+
+    fn finished_count(&self) -> usize {
+        SessionPool::finished_count(self)
+    }
+
+    fn steps(&self) -> u64 {
+        SessionPool::steps(self)
+    }
+
+    fn reset_all(&mut self) {
+        SessionPool::reset_all(self);
+    }
+}
+
+impl BatchEngine for EfsmSessionPool<'_> {
+    fn session_count(&self) -> usize {
+        self.len()
+    }
+
+    fn session_state(&self, session: usize) -> u32 {
+        self.state(session)
+    }
+
+    fn session_finished(&self, session: usize) -> bool {
+        self.is_finished(session)
+    }
+
+    fn deliver_all(&mut self, message: MessageId) -> u64 {
+        EfsmSessionPool::deliver_all(self, message)
+    }
+
+    fn finished_count(&self) -> usize {
+        EfsmSessionPool::finished_count(self)
+    }
+
+    fn steps(&self) -> u64 {
+        EfsmSessionPool::steps(self)
+    }
+
+    fn reset_all(&mut self) {
+        EfsmSessionPool::reset_all(self);
+    }
+}
+
+/// A pool of sessions sharded across worker threads.
+///
+/// Sessions are independent (no shard ever reads another shard's state)
+/// and each shard carries its own scratch buffers, so batch delivery
+/// parallelises embarrassingly: [`ShardedPool::deliver_all`] steps every
+/// shard on its own `std::thread` worker (scoped, so the shards may
+/// borrow their machine) and the result is bit-identical to stepping the
+/// same sessions in one pool, whatever the thread scheduling.
+///
+/// Shards are plain [`BatchEngine`] values — FSM pools, EFSM pools, or
+/// anything else that steps a session block. Sessions are numbered
+/// globally across shards in shard order, matching a single pool of the
+/// same total size split contiguously.
+///
+/// # Examples
+///
+/// ```
+/// use stategen_core::{Action, BatchEngine, CompiledMachine, SessionPool, ShardedPool,
+///     StateMachineBuilder};
+///
+/// let mut b = StateMachineBuilder::new("ping", ["ping"]);
+/// let idle = b.add_state("idle");
+/// let done = b.add_state_full("done", None, stategen_core::StateRole::Finish, vec![]);
+/// b.add_transition(idle, "ping", done, vec![Action::send("pong")]);
+/// let machine = b.build(idle);
+/// let compiled = CompiledMachine::compile(&machine);
+///
+/// let mut pool = ShardedPool::split(1000, 4, |len| SessionPool::new(&compiled, len));
+/// assert_eq!(pool.shard_count(), 4);
+/// let ping = compiled.message_id("ping").unwrap();
+/// assert_eq!(pool.deliver_all(ping), 1000);
+/// assert!(pool.all_finished());
+/// ```
+#[derive(Debug)]
+pub struct ShardedPool<P> {
+    shards: Vec<P>,
+}
+
+impl<P: BatchEngine> ShardedPool<P> {
+    /// Wraps pre-built shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<P>) -> Self {
+        assert!(!shards.is_empty(), "sharded pool needs at least one shard");
+        ShardedPool { shards }
+    }
+
+    /// Splits `sessions` across `shards` near-equal contiguous blocks,
+    /// building each shard with `make(block_len)`. Earlier shards take
+    /// the remainder, so shard sizes differ by at most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn split(sessions: usize, shards: usize, mut make: impl FnMut(usize) -> P) -> Self {
+        assert!(shards > 0, "sharded pool needs at least one shard");
+        let base = sessions / shards;
+        let extra = sessions % shards;
+        let shards = (0..shards).map(|i| make(base + usize::from(i < extra))).collect();
+        ShardedPool::new(shards)
+    }
+
+    /// The shards, in session order.
+    pub fn shards(&self) -> &[P] {
+        &self.shards
+    }
+
+    /// Number of shards (worker threads used per batch delivery).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(P::session_count).sum()
+    }
+
+    /// `true` if no shard holds any session.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.session_count() == 0)
+    }
+
+    /// Total finished sessions across all shards.
+    pub fn finished_count(&self) -> usize {
+        self.shards.iter().map(P::finished_count).sum()
+    }
+
+    /// `true` once every session in every shard has finished.
+    pub fn all_finished(&self) -> bool {
+        self.finished_count() == self.len()
+    }
+
+    /// Total transitions taken across all shards.
+    pub fn steps(&self) -> u64 {
+        self.shards.iter().map(P::steps).sum()
+    }
+
+    /// Dense state id of a globally numbered session (shard blocks are
+    /// contiguous, in shard order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn state(&self, mut session: usize) -> u32 {
+        for shard in &self.shards {
+            if session < shard.session_count() {
+                return shard.session_state(session);
+            }
+            session -= shard.session_count();
+        }
+        panic!("session out of range");
+    }
+
+    /// `true` once a globally numbered session has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is out of range.
+    pub fn is_finished(&self, mut session: usize) -> bool {
+        for shard in &self.shards {
+            if session < shard.session_count() {
+                return shard.session_finished(session);
+            }
+            session -= shard.session_count();
+        }
+        panic!("session out of range");
+    }
+
+    /// Returns every session in every shard to the start state.
+    pub fn reset_all(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset_all();
+        }
+    }
+}
+
+impl<P: BatchEngine + Send> ShardedPool<P> {
+    /// Delivers a message to every session, one worker thread per shard;
+    /// returns the total number of transitions taken.
+    ///
+    /// With a single shard this degenerates to an in-place call (no
+    /// thread is spawned). Because shards never share session state and
+    /// each carries its own scratch buffers, the outcome is identical to
+    /// a single pool stepping the same sessions sequentially.
+    ///
+    /// Workers are scoped threads spawned per call — simple and safe
+    /// (shards may borrow their machine), but the spawn/join cost is
+    /// paid on every delivery, so sharding only wins once per-shard
+    /// batch work dwarfs ~10 µs of thread churn (tens of thousands of
+    /// sessions). A persistent parked worker pool is the planned next
+    /// step when multi-core hardware makes the scaling measurable (see
+    /// ROADMAP).
+    pub fn deliver_all(&mut self, message: MessageId) -> u64 {
+        if self.shards.len() == 1 {
+            return self.shards[0].deliver_all(message);
+        }
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| scope.spawn(move || shard.deliver_all(message)))
+                .collect();
+            workers.into_iter().map(|w| w.join().expect("shard worker panicked")).sum()
+        })
     }
 }
 
@@ -324,5 +919,170 @@ mod tests {
             assert_eq!(pool.state(0), single.current_state());
         }
         assert!(pool.is_finished(0));
+    }
+
+    #[test]
+    fn reset_session_recycles_slot() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let mut pool = SessionPool::new(&compiled, 2);
+        pool.deliver(0, a);
+        pool.deliver(0, a);
+        assert!(pool.is_finished(0));
+        assert_eq!(pool.finished_count(), 1);
+        pool.reset_session(0);
+        assert!(!pool.is_finished(0));
+        assert_eq!(pool.finished_count(), 0);
+        assert_eq!(pool.state_name(0), "s0");
+        // The other session is untouched.
+        assert_eq!(pool.state_name(1), "s0");
+        // The recycled slot runs a fresh execution.
+        pool.deliver(0, a);
+        assert_eq!(pool.state_name(0), "s1");
+    }
+
+    fn counter_efsm() -> crate::efsm::Efsm {
+        use crate::efsm::{CmpOp, EfsmBuilder, Guard, LinExpr, Update};
+        let mut b = EfsmBuilder::new("counter", ["tick"]);
+        let limit = b.add_param("limit");
+        let n = b.add_var("n");
+        let counting = b.add_state("counting");
+        let done = b.add_state("done");
+        b.add_transition(
+            counting,
+            "tick",
+            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Lt, LinExpr::param(limit)),
+            vec![Update::Inc(n)],
+            vec![],
+            counting,
+        );
+        b.add_transition(
+            counting,
+            "tick",
+            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Ge, LinExpr::param(limit)),
+            vec![Update::Inc(n)],
+            vec![Action::send("done")],
+            done,
+        );
+        b.build(counting, Some(done))
+    }
+
+    #[test]
+    fn efsm_pool_counts_independently() {
+        let efsm = counter_efsm();
+        let compiled = CompiledEfsm::compile(&efsm).unwrap();
+        let tick = compiled.message_id("tick").unwrap();
+        let mut pool = EfsmSessionPool::new(&compiled, vec![3], 5);
+        assert_eq!(pool.len(), 5);
+        assert_eq!(pool.params(), &[3]);
+        // Step session 2 ahead of the rest.
+        assert!(pool.deliver(2, tick).is_empty());
+        assert_eq!(pool.vars(2), &[1]);
+        assert_eq!(pool.vars(0), &[0]);
+        pool.deliver_all(tick);
+        pool.deliver_all(tick);
+        assert!(pool.is_finished(2));
+        assert_eq!(pool.finished_count(), 1);
+        assert_eq!(pool.state_name(2), "done");
+        let mut fired = 0;
+        pool.deliver_all_with(tick, |_, actions| fired += actions.len());
+        assert_eq!(fired, 4);
+        assert!(pool.all_finished());
+        assert_eq!(pool.steps(), 1 + 5 + 5 + 4);
+    }
+
+    #[test]
+    fn efsm_pool_reset_and_spawn() {
+        let efsm = counter_efsm();
+        let compiled = CompiledEfsm::compile(&efsm).unwrap();
+        let tick = compiled.message_id("tick").unwrap();
+        let mut pool = EfsmSessionPool::new(&compiled, vec![1], 0);
+        assert!(pool.is_empty());
+        for _ in 0..70 {
+            pool.spawn(); // crosses a bitset word boundary
+        }
+        pool.deliver_all(tick);
+        assert!(pool.all_finished());
+        pool.reset_session(69);
+        assert!(!pool.is_finished(69));
+        assert_eq!(pool.vars(69), &[0]);
+        pool.reset_all();
+        assert_eq!(pool.finished_count(), 0);
+        assert_eq!(pool.steps(), 0);
+        assert_eq!(pool.state_name(0), "counting");
+    }
+
+    #[test]
+    fn efsm_pool_matches_single_instance() {
+        let efsm = counter_efsm();
+        let compiled = CompiledEfsm::compile(&efsm).unwrap();
+        let tick = compiled.message_id("tick").unwrap();
+        let mut pool = EfsmSessionPool::new(&compiled, vec![4], 1);
+        let mut single = compiled.instance(vec![4]);
+        for _ in 0..6 {
+            assert_eq!(pool.deliver(0, tick), single.deliver_id(tick));
+            assert_eq!(pool.state(0), single.current_state());
+            assert_eq!(pool.vars(0), single.vars());
+        }
+    }
+
+    #[test]
+    fn sharded_pool_matches_single_pool() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let b = compiled.message_id("b").unwrap();
+        let mut single = SessionPool::new(&compiled, 103);
+        let mut sharded = ShardedPool::split(103, 4, |len| SessionPool::new(&compiled, len));
+        assert_eq!(sharded.len(), 103);
+        assert_eq!(sharded.shard_count(), 4);
+        assert!(!sharded.is_empty());
+        for &mid in &[a, b, a, a, b] {
+            let t_single = single.deliver_all(mid);
+            let t_sharded = sharded.deliver_all(mid);
+            assert_eq!(t_single, t_sharded);
+            assert_eq!(single.finished_count(), sharded.finished_count());
+            assert_eq!(single.steps(), sharded.steps());
+            for s in 0..single.len() {
+                assert_eq!(single.state(s), sharded.state(s), "session {s}");
+                assert_eq!(single.is_finished(s), sharded.is_finished(s), "session {s}");
+            }
+        }
+        assert!(sharded.all_finished());
+        sharded.reset_all();
+        assert_eq!(sharded.finished_count(), 0);
+        assert_eq!(sharded.steps(), 0);
+    }
+
+    #[test]
+    fn sharded_pool_over_efsm_shards() {
+        let efsm = counter_efsm();
+        let compiled = CompiledEfsm::compile(&efsm).unwrap();
+        let tick = compiled.message_id("tick").unwrap();
+        let mut sharded =
+            ShardedPool::split(64, 2, |len| EfsmSessionPool::new(&compiled, vec![2], len));
+        assert_eq!(sharded.deliver_all(tick), 64);
+        assert_eq!(sharded.finished_count(), 0);
+        assert_eq!(sharded.deliver_all(tick), 64);
+        assert!(sharded.all_finished());
+        assert_eq!(sharded.shards()[0].vars(0), &[2]);
+    }
+
+    #[test]
+    fn single_shard_steps_in_place() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let mut sharded = ShardedPool::split(10, 1, |len| SessionPool::new(&compiled, len));
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.deliver_all(a), 10);
+        assert_eq!(sharded.state(9), sharded.shards()[0].state(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_shard_list_panics() {
+        let _ = ShardedPool::<SessionPool<'_>>::new(Vec::new());
     }
 }

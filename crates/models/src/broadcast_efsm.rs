@@ -181,17 +181,24 @@ pub fn broadcast_efsm() -> Efsm {
     b.build(idle, Some(delivered))
 }
 
+/// The parameter vector binding [`broadcast_efsm`] to a concrete
+/// participant count, in the EFSM's declaration order (`n`,
+/// `echo_threshold`, `amplify_threshold`, `delivery_threshold`).
+///
+/// Use this everywhere an instance or pool is created — the order is
+/// load-bearing, so it must be built in exactly one place.
+pub fn broadcast_efsm_params(model: &BroadcastModel) -> Vec<i64> {
+    vec![
+        i64::from(model.participants()),
+        i64::from(model.echo_threshold()),
+        i64::from(model.ready_amplify_threshold()),
+        i64::from(model.delivery_threshold()),
+    ]
+}
+
 /// Instantiates [`broadcast_efsm`] for a concrete participant count.
 pub fn broadcast_efsm_instance<'e>(efsm: &'e Efsm, model: &BroadcastModel) -> EfsmInstance<'e> {
-    EfsmInstance::new(
-        efsm,
-        vec![
-            i64::from(model.participants()),
-            i64::from(model.echo_threshold()),
-            i64::from(model.ready_amplify_threshold()),
-            i64::from(model.delivery_threshold()),
-        ],
-    )
+    EfsmInstance::new(efsm, broadcast_efsm_params(model))
 }
 
 #[cfg(test)]
@@ -205,12 +212,7 @@ mod tests {
         assert_eq!(efsm.state_count(), 5);
         for n in [4u32, 7, 10, 13] {
             let model = BroadcastModel::new(n);
-            let params = vec![
-                i64::from(model.participants()),
-                i64::from(model.echo_threshold()),
-                i64::from(model.ready_amplify_threshold()),
-                i64::from(model.delivery_threshold()),
-            ];
+            let params = broadcast_efsm_params(&model);
             efsm.check_deterministic(&params, i64::from(n))
                 .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }

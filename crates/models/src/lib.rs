@@ -26,6 +26,6 @@ pub mod rounds;
 pub mod termination;
 
 pub use broadcast::BroadcastModel;
-pub use broadcast_efsm::{broadcast_efsm, broadcast_efsm_instance};
+pub use broadcast_efsm::{broadcast_efsm, broadcast_efsm_instance, broadcast_efsm_params};
 pub use rounds::RoundsModel;
 pub use termination::TerminationModel;

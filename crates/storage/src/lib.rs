@@ -33,5 +33,5 @@ pub use entities::{DataBlock, Guid, Pid};
 pub use placement::{guid_key, peer_set, pid_key, replica_keys};
 pub use version_service::{
     run_harness, AttemptId, ClientEndpoint, CommitPeer, HarnessConfig, HarnessReport,
-    PeerBehaviour, UpdateOutcome, VhMsg, VhNode,
+    PeerBehaviour, PeerEngine, UpdateOutcome, VhMsg, VhNode,
 };

@@ -2,9 +2,14 @@
 //! mappings through the Byzantine-fault-tolerant commit protocol.
 //!
 //! One harness instance models the peer set of a single GUID: `r` peers
-//! (each running one generated-FSM instance per ongoing update attempt)
 //! plus one or more client endpoints, all exchanging messages over the
-//! deterministic network simulator. Peers vote for updates in arrival
+//! deterministic network simulator. Each peer serves its update
+//! attempts from a per-peer [`SessionPool`] over the compiled commit
+//! machine (one dense `u32` of state per attempt; slots of aborted or
+//! garbage-collected unfinished attempts are recycled through a free
+//! list, while finished attempts keep theirs as replay protection)
+//! instead of allocating a full interpreter instance per attempt — the
+//! deployment shape the paper's ASA peers need at scale. Peers vote for updates in arrival
 //! order, exchange `vote`/`commit` messages, and append an update to
 //! their local history once the external commit threshold is reached;
 //! endpoints detect completion when `f + 1` distinct peers report the
@@ -25,7 +30,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use asa_simnet::{Context, NodeId, SimConfig, SimNode, SimStats, SimTime, Simulation};
 use stategen_commit::{CommitConfig, CommitMessage, CommitModel, CommitStateExt};
-use stategen_core::{generate, FsmInstance, ProtocolEngine, StateMachine};
+use stategen_core::{generate, CompiledMachine, MessageId, SessionPool, StateMachine};
 
 use crate::backoff::{RetryScheme, ServerOrdering};
 use crate::entities::Pid;
@@ -70,13 +75,79 @@ pub enum PeerBehaviour {
     Equivocator,
 }
 
-/// One peer-set member running the generated commit FSM.
+/// The compiled commit machine shared by a harness's whole peer set,
+/// plus the per-state protocol facts the peer logic needs resolved to
+/// dense state ids: whether a state holds the node's choice lock
+/// (`has_chosen`) and whether it has already sent its commit
+/// (`commit_sent`). Compiling once and indexing per-state bitmaps
+/// replaces the old per-delivery `StateVector` inspection.
+#[derive(Debug)]
+pub struct PeerEngine {
+    compiled: CompiledMachine,
+    has_chosen: Box<[bool]>,
+    commit_sent: Box<[bool]>,
+    message_ids: [MessageId; 5],
+}
+
+impl PeerEngine {
+    /// Compiles `machine` and extracts the per-state flags. Dense state
+    /// ids are assigned in machine order, so the flags index by the
+    /// compiled state id.
+    pub fn new(machine: &StateMachine) -> Self {
+        let compiled = CompiledMachine::compile(machine);
+        let has_chosen = machine
+            .states()
+            .iter()
+            .map(|s| s.vector().is_some_and(CommitStateExt::has_chosen))
+            .collect();
+        let commit_sent = machine
+            .states()
+            .iter()
+            .map(|s| s.vector().is_some_and(CommitStateExt::commit_sent))
+            .collect();
+        // Indexed by enum discriminant (not `ALL` order), matching the
+        // `message_id` lookup below.
+        let resolve = |m: CommitMessage| {
+            compiled.message_id(m.as_str()).expect("commit alphabet is fixed")
+        };
+        let mut message_ids = [resolve(CommitMessage::Update); 5];
+        for m in CommitMessage::ALL {
+            message_ids[m as usize] = resolve(m);
+        }
+        PeerEngine { compiled, has_chosen, commit_sent, message_ids }
+    }
+
+    /// The compiled machine (e.g. for building further pools).
+    pub fn compiled(&self) -> &CompiledMachine {
+        &self.compiled
+    }
+
+    /// The dense message id of a commit-protocol message (O(1), no
+    /// string lookup on the hot path).
+    fn message_id(&self, message: CommitMessage) -> MessageId {
+        self.message_ids[message as usize]
+    }
+}
+
+/// One peer-set member serving the commit protocol from a per-peer
+/// [`SessionPool`]: one pool session per update attempt (one dense
+/// `u32` of state each) instead of one interpreter instance per
+/// attempt. Sessions of *unfinished* attempts that are aborted or
+/// garbage-collected are recycled through a free list; finished
+/// attempts deliberately keep their slot and `slots` entry forever, as
+/// replay protection — a replayed vote for a committed attempt must hit
+/// the absorbing finished session, not spawn a fresh execution.
 #[derive(Debug)]
 pub struct CommitPeer<'m> {
-    machine: &'m StateMachine,
+    engine: &'m PeerEngine,
     behaviour: PeerBehaviour,
     peer_count: usize,
-    instances: BTreeMap<AttemptId, FsmInstance<'m>>,
+    /// The attempt-execution pool: per-attempt state is one dense `u32`.
+    pool: SessionPool<'m>,
+    /// Which pool session serves each in-flight attempt.
+    slots: BTreeMap<AttemptId, usize>,
+    /// Recycled pool sessions awaiting a fresh attempt.
+    free_slots: Vec<usize>,
     /// Sender-level deduplication: each peer's vote/commit for an attempt
     /// is counted once, whatever a Byzantine sender replays.
     seen: BTreeSet<(AttemptId, NodeId, u8)>,
@@ -95,19 +166,21 @@ pub struct CommitPeer<'m> {
 }
 
 impl<'m> CommitPeer<'m> {
-    /// Creates a peer executing `machine`; the first `peer_count` nodes
-    /// of the simulation are the peer set.
+    /// Creates a peer serving `engine`'s compiled machine; the first
+    /// `peer_count` nodes of the simulation are the peer set.
     pub fn new(
-        machine: &'m StateMachine,
+        engine: &'m PeerEngine,
         peer_count: usize,
         behaviour: PeerBehaviour,
         gc_after: SimTime,
     ) -> Self {
         CommitPeer {
-            machine,
+            engine,
             behaviour,
             peer_count,
-            instances: BTreeMap::new(),
+            pool: SessionPool::new(engine.compiled(), 0),
+            slots: BTreeMap::new(),
+            free_slots: Vec::new(),
             seen: BTreeSet::new(),
             clients: BTreeMap::new(),
             committed: BTreeSet::new(),
@@ -133,6 +206,17 @@ impl<'m> CommitPeer<'m> {
         self.behaviour
     }
 
+    /// The session pool serving this peer's attempts (sessions spawned
+    /// so far; recycled slots stay in the pool).
+    pub fn pool(&self) -> &SessionPool<'m> {
+        &self.pool
+    }
+
+    /// Attempts currently tracked (in-flight or finished-and-recorded).
+    pub fn tracked_attempts(&self) -> usize {
+        self.slots.len()
+    }
+
     fn broadcast_peers(&self, ctx: &mut Context<'_, VhMsg>, message: VhMsg) {
         for i in 0..self.peer_count {
             if i != ctx.self_id().index() {
@@ -141,9 +225,9 @@ impl<'m> CommitPeer<'m> {
         }
     }
 
-    /// Delivers a protocol message to the attempt's FSM instance and
+    /// Delivers a protocol message to the attempt's pool session and
     /// propagates all resulting actions, including the node-local
-    /// `free`/`not free` signals between sibling instances.
+    /// `free`/`not free` signals between sibling attempts.
     fn feed(
         &mut self,
         ctx: &mut Context<'_, VhMsg>,
@@ -158,33 +242,36 @@ impl<'m> CommitPeer<'m> {
             if m == CommitMessage::Update && self.history.contains(&a.pid) {
                 continue;
             }
-            // A new instance must reflect the node's current choice state:
-            // if a sibling instance has already chosen an update, this
-            // node is not free (the `not_free` signal predates the
-            // instance's creation).
-            // Message-id delivery: O(1) lookup once, then the borrowing
-            // `deliver_id` fast path — no per-delivery allocation.
-            let mid = |name: &str| {
-                self.machine.message_id(name).expect("commit alphabet is fixed")
-            };
-            let message_id = mid(m.as_str());
-            if !self.instances.contains_key(&a) {
-                let mut engine = FsmInstance::new(self.machine);
-                if self.node_has_chosen() {
-                    // The node's choice lock predates this instance.
-                    engine.deliver_id(mid(CommitMessage::NotFree.as_str()));
+            let message_id = self.engine.message_id(m);
+            let slot = match self.slots.get(&a) {
+                Some(&slot) => slot,
+                None => {
+                    // Recycle a garbage-collected session or grow the
+                    // pool (the only allocating path, amortised O(1)).
+                    let slot = match self.free_slots.pop() {
+                        Some(slot) => slot,
+                        None => self.pool.spawn(),
+                    };
+                    // A new attempt must reflect the node's current
+                    // choice state: if a sibling attempt has already
+                    // chosen an update, this node is not free (the
+                    // `not_free` signal predates the session's creation).
+                    if self.node_has_chosen() {
+                        self.pool.deliver(slot, self.engine.message_id(CommitMessage::NotFree));
+                    }
+                    self.slots.insert(a, slot);
+                    let tag = self.next_gc_tag;
+                    self.next_gc_tag += 1;
+                    self.gc_tags.insert(tag, a);
+                    ctx.set_timer(self.gc_after, tag);
+                    slot
                 }
-                self.instances.insert(a, engine);
-                let tag = self.next_gc_tag;
-                self.next_gc_tag += 1;
-                self.gc_tags.insert(tag, a);
-                ctx.set_timer(self.gc_after, tag);
-            }
-            let engine = self.instances.get_mut(&a).expect("inserted above");
-            // The returned slice borrows from the machine (lifetime 'm),
-            // so it stays usable while `self` is borrowed below.
-            let actions = engine.deliver_id(message_id);
-            let finished = engine.is_finished();
+            };
+            // The returned slice borrows from the compiled machine's
+            // interned arena (lifetime 'm), so it stays usable while
+            // `self` is borrowed below. No per-delivery allocation.
+            let actions = self.pool.deliver(slot, message_id);
+            let finished = self.pool.is_finished(slot);
             for action in actions {
                 match action.message() {
                     "vote" => self.broadcast_peers(ctx, VhMsg::Vote(a)),
@@ -213,32 +300,33 @@ impl<'m> CommitPeer<'m> {
         }
     }
 
-    /// `true` while some unfinished instance on this node has chosen its
-    /// update (the node's choice lock is held).
+    /// `true` while some unfinished attempt on this node has chosen its
+    /// update (the node's choice lock is held). A per-state bitmap
+    /// lookup, not a `StateVector` walk.
     fn node_has_chosen(&self) -> bool {
-        self.instances.values().any(|engine| {
-            !engine.is_finished()
-                && engine.current().vector().is_some_and(CommitStateExt::has_chosen)
+        self.slots.values().any(|&slot| {
+            !self.pool.is_finished(slot)
+                && self.engine.has_chosen[self.pool.state(slot) as usize]
         })
     }
 
     fn local_siblings(&self, attempt: AttemptId) -> Vec<AttemptId> {
-        self.instances
+        self.slots
             .iter()
-            .filter(|(a, engine)| **a != attempt && !engine.is_finished())
+            .filter(|(a, &slot)| **a != attempt && !self.pool.is_finished(slot))
             .map(|(a, _)| *a)
             .collect()
     }
 
     /// Abandons an attempt on client request, unless this peer already
     /// sent a commit for it (the update may be about to agree; the
-    /// instance garbage collector reclaims it later if not).
+    /// session garbage collector reclaims it later if not).
     fn abort(&mut self, ctx: &mut Context<'_, VhMsg>, attempt: AttemptId) {
-        let Some(engine) = self.instances.get(&attempt) else { return };
-        if engine.is_finished() {
+        let Some(&slot) = self.slots.get(&attempt) else { return };
+        if self.pool.is_finished(slot) {
             return;
         }
-        if engine.current().vector().is_some_and(CommitStateExt::commit_sent) {
+        if self.engine.commit_sent[self.pool.state(slot) as usize] {
             return;
         }
         self.drop_instance(ctx, attempt);
@@ -248,16 +336,18 @@ impl<'m> CommitPeer<'m> {
         self.seen.insert((attempt, from, kind))
     }
 
-    /// Drops an unfinished instance and, if it held the node's choice
-    /// lock, releases it by signalling `free` to the sibling instances.
+    /// Drops an unfinished attempt (recycling its pool session) and, if
+    /// it held the node's choice lock, releases it by signalling `free`
+    /// to the sibling attempts.
     fn drop_instance(&mut self, ctx: &mut Context<'_, VhMsg>, attempt: AttemptId) {
-        let Some(engine) = self.instances.get(&attempt) else { return };
-        if engine.is_finished() {
+        let Some(&slot) = self.slots.get(&attempt) else { return };
+        if self.pool.is_finished(slot) {
             return;
         }
-        let had_chosen =
-            engine.current().vector().is_some_and(CommitStateExt::has_chosen);
-        self.instances.remove(&attempt);
+        let had_chosen = self.engine.has_chosen[self.pool.state(slot) as usize];
+        self.slots.remove(&attempt);
+        self.pool.reset_session(slot);
+        self.free_slots.push(slot);
         if had_chosen {
             for sibling in self.local_siblings(attempt) {
                 self.feed(ctx, sibling, CommitMessage::Free);
@@ -651,11 +741,13 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
     let machine = generate(&CommitModel::new(commit_config))
         .expect("commit model generates")
         .machine;
+    // Compile once per harness; every peer's session pool shares it.
+    let engine = PeerEngine::new(&machine);
     let r = config.replication_factor as usize;
     let mut nodes: Vec<VhNode<'_>> = Vec::new();
     for i in 0..r {
         let behaviour = config.behaviours.get(i).copied().unwrap_or_default();
-        nodes.push(VhNode::Peer(CommitPeer::new(&machine, r, behaviour, config.peer_gc)));
+        nodes.push(VhNode::Peer(CommitPeer::new(&engine, r, behaviour, config.peer_gc)));
     }
     for (ci, updates) in config.client_updates.iter().enumerate() {
         nodes.push(VhNode::Client(ClientEndpoint::new(

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 gate plus the engine-tier benchmark.
+#
+#   scripts/verify.sh
+#
+# 1. builds the whole workspace in release mode;
+# 2. runs every test (default-members covers all crates);
+# 3. regenerates BENCH_engine_tiers.json via the engine_tiers binary,
+#    which also asserts the zero-allocation and EFSM-speedup claims —
+#    keeping the perf trajectory tracked on every PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== engine_tiers (regenerates BENCH_engine_tiers.json) =="
+cargo run --release -p repro-bench --bin engine_tiers
+
+echo "verify.sh: all green"
