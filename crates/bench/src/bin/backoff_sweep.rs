@@ -52,7 +52,7 @@ fn main() {
                     latency_n += 1;
                 }
             }
-            let mean = if latency_n > 0 { latency_sum / latency_n } else { 0 };
+            let mean = latency_sum.checked_div(latency_n).unwrap_or(0);
             println!(
                 "{:<26} {:<13} {:>6}/{:<2} {:>9} {:>11} ticks",
                 sname,

@@ -13,11 +13,14 @@
 //! paths, including the name path, which resolves messages through the
 //! machine's interned name→id map and borrows the action slice instead
 //! of copying it — performs **zero** heap allocations per delivered
-//! message. Two tiers are deliberately exempt from the assertion: the
-//! interpreted EFSM baseline (driven through the owned-`Vec` trait
-//! path its callers use, so it allocates per phase transition) and the
-//! sharded tiers (spawning a worker thread per shard allocates by
-//! design, amortised over tens of thousands of sessions per batch).
+//! message; that includes `hsm_flattened`, a flattened hierarchical
+//! statechart dispatching through the same dense tables. Exempt from
+//! the assertion: the interpreted EFSM baseline (driven through the
+//! owned-`Vec` trait path its callers use, so it allocates per phase
+//! transition) and the sharded tiers (spawning worker threads — per
+//! batch for the scoped rows, per measurement pass for the persistent
+//! parked-worker row — allocates by design, amortised over tens of
+//! thousands of sessions per batch).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -33,6 +36,7 @@ use stategen_core::{
     SessionPool, ShardedPool,
 };
 use stategen_generated::GeneratedCommitR4;
+use stategen_models::session_lifecycle;
 
 /// System allocator wrapped with an allocation counter, so the harness
 /// can assert which tiers allocate on the delivery path.
@@ -173,6 +177,33 @@ fn main() {
         actions
     }));
 
+    // Tier 3b: a flattened hierarchical statechart on the same compiled
+    // dispatch. The session-lifecycle machine (composites, entry/exit
+    // actions, shallow history) lowers to an ordinary dense table, so
+    // flattened dispatch must stay within ~2x of the plain compiled
+    // tier and keep the zero-allocation guarantee.
+    let lifecycle = session_lifecycle();
+    let lifecycle_flat = lifecycle.flatten();
+    let compiled_lifecycle = CompiledMachine::compile(&lifecycle_flat);
+    const HSM_TRACE: [&str; 9] = [
+        "connect", "update", "vote", "commit", "ping", "update", "abort", "suspend", "resume",
+    ];
+    let hsm_ids: Vec<_> = HSM_TRACE
+        .iter()
+        .map(|m| compiled_lifecycle.message_id(m).expect("valid message"))
+        .collect();
+    results.push(measure("hsm_flattened", rounds * HSM_TRACE.len() as u64, true, || {
+        let mut engine = compiled_lifecycle.instance();
+        let mut actions = 0;
+        for _ in 0..rounds {
+            for &id in &hsm_ids {
+                actions += engine.deliver_id(id).len() as u64;
+            }
+            engine.reset();
+        }
+        actions
+    }));
+
     // Tier 4: batched sessions (struct-of-arrays pool; per-delivery cost
     // amortised over POOL_SESSIONS concurrent instances).
     let pool_rounds = (SINGLE_DELIVERIES / (POOL_SESSIONS as u64 * TRACE.len() as u64)).max(1);
@@ -256,6 +287,26 @@ fn main() {
         }));
     }
 
+    // Tier 10b: the same 4-shard batch work on persistent parked
+    // workers — one spawn per measurement pass instead of one per
+    // batch, with every batch a condvar handshake.
+    {
+        let mut sharded =
+            ShardedPool::split(SHARDED_SESSIONS, 4, |len| SessionPool::new(&compiled, len));
+        results.push(measure("sharded_persistent_4", sharded_deliveries, false, || {
+            sharded.with_workers(|workers| {
+                let mut transitions = 0;
+                for _ in 0..sharded_rounds {
+                    for &id in &ids {
+                        transitions += workers.deliver_all(id);
+                    }
+                    workers.reset_all();
+                }
+                transitions
+            })
+        }));
+    }
+
     // Tier 11: build-time generated source (match over enum states,
     // static send lists).
     results.push(measure("generated", rounds * TRACE.len() as u64, false, || {
@@ -325,6 +376,21 @@ fn main() {
         SHARDED_SESSIONS,
         std::thread::available_parallelism().map_or(0, usize::from)
     );
+    // Flattened-statechart dispatch runs the identical dense-table hot
+    // path, so it must stay in the same ballpark as the plain compiled
+    // machine. Like the EFSM speedup this compares two wall-clock
+    // measurements, so it warns rather than hard-failing the gate.
+    let hsm_ratio = by_name("hsm_flattened") / by_name("compiled");
+    println!("hsm_flattened vs compiled:           {hsm_ratio:.2}x");
+    if hsm_ratio > 2.0 {
+        eprintln!(
+            "warning: flattened-statechart dispatch is {hsm_ratio:.2}x the plain compiled \
+             tier (target: within ~2x) — rerun on an idle machine before treating this as \
+             a regression"
+        );
+    }
+    let persistent_vs_scoped = by_name("sharded_pool_4") / by_name("sharded_persistent_4");
+    println!("persistent vs scoped workers (4):    {persistent_vs_scoped:.2}x");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -341,6 +407,9 @@ fn main() {
     );
     let _ = writeln!(json, "  \"efsm_compiled_speedup\": {efsm_speedup:.3},");
     let _ = writeln!(json, "  \"sharded_4_thread_scaling\": {sharded_scaling:.3},");
+    let _ = writeln!(json, "  \"hsm_flattened_vs_compiled\": {hsm_ratio:.3},");
+    let _ = writeln!(json, "  \"persistent_vs_scoped_sharded_4\": {persistent_vs_scoped:.3},");
+    let _ = writeln!(json, "  \"hsm_flat_states\": {},", compiled_lifecycle.state_count());
     json.push_str("  \"tiers\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = writeln!(

@@ -1,0 +1,126 @@
+//! End-to-end commit throughput of the pool-backed storage stack:
+//! clients push version updates through the BFT commit protocol over
+//! the simulated network, with every peer serving its in-flight
+//! attempts from a `SessionPool` over the shared compiled commit
+//! machine. Reports commits per wall-clock second across replication
+//! factors and emits a machine-readable `BENCH_storage.json` at the
+//! workspace root so future PRs can track the trajectory.
+//!
+//! Wall-clock throughput here measures the whole stack — discrete-event
+//! simulator, retry/timeout machinery, peer session pools — not just
+//! FSM dispatch (see `engine_tiers` for that), which is exactly what a
+//! deployment-shaped regression gate wants.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use asa_simnet::SimConfig;
+use asa_storage::{run_harness, HarnessConfig, Pid};
+
+/// Client endpoints submitting updates concurrently.
+const CLIENTS: usize = 6;
+
+/// Updates submitted per client (commits per run = CLIENTS × this).
+const UPDATES_PER_CLIENT: usize = 25;
+
+struct Row {
+    replication_factor: u32,
+    commits: usize,
+    all_committed: bool,
+    retries: u32,
+    commits_per_sec: f64,
+    messages: u64,
+    end_time: u64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for r in [4u32, 7, 10] {
+        let client_updates: Vec<Vec<Pid>> = (0..CLIENTS)
+            .map(|c| {
+                (0..UPDATES_PER_CLIENT)
+                    .map(|u| Pid::of(format!("r{r}/client{c}/update{u}").as_bytes()))
+                    .collect()
+            })
+            .collect();
+        let config = HarnessConfig {
+            replication_factor: r,
+            client_updates,
+            net: SimConfig { seed: 7, min_delay: 1, max_delay: 10, ..Default::default() },
+            deadline: 50_000_000,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let report = run_harness(&config);
+        let wall = start.elapsed();
+        let commits: usize = report.outcomes.iter().map(Vec::len).sum();
+        // With concurrent clients the serialisation guarantee is on the
+        // committed *set* (see `equivocator_and_concurrent_clients_r7`
+        // in the storage tests); order agreement is only guaranteed for
+        // sequential submission.
+        assert!(report.sets_agree(), "correct peers must agree on the committed set");
+        rows.push(Row {
+            replication_factor: r,
+            commits,
+            all_committed: report.all_committed,
+            retries: report.total_retries(),
+            commits_per_sec: commits as f64 / wall.as_secs_f64(),
+            messages: report.stats.delivered,
+            end_time: report.end_time,
+        });
+    }
+
+    println!(
+        "storage commit throughput — {CLIENTS} clients x {UPDATES_PER_CLIENT} updates, \
+         pool-backed peers"
+    );
+    println!(
+        "{:<4} {:>8} {:>10} {:>8} {:>14} {:>10} {:>12}",
+        "r", "commits", "complete", "retries", "commits/sec", "messages", "virtual end"
+    );
+    for row in &rows {
+        println!(
+            "{:<4} {:>8} {:>10} {:>8} {:>14.0} {:>10} {:>12}",
+            row.replication_factor,
+            row.commits,
+            row.all_committed,
+            row.retries,
+            row.commits_per_sec,
+            row.messages,
+            row.end_time
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"clients\": {CLIENTS},");
+    let _ = writeln!(json, "  \"updates_per_client\": {UPDATES_PER_CLIENT},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"replication_factor\": {}, \"commits\": {}, \"all_committed\": {}, \
+             \"retries\": {}, \"commits_per_sec\": {:.1}, \"messages_delivered\": {}, \
+             \"virtual_end_time\": {}}}{}",
+            row.replication_factor,
+            row.commits,
+            row.all_committed,
+            row.retries,
+            row.commits_per_sec,
+            row.messages,
+            row.end_time,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_storage.json");
+    std::fs::write(&path, &json).expect("write BENCH_storage.json");
+    println!("wrote {}", path.display());
+}

@@ -141,6 +141,97 @@ impl fmt::Display for CompileError {
 
 impl Error for CompileError {}
 
+/// An error raised while constructing a
+/// [`HierarchicalMachine`](crate::HierarchicalMachine) or adding
+/// transitions to its builder.
+///
+/// The hierarchical layer enforces the same determinism invariants as the
+/// flat builder (one transition per `(state, message)`), plus the tree
+/// invariants the flattening compiler relies on: composites carry an
+/// initial child drawn from their own children, shallow history lives on
+/// composites only, final states are leaves, and state names stay free of
+/// the `.`/`~`/`=` separators used in synthesized flat-state names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HsmError {
+    /// The transition names a message outside the machine's alphabet.
+    UnknownMessage(String),
+    /// A state id is out of range for the machine under construction.
+    StateOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of states declared so far.
+        states: usize,
+    },
+    /// Two transitions leave the same state on the same message; the
+    /// inner-state-overrides-outer resolution rule leaves no way for the
+    /// second to ever fire.
+    DuplicateTransition {
+        /// Display name of the offending state.
+        state: String,
+        /// The message both transitions claim.
+        message: String,
+    },
+    /// A state name is empty or contains one of the reserved separators
+    /// (`.`, `~`, `=`) used in flattened configuration names.
+    InvalidStateName(String),
+    /// Two siblings (or two top-level states) share a name, which would
+    /// make flattened configuration names ambiguous.
+    DuplicateSiblingName(String),
+    /// A composite's declared initial state is not one of its direct
+    /// children.
+    InitialNotChild {
+        /// The composite state's name.
+        composite: String,
+        /// The declared initial state's name.
+        initial: String,
+    },
+    /// Shallow history was enabled on a state without children.
+    HistoryOnLeaf(String),
+    /// A state with children was marked final; only leaves can be final.
+    FinalNotLeaf(String),
+    /// A transition targets the history pseudostate of a state that is
+    /// not a composite with shallow history enabled.
+    InvalidHistoryTarget(String),
+}
+
+impl fmt::Display for HsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HsmError::UnknownMessage(name) => write!(f, "unknown message `{name}`"),
+            HsmError::StateOutOfRange { index, states } => {
+                write!(f, "state id {index} is out of range ({states} states declared)")
+            }
+            HsmError::DuplicateTransition { state, message } => {
+                write!(f, "duplicate transition from state `{state}` on message `{message}`")
+            }
+            HsmError::InvalidStateName(name) => {
+                write!(f, "invalid state name `{name}` (empty or contains `.`, `~` or `=`)")
+            }
+            HsmError::DuplicateSiblingName(name) => {
+                write!(f, "duplicate sibling state name `{name}`")
+            }
+            HsmError::InitialNotChild { composite, initial } => {
+                write!(f, "initial state `{initial}` is not a child of composite `{composite}`")
+            }
+            HsmError::HistoryOnLeaf(name) => {
+                write!(f, "shallow history enabled on leaf state `{name}`")
+            }
+            HsmError::FinalNotLeaf(name) => {
+                write!(f, "final state `{name}` has children; only leaves can be final")
+            }
+            HsmError::InvalidHistoryTarget(name) => {
+                write!(
+                    f,
+                    "history transition targets `{name}`, which is not a composite with \
+                     shallow history enabled"
+                )
+            }
+        }
+    }
+}
+
+impl Error for HsmError {}
+
 /// An error raised when driving a machine interpreter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InterpError {

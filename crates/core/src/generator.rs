@@ -425,14 +425,17 @@ pub fn merge_equivalent_states(
     // class[i] = lowest state index in i's equivalence group.
     let mut class: Vec<u32> = (0..n as u32).collect();
     let mut rounds = 0usize;
+    /// Per-message behavioural signature entry: message id, action list,
+    /// target equivalence class.
+    type SigEntry<'a> = (u16, Vec<&'a str>, u32);
     loop {
         rounds += 1;
         // Signature: per-message (action list, target class) plus a
         // pseudo-entry encoding the role, so finish states only group with
         // finish states.
-        let mut groups: BTreeMap<Vec<(u16, Vec<&str>, u32)>, Vec<u32>> = BTreeMap::new();
+        let mut groups: BTreeMap<Vec<SigEntry<'_>>, Vec<u32>> = BTreeMap::new();
         for (id, state) in machine.states_with_ids() {
-            let mut sig: Vec<(u16, Vec<&str>, u32)> = state
+            let mut sig: Vec<SigEntry<'_>> = state
                 .transitions()
                 .map(|(m, t)| {
                     (

@@ -1,0 +1,1362 @@
+//! Hierarchical statecharts and the flattening compiler.
+//!
+//! The paper's pipeline produces *flat* FSM families, but real protocol
+//! specifications — connection lifecycles, failure/recovery overlays on a
+//! commit protocol — are naturally hierarchical: composite states with
+//! entry/exit actions, transitions inherited from enclosing states,
+//! internal (self-absorbing) transitions and shallow history. Devroey et
+//! al.'s flattening mapping study names the standard bridge: lower the
+//! statechart to an ordinary flat machine, then reuse all flat-FSM
+//! tooling unchanged. This module is that bridge:
+//!
+//! * [`HierarchicalMachine`] / [`HsmBuilder`] — the statechart model: a
+//!   forest of states where composites carry an initial child and
+//!   optional shallow history, every state carries entry/exit action
+//!   lists, and transitions may be internal, cross-level, or target a
+//!   composite's history pseudostate;
+//! * [`HierarchicalMachine::flatten`] — the compiler: enumerates the
+//!   reachable *configurations* (active leaf × shallow-history memory)
+//!   breadth-first and lowers each to one flat
+//!   [`StateMachine`](crate::StateMachine) state, expanding inherited
+//!   transitions, synthesizing the exit/transition/entry action
+//!   sequences, and resolving history by splitting states per remembered
+//!   child. The result runs on every existing execution tier —
+//!   [`FsmInstance`](crate::FsmInstance),
+//!   [`CompiledMachine`](crate::CompiledMachine) /
+//!   [`SessionPool`](crate::SessionPool) and
+//!   [`ShardedPool`](crate::ShardedPool) — with zero engine changes
+//!   (the compiled tier's action-arena interning folds the synthesized
+//!   sequences back together);
+//! * [`HsmInstance`] — a direct interpreter over the statechart, the
+//!   reference the flattened machines are property-checked against
+//!   (`HsmInstance ≡ FsmInstance(flatten) ≡ CompiledInstance(flatten)`
+//!   over random traces). Interpreter and compiler share the
+//!   run-to-completion kernel by design — one semantics, two execution
+//!   strategies — so the properties pin the *flattening pipeline*
+//!   (configuration enumeration, naming, table construction), while
+//!   the kernel's semantics are pinned by closed-form unit tests
+//!   asserting exact action sequences.
+//!
+//! # Semantics
+//!
+//! The run-to-completion step for a configuration `(leaf, memory)` on
+//! message `m`:
+//!
+//! 1. A final leaf absorbs every message (mirroring the flat machines'
+//!    absorbing [`StateRole::Finish`] states).
+//! 2. The handler is the *innermost* state on the active leaf's ancestor
+//!    chain declaring a transition for `m`; inner declarations override
+//!    inherited outer ones. No handler ⇒ the message is ignored.
+//! 3. An *internal* transition fires its actions and leaves the
+//!    configuration untouched (no exit/entry actions run). It flattens
+//!    to a self-loop.
+//! 4. An external transition exits from the active leaf up to (but not
+//!    including) the lowest common proper ancestor of the handler and
+//!    the target — so a self- or ancestor-targeting transition exits and
+//!    re-enters its source, the conventional external-transition
+//!    reading. Exit actions run innermost-first; each exited composite
+//!    with shallow history records its active direct child. The machine
+//!    then enters the chain from that ancestor down to the target
+//!    (entry actions outermost-first) and keeps descending: a history
+//!    target restores the remembered (else initial) child, composites
+//!    descend through initial children until a leaf is reached. The
+//!    emitted action sequence is `exits ++ transition actions ++
+//!    entries`.
+//!
+//! Entry actions of the *initial* configuration are not emitted: no
+//! message delivery triggers them, and the flat model has no notion of
+//! machine-start actions. Callers wanting them can read
+//! [`HierarchicalMachine::start_entry_actions`].
+//!
+//! # Example
+//!
+//! ```
+//! use stategen_core::{Action, HsmBuilder, HsmInstance, ProtocolEngine};
+//!
+//! let mut b = HsmBuilder::new("conn", ["open", "work", "drop", "resume"]);
+//! let idle = b.add_state("Idle");
+//! let up = b.add_state("Up");
+//! let a = b.add_child(up, "A"); // initial child of Up
+//! let bb = b.add_child(up, "B");
+//! b.enable_history(up);
+//! b.on_entry(up, vec![Action::send("hello")]);
+//! b.add_transition(idle, "open", up, vec![]);          // enters Up.A
+//! b.add_transition(a, "work", bb, vec![]);
+//! b.add_transition(up, "drop", idle, vec![]);          // inherited by A and B
+//! b.add_history_transition(idle, "resume", up, vec![]); // back to last child
+//! let hsm = b.build(idle);
+//!
+//! let flat = hsm.flatten();
+//! assert_eq!(flat.state_count(), 6); // {Idle, Up.A, Up.B} × reachable memories
+//!
+//! let mut reference = HsmInstance::new(&hsm);
+//! for m in ["open", "work", "drop", "resume"] {
+//!     reference.deliver_ref(m).unwrap();
+//! }
+//! assert_eq!(reference.state_name(), "Up.B~Up=B"); // history restored B
+//! ```
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use crate::error::{HsmError, InterpError};
+use crate::interp::ProtocolEngine;
+use crate::machine::{Action, MessageId, StateMachine, StateMachineBuilder, StateRole};
+
+/// Identifier of a state within a [`HierarchicalMachine`] (index into
+/// its state tree, in declaration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HsmStateId(u32);
+
+impl HsmStateId {
+    /// The index into the machine's state table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where a hierarchical transition goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HsmTarget {
+    /// External transition to a state; composites are entered through
+    /// their initial children.
+    State(HsmStateId),
+    /// External transition to the shallow-history pseudostate of a
+    /// composite: re-enters the direct child that was active when the
+    /// composite was last exited (or its initial child on first entry).
+    History(HsmStateId),
+    /// Internal transition: actions fire but the configuration is
+    /// unchanged and no entry/exit actions run.
+    Internal,
+}
+
+/// A transition declared on a hierarchical state (and inherited by all
+/// of its descendants unless overridden closer to the leaf).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HsmTransition {
+    target: HsmTarget,
+    actions: Vec<Action>,
+}
+
+impl HsmTransition {
+    /// The transition's target.
+    pub fn target(&self) -> HsmTarget {
+        self.target
+    }
+
+    /// Actions (messages sent) when the transition fires, not counting
+    /// the entry/exit actions synthesized around them.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+}
+
+/// One state of a hierarchical machine: a node in the state forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HsmState {
+    name: String,
+    parent: Option<HsmStateId>,
+    children: Vec<HsmStateId>,
+    initial: Option<HsmStateId>,
+    history: bool,
+    entry: Vec<Action>,
+    exit: Vec<Action>,
+    role: StateRole,
+    transitions: BTreeMap<u16, HsmTransition>,
+}
+
+impl HsmState {
+    fn new(name: String, parent: Option<HsmStateId>) -> Self {
+        HsmState {
+            name,
+            parent,
+            children: Vec::new(),
+            initial: None,
+            history: false,
+            entry: Vec::new(),
+            exit: Vec::new(),
+            role: StateRole::Normal,
+            transitions: BTreeMap::new(),
+        }
+    }
+
+    /// The state's bare name (path-free; see
+    /// [`HierarchicalMachine::path_name`] for the dotted full path).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The enclosing composite, or `None` for top-level states.
+    pub fn parent(&self) -> Option<HsmStateId> {
+        self.parent
+    }
+
+    /// Direct children, in declaration order (empty for leaves).
+    pub fn children(&self) -> &[HsmStateId] {
+        &self.children
+    }
+
+    /// The initial child entered when this composite is targeted
+    /// directly (`None` for leaves).
+    pub fn initial(&self) -> Option<HsmStateId> {
+        self.initial
+    }
+
+    /// `true` if this composite records shallow history.
+    pub fn has_history(&self) -> bool {
+        self.history
+    }
+
+    /// `true` if this state has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Actions performed when the state is entered.
+    pub fn entry_actions(&self) -> &[Action] {
+        &self.entry
+    }
+
+    /// Actions performed when the state is exited.
+    pub fn exit_actions(&self) -> &[Action] {
+        &self.exit
+    }
+
+    /// The state's role; final leaves lower to absorbing
+    /// [`StateRole::Finish`] flat states.
+    pub fn role(&self) -> StateRole {
+        self.role
+    }
+
+    /// Transitions declared directly on this state, keyed by message, in
+    /// message-id order (inherited transitions are *not* repeated here).
+    pub fn transitions(&self) -> impl Iterator<Item = (MessageId, &HsmTransition)> {
+        self.transitions.iter().map(|(&m, t)| (MessageId(m), t))
+    }
+}
+
+/// A hierarchical statechart: a forest of states with composite nesting,
+/// entry/exit actions, inherited/internal/cross-level transitions and
+/// shallow history. Built with [`HsmBuilder`]; executed directly by
+/// [`HsmInstance`] or lowered to a flat
+/// [`StateMachine`](crate::StateMachine) by
+/// [`HierarchicalMachine::flatten`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchicalMachine {
+    name: String,
+    messages: Vec<String>,
+    message_lookup: HashMap<String, u16>,
+    states: Vec<HsmState>,
+    start: HsmStateId,
+    start_leaf: HsmStateId,
+    /// Composites with shallow history enabled, in id order; the slot
+    /// index is each one's position in a configuration's memory vector.
+    history_states: Vec<HsmStateId>,
+    /// `history_slot[state] = Some(slot)` iff the state records history.
+    history_slot: Vec<Option<usize>>,
+}
+
+impl HierarchicalMachine {
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The message alphabet, in declaration order.
+    pub fn messages(&self) -> &[String] {
+        &self.messages
+    }
+
+    /// Looks up a message id by name in O(1).
+    pub fn message_id(&self, name: &str) -> Option<MessageId> {
+        self.message_lookup.get(name).copied().map(MessageId)
+    }
+
+    /// Number of states in the tree (composites and leaves).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of composite (non-leaf) states.
+    pub fn composite_count(&self) -> usize {
+        self.states.iter().filter(|s| !s.is_leaf()).count()
+    }
+
+    /// Number of composites recording shallow history.
+    pub fn history_count(&self) -> usize {
+        self.history_states.len()
+    }
+
+    /// Total transitions declared across all states (before inheritance
+    /// expansion).
+    pub fn transition_count(&self) -> usize {
+        self.states.iter().map(|s| s.transitions.len()).sum()
+    }
+
+    /// The state with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this machine.
+    pub fn state(&self, id: HsmStateId) -> &HsmState {
+        &self.states[id.index()]
+    }
+
+    /// Iterates over `(id, state)` pairs in declaration order.
+    pub fn states_with_ids(&self) -> impl Iterator<Item = (HsmStateId, &HsmState)> {
+        self.states.iter().enumerate().map(|(i, s)| (HsmStateId(i as u32), s))
+    }
+
+    /// Top-level states (those without a parent), in declaration order.
+    pub fn top_level(&self) -> impl Iterator<Item = HsmStateId> + '_ {
+        self.states_with_ids().filter(|(_, s)| s.parent.is_none()).map(|(id, _)| id)
+    }
+
+    /// The declared start state (possibly a composite).
+    pub fn start(&self) -> HsmStateId {
+        self.start
+    }
+
+    /// The leaf the machine actually starts in, after descending through
+    /// initial children from [`HierarchicalMachine::start`].
+    pub fn start_leaf(&self) -> HsmStateId {
+        self.start_leaf
+    }
+
+    /// Entry actions of the initial configuration (outermost-first down
+    /// to the start leaf). These are *not* emitted by any delivery — no
+    /// message triggers them — so both the direct interpreter and the
+    /// flattened machine skip them; callers that need machine-start
+    /// actions read them here.
+    pub fn start_entry_actions(&self) -> Vec<Action> {
+        let mut chain = Vec::new();
+        let mut cur = Some(self.start);
+        while let Some(s) = cur {
+            chain.push(s);
+            cur = self.states[s.index()].parent;
+        }
+        chain.reverse();
+        let mut cur = self.start;
+        while let Some(init) = self.states[cur.index()].initial {
+            chain.push(init);
+            cur = init;
+        }
+        chain.iter().flat_map(|s| self.states[s.index()].entry.iter().cloned()).collect()
+    }
+
+    /// The canonical shallow-history memory of the initial
+    /// configuration: every history composite remembers its initial
+    /// child.
+    pub fn initial_memory(&self) -> Vec<HsmStateId> {
+        self.history_states
+            .iter()
+            .map(|&c| self.states[c.index()].initial.expect("history composites have children"))
+            .collect()
+    }
+
+    /// The dotted root-to-state path, e.g. `Established.Commit.Voting`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this machine.
+    pub fn path_name(&self, id: HsmStateId) -> String {
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(s) = cur {
+            chain.push(self.states[s.index()].name.as_str());
+            cur = self.states[s.index()].parent;
+        }
+        chain.reverse();
+        chain.join(".")
+    }
+
+    /// The display name of a configuration: the active leaf's dotted
+    /// path, decorated with `~<composite path>=<child>` for every
+    /// history composite whose memory differs from its initial child.
+    /// The decoration keys on the composite's full path (not its bare
+    /// name) so equally named composites in different branches cannot
+    /// make distinct configurations collide. Flattened states carry
+    /// exactly these names, so the direct interpreter and the flat
+    /// engines agree on [`ProtocolEngine::state_name`].
+    pub fn config_name(&self, leaf: HsmStateId, memory: &[HsmStateId]) -> String {
+        let mut name = self.path_name(leaf);
+        for (slot, &comp) in self.history_states.iter().enumerate() {
+            let initial = self.states[comp.index()].initial.expect("history composite");
+            if memory[slot] != initial {
+                let _ = write!(
+                    name,
+                    "~{}={}",
+                    self.path_name(comp),
+                    self.states[memory[slot].index()].name
+                );
+            }
+        }
+        name
+    }
+
+    /// The lowest state that is a *proper* ancestor of both `a` and `b`
+    /// (`None` at forest top level). For `a == b`, or one an ancestor of
+    /// the other, this is the parent of the shallower state — giving
+    /// external transitions their exit-and-re-enter reading.
+    fn proper_lca(&self, a: HsmStateId, b: HsmStateId) -> Option<HsmStateId> {
+        let mut ancestors_of_a = Vec::new();
+        let mut cur = self.states[a.index()].parent;
+        while let Some(p) = cur {
+            ancestors_of_a.push(p);
+            cur = self.states[p.index()].parent;
+        }
+        let mut cur = self.states[b.index()].parent;
+        while let Some(p) = cur {
+            if ancestors_of_a.contains(&p) {
+                return Some(p);
+            }
+            cur = self.states[p.index()].parent;
+        }
+        None
+    }
+
+    /// The run-to-completion kernel shared by [`HsmInstance`] and
+    /// [`HierarchicalMachine::flatten`]: steps the configuration
+    /// `(leaf, memory)` on `message`, appending the synthesized
+    /// exit/transition/entry action sequence to `actions` and updating
+    /// `memory` in place. Returns the new active leaf if a transition
+    /// fired (possibly the same leaf, for internal transitions), `None`
+    /// if the message was absorbed.
+    fn step_config(
+        &self,
+        leaf: HsmStateId,
+        memory: &mut [HsmStateId],
+        message: u16,
+        actions: &mut Vec<Action>,
+    ) -> Option<HsmStateId> {
+        if self.states[leaf.index()].role == StateRole::Finish {
+            return None;
+        }
+        // Innermost handler wins: walk the ancestor chain from the leaf.
+        let mut handler = leaf;
+        let transition = loop {
+            if let Some(t) = self.states[handler.index()].transitions.get(&message) {
+                break t;
+            }
+            handler = self.states[handler.index()].parent?;
+        };
+
+        let (target, via_history) = match transition.target {
+            HsmTarget::Internal => {
+                actions.extend(transition.actions.iter().cloned());
+                return Some(leaf);
+            }
+            HsmTarget::State(t) => (t, false),
+            HsmTarget::History(t) => (t, true),
+        };
+
+        let lca = self.proper_lca(handler, target);
+
+        // Exit from the active leaf up to (but not including) the LCA,
+        // innermost-first; exited history composites record their active
+        // direct child.
+        let mut cur = Some(leaf);
+        let mut below: Option<HsmStateId> = None;
+        while cur != lca {
+            let s = cur.expect("the LCA is a proper ancestor of the active leaf");
+            actions.extend(self.states[s.index()].exit.iter().cloned());
+            if let (Some(slot), Some(child)) = (self.history_slot[s.index()], below) {
+                memory[slot] = child;
+            }
+            below = Some(s);
+            cur = self.states[s.index()].parent;
+        }
+
+        actions.extend(transition.actions.iter().cloned());
+
+        // Enter from the LCA down to the target, outermost-first.
+        let mut chain = Vec::new();
+        let mut cur = Some(target);
+        while cur != lca {
+            let s = cur.expect("the LCA is a proper ancestor of the target");
+            chain.push(s);
+            cur = self.states[s.index()].parent;
+        }
+        for &s in chain.iter().rev() {
+            actions.extend(self.states[s.index()].entry.iter().cloned());
+        }
+
+        // Descend below the target: history restores the remembered
+        // child (already updated if the target itself was just exited),
+        // then composites descend through initial children to a leaf.
+        let mut cur = target;
+        if via_history {
+            let slot = self.history_slot[target.index()].expect("validated history target");
+            let child = memory[slot];
+            actions.extend(self.states[child.index()].entry.iter().cloned());
+            cur = child;
+        }
+        while let Some(init) = self.states[cur.index()].initial {
+            actions.extend(self.states[init.index()].entry.iter().cloned());
+            cur = init;
+        }
+        Some(cur)
+    }
+
+    /// Lowers the statechart to a flat [`StateMachine`] running on every
+    /// existing execution tier unchanged.
+    ///
+    /// Flat states are the machine's *reachable configurations* (active
+    /// leaf × shallow-history memory), discovered breadth-first from the
+    /// initial configuration — so unreachable corners of the
+    /// configuration product (e.g. a history memory that can never be
+    /// recorded) are pruned by construction. Each flat transition
+    /// carries the full synthesized action sequence (exit actions
+    /// innermost-first, then the transition's own actions, then entry
+    /// actions outermost-first); compiling the result interns identical
+    /// sequences in the action arena
+    /// ([`CompiledMachine::compile`](crate::CompiledMachine::compile)),
+    /// so the expansion costs table cells, not arena bytes.
+    ///
+    /// Final leaves lower to absorbing [`StateRole::Finish`] states with
+    /// no outgoing transitions; flat state names are
+    /// [`HierarchicalMachine::config_name`]s, shared with
+    /// [`HsmInstance::state_name`].
+    pub fn flatten(&self) -> StateMachine {
+        let mut builder = StateMachineBuilder::new(self.name.clone(), self.messages.clone());
+        let init_mem = self.initial_memory();
+        let start_config = (self.start_leaf, init_mem);
+
+        let mut index: HashMap<(HsmStateId, Vec<HsmStateId>), crate::machine::StateId> =
+            HashMap::new();
+        let mut queue = VecDeque::new();
+        let add_config = |builder: &mut StateMachineBuilder,
+                              queue: &mut VecDeque<(HsmStateId, Vec<HsmStateId>)>,
+                              index: &mut HashMap<_, crate::machine::StateId>,
+                              config: (HsmStateId, Vec<HsmStateId>)| {
+            if let Some(&id) = index.get(&config) {
+                return id;
+            }
+            let name = self.config_name(config.0, &config.1);
+            let role = self.states[config.0.index()].role;
+            let id = builder.add_state_full(name, None, role, Vec::new());
+            index.insert(config.clone(), id);
+            queue.push_back(config);
+            id
+        };
+
+        let start_id = add_config(&mut builder, &mut queue, &mut index, start_config);
+        while let Some((leaf, memory)) = queue.pop_front() {
+            if self.states[leaf.index()].role == StateRole::Finish {
+                continue; // absorbing: no outgoing flat transitions
+            }
+            let from = index[&(leaf, memory.clone())];
+            for m in 0..self.messages.len() as u16 {
+                let mut mem = memory.clone();
+                let mut actions = Vec::new();
+                if let Some(new_leaf) = self.step_config(leaf, &mut mem, m, &mut actions) {
+                    let to = add_config(&mut builder, &mut queue, &mut index, (new_leaf, mem));
+                    builder.add_transition(from, &self.messages[m as usize], to, actions);
+                }
+            }
+        }
+        builder.build(start_id)
+    }
+
+    /// Creates a direct-interpretation instance positioned at the
+    /// initial configuration.
+    pub fn instance(&self) -> HsmInstance<'_> {
+        HsmInstance::new(self)
+    }
+}
+
+/// Incremental builder for hierarchical machines.
+///
+/// States are declared top-down ([`HsmBuilder::add_state`] for top-level
+/// states, [`HsmBuilder::add_child`] to nest); the first child added to
+/// a state becomes its initial child (overridable with
+/// [`HsmBuilder::set_initial`]). Like
+/// [`StateMachineBuilder`](crate::StateMachineBuilder), the `add_*`
+/// methods panic on invariant violations and have `try_*` twins
+/// returning [`HsmError`] for generated or untrusted input;
+/// [`HsmBuilder::build`] validates the tree invariants the flattening
+/// compiler relies on.
+#[derive(Debug)]
+pub struct HsmBuilder {
+    name: String,
+    messages: Vec<String>,
+    states: Vec<HsmState>,
+}
+
+impl HsmBuilder {
+    /// Starts a builder for a machine with the given message alphabet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages` is empty or contains duplicates.
+    pub fn new<I, S>(name: impl Into<String>, messages: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let messages: Vec<String> = messages.into_iter().map(Into::into).collect();
+        assert!(!messages.is_empty(), "machine must declare at least one message");
+        for (i, m) in messages.iter().enumerate() {
+            assert!(!messages[..i].contains(m), "duplicate message `{m}` in machine alphabet");
+        }
+        HsmBuilder { name: name.into(), messages, states: Vec::new() }
+    }
+
+    fn push_state(&mut self, name: String, parent: Option<HsmStateId>) -> HsmStateId {
+        let id = HsmStateId(self.states.len() as u32);
+        self.states.push(HsmState::new(name, parent));
+        if let Some(p) = parent {
+            let parent_state = &mut self.states[p.index()];
+            parent_state.children.push(id);
+            if parent_state.initial.is_none() {
+                parent_state.initial = Some(id);
+            }
+        }
+        id
+    }
+
+    fn check_id(&self, id: HsmStateId) -> Result<(), HsmError> {
+        if id.index() >= self.states.len() {
+            return Err(HsmError::StateOutOfRange {
+                index: id.index(),
+                states: self.states.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a top-level state; returns its id.
+    pub fn add_state(&mut self, name: impl Into<String>) -> HsmStateId {
+        self.push_state(name.into(), None)
+    }
+
+    /// Adds a child of `parent` (turning `parent` into a composite);
+    /// the first child added becomes the parent's initial child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of range.
+    pub fn add_child(&mut self, parent: HsmStateId, name: impl Into<String>) -> HsmStateId {
+        self.check_id(parent).unwrap_or_else(|e| panic!("{e}"));
+        self.push_state(name.into(), Some(parent))
+    }
+
+    /// Overrides the initial child of a composite (validated against its
+    /// children at [`HsmBuilder::build`] time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn set_initial(&mut self, composite: HsmStateId, child: HsmStateId) {
+        self.check_id(composite).unwrap_or_else(|e| panic!("{e}"));
+        self.check_id(child).unwrap_or_else(|e| panic!("{e}"));
+        self.states[composite.index()].initial = Some(child);
+    }
+
+    /// Enables shallow history on a composite: when it is exited, the
+    /// active direct child is remembered, and transitions targeting its
+    /// history pseudostate re-enter that child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `composite` is out of range.
+    pub fn enable_history(&mut self, composite: HsmStateId) {
+        self.check_id(composite).unwrap_or_else(|e| panic!("{e}"));
+        self.states[composite.index()].history = true;
+    }
+
+    /// Appends entry actions to a state (performed whenever the state is
+    /// entered, outermost-first along an entry chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn on_entry(&mut self, state: HsmStateId, actions: Vec<Action>) {
+        self.check_id(state).unwrap_or_else(|e| panic!("{e}"));
+        self.states[state.index()].entry.extend(actions);
+    }
+
+    /// Appends exit actions to a state (performed whenever the state is
+    /// exited, innermost-first along an exit chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn on_exit(&mut self, state: HsmStateId, actions: Vec<Action>) {
+        self.check_id(state).unwrap_or_else(|e| panic!("{e}"));
+        self.states[state.index()].exit.extend(actions);
+    }
+
+    /// Marks a leaf as final: its configurations lower to absorbing
+    /// [`StateRole::Finish`] flat states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn mark_final(&mut self, state: HsmStateId) {
+        self.check_id(state).unwrap_or_else(|e| panic!("{e}"));
+        self.states[state.index()].role = StateRole::Finish;
+    }
+
+    fn try_add(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        target: HsmTarget,
+        actions: Vec<Action>,
+    ) -> Result<(), HsmError> {
+        let mid = self
+            .messages
+            .iter()
+            .position(|m| m == message)
+            .ok_or_else(|| HsmError::UnknownMessage(message.to_string()))? as u16;
+        self.check_id(from)?;
+        match target {
+            HsmTarget::State(t) | HsmTarget::History(t) => self.check_id(t)?,
+            HsmTarget::Internal => {}
+        }
+        let state = &mut self.states[from.index()];
+        if state.transitions.contains_key(&mid) {
+            return Err(HsmError::DuplicateTransition {
+                state: state.name.clone(),
+                message: message.to_string(),
+            });
+        }
+        state.transitions.insert(mid, HsmTransition { target, actions });
+        Ok(())
+    }
+
+    /// Adds an external transition from `from` on `message` to `to`
+    /// (inherited by every descendant of `from` unless overridden).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is unknown, an id is invalid, or `(from,
+    /// message)` already has a transition.
+    pub fn add_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        to: HsmStateId,
+        actions: Vec<Action>,
+    ) {
+        self.try_add_transition(from, message, to, actions).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`HsmBuilder::add_transition`].
+    ///
+    /// # Errors
+    ///
+    /// [`HsmError::UnknownMessage`], [`HsmError::StateOutOfRange`] or
+    /// [`HsmError::DuplicateTransition`].
+    pub fn try_add_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        to: HsmStateId,
+        actions: Vec<Action>,
+    ) -> Result<(), HsmError> {
+        self.try_add(from, message, HsmTarget::State(to), actions)
+    }
+
+    /// Adds an external transition into the shallow-history pseudostate
+    /// of `composite` (which must have history enabled by
+    /// [`HsmBuilder::build`] time).
+    ///
+    /// # Panics
+    ///
+    /// As for [`HsmBuilder::add_transition`].
+    pub fn add_history_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        composite: HsmStateId,
+        actions: Vec<Action>,
+    ) {
+        self.try_add_history_transition(from, message, composite, actions)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`HsmBuilder::add_history_transition`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`HsmBuilder::try_add_transition`].
+    pub fn try_add_history_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        composite: HsmStateId,
+        actions: Vec<Action>,
+    ) -> Result<(), HsmError> {
+        self.try_add(from, message, HsmTarget::History(composite), actions)
+    }
+
+    /// Adds an internal transition on `from`: `actions` fire but the
+    /// configuration is unchanged and no entry/exit actions run.
+    ///
+    /// # Panics
+    ///
+    /// As for [`HsmBuilder::add_transition`].
+    pub fn add_internal_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        actions: Vec<Action>,
+    ) {
+        self.try_add_internal_transition(from, message, actions)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`HsmBuilder::add_internal_transition`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`HsmBuilder::try_add_transition`].
+    pub fn try_add_internal_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        actions: Vec<Action>,
+    ) -> Result<(), HsmError> {
+        self.try_add(from, message, HsmTarget::Internal, actions)
+    }
+
+    /// Finalises the machine, validating the tree invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`HsmError`] reported by [`HsmBuilder::try_build`].
+    pub fn build(self, start: HsmStateId) -> HierarchicalMachine {
+        self.try_build(start).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Finalises the machine, reporting invariant violations as a
+    /// [`HsmError`] — for callers constructing machines from generated
+    /// or untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// [`HsmError::StateOutOfRange`] if `start` is invalid;
+    /// [`HsmError::InvalidStateName`] /
+    /// [`HsmError::DuplicateSiblingName`] if a name is empty, contains a
+    /// reserved separator, or collides with a sibling;
+    /// [`HsmError::InitialNotChild`] if a composite's initial is not its
+    /// own child; [`HsmError::HistoryOnLeaf`] /
+    /// [`HsmError::FinalNotLeaf`] /
+    /// [`HsmError::InvalidHistoryTarget`] for misplaced history or
+    /// final markers.
+    pub fn try_build(self, start: HsmStateId) -> Result<HierarchicalMachine, HsmError> {
+        self.check_id(start)?;
+
+        // Names: non-empty, free of reserved separators, unique among
+        // siblings (so configuration names are unambiguous).
+        let mut sibling_names: HashMap<(Option<HsmStateId>, &str), ()> = HashMap::new();
+        for s in &self.states {
+            if s.name.is_empty() || s.name.contains(['.', '~', '=']) {
+                return Err(HsmError::InvalidStateName(s.name.clone()));
+            }
+            if sibling_names.insert((s.parent, s.name.as_str()), ()).is_some() {
+                return Err(HsmError::DuplicateSiblingName(s.name.clone()));
+            }
+        }
+
+        for (i, s) in self.states.iter().enumerate() {
+            let id = HsmStateId(i as u32);
+            if let Some(init) = s.initial {
+                if self.states[init.index()].parent != Some(id) {
+                    return Err(HsmError::InitialNotChild {
+                        composite: s.name.clone(),
+                        initial: self.states[init.index()].name.clone(),
+                    });
+                }
+            }
+            if s.history && s.is_leaf() {
+                return Err(HsmError::HistoryOnLeaf(s.name.clone()));
+            }
+            if s.role == StateRole::Finish && !s.is_leaf() {
+                return Err(HsmError::FinalNotLeaf(s.name.clone()));
+            }
+            for t in s.transitions.values() {
+                if let HsmTarget::History(c) = t.target {
+                    let target = &self.states[c.index()];
+                    if !target.history || target.is_leaf() {
+                        return Err(HsmError::InvalidHistoryTarget(target.name.clone()));
+                    }
+                }
+            }
+        }
+
+        let message_lookup = self
+            .messages
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i as u16))
+            .collect();
+        let history_states: Vec<HsmStateId> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.history)
+            .map(|(i, _)| HsmStateId(i as u32))
+            .collect();
+        let mut history_slot = vec![None; self.states.len()];
+        for (slot, &c) in history_states.iter().enumerate() {
+            history_slot[c.index()] = Some(slot);
+        }
+        let mut start_leaf = start;
+        while let Some(init) = self.states[start_leaf.index()].initial {
+            start_leaf = init;
+        }
+        Ok(HierarchicalMachine {
+            name: self.name,
+            messages: self.messages,
+            message_lookup,
+            states: self.states,
+            start,
+            start_leaf,
+            history_states,
+            history_slot,
+        })
+    }
+}
+
+/// One executing instance of a [`HierarchicalMachine`]: the direct
+/// interpreter over the statechart, and the semantic reference the
+/// flattened machines are property-checked against.
+///
+/// Each delivery resolves the innermost handler by walking the active
+/// leaf's ancestor chain and synthesizes the exit/transition/entry
+/// action sequence into an internal scratch buffer (reused across
+/// deliveries; [`ProtocolEngine::deliver_ref`] borrows from it). Use it
+/// for freshly authored statecharts and debugging; flatten and compile
+/// for serving traffic.
+#[derive(Debug, Clone)]
+pub struct HsmInstance<'h> {
+    machine: &'h HierarchicalMachine,
+    leaf: HsmStateId,
+    memory: Vec<HsmStateId>,
+    steps: u64,
+    scratch: Vec<Action>,
+}
+
+impl<'h> HsmInstance<'h> {
+    /// Creates an instance positioned at the initial configuration.
+    pub fn new(machine: &'h HierarchicalMachine) -> Self {
+        HsmInstance {
+            machine,
+            leaf: machine.start_leaf(),
+            memory: machine.initial_memory(),
+            steps: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The machine this instance executes.
+    pub fn machine(&self) -> &'h HierarchicalMachine {
+        self.machine
+    }
+
+    /// The active leaf state.
+    pub fn leaf(&self) -> HsmStateId {
+        self.leaf
+    }
+
+    /// The shallow-history memory, one remembered direct child per
+    /// history composite (in [`HierarchicalMachine`] id order).
+    pub fn memory(&self) -> &[HsmStateId] {
+        &self.memory
+    }
+
+    /// Number of transitions taken so far (internal transitions count).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// `true` if `state` is the active leaf or one of its ancestors —
+    /// the statechart notion of "being in" a composite state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn is_in(&self, state: HsmStateId) -> bool {
+        let mut cur = Some(self.leaf);
+        while let Some(s) = cur {
+            if s == state {
+                return true;
+            }
+            cur = self.machine.state(s).parent();
+        }
+        false
+    }
+
+    /// Delivers a message by id; returns the synthesized action sequence
+    /// (borrowed from an internal scratch buffer valid until the next
+    /// delivery).
+    pub fn deliver_id(&mut self, message: MessageId) -> &[Action] {
+        self.scratch.clear();
+        if let Some(new_leaf) =
+            self.machine.step_config(self.leaf, &mut self.memory, message.0, &mut self.scratch)
+        {
+            self.leaf = new_leaf;
+            self.steps += 1;
+        }
+        &self.scratch
+    }
+}
+
+impl ProtocolEngine for HsmInstance<'_> {
+    fn deliver_ref(&mut self, message: &str) -> Result<&[Action], InterpError> {
+        let id = self
+            .machine
+            .message_id(message)
+            .ok_or_else(|| InterpError::UnknownMessage(message.to_string()))?;
+        Ok(self.deliver_id(id))
+    }
+
+    fn is_finished(&self) -> bool {
+        self.machine.state(self.leaf).role() == StateRole::Finish
+    }
+
+    fn state_name(&self) -> String {
+        self.machine.config_name(self.leaf, &self.memory)
+    }
+
+    fn reset(&mut self) {
+        self.leaf = self.machine.start_leaf();
+        self.memory = self.machine.initial_memory();
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::CompiledMachine;
+    use crate::interp::FsmInstance;
+
+    /// Connection lifecycle: Idle, Up{A, B} with history, Down.
+    fn connection() -> HierarchicalMachine {
+        let mut b = HsmBuilder::new("conn", ["open", "work", "drop", "resume", "kill"]);
+        let idle = b.add_state("Idle");
+        let up = b.add_state("Up");
+        let a = b.add_child(up, "A");
+        let bb = b.add_child(up, "B");
+        let down = b.add_state("Down");
+        b.mark_final(down);
+        b.enable_history(up);
+        b.on_entry(up, vec![Action::send("up_in")]);
+        b.on_exit(up, vec![Action::send("up_out")]);
+        b.on_entry(a, vec![Action::send("a_in")]);
+        b.on_exit(a, vec![Action::send("a_out")]);
+        b.on_entry(bb, vec![Action::send("b_in")]);
+        b.add_transition(idle, "open", up, vec![Action::send("syn")]);
+        b.add_transition(a, "work", bb, vec![]);
+        b.add_transition(up, "drop", idle, vec![Action::send("fin")]);
+        b.add_history_transition(idle, "resume", up, vec![]);
+        b.add_transition(up, "kill", down, vec![]);
+        b.build(idle)
+    }
+
+    #[test]
+    fn entry_exit_and_inheritance() {
+        let m = connection();
+        let mut i = m.instance();
+        assert_eq!(i.state_name(), "Idle");
+        // open: enter Up then A, transition action first after exits.
+        assert_eq!(
+            i.deliver_ref("open").unwrap(),
+            [Action::send("syn"), Action::send("up_in"), Action::send("a_in")]
+        );
+        assert_eq!(i.state_name(), "Up.A");
+        let up = m.states_with_ids().find(|(_, s)| s.name() == "Up").unwrap().0;
+        assert!(i.is_in(up));
+        assert!(i.is_in(i.leaf()));
+        let down = m.states_with_ids().find(|(_, s)| s.name() == "Down").unwrap().0;
+        assert!(!i.is_in(down));
+        // drop is declared on Up, inherited by A: exits A then Up.
+        assert_eq!(
+            i.deliver_ref("drop").unwrap(),
+            [Action::send("a_out"), Action::send("up_out"), Action::send("fin")]
+        );
+        assert_eq!(i.state_name(), "Idle");
+        assert_eq!(i.steps(), 2);
+    }
+
+    #[test]
+    fn shallow_history_restores_last_child() {
+        let m = connection();
+        let mut i = m.instance();
+        i.deliver_ref("open").unwrap();
+        i.deliver_ref("work").unwrap(); // now Up.B
+        assert_eq!(i.state_name(), "Up.B");
+        i.deliver_ref("drop").unwrap(); // memory: Up -> B
+        assert_eq!(i.state_name(), "Idle~Up=B");
+        assert_eq!(
+            i.deliver_ref("resume").unwrap(),
+            [Action::send("up_in"), Action::send("b_in")]
+        );
+        assert_eq!(i.state_name(), "Up.B~Up=B");
+    }
+
+    #[test]
+    fn cold_history_enters_initial_child() {
+        let m = connection();
+        let mut i = m.instance();
+        assert_eq!(
+            i.deliver_ref("resume").unwrap(),
+            [Action::send("up_in"), Action::send("a_in")]
+        );
+        assert_eq!(i.state_name(), "Up.A");
+    }
+
+    #[test]
+    fn final_leaf_absorbs() {
+        let m = connection();
+        let mut i = m.instance();
+        i.deliver_ref("open").unwrap();
+        i.deliver_ref("kill").unwrap();
+        assert!(i.is_finished());
+        assert_eq!(i.state_name(), "Down");
+        assert!(i.deliver_ref("open").unwrap().is_empty());
+        assert_eq!(i.steps(), 2);
+    }
+
+    #[test]
+    fn inapplicable_and_unknown_messages() {
+        let m = connection();
+        let mut i = m.instance();
+        assert!(i.deliver_ref("work").unwrap().is_empty()); // not applicable in Idle
+        assert_eq!(i.steps(), 0);
+        assert_eq!(
+            i.deliver_ref("zap").map(<[Action]>::to_vec),
+            Err(InterpError::UnknownMessage("zap".into()))
+        );
+    }
+
+    #[test]
+    fn internal_transition_keeps_configuration() {
+        let mut b = HsmBuilder::new("m", ["ping", "poke"]);
+        let top = b.add_state("Top");
+        let inner = b.add_child(top, "Inner");
+        b.on_entry(inner, vec![Action::send("in")]);
+        b.on_exit(inner, vec![Action::send("out")]);
+        b.add_internal_transition(top, "ping", vec![Action::send("pong")]);
+        let m = b.build(top);
+        let mut i = m.instance();
+        assert_eq!(i.deliver_ref("ping").unwrap(), [Action::send("pong")]);
+        assert_eq!(i.state_name(), "Top.Inner"); // no exit/entry ran
+        assert_eq!(i.steps(), 1);
+        // Flat form is a self-loop with just the transition actions.
+        let flat = m.flatten();
+        let mut f = FsmInstance::new(&flat);
+        assert_eq!(f.deliver_ref("ping").unwrap(), [Action::send("pong")]);
+        assert_eq!(f.state_name(), "Top.Inner");
+        assert_eq!(f.steps(), 1);
+    }
+
+    #[test]
+    fn external_self_transition_exits_and_reenters() {
+        let mut b = HsmBuilder::new("m", ["again"]);
+        let s = b.add_state("S");
+        b.on_entry(s, vec![Action::send("in")]);
+        b.on_exit(s, vec![Action::send("out")]);
+        b.add_transition(s, "again", s, vec![Action::send("mid")]);
+        let m = b.build(s);
+        let mut i = m.instance();
+        assert_eq!(
+            i.deliver_ref("again").unwrap(),
+            [Action::send("out"), Action::send("mid"), Action::send("in")]
+        );
+    }
+
+    #[test]
+    fn flatten_matches_reference_on_the_connection_machine() {
+        let m = connection();
+        let flat = m.flatten();
+        let compiled = CompiledMachine::compile(&flat);
+        let mut reference = m.instance();
+        let mut interp = FsmInstance::new(&flat);
+        let mut fast = compiled.instance();
+        let trace =
+            ["resume", "work", "drop", "open", "work", "drop", "resume", "work", "kill", "open"];
+        for msg in trace {
+            let want = reference.deliver_ref(msg).unwrap().to_vec();
+            assert_eq!(interp.deliver_ref(msg).unwrap(), want.as_slice(), "at {msg}");
+            assert_eq!(fast.deliver_ref(msg).unwrap(), want.as_slice(), "at {msg}");
+            assert_eq!(reference.state_name(), interp.state_name(), "at {msg}");
+            assert_eq!(interp.state_name(), fast.state_name(), "at {msg}");
+            assert_eq!(reference.is_finished(), fast.is_finished(), "at {msg}");
+        }
+        assert_eq!(reference.steps(), interp.steps());
+    }
+
+    #[test]
+    fn flatten_prunes_unreachable_memories() {
+        let m = connection();
+        let flat = m.flatten();
+        // Configurations: Idle×{A,B}, Up.A×{A,B}, Up.B×{A,B}, Down×{A,B};
+        // (Up.A, mem=B) is reachable via resume-then-work from mem=B, and
+        // Down merges per-memory. All 8 are reachable here.
+        assert_eq!(flat.state_count(), 8);
+        assert!(flat.state_by_name("Idle").is_some());
+        assert!(flat.state_by_name("Idle~Up=B").is_some());
+        assert!(flat.state_by_name("Up.B~Up=B").is_some());
+    }
+
+    #[test]
+    fn start_entry_actions_are_reported_not_emitted() {
+        let m = connection();
+        assert!(m.start_entry_actions().is_empty()); // Idle has no entry actions
+        let mut b = HsmBuilder::new("m", ["x"]);
+        let top = b.add_state("Top");
+        let inner = b.add_child(top, "Inner");
+        b.on_entry(top, vec![Action::send("t")]);
+        b.on_entry(inner, vec![Action::send("i")]);
+        let m = b.build(top);
+        assert_eq!(m.start_entry_actions(), [Action::send("t"), Action::send("i")]);
+        assert_eq!(m.start_leaf(), inner);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut b = HsmBuilder::new("m", ["x"]);
+        let s = b.add_state("S");
+        assert_eq!(
+            b.try_add_transition(s, "zap", s, vec![]),
+            Err(HsmError::UnknownMessage("zap".into()))
+        );
+        assert_eq!(
+            b.try_add_transition(s, "x", HsmStateId(9), vec![]),
+            Err(HsmError::StateOutOfRange { index: 9, states: 1 })
+        );
+        b.add_transition(s, "x", s, vec![]);
+        assert_eq!(
+            b.try_add_transition(s, "x", s, vec![]),
+            Err(HsmError::DuplicateTransition { state: "S".into(), message: "x".into() })
+        );
+        // History transition to a plain leaf is rejected at build time.
+        let mut b = HsmBuilder::new("m", ["x"]);
+        let s = b.add_state("S");
+        let t = b.add_state("T");
+        b.add_history_transition(s, "x", t, vec![]);
+        assert_eq!(b.try_build(s), Err(HsmError::InvalidHistoryTarget("T".into())));
+        // History on a leaf.
+        let mut b = HsmBuilder::new("m", ["x"]);
+        let s = b.add_state("S");
+        b.enable_history(s);
+        assert_eq!(b.try_build(s), Err(HsmError::HistoryOnLeaf("S".into())));
+        // Final composite.
+        let mut b = HsmBuilder::new("m", ["x"]);
+        let s = b.add_state("S");
+        b.add_child(s, "C");
+        b.mark_final(s);
+        assert_eq!(b.try_build(s), Err(HsmError::FinalNotLeaf("S".into())));
+        // Initial not a child.
+        let mut b = HsmBuilder::new("m", ["x"]);
+        let s = b.add_state("S");
+        b.add_child(s, "C");
+        let other = b.add_state("Other");
+        b.set_initial(s, other);
+        assert_eq!(
+            b.try_build(s),
+            Err(HsmError::InitialNotChild { composite: "S".into(), initial: "Other".into() })
+        );
+        // Reserved separator in a name.
+        let mut b = HsmBuilder::new("m", ["x"]);
+        let s = b.add_state("A.B");
+        assert_eq!(b.try_build(s), Err(HsmError::InvalidStateName("A.B".into())));
+        // Duplicate sibling name.
+        let mut b = HsmBuilder::new("m", ["x"]);
+        let s = b.add_state("S");
+        b.add_child(s, "C");
+        b.add_child(s, "C");
+        assert_eq!(b.try_build(s), Err(HsmError::DuplicateSiblingName("C".into())));
+    }
+
+    #[test]
+    fn accessors_expose_the_tree() {
+        let m = connection();
+        assert_eq!(m.name(), "conn");
+        assert_eq!(m.state_count(), 5);
+        assert_eq!(m.composite_count(), 1);
+        assert_eq!(m.history_count(), 1);
+        assert_eq!(m.transition_count(), 5);
+        let up = m.states_with_ids().find(|(_, s)| s.name() == "Up").unwrap().0;
+        let state = m.state(up);
+        assert!(!state.is_leaf());
+        assert!(state.has_history());
+        assert_eq!(state.children().len(), 2);
+        assert_eq!(state.initial(), Some(state.children()[0]));
+        assert_eq!(m.path_name(state.children()[1]), "Up.B");
+        assert_eq!(state.entry_actions(), [Action::send("up_in")]);
+        assert_eq!(state.exit_actions(), [Action::send("up_out")]);
+        assert_eq!(m.top_level().count(), 3);
+        let (mid, t) = state.transitions().next().unwrap();
+        assert_eq!(m.messages()[mid.index()], "drop");
+        assert!(matches!(t.target(), HsmTarget::State(_)));
+        assert_eq!(t.actions(), [Action::send("fin")]);
+        assert_eq!(m.message_id("open").map(MessageId::index), Some(0));
+    }
+
+    #[test]
+    fn cousin_history_composites_with_equal_names_stay_distinct() {
+        // Two composites both named `W` (legal: not siblings), both with
+        // history. Decorations key on the full path, so configurations
+        // differing only in which `W`'s memory moved get distinct names
+        // — and the flat machine has no duplicate state names.
+        let mut b = HsmBuilder::new("cousins", ["go", "swap", "park", "back"]);
+        let a = b.add_state("A");
+        let aw = b.add_child(a, "W");
+        let ap = b.add_child(aw, "p");
+        let aq = b.add_child(aw, "q");
+        let bb = b.add_state("B");
+        let bw = b.add_child(bb, "W");
+        let bp = b.add_child(bw, "p");
+        let bq = b.add_child(bw, "q");
+        b.enable_history(aw);
+        b.enable_history(bw);
+        let park = b.add_state("Park");
+        b.add_transition(ap, "swap", aq, vec![]);
+        b.add_transition(bp, "swap", bq, vec![]);
+        b.add_transition(a, "go", bp, vec![]);
+        b.add_transition(bb, "go", ap, vec![]);
+        b.add_transition(a, "park", park, vec![]);
+        b.add_transition(bb, "park", park, vec![]);
+        b.add_history_transition(park, "back", aw, vec![]);
+        let m = b.build(a);
+
+        let mut i = m.instance();
+        i.deliver_ref("swap").unwrap(); // A.W.q
+        i.deliver_ref("park").unwrap(); // memory: A.W -> q
+        assert_eq!(i.state_name(), "Park~A.W=q");
+        i.reset();
+        i.deliver_ref("go").unwrap(); // B.W.p (A.W memory stays p)
+        i.deliver_ref("swap").unwrap(); // B.W.q
+        i.deliver_ref("park").unwrap(); // memory: B.W -> q
+        assert_eq!(i.state_name(), "Park~B.W=q");
+
+        let flat = m.flatten();
+        let mut names: Vec<&str> = flat.states().iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "flattened state names must be unique");
+        assert!(flat.state_by_name("Park~A.W=q").is_some());
+        assert!(flat.state_by_name("Park~B.W=q").is_some());
+    }
+
+    #[test]
+    fn reset_restores_initial_configuration() {
+        let m = connection();
+        let mut i = m.instance();
+        i.deliver_ref("open").unwrap();
+        i.deliver_ref("work").unwrap();
+        i.deliver_ref("drop").unwrap();
+        assert_eq!(i.state_name(), "Idle~Up=B");
+        i.reset();
+        assert_eq!(i.state_name(), "Idle");
+        assert_eq!(i.steps(), 0);
+        assert_eq!(i.memory(), m.initial_memory());
+    }
+}

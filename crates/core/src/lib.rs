@@ -27,6 +27,10 @@
 //!   multi-instance stepping;
 //! * [`efsm`] — extended finite state machines, the intermediate points on
 //!   the paper's algorithm↔FSM spectrum (§3.2, §5.3);
+//! * [`hsm`] — hierarchical statecharts (composite states, entry/exit
+//!   actions, inherited/internal/cross-level transitions, shallow
+//!   history) with a flattening compiler into [`StateMachine`], so
+//!   hierarchical specs run on every execution tier unchanged;
 //! * [`validate_machine`] — structural validation of machines.
 //!
 //! ## Engine tiers
@@ -46,6 +50,22 @@
 //! one-time flattening pass ([`CompiledMachine::compile`],
 //! [`CompiledEfsm::compile`]) and then dispatch in a few nanoseconds;
 //! the generated tier moves that specialisation to the build.
+//!
+//! Hierarchical statecharts sit *in front of* these tiers rather than
+//! adding a fifth: author a [`HierarchicalMachine`] (composite states,
+//! entry/exit actions, shallow history), debug it on the direct
+//! [`HsmInstance`] interpreter, then
+//! [`flatten`](HierarchicalMachine::flatten) it into an ordinary
+//! [`StateMachine`] — reachable configurations become flat states, and
+//! inherited transitions plus synthesized exit/entry action sequences
+//! become ordinary transitions — and run it on any tier above. The
+//! property suites assert `HsmInstance ≡ FsmInstance(flatten) ≡
+//! CompiledInstance(flatten)` over random statecharts and traces. Use
+//! the direct interpreter while iterating on a spec (it reports
+//! hierarchical positions via [`HsmInstance::is_in`] and needs no
+//! compile step); flatten + compile for serving traffic, where dispatch
+//! cost and allocation behaviour are identical to any other compiled
+//! machine.
 //! [`SessionPool`] / [`EfsmSessionPool`] extend the compiled tiers to
 //! thousands of concurrent protocol instances stored struct-of-arrays
 //! (one `u32` — plus the EFSM's variable registers — per session),
@@ -98,6 +118,7 @@ pub mod efsm;
 pub mod efsm_compiled;
 pub mod error;
 pub mod generator;
+pub mod hsm;
 pub mod interp;
 pub mod machine;
 pub mod model;
@@ -108,15 +129,18 @@ pub use compiled::{CompiledInstance, CompiledMachine};
 pub use component::{ComponentKind, StateComponent, StateSpace, StateVector};
 pub use efsm::{Efsm, EfsmBuilder, EfsmInstance};
 pub use efsm_compiled::{CompiledEfsm, CompiledEfsmInstance, EfsmBinding};
-pub use error::{CompileError, GenerateError, InterpError, ParseNameError, SchemaError};
+pub use error::{CompileError, GenerateError, HsmError, InterpError, ParseNameError, SchemaError};
 pub use generator::{
     generate, generate_with, merge_equivalent_states, prune_unreachable, GeneratedMachine,
     GenerateOptions, GenerationReport, MergeStrategy, StageTimings,
+};
+pub use hsm::{
+    HierarchicalMachine, HsmBuilder, HsmInstance, HsmState, HsmStateId, HsmTarget, HsmTransition,
 };
 pub use interp::{FsmInstance, ProtocolEngine};
 pub use machine::{
     Action, MessageId, State, StateId, StateMachine, StateMachineBuilder, StateRole, Transition,
 };
 pub use model::{AbstractModel, Outcome, TransitionSpec};
-pub use session::{BatchEngine, EfsmSessionPool, SessionPool, ShardedPool};
+pub use session::{BatchEngine, EfsmSessionPool, ParkedWorkers, SessionPool, ShardedPool};
 pub use validate::{missing_transitions, validate_machine, Severity, ValidationIssue, ValidationReport};

@@ -46,6 +46,8 @@
 //! assert!(pool.all_finished());
 //! ```
 
+use std::sync::{Condvar, Mutex};
+
 use crate::compiled::CompiledMachine;
 use crate::efsm_compiled::{CompiledEfsm, EfsmBinding};
 use crate::machine::{Action, MessageId};
@@ -801,9 +803,9 @@ impl<P: BatchEngine + Send> ShardedPool<P> {
     /// (shards may borrow their machine), but the spawn/join cost is
     /// paid on every delivery, so sharding only wins once per-shard
     /// batch work dwarfs ~10 µs of thread churn (tens of thousands of
-    /// sessions). A persistent parked worker pool is the planned next
-    /// step when multi-core hardware makes the scaling measurable (see
-    /// ROADMAP).
+    /// sessions). For a *sequence* of batch deliveries, use
+    /// [`ShardedPool::with_workers`], which parks persistent workers on
+    /// a condvar and reuses them across calls.
     pub fn deliver_all(&mut self, message: MessageId) -> u64 {
         if self.shards.len() == 1 {
             return self.shards[0].deliver_all(message);
@@ -816,6 +818,308 @@ impl<P: BatchEngine + Send> ShardedPool<P> {
                 .collect();
             workers.into_iter().map(|w| w.join().expect("shard worker panicked")).sum()
         })
+    }
+
+    /// Runs `f` with persistent parked worker threads, one per shard.
+    ///
+    /// Each worker is spawned once, takes ownership of its shard's
+    /// `&mut` borrow for the duration of the call, and parks on a
+    /// condvar between batches — so a sequence of
+    /// [`ParkedWorkers::deliver_all`] calls pays one spawn/join total
+    /// instead of one per batch (the per-batch cost drops from thread
+    /// churn to a mutex/condvar handshake). Results are bit-identical
+    /// to [`ShardedPool::deliver_all`] and to a flat pool, whatever the
+    /// scheduling, because shards never share session state.
+    ///
+    /// While `f` runs, the shards are mutably borrowed by the workers,
+    /// so per-session queries go through the aggregate accessors on
+    /// [`ParkedWorkers`]; full per-session state is available again as
+    /// soon as `with_workers` returns.
+    ///
+    /// With a single shard no thread is spawned and the driver steps
+    /// the shard inline, mirroring [`ShardedPool::deliver_all`]'s
+    /// single-shard fast path.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stategen_core::{Action, CompiledMachine, SessionPool, ShardedPool,
+    ///     StateMachineBuilder};
+    ///
+    /// let mut b = StateMachineBuilder::new("ping", ["ping"]);
+    /// let idle = b.add_state("idle");
+    /// let done = b.add_state_full("done", None, stategen_core::StateRole::Finish, vec![]);
+    /// b.add_transition(idle, "ping", done, vec![Action::send("pong")]);
+    /// let machine = b.build(idle);
+    /// let compiled = CompiledMachine::compile(&machine);
+    /// let ping = compiled.message_id("ping").unwrap();
+    ///
+    /// let mut pool = ShardedPool::split(1000, 4, |len| SessionPool::new(&compiled, len));
+    /// let transitions = pool.with_workers(|workers| {
+    ///     let t = workers.deliver_all(ping);
+    ///     assert_eq!(workers.finished_count(), 1000);
+    ///     t + workers.deliver_all(ping) // finished sessions absorb
+    /// });
+    /// assert_eq!(transitions, 1000);
+    /// assert!(pool.all_finished());
+    /// ```
+    pub fn with_workers<R>(&mut self, f: impl FnOnce(&mut ParkedWorkers<'_, P>) -> R) -> R {
+        if let [only] = self.shards.as_mut_slice() {
+            return f(&mut ParkedWorkers { inner: WorkersImpl::Inline(only) });
+        }
+        let cells: Vec<WorkerCell> = self.shards.iter().map(|_| WorkerCell::new()).collect();
+        std::thread::scope(|scope| {
+            for (shard, cell) in self.shards.iter_mut().zip(&cells) {
+                scope.spawn(move || worker_loop(shard, cell));
+            }
+            let mut workers =
+                ParkedWorkers { inner: WorkersImpl::Parked { cells: &cells, seq: 0 } };
+            // Shutdown is published by `ParkedWorkers`'s `Drop`, so it
+            // reaches the workers even when `f` unwinds — otherwise the
+            // scope would join workers parked forever on the condvar.
+            f(&mut workers)
+        })
+    }
+}
+
+/// What a parked shard worker should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerCommand {
+    /// Park until the first real command arrives.
+    Park,
+    /// Deliver a message to every session in the shard.
+    Deliver(MessageId),
+    /// Return every session in the shard to the start state.
+    Reset,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Per-worker mailbox: the driver publishes commands under the mutex
+/// and the worker publishes completions, both signalling the condvar.
+#[derive(Debug)]
+struct WorkerMailbox {
+    /// Sequence number of the latest published command; the worker runs
+    /// whenever it exceeds the last sequence it completed.
+    seq: u64,
+    command: WorkerCommand,
+    /// Last sequence the worker finished executing.
+    done: u64,
+    /// Set when the worker dies abnormally (its shard panicked), so the
+    /// driver fails fast instead of waiting forever.
+    dead: bool,
+    /// Results of that execution, so the driver can aggregate without
+    /// touching the shard.
+    transitions: u64,
+    finished: usize,
+    steps: u64,
+}
+
+#[derive(Debug)]
+struct WorkerCell {
+    mailbox: Mutex<WorkerMailbox>,
+    signal: Condvar,
+}
+
+impl WorkerCell {
+    fn new() -> Self {
+        WorkerCell {
+            mailbox: Mutex::new(WorkerMailbox {
+                seq: 0,
+                command: WorkerCommand::Park,
+                done: 0,
+                dead: false,
+                transitions: 0,
+                finished: 0,
+                steps: 0,
+            }),
+            signal: Condvar::new(),
+        }
+    }
+}
+
+/// Marks the worker's mailbox dead if the worker unwinds (its shard
+/// panicked mid-command), waking the driver so it fails fast instead of
+/// waiting on a completion that will never come.
+struct WorkerDeathNotice<'a> {
+    cell: &'a WorkerCell,
+    clean_exit: bool,
+}
+
+impl Drop for WorkerDeathNotice<'_> {
+    fn drop(&mut self) {
+        if !self.clean_exit {
+            if let Ok(mut mailbox) = self.cell.mailbox.lock() {
+                mailbox.dead = true;
+            }
+            self.cell.signal.notify_all();
+        }
+    }
+}
+
+/// The loop run by each persistent shard worker: park on the condvar
+/// until a new command sequence appears, execute it against the owned
+/// shard, publish the results, repeat until shutdown.
+fn worker_loop<P: BatchEngine>(shard: &mut P, cell: &WorkerCell) {
+    let mut notice = WorkerDeathNotice { cell, clean_exit: false };
+    let mut seen = 0u64;
+    loop {
+        let command = {
+            let mut mailbox = cell.mailbox.lock().expect("worker mailbox poisoned");
+            while mailbox.seq == seen {
+                mailbox = cell.signal.wait(mailbox).expect("worker mailbox poisoned");
+            }
+            seen = mailbox.seq;
+            mailbox.command
+        };
+        let transitions = match command {
+            WorkerCommand::Deliver(message) => shard.deliver_all(message),
+            WorkerCommand::Reset => {
+                shard.reset_all();
+                0
+            }
+            WorkerCommand::Park | WorkerCommand::Shutdown => 0,
+        };
+        {
+            let mut mailbox = cell.mailbox.lock().expect("worker mailbox poisoned");
+            mailbox.transitions = transitions;
+            mailbox.finished = shard.finished_count();
+            mailbox.steps = shard.steps();
+            mailbox.done = seen;
+        }
+        cell.signal.notify_all();
+        if command == WorkerCommand::Shutdown {
+            notice.clean_exit = true;
+            return;
+        }
+    }
+}
+
+/// How a [`ParkedWorkers`] driver reaches its shards: condvar-parked
+/// worker threads, or (single-shard fast path) the shard itself.
+#[derive(Debug)]
+enum WorkersImpl<'a, P> {
+    Parked { cells: &'a [WorkerCell], seq: u64 },
+    Inline(&'a mut P),
+}
+
+/// Driver handle for a [`ShardedPool`]'s persistent parked workers (see
+/// [`ShardedPool::with_workers`]). Each batch operation publishes one
+/// command to every worker mailbox and waits for all completions; with
+/// a single shard the driver steps it inline instead.
+#[derive(Debug)]
+pub struct ParkedWorkers<'a, P> {
+    inner: WorkersImpl<'a, P>,
+}
+
+impl<P: BatchEngine> ParkedWorkers<'_, P> {
+    /// Publishes `command` to every worker and waits for completion;
+    /// returns the summed per-shard transition counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker died (its shard panicked mid-command) —
+    /// mirroring the scoped path's `join().expect`; the panic unwinds
+    /// through `with_workers`, whose shutdown-on-drop releases the
+    /// remaining workers, and the worker's own panic is surfaced by the
+    /// thread scope.
+    fn broadcast(&mut self, command: WorkerCommand) -> u64 {
+        let (cells, seq) = match &mut self.inner {
+            WorkersImpl::Inline(shard) => {
+                return match command {
+                    WorkerCommand::Deliver(message) => shard.deliver_all(message),
+                    WorkerCommand::Reset => {
+                        shard.reset_all();
+                        0
+                    }
+                    WorkerCommand::Park | WorkerCommand::Shutdown => 0,
+                };
+            }
+            WorkersImpl::Parked { cells, seq } => (*cells, seq),
+        };
+        *seq += 1;
+        let seq = *seq;
+        for cell in cells {
+            let mut mailbox = cell.mailbox.lock().expect("worker mailbox poisoned");
+            mailbox.command = command;
+            mailbox.seq = seq;
+            drop(mailbox);
+            cell.signal.notify_all();
+        }
+        let mut transitions = 0;
+        for cell in cells {
+            let mut mailbox = cell.mailbox.lock().expect("worker mailbox poisoned");
+            while mailbox.done < seq {
+                assert!(!mailbox.dead, "shard worker panicked");
+                mailbox = cell.signal.wait(mailbox).expect("worker mailbox poisoned");
+            }
+            transitions += mailbox.transitions;
+        }
+        transitions
+    }
+
+    /// Number of workers driving the pool (= shards; 1 means the
+    /// inline fast path, with no thread behind it).
+    pub fn worker_count(&self) -> usize {
+        match &self.inner {
+            WorkersImpl::Parked { cells, .. } => cells.len(),
+            WorkersImpl::Inline(_) => 1,
+        }
+    }
+
+    /// Delivers a message to every session across all shards on the
+    /// parked workers; returns the total number of transitions taken.
+    pub fn deliver_all(&mut self, message: MessageId) -> u64 {
+        self.broadcast(WorkerCommand::Deliver(message))
+    }
+
+    /// Returns every session in every shard to the start state.
+    pub fn reset_all(&mut self) {
+        self.broadcast(WorkerCommand::Reset);
+    }
+
+    /// Total finished sessions, as reported by each worker after its
+    /// most recent command (0 before the first command).
+    pub fn finished_count(&self) -> usize {
+        match &self.inner {
+            WorkersImpl::Parked { cells, .. } => cells
+                .iter()
+                .map(|c| c.mailbox.lock().expect("worker mailbox poisoned").finished)
+                .sum(),
+            WorkersImpl::Inline(shard) => shard.finished_count(),
+        }
+    }
+
+    /// Total transitions taken across all shards, as reported by each
+    /// worker after its most recent command (0 before the first).
+    pub fn steps(&self) -> u64 {
+        match &self.inner {
+            WorkersImpl::Parked { cells, .. } => cells
+                .iter()
+                .map(|c| c.mailbox.lock().expect("worker mailbox poisoned").steps)
+                .sum(),
+            WorkersImpl::Inline(shard) => shard.steps(),
+        }
+    }
+}
+
+impl<P> Drop for ParkedWorkers<'_, P> {
+    /// Publishes shutdown to every worker without waiting (the thread
+    /// scope does the joining). Running this from `Drop` — rather than
+    /// on `with_workers`' return path — means an unwinding closure
+    /// still releases the parked workers instead of deadlocking the
+    /// scope's implicit join.
+    fn drop(&mut self) {
+        if let WorkersImpl::Parked { cells, seq } = &mut self.inner {
+            *seq += 1;
+            for cell in *cells {
+                if let Ok(mut mailbox) = cell.mailbox.lock() {
+                    mailbox.command = WorkerCommand::Shutdown;
+                    mailbox.seq = *seq;
+                }
+                cell.signal.notify_all();
+            }
+        }
     }
 }
 
@@ -1084,5 +1388,127 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn empty_shard_list_panics() {
         let _ = ShardedPool::<SessionPool<'_>>::new(Vec::new());
+    }
+
+    #[test]
+    fn parked_workers_match_flat_pool() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let b = compiled.message_id("b").unwrap();
+        let mut flat = SessionPool::new(&compiled, 103);
+        let mut sharded = ShardedPool::split(103, 4, |len| SessionPool::new(&compiled, len));
+        sharded.with_workers(|workers| {
+            assert_eq!(workers.worker_count(), 4);
+            for &mid in &[a, b, a, a, b] {
+                let t_flat = flat.deliver_all(mid);
+                assert_eq!(workers.deliver_all(mid), t_flat);
+                assert_eq!(workers.finished_count(), flat.finished_count());
+                assert_eq!(workers.steps(), flat.steps());
+            }
+        });
+        // Full per-session state is back once the workers have parked.
+        assert!(sharded.all_finished());
+        for s in 0..flat.len() {
+            assert_eq!(flat.state(s), sharded.state(s), "session {s}");
+        }
+    }
+
+    #[test]
+    fn parked_workers_reset_and_reuse() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let mut sharded = ShardedPool::split(70, 3, |len| SessionPool::new(&compiled, len));
+        let total = sharded.with_workers(|workers| {
+            let mut total = 0;
+            for _ in 0..3 {
+                total += workers.deliver_all(a);
+                total += workers.deliver_all(a);
+                assert_eq!(workers.finished_count(), 70);
+                workers.reset_all();
+                assert_eq!(workers.finished_count(), 0);
+                assert_eq!(workers.steps(), 0);
+            }
+            total
+        });
+        assert_eq!(total, 3 * 2 * 70);
+        assert_eq!(sharded.finished_count(), 0);
+        assert_eq!(sharded.shards()[0].state_name(0), "s0");
+    }
+
+    #[test]
+    fn with_workers_returns_closure_value() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let mut sharded = ShardedPool::split(1, 1, |len| SessionPool::new(&compiled, len));
+        let echoed = sharded.with_workers(|workers| workers.deliver_all(a) + 41);
+        assert_eq!(echoed, 42);
+    }
+
+    #[test]
+    fn with_workers_propagates_closure_panic_without_hanging() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let mut sharded = ShardedPool::split(20, 3, |len| SessionPool::new(&compiled, len));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sharded.with_workers(|workers| {
+                workers.deliver_all(a);
+                panic!("closure failed mid-batch");
+            })
+        }));
+        // The shutdown-on-drop releases the parked workers, so the
+        // panic propagates instead of deadlocking the scope's join.
+        let payload = unwound.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "closure failed mid-batch");
+        // The pool is usable again afterwards.
+        assert_eq!(sharded.deliver_all(a), 20);
+    }
+
+    /// A shard that panics on its second batch, to exercise the
+    /// worker-death path.
+    struct FaultyShard {
+        batches: u32,
+    }
+
+    impl BatchEngine for FaultyShard {
+        fn session_count(&self) -> usize {
+            1
+        }
+        fn session_state(&self, _session: usize) -> u32 {
+            0
+        }
+        fn session_finished(&self, _session: usize) -> bool {
+            false
+        }
+        fn deliver_all(&mut self, _message: MessageId) -> u64 {
+            self.batches += 1;
+            assert!(self.batches < 2, "shard blew up");
+            1
+        }
+        fn finished_count(&self) -> usize {
+            0
+        }
+        fn steps(&self) -> u64 {
+            u64::from(self.batches)
+        }
+        fn reset_all(&mut self) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "shard worker panicked")]
+    fn with_workers_fails_fast_when_a_shard_panics() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        let a = compiled.message_id("a").unwrap();
+        let mut sharded =
+            ShardedPool::new(vec![FaultyShard { batches: 0 }, FaultyShard { batches: 0 }]);
+        sharded.with_workers(|workers| {
+            workers.deliver_all(a);
+            workers.deliver_all(a); // shard panics; driver must not hang
+        });
     }
 }

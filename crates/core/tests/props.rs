@@ -278,4 +278,39 @@ proptest! {
             }
         }
     }
+
+    /// Persistent parked workers are just a scheduling change: driving a
+    /// sharded pool through `with_workers` (workers kept alive across
+    /// `deliver_all` calls behind a condvar) yields per-step transition
+    /// counts, aggregate finished/step totals and final per-session
+    /// states identical to one flat pool stepping the same sessions.
+    #[test]
+    fn parked_workers_are_deterministic(
+        model in two_counter(),
+        sessions in 1usize..150,
+        shards in 1usize..6,
+        messages in prop::collection::vec(0usize..2, 0..48),
+    ) {
+        let g = generate(&model).expect("generates");
+        let compiled = CompiledMachine::compile(&g.machine);
+        let mut flat = SessionPool::new(&compiled, sessions);
+        let mut sharded = ShardedPool::split(sessions, shards, |len| SessionPool::new(&compiled, len));
+        let checks: Result<(), TestCaseError> = sharded.with_workers(|workers| {
+            for (step, &mi) in messages.iter().enumerate() {
+                let name = if mi == 0 { "a" } else { "b" };
+                let mid = compiled.message_id(name).expect("declared message");
+                let t_flat = flat.deliver_all(mid);
+                prop_assert_eq!(workers.deliver_all(mid), t_flat, "step {}", step);
+                prop_assert_eq!(workers.finished_count(), flat.finished_count(), "step {}", step);
+                prop_assert_eq!(workers.steps(), flat.steps(), "step {}", step);
+            }
+            Ok(())
+        });
+        checks?;
+        for s in 0..sessions {
+            prop_assert_eq!(flat.state(s), sharded.state(s), "session {}", s);
+            prop_assert_eq!(flat.is_finished(s), sharded.is_finished(s), "session {}", s);
+        }
+        prop_assert_eq!(flat.steps(), sharded.steps());
+    }
 }

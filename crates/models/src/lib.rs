@@ -9,7 +9,11 @@
 //! * [`RoundsModel`] — rotating-coordinator round consensus in the style
 //!   the paper attributes to Chandra & Toueg (reference 15);
 //! * [`TerminationModel`] — Dijkstra–Scholten-style distributed
-//!   termination detection (message counting per Mattern, reference 16).
+//!   termination detection (message counting per Mattern, reference 16);
+//! * [`session_lifecycle`] — a *hierarchical* session-lifecycle
+//!   statechart wrapping the commit protocol with suspend/resume and
+//!   failure superstates (shallow history), flattened onto the same
+//!   execution tiers by `stategen-core`'s `hsm` layer.
 //!
 //! Each is an ordinary [`AbstractModel`](stategen_core::AbstractModel):
 //! the same generation pipeline, renderers and interpreters apply without
@@ -22,10 +26,12 @@
 
 pub mod broadcast;
 pub mod broadcast_efsm;
+pub mod lifecycle;
 pub mod rounds;
 pub mod termination;
 
 pub use broadcast::BroadcastModel;
 pub use broadcast_efsm::{broadcast_efsm, broadcast_efsm_instance, broadcast_efsm_params};
+pub use lifecycle::session_lifecycle;
 pub use rounds::RoundsModel;
 pub use termination::TerminationModel;

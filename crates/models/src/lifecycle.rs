@@ -1,0 +1,237 @@
+//! A hierarchical session-lifecycle statechart wrapping the commit
+//! protocol with suspend/resume and failure superstates.
+//!
+//! The paper's flat commit machine captures one protocol *attempt*; a
+//! deployed peer wraps attempts in a connection lifecycle — sessions
+//! come up, suspend, fail and recover without losing their place in the
+//! protocol. That overlay is naturally hierarchical: `suspend`/`fail`
+//! apply from *anywhere* inside the established session (inherited
+//! transitions), and `resume`/`recover` return to wherever the session
+//! was (shallow history). Authored as a
+//! [`HierarchicalMachine`](stategen_core::HierarchicalMachine) and
+//! flattened, it runs on every existing execution tier unchanged.
+//!
+//! ```text
+//! Connecting ──connect──▶ Established ⟨history⟩
+//!                          ├── Idle (initial)
+//!                          └── Commit ── Voting (initial) ── Deciding
+//!   Established ──suspend──▶ Suspended ──resume──▶ H(Established)
+//!   Established ──fail──▶ Failed{Probing} ──recover──▶ H(Established)
+//!   … ──close──▶ Closed (final)
+//! ```
+//!
+//! Shallow history restores the *direct* child of `Established`: a
+//! session suspended while deep in `Commit.Deciding` resumes in
+//! `Commit` and re-enters through its initial child `Voting` — the
+//! attempt restarts from the vote request, which is exactly the commit
+//! protocol's retry semantics (an interrupted attempt is re-proposed,
+//! not resumed mid-quorum).
+
+use stategen_core::{Action, HierarchicalMachine, HsmBuilder};
+
+/// Builds the hierarchical session-lifecycle machine.
+///
+/// Alphabet: `connect`, `update`, `vote`, `commit`, `abort`, `ping`,
+/// `suspend`, `resume`, `fail`, `recover`, `close`.
+///
+/// # Examples
+///
+/// ```
+/// use stategen_core::{CompiledMachine, ProtocolEngine};
+/// use stategen_models::session_lifecycle;
+///
+/// let hsm = session_lifecycle();
+/// let mut session = hsm.instance();
+/// session.deliver_ref("connect").unwrap();
+/// session.deliver_ref("update").unwrap();
+/// session.deliver_ref("suspend").unwrap();
+/// session.deliver_ref("resume").unwrap(); // history: back into Commit
+/// assert_eq!(session.state_name(), "Established.Commit.Voting~Established=Commit");
+///
+/// // The same statechart, flattened and compiled, serves traffic.
+/// let compiled = CompiledMachine::compile(&hsm.flatten());
+/// let mut fast = compiled.instance();
+/// for m in ["connect", "update", "suspend", "resume"] {
+///     fast.deliver_ref(m).unwrap();
+/// }
+/// assert_eq!(fast.state_name(), session.state_name());
+/// ```
+pub fn session_lifecycle() -> HierarchicalMachine {
+    let mut b = HsmBuilder::new(
+        "session-lifecycle",
+        [
+            "connect", "update", "vote", "commit", "abort", "ping", "suspend", "resume", "fail",
+            "recover", "close",
+        ],
+    );
+    let connecting = b.add_state("Connecting");
+
+    let established = b.add_state("Established");
+    let idle = b.add_child(established, "Idle");
+    let commit = b.add_child(established, "Commit");
+    let voting = b.add_child(commit, "Voting");
+    let deciding = b.add_child(commit, "Deciding");
+    b.enable_history(established);
+    b.on_entry(established, vec![Action::send("online")]);
+    b.on_exit(established, vec![Action::send("offline")]);
+    b.on_entry(commit, vec![Action::send("attempt_begin")]);
+    b.on_exit(commit, vec![Action::send("attempt_end")]);
+    b.on_entry(voting, vec![Action::send("vote_req")]);
+    b.on_entry(deciding, vec![Action::send("commit_req")]);
+
+    let suspended = b.add_state("Suspended");
+    let failed = b.add_state("Failed");
+    let probing = b.add_child(failed, "Probing");
+    b.on_entry(failed, vec![Action::send("alarm")]);
+    b.on_entry(probing, vec![Action::send("probe")]);
+
+    let closed = b.add_state("Closed");
+    b.mark_final(closed);
+
+    // Connection bring-up.
+    b.add_transition(connecting, "connect", established, vec![Action::send("ack")]);
+
+    // The wrapped commit attempt: Idle -> Commit{Voting -> Deciding} -> Idle.
+    b.add_transition(idle, "update", commit, vec![]);
+    b.add_transition(voting, "vote", deciding, vec![]);
+    b.add_transition(deciding, "commit", idle, vec![Action::send("committed")]);
+    // Declared on Commit: aborting applies in Voting and Deciding alike.
+    b.add_transition(commit, "abort", idle, vec![Action::send("aborted")]);
+
+    // Liveness check: answered from anywhere in the session without
+    // disturbing the configuration (internal transition).
+    b.add_internal_transition(established, "ping", vec![Action::send("pong")]);
+
+    // Suspend/resume overlay: inherited from any depth, resumed via
+    // shallow history.
+    b.add_transition(established, "suspend", suspended, vec![]);
+    b.add_history_transition(suspended, "resume", established, vec![]);
+
+    // Failure/recovery overlay.
+    b.add_transition(established, "fail", failed, vec![]);
+    b.add_history_transition(probing, "recover", established, vec![Action::send("recovered")]);
+
+    // Teardown, from every lifecycle phase.
+    b.add_transition(connecting, "close", closed, vec![]);
+    b.add_transition(established, "close", closed, vec![Action::send("bye")]);
+    b.add_transition(suspended, "close", closed, vec![]);
+    b.add_transition(failed, "close", closed, vec![]);
+
+    b.build(connecting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stategen_core::{
+        validate_machine, CompiledMachine, FsmInstance, ProtocolEngine, SessionPool,
+    };
+
+    #[test]
+    fn structure() {
+        let hsm = session_lifecycle();
+        assert_eq!(hsm.state_count(), 10);
+        assert_eq!(hsm.composite_count(), 3); // Established, Commit, Failed
+        assert_eq!(hsm.history_count(), 1);
+        assert_eq!(hsm.messages().len(), 11);
+    }
+
+    #[test]
+    fn happy_path_commit() {
+        let hsm = session_lifecycle();
+        let mut s = hsm.instance();
+        assert_eq!(
+            s.deliver_ref("connect").unwrap(),
+            [Action::send("ack"), Action::send("online")]
+        );
+        assert_eq!(s.state_name(), "Established.Idle");
+        assert_eq!(
+            s.deliver_ref("update").unwrap(),
+            [Action::send("attempt_begin"), Action::send("vote_req")]
+        );
+        assert_eq!(s.deliver_ref("vote").unwrap(), [Action::send("commit_req")]);
+        assert_eq!(
+            s.deliver_ref("commit").unwrap(),
+            [Action::send("attempt_end"), Action::send("committed")]
+        );
+        // Established was never exited, so its shallow history still
+        // remembers its initial child: no `~` decoration.
+        assert_eq!(s.state_name(), "Established.Idle");
+    }
+
+    #[test]
+    fn suspend_resume_restores_commit_attempt() {
+        let hsm = session_lifecycle();
+        let mut s = hsm.instance();
+        for m in ["connect", "update", "vote"] {
+            s.deliver_ref(m).unwrap();
+        }
+        assert_eq!(s.state_name(), "Established.Commit.Deciding");
+        s.deliver_ref("suspend").unwrap();
+        assert_eq!(s.state_name(), "Suspended~Established=Commit");
+        // Shallow history restores Commit, which re-enters through its
+        // initial child: the interrupted attempt restarts at Voting.
+        assert_eq!(
+            s.deliver_ref("resume").unwrap(),
+            [
+                Action::send("online"),
+                Action::send("attempt_begin"),
+                Action::send("vote_req"),
+            ]
+        );
+        assert_eq!(s.state_name(), "Established.Commit.Voting~Established=Commit");
+    }
+
+    #[test]
+    fn fail_recover_and_ping() {
+        let hsm = session_lifecycle();
+        let mut s = hsm.instance();
+        s.deliver_ref("connect").unwrap();
+        assert_eq!(s.deliver_ref("ping").unwrap(), [Action::send("pong")]);
+        assert_eq!(s.state_name(), "Established.Idle"); // internal: no move
+        assert_eq!(
+            s.deliver_ref("fail").unwrap(),
+            [Action::send("offline"), Action::send("alarm"), Action::send("probe")]
+        );
+        assert_eq!(s.state_name(), "Failed.Probing");
+        assert_eq!(
+            s.deliver_ref("recover").unwrap(),
+            [Action::send("recovered"), Action::send("online")]
+        );
+        assert_eq!(s.state_name(), "Established.Idle");
+        s.deliver_ref("close").unwrap();
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn flattened_machine_validates_and_matches_reference() {
+        let hsm = session_lifecycle();
+        let flat = hsm.flatten();
+        let report = validate_machine(&flat);
+        assert!(report.is_valid(), "{:?}", report.issues);
+        let mut reference = hsm.instance();
+        let mut interp = FsmInstance::new(&flat);
+        let trace = [
+            "connect", "update", "ping", "vote", "suspend", "resume", "vote", "fail", "recover",
+            "commit", "abort", "update", "commit", "close", "connect",
+        ];
+        for m in trace {
+            let want = reference.deliver_ref(m).unwrap().to_vec();
+            assert_eq!(interp.deliver_ref(m).unwrap(), want.as_slice(), "at {m}");
+            assert_eq!(reference.state_name(), interp.state_name(), "at {m}");
+        }
+        assert!(interp.is_finished());
+    }
+
+    #[test]
+    fn flattened_machine_serves_a_session_pool() {
+        let hsm = session_lifecycle();
+        let compiled = CompiledMachine::compile(&hsm.flatten());
+        let mut pool = SessionPool::new(&compiled, 1000);
+        for m in ["connect", "update", "vote", "commit", "close"] {
+            let mid = compiled.message_id(m).unwrap();
+            assert_eq!(pool.deliver_all(mid), 1000, "at {m}");
+        }
+        assert!(pool.all_finished());
+    }
+}

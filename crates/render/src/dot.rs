@@ -25,8 +25,9 @@ impl Default for DotOptions {
     }
 }
 
-/// Escapes a string for use inside a DOT double-quoted label.
-fn escape(s: &str) -> String {
+/// Escapes a string for use inside a DOT double-quoted label (shared
+/// with the hierarchy-aware renderer in [`crate::hsm`]).
+pub(crate) fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 

@@ -14,7 +14,10 @@
 //!   byte-identical code;
 //! * [`CodeBuffer`] — the generation utility methods of Fig 18;
 //! * [`report`] — the paper's Table 1 layout and markdown summaries;
-//! * [`efsm_text`] — textual/DOT renderings of EFSMs (§5.3).
+//! * [`efsm_text`] — textual/DOT renderings of EFSMs (§5.3);
+//! * [`hsm`](mod@hsm) — hierarchy-aware DOT (clustered subgraphs) and
+//!   Mermaid (composite states) renderings of hierarchical statecharts,
+//!   drawn as authored rather than flattened.
 //!
 //! All renderers are generic with respect to the algorithm being modelled
 //! (paper §5.1): they consume only the machine representation.
@@ -25,6 +28,7 @@
 pub mod codebuf;
 pub mod dot;
 pub mod efsm_text;
+pub mod hsm;
 pub mod java_src;
 pub mod mermaid;
 pub mod report;
@@ -35,6 +39,7 @@ pub mod xml;
 pub use codebuf::CodeBuffer;
 pub use dot::{render_dot, DotOptions};
 pub use efsm_text::{render_efsm_dot, render_efsm_text};
+pub use hsm::{render_hsm_dot, render_hsm_mermaid};
 pub use java_src::JavaRenderer;
 pub use mermaid::render_mermaid;
 pub use report::{render_generation_report, render_machine_summary, render_markdown_report, render_table1, Table1Row};

@@ -1,0 +1,89 @@
+//! Hierarchical statecharts on the flat execution tiers: author a
+//! session-lifecycle statechart (composite states, entry/exit actions,
+//! shallow history), debug it on the direct interpreter, then flatten
+//! it into an ordinary `StateMachine` and serve it from the compiled
+//! tier and a sharded session pool — no engine changes anywhere.
+//!
+//! ```text
+//! cargo run --release --example hsm_flattening
+//! ```
+
+use stategen::fsm::{CompiledMachine, FsmInstance, ProtocolEngine, SessionPool, ShardedPool};
+use stategen::models::session_lifecycle;
+use stategen::render::{render_hsm_dot, render_hsm_mermaid};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The statechart: a commit attempt wrapped in a connection
+    // lifecycle with suspend/resume and failure superstates.
+    let hsm = session_lifecycle();
+    println!(
+        "statechart {}: {} states ({} composites, {} with shallow history), {} transitions",
+        hsm.name(),
+        hsm.state_count(),
+        hsm.composite_count(),
+        hsm.history_count(),
+        hsm.transition_count(),
+    );
+
+    // Tier 0: the direct interpreter — the semantic reference. Inherited
+    // transitions and history work straight off the tree.
+    let mut session = hsm.instance();
+    for message in ["connect", "update", "vote", "suspend", "resume", "ping"] {
+        let actions = session.deliver_ref(message)?.to_vec();
+        println!("  {message:<8} -> {:<44} sends {:?}", session.state_name(), actions);
+    }
+
+    // The flattening compiler: reachable configurations become flat
+    // states, inherited transitions and synthesized entry/exit action
+    // sequences become ordinary transitions.
+    let flat = hsm.flatten();
+    println!(
+        "\nflattened: {} configurations, {} transitions (from {} hierarchical states)",
+        flat.state_count(),
+        flat.transition_count(),
+        hsm.state_count(),
+    );
+
+    // The flattened machine is an ordinary StateMachine: interpret it...
+    let mut interp = FsmInstance::new(&flat);
+    for message in ["connect", "update", "vote", "suspend", "resume", "ping"] {
+        interp.deliver_ref(message)?;
+    }
+    assert_eq!(interp.state_name(), session.state_name());
+    println!("interpreted flat machine agrees: {}", interp.state_name());
+
+    // ...or compile it and batch-step a sharded pool of sessions, with
+    // the same zero-allocation dispatch as any other compiled machine.
+    let compiled = CompiledMachine::compile(&flat);
+    let mut pool = ShardedPool::split(40_000, 4, |len| SessionPool::new(&compiled, len));
+    let trace: Vec<_> = ["connect", "update", "vote", "commit", "close"]
+        .iter()
+        .map(|m| compiled.message_id(m).expect("lifecycle alphabet"))
+        .collect();
+    let transitions = pool.with_workers(|workers| {
+        let mut transitions = 0;
+        for &mid in &trace {
+            transitions += workers.deliver_all(mid);
+        }
+        transitions
+    });
+    println!(
+        "sharded pool: {} sessions x {} messages = {} transitions, {} finished",
+        pool.len(),
+        trace.len(),
+        transitions,
+        pool.finished_count(),
+    );
+    assert!(pool.all_finished());
+
+    // Hierarchy-aware diagrams: clustered DOT and composite Mermaid.
+    let dot = render_hsm_dot(&hsm);
+    let mermaid = render_hsm_mermaid(&hsm);
+    println!(
+        "\nrenderers: DOT with {} clusters, Mermaid with {} composite blocks",
+        dot.matches("subgraph cluster_").count(),
+        mermaid.matches("state \"").count(),
+    );
+    println!("\n--- mermaid (paste into any markdown renderer) ---\n{mermaid}");
+    Ok(())
+}

@@ -1,23 +1,46 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 gate plus the engine-tier benchmark.
+# Repo verification: tier-1 gate plus lint and benchmark gates.
 #
 #   scripts/verify.sh
 #
 # 1. builds the whole workspace in release mode;
-# 2. runs every test (default-members covers all crates);
-# 3. regenerates BENCH_engine_tiers.json via the engine_tiers binary,
-#    which also asserts the zero-allocation and EFSM-speedup claims —
-#    keeping the perf trajectory tracked on every PR.
+# 2. runs every test (default-members covers all crates) — this
+#    includes the HSM property suite (crates/core/tests/hsm_props.rs),
+#    the flattening compiler's trace-equivalence gate;
+# 3. lints the whole workspace (clippy, warnings denied);
+# 4. regenerates BENCH_engine_tiers.json via the engine_tiers binary,
+#    which also asserts the zero-allocation and EFSM-speedup claims,
+#    and BENCH_storage.json via storage_throughput (end-to-end commit
+#    throughput on the pool-backed peers) — keeping the perf trajectory
+#    tracked on every PR;
+# 5. fails if the benchmark artefacts are missing required rows.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
+echo "== cargo test -q (includes the HSM property suite) =="
 cargo test -q
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== engine_tiers (regenerates BENCH_engine_tiers.json) =="
 cargo run --release -p repro-bench --bin engine_tiers
+
+echo "== storage_throughput (regenerates BENCH_storage.json) =="
+cargo run --release -p repro-bench --bin storage_throughput
+
+echo "== benchmark artefact checks =="
+for row in interpreted_name compiled hsm_flattened batched_pool efsm_compiled \
+           sharded_pool_4 sharded_persistent_4 generated; do
+    grep -q "\"name\": \"$row\"" BENCH_engine_tiers.json \
+        || { echo "BENCH_engine_tiers.json is missing the $row row" >&2; exit 1; }
+done
+for r in 4 7 10; do
+    grep -q "\"replication_factor\": $r" BENCH_storage.json \
+        || { echo "BENCH_storage.json is missing the r=$r run" >&2; exit 1; }
+done
 
 echo "verify.sh: all green"

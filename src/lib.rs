@@ -58,8 +58,8 @@ pub mod prelude {
     pub use stategen_commit::{CommitConfig, CommitModel};
     pub use stategen_core::{
         generate, generate_with, AbstractModel, Action, FsmInstance, GenerateOptions,
-        GeneratedMachine, Outcome, ProtocolEngine, StateComponent, StateMachine, StateSpace,
-        StateVector,
+        GeneratedMachine, HierarchicalMachine, HsmBuilder, HsmInstance, Outcome, ProtocolEngine,
+        StateComponent, StateMachine, StateSpace, StateVector,
     };
     pub use stategen_render::{render_dot, render_mermaid, render_xml, TextRenderer};
 }
