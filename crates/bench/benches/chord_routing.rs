@@ -9,8 +9,7 @@ use asa_chord::{Key, Overlay};
 fn bench_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("chord_routing");
     for n in [16usize, 64, 256, 1024] {
-        let overlay =
-            Overlay::with_nodes((0..n as u64).map(|i| Key::hash(&i.to_be_bytes())), 8);
+        let overlay = Overlay::with_nodes((0..n as u64).map(|i| Key::hash(&i.to_be_bytes())), 8);
         let origin = overlay.live_nodes()[0];
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let mut i = 0u64;

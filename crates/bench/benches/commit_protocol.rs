@@ -17,7 +17,12 @@ fn bench_commit(c: &mut Criterion) {
                 let config = HarnessConfig {
                     replication_factor: r,
                     client_updates: vec![vec![Pid::of(b"bench update")]],
-                    net: SimConfig { seed: 1, min_delay: 1, max_delay: 10, ..Default::default() },
+                    net: SimConfig {
+                        seed: 1,
+                        min_delay: 1,
+                        max_delay: 10,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 let report = run_harness(black_box(&config));

@@ -18,11 +18,17 @@ fn bench_ablation(c: &mut Criterion) {
         ("full_pipeline", GenerateOptions::default()),
         (
             "no_merge",
-            GenerateOptions { merge: MergeStrategy::None, ..Default::default() },
+            GenerateOptions {
+                merge: MergeStrategy::None,
+                ..Default::default()
+            },
         ),
         (
             "single_pass_merge",
-            GenerateOptions { merge: MergeStrategy::SinglePass, ..Default::default() },
+            GenerateOptions {
+                merge: MergeStrategy::SinglePass,
+                ..Default::default()
+            },
         ),
         (
             "no_prune_no_merge",
@@ -34,7 +40,10 @@ fn bench_ablation(c: &mut Criterion) {
         ),
         (
             "no_annotations",
-            GenerateOptions { annotate_states: false, ..Default::default() },
+            GenerateOptions {
+                annotate_states: false,
+                ..Default::default()
+            },
         ),
     ];
     for (name, options) in variants {

@@ -7,8 +7,7 @@ use std::hint::black_box;
 use stategen_commit::{CommitConfig, CommitModel};
 use stategen_core::generate;
 use stategen_render::{
-    java_src, render_dot, render_mermaid, render_rust_module, render_xml, DotOptions,
-    TextRenderer,
+    java_src, render_dot, render_mermaid, render_rust_module, render_xml, DotOptions, TextRenderer,
 };
 
 fn bench_render(c: &mut Criterion) {

@@ -14,11 +14,13 @@ use std::hint::black_box;
 use stategen_commit::{
     commit_efsm, commit_efsm_instance, CommitConfig, CommitModel, ReferenceCommit,
 };
-use stategen_core::{generate, CompiledMachine, FsmInstance, ProtocolEngine, SessionPool};
+use stategen_core::{generate, CompiledMachine, FsmInstance, ProtocolEngine};
 use stategen_generated::GeneratedCommitR4;
+use stategen_runtime::{Engine, Spec};
 
-const TRACE: [&str; 9] =
-    ["update", "vote", "vote", "commit", "not_free", "vote", "free", "commit", "vote"];
+const TRACE: [&str; 9] = [
+    "update", "vote", "vote", "commit", "not_free", "vote", "free", "commit", "vote",
+];
 
 fn drive(engine: &mut impl ProtocolEngine) -> usize {
     let mut actions = 0;
@@ -41,7 +43,9 @@ fn drive_ref(engine: &mut impl ProtocolEngine) -> usize {
 
 fn bench_runtime(c: &mut Criterion) {
     let config = CommitConfig::new(4).expect("valid");
-    let machine = generate(&CommitModel::new(config)).expect("generates").machine;
+    let machine = generate(&CommitModel::new(config))
+        .expect("generates")
+        .machine;
     let efsm = commit_efsm();
     let mut group = c.benchmark_group("runtime_comparison");
 
@@ -63,8 +67,10 @@ fn bench_runtime(c: &mut Criterion) {
         b.iter(|| black_box(drive_ref(&mut engine)));
     });
     group.bench_function("compiled_fsm_id", |b| {
-        let ids: Vec<_> =
-            TRACE.iter().map(|m| compiled.message_id(m).expect("valid message")).collect();
+        let ids: Vec<_> = TRACE
+            .iter()
+            .map(|m| compiled.message_id(m).expect("valid message"))
+            .collect();
         let mut engine = compiled.instance();
         b.iter(|| {
             let mut actions = 0;
@@ -76,11 +82,14 @@ fn bench_runtime(c: &mut Criterion) {
         });
     });
     group.bench_function("session_pool_1k", |b| {
-        // Per-iteration cost covers 1024 sessions; divide by 1024 for the
-        // per-session figure.
-        let ids: Vec<_> =
-            TRACE.iter().map(|m| compiled.message_id(m).expect("valid message")).collect();
-        let mut pool = SessionPool::new(&compiled, 1024);
+        // Per-iteration cost covers 1024 sessions (served through the
+        // runtime facade); divide by 1024 for the per-session figure.
+        let engine = Engine::compile(Spec::machine(machine.clone())).expect("compiles");
+        let ids: Vec<_> = TRACE
+            .iter()
+            .map(|m| engine.message_id(m).expect("valid message"))
+            .collect();
+        let mut pool = engine.runtime_with(1024);
         b.iter(|| {
             let mut transitions = 0;
             for &id in &ids {

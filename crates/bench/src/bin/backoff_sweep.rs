@@ -13,10 +13,25 @@ fn main() {
     let seeds: Vec<u64> = (0..40).collect();
     let schemes: [(&str, RetryScheme); 3] = [
         ("fixed(1200)", RetryScheme::Fixed { delay: 1_200 }),
-        ("random(400..2400)", RetryScheme::Random { min: 400, max: 2_400 }),
-        ("exponential(500,cap 20k)", RetryScheme::Exponential { base: 500, max: 20_000 }),
+        (
+            "random(400..2400)",
+            RetryScheme::Random {
+                min: 400,
+                max: 2_400,
+            },
+        ),
+        (
+            "exponential(500,cap 20k)",
+            RetryScheme::Exponential {
+                base: 500,
+                max: 20_000,
+            },
+        ),
     ];
-    let orderings = [("fixed-order", ServerOrdering::Fixed), ("random-order", ServerOrdering::Random)];
+    let orderings = [
+        ("fixed-order", ServerOrdering::Fixed),
+        ("random-order", ServerOrdering::Random),
+    ];
     println!(
         "{:<26} {:<13} {:>9} {:>9} {:>14}",
         "retry scheme", "server order", "committed", "retries", "mean latency"
@@ -38,7 +53,12 @@ fn main() {
                     contact_stagger: 0,
                     timeout: 2_000,
                     peer_gc: 8_000,
-                    net: SimConfig { seed, min_delay: 1, max_delay: 30, ..Default::default() },
+                    net: SimConfig {
+                        seed,
+                        min_delay: 1,
+                        max_delay: 30,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 let report = run_harness(&config);
@@ -76,7 +96,12 @@ fn main() {
             contact_stagger: 0,
             timeout: 3_000_000,
             peer_gc: 3_000_000,
-            net: SimConfig { seed, min_delay: 1, max_delay: 30, ..Default::default() },
+            net: SimConfig {
+                seed,
+                min_delay: 1,
+                max_delay: 30,
+                ..Default::default()
+            },
             ..Default::default()
         };
         if !run_harness(&config).all_committed {

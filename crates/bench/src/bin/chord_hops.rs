@@ -5,7 +5,10 @@
 use asa_chord::{Key, Overlay};
 
 fn main() {
-    println!("{:>6} {:>10} {:>9} {:>9} {:>12}", "nodes", "lookups", "mean", "max", "0.5*log2(n)");
+    println!(
+        "{:>6} {:>10} {:>9} {:>9} {:>12}",
+        "nodes", "lookups", "mean", "max", "0.5*log2(n)"
+    );
     for exp in 4..=12u32 {
         let n = 1usize << exp;
         let overlay = Overlay::with_nodes((0..n as u64).map(|i| Key::hash(&i.to_be_bytes())), 8);

@@ -4,7 +4,7 @@
 //! reconstructed early model.
 
 use stategen_commit::{CommitConfig, EarlyCommitModel};
-use stategen_core::{generate, Outcome, AbstractModel};
+use stategen_core::{generate, AbstractModel, Outcome};
 use stategen_render::TextRenderer;
 
 fn main() {
@@ -16,7 +16,10 @@ fn main() {
             println!(
                 "Fig 3 transition: 1/0/1/0 --<-vote--> {}   actions: {:?}",
                 space.name_of(&spec.target),
-                spec.actions.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+                spec.actions
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
             );
         }
         Outcome::Ignored => unreachable!("the Fig 3 transition exists"),
@@ -26,5 +29,11 @@ fn main() {
         "\nearly model at r=4: {} -> {} -> {} states\n",
         g.report.initial_states, g.report.reachable_states, g.report.final_states
     );
-    print!("{}", TextRenderer { include_descriptions: false }.render(&g.machine));
+    print!(
+        "{}",
+        TextRenderer {
+            include_descriptions: false
+        }
+        .render(&g.machine)
+    );
 }

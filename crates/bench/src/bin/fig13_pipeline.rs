@@ -7,7 +7,7 @@ use stategen_core::generate;
 use stategen_render::render_generation_report;
 
 fn main() {
-    let model = CommitModel::new(CommitConfig::new(4).expect("valid")); 
+    let model = CommitModel::new(CommitConfig::new(4).expect("valid"));
     let g = generate(&model).expect("generation succeeds");
     print!("{}", render_generation_report(&g.report));
     println!();

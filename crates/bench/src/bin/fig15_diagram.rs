@@ -17,8 +17,12 @@ fn main() {
     std::fs::write(dir.join("commit_r4.dot"), &dot).expect("write dot");
     std::fs::write(dir.join("commit_r4.xml"), &xml).expect("write xml");
     std::fs::write(dir.join("commit_r4.mmd"), &mermaid).expect("write mermaid");
-    println!("machine: {} ({} states, {} transitions)", g.machine.name(),
-        g.machine.state_count(), g.machine.transition_count());
+    println!(
+        "machine: {} ({} states, {} transitions)",
+        g.machine.name(),
+        g.machine.state_count(),
+        g.machine.transition_count()
+    );
     println!("wrote {}", dir.join("commit_r4.dot").display());
     println!("wrote {}", dir.join("commit_r4.xml").display());
     println!("wrote {}", dir.join("commit_r4.mmd").display());

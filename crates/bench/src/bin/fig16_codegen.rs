@@ -28,7 +28,11 @@ fn main() {
     let rust = render_rust_module(&g.machine);
     std::fs::write(dir.join("CommitFsm.java"), &java).expect("write java");
     std::fs::write(dir.join("commit_r4_generated.rs"), &rust).expect("write rust");
-    println!("wrote {} ({} lines)", dir.join("CommitFsm.java").display(), java.lines().count());
+    println!(
+        "wrote {} ({} lines)",
+        dir.join("CommitFsm.java").display(),
+        java.lines().count()
+    );
     println!(
         "wrote {} ({} lines; the same module is compiled into stategen-generated)",
         dir.join("commit_r4_generated.rs").display(),

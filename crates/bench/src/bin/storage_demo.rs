@@ -29,7 +29,10 @@ fn main() {
     );
     service.set_behaviour(peers[0], NodeBehaviour::Correct);
     let fixed = service.repair();
-    println!("repair recreated {fixed} replica(s); {} verified replicas", service.replica_count(pid));
+    println!(
+        "repair recreated {fixed} replica(s); {} verified replicas",
+        service.replica_count(pid)
+    );
 
     // -- Version-history service (§2.2). ----------------------------------
     let guid = Guid::from_name("demo/file.txt");
@@ -41,14 +44,22 @@ fn main() {
             Pid::of(b"version 2"),
             Pid::of(b"version 3"),
         ]],
-        net: SimConfig { seed: 9, min_delay: 1, max_delay: 10, ..Default::default() },
+        net: SimConfig {
+            seed: 9,
+            min_delay: 1,
+            max_delay: 10,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let report = run_harness(&config);
     assert!(report.all_committed, "all versions commit");
     assert!(report.orders_agree(), "correct peers agree on the order");
     let history = report.read_consistent(1).expect("f+1-consistent read");
-    println!("version history ({} entries, f+1-consistent):", history.len());
+    println!(
+        "version history ({} entries, f+1-consistent):",
+        history.len()
+    );
     for (i, pid) in history.iter().enumerate() {
         println!("  v{} -> {pid}", i + 1);
     }

@@ -1,8 +1,9 @@
 //! End-to-end commit throughput of the pool-backed storage stack:
 //! clients push version updates through the BFT commit protocol over
 //! the simulated network, with every peer serving its in-flight
-//! attempts from a `SessionPool` over the shared compiled commit
-//! machine. Reports commits per wall-clock second across replication
+//! attempts from a `stategen-runtime` `Runtime` (typed generational
+//! session handles) over the shared compiled commit
+//! engine. Reports commits per wall-clock second across replication
 //! factors and emits a machine-readable `BENCH_storage.json` at the
 //! workspace root so future PRs can track the trajectory.
 //!
@@ -47,7 +48,12 @@ fn main() {
         let config = HarnessConfig {
             replication_factor: r,
             client_updates,
-            net: SimConfig { seed: 7, min_delay: 1, max_delay: 10, ..Default::default() },
+            net: SimConfig {
+                seed: 7,
+                min_delay: 1,
+                max_delay: 10,
+                ..Default::default()
+            },
             deadline: 50_000_000,
             ..Default::default()
         };
@@ -59,7 +65,10 @@ fn main() {
         // committed *set* (see `equivocator_and_concurrent_clients_r7`
         // in the storage tests); order agreement is only guaranteed for
         // sequential submission.
-        assert!(report.sets_agree(), "correct peers must agree on the committed set");
+        assert!(
+            report.sets_agree(),
+            "correct peers must agree on the committed set"
+        );
         rows.push(Row {
             replication_factor: r,
             commits,

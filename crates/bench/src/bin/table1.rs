@@ -31,7 +31,5 @@ fn main() {
         println!("STATE COUNT MISMATCH against the paper");
         std::process::exit(1);
     }
-    println!(
-        "(paper, Java on a 2.33 GHz Core 2 Duo: 0.10 / 0.12 / 0.38 / 2.2 / 19.1 s)"
-    );
+    println!("(paper, Java on a 2.33 GHz Core 2 Duo: 0.10 / 0.12 / 0.38 / 2.2 / 19.1 s)");
 }

@@ -141,7 +141,10 @@ impl Overlay {
     pub fn with_nodes(ids: impl IntoIterator<Item = Key>, successor_list_len: usize) -> Self {
         let mut overlay = Overlay::new(successor_list_len);
         for id in ids {
-            overlay.nodes.entry(id.0).or_insert_with(|| NodeState::new(id, overlay.successor_list_len));
+            overlay
+                .nodes
+                .entry(id.0)
+                .or_insert_with(|| NodeState::new(id, overlay.successor_list_len));
         }
         overlay.rebuild_all();
         overlay
@@ -212,11 +215,19 @@ impl Overlay {
                     hops += 1;
                     path.push(successor);
                 }
-                return Ok(Route { owner: successor, hops, path });
+                return Ok(Route {
+                    owner: successor,
+                    hops,
+                    path,
+                });
             }
             // Single-node ring: we own everything.
             if successor == node.id {
-                return Ok(Route { owner: node.id, hops, path });
+                return Ok(Route {
+                    owner: node.id,
+                    hops,
+                    path,
+                });
             }
             let next = self.closest_preceding_live(node, key);
             let next = if next == node.id { successor } else { next };
@@ -257,7 +268,10 @@ impl Overlay {
     ///
     /// [`OverlayError::UnknownNode`] for non-members.
     pub fn fail(&mut self, id: Key) -> Result<(), OverlayError> {
-        self.nodes.remove(&id.0).map(|_| ()).ok_or(OverlayError::UnknownNode(id))
+        self.nodes
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(OverlayError::UnknownNode(id))
     }
 
     /// Removes a node gracefully: before departing it notifies its
@@ -270,7 +284,10 @@ impl Overlay {
     ///
     /// [`OverlayError::UnknownNode`] for non-members.
     pub fn leave(&mut self, id: Key) -> Result<(), OverlayError> {
-        let state = self.nodes.remove(&id.0).ok_or(OverlayError::UnknownNode(id))?;
+        let state = self
+            .nodes
+            .remove(&id.0)
+            .ok_or(OverlayError::UnknownNode(id))?;
         let successor = state
             .successor_list
             .iter()
@@ -297,7 +314,9 @@ impl Overlay {
         let ids: Vec<u64> = self.nodes.keys().copied().collect();
         for &id in &ids {
             let node_id = Key(id);
-            let Some(node) = self.nodes.get(&id) else { continue };
+            let Some(node) = self.nodes.get(&id) else {
+                continue;
+            };
             let successor = self.first_live_successor(node);
             // Adopt successor's predecessor if it sits between us.
             let adopted = match self.nodes.get(&successor.0).and_then(|s| s.predecessor) {
@@ -308,7 +327,11 @@ impl Overlay {
                 node.successor_list[0] = adopted;
             }
             // Notify: the successor learns about us as a predecessor.
-            let succ_now = self.nodes.get(&id).map(|n| n.successor()).expect("node exists");
+            let succ_now = self
+                .nodes
+                .get(&id)
+                .map(|n| n.successor())
+                .expect("node exists");
             let better = match self.nodes.get(&succ_now.0).and_then(|s| s.predecessor) {
                 Some(p) if self.nodes.contains_key(&p.0) => node_id.in_open_open(p, succ_now),
                 _ => true,
@@ -392,12 +415,16 @@ impl Overlay {
     }
 
     fn refresh_successor_list(&mut self, id: Key) {
-        let Some(node) = self.nodes.get(&id.0) else { return };
+        let Some(node) = self.nodes.get(&id.0) else {
+            return;
+        };
         let mut list = Vec::with_capacity(self.successor_list_len);
         let mut cursor = self.first_live_successor(node);
         for _ in 0..self.successor_list_len {
             list.push(cursor);
-            let Some(next) = self.nodes.get(&cursor.0) else { break };
+            let Some(next) = self.nodes.get(&cursor.0) else {
+                break;
+            };
             let next_succ = self.first_live_successor(next);
             if next_succ == id || next_succ == cursor {
                 break;
@@ -419,7 +446,9 @@ mod tests {
     use super::*;
 
     fn keys(n: usize) -> Vec<Key> {
-        (0..n).map(|i| Key::hash(&(i as u64).to_be_bytes())).collect()
+        (0..n)
+            .map(|i| Key::hash(&(i as u64).to_be_bytes()))
+            .collect()
     }
 
     fn overlay(n: usize) -> Overlay {
@@ -477,7 +506,11 @@ mod tests {
             }
             let mean = total as f64 / samples as f64;
             let log2n = (n as f64).log2();
-            assert!(mean <= 2.0 * log2n, "n={n}: mean {mean:.2} vs 2log2(n) {:.2}", 2.0 * log2n);
+            assert!(
+                mean <= 2.0 * log2n,
+                "n={n}: mean {mean:.2} vs 2log2(n) {:.2}",
+                2.0 * log2n
+            );
         }
     }
 
@@ -505,7 +538,10 @@ mod tests {
         let mut o = overlay(4);
         let existing = o.live_nodes()[1];
         let bootstrap = o.live_nodes()[0];
-        assert_eq!(o.join(existing, bootstrap), Err(OverlayError::DuplicateNode(existing)));
+        assert_eq!(
+            o.join(existing, bootstrap),
+            Err(OverlayError::DuplicateNode(existing))
+        );
     }
 
     #[test]
@@ -528,7 +564,10 @@ mod tests {
         }
         o.fix_fingers();
         let key = Key::hash(b"post-repair");
-        assert_eq!(o.route(origin, key).unwrap().owner, o.owner_of(key).unwrap());
+        assert_eq!(
+            o.route(origin, key).unwrap().owner,
+            o.owner_of(key).unwrap()
+        );
     }
 
     #[test]
@@ -551,9 +590,12 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(OverlayError::Empty.to_string(), "overlay has no live nodes");
-        assert!(OverlayError::RoutingFailed { key: Key(1), hops: 7 }
-            .to_string()
-            .contains("after 7 hops"));
+        assert!(OverlayError::RoutingFailed {
+            key: Key(1),
+            hops: 7
+        }
+        .to_string()
+        .contains("after 7 hops"));
     }
 }
 
@@ -562,7 +604,9 @@ mod leave_tests {
     use super::*;
 
     fn keys(n: usize) -> Vec<Key> {
-        (0..n).map(|i| Key::hash(&(i as u64).to_be_bytes())).collect()
+        (0..n)
+            .map(|i| Key::hash(&(i as u64).to_be_bytes()))
+            .collect()
     }
 
     #[test]
@@ -595,7 +639,10 @@ mod leave_tests {
     #[test]
     fn leave_unknown_errors() {
         let mut o = Overlay::with_nodes(keys(4), 4);
-        assert_eq!(o.leave(Key(12345)), Err(OverlayError::UnknownNode(Key(12345))));
+        assert_eq!(
+            o.leave(Key(12345)),
+            Err(OverlayError::UnknownNode(Key(12345)))
+        );
     }
 
     #[test]

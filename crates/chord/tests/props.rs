@@ -6,8 +6,7 @@ use proptest::prelude::*;
 use asa_chord::{Key, Overlay};
 
 fn node_ids() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::btree_set(any::<u64>(), 1..80)
-        .prop_map(|s| s.into_iter().collect())
+    prop::collection::btree_set(any::<u64>(), 1..80).prop_map(|s| s.into_iter().collect())
 }
 
 proptest! {

@@ -20,19 +20,30 @@ fn main() {
         (46, 67712, None, 2945),
     ];
     let mut all_ok = true;
-    println!("{:>3} {:>8} {:>10} {:>8} {:>12}", "r", "initial", "reachable", "final", "time");
+    println!(
+        "{:>3} {:>8} {:>10} {:>8} {:>12}",
+        "r", "initial", "reachable", "final", "time"
+    );
     for (r, want_initial, want_reachable, want_final) in expected {
         let model = CommitModel::new(CommitConfig::new(r).expect("valid r"));
         let g = generate(&model).expect("generation succeeds");
         let ok_initial = g.report.initial_states == want_initial;
         let ok_reach = want_reachable.is_none_or(|w| g.report.reachable_states == w);
         let ok_final = g.report.final_states == want_final;
-        let mark = if ok_initial && ok_reach && ok_final { "ok" } else { "MISMATCH" };
+        let mark = if ok_initial && ok_reach && ok_final {
+            "ok"
+        } else {
+            "MISMATCH"
+        };
         all_ok &= ok_initial && ok_reach && ok_final;
         println!(
             "{:>3} {:>8} {:>10} {:>8} {:>12?}   {}",
-            r, g.report.initial_states, g.report.reachable_states, g.report.final_states,
-            g.report.total, mark
+            r,
+            g.report.initial_states,
+            g.report.reachable_states,
+            g.report.final_states,
+            g.report.total,
+            mark
         );
         if !ok_initial {
             println!("    initial: want {want_initial}");

@@ -126,8 +126,14 @@ mod tests {
 
     #[test]
     fn small_replication_rejected() {
-        assert_eq!(CommitConfig::new(0), Err(ConfigError::ReplicationTooSmall(0)));
-        assert_eq!(CommitConfig::new(1), Err(ConfigError::ReplicationTooSmall(1)));
+        assert_eq!(
+            CommitConfig::new(0),
+            Err(ConfigError::ReplicationTooSmall(0))
+        );
+        assert_eq!(
+            CommitConfig::new(1),
+            Err(ConfigError::ReplicationTooSmall(1))
+        );
         assert!(CommitConfig::new(2).is_ok());
     }
 

@@ -96,7 +96,11 @@ impl AbstractModel for EarlyCommitModel {
         target.set(count_idx, state.get(count_idx) + 1);
         let mut actions = Vec::new();
         self.apply_phase(&mut target, &mut actions);
-        Outcome::Transition(TransitionSpec { target, actions, annotations: Vec::new() })
+        Outcome::Transition(TransitionSpec {
+            target,
+            actions,
+            annotations: Vec::new(),
+        })
     }
 
     fn is_final_state(&self, state: &StateVector) -> bool {

@@ -66,8 +66,10 @@ pub fn commit_efsm() -> Efsm {
     );
     let forced_voted = b.add_state_annotated(
         "forced-voted",
-        vec!["Forced to vote by the threshold without seeing the update request or being free."
-            .into()],
+        vec![
+            "Forced to vote by the threshold without seeing the update request or being free."
+                .into(),
+        ],
     );
     let forced_chosen = b.add_state_annotated(
         "forced-chosen",
@@ -86,14 +88,25 @@ pub fn commit_efsm() -> Efsm {
     // has not voted (its own vote is not counted) and v+2 when it has.
     let below_tv_recv_unvoted =
         Guard::when(LinExpr::var(v).plus_const(1), CmpOp::Lt, LinExpr::param(tv));
-    let at_tv_recv_unvoted = Guard::when(LinExpr::var(v).plus_const(1), CmpOp::Ge, LinExpr::param(tv))
-        .and(LinExpr::var(v).plus_const(1), CmpOp::Le, LinExpr::param(r).plus_const(-1));
+    let at_tv_recv_unvoted =
+        Guard::when(LinExpr::var(v).plus_const(1), CmpOp::Ge, LinExpr::param(tv)).and(
+            LinExpr::var(v).plus_const(1),
+            CmpOp::Le,
+            LinExpr::param(r).plus_const(-1),
+        );
     let below_tv_recv_voted =
         Guard::when(LinExpr::var(v).plus_const(2), CmpOp::Lt, LinExpr::param(tv));
-    let at_tv_recv_voted = Guard::when(LinExpr::var(v).plus_const(2), CmpOp::Ge, LinExpr::param(tv))
-        .and(LinExpr::var(v).plus_const(1), CmpOp::Le, LinExpr::param(r).plus_const(-1));
-    let vote_in_bounds =
-        Guard::when(LinExpr::var(v).plus_const(1), CmpOp::Le, LinExpr::param(r).plus_const(-1));
+    let at_tv_recv_voted =
+        Guard::when(LinExpr::var(v).plus_const(2), CmpOp::Ge, LinExpr::param(tv)).and(
+            LinExpr::var(v).plus_const(1),
+            CmpOp::Le,
+            LinExpr::param(r).plus_const(-1),
+        );
+    let vote_in_bounds = Guard::when(
+        LinExpr::var(v).plus_const(1),
+        CmpOp::Le,
+        LinExpr::param(r).plus_const(-1),
+    );
     let below_tc = Guard::when(LinExpr::var(c).plus_const(1), CmpOp::Lt, LinExpr::param(tc));
     let at_tc = Guard::when(LinExpr::var(c).plus_const(1), CmpOp::Ge, LinExpr::param(tc));
     // `update` handler: vote threshold check with this node's vote counted
@@ -120,19 +133,41 @@ pub fn commit_efsm() -> Efsm {
         UPDATE,
         at_tv_after_voting.clone(),
         vec![],
-        vec![Action::send(VOTE), Action::send(COMMIT), Action::send(NOT_FREE)],
+        vec![
+            Action::send(VOTE),
+            Action::send(COMMIT),
+            Action::send(NOT_FREE),
+        ],
         committed_chosen,
     );
-    b.add_transition(idle_free, VOTE, below_tv_recv_unvoted.clone(), inc_v.clone(), vec![], idle_free);
+    b.add_transition(
+        idle_free,
+        VOTE,
+        below_tv_recv_unvoted.clone(),
+        inc_v.clone(),
+        vec![],
+        idle_free,
+    );
     b.add_transition(
         idle_free,
         VOTE,
         at_tv_recv_unvoted.clone(),
         inc_v.clone(),
-        vec![Action::send(NOT_FREE), Action::send(VOTE), Action::send(COMMIT)],
+        vec![
+            Action::send(NOT_FREE),
+            Action::send(VOTE),
+            Action::send(COMMIT),
+        ],
         forced_chosen,
     );
-    b.add_transition(idle_free, COMMIT, below_tc.clone(), inc_c.clone(), vec![], idle_free);
+    b.add_transition(
+        idle_free,
+        COMMIT,
+        below_tc.clone(),
+        inc_c.clone(),
+        vec![],
+        idle_free,
+    );
     b.add_transition(
         idle_free,
         COMMIT,
@@ -141,11 +176,32 @@ pub fn commit_efsm() -> Efsm {
         vec![Action::send(VOTE), Action::send(COMMIT)],
         finished,
     );
-    b.add_transition(idle_free, NOT_FREE, Guard::always(), vec![], vec![], idle_blocked);
+    b.add_transition(
+        idle_free,
+        NOT_FREE,
+        Guard::always(),
+        vec![],
+        vec![],
+        idle_blocked,
+    );
 
     // ---- idle-blocked (F,F,F,F,F) ----------------------------------------
-    b.add_transition(idle_blocked, UPDATE, Guard::always(), vec![], vec![], update_blocked);
-    b.add_transition(idle_blocked, VOTE, below_tv_recv_unvoted.clone(), inc_v.clone(), vec![], idle_blocked);
+    b.add_transition(
+        idle_blocked,
+        UPDATE,
+        Guard::always(),
+        vec![],
+        vec![],
+        update_blocked,
+    );
+    b.add_transition(
+        idle_blocked,
+        VOTE,
+        below_tv_recv_unvoted.clone(),
+        inc_v.clone(),
+        vec![],
+        idle_blocked,
+    );
     b.add_transition(
         idle_blocked,
         VOTE,
@@ -154,7 +210,14 @@ pub fn commit_efsm() -> Efsm {
         vec![Action::send(VOTE), Action::send(COMMIT)],
         forced_voted,
     );
-    b.add_transition(idle_blocked, COMMIT, below_tc.clone(), inc_c.clone(), vec![], idle_blocked);
+    b.add_transition(
+        idle_blocked,
+        COMMIT,
+        below_tc.clone(),
+        inc_c.clone(),
+        vec![],
+        idle_blocked,
+    );
     b.add_transition(
         idle_blocked,
         COMMIT,
@@ -163,10 +226,24 @@ pub fn commit_efsm() -> Efsm {
         vec![Action::send(VOTE), Action::send(COMMIT)],
         finished,
     );
-    b.add_transition(idle_blocked, FREE, Guard::always(), vec![], vec![], idle_free);
+    b.add_transition(
+        idle_blocked,
+        FREE,
+        Guard::always(),
+        vec![],
+        vec![],
+        idle_free,
+    );
 
     // ---- update-blocked (T,F,F,F,F) ---------------------------------------
-    b.add_transition(update_blocked, VOTE, below_tv_recv_unvoted.clone(), inc_v.clone(), vec![], update_blocked);
+    b.add_transition(
+        update_blocked,
+        VOTE,
+        below_tv_recv_unvoted.clone(),
+        inc_v.clone(),
+        vec![],
+        update_blocked,
+    );
     b.add_transition(
         update_blocked,
         VOTE,
@@ -175,7 +252,14 @@ pub fn commit_efsm() -> Efsm {
         vec![Action::send(VOTE), Action::send(COMMIT)],
         committed_blocked,
     );
-    b.add_transition(update_blocked, COMMIT, below_tc.clone(), inc_c.clone(), vec![], update_blocked);
+    b.add_transition(
+        update_blocked,
+        COMMIT,
+        below_tc.clone(),
+        inc_c.clone(),
+        vec![],
+        update_blocked,
+    );
     b.add_transition(
         update_blocked,
         COMMIT,
@@ -199,12 +283,23 @@ pub fn commit_efsm() -> Efsm {
         FREE,
         at_tv_after_voting,
         vec![],
-        vec![Action::send(VOTE), Action::send(COMMIT), Action::send(NOT_FREE)],
+        vec![
+            Action::send(VOTE),
+            Action::send(COMMIT),
+            Action::send(NOT_FREE),
+        ],
         committed_chosen,
     );
 
     // ---- voted-chosen (T,T,F,T,T) ------------------------------------------
-    b.add_transition(voted_chosen, VOTE, below_tv_recv_voted, inc_v.clone(), vec![], voted_chosen);
+    b.add_transition(
+        voted_chosen,
+        VOTE,
+        below_tv_recv_voted,
+        inc_v.clone(),
+        vec![],
+        voted_chosen,
+    );
     b.add_transition(
         voted_chosen,
         VOTE,
@@ -213,7 +308,14 @@ pub fn commit_efsm() -> Efsm {
         vec![Action::send(COMMIT)],
         committed_chosen,
     );
-    b.add_transition(voted_chosen, COMMIT, below_tc.clone(), inc_c.clone(), vec![], voted_chosen);
+    b.add_transition(
+        voted_chosen,
+        COMMIT,
+        below_tc.clone(),
+        inc_c.clone(),
+        vec![],
+        voted_chosen,
+    );
     b.add_transition(
         voted_chosen,
         COMMIT,
@@ -224,8 +326,22 @@ pub fn commit_efsm() -> Efsm {
     );
 
     // ---- committed-chosen (T,T,T,T,T) ---------------------------------------
-    b.add_transition(committed_chosen, VOTE, vote_in_bounds.clone(), inc_v.clone(), vec![], committed_chosen);
-    b.add_transition(committed_chosen, COMMIT, below_tc.clone(), inc_c.clone(), vec![], committed_chosen);
+    b.add_transition(
+        committed_chosen,
+        VOTE,
+        vote_in_bounds.clone(),
+        inc_v.clone(),
+        vec![],
+        committed_chosen,
+    );
+    b.add_transition(
+        committed_chosen,
+        COMMIT,
+        below_tc.clone(),
+        inc_c.clone(),
+        vec![],
+        committed_chosen,
+    );
     b.add_transition(
         committed_chosen,
         COMMIT,
@@ -236,15 +352,64 @@ pub fn commit_efsm() -> Efsm {
     );
 
     // ---- forced-voted (F,T,T,F,F) --------------------------------------------
-    b.add_transition(forced_voted, UPDATE, Guard::always(), vec![], vec![], committed_blocked);
-    b.add_transition(forced_voted, VOTE, vote_in_bounds.clone(), inc_v.clone(), vec![], forced_voted);
-    b.add_transition(forced_voted, COMMIT, below_tc.clone(), inc_c.clone(), vec![], forced_voted);
-    b.add_transition(forced_voted, COMMIT, at_tc.clone(), inc_c.clone(), vec![], finished);
+    b.add_transition(
+        forced_voted,
+        UPDATE,
+        Guard::always(),
+        vec![],
+        vec![],
+        committed_blocked,
+    );
+    b.add_transition(
+        forced_voted,
+        VOTE,
+        vote_in_bounds.clone(),
+        inc_v.clone(),
+        vec![],
+        forced_voted,
+    );
+    b.add_transition(
+        forced_voted,
+        COMMIT,
+        below_tc.clone(),
+        inc_c.clone(),
+        vec![],
+        forced_voted,
+    );
+    b.add_transition(
+        forced_voted,
+        COMMIT,
+        at_tc.clone(),
+        inc_c.clone(),
+        vec![],
+        finished,
+    );
 
     // ---- forced-chosen (F,T,T,T,T) ---------------------------------------------
-    b.add_transition(forced_chosen, UPDATE, Guard::always(), vec![], vec![], committed_chosen);
-    b.add_transition(forced_chosen, VOTE, vote_in_bounds.clone(), inc_v.clone(), vec![], forced_chosen);
-    b.add_transition(forced_chosen, COMMIT, below_tc.clone(), inc_c.clone(), vec![], forced_chosen);
+    b.add_transition(
+        forced_chosen,
+        UPDATE,
+        Guard::always(),
+        vec![],
+        vec![],
+        committed_chosen,
+    );
+    b.add_transition(
+        forced_chosen,
+        VOTE,
+        vote_in_bounds.clone(),
+        inc_v.clone(),
+        vec![],
+        forced_chosen,
+    );
+    b.add_transition(
+        forced_chosen,
+        COMMIT,
+        below_tc.clone(),
+        inc_c.clone(),
+        vec![],
+        forced_chosen,
+    );
     b.add_transition(
         forced_chosen,
         COMMIT,
@@ -255,8 +420,22 @@ pub fn commit_efsm() -> Efsm {
     );
 
     // ---- committed-blocked (T,T,T,F,F) -------------------------------------------
-    b.add_transition(committed_blocked, VOTE, vote_in_bounds, inc_v, vec![], committed_blocked);
-    b.add_transition(committed_blocked, COMMIT, below_tc, inc_c.clone(), vec![], committed_blocked);
+    b.add_transition(
+        committed_blocked,
+        VOTE,
+        vote_in_bounds,
+        inc_v,
+        vec![],
+        committed_blocked,
+    );
+    b.add_transition(
+        committed_blocked,
+        COMMIT,
+        below_tc,
+        inc_c.clone(),
+        vec![],
+        committed_blocked,
+    );
     b.add_transition(committed_blocked, COMMIT, at_tc, inc_c, vec![], finished);
 
     b.build(idle_free, Some(finished))
@@ -334,7 +513,11 @@ mod tests {
         let actions = i.deliver("free").unwrap();
         assert_eq!(
             actions,
-            vec![Action::send("vote"), Action::send("commit"), Action::send("not_free")]
+            vec![
+                Action::send("vote"),
+                Action::send("commit"),
+                Action::send("not_free")
+            ]
         );
         assert_eq!(i.state_name(), "committed-chosen");
     }

@@ -61,7 +61,10 @@ impl CommitMessage {
     /// `true` for messages exchanged between peers (as opposed to the
     /// node-local `free`/`not_free` signals).
     pub fn is_peer_message(self) -> bool {
-        matches!(self, CommitMessage::Update | CommitMessage::Vote | CommitMessage::Commit)
+        matches!(
+            self,
+            CommitMessage::Update | CommitMessage::Vote | CommitMessage::Commit
+        )
     }
 }
 

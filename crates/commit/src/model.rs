@@ -166,7 +166,10 @@ impl AbstractModel for CommitModel {
     }
 
     fn messages(&self) -> Vec<String> {
-        messages::MESSAGE_NAMES.iter().map(|s| s.to_string()).collect()
+        messages::MESSAGE_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }
 
     fn start_state(&self) -> StateVector {
@@ -214,7 +217,12 @@ struct Elaboration {
 
 impl Elaboration {
     fn new(config: CommitConfig, state: StateVector) -> Self {
-        Elaboration { config, state, actions: Vec::new(), notes: Vec::new() }
+        Elaboration {
+            config,
+            state,
+            actions: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     fn vote_threshold_reached(&self) -> bool {
@@ -223,23 +231,29 @@ impl Elaboration {
 
     fn set_update_received(&mut self) {
         self.state.set_flag(UPDATE_RECEIVED, true);
-        self.notes.push("Record receipt of the initial update request from the client.".into());
+        self.notes
+            .push("Record receipt of the initial update request from the client.".into());
     }
 
     fn receive_vote(&mut self) {
-        self.state.set(VOTES_RECEIVED, self.state.votes_received() + 1);
-        self.notes.push("Record receipt of a vote from another peer.".into());
+        self.state
+            .set(VOTES_RECEIVED, self.state.votes_received() + 1);
+        self.notes
+            .push("Record receipt of a vote from another peer.".into());
     }
 
     fn receive_commit(&mut self) {
-        self.state.set(COMMITS_RECEIVED, self.state.commits_received() + 1);
-        self.notes.push("Record receipt of a commit from another peer.".into());
+        self.state
+            .set(COMMITS_RECEIVED, self.state.commits_received() + 1);
+        self.notes
+            .push("Record receipt of a commit from another peer.".into());
     }
 
     fn send_vote(&mut self) {
         self.state.set_flag(VOTE_SENT, true);
         self.actions.push(Action::send(messages::VOTE));
-        self.notes.push("Send a vote for this update to all other peers.".into());
+        self.notes
+            .push("Send a vote for this update to all other peers.".into());
     }
 
     fn send_commit(&mut self) {
@@ -254,27 +268,32 @@ impl Elaboration {
 
     fn set_has_chosen(&mut self) {
         self.state.set_flag(HAS_CHOSEN, true);
-        self.notes.push("Choose this update as the node's current candidate.".into());
+        self.notes
+            .push("Choose this update as the node's current candidate.".into());
     }
 
     fn set_could_choose(&mut self) {
         self.state.set_flag(COULD_CHOOSE, true);
-        self.notes.push("The node's previously chosen update completed; free to choose again.".into());
+        self.notes
+            .push("The node's previously chosen update completed; free to choose again.".into());
     }
 
     fn unset_could_choose(&mut self) {
         self.state.set_flag(COULD_CHOOSE, false);
-        self.notes.push("Another update is in progress on this node; may not choose.".into());
+        self.notes
+            .push("Another update is in progress on this node; may not choose.".into());
     }
 
     fn send_not_free(&mut self) {
         self.actions.push(Action::send(messages::NOT_FREE));
-        self.notes.push("Inform sibling instances on this node that it is no longer free.".into());
+        self.notes
+            .push("Inform sibling instances on this node that it is no longer free.".into());
     }
 
     fn send_free(&mut self) {
         self.actions.push(Action::send(messages::FREE));
-        self.notes.push("Inform sibling instances on this node that it is free again.".into());
+        self.notes
+            .push("Inform sibling instances on this node that it is free again.".into());
     }
 
     fn note_finished(&mut self) {
@@ -336,7 +355,9 @@ fn describe(config: CommitConfig, state: &StateVector) -> Vec<String> {
 
     if state.commit_sent() {
         if state.total_votes() >= tv {
-            lines.push(format!("Have sent a commit since the vote threshold ({tv}) has been reached."));
+            lines.push(format!(
+                "Have sent a commit since the vote threshold ({tv}) has been reached."
+            ));
         } else {
             lines.push(format!(
                 "Have sent a commit since the external commit threshold ({tc}) has been reached."
@@ -357,9 +378,13 @@ fn describe(config: CommitConfig, state: &StateVector) -> Vec<String> {
     if state.has_chosen() {
         lines.push("Have chosen this update.".to_string());
     } else if !state.could_choose() {
-        lines.push("Have not chosen this update since another ongoing update has been chosen.".to_string());
+        lines.push(
+            "Have not chosen this update since another ongoing update has been chosen.".to_string(),
+        );
     } else {
-        lines.push("Have not chosen this update since no update request has been received.".to_string());
+        lines.push(
+            "Have not chosen this update since no update request has been received.".to_string(),
+        );
     }
 
     if !state.commit_sent() {
@@ -547,7 +572,10 @@ mod tests {
         let s = state(&m, "F/0/F/1/F/F/F");
         match m.transition(&s, "commit") {
             Outcome::Transition(spec) => {
-                assert_eq!(spec.actions, vec![Action::send("vote"), Action::send("commit")]);
+                assert_eq!(
+                    spec.actions,
+                    vec![Action::send("vote"), Action::send("commit")]
+                );
                 assert_eq!(name(&m, &spec.target), "F/0/T/2/T/F/F");
                 assert!(m.is_final_state(&spec.target));
             }

@@ -188,7 +188,7 @@ impl ProtocolEngine for ReferenceCommit {
         self.commits_received >= self.config.commit_threshold()
     }
 
-    fn state_name(&self) -> String {
+    fn state_name(&self) -> std::borrow::Cow<'_, str> {
         fn tf(b: bool) -> char {
             if b {
                 'T'
@@ -196,7 +196,7 @@ impl ProtocolEngine for ReferenceCommit {
                 'F'
             }
         }
-        format!(
+        std::borrow::Cow::Owned(format!(
             "{}/{}/{}/{}/{}/{}/{}",
             tf(self.update_received),
             self.votes_received,
@@ -205,7 +205,7 @@ impl ProtocolEngine for ReferenceCommit {
             tf(self.commit_sent),
             tf(self.could_choose),
             tf(self.has_chosen),
-        )
+        ))
     }
 
     fn reset(&mut self) {
@@ -228,7 +228,10 @@ mod tests {
     fn update_triggers_vote_and_choice() {
         let mut e = engine();
         let actions = e.deliver("update").unwrap();
-        assert_eq!(actions, vec![Action::send("vote"), Action::send("not_free")]);
+        assert_eq!(
+            actions,
+            vec![Action::send("vote"), Action::send("not_free")]
+        );
         assert_eq!(e.state_name(), "T/0/T/0/F/T/T");
     }
 
@@ -272,7 +275,11 @@ mod tests {
         let a = e.deliver("free").unwrap();
         assert_eq!(
             a,
-            vec![Action::send("vote"), Action::send("commit"), Action::send("not_free")]
+            vec![
+                Action::send("vote"),
+                Action::send("commit"),
+                Action::send("not_free")
+            ]
         );
         assert_eq!(e.state_name(), "T/2/T/0/T/T/T");
     }
@@ -302,7 +309,10 @@ mod tests {
     #[test]
     fn unknown_message_is_error() {
         let mut e = engine();
-        assert!(matches!(e.deliver("zap"), Err(InterpError::UnknownMessage(_))));
+        assert!(matches!(
+            e.deliver("zap"),
+            Err(InterpError::UnknownMessage(_))
+        ));
     }
 
     #[test]

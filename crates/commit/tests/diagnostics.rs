@@ -54,14 +54,21 @@ fn final_state_reachable_from_everywhere() {
                 if reaches[id.index()] {
                     continue;
                 }
-                if state.transitions().any(|(_, t)| reaches[t.target().index()]) {
+                if state
+                    .transitions()
+                    .any(|(_, t)| reaches[t.target().index()])
+                {
                     reaches[id.index()] = true;
                     changed = true;
                 }
             }
         }
         for (id, state) in machine.states_with_ids() {
-            assert!(reaches[id.index()], "r={r}: state {} cannot finish", state.name());
+            assert!(
+                reaches[id.index()],
+                "r={r}: state {} cannot finish",
+                state.name()
+            );
         }
     }
 }

@@ -26,7 +26,11 @@ fn check(r: u32, messages: &[usize]) {
         let a = reference.deliver(name).unwrap();
         let b = e.deliver(name).unwrap();
         assert_eq!(a, b, "r={r} step {step} ({name})");
-        assert_eq!(reference.is_finished(), e.is_finished(), "r={r} step {step}");
+        assert_eq!(
+            reference.is_finished(),
+            e.is_finished(),
+            "r={r} step {step}"
+        );
     }
 }
 

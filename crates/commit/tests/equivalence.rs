@@ -8,6 +8,11 @@
 //! message sequence, for every family member. This is the property that
 //! makes the generative approach trustworthy: the generated artefacts
 //! really implement the algorithm.
+//!
+//! The compiled checks additionally drive the `stategen-runtime` facade
+//! (`Spec → Engine → Runtime`) in lock-step with the direct engines, so
+//! the owned pipeline surface is proven observationally identical to
+//! the borrowed tiers it wraps.
 
 use std::sync::OnceLock;
 
@@ -21,6 +26,7 @@ use stategen_core::{
     generate, CompiledEfsm, CompiledInstance, CompiledMachine, Efsm, EfsmSessionPool, FsmInstance,
     ProtocolEngine, SessionPool, StateMachine,
 };
+use stategen_runtime::{Engine, Spec};
 
 /// Family members exercised by the equivalence suites: every machine up
 /// to r = 6, plus two larger representatives.
@@ -37,7 +43,11 @@ fn machine(r: u32) -> &'static StateMachine {
             })
             .collect()
     });
-    &machines.iter().find(|(mr, _)| *mr == r).expect("prebuilt r").1
+    &machines
+        .iter()
+        .find(|(mr, _)| *mr == r)
+        .expect("prebuilt r")
+        .1
 }
 
 fn compiled(r: u32) -> &'static CompiledMachine {
@@ -48,7 +58,11 @@ fn compiled(r: u32) -> &'static CompiledMachine {
             .map(|&r| (r, CompiledMachine::compile(machine(r))))
             .collect()
     });
-    &compiled.iter().find(|(cr, _)| *cr == r).expect("prebuilt r").1
+    &compiled
+        .iter()
+        .find(|(cr, _)| *cr == r)
+        .expect("prebuilt r")
+        .1
 }
 
 fn efsm() -> &'static Efsm {
@@ -61,6 +75,45 @@ fn compiled_efsm() -> &'static CompiledEfsm {
     COMPILED.get_or_init(|| CompiledEfsm::compile(efsm()).expect("commit EFSM compiles"))
 }
 
+fn facade_engine(r: u32) -> &'static Engine {
+    static ENGINES: OnceLock<Vec<(u32, Engine)>> = OnceLock::new();
+    let engines = ENGINES.get_or_init(|| {
+        FAMILY
+            .iter()
+            .map(|&r| {
+                (
+                    r,
+                    Engine::compile(Spec::machine(machine(r).clone())).unwrap(),
+                )
+            })
+            .collect()
+    });
+    &engines
+        .iter()
+        .find(|(er, _)| *er == r)
+        .expect("prebuilt r")
+        .1
+}
+
+fn facade_efsm_engine(r: u32) -> &'static Engine {
+    static ENGINES: OnceLock<Vec<(u32, Engine)>> = OnceLock::new();
+    let engines = ENGINES.get_or_init(|| {
+        FAMILY
+            .iter()
+            .map(|&r| {
+                let config = CommitConfig::new(r).unwrap();
+                let spec = Spec::efsm(commit_efsm(), commit_efsm_params(&config));
+                (r, Engine::compile(spec).unwrap())
+            })
+            .collect()
+    });
+    &engines
+        .iter()
+        .find(|(er, _)| *er == r)
+        .expect("prebuilt r")
+        .1
+}
+
 /// Drives the interpreted EFSM, the compiled-bytecode EFSM and a batched
 /// EFSM session with the same messages, checking actions, variables and
 /// completion agree after every delivery (the bytecode tier must be
@@ -71,6 +124,8 @@ fn check_compiled_efsm_equivalence(r: u32, messages: &[usize]) {
     let mut interp = commit_efsm_instance(efsm(), &config);
     let mut single = compiled.instance(commit_efsm_params(&config));
     let mut pool = EfsmSessionPool::new(compiled, commit_efsm_params(&config), 2);
+    let mut facade = facade_efsm_engine(r).runtime();
+    let facade_session = facade.spawn();
     for (step, &mi) in messages.iter().enumerate() {
         let name = MESSAGE_NAMES[mi % MESSAGE_NAMES.len()];
         let a_interp = interp.deliver(name).unwrap();
@@ -78,21 +133,62 @@ fn check_compiled_efsm_equivalence(r: u32, messages: &[usize]) {
         let mid = compiled.message_id(name).unwrap();
         let a_pool0 = pool.deliver(0, mid);
         assert_eq!(
-            a_interp, a_single,
+            a_interp,
+            a_single,
             "r={r} step {step} ({name}): interpreted {a_interp:?} vs compiled {a_single:?} \
              (interp state {}, compiled state {})",
             interp.state_name(),
             single.state_name_str()
         );
-        assert_eq!(a_interp, a_pool0, "r={r} step {step} ({name}): pool session diverged");
+        assert_eq!(
+            a_interp, a_pool0,
+            "r={r} step {step} ({name}): pool session diverged"
+        );
         pool.deliver(1, mid);
+        let facade_mid = facade.message_id(name).unwrap();
+        assert_eq!(
+            a_interp,
+            facade.deliver(facade_session, facade_mid),
+            "r={r} step {step} ({name}): facade session diverged"
+        );
         assert_eq!(interp.vars(), single.vars(), "r={r} step {step} ({name})");
         assert_eq!(single.vars(), pool.vars(0), "r={r} step {step} ({name})");
         assert_eq!(pool.vars(0), pool.vars(1), "r={r} step {step} ({name})");
-        assert_eq!(interp.state_name(), single.state_name(), "r={r} step {step} ({name})");
-        assert_eq!(single.current_state(), pool.state(0), "r={r} step {step} ({name})");
-        assert_eq!(interp.is_finished(), single.is_finished(), "r={r} step {step} ({name})");
-        assert_eq!(single.is_finished(), pool.is_finished(0), "r={r} step {step} ({name})");
+        assert_eq!(
+            single.vars(),
+            facade.vars(facade_session),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            interp.state_name(),
+            single.state_name(),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            single.current_state(),
+            pool.state(0),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            single.state_name_str(),
+            facade.state_name(facade_session),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            interp.is_finished(),
+            single.is_finished(),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            single.is_finished(),
+            pool.is_finished(0),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            single.is_finished(),
+            facade.is_finished(facade_session),
+            "r={r} step {step} ({name})"
+        );
     }
 }
 
@@ -109,21 +205,31 @@ fn check_equivalence(r: u32, messages: &[usize]) {
         let a_ref = reference.deliver(name).unwrap();
         let a_efsm = efsm_i.deliver(name).unwrap();
         assert_eq!(
-            a_fsm, a_ref,
+            a_fsm,
+            a_ref,
             "r={r} step {step} ({name}): FSM {a_fsm:?} vs reference {a_ref:?} \
              (fsm state {}, ref state {})",
             fsm.state_name(),
             reference.state_name()
         );
         assert_eq!(
-            a_fsm, a_efsm,
+            a_fsm,
+            a_efsm,
             "r={r} step {step} ({name}): FSM {a_fsm:?} vs EFSM {a_efsm:?} \
              (fsm state {}, efsm state {})",
             fsm.state_name(),
             efsm_i.state_name()
         );
-        assert_eq!(fsm.is_finished(), reference.is_finished(), "r={r} step {step} ({name})");
-        assert_eq!(fsm.is_finished(), efsm_i.is_finished(), "r={r} step {step} ({name})");
+        assert_eq!(
+            fsm.is_finished(),
+            reference.is_finished(),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            fsm.is_finished(),
+            efsm_i.is_finished(),
+            "r={r} step {step} ({name})"
+        );
     }
 }
 
@@ -136,6 +242,8 @@ fn check_compiled_equivalence(r: u32, messages: &[usize]) {
     let mut fsm = FsmInstance::new(machine(r));
     let mut single = CompiledInstance::new(compiled);
     let mut pool = SessionPool::new(compiled, 2);
+    let mut facade = facade_engine(r).runtime();
+    let facade_session = facade.spawn();
     for (step, &mi) in messages.iter().enumerate() {
         let name = MESSAGE_NAMES[mi % MESSAGE_NAMES.len()];
         let a_fsm = fsm.deliver(name).unwrap();
@@ -143,19 +251,60 @@ fn check_compiled_equivalence(r: u32, messages: &[usize]) {
         let mid = compiled.message_id(name).unwrap();
         let a_pool0 = pool.deliver(0, mid);
         assert_eq!(
-            a_fsm, a_single,
+            a_fsm,
+            a_single,
             "r={r} step {step} ({name}): FSM {a_fsm:?} vs compiled {a_single:?} \
              (fsm state {}, compiled state {})",
             fsm.state_name_str(),
             single.state_name_str()
         );
-        assert_eq!(a_fsm, a_pool0, "r={r} step {step} ({name}): pool session diverged");
+        assert_eq!(
+            a_fsm, a_pool0,
+            "r={r} step {step} ({name}): pool session diverged"
+        );
         pool.deliver(1, mid);
-        assert_eq!(fsm.state_name_str(), single.state_name_str(), "r={r} step {step} ({name})");
-        assert_eq!(single.current_state(), pool.state(0), "r={r} step {step} ({name})");
+        let facade_mid = facade.message_id(name).unwrap();
+        assert_eq!(
+            a_fsm,
+            facade.deliver(facade_session, facade_mid),
+            "r={r} step {step} ({name}): facade session diverged"
+        );
+        assert_eq!(
+            fsm.state_name_str(),
+            single.state_name_str(),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            single.current_state(),
+            pool.state(0),
+            "r={r} step {step} ({name})"
+        );
         assert_eq!(pool.state(0), pool.state(1), "r={r} step {step} ({name})");
-        assert_eq!(fsm.is_finished(), single.is_finished(), "r={r} step {step} ({name})");
-        assert_eq!(single.is_finished(), pool.is_finished(0), "r={r} step {step} ({name})");
+        assert_eq!(
+            single.current_state(),
+            facade.state(facade_session),
+            "r={r} step {step}"
+        );
+        assert_eq!(
+            single.state_name_str(),
+            facade.state_name(facade_session),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            fsm.is_finished(),
+            single.is_finished(),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            single.is_finished(),
+            pool.is_finished(0),
+            "r={r} step {step} ({name})"
+        );
+        assert_eq!(
+            single.is_finished(),
+            facade.is_finished(facade_session),
+            "r={r} step {step} ({name})"
+        );
         assert_eq!(fsm.steps(), single.steps(), "r={r} step {step} ({name})");
     }
 }

@@ -20,7 +20,10 @@ fn table1_state_counts() {
         assert_eq!(config.max_faulty(), f, "f for r={r}");
         let g = generate(&CommitModel::new(config)).expect("generation succeeds");
         assert_eq!(g.report.initial_states, initial, "initial states for r={r}");
-        assert_eq!(g.report.final_states, final_states, "final states for r={r}");
+        assert_eq!(
+            g.report.final_states, final_states,
+            "final states for r={r}"
+        );
     }
 }
 
@@ -63,7 +66,10 @@ fn fig3_transition_degree_r4() {
         }
     }
     assert_eq!(active, 32);
-    assert!(with_3_or_4 * 2 >= active, "only {with_3_or_4} of {active} states have 3-4 transitions");
+    assert!(
+        with_3_or_4 * 2 >= active,
+        "only {with_3_or_4} of {active} states have 3-4 transitions"
+    );
 }
 
 /// Every generated family member passes structural validation.
@@ -93,7 +99,10 @@ fn merge_is_idempotent() {
 #[test]
 fn pipeline_stage_options() {
     let model = CommitModel::new(CommitConfig::new(4).unwrap());
-    let no_merge = GenerateOptions { merge: MergeStrategy::None, ..Default::default() };
+    let no_merge = GenerateOptions {
+        merge: MergeStrategy::None,
+        ..Default::default()
+    };
     let g = generate_with(&model, &no_merge).unwrap();
     assert_eq!(g.machine.state_count(), 48);
 
@@ -112,9 +121,15 @@ fn pipeline_stage_options() {
 #[test]
 fn single_pass_merges_finals() {
     let model = CommitModel::new(CommitConfig::new(4).unwrap());
-    let single = GenerateOptions { merge: MergeStrategy::SinglePass, ..Default::default() };
+    let single = GenerateOptions {
+        merge: MergeStrategy::SinglePass,
+        ..Default::default()
+    };
     let g = generate_with(&model, &single).unwrap();
-    assert!(g.machine.final_state_ids().len() == 1, "finals merged in one pass");
+    assert!(
+        g.machine.final_state_ids().len() == 1,
+        "finals merged in one pass"
+    );
 }
 
 /// Paper §5.3: the EFSM has 9 states for every replication factor.
@@ -136,6 +151,9 @@ fn initial_space_formula() {
 #[test]
 fn fig14_state_survives() {
     let g = generate(&CommitModel::new(CommitConfig::new(4).unwrap())).unwrap();
-    let (_, state) = g.machine.state_by_name("T/2/F/0/F/F/F").expect("state exists");
+    let (_, state) = g
+        .machine
+        .state_by_name("T/2/F/0/F/F/F")
+        .expect("state exists");
     assert_eq!(state.transition_count(), 3); // VOTE, COMMIT, FREE
 }

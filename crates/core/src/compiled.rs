@@ -45,6 +45,7 @@
 //! # Ok::<(), stategen_core::InterpError>(())
 //! ```
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use crate::error::InterpError;
@@ -221,7 +222,10 @@ impl CompiledMachine {
     /// Panics if `state` is out of range for this machine.
     #[inline]
     pub fn step(&self, state: u32, message: MessageId) -> Option<(u32, &[Action])> {
-        debug_assert!(message.index() < self.stride, "message id from a different machine");
+        debug_assert!(
+            message.index() < self.stride,
+            "message id from a different machine"
+        );
         let idx = state as usize * self.stride + message.index();
         let target = self.targets[idx];
         if target == NO_TRANSITION {
@@ -251,7 +255,11 @@ pub struct CompiledInstance<'m> {
 impl<'m> CompiledInstance<'m> {
     /// Creates an instance positioned at the machine's start state.
     pub fn new(machine: &'m CompiledMachine) -> Self {
-        CompiledInstance { machine, current: machine.start(), steps: 0 }
+        CompiledInstance {
+            machine,
+            current: machine.start(),
+            steps: 0,
+        }
     }
 
     /// The machine this instance executes.
@@ -306,8 +314,8 @@ impl ProtocolEngine for CompiledInstance<'_> {
         self.machine.is_finish_state(self.current)
     }
 
-    fn state_name(&self) -> String {
-        self.state_name_str().to_string()
+    fn state_name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(self.state_name_str())
     }
 
     fn reset(&mut self) {
@@ -429,7 +437,10 @@ mod tests {
         assert_eq!(compiled.messages(), ["a", "b"]);
         assert_eq!(compiled.start(), 0);
         assert_eq!(compiled.message_id("b"), m.message_id("b"));
-        assert_eq!(compiled.message_name(compiled.message_id("b").unwrap()), "b");
+        assert_eq!(
+            compiled.message_name(compiled.message_id("b").unwrap()),
+            "b"
+        );
         assert!(compiled.is_finish_state(2));
         assert!(!compiled.is_finish_state(0));
     }

@@ -57,7 +57,10 @@ pub struct StateComponent {
 impl StateComponent {
     /// Declares a boolean component.
     pub fn boolean(name: impl Into<String>) -> Self {
-        StateComponent { name: name.into(), kind: ComponentKind::Bool }
+        StateComponent {
+            name: name.into(),
+            kind: ComponentKind::Bool,
+        }
     }
 
     /// Declares an integer component ranging over `0..=max`.
@@ -65,7 +68,10 @@ impl StateComponent {
     /// The paper's `IntComponent("votes_received", replication_factor - 1)`
     /// corresponds to `StateComponent::int("votes_received", r - 1)`.
     pub fn int(name: impl Into<String>, max: u32) -> Self {
-        StateComponent { name: name.into(), kind: ComponentKind::Int { max } }
+        StateComponent {
+            name: name.into(),
+            kind: ComponentKind::Int { max },
+        }
     }
 
     /// The component's name.
@@ -134,7 +140,11 @@ impl StateSpace {
                 return Err(SchemaError::TooManyStates(count));
             }
         }
-        Ok(StateSpace { components, index, state_count: count as u64 })
+        Ok(StateSpace {
+            components,
+            index,
+            state_count: count as u64,
+        })
     }
 
     /// The components in declaration order.
@@ -159,7 +169,9 @@ impl StateSpace {
 
     /// A vector with every component at its minimum (false / 0).
     pub fn zero_vector(&self) -> StateVector {
-        StateVector { values: vec![0; self.components.len()] }
+        StateVector {
+            values: vec![0; self.components.len()],
+        }
     }
 
     /// Checks that `v` has the right arity and in-range values.
@@ -180,7 +192,11 @@ impl StateSpace {
     ///
     /// Panics if `v` is not inside this space (see [`StateSpace::contains`]).
     pub fn encode(&self, v: &StateVector) -> u64 {
-        assert!(self.contains(v), "vector {:?} outside state space", v.values);
+        assert!(
+            self.contains(v),
+            "vector {:?} outside state space",
+            v.values
+        );
         let mut code: u64 = 0;
         for (val, c) in v.values.iter().zip(&self.components) {
             code = code * c.cardinality() + u64::from(*val);
@@ -207,7 +223,10 @@ impl StateSpace {
 
     /// Iterates over every vector in the space in encoding order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { space: self, next: 0 }
+        Iter {
+            space: self,
+            next: 0,
+        }
     }
 
     /// Renders the paper-style `/`-separated state name (`T/2/F/...`).
@@ -216,7 +235,11 @@ impl StateSpace {
     ///
     /// Panics if `v` is not inside this space.
     pub fn name_of(&self, v: &StateVector) -> String {
-        assert!(self.contains(v), "vector {:?} outside state space", v.values);
+        assert!(
+            self.contains(v),
+            "vector {:?} outside state space",
+            v.values
+        );
         let mut out = String::new();
         for (i, (val, c)) in v.values.iter().zip(&self.components).enumerate() {
             if i > 0 {
@@ -251,7 +274,10 @@ impl StateSpace {
                     "T" => 1,
                     "F" => 0,
                     _ => {
-                        return Err(ParseNameError::BadField { index: i, text: field.to_string() })
+                        return Err(ParseNameError::BadField {
+                            index: i,
+                            text: field.to_string(),
+                        })
                     }
                 },
                 ComponentKind::Int { max } => {
@@ -260,7 +286,11 @@ impl StateSpace {
                         text: field.to_string(),
                     })?;
                     if v > max {
-                        return Err(ParseNameError::OutOfRange { index: i, value: v, max });
+                        return Err(ParseNameError::OutOfRange {
+                            index: i,
+                            value: v,
+                            max,
+                        });
                     }
                     v
                 }
@@ -419,9 +449,13 @@ mod tests {
 
     #[test]
     fn huge_space_rejected() {
-        let comps: Vec<StateComponent> =
-            (0..8).map(|i| StateComponent::int(format!("c{i}"), 255)).collect();
-        assert!(matches!(StateSpace::new(comps), Err(SchemaError::TooManyStates(_))));
+        let comps: Vec<StateComponent> = (0..8)
+            .map(|i| StateComponent::int(format!("c{i}"), 255))
+            .collect();
+        assert!(matches!(
+            StateSpace::new(comps),
+            Err(SchemaError::TooManyStates(_))
+        ));
     }
 
     #[test]
@@ -455,14 +489,21 @@ mod tests {
     #[test]
     fn parse_name_errors() {
         let space = commit_space(4);
-        assert!(matches!(space.parse_name("T/2"), Err(ParseNameError::WrongArity { .. })));
+        assert!(matches!(
+            space.parse_name("T/2"),
+            Err(ParseNameError::WrongArity { .. })
+        ));
         assert!(matches!(
             space.parse_name("X/2/F/0/F/F/F"),
             Err(ParseNameError::BadField { index: 0, .. })
         ));
         assert!(matches!(
             space.parse_name("T/9/F/0/F/F/F"),
-            Err(ParseNameError::OutOfRange { index: 1, value: 9, max: 3 })
+            Err(ParseNameError::OutOfRange {
+                index: 1,
+                value: 9,
+                max: 3
+            })
         ));
     }
 

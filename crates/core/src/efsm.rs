@@ -10,6 +10,7 @@
 //! factor, because its states encode only whether thresholds have been
 //! reached — not the counts themselves.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use crate::error::InterpError;
@@ -72,17 +73,26 @@ pub struct LinExpr {
 impl LinExpr {
     /// A constant expression.
     pub fn constant(c: i64) -> Self {
-        LinExpr { constant: c, terms: Vec::new() }
+        LinExpr {
+            constant: c,
+            terms: Vec::new(),
+        }
     }
 
     /// The value of a variable.
     pub fn var(v: VarId) -> Self {
-        LinExpr { constant: 0, terms: vec![(1, Operand::Var(v))] }
+        LinExpr {
+            constant: 0,
+            terms: vec![(1, Operand::Var(v))],
+        }
     }
 
     /// The value of a parameter.
     pub fn param(p: ParamId) -> Self {
-        LinExpr { constant: 0, terms: vec![(1, Operand::Param(p))] }
+        LinExpr {
+            constant: 0,
+            terms: vec![(1, Operand::Param(p))],
+        }
     }
 
     /// Adds another expression.
@@ -206,7 +216,9 @@ impl Guard {
 
     /// A guard with a single condition.
     pub fn when(lhs: LinExpr, op: CmpOp, rhs: LinExpr) -> Self {
-        Guard { conds: vec![Cond { lhs, op, rhs }] }
+        Guard {
+            conds: vec![Cond { lhs, op, rhs }],
+        }
     }
 
     /// Conjoins another condition.
@@ -362,7 +374,10 @@ impl Efsm {
 
     /// Looks up a message id by name.
     pub fn message_id(&self, name: &str) -> Option<u16> {
-        self.messages.iter().position(|m| m == name).map(|i| i as u16)
+        self.messages
+            .iter()
+            .position(|m| m == name)
+            .map(|i| i as u16)
     }
 
     /// Checks that for every state, message and combination of variable
@@ -373,11 +388,7 @@ impl Efsm {
     /// # Errors
     ///
     /// Returns a description of the first overlapping pair found.
-    pub fn check_deterministic(
-        &self,
-        params: &[i64],
-        var_bound: i64,
-    ) -> Result<(), String> {
+    pub fn check_deterministic(&self, params: &[i64], var_bound: i64) -> Result<(), String> {
         assert_eq!(params.len(), self.params.len(), "wrong parameter count");
         let nvars = self.variables.len();
         let mut vars = vec![0i64; nvars];
@@ -464,7 +475,10 @@ impl EfsmBuilder {
         S: Into<String>,
     {
         let messages: Vec<String> = messages.into_iter().map(Into::into).collect();
-        assert!(!messages.is_empty(), "EFSM must declare at least one message");
+        assert!(
+            !messages.is_empty(),
+            "EFSM must declare at least one message"
+        );
         for (i, m) in messages.iter().enumerate() {
             assert!(!messages[..i].contains(m), "duplicate message `{m}`");
         }
@@ -547,7 +561,10 @@ impl EfsmBuilder {
             .iter()
             .position(|m| m == message)
             .unwrap_or_else(|| panic!("unknown message `{message}`"));
-        assert!(target.index() < self.states.len(), "target state out of range");
+        assert!(
+            target.index() < self.states.len(),
+            "target state out of range"
+        );
         self.states[from.index()].transitions.push(EfsmTransition {
             message: mid as u16,
             guard,
@@ -564,7 +581,10 @@ impl EfsmBuilder {
     ///
     /// Panics if `start` (or `finish`) is out of range.
     pub fn build(self, start: EfsmStateId, finish: Option<EfsmStateId>) -> Efsm {
-        assert!(start.index() < self.states.len(), "start state out of range");
+        assert!(
+            start.index() < self.states.len(),
+            "start state out of range"
+        );
         if let Some(f) = finish {
             assert!(f.index() < self.states.len(), "finish state out of range");
         }
@@ -669,8 +689,8 @@ impl ProtocolEngine for EfsmInstance<'_> {
         Some(self.current) == self.efsm.finish
     }
 
-    fn state_name(&self) -> String {
-        self.current().name.clone()
+    fn state_name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(self.state_name_str())
     }
 
     fn reset(&mut self) {
@@ -693,7 +713,11 @@ mod tests {
         b.add_transition(
             counting,
             "tick",
-            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Lt, LinExpr::param(limit)),
+            Guard::when(
+                LinExpr::var(n).plus_const(1),
+                CmpOp::Lt,
+                LinExpr::param(limit),
+            ),
             vec![Update::Inc(n)],
             vec![],
             counting,
@@ -701,7 +725,11 @@ mod tests {
         b.add_transition(
             counting,
             "tick",
-            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Ge, LinExpr::param(limit)),
+            Guard::when(
+                LinExpr::var(n).plus_const(1),
+                CmpOp::Ge,
+                LinExpr::param(limit),
+            ),
             vec![Update::Inc(n)],
             vec![Action::send("done")],
             done,
@@ -749,7 +777,10 @@ mod tests {
     fn unknown_message_is_error() {
         let efsm = counter();
         let mut i = EfsmInstance::new(&efsm, vec![1]);
-        assert!(matches!(i.deliver("zap"), Err(InterpError::UnknownMessage(_))));
+        assert!(matches!(
+            i.deliver("zap"),
+            Err(InterpError::UnknownMessage(_))
+        ));
     }
 
     #[test]
@@ -784,7 +815,10 @@ mod tests {
         let p = b.add_param("p");
         let v = b.add_var("v");
         let _s = b.add_state("s");
-        let expr = LinExpr::var(v).times(2).plus(LinExpr::param(p)).plus_const(5);
+        let expr = LinExpr::var(v)
+            .times(2)
+            .plus(LinExpr::param(p))
+            .plus_const(5);
         assert_eq!(expr.eval(&[3], &[10]), 21);
         let neg = LinExpr::constant(7).times(-1);
         assert_eq!(neg.eval(&[0], &[0]), -7);

@@ -3,7 +3,7 @@
 //!
 //! [`EfsmInstance`](crate::EfsmInstance) interprets an [`Efsm`] by
 //! walking `Guard`/`Update` enum trees on every delivery: each guard
-//! condition chases two [`LinExpr`](crate::efsm::LinExpr) heap
+//! condition chases two [`LinExpr`] heap
 //! structures, and the message name is resolved by a linear scan over
 //! the alphabet. That is the right tool for freshly built machines, but
 //! too slow to deploy. [`CompiledEfsm`] is the EFSM analogue of
@@ -80,6 +80,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use crate::efsm::{CmpOp, Cond, Efsm, LinExpr, Operand, Update};
@@ -154,7 +155,10 @@ impl BoundForm {
     }
 
     fn plus_const(&self, c: i64) -> BoundForm {
-        BoundForm { constant: self.constant + c, terms: self.terms.clone() }
+        BoundForm {
+            constant: self.constant + c,
+            terms: self.terms.clone(),
+        }
     }
 }
 
@@ -236,7 +240,10 @@ struct BoundCell {
 
 impl Default for BoundCell {
     fn default() -> Self {
-        BoundCell { count: 0, cands: [BoundCand::default(); BOUND_CANDS] }
+        BoundCell {
+            count: 0,
+            cands: [BoundCand::default(); BOUND_CANDS],
+        }
     }
 }
 
@@ -341,12 +348,20 @@ impl BoundPool {
 /// Emits generic accumulator ops evaluating `expr` against the live
 /// variable and parameter registers.
 fn lower_linexpr(expr: &LinExpr, code: &mut Vec<Op>, consts: &mut ConstPool) {
-    code.push(Op::Const { k: consts.intern(expr.constant_part()) });
+    code.push(Op::Const {
+        k: consts.intern(expr.constant_part()),
+    });
     for &(coeff, operand) in expr.terms() {
         let coeff = consts.intern(coeff);
         match operand {
-            Operand::Var(v) => code.push(Op::MulAddVar { var: v.index() as u16, coeff }),
-            Operand::Param(p) => code.push(Op::MulAddParam { param: p.index() as u16, coeff }),
+            Operand::Var(v) => code.push(Op::MulAddVar {
+                var: v.index() as u16,
+                coeff,
+            }),
+            Operand::Param(p) => code.push(Op::MulAddParam {
+                param: p.index() as u16,
+                coeff,
+            }),
         }
     }
 }
@@ -384,18 +399,24 @@ fn lower_cond(
     param_terms.retain(|&(c, _)| c != 0);
     let constant = cond.lhs.constant_part() - cond.rhs.constant_part();
 
-    let fusable = matches!(var_terms.as_slice(), [] | [(1, _)] | [(-1, _)])
-        && cond.op != CmpOp::Ne;
+    let fusable = matches!(var_terms.as_slice(), [] | [(1, _)] | [(-1, _)]) && cond.op != CmpOp::Ne;
     if fusable {
         let (sign, var) = match var_terms.as_slice() {
             [] => (0i32, 0u32),
             [(c, v)] => (*c as i32, u32::from(*v)),
             _ => unreachable!("checked fusable"),
         };
-        let form = BoundForm { constant, terms: param_terms };
+        let form = BoundForm {
+            constant,
+            terms: param_terms,
+        };
         // Canonicalise `sign·v + form  op  0` to one or two `≤ 0` checks.
         let mut push = |sign: i32, form: BoundForm| {
-            checks.push(FusedCheck { sign, var, bound: bounds.intern(form) });
+            checks.push(FusedCheck {
+                sign,
+                var,
+                bound: bounds.intern(form),
+            });
         };
         match cond.op {
             CmpOp::Le => push(sign, form),
@@ -413,12 +434,20 @@ fn lower_cond(
 
     // Generic fallback: evaluate the whole normalised form into the
     // accumulator, then check against zero.
-    code.push(Op::Const { k: consts.intern(constant) });
+    code.push(Op::Const {
+        k: consts.intern(constant),
+    });
     for (coeff, v) in var_terms {
-        code.push(Op::MulAddVar { var: v, coeff: consts.intern(coeff) });
+        code.push(Op::MulAddVar {
+            var: v,
+            coeff: consts.intern(coeff),
+        });
     }
     for (coeff, p) in param_terms {
-        code.push(Op::MulAddParam { param: p, coeff: consts.intern(coeff) });
+        code.push(Op::MulAddParam {
+            param: p,
+            coeff: consts.intern(coeff),
+        });
     }
     code.push(Op::Check(cond.op));
 }
@@ -473,8 +502,11 @@ impl CompiledEfsm {
             for mid in 0..stride {
                 let cell_first = candidates.len() as u32;
                 let mut cell_count = 0u16;
-                let in_cell: Vec<_> =
-                    state.transitions().iter().filter(|t| t.message_index() == mid).collect();
+                let in_cell: Vec<_> = state
+                    .transitions()
+                    .iter()
+                    .filter(|t| t.message_index() == mid)
+                    .collect();
                 for (ti, t) in in_cell.iter().enumerate() {
                     if in_cell[..ti].iter().any(|prev| prev.guard() == t.guard()) {
                         return Err(CompileError::DuplicateTransition {
@@ -502,7 +534,9 @@ impl CompiledEfsm {
                     } else if distinct_incs {
                         for u in t.updates() {
                             let Update::Inc(v) = u else { unreachable!() };
-                            code.push(Op::IncDirect { var: v.index() as u16 });
+                            code.push(Op::IncDirect {
+                                var: v.index() as u16,
+                            });
                         }
                     } else {
                         max_updates = max_updates.max(t.updates().len());
@@ -516,7 +550,10 @@ impl CompiledEfsm {
                                     commits.push((v.index() as u16, slot));
                                 }
                                 Update::Inc(v) => {
-                                    code.push(Op::StageInc { var: v.index() as u16, slot });
+                                    code.push(Op::StageInc {
+                                        var: v.index() as u16,
+                                        slot,
+                                    });
                                     commits.push((v.index() as u16, slot));
                                 }
                             }
@@ -552,7 +589,10 @@ impl CompiledEfsm {
                     });
                     cell_count += 1;
                 }
-                cells[sid * stride + mid] = Cell { first: cell_first, count: cell_count };
+                cells[sid * stride + mid] = Cell {
+                    first: cell_first,
+                    count: cell_count,
+                };
             }
         }
 
@@ -667,24 +707,35 @@ impl CompiledEfsm {
             }
             out.count = cands.len() as u32;
             for (slot, cand) in out.cands.iter_mut().zip(cands) {
-                let checks =
-                    &self.checks[cand.checks_start as usize..cand.checks_end as usize];
+                let checks = &self.checks[cand.checks_start as usize..cand.checks_end as usize];
                 slot.check_count = checks.len() as u16;
                 for (folded, check) in slot.checks.iter_mut().zip(checks) {
                     *folded = BoundCheck {
                         threshold: bounds[check.bound as usize],
                         // Variable-free checks read the dummy register.
-                        var: if check.sign == 0 { self.n_vars as u16 } else { check.var as u16 },
+                        var: if check.sign == 0 {
+                            self.n_vars as u16
+                        } else {
+                            check.var as u16
+                        },
                         neg: if check.sign < 0 { -1 } else { 0 },
                     };
                 }
-                slot.inc_var = if cand.inc_var == NO_INC { NO_INC16 } else { cand.inc_var as u16 };
+                slot.inc_var = if cand.inc_var == NO_INC {
+                    NO_INC16
+                } else {
+                    cand.inc_var as u16
+                };
                 slot.target = cand.target;
                 slot.act_offset = cand.actions.offset;
                 slot.act_len = cand.actions.len;
             }
         }
-        EfsmBinding { params: params.to_vec(), bounds, cells: cells.into_boxed_slice() }
+        EfsmBinding {
+            params: params.to_vec(),
+            bounds,
+            cells: cells.into_boxed_slice(),
+        }
     }
 
     /// The start state's dense id.
@@ -742,7 +793,10 @@ impl CompiledEfsm {
         vars: &mut [i64],
         scratch: &mut [i64],
     ) -> Option<(u32, &[Action])> {
-        debug_assert!(message.index() < self.stride, "message id from a different machine");
+        debug_assert!(
+            message.index() < self.stride,
+            "message id from a different machine"
+        );
         let idx = state as usize * self.stride + message.index();
         let cell = &binding.cells[idx];
         if cell.count == SPILL {
@@ -796,8 +850,7 @@ impl CompiledEfsm {
         'candidate: for cand in &self.candidates[first..first + cell.count as usize] {
             // Fused guard checks: one multiply-add and compare each.
             for check in &self.checks[cand.checks_start as usize..cand.checks_end as usize] {
-                if i64::from(check.sign) * vars[check.var as usize]
-                    + bounds[check.bound as usize]
+                if i64::from(check.sign) * vars[check.var as usize] + bounds[check.bound as usize]
                     > 0
                 {
                     continue 'candidate;
@@ -955,8 +1008,8 @@ impl ProtocolEngine for CompiledEfsmInstance<'_> {
         self.machine.is_finish_state(self.current)
     }
 
-    fn state_name(&self) -> String {
-        self.state_name_str().to_string()
+    fn state_name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(self.state_name_str())
     }
 
     fn reset(&mut self) {
@@ -980,7 +1033,11 @@ mod tests {
         b.add_transition(
             counting,
             "tick",
-            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Lt, LinExpr::param(limit)),
+            Guard::when(
+                LinExpr::var(n).plus_const(1),
+                CmpOp::Lt,
+                LinExpr::param(limit),
+            ),
             vec![Update::Inc(n)],
             vec![],
             counting,
@@ -988,7 +1045,11 @@ mod tests {
         b.add_transition(
             counting,
             "tick",
-            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Ge, LinExpr::param(limit)),
+            Guard::when(
+                LinExpr::var(n).plus_const(1),
+                CmpOp::Ge,
+                LinExpr::param(limit),
+            ),
             vec![Update::Inc(n)],
             vec![Action::send("done")],
             done,
@@ -1052,7 +1113,10 @@ mod tests {
         let efsm = counter();
         let compiled = CompiledEfsm::compile(&efsm).unwrap();
         let mut i = compiled.instance(vec![1]);
-        assert!(matches!(i.deliver_ref("zap"), Err(InterpError::UnknownMessage(_))));
+        assert!(matches!(
+            i.deliver_ref("zap"),
+            Err(InterpError::UnknownMessage(_))
+        ));
     }
 
     #[test]
@@ -1201,12 +1265,18 @@ mod tests {
         for p_val in [4i64, 7] {
             let mut interp = crate::EfsmInstance::new(&efsm, vec![p_val]);
             let mut comp = compiled.instance(vec![p_val]);
-            for m in ["gt", "eq", "ne", "gt", "eq", "gt", "gt", "gt", "gt", "lt", "ne"] {
+            for m in [
+                "gt", "eq", "ne", "gt", "eq", "gt", "gt", "gt", "gt", "lt", "ne",
+            ] {
                 let a = interp.deliver(m).unwrap();
                 let b = comp.deliver_ref(m).unwrap();
                 assert_eq!(a, b, "p={p_val} message {m}");
                 assert_eq!(interp.vars(), comp.vars(), "p={p_val} message {m}");
-                assert_eq!(interp.state_name(), comp.state_name(), "p={p_val} message {m}");
+                assert_eq!(
+                    interp.state_name(),
+                    comp.state_name(),
+                    "p={p_val} message {m}"
+                );
             }
         }
     }
@@ -1238,7 +1308,10 @@ mod tests {
         );
         let efsm = b.build(s, None);
         let compiled = CompiledEfsm::compile(&efsm).unwrap();
-        assert!(compiled.const_count() > 0, "generic path uses the constant pool");
+        assert!(
+            compiled.const_count() > 0,
+            "generic path uses the constant pool"
+        );
         let mut interp = crate::EfsmInstance::new(&efsm, vec![7]);
         let mut comp = compiled.instance(vec![7]);
         for step in 0..8 {
@@ -1311,7 +1384,10 @@ mod tests {
         assert!(compiled.is_finish_state(1));
         assert!(!compiled.is_finish_state(0));
         assert_eq!(compiled.state_name(0), "counting");
-        assert_eq!(compiled.message_id("tick"), efsm.message_id("tick").map(MessageId));
+        assert_eq!(
+            compiled.message_id("tick"),
+            efsm.message_id("tick").map(MessageId)
+        );
     }
 
     #[test]

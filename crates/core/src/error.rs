@@ -70,7 +70,10 @@ impl fmt::Display for GenerateError {
             }
             GenerateError::Schema(e) => write!(f, "invalid state space: {e}"),
             GenerateError::InvalidVector { vector, context } => {
-                write!(f, "model produced state vector {vector} outside the state space during {context}")
+                write!(
+                    f,
+                    "model produced state vector {vector} outside the state space during {context}"
+                )
             }
             GenerateError::InvalidStart(name) => {
                 write!(f, "start state {name} is outside the state space")
@@ -127,13 +130,19 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::DuplicateTransition { state, message } => {
-                write!(f, "duplicate transition from state `{state}` on message `{message}`")
+                write!(
+                    f,
+                    "duplicate transition from state `{state}` on message `{message}`"
+                )
             }
             CompileError::UnknownMessage(name) => {
                 write!(f, "unknown message `{name}`")
             }
             CompileError::StateOutOfRange { index, states } => {
-                write!(f, "state id {index} is out of range ({states} states declared)")
+                write!(
+                    f,
+                    "state id {index} is out of range ({states} states declared)"
+                )
             }
         }
     }
@@ -199,25 +208,40 @@ impl fmt::Display for HsmError {
         match self {
             HsmError::UnknownMessage(name) => write!(f, "unknown message `{name}`"),
             HsmError::StateOutOfRange { index, states } => {
-                write!(f, "state id {index} is out of range ({states} states declared)")
+                write!(
+                    f,
+                    "state id {index} is out of range ({states} states declared)"
+                )
             }
             HsmError::DuplicateTransition { state, message } => {
-                write!(f, "duplicate transition from state `{state}` on message `{message}`")
+                write!(
+                    f,
+                    "duplicate transition from state `{state}` on message `{message}`"
+                )
             }
             HsmError::InvalidStateName(name) => {
-                write!(f, "invalid state name `{name}` (empty or contains `.`, `~` or `=`)")
+                write!(
+                    f,
+                    "invalid state name `{name}` (empty or contains `.`, `~` or `=`)"
+                )
             }
             HsmError::DuplicateSiblingName(name) => {
                 write!(f, "duplicate sibling state name `{name}`")
             }
             HsmError::InitialNotChild { composite, initial } => {
-                write!(f, "initial state `{initial}` is not a child of composite `{composite}`")
+                write!(
+                    f,
+                    "initial state `{initial}` is not a child of composite `{composite}`"
+                )
             }
             HsmError::HistoryOnLeaf(name) => {
                 write!(f, "shallow history enabled on leaf state `{name}`")
             }
             HsmError::FinalNotLeaf(name) => {
-                write!(f, "final state `{name}` has children; only leaves can be final")
+                write!(
+                    f,
+                    "final state `{name}` has children; only leaves can be final"
+                )
             }
             HsmError::InvalidHistoryTarget(name) => {
                 write!(
@@ -231,6 +255,99 @@ impl fmt::Display for HsmError {
 }
 
 impl Error for HsmError {}
+
+/// The unified error of the whole toolkit, wrapping every stage-specific
+/// error (`SchemaError`, `GenerateError`, `CompileError`, `HsmError`,
+/// `InterpError`) behind one type.
+///
+/// The staged APIs keep returning their precise error types; anything
+/// that spans stages — above all the `stategen-runtime` pipeline
+/// (`Spec` ingest → `Engine` compile → `Runtime` serving) — returns
+/// `StategenError` so callers hold a single error surface for the whole
+/// `Spec → Engine → Runtime` path. Marked `#[non_exhaustive]`: future
+/// pipeline stages may add variants without a breaking release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StategenError {
+    /// A state-space declaration was invalid.
+    Schema(SchemaError),
+    /// Executing an abstract model failed.
+    Generate(GenerateError),
+    /// Flattening a machine for execution failed.
+    Compile(CompileError),
+    /// Constructing a hierarchical machine failed.
+    Hsm(HsmError),
+    /// Driving an engine failed.
+    Interp(InterpError),
+    /// A parameter binding does not match the EFSM's declaration.
+    ParamCountMismatch {
+        /// Parameters the EFSM declares.
+        expected: usize,
+        /// Parameters supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for StategenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StategenError::Schema(e) => write!(f, "invalid state space: {e}"),
+            StategenError::Generate(e) => write!(f, "generation failed: {e}"),
+            StategenError::Compile(e) => write!(f, "compilation failed: {e}"),
+            StategenError::Hsm(e) => write!(f, "invalid statechart: {e}"),
+            StategenError::Interp(e) => write!(f, "delivery failed: {e}"),
+            StategenError::ParamCountMismatch { expected, found } => {
+                write!(
+                    f,
+                    "EFSM declares {expected} parameter(s), binding supplies {found}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for StategenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StategenError::Schema(e) => Some(e),
+            StategenError::Generate(e) => Some(e),
+            StategenError::Compile(e) => Some(e),
+            StategenError::Hsm(e) => Some(e),
+            StategenError::Interp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemaError> for StategenError {
+    fn from(e: SchemaError) -> Self {
+        StategenError::Schema(e)
+    }
+}
+
+impl From<GenerateError> for StategenError {
+    fn from(e: GenerateError) -> Self {
+        StategenError::Generate(e)
+    }
+}
+
+impl From<CompileError> for StategenError {
+    fn from(e: CompileError) -> Self {
+        StategenError::Compile(e)
+    }
+}
+
+impl From<HsmError> for StategenError {
+    fn from(e: HsmError) -> Self {
+        StategenError::Hsm(e)
+    }
+}
+
+impl From<InterpError> for StategenError {
+    fn from(e: InterpError) -> Self {
+        StategenError::Interp(e)
+    }
+}
 
 /// An error raised when driving a machine interpreter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -308,7 +425,10 @@ mod tests {
             SchemaError::DuplicateComponent("votes".into()).to_string(),
             "duplicate state component name `votes`"
         );
-        assert_eq!(SchemaError::Empty.to_string(), "state space has no components");
+        assert_eq!(
+            SchemaError::Empty.to_string(),
+            "state space has no components"
+        );
     }
 
     #[test]
@@ -325,9 +445,17 @@ mod tests {
             state: "s0".into(),
             message: "vote".into(),
         };
-        assert_eq!(e.to_string(), "duplicate transition from state `s0` on message `vote`");
-        assert!(CompileError::UnknownMessage("zap".into()).to_string().contains("zap"));
-        let e = CompileError::StateOutOfRange { index: 9, states: 3 };
+        assert_eq!(
+            e.to_string(),
+            "duplicate transition from state `s0` on message `vote`"
+        );
+        assert!(CompileError::UnknownMessage("zap".into())
+            .to_string()
+            .contains("zap"));
+        let e = CompileError::StateOutOfRange {
+            index: 9,
+            states: 3,
+        };
         assert!(e.to_string().contains("out of range"));
     }
 
@@ -341,7 +469,10 @@ mod tests {
 
     #[test]
     fn parse_name_error_display() {
-        let e = ParseNameError::WrongArity { found: 3, expected: 7 };
+        let e = ParseNameError::WrongArity {
+            found: 3,
+            expected: 7,
+        };
         assert_eq!(e.to_string(), "state name has 3 fields, expected 7");
     }
 }

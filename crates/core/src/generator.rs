@@ -239,9 +239,7 @@ pub fn generate_with(
                             context: "transition elaboration",
                         });
                     }
-                    if spec.target == *vector
-                        && spec.actions.is_empty()
-                        && !options.keep_self_loops
+                    if spec.target == *vector && spec.actions.is_empty() && !options.keep_self_loops
                     {
                         self_loops_dropped += 1;
                         None
@@ -279,8 +277,17 @@ pub fn generate_with(
     let mut states: Vec<State> = Vec::with_capacity(kept_codes.len());
     for &code in &kept_codes {
         let vector = &vectors[code as usize];
-        let role = if finals[code as usize] { StateRole::Finish } else { StateRole::Normal };
-        states.push(State::new(space.name_of(vector), Some(vector.clone()), role, Vec::new()));
+        let role = if finals[code as usize] {
+            StateRole::Finish
+        } else {
+            StateRole::Normal
+        };
+        states.push(State::new(
+            space.name_of(vector),
+            Some(vector.clone()),
+            role,
+            Vec::new(),
+        ));
     }
     for (i, &code) in kept_codes.iter().enumerate() {
         for (mid, slot) in raw[code as usize].iter().enumerate() {
@@ -292,7 +299,9 @@ pub fn generate_with(
             );
         }
     }
-    let start_id = *code_to_id.get(&start_code).ok_or(GenerateError::EmptyMachine)?;
+    let start_id = *code_to_id
+        .get(&start_code)
+        .ok_or(GenerateError::EmptyMachine)?;
     let machine =
         StateMachine::from_parts(model.machine_name(), messages.clone(), states, start_id);
     let reachable_states = machine.state_count();
@@ -345,7 +354,10 @@ fn reachable_from(raw: &[Vec<Option<RawTransition>>], start: u64) -> Vec<u64> {
             }
         }
     }
-    seen.iter().enumerate().filter_map(|(c, &s)| s.then_some(c as u64)).collect()
+    seen.iter()
+        .enumerate()
+        .filter_map(|(c, &s)| s.then_some(c as u64))
+        .collect()
 }
 
 /// Removes states unreachable from the start state (paper §3.4 step 3),
@@ -510,8 +522,12 @@ fn annotate_states(machine: StateMachine, model: &dyn AbstractModel) -> StateMac
             Some(v) => model.describe_state(v),
             None => state.annotations().to_vec(),
         };
-        let mut new_state =
-            State::new(state.name(), state.vector().cloned(), state.role(), annotations);
+        let mut new_state = State::new(
+            state.name(),
+            state.vector().cloned(),
+            state.role(),
+            annotations,
+        );
         for (mid, t) in state.transitions() {
             new_state.insert_transition(mid, t.clone());
         }
@@ -581,7 +597,10 @@ mod tests {
 
     #[test]
     fn pipeline_counts() {
-        let model = ThresholdCounter { max: 3, threshold: 2 };
+        let model = ThresholdCounter {
+            max: 3,
+            threshold: 2,
+        };
         let g = generate(&model).expect("generate");
         // 4 counter values x 2 flag values.
         assert_eq!(g.report.initial_states, 8);
@@ -598,17 +617,30 @@ mod tests {
 
     #[test]
     fn keep_self_loops_option() {
-        let model = ThresholdCounter { max: 3, threshold: 2 };
-        let options = GenerateOptions { keep_self_loops: true, ..Default::default() };
+        let model = ThresholdCounter {
+            max: 3,
+            threshold: 2,
+        };
+        let options = GenerateOptions {
+            keep_self_loops: true,
+            ..Default::default()
+        };
         let g = generate_with(&model, &options).expect("generate");
         assert_eq!(g.report.self_loops_dropped, 0);
         let noop = g.machine.message_id("noop").unwrap();
-        assert!(g.machine.state(g.machine.start()).transition(noop).is_some());
+        assert!(g
+            .machine
+            .state(g.machine.start())
+            .transition(noop)
+            .is_some());
     }
 
     #[test]
     fn no_prune_keeps_full_space() {
-        let model = ThresholdCounter { max: 3, threshold: 2 };
+        let model = ThresholdCounter {
+            max: 3,
+            threshold: 2,
+        };
         let options = GenerateOptions {
             prune: false,
             merge: MergeStrategy::None,
@@ -622,8 +654,14 @@ mod tests {
 
     #[test]
     fn equivalent_finals_merge_to_one() {
-        let model = ThresholdCounter { max: 3, threshold: 2 };
-        let options = GenerateOptions { prune: false, ..Default::default() };
+        let model = ThresholdCounter {
+            max: 3,
+            threshold: 2,
+        };
+        let options = GenerateOptions {
+            prune: false,
+            ..Default::default()
+        };
         let g = generate_with(&model, &options).expect("generate");
         // Merging combines the two final states even without pruning.
         assert_eq!(g.machine.final_state_ids().len(), 1);
@@ -632,18 +670,29 @@ mod tests {
 
     #[test]
     fn phase_transition_detected() {
-        let model = ThresholdCounter { max: 3, threshold: 2 };
+        let model = ThresholdCounter {
+            max: 3,
+            threshold: 2,
+        };
         let g = generate(&model).expect("generate");
         assert_eq!(g.machine.phase_transition_count(), 1);
         let tick = g.machine.message_id("tick").unwrap();
-        let s1 = g.machine.state(g.machine.start()).transition(tick).unwrap().target();
+        let s1 = g
+            .machine
+            .state(g.machine.start())
+            .transition(tick)
+            .unwrap()
+            .target();
         let t = g.machine.state(s1).transition(tick).unwrap();
         assert_eq!(t.actions(), &[Action::send("fire")]);
     }
 
     #[test]
     fn final_state_is_terminal() {
-        let model = ThresholdCounter { max: 3, threshold: 2 };
+        let model = ThresholdCounter {
+            max: 3,
+            threshold: 2,
+        };
         let g = generate(&model).expect("generate");
         let finish = g.machine.unique_final().expect("unique final state");
         let state = g.machine.state(finish);
@@ -748,7 +797,10 @@ mod tests {
                 Outcome::to(s.clone(), vec![])
             }
         }
-        assert!(matches!(generate(&BadStart), Err(GenerateError::InvalidStart(_))));
+        assert!(matches!(
+            generate(&BadStart),
+            Err(GenerateError::InvalidStart(_))
+        ));
     }
 
     #[test]
@@ -799,6 +851,9 @@ mod tests {
                 Outcome::to(s.clone(), vec![])
             }
         }
-        assert!(matches!(generate(&DupMsg), Err(GenerateError::DuplicateMessage(_))));
+        assert!(matches!(
+            generate(&DupMsg),
+            Err(GenerateError::DuplicateMessage(_))
+        ));
     }
 }

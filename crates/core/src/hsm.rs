@@ -17,7 +17,7 @@
 //! * [`HierarchicalMachine::flatten`] — the compiler: enumerates the
 //!   reachable *configurations* (active leaf × shallow-history memory)
 //!   breadth-first and lowers each to one flat
-//!   [`StateMachine`](crate::StateMachine) state, expanding inherited
+//!   [`StateMachine`] state, expanding inherited
 //!   transitions, synthesizing the exit/transition/entry action
 //!   sequences, and resolving history by splitting states per remembered
 //!   child. The result runs on every existing execution tier —
@@ -96,6 +96,7 @@
 //! assert_eq!(reference.state_name(), "Up.B~Up=B"); // history restored B
 //! ```
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 
@@ -239,7 +240,7 @@ impl HsmState {
 /// entry/exit actions, inherited/internal/cross-level transitions and
 /// shallow history. Built with [`HsmBuilder`]; executed directly by
 /// [`HsmInstance`] or lowered to a flat
-/// [`StateMachine`](crate::StateMachine) by
+/// [`StateMachine`] by
 /// [`HierarchicalMachine::flatten`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HierarchicalMachine {
@@ -304,12 +305,17 @@ impl HierarchicalMachine {
 
     /// Iterates over `(id, state)` pairs in declaration order.
     pub fn states_with_ids(&self) -> impl Iterator<Item = (HsmStateId, &HsmState)> {
-        self.states.iter().enumerate().map(|(i, s)| (HsmStateId(i as u32), s))
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (HsmStateId(i as u32), s))
     }
 
     /// Top-level states (those without a parent), in declaration order.
     pub fn top_level(&self) -> impl Iterator<Item = HsmStateId> + '_ {
-        self.states_with_ids().filter(|(_, s)| s.parent.is_none()).map(|(id, _)| id)
+        self.states_with_ids()
+            .filter(|(_, s)| s.parent.is_none())
+            .map(|(id, _)| id)
     }
 
     /// The declared start state (possibly a composite).
@@ -341,7 +347,10 @@ impl HierarchicalMachine {
             chain.push(init);
             cur = init;
         }
-        chain.iter().flat_map(|s| self.states[s.index()].entry.iter().cloned()).collect()
+        chain
+            .iter()
+            .flat_map(|s| self.states[s.index()].entry.iter().cloned())
+            .collect()
     }
 
     /// The canonical shallow-history memory of the initial
@@ -350,7 +359,11 @@ impl HierarchicalMachine {
     pub fn initial_memory(&self) -> Vec<HsmStateId> {
         self.history_states
             .iter()
-            .map(|&c| self.states[c.index()].initial.expect("history composites have children"))
+            .map(|&c| {
+                self.states[c.index()]
+                    .initial
+                    .expect("history composites have children")
+            })
             .collect()
     }
 
@@ -381,7 +394,9 @@ impl HierarchicalMachine {
     pub fn config_name(&self, leaf: HsmStateId, memory: &[HsmStateId]) -> String {
         let mut name = self.path_name(leaf);
         for (slot, &comp) in self.history_states.iter().enumerate() {
-            let initial = self.states[comp.index()].initial.expect("history composite");
+            let initial = self.states[comp.index()]
+                .initial
+                .expect("history composite");
             if memory[slot] != initial {
                 let _ = write!(
                     name,
@@ -526,9 +541,9 @@ impl HierarchicalMachine {
             HashMap::new();
         let mut queue = VecDeque::new();
         let add_config = |builder: &mut StateMachineBuilder,
-                              queue: &mut VecDeque<(HsmStateId, Vec<HsmStateId>)>,
-                              index: &mut HashMap<_, crate::machine::StateId>,
-                              config: (HsmStateId, Vec<HsmStateId>)| {
+                          queue: &mut VecDeque<(HsmStateId, Vec<HsmStateId>)>,
+                          index: &mut HashMap<_, crate::machine::StateId>,
+                          config: (HsmStateId, Vec<HsmStateId>)| {
             if let Some(&id) = index.get(&config) {
                 return id;
             }
@@ -571,7 +586,7 @@ impl HierarchicalMachine {
 /// states, [`HsmBuilder::add_child`] to nest); the first child added to
 /// a state becomes its initial child (overridable with
 /// [`HsmBuilder::set_initial`]). Like
-/// [`StateMachineBuilder`](crate::StateMachineBuilder), the `add_*`
+/// [`StateMachineBuilder`], the `add_*`
 /// methods panic on invariant violations and have `try_*` twins
 /// returning [`HsmError`] for generated or untrusted input;
 /// [`HsmBuilder::build`] validates the tree invariants the flattening
@@ -595,11 +610,21 @@ impl HsmBuilder {
         S: Into<String>,
     {
         let messages: Vec<String> = messages.into_iter().map(Into::into).collect();
-        assert!(!messages.is_empty(), "machine must declare at least one message");
+        assert!(
+            !messages.is_empty(),
+            "machine must declare at least one message"
+        );
         for (i, m) in messages.iter().enumerate() {
-            assert!(!messages[..i].contains(m), "duplicate message `{m}` in machine alphabet");
+            assert!(
+                !messages[..i].contains(m),
+                "duplicate message `{m}` in machine alphabet"
+            );
         }
-        HsmBuilder { name: name.into(), messages, states: Vec::new() }
+        HsmBuilder {
+            name: name.into(),
+            messages,
+            states: Vec::new(),
+        }
     }
 
     fn push_state(&mut self, name: String, parent: Option<HsmStateId>) -> HsmStateId {
@@ -722,7 +747,9 @@ impl HsmBuilder {
                 message: message.to_string(),
             });
         }
-        state.transitions.insert(mid, HsmTransition { target, actions });
+        state
+            .transitions
+            .insert(mid, HsmTransition { target, actions });
         Ok(())
     }
 
@@ -740,7 +767,8 @@ impl HsmBuilder {
         to: HsmStateId,
         actions: Vec<Action>,
     ) {
-        self.try_add_transition(from, message, to, actions).unwrap_or_else(|e| panic!("{e}"));
+        self.try_add_transition(from, message, to, actions)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Fallible form of [`HsmBuilder::add_transition`].
@@ -856,7 +884,10 @@ impl HsmBuilder {
             if s.name.is_empty() || s.name.contains(['.', '~', '=']) {
                 return Err(HsmError::InvalidStateName(s.name.clone()));
             }
-            if sibling_names.insert((s.parent, s.name.as_str()), ()).is_some() {
+            if sibling_names
+                .insert((s.parent, s.name.as_str()), ())
+                .is_some()
+            {
                 return Err(HsmError::DuplicateSiblingName(s.name.clone()));
             }
         }
@@ -996,7 +1027,8 @@ impl<'h> HsmInstance<'h> {
     pub fn deliver_id(&mut self, message: MessageId) -> &[Action] {
         self.scratch.clear();
         if let Some(new_leaf) =
-            self.machine.step_config(self.leaf, &mut self.memory, message.0, &mut self.scratch)
+            self.machine
+                .step_config(self.leaf, &mut self.memory, message.0, &mut self.scratch)
         {
             self.leaf = new_leaf;
             self.steps += 1;
@@ -1018,8 +1050,8 @@ impl ProtocolEngine for HsmInstance<'_> {
         self.machine.state(self.leaf).role() == StateRole::Finish
     }
 
-    fn state_name(&self) -> String {
-        self.machine.config_name(self.leaf, &self.memory)
+    fn state_name(&self) -> Cow<'_, str> {
+        Cow::Owned(self.machine.config_name(self.leaf, &self.memory))
     }
 
     fn reset(&mut self) {
@@ -1066,18 +1098,34 @@ mod tests {
         // open: enter Up then A, transition action first after exits.
         assert_eq!(
             i.deliver_ref("open").unwrap(),
-            [Action::send("syn"), Action::send("up_in"), Action::send("a_in")]
+            [
+                Action::send("syn"),
+                Action::send("up_in"),
+                Action::send("a_in")
+            ]
         );
         assert_eq!(i.state_name(), "Up.A");
-        let up = m.states_with_ids().find(|(_, s)| s.name() == "Up").unwrap().0;
+        let up = m
+            .states_with_ids()
+            .find(|(_, s)| s.name() == "Up")
+            .unwrap()
+            .0;
         assert!(i.is_in(up));
         assert!(i.is_in(i.leaf()));
-        let down = m.states_with_ids().find(|(_, s)| s.name() == "Down").unwrap().0;
+        let down = m
+            .states_with_ids()
+            .find(|(_, s)| s.name() == "Down")
+            .unwrap()
+            .0;
         assert!(!i.is_in(down));
         // drop is declared on Up, inherited by A: exits A then Up.
         assert_eq!(
             i.deliver_ref("drop").unwrap(),
-            [Action::send("a_out"), Action::send("up_out"), Action::send("fin")]
+            [
+                Action::send("a_out"),
+                Action::send("up_out"),
+                Action::send("fin")
+            ]
         );
         assert_eq!(i.state_name(), "Idle");
         assert_eq!(i.steps(), 2);
@@ -1178,11 +1226,16 @@ mod tests {
         let mut reference = m.instance();
         let mut interp = FsmInstance::new(&flat);
         let mut fast = compiled.instance();
-        let trace =
-            ["resume", "work", "drop", "open", "work", "drop", "resume", "work", "kill", "open"];
+        let trace = [
+            "resume", "work", "drop", "open", "work", "drop", "resume", "work", "kill", "open",
+        ];
         for msg in trace {
             let want = reference.deliver_ref(msg).unwrap().to_vec();
-            assert_eq!(interp.deliver_ref(msg).unwrap(), want.as_slice(), "at {msg}");
+            assert_eq!(
+                interp.deliver_ref(msg).unwrap(),
+                want.as_slice(),
+                "at {msg}"
+            );
             assert_eq!(fast.deliver_ref(msg).unwrap(), want.as_slice(), "at {msg}");
             assert_eq!(reference.state_name(), interp.state_name(), "at {msg}");
             assert_eq!(interp.state_name(), fast.state_name(), "at {msg}");
@@ -1214,7 +1267,10 @@ mod tests {
         b.on_entry(top, vec![Action::send("t")]);
         b.on_entry(inner, vec![Action::send("i")]);
         let m = b.build(top);
-        assert_eq!(m.start_entry_actions(), [Action::send("t"), Action::send("i")]);
+        assert_eq!(
+            m.start_entry_actions(),
+            [Action::send("t"), Action::send("i")]
+        );
         assert_eq!(m.start_leaf(), inner);
     }
 
@@ -1228,19 +1284,28 @@ mod tests {
         );
         assert_eq!(
             b.try_add_transition(s, "x", HsmStateId(9), vec![]),
-            Err(HsmError::StateOutOfRange { index: 9, states: 1 })
+            Err(HsmError::StateOutOfRange {
+                index: 9,
+                states: 1
+            })
         );
         b.add_transition(s, "x", s, vec![]);
         assert_eq!(
             b.try_add_transition(s, "x", s, vec![]),
-            Err(HsmError::DuplicateTransition { state: "S".into(), message: "x".into() })
+            Err(HsmError::DuplicateTransition {
+                state: "S".into(),
+                message: "x".into()
+            })
         );
         // History transition to a plain leaf is rejected at build time.
         let mut b = HsmBuilder::new("m", ["x"]);
         let s = b.add_state("S");
         let t = b.add_state("T");
         b.add_history_transition(s, "x", t, vec![]);
-        assert_eq!(b.try_build(s), Err(HsmError::InvalidHistoryTarget("T".into())));
+        assert_eq!(
+            b.try_build(s),
+            Err(HsmError::InvalidHistoryTarget("T".into()))
+        );
         // History on a leaf.
         let mut b = HsmBuilder::new("m", ["x"]);
         let s = b.add_state("S");
@@ -1260,18 +1325,27 @@ mod tests {
         b.set_initial(s, other);
         assert_eq!(
             b.try_build(s),
-            Err(HsmError::InitialNotChild { composite: "S".into(), initial: "Other".into() })
+            Err(HsmError::InitialNotChild {
+                composite: "S".into(),
+                initial: "Other".into()
+            })
         );
         // Reserved separator in a name.
         let mut b = HsmBuilder::new("m", ["x"]);
         let s = b.add_state("A.B");
-        assert_eq!(b.try_build(s), Err(HsmError::InvalidStateName("A.B".into())));
+        assert_eq!(
+            b.try_build(s),
+            Err(HsmError::InvalidStateName("A.B".into()))
+        );
         // Duplicate sibling name.
         let mut b = HsmBuilder::new("m", ["x"]);
         let s = b.add_state("S");
         b.add_child(s, "C");
         b.add_child(s, "C");
-        assert_eq!(b.try_build(s), Err(HsmError::DuplicateSiblingName("C".into())));
+        assert_eq!(
+            b.try_build(s),
+            Err(HsmError::DuplicateSiblingName("C".into()))
+        );
     }
 
     #[test]
@@ -1282,7 +1356,11 @@ mod tests {
         assert_eq!(m.composite_count(), 1);
         assert_eq!(m.history_count(), 1);
         assert_eq!(m.transition_count(), 5);
-        let up = m.states_with_ids().find(|(_, s)| s.name() == "Up").unwrap().0;
+        let up = m
+            .states_with_ids()
+            .find(|(_, s)| s.name() == "Up")
+            .unwrap()
+            .0;
         let state = m.state(up);
         assert!(!state.is_leaf());
         assert!(state.has_history());

@@ -6,6 +6,8 @@
 //! covers that policy without a runtime compiler: it walks a generated
 //! [`StateMachine`] directly, one instance per ongoing protocol execution.
 
+use std::borrow::Cow;
+
 use crate::error::InterpError;
 use crate::machine::{Action, MessageId, State, StateId, StateMachine, StateRole};
 
@@ -45,7 +47,12 @@ pub trait ProtocolEngine {
     fn is_finished(&self) -> bool;
 
     /// Display name of the current state.
-    fn state_name(&self) -> String;
+    ///
+    /// Borrowed from the machine representation wherever possible, so
+    /// introspection on hot paths is allocation-free; engines whose
+    /// state names are synthesized on the fly (e.g. hierarchical
+    /// configurations) return an owned [`Cow::Owned`] instead.
+    fn state_name(&self) -> Cow<'_, str>;
 
     /// Resets the engine to its start state.
     fn reset(&mut self);
@@ -80,7 +87,11 @@ pub struct FsmInstance<'m> {
 impl<'m> FsmInstance<'m> {
     /// Creates an instance positioned at the machine's start state.
     pub fn new(machine: &'m StateMachine) -> Self {
-        FsmInstance { machine, current: machine.start(), steps: 0 }
+        FsmInstance {
+            machine,
+            current: machine.start(),
+            steps: 0,
+        }
     }
 
     /// The machine this instance executes.
@@ -142,8 +153,8 @@ impl ProtocolEngine for FsmInstance<'_> {
         self.machine.state(self.current).role() == StateRole::Finish
     }
 
-    fn state_name(&self) -> String {
-        self.current().name().to_string()
+    fn state_name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(self.current().name())
     }
 
     fn reset(&mut self) {

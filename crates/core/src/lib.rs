@@ -129,10 +129,12 @@ pub use compiled::{CompiledInstance, CompiledMachine};
 pub use component::{ComponentKind, StateComponent, StateSpace, StateVector};
 pub use efsm::{Efsm, EfsmBuilder, EfsmInstance};
 pub use efsm_compiled::{CompiledEfsm, CompiledEfsmInstance, EfsmBinding};
-pub use error::{CompileError, GenerateError, HsmError, InterpError, ParseNameError, SchemaError};
+pub use error::{
+    CompileError, GenerateError, HsmError, InterpError, ParseNameError, SchemaError, StategenError,
+};
 pub use generator::{
-    generate, generate_with, merge_equivalent_states, prune_unreachable, GeneratedMachine,
-    GenerateOptions, GenerationReport, MergeStrategy, StageTimings,
+    generate, generate_with, merge_equivalent_states, prune_unreachable, GenerateOptions,
+    GeneratedMachine, GenerationReport, MergeStrategy, StageTimings,
 };
 pub use hsm::{
     HierarchicalMachine, HsmBuilder, HsmInstance, HsmState, HsmStateId, HsmTarget, HsmTransition,
@@ -143,4 +145,6 @@ pub use machine::{
 };
 pub use model::{AbstractModel, Outcome, TransitionSpec};
 pub use session::{BatchEngine, EfsmSessionPool, ParkedWorkers, SessionPool, ShardedPool};
-pub use validate::{missing_transitions, validate_machine, Severity, ValidationIssue, ValidationReport};
+pub use validate::{
+    missing_transitions, validate_machine, Severity, ValidationIssue, ValidationReport,
+};

@@ -73,7 +73,11 @@ pub struct Transition {
 impl Transition {
     /// Creates a transition to `target` performing `actions`.
     pub fn new(target: StateId, actions: Vec<Action>, annotations: Vec<String>) -> Self {
-        Transition { target, actions, annotations }
+        Transition {
+            target,
+            actions,
+            annotations,
+        }
     }
 
     /// The state reached after this transition.
@@ -129,7 +133,13 @@ impl State {
         role: StateRole,
         annotations: Vec<String>,
     ) -> Self {
-        State { name: name.into(), vector, role, transitions: BTreeMap::new(), annotations }
+        State {
+            name: name.into(),
+            vector,
+            role,
+            transitions: BTreeMap::new(),
+            annotations,
+        }
     }
 
     /// The state's display name (e.g. `T/2/F/0/F/F/F`).
@@ -201,8 +211,18 @@ impl StateMachine {
             .enumerate()
             .map(|(i, m)| (m.clone(), i as u16))
             .collect::<HashMap<_, _>>();
-        debug_assert_eq!(message_lookup.len(), messages.len(), "duplicate message names");
-        StateMachine { name, messages, message_lookup, states, start }
+        debug_assert_eq!(
+            message_lookup.len(),
+            messages.len(),
+            "duplicate message names"
+        );
+        StateMachine {
+            name,
+            messages,
+            message_lookup,
+            states,
+            start,
+        }
     }
 
     /// The machine's name (usually `<model>@r=<parameter>`).
@@ -257,7 +277,10 @@ impl StateMachine {
 
     /// Iterates over `(id, state)` pairs.
     pub fn states_with_ids(&self) -> impl Iterator<Item = (StateId, &State)> {
-        self.states.iter().enumerate().map(|(i, s)| (StateId(i as u32), s))
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StateId(i as u32), s))
     }
 
     /// Finds a state by display name.
@@ -343,14 +366,21 @@ impl StateMachineBuilder {
         S: Into<String>,
     {
         let messages: Vec<String> = messages.into_iter().map(Into::into).collect();
-        assert!(!messages.is_empty(), "machine must declare at least one message");
+        assert!(
+            !messages.is_empty(),
+            "machine must declare at least one message"
+        );
         for (i, m) in messages.iter().enumerate() {
             assert!(
                 !messages[..i].contains(m),
                 "duplicate message `{m}` in machine alphabet"
             );
         }
-        StateMachineBuilder { name: name.into(), messages, states: Vec::new() }
+        StateMachineBuilder {
+            name: name.into(),
+            messages,
+            states: Vec::new(),
+        }
     }
 
     /// Adds a normal state and returns its id.
@@ -367,7 +397,8 @@ impl StateMachineBuilder {
         annotations: Vec<String>,
     ) -> StateId {
         let id = StateId(self.states.len() as u32);
-        self.states.push(State::new(name, vector, role, annotations));
+        self.states
+            .push(State::new(name, vector, role, annotations));
         id
     }
 
@@ -461,7 +492,9 @@ impl StateMachineBuilder {
                 message: message.to_string(),
             });
         }
-        state.transitions.insert(mid as u16, Transition::new(to, actions, annotations));
+        state
+            .transitions
+            .insert(mid as u16, Transition::new(to, actions, annotations));
         Ok(())
     }
 
@@ -471,7 +504,10 @@ impl StateMachineBuilder {
     ///
     /// Panics if `start` is out of range.
     pub fn build(self, start: StateId) -> StateMachine {
-        assert!(start.index() < self.states.len(), "start state out of range");
+        assert!(
+            start.index() < self.states.len(),
+            "start state out of range"
+        );
         StateMachine::from_parts(self.name, self.messages, self.states, start)
     }
 }
@@ -563,7 +599,10 @@ mod tests {
         assert!(b.try_add_transition(s0, "a", s0, vec![]).is_ok());
         assert_eq!(
             b.try_add_transition(s0, "a", s0, vec![]),
-            Err(CompileError::DuplicateTransition { state: "s0".into(), message: "a".into() })
+            Err(CompileError::DuplicateTransition {
+                state: "s0".into(),
+                message: "a".into()
+            })
         );
         assert_eq!(
             b.try_add_transition(s0, "zap", s0, vec![]),
@@ -571,7 +610,10 @@ mod tests {
         );
         assert_eq!(
             b.try_add_transition(s0, "a", StateId(7), vec![]),
-            Err(CompileError::StateOutOfRange { index: 7, states: 1 })
+            Err(CompileError::StateOutOfRange {
+                index: 7,
+                states: 1
+            })
         );
         // The machine still builds with the one accepted transition.
         let m = b.build(s0);
@@ -585,8 +627,11 @@ mod tests {
         b.add_transition(s0, "c", s0, vec![]);
         b.add_transition(s0, "a", s0, vec![]);
         let m = b.build(s0);
-        let order: Vec<usize> =
-            m.state(s0).transitions().map(|(mid, _)| mid.index()).collect();
+        let order: Vec<usize> = m
+            .state(s0)
+            .transitions()
+            .map(|(mid, _)| mid.index())
+            .collect();
         assert_eq!(order, vec![0, 2]);
     }
 }

@@ -24,7 +24,11 @@ pub enum Outcome {
 impl Outcome {
     /// Convenience constructor for a transition without annotations.
     pub fn to(target: StateVector, actions: Vec<Action>) -> Self {
-        Outcome::Transition(TransitionSpec { target, actions, annotations: Vec::new() })
+        Outcome::Transition(TransitionSpec {
+            target,
+            actions,
+            annotations: Vec::new(),
+        })
     }
 }
 

@@ -64,7 +64,10 @@ struct FinishedSet {
 impl FinishedSet {
     /// An empty set with words preallocated for `sessions` sessions.
     fn with_capacity(sessions: usize) -> Self {
-        FinishedSet { words: vec![0; sessions.div_ceil(64)], count: 0 }
+        FinishedSet {
+            words: vec![0; sessions.div_ceil(64)],
+            count: 0,
+        }
     }
 
     /// Ensures capacity for `sessions` sessions (amortised O(1)).
@@ -485,8 +488,13 @@ impl<'e> EfsmSessionPool<'e> {
     pub fn deliver(&mut self, session: usize, message: MessageId) -> &'e [Action] {
         let machine = self.machine;
         let vars = &mut self.vars[session * self.n_regs..][..self.n_regs];
-        match machine.step(self.current[session], message, &self.binding, vars, &mut self.scratch)
-        {
+        match machine.step(
+            self.current[session],
+            message,
+            &self.binding,
+            vars,
+            &mut self.scratch,
+        ) {
             Some((target, actions)) => {
                 self.current[session] = target;
                 self.steps += 1;
@@ -517,9 +525,13 @@ impl<'e> EfsmSessionPool<'e> {
         let mut transitions = 0;
         for session in 0..self.current.len() {
             let vars = &mut self.vars[session * self.n_regs..][..self.n_regs];
-            if let Some((target, actions)) =
-                machine.step(self.current[session], message, &self.binding, vars, &mut self.scratch)
-            {
+            if let Some((target, actions)) = machine.step(
+                self.current[session],
+                message,
+                &self.binding,
+                vars,
+                &mut self.scratch,
+            ) {
                 self.current[session] = target;
                 transitions += 1;
                 if machine.is_finish_state(target) {
@@ -712,13 +724,23 @@ impl<P: BatchEngine> ShardedPool<P> {
         assert!(shards > 0, "sharded pool needs at least one shard");
         let base = sessions / shards;
         let extra = sessions % shards;
-        let shards = (0..shards).map(|i| make(base + usize::from(i < extra))).collect();
+        let shards = (0..shards)
+            .map(|i| make(base + usize::from(i < extra)))
+            .collect();
         ShardedPool::new(shards)
     }
 
     /// The shards, in session order.
     pub fn shards(&self) -> &[P] {
         &self.shards
+    }
+
+    /// Mutable access to the shards, in session order — for single-shard
+    /// operations between batch deliveries (e.g. the `stategen-runtime`
+    /// facade's per-session `deliver`, which routes a session-addressed
+    /// message to the shard that owns the slot).
+    pub fn shards_mut(&mut self) -> &mut [P] {
+        &mut self.shards
     }
 
     /// Number of shards (worker threads used per batch delivery).
@@ -816,7 +838,10 @@ impl<P: BatchEngine + Send> ShardedPool<P> {
                 .iter_mut()
                 .map(|shard| scope.spawn(move || shard.deliver_all(message)))
                 .collect();
-            workers.into_iter().map(|w| w.join().expect("shard worker panicked")).sum()
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("shard worker panicked"))
+                .sum()
         })
     }
 
@@ -865,15 +890,21 @@ impl<P: BatchEngine + Send> ShardedPool<P> {
     /// ```
     pub fn with_workers<R>(&mut self, f: impl FnOnce(&mut ParkedWorkers<'_, P>) -> R) -> R {
         if let [only] = self.shards.as_mut_slice() {
-            return f(&mut ParkedWorkers { inner: WorkersImpl::Inline(only) });
+            return f(&mut ParkedWorkers {
+                inner: WorkersImpl::Inline(only),
+            });
         }
         let cells: Vec<WorkerCell> = self.shards.iter().map(|_| WorkerCell::new()).collect();
         std::thread::scope(|scope| {
             for (shard, cell) in self.shards.iter_mut().zip(&cells) {
                 scope.spawn(move || worker_loop(shard, cell));
             }
-            let mut workers =
-                ParkedWorkers { inner: WorkersImpl::Parked { cells: &cells, seq: 0 } };
+            let mut workers = ParkedWorkers {
+                inner: WorkersImpl::Parked {
+                    cells: &cells,
+                    seq: 0,
+                },
+            };
             // Shutdown is published by `ParkedWorkers`'s `Drop`, so it
             // reaches the workers even when `f` unwinds — otherwise the
             // scope would join workers parked forever on the condvar.
@@ -961,7 +992,10 @@ impl Drop for WorkerDeathNotice<'_> {
 /// until a new command sequence appears, execute it against the owned
 /// shard, publish the results, repeat until shutdown.
 fn worker_loop<P: BatchEngine>(shard: &mut P, cell: &WorkerCell) {
-    let mut notice = WorkerDeathNotice { cell, clean_exit: false };
+    let mut notice = WorkerDeathNotice {
+        cell,
+        clean_exit: false,
+    };
     let mut seen = 0u64;
     loop {
         let command = {
@@ -1256,7 +1290,11 @@ mod tests {
         b.add_transition(
             counting,
             "tick",
-            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Lt, LinExpr::param(limit)),
+            Guard::when(
+                LinExpr::var(n).plus_const(1),
+                CmpOp::Lt,
+                LinExpr::param(limit),
+            ),
             vec![Update::Inc(n)],
             vec![],
             counting,
@@ -1264,7 +1302,11 @@ mod tests {
         b.add_transition(
             counting,
             "tick",
-            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Ge, LinExpr::param(limit)),
+            Guard::when(
+                LinExpr::var(n).plus_const(1),
+                CmpOp::Ge,
+                LinExpr::param(limit),
+            ),
             vec![Update::Inc(n)],
             vec![Action::send("done")],
             done,

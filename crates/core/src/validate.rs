@@ -57,15 +57,23 @@ impl ValidationReport {
 
     /// Warning-severity issues.
     pub fn warnings(&self) -> impl Iterator<Item = &ValidationIssue> {
-        self.issues.iter().filter(|i| i.severity == Severity::Warning)
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Warning)
     }
 
     fn error(&mut self, message: String) {
-        self.issues.push(ValidationIssue { severity: Severity::Error, message });
+        self.issues.push(ValidationIssue {
+            severity: Severity::Error,
+            message,
+        });
     }
 
     fn warning(&mut self, message: String) {
-        self.issues.push(ValidationIssue { severity: Severity::Warning, message });
+        self.issues.push(ValidationIssue {
+            severity: Severity::Warning,
+            message,
+        });
     }
 }
 
@@ -108,7 +116,10 @@ pub fn validate_machine(machine: &StateMachine) -> ValidationReport {
     }
     for (id, state) in machine.states_with_ids() {
         if !seen[id.index()] {
-            report.warning(format!("state `{}` is unreachable from the start state", state.name()));
+            report.warning(format!(
+                "state `{}` is unreachable from the start state",
+                state.name()
+            ));
         }
     }
 
@@ -206,7 +217,9 @@ mod tests {
         b.add_transition(s1, "a", s0, vec![]);
         let m = b.build(s0);
         let report = validate_machine(&m);
-        assert!(report.warnings().any(|w| w.message.contains("duplicate state name")));
+        assert!(report
+            .warnings()
+            .any(|w| w.message.contains("duplicate state name")));
     }
 
     #[test]

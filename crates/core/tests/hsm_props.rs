@@ -21,8 +21,8 @@
 use proptest::prelude::*;
 
 use stategen_core::{
-    prune_unreachable, validate_machine, Action, CompiledMachine, FsmInstance,
-    HierarchicalMachine, HsmBuilder, HsmStateId, ProtocolEngine, SessionPool,
+    prune_unreachable, validate_machine, Action, CompiledMachine, FsmInstance, HierarchicalMachine,
+    HsmBuilder, HsmStateId, ProtocolEngine, SessionPool,
 };
 
 /// The fixed alphabet random machines draw from.
@@ -42,10 +42,17 @@ struct HsmRecipe {
 fn recipe() -> impl Strategy<Value = HsmRecipe> {
     (
         prop::collection::vec(any::<u64>(), 1..=10),
-        prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()), 0..=14),
+        prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            0..=14,
+        ),
         any::<u64>(),
     )
-        .prop_map(|(states, transitions, start)| HsmRecipe { states, transitions, start })
+        .prop_map(|(states, transitions, start)| HsmRecipe {
+            states,
+            transitions,
+            start,
+        })
 }
 
 /// Materialises a recipe into a machine.
@@ -67,7 +74,10 @@ fn build_random_hsm(recipe: &HsmRecipe) -> HierarchicalMachine {
             (b.add_state(format!("s{i}")), 0)
         } else {
             children[parent_pick] += 1;
-            (b.add_child(ids[parent_pick], format!("s{i}")), depth[parent_pick] + 1)
+            (
+                b.add_child(ids[parent_pick], format!("s{i}")),
+                depth[parent_pick] + 1,
+            )
         };
         ids.push(id);
         depth.push(d);
@@ -94,8 +104,9 @@ fn build_random_hsm(recipe: &HsmRecipe) -> HierarchicalMachine {
     for &(s_seed, m_seed, kind_seed, t_seed) in &recipe.transitions {
         let from = ids[(s_seed % n as u64) as usize];
         let message = ALPHABET[(m_seed % ALPHABET.len() as u64) as usize];
-        let actions: Vec<Action> =
-            (0..kind_seed >> 4 & 3).map(|k| Action::send(format!("a{k}"))).collect();
+        let actions: Vec<Action> = (0..kind_seed >> 4 & 3)
+            .map(|k| Action::send(format!("a{k}")))
+            .collect();
         // Duplicate (state, message) picks are simply skipped, mirroring
         // how a generator would probe the builder.
         let _ = match kind_seed % 4 {
@@ -111,7 +122,8 @@ fn build_random_hsm(recipe: &HsmRecipe) -> HierarchicalMachine {
         };
     }
     let start = ids[(recipe.start % n as u64) as usize];
-    b.try_build(start).expect("recipe-derived machines are valid by construction")
+    b.try_build(start)
+        .expect("recipe-derived machines are valid by construction")
 }
 
 proptest! {
@@ -231,7 +243,11 @@ fn history_into_composite_with_pruned_initial_child() {
     let mut interp = FsmInstance::new(&flat);
     for msg in ["in", "out", "back", "out", "back"] {
         let want = reference.deliver_ref(msg).unwrap().to_vec();
-        assert_eq!(interp.deliver_ref(msg).unwrap(), want.as_slice(), "at {msg}");
+        assert_eq!(
+            interp.deliver_ref(msg).unwrap(),
+            want.as_slice(),
+            "at {msg}"
+        );
         assert_eq!(reference.state_name(), interp.state_name(), "at {msg}");
     }
     // History restored B (the only memory ever recorded), firing C and
@@ -261,7 +277,14 @@ fn transition_inherited_across_three_levels() {
     assert_eq!(reference.state_name(), "R.M.I.L");
     assert_eq!(
         reference.deliver_ref("top").unwrap(),
-        [send("x_l"), send("x_i"), send("x_m"), send("x_r"), send("t"), send("e_out")]
+        [
+            send("x_l"),
+            send("x_i"),
+            send("x_m"),
+            send("x_r"),
+            send("t"),
+            send("e_out")
+        ]
     );
     assert_eq!(reference.state_name(), "Out");
 
@@ -269,7 +292,14 @@ fn transition_inherited_across_three_levels() {
     let mut interp = FsmInstance::new(&flat);
     assert_eq!(
         interp.deliver_ref("top").unwrap(),
-        [send("x_l"), send("x_i"), send("x_m"), send("x_r"), send("t"), send("e_out")]
+        [
+            send("x_l"),
+            send("x_i"),
+            send("x_m"),
+            send("x_r"),
+            send("t"),
+            send("e_out")
+        ]
     );
     // The deep start configuration lowers to a single flat state named
     // by its full path; `noop` is applicable nowhere.
@@ -289,7 +319,14 @@ fn entry_exit_ordering_on_cross_level_transitions() {
     let bb = b.add_state("B");
     let b1 = b.add_child(bb, "B1");
     let b1b = b.add_child(b1, "B1b");
-    for (state, tag) in [(a, "a"), (a1, "a1"), (a1a, "a1a"), (bb, "b"), (b1, "b1"), (b1b, "b1b")] {
+    for (state, tag) in [
+        (a, "a"),
+        (a1, "a1"),
+        (a1a, "a1a"),
+        (bb, "b"),
+        (b1, "b1"),
+        (b1b, "b1b"),
+    ] {
         b.on_entry(state, vec![send(&format!("e_{tag}"))]);
         b.on_exit(state, vec![send(&format!("x_{tag}"))]);
     }
@@ -301,9 +338,13 @@ fn entry_exit_ordering_on_cross_level_transitions() {
     assert_eq!(
         reference.deliver_ref("jump").unwrap(),
         [
-            send("x_a1a"), send("x_a1"), send("x_a"),
+            send("x_a1a"),
+            send("x_a1"),
+            send("x_a"),
             send("t"),
-            send("e_b"), send("e_b1"), send("e_b1b"),
+            send("e_b"),
+            send("e_b1"),
+            send("e_b1b"),
         ]
     );
     assert_eq!(reference.state_name(), "B.B1.B1b");
@@ -312,9 +353,13 @@ fn entry_exit_ordering_on_cross_level_transitions() {
     assert_eq!(
         reference.deliver_ref("up").unwrap(),
         [
-            send("x_b1b"), send("x_b1"), send("x_b"),
+            send("x_b1b"),
+            send("x_b1"),
+            send("x_b"),
             send("u"),
-            send("e_b"), send("e_b1"), send("e_b1b"),
+            send("e_b"),
+            send("e_b1"),
+            send("e_b1b"),
         ]
     );
 

@@ -17,8 +17,8 @@ use stategen_core::{
 fn component_list() -> impl Strategy<Value = Vec<StateComponent>> {
     prop::collection::vec(
         prop_oneof![
-            Just(None::<u32>),               // boolean
-            (1u32..6).prop_map(Some),        // int with max 1..5
+            Just(None::<u32>),        // boolean
+            (1u32..6).prop_map(Some), // int with max 1..5
         ],
         1..=6,
     )
@@ -120,8 +120,11 @@ impl AbstractModel for TwoCounter {
 }
 
 fn two_counter() -> impl Strategy<Value = TwoCounter> {
-    (1u32..6, 1u32..6, 1u32..8)
-        .prop_map(|(max0, max1, threshold)| TwoCounter { max0, max1, threshold })
+    (1u32..6, 1u32..6, 1u32..8).prop_map(|(max0, max1, threshold)| TwoCounter {
+        max0,
+        max1,
+        threshold,
+    })
 }
 
 proptest! {

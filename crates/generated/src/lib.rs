@@ -97,8 +97,8 @@ macro_rules! engine_wrapper {
                 $module::is_final(self.state)
             }
 
-            fn state_name(&self) -> String {
-                self.state_name_str().to_string()
+            fn state_name(&self) -> ::std::borrow::Cow<'_, str> {
+                ::std::borrow::Cow::Borrowed(self.state_name_str())
             }
 
             fn reset(&mut self) {
@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn unknown_message_is_error() {
         let mut e = GeneratedCommitR4::new();
-        assert!(matches!(e.deliver("zap"), Err(InterpError::UnknownMessage(_))));
+        assert!(matches!(
+            e.deliver("zap"),
+            Err(InterpError::UnknownMessage(_))
+        ));
     }
 
     #[test]

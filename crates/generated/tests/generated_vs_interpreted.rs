@@ -19,8 +19,16 @@ fn check(r: u32, mut generated: impl ProtocolEngine, messages: &[usize]) {
         let c = reference.deliver(name).unwrap();
         assert_eq!(a, b, "r={r} step {step} ({name}): generated vs interpreted");
         assert_eq!(a, c, "r={r} step {step} ({name}): generated vs reference");
-        assert_eq!(generated.is_finished(), interpreted.is_finished(), "r={r} step {step}");
-        assert_eq!(generated.state_name(), interpreted.state_name(), "r={r} step {step}");
+        assert_eq!(
+            generated.is_finished(),
+            interpreted.is_finished(),
+            "r={r} step {step}"
+        );
+        assert_eq!(
+            generated.state_name(),
+            interpreted.state_name(),
+            "r={r} step {step}"
+        );
     }
 }
 

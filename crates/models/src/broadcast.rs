@@ -134,7 +134,11 @@ impl AbstractModel for BroadcastModel {
             }
             _ => return Outcome::Ignored,
         }
-        Outcome::Transition(TransitionSpec { target: v, actions, annotations: Vec::new() })
+        Outcome::Transition(TransitionSpec {
+            target: v,
+            actions,
+            annotations: Vec::new(),
+        })
     }
 
     fn is_final_state(&self, state: &StateVector) -> bool {
@@ -204,7 +208,11 @@ mod tests {
         let mut node = FsmInstance::new(&g.machine);
         assert!(node.deliver("ready").unwrap().is_empty());
         let actions = node.deliver("ready").unwrap();
-        assert_eq!(actions, vec![Action::send("ready")], "f+1 = 2 readies amplify");
+        assert_eq!(
+            actions,
+            vec![Action::send("ready")],
+            "f+1 = 2 readies amplify"
+        );
     }
 
     #[test]

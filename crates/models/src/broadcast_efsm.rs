@@ -41,8 +41,11 @@ pub fn broadcast_efsm() -> Efsm {
     // Only echoes need an explicit receipt bound: readies always cross
     // the delivery threshold (2f+1 <= n-1) before exhausting the n-1
     // possible senders, so their below-threshold guards already bound d.
-    let e_in_bounds =
-        Guard::when(LinExpr::var(e).plus_const(1), CmpOp::Le, LinExpr::param(n).plus_const(-1));
+    let e_in_bounds = Guard::when(
+        LinExpr::var(e).plus_const(1),
+        CmpOp::Le,
+        LinExpr::param(n).plus_const(-1),
+    );
 
     // idle (F,F,F): counters below every threshold by construction.
     b.add_transition(
@@ -64,8 +67,11 @@ pub fn broadcast_efsm() -> Efsm {
     b.add_transition(
         idle,
         "echo",
-        Guard::when(LinExpr::var(e).plus_const(1), CmpOp::Lt, LinExpr::param(te))
-            .and(LinExpr::var(e).plus_const(1), CmpOp::Le, LinExpr::param(n).plus_const(-1)),
+        Guard::when(LinExpr::var(e).plus_const(1), CmpOp::Lt, LinExpr::param(te)).and(
+            LinExpr::var(e).plus_const(1),
+            CmpOp::Le,
+            LinExpr::param(n).plus_const(-1),
+        ),
         inc_e.clone(),
         vec![],
         idle,
@@ -73,8 +79,11 @@ pub fn broadcast_efsm() -> Efsm {
     b.add_transition(
         idle,
         "echo",
-        Guard::when(LinExpr::var(e).plus_const(1), CmpOp::Ge, LinExpr::param(te))
-            .and(LinExpr::var(e).plus_const(1), CmpOp::Le, LinExpr::param(n).plus_const(-1)),
+        Guard::when(LinExpr::var(e).plus_const(1), CmpOp::Ge, LinExpr::param(te)).and(
+            LinExpr::var(e).plus_const(1),
+            CmpOp::Le,
+            LinExpr::param(n).plus_const(-1),
+        ),
         inc_e.clone(),
         vec![Action::send("ready")],
         ready_blind,
@@ -100,8 +109,11 @@ pub fn broadcast_efsm() -> Efsm {
     b.add_transition(
         echoed,
         "echo",
-        Guard::when(LinExpr::var(e).plus_const(2), CmpOp::Lt, LinExpr::param(te))
-            .and(LinExpr::var(e).plus_const(1), CmpOp::Le, LinExpr::param(n).plus_const(-1)),
+        Guard::when(LinExpr::var(e).plus_const(2), CmpOp::Lt, LinExpr::param(te)).and(
+            LinExpr::var(e).plus_const(1),
+            CmpOp::Le,
+            LinExpr::param(n).plus_const(-1),
+        ),
         inc_e.clone(),
         vec![],
         echoed,
@@ -109,8 +121,11 @@ pub fn broadcast_efsm() -> Efsm {
     b.add_transition(
         echoed,
         "echo",
-        Guard::when(LinExpr::var(e).plus_const(2), CmpOp::Ge, LinExpr::param(te))
-            .and(LinExpr::var(e).plus_const(1), CmpOp::Le, LinExpr::param(n).plus_const(-1)),
+        Guard::when(LinExpr::var(e).plus_const(2), CmpOp::Ge, LinExpr::param(te)).and(
+            LinExpr::var(e).plus_const(1),
+            CmpOp::Le,
+            LinExpr::param(n).plus_const(-1),
+        ),
         inc_e.clone(),
         vec![Action::send("ready")],
         ready,
@@ -141,7 +156,14 @@ pub fn broadcast_efsm() -> Efsm {
         vec![Action::send("echo")],
         ready,
     );
-    b.add_transition(ready_blind, "echo", e_in_bounds.clone(), inc_e.clone(), vec![], ready_blind);
+    b.add_transition(
+        ready_blind,
+        "echo",
+        e_in_bounds.clone(),
+        inc_e.clone(),
+        vec![],
+        ready_blind,
+    );
     b.add_transition(
         ready_blind,
         "ready",

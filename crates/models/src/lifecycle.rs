@@ -8,7 +8,7 @@
 //! apply from *anywhere* inside the established session (inherited
 //! transitions), and `resume`/`recover` return to wherever the session
 //! was (shallow history). Authored as a
-//! [`HierarchicalMachine`](stategen_core::HierarchicalMachine) and
+//! [`HierarchicalMachine`] and
 //! flattened, it runs on every existing execution tier unchanged.
 //!
 //! ```text
@@ -89,7 +89,12 @@ pub fn session_lifecycle() -> HierarchicalMachine {
     b.mark_final(closed);
 
     // Connection bring-up.
-    b.add_transition(connecting, "connect", established, vec![Action::send("ack")]);
+    b.add_transition(
+        connecting,
+        "connect",
+        established,
+        vec![Action::send("ack")],
+    );
 
     // The wrapped commit attempt: Idle -> Commit{Voting -> Deciding} -> Idle.
     b.add_transition(idle, "update", commit, vec![]);
@@ -109,7 +114,12 @@ pub fn session_lifecycle() -> HierarchicalMachine {
 
     // Failure/recovery overlay.
     b.add_transition(established, "fail", failed, vec![]);
-    b.add_history_transition(probing, "recover", established, vec![Action::send("recovered")]);
+    b.add_history_transition(
+        probing,
+        "recover",
+        established,
+        vec![Action::send("recovered")],
+    );
 
     // Teardown, from every lifecycle phase.
     b.add_transition(connecting, "close", closed, vec![]);
@@ -179,7 +189,10 @@ mod tests {
                 Action::send("vote_req"),
             ]
         );
-        assert_eq!(s.state_name(), "Established.Commit.Voting~Established=Commit");
+        assert_eq!(
+            s.state_name(),
+            "Established.Commit.Voting~Established=Commit"
+        );
     }
 
     #[test]
@@ -191,7 +204,11 @@ mod tests {
         assert_eq!(s.state_name(), "Established.Idle"); // internal: no move
         assert_eq!(
             s.deliver_ref("fail").unwrap(),
-            [Action::send("offline"), Action::send("alarm"), Action::send("probe")]
+            [
+                Action::send("offline"),
+                Action::send("alarm"),
+                Action::send("probe")
+            ]
         );
         assert_eq!(s.state_name(), "Failed.Probing");
         assert_eq!(

@@ -60,7 +60,12 @@ impl AbstractModel for RoundsModel {
     }
 
     fn messages(&self) -> Vec<String> {
-        vec!["propose".into(), "ack".into(), "nack".into(), "decide".into()]
+        vec![
+            "propose".into(),
+            "ack".into(),
+            "nack".into(),
+            "decide".into(),
+        ]
     }
 
     fn start_state(&self) -> StateVector {
@@ -105,7 +110,11 @@ impl AbstractModel for RoundsModel {
             }
             _ => return Outcome::Ignored,
         }
-        Outcome::Transition(TransitionSpec { target: v, actions, annotations: Vec::new() })
+        Outcome::Transition(TransitionSpec {
+            target: v,
+            actions,
+            annotations: Vec::new(),
+        })
     }
 
     fn is_final_state(&self, state: &StateVector) -> bool {
@@ -117,7 +126,11 @@ impl AbstractModel for RoundsModel {
             "Round {} of {}; proposal {}; {} acks (majority {}).",
             state.get(ROUND) + 1,
             self.max_rounds,
-            if state.flag(PROPOSAL_RECEIVED) { "received" } else { "pending" },
+            if state.flag(PROPOSAL_RECEIVED) {
+                "received"
+            } else {
+                "pending"
+            },
             state.get(ACKS_RECEIVED),
             self.majority()
         )]

@@ -99,7 +99,11 @@ impl AbstractModel for TerminationModel {
             }
             _ => return Outcome::Ignored,
         }
-        Outcome::Transition(TransitionSpec { target: v, actions, annotations: Vec::new() })
+        Outcome::Transition(TransitionSpec {
+            target: v,
+            actions,
+            annotations: Vec::new(),
+        })
     }
 
     fn is_final_state(&self, state: &StateVector) -> bool {
@@ -109,7 +113,11 @@ impl AbstractModel for TerminationModel {
     fn describe_state(&self, state: &StateVector) -> Vec<String> {
         vec![format!(
             "{}; {} outstanding delegation(s).",
-            if state.flag(ACTIVE) { "Active" } else { "Passive" },
+            if state.flag(ACTIVE) {
+                "Active"
+            } else {
+                "Passive"
+            },
             state.get(OUTSTANDING)
         )]
     }
@@ -148,7 +156,10 @@ mod tests {
         let g = generate(&TerminationModel::new(2)).unwrap();
         let mut node = FsmInstance::new(&g.machine);
         node.deliver("task").unwrap();
-        assert_eq!(node.deliver("finish_work").unwrap(), vec![Action::send("done")]);
+        assert_eq!(
+            node.deliver("finish_work").unwrap(),
+            vec![Action::send("done")]
+        );
         assert!(node.is_finished());
     }
 

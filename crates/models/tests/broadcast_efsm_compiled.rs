@@ -1,7 +1,8 @@
 //! Property suite: the broadcast EFSM's compiled guard/update bytecode
 //! is observationally equivalent to the enum-tree interpreter — on
 //! random message traces, for a range of participant counts, as a single
-//! instance and as a batched session pool.
+//! instance, as a batched session pool, and behind the
+//! `stategen-runtime` facade (`Spec::efsm → Engine → Runtime`).
 
 use std::sync::OnceLock;
 
@@ -11,6 +12,7 @@ use stategen_core::{CompiledEfsm, Efsm, EfsmSessionPool, ProtocolEngine};
 use stategen_models::{
     broadcast_efsm, broadcast_efsm_instance, broadcast_efsm_params, BroadcastModel,
 };
+use stategen_runtime::{Engine, Spec};
 
 const MESSAGES: [&str; 3] = ["initial", "echo", "ready"];
 
@@ -29,6 +31,10 @@ fn check(n: u32, messages: &[usize]) {
     let mut interp = broadcast_efsm_instance(efsm(), &model);
     let mut single = compiled().instance(broadcast_efsm_params(&model));
     let mut pool = EfsmSessionPool::new(compiled(), broadcast_efsm_params(&model), 2);
+    let engine =
+        Engine::compile(Spec::efsm(broadcast_efsm(), broadcast_efsm_params(&model))).unwrap();
+    let mut facade = engine.runtime();
+    let session = facade.spawn();
     for (step, &mi) in messages.iter().enumerate() {
         let name = MESSAGES[mi % MESSAGES.len()];
         let a_interp = interp.deliver(name).unwrap();
@@ -36,20 +42,55 @@ fn check(n: u32, messages: &[usize]) {
         let mid = compiled().message_id(name).unwrap();
         let a_pool = pool.deliver(0, mid);
         assert_eq!(
-            a_interp, a_single,
+            a_interp,
+            facade.deliver(session, facade.message_id(name).unwrap()),
+            "n={n} step {step} ({name}): facade session diverged"
+        );
+        assert_eq!(
+            single.vars(),
+            facade.vars(session),
+            "n={n} step {step} ({name})"
+        );
+        assert_eq!(
+            single.is_finished(),
+            facade.is_finished(session),
+            "n={n} step {step}"
+        );
+        assert_eq!(
+            a_interp,
+            a_single,
             "n={n} step {step} ({name}): interpreted {a_interp:?} vs compiled {a_single:?} \
              (interp state {}, compiled state {})",
             interp.state_name(),
             single.state_name_str()
         );
-        assert_eq!(a_interp, a_pool, "n={n} step {step} ({name}): pool session diverged");
+        assert_eq!(
+            a_interp, a_pool,
+            "n={n} step {step} ({name}): pool session diverged"
+        );
         pool.deliver(1, mid);
         assert_eq!(interp.vars(), single.vars(), "n={n} step {step} ({name})");
         assert_eq!(single.vars(), pool.vars(0), "n={n} step {step} ({name})");
-        assert_eq!(interp.state_name(), single.state_name(), "n={n} step {step} ({name})");
-        assert_eq!(single.current_state(), pool.state(0), "n={n} step {step} ({name})");
-        assert_eq!(interp.is_finished(), single.is_finished(), "n={n} step {step} ({name})");
-        assert_eq!(single.is_finished(), pool.is_finished(0), "n={n} step {step} ({name})");
+        assert_eq!(
+            interp.state_name(),
+            single.state_name(),
+            "n={n} step {step} ({name})"
+        );
+        assert_eq!(
+            single.current_state(),
+            pool.state(0),
+            "n={n} step {step} ({name})"
+        );
+        assert_eq!(
+            interp.is_finished(),
+            single.is_finished(),
+            "n={n} step {step} ({name})"
+        );
+        assert_eq!(
+            single.is_finished(),
+            pool.is_finished(0),
+            "n={n} step {step} ({name})"
+        );
     }
 }
 

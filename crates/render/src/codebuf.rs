@@ -50,7 +50,10 @@ impl CodeBuffer {
 
     /// Creates a buffer with a custom indent width.
     pub fn with_indent_width(width: usize) -> Self {
-        CodeBuffer { indent_width: width, ..CodeBuffer::new() }
+        CodeBuffer {
+            indent_width: width,
+            ..CodeBuffer::new()
+        }
     }
 
     /// Adds the items to the output buffer (paper: `add`).
@@ -186,7 +189,10 @@ mod tests {
         b.add_ln(["y();"]);
         b.exit_block();
         b.exit_block();
-        assert_eq!(b.into_string(), "fn f() {\n    if x {\n        y();\n    }\n}\n");
+        assert_eq!(
+            b.into_string(),
+            "fn f() {\n    if x {\n        y();\n    }\n}\n"
+        );
     }
 
     #[test]
@@ -226,7 +232,10 @@ mod tests {
         b.add_ln(["1"]);
         b.exit_block_with(",");
         b.exit_block();
-        assert_eq!(b.into_string(), "match x {\n    A => {\n        1\n    },\n}\n");
+        assert_eq!(
+            b.into_string(),
+            "match x {\n    A => {\n        1\n    },\n}\n"
+        );
     }
 
     #[test]

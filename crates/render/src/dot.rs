@@ -21,7 +21,10 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { left_to_right: true, edge_actions: true }
+        DotOptions {
+            left_to_right: true,
+            edge_actions: true,
+        }
     }
 }
 
@@ -63,7 +66,11 @@ pub fn render_dot(machine: &StateMachine, options: &DotOptions) -> String {
                     let _ = write!(label, "\\n->{}", a.message());
                 }
             }
-            let width = if t.is_phase_transition() { ", penwidth=2" } else { "" };
+            let width = if t.is_phase_transition() {
+                ", penwidth=2"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "    s{} -> s{} [label=\"{}\"{}];",
@@ -104,14 +111,20 @@ mod tests {
 
     #[test]
     fn actions_can_be_hidden() {
-        let options = DotOptions { edge_actions: false, ..Default::default() };
+        let options = DotOptions {
+            edge_actions: false,
+            ..Default::default()
+        };
         let out = render_dot(&sample(), &options);
         assert!(out.contains("[label=\"GO\", penwidth=2]"));
     }
 
     #[test]
     fn no_rankdir_when_disabled() {
-        let options = DotOptions { left_to_right: false, ..Default::default() };
+        let options = DotOptions {
+            left_to_right: false,
+            ..Default::default()
+        };
         let out = render_dot(&sample(), &options);
         assert!(!out.contains("rankdir"));
     }

@@ -87,8 +87,11 @@ fn format_transition(efsm: &Efsm, t: &EfsmTransition) -> String {
         let _ = write!(out, " / {updates}");
     }
     if !t.actions().is_empty() {
-        let sends: Vec<String> =
-            t.actions().iter().map(|a| format!("->{}", a.message())).collect();
+        let sends: Vec<String> = t
+            .actions()
+            .iter()
+            .map(|a| format!("->{}", a.message()))
+            .collect();
         let _ = write!(out, " ! {}", sends.join(" "));
     }
     let _ = write!(out, " --> {}", efsm.states()[t.target().index()].name());
@@ -129,8 +132,11 @@ pub fn render_efsm_dot(efsm: &Efsm) -> String {
     out.push_str("    edge [fontsize=8];\n");
     out.push_str("    __start [shape=point];\n");
     for (i, state) in efsm.states().iter().enumerate() {
-        let peripheries =
-            if Some(i) == efsm.finish().map(|f| f.index()) { ", peripheries=2" } else { "" };
+        let peripheries = if Some(i) == efsm.finish().map(|f| f.index()) {
+            ", peripheries=2"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "    s{i} [label=\"{}\"{peripheries}];", state.name());
     }
     let _ = writeln!(out, "    __start -> s{};", efsm.start().index());
@@ -148,7 +154,11 @@ pub fn render_efsm_dot(efsm: &Efsm) -> String {
             for a in t.actions() {
                 let _ = write!(label, "\\n->{}", a.message());
             }
-            let width = if t.actions().is_empty() { "" } else { ", penwidth=2" };
+            let width = if t.actions().is_empty() {
+                ""
+            } else {
+                ", penwidth=2"
+            };
             let _ = writeln!(
                 out,
                 "    s{i} -> s{} [label=\"{}\"{width}];",
@@ -176,7 +186,11 @@ mod tests {
         b.add_transition(
             counting,
             "tick",
-            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Lt, LinExpr::param(limit)),
+            Guard::when(
+                LinExpr::var(n).plus_const(1),
+                CmpOp::Lt,
+                LinExpr::param(limit),
+            ),
             vec![Update::Inc(n)],
             vec![],
             counting,
@@ -184,7 +198,11 @@ mod tests {
         b.add_transition(
             counting,
             "tick",
-            Guard::when(LinExpr::var(n).plus_const(1), CmpOp::Ge, LinExpr::param(limit)),
+            Guard::when(
+                LinExpr::var(n).plus_const(1),
+                CmpOp::Ge,
+                LinExpr::param(limit),
+            ),
             vec![Update::Inc(n)],
             vec![Action::send("fire")],
             done,

@@ -1,5 +1,5 @@
 //! Hierarchy-aware diagram renderers for
-//! [`HierarchicalMachine`](stategen_core::HierarchicalMachine)s.
+//! [`HierarchicalMachine`]s.
 //!
 //! The flat renderers ([`render_dot`](crate::render_dot),
 //! [`render_mermaid`](crate::render_mermaid)) draw the *flattened*
@@ -40,7 +40,12 @@ fn dot_node_label(machine: &HierarchicalMachine, id: HsmStateId) -> String {
     label
 }
 
-fn render_dot_state(machine: &HierarchicalMachine, id: HsmStateId, indent: usize, out: &mut String) {
+fn render_dot_state(
+    machine: &HierarchicalMachine,
+    id: HsmStateId,
+    indent: usize,
+    out: &mut String,
+) {
     let pad = "    ".repeat(indent);
     let state = machine.state(id);
     if state.is_leaf() {
@@ -113,7 +118,11 @@ pub fn render_hsm_dot(machine: &HierarchicalMachine) -> String {
             let (head, head_attr, style) = match t.target() {
                 HsmTarget::Internal => {
                     label.push_str("\\n(internal)");
-                    (format!("s{}", tail_repr.index()), String::new(), ", style=dashed")
+                    (
+                        format!("s{}", tail_repr.index()),
+                        String::new(),
+                        ", style=dashed",
+                    )
                 }
                 HsmTarget::History(c) => (format!("h{}", c.index()), String::new(), ""),
                 HsmTarget::State(to) => {
@@ -122,7 +131,11 @@ pub fn render_hsm_dot(machine: &HierarchicalMachine) -> String {
                     } else {
                         format!(", lhead=cluster_{}", to.index())
                     };
-                    (format!("s{}", representative(machine, to).index()), head_attr, "")
+                    (
+                        format!("s{}", representative(machine, to).index()),
+                        head_attr,
+                        "",
+                    )
                 }
             };
             let _ = writeln!(
@@ -247,7 +260,9 @@ mod tests {
         // History transitions point at the H pseudostate.
         assert!(out.contains("s0 -> h1 [label=\"BACK\"];"));
         // Internal transitions are dashed self-loops.
-        assert!(out.contains("s2 -> s2 [label=\"PING\\n->pong\\n(internal)\", ltail=cluster_1, style=dashed];"));
+        assert!(out.contains(
+            "s2 -> s2 [label=\"PING\\n->pong\\n(internal)\", ltail=cluster_1, style=dashed];"
+        ));
         assert!(out.contains("__start -> s0;"));
         assert!(out.trim_end().ends_with('}'));
     }

@@ -60,8 +60,11 @@ pub fn render_handlers_raw(machine: &StateMachine) -> String {
         buffer.push_str(&("void receive".to_string() + &camel(m) + "() {\n"));
         buffer.push_str("    switch (getState()) {\n");
         for state in machine.states() {
-            let Some(t) = state.transition(mid) else { continue };
-            buffer.push_str(&("        case (".to_string() + &dash_token(state.name()) + ") : {\n"));
+            let Some(t) = state.transition(mid) else {
+                continue;
+            };
+            buffer
+                .push_str(&("        case (".to_string() + &dash_token(state.name()) + ") : {\n"));
             for action in t.actions() {
                 buffer.push_str(
                     &("            send".to_string() + &camel(action.message()) + "();\n"),
@@ -92,13 +95,19 @@ pub fn render_handlers(machine: &StateMachine) -> String {
         buffer.add(["switch (getState())"]);
         buffer.enter_block();
         for state in machine.states() {
-            let Some(t) = state.transition(mid) else { continue };
+            let Some(t) = state.transition(mid) else {
+                continue;
+            };
             buffer.add(["case (", &dash_token(state.name()), ") :"]);
             buffer.enter_block();
             for action in t.actions() {
                 buffer.add_ln(["send", &camel(action.message()), "();"]);
             }
-            buffer.add_ln(["setState(", &dash_token(machine.state(t.target()).name()), ");"]);
+            buffer.add_ln([
+                "setState(",
+                &dash_token(machine.state(t.target()).name()),
+                ");",
+            ]);
             buffer.add_ln(["break;"]);
             buffer.exit_block();
         }
@@ -121,16 +130,28 @@ pub struct JavaRenderer {
 impl JavaRenderer {
     /// Creates a renderer emitting `class_name extends actions_class`.
     pub fn new(class_name: impl Into<String>, actions_class: impl Into<String>) -> Self {
-        JavaRenderer { class_name: class_name.into(), actions_class: actions_class.into() }
+        JavaRenderer {
+            class_name: class_name.into(),
+            actions_class: actions_class.into(),
+        }
     }
 
     /// Renders the machine as a complete Java class.
     pub fn render(&self, machine: &StateMachine) -> String {
         let mut b = CodeBuffer::new();
         b.add_ln(["/**"]);
-        b.add_ln([" * Generated from machine `", machine.name(), "`. Do not edit."]);
+        b.add_ln([
+            " * Generated from machine `",
+            machine.name(),
+            "`. Do not edit.",
+        ]);
         b.add_ln([" */"]);
-        b.add(["public class ", &self.class_name, " extends ", &self.actions_class]);
+        b.add([
+            "public class ",
+            &self.class_name,
+            " extends ",
+            &self.actions_class,
+        ]);
         b.enter_block();
 
         b.add_ln(["// States, named by their encoded variable values."]);
@@ -180,7 +201,9 @@ impl JavaRenderer {
             b.add(["switch (getState())"]);
             b.enter_block();
             for state in machine.states() {
-                let Some(t) = state.transition(mid) else { continue };
+                let Some(t) = state.transition(mid) else {
+                    continue;
+                };
                 b.add(["case ", &java_ident(state.name()), " :"]);
                 b.enter_block();
                 for action in t.actions() {

@@ -42,7 +42,10 @@ pub use efsm_text::{render_efsm_dot, render_efsm_text};
 pub use hsm::{render_hsm_dot, render_hsm_mermaid};
 pub use java_src::JavaRenderer;
 pub use mermaid::render_mermaid;
-pub use report::{render_generation_report, render_machine_summary, render_markdown_report, render_table1, Table1Row};
+pub use report::{
+    render_generation_report, render_machine_summary, render_markdown_report, render_table1,
+    Table1Row,
+};
 pub use rust_src::render_rust_module;
 pub use text::TextRenderer;
 pub use xml::render_xml;

@@ -136,13 +136,20 @@ pub fn render_markdown_report(
         }
         out.push_str("\n| message | actions | next state |\n|---|---|---|\n");
         for (mid, t) in state.transitions() {
-            let actions: Vec<String> =
-                t.actions().iter().map(|a| format!("`->{}`", a.message())).collect();
+            let actions: Vec<String> = t
+                .actions()
+                .iter()
+                .map(|a| format!("`->{}`", a.message()))
+                .collect();
             let _ = writeln!(
                 out,
                 "| `{}` | {} | `{}` |",
                 machine.message_name(mid).to_uppercase(),
-                if actions.is_empty() { "—".to_string() } else { actions.join(" ") },
+                if actions.is_empty() {
+                    "—".to_string()
+                } else {
+                    actions.join(" ")
+                },
                 machine.state(t.target()).name()
             );
         }

@@ -52,11 +52,19 @@ pub fn render_rust_module(machine: &StateMachine) -> String {
 
     // Plain `//` comments and per-item attributes keep the module valid
     // both as a standalone file and when `include!`d into a module body.
-    b.add_ln(["// Generated from machine `", machine.name(), "`. Do not edit."]);
+    b.add_ln([
+        "// Generated from machine `",
+        machine.name(),
+        "`. Do not edit.",
+    ]);
     b.blank();
 
     // -- State enum. -------------------------------------------------------
-    b.add_ln(["/// States of `", machine.name(), "`, named by their encoded variable values."]);
+    b.add_ln([
+        "/// States of `",
+        machine.name(),
+        "`, named by their encoded variable values.",
+    ]);
     b.add_ln(["#[allow(non_camel_case_types)]"]);
     b.add_ln(["#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]"]);
     b.add(["pub enum State"]);
@@ -76,8 +84,11 @@ pub fn render_rust_module(machine: &StateMachine) -> String {
     b.add_ln(["pub const MACHINE_NAME: &str = \"", machine.name(), "\";"]);
     b.blank();
     b.add_ln(["/// The machine's message alphabet."]);
-    let quoted: Vec<String> =
-        machine.messages().iter().map(|m| format!("\"{m}\"")).collect();
+    let quoted: Vec<String> = machine
+        .messages()
+        .iter()
+        .map(|m| format!("\"{m}\""))
+        .collect();
     b.add_ln(["pub const MESSAGES: &[&str] = &[", &quoted.join(", "), "];"]);
     b.blank();
     b.add_ln(["/// The start state."]);
@@ -125,7 +136,11 @@ pub fn render_rust_module(machine: &StateMachine) -> String {
     // -- Per-message handlers (the Fig 16 switch, as a match). ---------------------
     for m in machine.messages() {
         let mid = machine.message_id(m).expect("message belongs to machine");
-        b.add_ln(["/// Handles a `", m, "` message: returns the new state and the"]);
+        b.add_ln([
+            "/// Handles a `",
+            m,
+            "` message: returns the new state and the",
+        ]);
         b.add_ln(["/// messages to send, or `None` when not applicable in `state`."]);
         b.add([
             "pub fn receive_",
@@ -137,10 +152,15 @@ pub fn render_rust_module(machine: &StateMachine) -> String {
         b.enter_block();
         let mut any = false;
         for (state, ident) in machine.states().iter().zip(&idents) {
-            let Some(t) = state.transition(mid) else { continue };
+            let Some(t) = state.transition(mid) else {
+                continue;
+            };
             any = true;
-            let actions: Vec<String> =
-                t.actions().iter().map(|a| format!("\"{}\"", a.message())).collect();
+            let actions: Vec<String> = t
+                .actions()
+                .iter()
+                .map(|a| format!("\"{}\"", a.message()))
+                .collect();
             b.add_ln([
                 "State::",
                 ident,
@@ -183,7 +203,13 @@ pub fn render_rust_module(machine: &StateMachine) -> String {
 fn fn_suffix(message: &str) -> String {
     message
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

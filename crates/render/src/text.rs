@@ -40,7 +40,9 @@ pub struct TextRenderer {
 impl TextRenderer {
     /// Creates a renderer with descriptions enabled.
     pub fn new() -> Self {
-        TextRenderer { include_descriptions: true }
+        TextRenderer {
+            include_descriptions: true,
+        }
     }
 
     /// Renders a single state with its transitions (paper Fig 14).
@@ -65,10 +67,16 @@ impl TextRenderer {
         out.push_str("\nTransitions:\n");
         for (mid, t) in state.transitions() {
             out.push('\n');
-            out.push_str(&format!(" message: {}\n", display_message(machine.message_name(mid))));
+            out.push_str(&format!(
+                " message: {}\n",
+                display_message(machine.message_name(mid))
+            ));
             for action in t.actions() {
                 // The paper renders `not_free` as `->not free` (Fig 14).
-                out.push_str(&format!("  action: ->{}\n", action.message().replace('_', " ")));
+                out.push_str(&format!(
+                    "  action: ->{}\n",
+                    action.message().replace('_', " ")
+                ));
             }
             out.push_str(&format!(
                 "  transition to: {}\n",
@@ -122,7 +130,12 @@ mod tests {
             vec!["First line.".into(), "Second line.".into()],
         );
         let s1 = b.add_state("B");
-        b.add_transition(s0, "go", s1, vec![Action::send("ping"), Action::send("pong")]);
+        b.add_transition(
+            s0,
+            "go",
+            s1,
+            vec![Action::send("ping"), Action::send("pong")],
+        );
         b.add_transition(s1, "stop", s0, vec![]);
         b.build(s0)
     }
@@ -159,7 +172,9 @@ mod tests {
     #[test]
     fn descriptions_can_be_disabled() {
         let m = sample();
-        let r = TextRenderer { include_descriptions: false };
+        let r = TextRenderer {
+            include_descriptions: false,
+        };
         let text = r.render_state(&m, m.start());
         assert!(!text.contains("Description:"));
         assert!(text.contains("message: GO"));

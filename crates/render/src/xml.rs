@@ -49,7 +49,11 @@ pub fn render_xml(machine: &StateMachine) -> String {
             StateRole::Normal => "normal",
             StateRole::Finish => "finish",
         };
-        let start = if id == machine.start() { " start=\"true\"" } else { "" };
+        let start = if id == machine.start() {
+            " start=\"true\""
+        } else {
+            ""
+        };
         if state.annotations().is_empty() {
             let _ = writeln!(
                 out,
@@ -127,9 +131,7 @@ mod tests {
         assert!(out.contains("<state id=\"0\" name=\"A&amp;B\" role=\"normal\" start=\"true\">"));
         assert!(out.contains("<annotation>a &quot;note&quot;</annotation>"));
         assert!(out.contains("<state id=\"1\" name=\"END\" role=\"finish\"/>"));
-        assert!(out.contains(
-            "<transition from=\"0\" to=\"1\" message=\"go\" phase=\"true\">"
-        ));
+        assert!(out.contains("<transition from=\"0\" to=\"1\" message=\"go\" phase=\"true\">"));
         assert!(out.contains("<action send=\"x\"/>"));
         assert!(out.trim_end().ends_with("</statemachine>"));
     }

@@ -1,0 +1,226 @@
+//! The owned, tier-agnostic execution artifact.
+
+use std::sync::Arc;
+
+use stategen_core::{
+    CompiledEfsm, CompiledMachine, EfsmBinding, MessageId, StateMachine, StategenError,
+};
+
+use crate::runtime::Runtime;
+use crate::spec::Spec;
+
+/// Which execution tier an [`Engine`] runs on.
+///
+/// All tiers are behaviourally equivalent; they differ only in dispatch
+/// cost and preparation work (see the crate-level tier-selection guide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Walking the generated machine's transition maps directly — no
+    /// preparation pass, slowest dispatch.
+    Interpreted,
+    /// Dense `states × messages` transition tables with an interned
+    /// action arena — dispatch in ~1 ns, zero allocation per delivery.
+    Compiled,
+    /// Guards and updates lowered to fused threshold checks plus
+    /// register-machine bytecode, parameters folded into a flat
+    /// dispatch table — one engine serves the whole protocol family.
+    CompiledEfsm,
+    /// A hierarchical statechart flattened into the dense tables:
+    /// reachable configurations became flat states, synthesized
+    /// exit/transition/entry action sequences became ordinary interned
+    /// action lists. Same dispatch cost class as [`Tier::Compiled`].
+    FlattenedHsm,
+}
+
+impl Tier {
+    /// Stable lowercase label (for reports and benchmark rows).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Interpreted => "interpreted",
+            Tier::Compiled => "compiled",
+            Tier::CompiledEfsm => "compiled_efsm",
+            Tier::FlattenedHsm => "flattened_hsm",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The tier-resolved machine representation. Every variant is behind an
+/// `Arc`, so an [`Engine`] clone is two pointer bumps and engines are
+/// `Send + Sync + 'static` — sharable across threads and runtimes
+/// without the borrow lifetimes of the core pool types.
+#[derive(Debug, Clone)]
+pub(crate) enum EngineKind {
+    /// Interpreted: the generated machine itself.
+    Interpreted(Arc<StateMachine>),
+    /// Compiled (flat or flattened-HSM): dense tables.
+    Compiled(Arc<CompiledMachine>),
+    /// Compiled EFSM with its parameter binding folded in.
+    Efsm {
+        /// The lowered machine.
+        machine: Arc<CompiledEfsm>,
+        /// The parameter-specialised dispatch table every session
+        /// shares.
+        binding: Arc<EfsmBinding>,
+    },
+}
+
+/// An owned, `Send + Sync + 'static` execution artifact: one [`Spec`]
+/// resolved onto one tier.
+///
+/// Compile once (startup, generation time), clone freely — clones share
+/// the underlying tables via `Arc` — and create any number of
+/// [`Runtime`]s to serve sessions from it.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    pub(crate) kind: EngineKind,
+    tier: Tier,
+    name: String,
+}
+
+impl Engine {
+    /// Compiles a spec onto its deployment tier: flat machines and
+    /// flattened statecharts onto the dense-table tier, EFSMs onto the
+    /// fused-bytecode tier with the parameters bound.
+    ///
+    /// This is the serving configuration — pay one flattening pass at
+    /// ingest, then dispatch in a few nanoseconds with zero allocation
+    /// per delivered message.
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::Compile`] if the machine cannot be lowered
+    /// (e.g. duplicate `(state, message)` transitions with identical
+    /// guards); [`StategenError::ParamCountMismatch`] if the EFSM
+    /// binding has the wrong arity.
+    pub fn compile(spec: Spec) -> Result<Engine, StategenError> {
+        let name = spec.name().to_string();
+        match spec {
+            Spec::Machine(machine) => Ok(Engine {
+                kind: EngineKind::Compiled(Arc::new(CompiledMachine::compile(&machine))),
+                tier: Tier::Compiled,
+                name,
+            }),
+            Spec::Efsm { machine, params } => {
+                let compiled = CompiledEfsm::compile(&machine)?;
+                if params.len() != compiled.param_count() {
+                    return Err(StategenError::ParamCountMismatch {
+                        expected: compiled.param_count(),
+                        found: params.len(),
+                    });
+                }
+                let binding = Arc::new(compiled.bind(&params));
+                Ok(Engine {
+                    kind: EngineKind::Efsm {
+                        machine: Arc::new(compiled),
+                        binding,
+                    },
+                    tier: Tier::CompiledEfsm,
+                    name,
+                })
+            }
+            Spec::Hierarchical(hsm) => Ok(Engine {
+                kind: EngineKind::Compiled(Arc::new(CompiledMachine::compile(&hsm.flatten()))),
+                tier: Tier::FlattenedHsm,
+                name,
+            }),
+        }
+    }
+
+    /// Resolves a spec onto the no-preparation tier: flat machines (and
+    /// flattened statecharts) are walked directly instead of being
+    /// compiled into dense tables. Use while authoring or debugging a
+    /// machine; switch the one call to [`Engine::compile`] to serve
+    /// traffic.
+    ///
+    /// EFSMs have no separate interpreted runtime configuration — the
+    /// runtime serves per-session variable registers from the lowered
+    /// form either way (the lowering is proven behaviourally equivalent
+    /// to the tree-walking interpreter by the core property suites), so
+    /// an EFSM spec resolves to [`Tier::CompiledEfsm`] here too.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::compile`].
+    pub fn interpret(spec: Spec) -> Result<Engine, StategenError> {
+        let name = spec.name().to_string();
+        match spec {
+            Spec::Machine(machine) => Ok(Engine {
+                kind: EngineKind::Interpreted(Arc::new(machine)),
+                tier: Tier::Interpreted,
+                name,
+            }),
+            efsm @ Spec::Efsm { .. } => Engine::compile(efsm),
+            Spec::Hierarchical(hsm) => Ok(Engine {
+                kind: EngineKind::Interpreted(Arc::new(hsm.flatten())),
+                tier: Tier::Interpreted,
+                name,
+            }),
+        }
+    }
+
+    /// The tier this engine executes on.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// The machine's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of (flat) states in the resolved machine.
+    pub fn state_count(&self) -> usize {
+        match &self.kind {
+            EngineKind::Interpreted(m) => m.state_count(),
+            EngineKind::Compiled(m) => m.state_count(),
+            EngineKind::Efsm { machine, .. } => machine.state_count(),
+        }
+    }
+
+    /// The message alphabet, in declaration order.
+    pub fn messages(&self) -> &[String] {
+        match &self.kind {
+            EngineKind::Interpreted(m) => m.messages(),
+            EngineKind::Compiled(m) => m.messages(),
+            EngineKind::Efsm { machine, .. } => machine.messages(),
+        }
+    }
+
+    /// Looks up a message id by name in O(1).
+    pub fn message_id(&self, name: &str) -> Option<MessageId> {
+        match &self.kind {
+            EngineKind::Interpreted(m) => m.message_id(name),
+            EngineKind::Compiled(m) => m.message_id(name),
+            EngineKind::Efsm { machine, .. } => machine.message_id(name),
+        }
+    }
+
+    /// The parameter values bound at ingest (empty for non-EFSM tiers).
+    pub fn params(&self) -> &[i64] {
+        match &self.kind {
+            EngineKind::Efsm { binding, .. } => binding.params(),
+            _ => &[],
+        }
+    }
+
+    /// Creates a serving runtime over this engine: one shard, no
+    /// sessions. Configure with [`Runtime::sharded`], then populate
+    /// with [`Runtime::spawn`] / [`Runtime::spawn_many`].
+    pub fn runtime(&self) -> Runtime {
+        Runtime::new(self.clone())
+    }
+
+    /// Creates a single-shard runtime pre-populated with `sessions`
+    /// sessions at the start state.
+    pub fn runtime_with(&self, sessions: usize) -> Runtime {
+        let mut rt = self.runtime();
+        rt.spawn_many(sessions);
+        rt
+    }
+}

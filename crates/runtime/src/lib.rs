@@ -1,0 +1,114 @@
+//! # stategen-runtime
+//!
+//! The deployment half of the paper in one owned, tier-agnostic pipeline:
+//!
+//! ```text
+//!     Spec  ──compile/interpret──▶  Engine  ──runtime()──▶  Runtime
+//!   (ingest)                      (owned, Send)           (serving facade)
+//! ```
+//!
+//! The paper's central claim (§3.5/§4.2) is that one generated artifact
+//! should be deployable under many execution policies — interpreted on
+//! the fly, compiled, generated source. `stategen-core` provides those
+//! tiers, but each exposes a different lifetime-borrowed type with its
+//! own spawn/deliver/reset vocabulary, so every deployment site ends up
+//! re-wiring tiers by hand. This crate owns that wiring once:
+//!
+//! * [`Spec`] — the ingest enum: a flat
+//!   [`StateMachine`](stategen_core::StateMachine), an
+//!   [`Efsm`](stategen_core::Efsm) plus its parameter binding, or a
+//!   [`HierarchicalMachine`](stategen_core::HierarchicalMachine)
+//!   (auto-flattened on ingest, so statecharts run on every tier
+//!   unchanged).
+//! * [`Engine`] — the compiled artifact, **owned** (`Send + Sync +
+//!   'static`, cheap to clone) behind `Arc`s instead of the borrow
+//!   lifetimes of `SessionPool<'m>` / `EfsmSessionPool<'e>`, so engines
+//!   move freely across threads, into servers, and outlive their
+//!   construction scope without self-referential gymnastics.
+//! * [`Runtime`] — the serving facade: [`spawn`](Runtime::spawn) →
+//!   [`SessionId`], [`deliver`](Runtime::deliver),
+//!   [`deliver_all`](Runtime::deliver_all), [`reset`](Runtime::reset),
+//!   [`release`](Runtime::release) and introspection, uniform across
+//!   every tier, with opt-in sharding ([`sharded`](Runtime::sharded))
+//!   and persistent parked workers
+//!   ([`with_workers`](Runtime::with_workers)) as *configuration*
+//!   rather than distinct types.
+//!
+//! Everything fallible returns the unified
+//! [`StategenError`], and sessions are addressed by the generational
+//! [`SessionId`] handle — a recycled slot invalidates outstanding
+//! handles loudly instead of silently serving a stranger's session.
+//!
+//! ## Tier selection guide
+//!
+//! | you have | call | tier | use when |
+//! |---|---|---|---|
+//! | a freshly generated `StateMachine` | [`Engine::interpret`] | [`Tier::Interpreted`] | debugging, one-off runs; no preparation pass |
+//! | a `StateMachine` to serve traffic | [`Engine::compile`] | [`Tier::Compiled`] | dense-table dispatch in ~1 ns, zero allocation per delivery |
+//! | an `Efsm` + parameter values | [`Engine::compile`] | [`Tier::CompiledEfsm`] | one machine generic over the protocol parameter (e.g. replication factor) |
+//! | a `HierarchicalMachine` | [`Engine::compile`] | [`Tier::FlattenedHsm`] | statecharts flattened into the dense tables; same dispatch cost class as `Compiled` |
+//! | a machine known at *build* time | `stategen-generated` | — | rendered source, no machine data at runtime |
+//!
+//! All tiers are behaviourally equivalent — the conformance suite in
+//! this crate drives the same trace corpus through every tier and
+//! asserts identical action sequences, finished flags and state names.
+//!
+//! ## Example
+//!
+//! ```
+//! use stategen_core::{Action, StateMachineBuilder, StateRole};
+//! use stategen_runtime::{Engine, Spec};
+//!
+//! let mut b = StateMachineBuilder::new("ping", ["ping"]);
+//! let idle = b.add_state("idle");
+//! let done = b.add_state_full("done", None, StateRole::Finish, vec![]);
+//! b.add_transition(idle, "ping", done, vec![Action::send("pong")]);
+//! let machine = b.build(idle);
+//!
+//! // One code path, any tier.
+//! let engine = Engine::compile(Spec::machine(machine))?;
+//! let mut rt = engine.runtime();
+//! let session = rt.spawn();
+//! let ping = rt.message_id("ping").unwrap();
+//! assert_eq!(rt.deliver(session, ping), [Action::send("pong")]);
+//! assert!(rt.is_finished(session));
+//! assert_eq!(rt.state_name(session), "done");
+//! # Ok::<(), stategen_runtime::StategenError>(())
+//! ```
+//!
+//! Scaling the same runtime to 100k concurrent sessions across 4
+//! worker threads is configuration, not a different API:
+//!
+//! ```no_run
+//! # use stategen_core::{Action, StateMachineBuilder, StateRole};
+//! # use stategen_runtime::{Engine, Spec};
+//! # let mut b = StateMachineBuilder::new("ping", ["ping"]);
+//! # let idle = b.add_state("idle");
+//! # b.add_transition(idle, "ping", idle, vec![]);
+//! # let engine = Engine::compile(Spec::machine(b.build(idle))).unwrap();
+//! let mut rt = engine.runtime().sharded(4);
+//! rt.spawn_many(100_000);
+//! let ping = rt.message_id("ping").unwrap();
+//! rt.deliver_all(ping); // one scoped worker per shard
+//! rt.with_workers(|w| {
+//!     // parked persistent workers: reused across a batch sequence
+//!     for _ in 0..64 {
+//!         w.deliver_all(ping);
+//!     }
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod runtime;
+mod spec;
+
+pub use engine::{Engine, Tier};
+pub use runtime::{Runtime, Session, SessionId, Shard, Workers};
+pub use spec::Spec;
+
+// The unified error and the trait vocabulary, re-exported so deployment
+// sites need only this crate.
+pub use stategen_core::{Action, MessageId, ProtocolEngine, StategenError};

@@ -1,0 +1,1027 @@
+//! The serving facade: typed session handles over an owned engine.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+
+use stategen_core::{
+    Action, BatchEngine, CompiledEfsm, CompiledMachine, EfsmBinding, InterpError, MessageId,
+    ParkedWorkers, ProtocolEngine, ShardedPool, StateRole,
+};
+
+use crate::engine::{Engine, EngineKind};
+
+/// Sentinel state id marking a released (recycled, currently unowned)
+/// session slot. Slots in this state are skipped by batch delivery and
+/// rejected by every handle-addressed operation.
+const RETIRED: u32 = u32::MAX;
+
+/// Typed handle to one session in a [`Runtime`].
+///
+/// A `SessionId` names a *particular protocol execution*, not a storage
+/// slot: when a session is [`release`](Runtime::release)d its slot goes
+/// onto the runtime's free list and the slot's generation counter is
+/// bumped, so every outstanding handle to the old execution becomes
+/// *stale* — using it panics loudly instead of silently addressing
+/// whatever execution was respawned into the slot. This closes the
+/// use-after-recycle bug class that raw `usize` indexing permits.
+///
+/// The `Debug` form is free-list-aware: `s0:17` is the first execution
+/// in shard 0, slot 17; `s0:17#3` is the fourth execution recycled into
+/// the same slot (generation 3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId {
+    shard: u32,
+    slot: u32,
+    generation: u32,
+}
+
+impl SessionId {
+    /// Which shard owns the session.
+    pub fn shard(self) -> usize {
+        self.shard as usize
+    }
+
+    /// The slot within the owning shard.
+    pub fn slot(self) -> usize {
+        self.slot as usize
+    }
+
+    /// How many earlier executions were recycled out of this slot
+    /// before this one (0 = the slot's first execution).
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Debug for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}:{}", self.shard, self.slot)?;
+        if self.generation > 0 {
+            write!(f, "#{}", self.generation)?;
+        }
+        Ok(())
+    }
+}
+
+/// Finished-session bitset, maintained *lazily*: the batch hot loop
+/// never touches it (a per-transition finish check costs ~25-50% of raw
+/// dispatch — measured by the `runtime_facade` gate), it only marks the
+/// set dirty; the single-session path keeps it incrementally current
+/// while clean; queries rebuild it from the state array on demand.
+/// Finish states are absorbing, so finished-ness is always derivable
+/// from the current state alone.
+#[derive(Debug, Clone, Default)]
+struct FinishedBits {
+    words: Vec<u64>,
+    count: usize,
+    /// Set when the bits may lag the state array (after a batch
+    /// delivery); cleared by [`FinishedBits::rebuild`].
+    dirty: bool,
+}
+
+impl FinishedBits {
+    fn grow_for(&mut self, slots: usize) {
+        let needed = slots.div_ceil(64);
+        if self.words.len() < needed {
+            self.words.resize(needed, 0);
+        }
+    }
+
+    /// Only meaningful while clean (callers sync first).
+    fn get(&self, slot: usize) -> bool {
+        self.words[slot / 64] & (1 << (slot % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, slot: usize) {
+        let word = slot / 64;
+        let bit = 1u64 << (slot % 64);
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.count += 1;
+        }
+    }
+
+    fn clear(&mut self, slot: usize) {
+        let word = slot / 64;
+        let bit = 1u64 << (slot % 64);
+        if self.words[word] & bit != 0 {
+            self.words[word] &= !bit;
+            self.count -= 1;
+        }
+    }
+
+    fn clear_all(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+        self.dirty = false;
+    }
+
+    /// Recomputes every bit (and the count) from the state array,
+    /// clearing the dirty flag. Retired slots stay unset.
+    fn rebuild(&mut self, current: &[u32], is_finish: impl Fn(u32) -> bool) {
+        self.words.fill(0);
+        self.count = 0;
+        for (slot, &state) in current.iter().enumerate() {
+            if state != RETIRED && is_finish(state) {
+                self.words[slot / 64] |= 1 << (slot % 64);
+                self.count += 1;
+            }
+        }
+        self.dirty = false;
+    }
+}
+
+/// One shard of a [`Runtime`]: an owned block of session slots
+/// (struct-of-arrays: one dense `u32` state id, a generation counter
+/// and a finished bit per slot, plus the EFSM tiers' variable
+/// registers) stepping the shared engine.
+///
+/// Shards implement [`BatchEngine`], so the runtime scales them with
+/// the same scoped-worker / parked-worker machinery as the core pools;
+/// they are created and owned by [`Runtime`] and not constructed
+/// directly.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    kind: EngineKind,
+    /// Dense state id per slot; [`RETIRED`] marks recycled slots.
+    current: Vec<u32>,
+    /// Per-slot generation, bumped when the slot is released.
+    generations: Vec<u32>,
+    /// Lazily synced (see [`FinishedBits`]); `RefCell` so `&self`
+    /// queries can rebuild it on demand (shards are single-writer, so
+    /// the dynamic borrow never contends).
+    finished: RefCell<FinishedBits>,
+    /// Released slots awaiting respawn.
+    free: Vec<u32>,
+    /// Session-major EFSM variable registers (empty on other tiers).
+    vars: Vec<i64>,
+    /// Staged-update scratch for the EFSM bytecode path.
+    scratch: Vec<i64>,
+    n_regs: usize,
+    steps: u64,
+}
+
+impl Shard {
+    fn new(kind: EngineKind) -> Self {
+        let (n_regs, scratch) = match &kind {
+            EngineKind::Efsm { machine, .. } => {
+                (machine.reg_count(), vec![0; machine.scratch_len()])
+            }
+            _ => (0, Vec::new()),
+        };
+        Shard {
+            kind,
+            current: Vec::new(),
+            generations: Vec::new(),
+            finished: RefCell::new(FinishedBits::default()),
+            free: Vec::new(),
+            vars: Vec::new(),
+            scratch,
+            n_regs,
+            steps: 0,
+        }
+    }
+
+    /// The engine's start state id.
+    fn start_state(&self) -> u32 {
+        match &self.kind {
+            EngineKind::Interpreted(m) => m.start().index() as u32,
+            EngineKind::Compiled(m) => m.start(),
+            EngineKind::Efsm { machine, .. } => machine.start(),
+        }
+    }
+
+    fn is_finish(&self, state: u32) -> bool {
+        match &self.kind {
+            EngineKind::Interpreted(m) => m.states()[state as usize].role() == StateRole::Finish,
+            EngineKind::Compiled(m) => m.is_finish_state(state),
+            EngineKind::Efsm { machine, .. } => machine.is_finish_state(state),
+        }
+    }
+
+    /// Sessions currently live (spawned and not released).
+    fn live(&self) -> usize {
+        self.current.len() - self.free.len()
+    }
+
+    /// Claims a slot (recycling the free list or growing the arrays)
+    /// and starts a fresh execution in it.
+    fn spawn_slot(&mut self) -> (u32, u32) {
+        let start = self.start_state();
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.current[slot as usize] = start;
+                self.vars[slot as usize * self.n_regs..][..self.n_regs].fill(0);
+                slot
+            }
+            None => {
+                let slot = self.current.len() as u32;
+                self.current.push(start);
+                self.generations.push(0);
+                self.vars.extend(std::iter::repeat_n(0, self.n_regs));
+                self.finished.get_mut().grow_for(self.current.len());
+                slot
+            }
+        };
+        if self.is_finish(start) {
+            let finished = self.finished.get_mut();
+            if !finished.dirty {
+                finished.set(slot as usize);
+            }
+        }
+        (slot, self.generations[slot as usize])
+    }
+
+    /// Validates a handle against the slot's generation; panics on a
+    /// stale or released handle (the use-after-recycle guard).
+    #[inline]
+    fn check(&self, id: SessionId) {
+        let slot = id.slot as usize;
+        assert!(
+            slot < self.current.len()
+                && self.generations[slot] == id.generation
+                && self.current[slot] != RETIRED,
+            "stale session handle {id:?}: the slot was released and possibly recycled"
+        );
+    }
+
+    /// Delivers one message to one validated slot.
+    #[inline]
+    fn deliver_slot(&mut self, id: SessionId, message: MessageId) -> &[Action] {
+        self.check(id);
+        let slot = id.slot as usize;
+        let Shard {
+            kind,
+            current,
+            finished,
+            vars,
+            scratch,
+            n_regs,
+            steps,
+            ..
+        } = self;
+        match kind {
+            EngineKind::Compiled(m) => match m.step(current[slot], message) {
+                Some((target, actions)) => {
+                    current[slot] = target;
+                    *steps += 1;
+                    if m.is_finish_state(target) {
+                        let finished = finished.get_mut();
+                        if !finished.dirty {
+                            finished.set(slot);
+                        }
+                    }
+                    actions
+                }
+                None => &[],
+            },
+            EngineKind::Efsm { machine, binding } => {
+                let regs = &mut vars[slot * *n_regs..][..*n_regs];
+                match machine.step(current[slot], message, binding, regs, scratch) {
+                    Some((target, actions)) => {
+                        current[slot] = target;
+                        *steps += 1;
+                        if machine.is_finish_state(target) {
+                            let finished = finished.get_mut();
+                            if !finished.dirty {
+                                finished.set(slot);
+                            }
+                        }
+                        actions
+                    }
+                    None => &[],
+                }
+            }
+            EngineKind::Interpreted(m) => {
+                let state = &m.states()[current[slot] as usize];
+                if state.role() == StateRole::Finish {
+                    return &[];
+                }
+                match state.transition(message) {
+                    Some(t) => {
+                        let target = t.target().index() as u32;
+                        current[slot] = target;
+                        *steps += 1;
+                        if m.states()[target as usize].role() == StateRole::Finish {
+                            let finished = finished.get_mut();
+                            if !finished.dirty {
+                                finished.set(slot);
+                            }
+                        }
+                        t.actions()
+                    }
+                    None => &[],
+                }
+            }
+        }
+    }
+
+    /// Returns a validated slot to the start state (same execution slot,
+    /// handle stays valid).
+    fn reset_slot(&mut self, id: SessionId) {
+        self.check(id);
+        let slot = id.slot as usize;
+        let start = self.start_state();
+        let start_finishes = self.is_finish(start);
+        self.current[slot] = start;
+        self.vars[slot * self.n_regs..][..self.n_regs].fill(0);
+        let finished = self.finished.get_mut();
+        if !finished.dirty {
+            finished.clear(slot);
+            if start_finishes {
+                finished.set(slot);
+            }
+        }
+    }
+
+    /// Retires a validated slot to the free list and bumps its
+    /// generation, invalidating every outstanding handle to it.
+    fn release_slot(&mut self, id: SessionId) {
+        self.check(id);
+        let slot = id.slot as usize;
+        let finished = self.finished.get_mut();
+        if !finished.dirty {
+            finished.clear(slot);
+        }
+        self.current[slot] = RETIRED;
+        self.generations[slot] += 1;
+        self.free.push(id.slot);
+    }
+
+    fn state_of(&self, id: SessionId) -> u32 {
+        self.check(id);
+        self.current[id.slot as usize]
+    }
+
+    fn state_name_of(&self, id: SessionId) -> &str {
+        let state = self.state_of(id);
+        match &self.kind {
+            EngineKind::Interpreted(m) => m.states()[state as usize].name(),
+            EngineKind::Compiled(m) => m.state_name(state),
+            EngineKind::Efsm { machine, .. } => machine.state_name(state),
+        }
+    }
+
+    fn vars_of(&self, id: SessionId) -> &[i64] {
+        self.check(id);
+        match &self.kind {
+            EngineKind::Efsm { machine, .. } => {
+                &self.vars[id.slot as usize * self.n_regs..][..machine.var_count()]
+            }
+            _ => &[],
+        }
+    }
+
+    fn is_finished_slot(&self, id: SessionId) -> bool {
+        self.check(id);
+        self.sync_finished();
+        self.finished.borrow().get(id.slot as usize)
+    }
+
+    /// Rebuilds the finished bitset from the state array if a batch
+    /// delivery left it stale. O(slots) when dirty, O(1) when clean.
+    fn sync_finished(&self) {
+        let mut finished = self.finished.borrow_mut();
+        if finished.dirty {
+            match &self.kind {
+                EngineKind::Interpreted(m) => {
+                    let states = m.states();
+                    finished.rebuild(&self.current, |s| {
+                        states[s as usize].role() == StateRole::Finish
+                    });
+                }
+                EngineKind::Compiled(m) => {
+                    finished.rebuild(&self.current, |s| m.is_finish_state(s));
+                }
+                EngineKind::Efsm { machine, .. } => {
+                    finished.rebuild(&self.current, |s| machine.is_finish_state(s));
+                }
+            }
+        }
+    }
+
+    fn is_live_slot(&self, id: SessionId) -> bool {
+        let slot = id.slot as usize;
+        slot < self.current.len()
+            && self.generations[slot] == id.generation
+            && self.current[slot] != RETIRED
+    }
+}
+
+impl BatchEngine for Shard {
+    fn session_count(&self) -> usize {
+        self.current.len()
+    }
+
+    fn session_state(&self, session: usize) -> u32 {
+        self.current[session]
+    }
+
+    fn session_finished(&self, session: usize) -> bool {
+        self.sync_finished();
+        self.finished.borrow().get(session)
+    }
+
+    /// The batch hot loop: a linear walk over the contiguous state (and
+    /// register) arrays, skipping retired slots, with no allocation.
+    ///
+    /// Iterator-based (no bounds checks on the state loads) and free of
+    /// finished-set maintenance — a per-transition finish check is a
+    /// dependent load that costs 25-50% of raw dispatch, so the batch
+    /// path only marks the bitset dirty and queries rebuild it lazily.
+    /// The compiled arm therefore compiles to the same loop body as
+    /// stepping a bare state array through `CompiledMachine::step`,
+    /// plus one predictable retired-slot compare; the `runtime_facade`
+    /// benchmark row gates it at ≤ 1.10× raw stepping.
+    fn deliver_all(&mut self, message: MessageId) -> u64 {
+        let Shard {
+            kind,
+            current,
+            free,
+            vars,
+            scratch,
+            n_regs,
+            steps,
+            ..
+        } = self;
+        let mut transitions = 0;
+        match kind {
+            EngineKind::Compiled(m) => {
+                // Bind the machine as a plain reference so every table
+                // pointer is a hoistable loop invariant (not re-derefed
+                // through the `Arc` each iteration).
+                let m: &CompiledMachine = m;
+                if free.is_empty() {
+                    // Dense fast path: no retired slots, so the loop is
+                    // *identical* to stepping a bare state array.
+                    for cur in current.iter_mut() {
+                        if let Some((target, _)) = m.step(*cur, message) {
+                            *cur = target;
+                            transitions += 1;
+                        }
+                    }
+                } else {
+                    for cur in current.iter_mut() {
+                        if *cur == RETIRED {
+                            continue;
+                        }
+                        if let Some((target, _)) = m.step(*cur, message) {
+                            *cur = target;
+                            transitions += 1;
+                        }
+                    }
+                }
+            }
+            EngineKind::Efsm { machine, binding } => {
+                let machine: &CompiledEfsm = machine;
+                let binding: &EfsmBinding = binding;
+                let regs = vars.chunks_exact_mut(*n_regs);
+                for (cur, regs) in current.iter_mut().zip(regs) {
+                    if *cur == RETIRED {
+                        continue;
+                    }
+                    if let Some((target, _)) = machine.step(*cur, message, binding, regs, scratch) {
+                        *cur = target;
+                        transitions += 1;
+                    }
+                }
+            }
+            EngineKind::Interpreted(m) => {
+                let states = m.states();
+                for cur in current.iter_mut() {
+                    if *cur == RETIRED {
+                        continue;
+                    }
+                    let state = &states[*cur as usize];
+                    if state.role() == StateRole::Finish {
+                        continue;
+                    }
+                    if let Some(t) = state.transition(message) {
+                        *cur = t.target().index() as u32;
+                        transitions += 1;
+                    }
+                }
+            }
+        }
+        *steps += transitions;
+        if transitions > 0 {
+            self.finished.get_mut().dirty = true;
+        }
+        transitions
+    }
+
+    fn finished_count(&self) -> usize {
+        self.sync_finished();
+        self.finished.borrow().count
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Returns every *live* slot to the start state; retired slots stay
+    /// on the free list.
+    fn reset_all(&mut self) {
+        let start = self.start_state();
+        let start_finishes = self.is_finish(start);
+        for slot in 0..self.current.len() {
+            if self.current[slot] != RETIRED {
+                self.current[slot] = start;
+            }
+        }
+        self.vars.fill(0);
+        let finished = self.finished.get_mut();
+        finished.clear_all();
+        if start_finishes {
+            for slot in 0..self.current.len() {
+                if self.current[slot] != RETIRED {
+                    finished.set(slot);
+                }
+            }
+        }
+        self.steps = 0;
+    }
+}
+
+/// Persistent parked-worker driver for a sharded [`Runtime`] (see
+/// [`Runtime::with_workers`]): a batch *sequence* pays one thread
+/// spawn/join total instead of one per batch.
+pub type Workers<'a> = ParkedWorkers<'a, Shard>;
+
+/// The serving facade: a pool of concurrent protocol sessions over one
+/// owned [`Engine`], with one vocabulary across every execution tier.
+///
+/// * [`spawn`](Runtime::spawn) / [`spawn_many`](Runtime::spawn_many)
+///   start executions and hand out typed [`SessionId`]s;
+/// * [`deliver`](Runtime::deliver) steps one session (returning the
+///   triggered actions, borrowed — no allocation on any compiled-tier
+///   delivery path); [`deliver_all`](Runtime::deliver_all) steps every
+///   session, across worker threads when sharded;
+/// * [`reset`](Runtime::reset) restarts an execution in place,
+///   [`release`](Runtime::release) recycles its slot (bumping the
+///   generation, so stale handles fail loudly);
+/// * introspection — [`state_name`](Runtime::state_name),
+///   [`is_finished`](Runtime::is_finished), [`vars`](Runtime::vars),
+///   [`finished_count`](Runtime::finished_count), … — is uniform and
+///   allocation-free.
+///
+/// Sharding is configuration: [`sharded(k)`](Runtime::sharded)
+/// partitions future sessions across `k` shards, and batch deliveries
+/// step shards on scoped worker threads
+/// ([`deliver_all`](Runtime::deliver_all)) or persistent parked ones
+/// ([`with_workers`](Runtime::with_workers)). Results are bit-identical
+/// to a single shard whatever the scheduling, because sessions never
+/// share state.
+#[derive(Debug)]
+pub struct Runtime {
+    engine: Engine,
+    pool: ShardedPool<Shard>,
+}
+
+impl Runtime {
+    /// A runtime over `engine` with one shard and no sessions.
+    pub fn new(engine: Engine) -> Self {
+        let pool = ShardedPool::new(vec![Shard::new(engine.kind.clone())]);
+        Runtime { engine, pool }
+    }
+
+    /// Reconfigures the runtime to `shards` shards. Sharding is pure
+    /// configuration — call it once after construction, before spawning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or sessions have already been spawned
+    /// (redistribution would invalidate outstanding [`SessionId`]s).
+    pub fn sharded(self, shards: usize) -> Self {
+        assert!(shards > 0, "runtime needs at least one shard");
+        assert!(
+            self.pool.shards().iter().all(|s| s.session_count() == 0),
+            "sharded() must be called before spawning sessions"
+        );
+        let pool = ShardedPool::new(
+            (0..shards)
+                .map(|_| Shard::new(self.engine.kind.clone()))
+                .collect(),
+        );
+        Runtime {
+            engine: self.engine,
+            pool,
+        }
+    }
+
+    /// The engine this runtime serves.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of shards (worker threads used per batch delivery).
+    pub fn shard_count(&self) -> usize {
+        self.pool.shard_count()
+    }
+
+    /// Looks up a message id by name in O(1) (delegates to
+    /// [`Engine::message_id`]).
+    pub fn message_id(&self, name: &str) -> Option<MessageId> {
+        self.engine.message_id(name)
+    }
+
+    /// Starts a fresh execution (recycling a released slot if one is
+    /// free, else growing the least-loaded shard) and returns its
+    /// handle. Amortised O(1); the only runtime operation that may
+    /// allocate, and never per-event.
+    pub fn spawn(&mut self) -> SessionId {
+        let shards = self.pool.shards_mut();
+        let shard = (0..shards.len())
+            .min_by_key(|&i| shards[i].live())
+            .expect("runtime has at least one shard");
+        let (slot, generation) = shards[shard].spawn_slot();
+        SessionId {
+            shard: shard as u32,
+            slot,
+            generation,
+        }
+    }
+
+    /// Starts `count` fresh executions, balanced across shards.
+    pub fn spawn_many(&mut self, count: usize) {
+        // Spawn shard-by-shard to keep balancing O(shards), not
+        // O(count × shards).
+        let shards = self.pool.shards_mut();
+        let k = shards.len();
+        let target = {
+            let live: usize = shards.iter().map(Shard::live).sum();
+            (live + count).div_ceil(k)
+        };
+        let mut remaining = count;
+        for shard in shards.iter_mut() {
+            while remaining > 0 && shard.live() < target {
+                shard.spawn_slot();
+                remaining -= 1;
+            }
+        }
+        // Remainder (every shard at target): round-robin.
+        while remaining > 0 {
+            self.spawn();
+            remaining -= 1;
+        }
+    }
+
+    /// Sessions currently live (spawned and not released).
+    pub fn len(&self) -> usize {
+        self.pool.shards().iter().map(Shard::live).sum()
+    }
+
+    /// `true` if no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Delivers a message to one session; returns the triggered
+    /// actions, borrowed from the engine (no allocation on any
+    /// compiled-tier path). Finished sessions absorb every message.
+    ///
+    /// `message` must come from this runtime's engine (via
+    /// [`Runtime::message_id`] / [`Engine::message_id`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is stale — its slot was
+    /// [`release`](Runtime::release)d (and possibly recycled into a new
+    /// execution). This is the typed-handle guarantee: a handle to a
+    /// dead execution can never silently address a live one.
+    #[inline]
+    pub fn deliver(&mut self, session: SessionId, message: MessageId) -> &[Action] {
+        self.pool.shards_mut()[session.shard as usize].deliver_slot(session, message)
+    }
+
+    /// Delivers a message to every live session — one scoped worker
+    /// thread per shard when sharded — and returns the number of
+    /// transitions taken.
+    pub fn deliver_all(&mut self, message: MessageId) -> u64 {
+        self.pool.deliver_all(message)
+    }
+
+    /// Runs `f` with persistent parked workers, one per shard: a batch
+    /// *sequence* pays one thread spawn/join total instead of one per
+    /// [`Runtime::deliver_all`] call. With one shard no thread is
+    /// spawned and batches run inline.
+    pub fn with_workers<R>(&mut self, f: impl FnOnce(&mut Workers<'_>) -> R) -> R {
+        self.pool.with_workers(f)
+    }
+
+    /// Returns one session to the start state (same slot, handle stays
+    /// valid) for a fresh execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is stale (see [`Runtime::deliver`]).
+    pub fn reset(&mut self, session: SessionId) {
+        self.pool.shards_mut()[session.shard as usize].reset_slot(session);
+    }
+
+    /// Returns every live session to the start state.
+    pub fn reset_all(&mut self) {
+        self.pool.reset_all();
+    }
+
+    /// Ends an execution and recycles its slot through the free list.
+    /// The slot's generation is bumped: every outstanding handle to the
+    /// released execution becomes stale and will panic if used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is already stale (double release).
+    pub fn release(&mut self, session: SessionId) {
+        self.pool.shards_mut()[session.shard as usize].release_slot(session);
+    }
+
+    /// `true` while `session` addresses a live execution (its slot has
+    /// not been released/recycled). The non-panicking validity probe.
+    pub fn is_live(&self, session: SessionId) -> bool {
+        self.pool
+            .shards()
+            .get(session.shard as usize)
+            .is_some_and(|s| s.is_live_slot(session))
+    }
+
+    /// The dense state id of a session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is stale.
+    pub fn state(&self, session: SessionId) -> u32 {
+        self.pool.shards()[session.shard as usize].state_of(session)
+    }
+
+    /// Display name of a session's state, borrowed from the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is stale.
+    pub fn state_name(&self, session: SessionId) -> &str {
+        self.pool.shards()[session.shard as usize].state_name_of(session)
+    }
+
+    /// A session's EFSM variable registers, in declaration order (empty
+    /// on non-EFSM tiers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is stale.
+    pub fn vars(&self, session: SessionId) -> &[i64] {
+        self.pool.shards()[session.shard as usize].vars_of(session)
+    }
+
+    /// `true` once a session has reached a finish state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is stale.
+    pub fn is_finished(&self, session: SessionId) -> bool {
+        self.pool.shards()[session.shard as usize].is_finished_slot(session)
+    }
+
+    /// Number of live finished sessions.
+    ///
+    /// Tracked incrementally by the single-session paths (O(shards)
+    /// while only [`Runtime::deliver`]/[`Runtime::reset`]/
+    /// [`Runtime::release`] have run), but a
+    /// [`Runtime::deliver_all`] batch leaves the finished bitset stale
+    /// — keeping the batch hot loop free of per-transition finish
+    /// checks — so the first query after a batch rebuilds it at O(live
+    /// sessions) per dirty shard. Poll between batches, not inside a
+    /// per-delivery hot path.
+    pub fn finished_count(&self) -> usize {
+        self.pool.finished_count()
+    }
+
+    /// `true` once every live session has finished.
+    pub fn all_finished(&self) -> bool {
+        self.finished_count() == self.len()
+    }
+
+    /// Total transitions taken across all sessions.
+    pub fn steps(&self) -> u64 {
+        self.pool.steps()
+    }
+
+    /// A [`ProtocolEngine`] view of one session, for code written
+    /// against the trait vocabulary (equivalence suites, generic
+    /// drivers).
+    pub fn session(&mut self, id: SessionId) -> Session<'_> {
+        Session { runtime: self, id }
+    }
+}
+
+/// A borrowed [`ProtocolEngine`] view of one [`Runtime`] session (see
+/// [`Runtime::session`]).
+#[derive(Debug)]
+pub struct Session<'r> {
+    runtime: &'r mut Runtime,
+    id: SessionId,
+}
+
+impl Session<'_> {
+    /// The handle this view addresses.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+}
+
+impl ProtocolEngine for Session<'_> {
+    fn deliver_ref(&mut self, message: &str) -> Result<&[Action], InterpError> {
+        let id = self
+            .runtime
+            .message_id(message)
+            .ok_or_else(|| InterpError::UnknownMessage(message.to_string()))?;
+        Ok(self.runtime.deliver(self.id, id))
+    }
+
+    fn is_finished(&self) -> bool {
+        self.runtime.is_finished(self.id)
+    }
+
+    fn state_name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(self.runtime.state_name(self.id))
+    }
+
+    fn reset(&mut self) {
+        self.runtime.reset(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use stategen_core::{StateMachine, StateMachineBuilder, StateRole};
+
+    use super::*;
+    use crate::engine::{Engine, Tier};
+    use crate::spec::Spec;
+
+    fn finishing_machine() -> StateMachine {
+        let mut b = StateMachineBuilder::new("m", ["a", "b"]);
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let fin = b.add_state_full("FINISHED", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "a", s1, vec![Action::send("x")]);
+        b.add_transition(s1, "a", fin, vec![]);
+        b.build(s0)
+    }
+
+    fn compiled_runtime() -> Runtime {
+        Engine::compile(Spec::machine(finishing_machine()))
+            .unwrap()
+            .runtime()
+    }
+
+    #[test]
+    fn spawn_deliver_walks_to_finish() {
+        let mut rt = compiled_runtime();
+        let a = rt.message_id("a").unwrap();
+        let s = rt.spawn();
+        assert_eq!(rt.deliver(s, a), [Action::send("x")]);
+        assert_eq!(rt.state_name(s), "s1");
+        assert!(rt.deliver(s, a).is_empty());
+        assert!(rt.is_finished(s));
+        assert_eq!(rt.steps(), 2);
+        // Finished sessions absorb.
+        assert!(rt.deliver(s, a).is_empty());
+        assert_eq!(rt.steps(), 2);
+    }
+
+    #[test]
+    fn release_recycles_slot_with_fresh_generation() {
+        let mut rt = compiled_runtime();
+        let a = rt.message_id("a").unwrap();
+        let first = rt.spawn();
+        rt.deliver(first, a);
+        rt.release(first);
+        assert!(!rt.is_live(first));
+        assert_eq!(rt.len(), 0);
+        let second = rt.spawn();
+        // Same slot, next generation: the handle is distinguishable.
+        assert_eq!(second.slot(), first.slot());
+        assert_eq!(second.generation(), first.generation() + 1);
+        assert_eq!(format!("{first:?}"), "s0:0");
+        assert_eq!(format!("{second:?}"), "s0:0#1");
+        // The recycled slot starts a fresh execution.
+        assert_eq!(rt.state_name(second), "s0");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale session handle s0:0")]
+    fn stale_handle_panics_after_recycle() {
+        let mut rt = compiled_runtime();
+        let a = rt.message_id("a").unwrap();
+        let first = rt.spawn();
+        rt.release(first);
+        let _second = rt.spawn(); // recycles the slot
+        rt.deliver(first, a); // use-after-recycle must fail loudly
+    }
+
+    #[test]
+    #[should_panic(expected = "stale session handle")]
+    fn double_release_panics() {
+        let mut rt = compiled_runtime();
+        let s = rt.spawn();
+        rt.release(s);
+        rt.release(s);
+    }
+
+    #[test]
+    fn deliver_all_skips_released_slots() {
+        let mut rt = compiled_runtime();
+        let a = rt.message_id("a").unwrap();
+        let keep: Vec<SessionId> = (0..10).map(|_| rt.spawn()).collect();
+        let drop = rt.spawn();
+        rt.release(drop);
+        assert_eq!(rt.len(), 10);
+        assert_eq!(rt.deliver_all(a), 10);
+        assert_eq!(rt.deliver_all(a), 10);
+        assert!(rt.all_finished());
+        for s in keep {
+            assert!(rt.is_finished(s));
+        }
+    }
+
+    #[test]
+    fn sharded_matches_flat_runtime() {
+        let machine = finishing_machine();
+        let engine = Engine::compile(Spec::machine(machine)).unwrap();
+        let mut flat = engine.runtime();
+        flat.spawn_many(103);
+        let mut sharded = engine.runtime().sharded(4);
+        sharded.spawn_many(103);
+        assert_eq!(sharded.shard_count(), 4);
+        assert_eq!(sharded.len(), 103);
+        let a = engine.message_id("a").unwrap();
+        let b = engine.message_id("b").unwrap();
+        for &mid in &[a, b, a, a, b] {
+            assert_eq!(flat.deliver_all(mid), sharded.deliver_all(mid));
+            assert_eq!(flat.finished_count(), sharded.finished_count());
+            assert_eq!(flat.steps(), sharded.steps());
+        }
+        assert!(sharded.all_finished());
+        sharded.reset_all();
+        assert_eq!(sharded.finished_count(), 0);
+        assert_eq!(sharded.steps(), 0);
+    }
+
+    #[test]
+    fn parked_workers_match_scoped_delivery() {
+        let engine = Engine::compile(Spec::machine(finishing_machine())).unwrap();
+        let mut rt = engine.runtime().sharded(3);
+        rt.spawn_many(70);
+        let a = engine.message_id("a").unwrap();
+        let total = rt.with_workers(|w| {
+            assert_eq!(w.worker_count(), 3);
+            let t = w.deliver_all(a) + w.deliver_all(a);
+            assert_eq!(w.finished_count(), 70);
+            t
+        });
+        assert_eq!(total, 140);
+        assert!(rt.all_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "before spawning")]
+    fn sharded_after_spawn_panics() {
+        let mut rt = compiled_runtime();
+        rt.spawn();
+        let _ = rt.sharded(2);
+    }
+
+    #[test]
+    fn session_view_speaks_protocol_engine() {
+        let mut rt = compiled_runtime();
+        let id = rt.spawn();
+        let mut session = rt.session(id);
+        assert_eq!(session.id(), id);
+        assert_eq!(session.deliver_ref("a").unwrap(), [Action::send("x")]);
+        assert_eq!(session.state_name(), "s1");
+        assert!(session.deliver_ref("zap").is_err());
+        session.reset();
+        assert_eq!(session.state_name(), "s0");
+        assert!(!session.is_finished());
+    }
+
+    #[test]
+    fn interpreted_tier_matches_compiled() {
+        let machine = finishing_machine();
+        let compiled = Engine::compile(Spec::machine(machine.clone())).unwrap();
+        let interp = Engine::interpret(Spec::machine(machine)).unwrap();
+        assert_eq!(compiled.tier(), Tier::Compiled);
+        assert_eq!(interp.tier(), Tier::Interpreted);
+        let mut rc = compiled.runtime_with(5);
+        let mut ri = interp.runtime_with(5);
+        for name in ["b", "a", "b", "a", "a"] {
+            let mid_c = rc.message_id(name).unwrap();
+            let mid_i = ri.message_id(name).unwrap();
+            assert_eq!(rc.deliver_all(mid_c), ri.deliver_all(mid_i));
+            assert_eq!(rc.finished_count(), ri.finished_count());
+        }
+        let (sc, si) = (rc.spawn(), ri.spawn());
+        assert_eq!(rc.state_name(sc), ri.state_name(si));
+    }
+}

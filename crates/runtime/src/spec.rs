@@ -1,0 +1,107 @@
+//! Pipeline ingest: everything the toolkit can turn into a running
+//! engine, under one roof.
+
+use stategen_core::{
+    generate, AbstractModel, Efsm, HierarchicalMachine, StateMachine, StategenError,
+};
+
+use crate::engine::Engine;
+
+/// A machine specification entering the execution pipeline.
+///
+/// The paper's generation pipeline produces several artifact shapes —
+/// flat FSM family members, parameter-generic EFSMs, hierarchical
+/// statecharts. `Spec` is the single front door: every shape compiles
+/// into the same owned [`Engine`] and is served by the same
+/// [`Runtime`](crate::Runtime), so deployment code never branches on
+/// where a machine came from.
+#[derive(Debug, Clone)]
+pub enum Spec {
+    /// A flat generated (or hand-built) state machine.
+    Machine(StateMachine),
+    /// An extended FSM plus the parameter values to bind — one EFSM
+    /// serves the whole protocol family (e.g. every replication
+    /// factor), specialised at ingest.
+    Efsm {
+        /// The parameter-generic machine.
+        machine: Efsm,
+        /// Concrete values for the EFSM's declared parameters, in
+        /// declaration order.
+        params: Vec<i64>,
+    },
+    /// A hierarchical statechart; flattened automatically on ingest
+    /// (reachable configurations become flat states), so composite
+    /// states, inherited transitions and shallow history run on the
+    /// dense-table tiers unchanged.
+    Hierarchical(HierarchicalMachine),
+}
+
+impl Spec {
+    /// Wraps a flat machine.
+    pub fn machine(machine: StateMachine) -> Self {
+        Spec::Machine(machine)
+    }
+
+    /// Wraps an EFSM with its parameter binding.
+    pub fn efsm(machine: Efsm, params: Vec<i64>) -> Self {
+        Spec::Efsm { machine, params }
+    }
+
+    /// Wraps a hierarchical statechart.
+    pub fn hierarchical(machine: HierarchicalMachine) -> Self {
+        Spec::Hierarchical(machine)
+    }
+
+    /// Runs an abstract model through the generation pipeline
+    /// (enumerate → elaborate → prune → merge) and wraps the generated
+    /// family member — the paper's "generate on the fly" policy as one
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::Generate`] if the model is invalid.
+    pub fn generated<M: AbstractModel>(model: &M) -> Result<Self, StategenError> {
+        Ok(Spec::Machine(generate(model)?.machine))
+    }
+
+    /// The machine's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Spec::Machine(m) => m.name(),
+            Spec::Efsm { machine, .. } => machine.name(),
+            Spec::Hierarchical(h) => h.name(),
+        }
+    }
+
+    /// Compiles into the deployment tier for this spec shape
+    /// (shorthand for [`Engine::compile`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::compile`].
+    pub fn compile(self) -> Result<Engine, StategenError> {
+        Engine::compile(self)
+    }
+
+    /// Selects the no-preparation tier (shorthand for
+    /// [`Engine::interpret`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::interpret`].
+    pub fn interpret(self) -> Result<Engine, StategenError> {
+        Engine::interpret(self)
+    }
+}
+
+impl From<StateMachine> for Spec {
+    fn from(machine: StateMachine) -> Self {
+        Spec::Machine(machine)
+    }
+}
+
+impl From<HierarchicalMachine> for Spec {
+    fn from(machine: HierarchicalMachine) -> Self {
+        Spec::Hierarchical(machine)
+    }
+}

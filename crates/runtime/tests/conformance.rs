@@ -1,0 +1,264 @@
+//! API conformance: every execution tier behind the `Spec → Engine →
+//! Runtime` pipeline produces identical action sequences, finished
+//! flags and state names on a shared trace corpus — including the
+//! flattened-HSM tier against the direct statechart interpreter — plus
+//! `Send + 'static` / object-safety compile tests for the owned
+//! surface.
+//!
+//! The corpus mixes exhaustive short traces with seeded pseudo-random
+//! long ones, so both the dense early state space and deep runs are
+//! covered deterministically.
+
+use std::borrow::Cow;
+
+use stategen_commit::{commit_efsm, commit_efsm_params, CommitConfig, CommitModel, MESSAGE_NAMES};
+use stategen_core::{generate, HsmInstance, StateMachine};
+use stategen_models::session_lifecycle;
+use stategen_runtime::{Engine, ProtocolEngine, Runtime, Spec, Tier};
+
+/// Deterministic LCG over message indices (no RNG dependency; the
+/// corpus must be identical on every run and machine).
+fn corpus(seed: u64, len: usize, alphabet: usize) -> Vec<usize> {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize % alphabet
+        })
+        .collect()
+}
+
+fn commit_machine(r: u32) -> StateMachine {
+    generate(&CommitModel::new(CommitConfig::new(r).unwrap()))
+        .unwrap()
+        .machine
+}
+
+/// One observation of one session after one delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observation {
+    actions: Vec<String>,
+    finished: bool,
+    state_name: Option<String>,
+}
+
+/// Drives one runtime session through a name trace, recording the
+/// observable behaviour after every delivery. `record_names` is off for
+/// tiers whose state naming legitimately differs (the EFSM encodes
+/// threshold phases, not counter values).
+fn observe(rt: &mut Runtime, trace: &[&str], record_names: bool) -> Vec<Observation> {
+    let session = rt.spawn();
+    trace
+        .iter()
+        .map(|name| {
+            let actions: Vec<String> = rt
+                .deliver(session, rt.message_id(name).expect("message in alphabet"))
+                .iter()
+                .map(|a| a.message().to_string())
+                .collect();
+            Observation {
+                actions,
+                finished: rt.is_finished(session),
+                state_name: record_names.then(|| rt.state_name(session).to_string()),
+            }
+        })
+        .collect()
+}
+
+/// The same trace corpus for one machine family member, in name form.
+fn commit_traces() -> Vec<Vec<&'static str>> {
+    let mut traces: Vec<Vec<&'static str>> = Vec::new();
+    // Exhaustive traces up to length 4 (5^4 = 625).
+    let mut stack = vec![Vec::new()];
+    while let Some(trace) = stack.pop() {
+        traces.push(trace.iter().map(|&m| MESSAGE_NAMES[m]).collect());
+        if trace.len() < 4 {
+            for m in 0..MESSAGE_NAMES.len() {
+                let mut next = trace.clone();
+                next.push(m);
+                stack.push(next);
+            }
+        }
+    }
+    // Seeded long traces.
+    for seed in 0..32 {
+        traces.push(
+            corpus(seed, 120, MESSAGE_NAMES.len())
+                .into_iter()
+                .map(|m| MESSAGE_NAMES[m])
+                .collect(),
+        );
+    }
+    traces
+}
+
+/// All four pipeline tiers agree on the commit protocol: interpreted
+/// and compiled flat machines match on actions, finished flags *and*
+/// state names; the compiled-EFSM tier (a different artifact of the
+/// same algorithm) matches on actions and finished flags.
+#[test]
+fn commit_tiers_agree_on_trace_corpus() {
+    for r in [2u32, 4, 7] {
+        let machine = commit_machine(r);
+        let config = CommitConfig::new(r).unwrap();
+        let interpreted = Engine::interpret(Spec::machine(machine.clone())).unwrap();
+        let compiled = Engine::compile(Spec::machine(machine)).unwrap();
+        let efsm = Engine::compile(Spec::efsm(commit_efsm(), commit_efsm_params(&config))).unwrap();
+        assert_eq!(interpreted.tier(), Tier::Interpreted);
+        assert_eq!(compiled.tier(), Tier::Compiled);
+        assert_eq!(efsm.tier(), Tier::CompiledEfsm);
+        let mut rt_interp = interpreted.runtime();
+        let mut rt_compiled = compiled.runtime();
+        let mut rt_efsm = efsm.runtime();
+        for trace in commit_traces() {
+            let o_interp = observe(&mut rt_interp, &trace, true);
+            let o_compiled = observe(&mut rt_compiled, &trace, true);
+            let o_efsm = observe(&mut rt_efsm, &trace, false);
+            assert_eq!(
+                o_interp, o_compiled,
+                "r={r} interpreted vs compiled on {trace:?}"
+            );
+            for (step, (a, b)) in o_compiled.iter().zip(&o_efsm).enumerate() {
+                assert_eq!(
+                    a.actions, b.actions,
+                    "r={r} step {step}: compiled vs EFSM actions on {trace:?}"
+                );
+                assert_eq!(
+                    a.finished, b.finished,
+                    "r={r} step {step}: compiled vs EFSM finished on {trace:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The flattened-HSM tier (compiled *and* interpreted flat forms)
+/// matches the direct statechart interpreter — the semantic reference —
+/// on actions, finished flags and synthesized configuration names.
+#[test]
+fn hsm_tiers_agree_on_trace_corpus() {
+    let hsm = session_lifecycle();
+    let alphabet: Vec<String> = hsm.messages().to_vec();
+    let compiled = Engine::compile(Spec::hierarchical(hsm.clone())).unwrap();
+    let interpreted = Engine::interpret(Spec::hierarchical(hsm.clone())).unwrap();
+    assert_eq!(compiled.tier(), Tier::FlattenedHsm);
+    assert_eq!(interpreted.tier(), Tier::Interpreted);
+    let mut rt_compiled = compiled.runtime();
+    let mut rt_interp = interpreted.runtime();
+    for seed in 0..64u64 {
+        let trace: Vec<&str> = corpus(seed, 80, alphabet.len())
+            .into_iter()
+            .map(|m| alphabet[m].as_str())
+            .collect();
+        // The direct interpreter is the reference.
+        let mut reference = HsmInstance::new(&hsm);
+        let expected: Vec<Observation> = trace
+            .iter()
+            .map(|name| {
+                let actions = reference
+                    .deliver(name)
+                    .unwrap()
+                    .into_iter()
+                    .map(|a| a.message().to_string())
+                    .collect();
+                Observation {
+                    actions,
+                    finished: reference.is_finished(),
+                    state_name: Some(reference.state_name().into_owned()),
+                }
+            })
+            .collect();
+        assert_eq!(
+            expected,
+            observe(&mut rt_compiled, &trace, true),
+            "flattened+compiled diverged from HsmInstance (seed {seed})"
+        );
+        assert_eq!(
+            expected,
+            observe(&mut rt_interp, &trace, true),
+            "flattened+interpreted diverged from HsmInstance (seed {seed})"
+        );
+    }
+}
+
+/// The `Session` view speaks the same `ProtocolEngine` vocabulary as
+/// every core engine, so generic drivers run unchanged on the facade.
+#[test]
+fn session_view_is_a_protocol_engine() {
+    fn drive<E: ProtocolEngine>(engine: &mut E) -> (Vec<String>, bool, String) {
+        let mut actions = Vec::new();
+        for name in ["update", "vote", "vote", "commit", "commit"] {
+            actions.extend(
+                engine
+                    .deliver(name)
+                    .unwrap()
+                    .iter()
+                    .map(|a| a.message().to_string()),
+            );
+        }
+        (
+            actions,
+            engine.is_finished(),
+            engine.state_name().into_owned(),
+        )
+    }
+    let machine = commit_machine(4);
+    let mut reference = stategen_core::FsmInstance::new(&machine);
+    let mut rt = Engine::compile(Spec::machine(machine.clone()))
+        .unwrap()
+        .runtime();
+    let id = rt.spawn();
+    assert_eq!(drive(&mut reference), drive(&mut rt.session(id)));
+}
+
+/// The owned pipeline really is owned: engines and runtimes are
+/// `Send + 'static` (runtimes additionally `Sync`-free by design —
+/// sessions are single-writer), so they move into threads, servers and
+/// `'static` task queues without lifetime gymnastics.
+#[test]
+fn engine_and_runtime_are_send_static() {
+    fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+    fn assert_send_static<T: Send + 'static>() {}
+    assert_send_sync_static::<Engine>();
+    assert_send_static::<Runtime>();
+    assert_send_static::<stategen_runtime::SessionId>();
+
+    // And behaviourally: an engine compiled here serves sessions on
+    // another thread with no scoped-borrow scaffolding.
+    let engine = Engine::compile(Spec::machine(commit_machine(4))).unwrap();
+    let handle = std::thread::spawn(move || {
+        let mut rt = engine.runtime_with(1000);
+        let update = rt.message_id("update").unwrap();
+        let vote = rt.message_id("vote").unwrap();
+        rt.deliver_all(update) + rt.deliver_all(vote) + rt.deliver_all(vote)
+    });
+    assert_eq!(handle.join().unwrap(), 3000);
+}
+
+/// `ProtocolEngine` stays object-safe after the `Cow` state-name
+/// redesign: heterogeneous engine collections still work.
+#[test]
+fn protocol_engine_is_object_safe() {
+    let machine = commit_machine(2);
+    let hsm = session_lifecycle();
+    let mut rt = Engine::compile(Spec::machine(machine.clone()))
+        .unwrap()
+        .runtime();
+    let id = rt.spawn();
+    let session = rt.session(id);
+    let mut engines: Vec<Box<dyn ProtocolEngine + '_>> = vec![
+        Box::new(stategen_core::FsmInstance::new(&machine)),
+        Box::new(HsmInstance::new(&hsm)),
+        Box::new(session),
+    ];
+    for engine in &mut engines {
+        let name: Cow<'_, str> = engine.state_name();
+        assert!(!name.is_empty());
+        let _ = engine.is_finished();
+        engine.reset();
+    }
+}

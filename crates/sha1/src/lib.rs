@@ -226,7 +226,10 @@ mod tests {
         for _ in 0..10_000 {
             h.update(&[b'a'; 100]);
         }
-        assert_eq!(h.finalize().to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            h.finalize().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

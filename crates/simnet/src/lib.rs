@@ -64,7 +64,13 @@ mod tests {
     }
 
     fn two_nodes(replies: bool) -> Vec<PingPong> {
-        (0..2).map(|_| PingPong { pings: 0, pongs: 0, replies }).collect()
+        (0..2)
+            .map(|_| PingPong {
+                pings: 0,
+                pongs: 0,
+                replies,
+            })
+            .collect()
     }
 
     #[test]
@@ -79,7 +85,10 @@ mod tests {
 
     #[test]
     fn drops_are_counted_and_silent() {
-        let config = SimConfig { drop_probability: 1.0, ..Default::default() };
+        let config = SimConfig {
+            drop_probability: 1.0,
+            ..Default::default()
+        };
         let mut sim = Simulation::new(config, two_nodes(true));
         sim.post(NodeId(0), NodeId(1), Msg::Ping);
         let stats = sim.run();
@@ -90,7 +99,10 @@ mod tests {
 
     #[test]
     fn duplicates_deliver_twice() {
-        let config = SimConfig { duplicate_probability: 1.0, ..Default::default() };
+        let config = SimConfig {
+            duplicate_probability: 1.0,
+            ..Default::default()
+        };
         let mut sim = Simulation::new(config, two_nodes(false));
         sim.post(NodeId(0), NodeId(1), Msg::Ping);
         let stats = sim.run();
@@ -125,7 +137,12 @@ mod tests {
                 sim.post(NodeId(0), NodeId(1), Msg::Ping);
             }
             let stats = sim.run();
-            (stats, sim.node(NodeId(1)).pings, sim.node(NodeId(0)).pongs, sim.now())
+            (
+                stats,
+                sim.node(NodeId(1)).pings,
+                sim.node(NodeId(0)).pongs,
+                sim.now(),
+            )
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99), run(100));
@@ -219,7 +236,11 @@ mod tests {
                 }
             }
         }
-        let nodes = vec![Node::Starter(Starter), Node::Sink(Sink { pings: 0 }), Node::Sink(Sink { pings: 0 })];
+        let nodes = vec![
+            Node::Starter(Starter),
+            Node::Sink(Sink { pings: 0 }),
+            Node::Sink(Sink { pings: 0 }),
+        ];
         let mut sim = Simulation::new(SimConfig::default(), nodes);
         sim.run();
         for i in 1..3 {
@@ -260,7 +281,10 @@ mod tests {
                 ctx.set_timer(1, 0);
             }
         }
-        let config = SimConfig { max_steps: 500, ..Default::default() };
+        let config = SimConfig {
+            max_steps: 500,
+            ..Default::default()
+        };
         let mut sim = Simulation::new(config, vec![Rearm]);
         let stats = sim.run();
         assert_eq!(stats.steps, 500);

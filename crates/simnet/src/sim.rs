@@ -8,8 +8,8 @@
 //! and timer events in virtual-time order with a deterministic
 //! tie-breaker.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::rng::SimRng;
 use crate::trace::{Trace, TraceKind};
@@ -457,7 +457,14 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
                 .net_rng
                 .range_inclusive(self.config.min_delay, self.config.max_delay);
             let at = self.now + extra;
-            self.push_event(at, to, Payload::Message { from, message: message.clone() });
+            self.push_event(
+                at,
+                to,
+                Payload::Message {
+                    from,
+                    message: message.clone(),
+                },
+            );
         }
         let at = self.now + delay;
         self.push_event(at, to, Payload::Message { from, message });
@@ -466,6 +473,11 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
     fn push_event(&mut self, at: SimTime, to: NodeId, payload: Payload<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, to, payload }));
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            to,
+            payload,
+        }));
     }
 }

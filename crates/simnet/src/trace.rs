@@ -64,7 +64,11 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace that keeps at most `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        Trace { events: Vec::new(), capacity, truncated: false }
+        Trace {
+            events: Vec::new(),
+            capacity,
+            truncated: false,
+        }
     }
 
     /// The recorded events, in order.
@@ -103,11 +107,29 @@ mod tests {
     #[test]
     fn bounded_recording() {
         let mut t = Trace::with_capacity(2);
-        t.record(1, TraceKind::Timer { node: NodeId(0), tag: 7 });
+        t.record(
+            1,
+            TraceKind::Timer {
+                node: NodeId(0),
+                tag: 7,
+            },
+        );
         assert_eq!(t.len(), 1);
         assert!(!t.is_truncated());
-        t.record(2, TraceKind::Timer { node: NodeId(0), tag: 8 });
-        t.record(3, TraceKind::Timer { node: NodeId(0), tag: 9 });
+        t.record(
+            2,
+            TraceKind::Timer {
+                node: NodeId(0),
+                tag: 8,
+            },
+        );
+        t.record(
+            3,
+            TraceKind::Timer {
+                node: NodeId(0),
+                tag: 9,
+            },
+        );
         assert_eq!(t.len(), 2);
         assert!(t.is_truncated());
         assert_eq!(t.events()[0].at, 1);

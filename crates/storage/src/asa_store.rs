@@ -53,8 +53,15 @@ impl std::fmt::Display for StoreError {
             StoreError::InconsistentHistory(g) => {
                 write!(f, "no f+1-consistent history for {g}")
             }
-            StoreError::NoSuchVersion { guid, index, available } => {
-                write!(f, "{guid} has {available} version(s); index {index} does not exist")
+            StoreError::NoSuchVersion {
+                guid,
+                index,
+                available,
+            } => {
+                write!(
+                    f,
+                    "{guid} has {available} version(s); index {index} does not exist"
+                )
             }
         }
     }
@@ -91,7 +98,11 @@ impl Default for StoreConfig {
         StoreConfig {
             replication_factor: 4,
             peer_behaviours: Vec::new(),
-            net: SimConfig { min_delay: 1, max_delay: 10, ..Default::default() },
+            net: SimConfig {
+                min_delay: 1,
+                max_delay: 10,
+                ..Default::default()
+            },
         }
     }
 }
@@ -163,12 +174,18 @@ impl AsaStore {
         let pid = self.data.store(&block)?;
         // One protocol execution per update (paper §2.2). The simulation
         // seed advances so repeated appends see fresh schedules.
-        self.commit_seed = self.commit_seed.wrapping_mul(6364136223846793005).wrapping_add(97);
+        self.commit_seed = self
+            .commit_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(97);
         let harness = HarnessConfig {
             replication_factor: self.config.replication_factor,
             behaviours: self.config.peer_behaviours.clone(),
             client_updates: vec![vec![pid]],
-            net: SimConfig { seed: self.commit_seed, ..self.config.net.clone() },
+            net: SimConfig {
+                seed: self.commit_seed,
+                ..self.config.net.clone()
+            },
             ..Default::default()
         };
         let report = run_harness(&harness);
@@ -196,7 +213,11 @@ impl AsaStore {
         self.histories
             .get(&guid)
             .map(Vec::len)
-            .ok_or(StoreError::NoSuchVersion { guid, index: 0, available: 0 })
+            .ok_or(StoreError::NoSuchVersion {
+                guid,
+                index: 0,
+                available: 0,
+            })
     }
 
     /// The recorded history of `guid`.
@@ -232,7 +253,11 @@ impl AsaStore {
     pub fn read_latest(&mut self, guid: Guid) -> Result<DataBlock, StoreError> {
         let count = self.version_count(guid)?;
         if count == 0 {
-            return Err(StoreError::NoSuchVersion { guid, index: 0, available: 0 });
+            return Err(StoreError::NoSuchVersion {
+                guid,
+                index: 0,
+                available: 0,
+            });
         }
         self.read_version(guid, count - 1)
     }
@@ -269,7 +294,8 @@ mod tests {
         let mut s = store();
         let guid = s.create("log");
         for i in 0..5 {
-            s.append_version(guid, format!("entry {i}").into_bytes()).unwrap();
+            s.append_version(guid, format!("entry {i}").into_bytes())
+                .unwrap();
         }
         assert_eq!(s.version_count(guid).unwrap(), 5);
         // Old versions remain readable: nothing is destroyed.
@@ -322,7 +348,11 @@ mod tests {
         s.append_version(guid, b"only one".to_vec()).unwrap();
         assert!(matches!(
             s.read_version(guid, 3),
-            Err(StoreError::NoSuchVersion { index: 3, available: 1, .. })
+            Err(StoreError::NoSuchVersion {
+                index: 3,
+                available: 1,
+                ..
+            })
         ));
     }
 
@@ -339,8 +369,14 @@ mod tests {
     #[test]
     fn error_display() {
         let guid = Guid::from_name("x");
-        assert!(StoreError::CommitFailed(guid).to_string().contains("commit protocol failed"));
-        let e = StoreError::NoSuchVersion { guid, index: 7, available: 2 };
+        assert!(StoreError::CommitFailed(guid)
+            .to_string()
+            .contains("commit protocol failed"));
+        let e = StoreError::NoSuchVersion {
+            guid,
+            index: 7,
+            available: 2,
+        };
         assert!(e.to_string().contains("index 7"));
     }
 }

@@ -39,7 +39,9 @@ impl RetryScheme {
             RetryScheme::Fixed { delay } => delay,
             RetryScheme::Random { min, max } => rng.range_inclusive(min, max.max(min)),
             RetryScheme::Exponential { base, max } => {
-                let raw = base.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX)).min(max);
+                let raw = base
+                    .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+                    .min(max);
                 let jitter_span = (raw / 2).max(1);
                 let low = raw.saturating_sub(jitter_span / 2).max(1);
                 rng.range_inclusive(low, low + jitter_span)
@@ -95,7 +97,10 @@ mod tests {
     #[test]
     fn exponential_grows_then_caps() {
         let mut rng = SimRng::new(3);
-        let s = RetryScheme::Exponential { base: 10, max: 1000 };
+        let s = RetryScheme::Exponential {
+            base: 10,
+            max: 1000,
+        };
         let d0 = s.delay(0, &mut rng);
         assert!((5..=20).contains(&d0), "d0 = {d0}");
         let d6 = s.delay(6, &mut rng);

@@ -53,7 +53,10 @@ impl std::fmt::Display for DataServiceError {
         match self {
             DataServiceError::Overlay(e) => write!(f, "overlay error: {e}"),
             DataServiceError::QuorumNotReached { acks, needed } => {
-                write!(f, "store reached only {acks} of {needed} required acknowledgements")
+                write!(
+                    f,
+                    "store reached only {acks} of {needed} required acknowledgements"
+                )
             }
             DataServiceError::NotRetrievable(pid) => {
                 write!(f, "no replica served a verifiable block for {pid}")
@@ -160,7 +163,10 @@ impl DataService {
         for &peer in &peers {
             match self.behaviour_of(peer) {
                 NodeBehaviour::Correct => {
-                    self.stores.entry(peer.0).or_default().insert(pid, block.data().to_vec());
+                    self.stores
+                        .entry(peer.0)
+                        .or_default()
+                        .insert(pid, block.data().to_vec());
                     self.stats.replicas_written += 1;
                     acks += 1;
                 }
@@ -172,7 +178,10 @@ impl DataService {
                     } else {
                         corrupted.push(0xFF);
                     }
-                    self.stores.entry(peer.0).or_default().insert(pid, corrupted);
+                    self.stores
+                        .entry(peer.0)
+                        .or_default()
+                        .insert(pid, corrupted);
                     self.stats.replicas_written += 1;
                     acks += 1;
                 }
@@ -229,7 +238,9 @@ impl DataService {
         }
         let mut repaired = 0usize;
         for pid in pids {
-            let Ok(good) = self.retrieve(pid) else { continue };
+            let Ok(good) = self.retrieve(pid) else {
+                continue;
+            };
             let Ok(peers) = peer_set(&self.overlay, pid_key(&pid), self.replication_factor) else {
                 continue;
             };
@@ -318,7 +329,10 @@ mod tests {
             svc.set_behaviour(p, NodeBehaviour::Byzantine);
         }
         let pid = svc.store(&block).unwrap(); // they all "ack"
-        assert_eq!(svc.retrieve(pid), Err(DataServiceError::NotRetrievable(pid)));
+        assert_eq!(
+            svc.retrieve(pid),
+            Err(DataServiceError::NotRetrievable(pid))
+        );
         assert!(svc.stats().verification_failures >= 4);
     }
 

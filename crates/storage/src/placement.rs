@@ -14,10 +14,15 @@ use crate::entities::{Guid, Pid};
 /// Generates `replication_factor` keys evenly distributed around the
 /// ring, anchored at the identifier's own ring position.
 pub fn replica_keys(anchor: Key, replication_factor: u32) -> Vec<Key> {
-    assert!(replication_factor > 0, "replication factor must be positive");
+    assert!(
+        replication_factor > 0,
+        "replication factor must be positive"
+    );
     let r = u64::from(replication_factor);
     let stride = u64::MAX / r; // ≈ 2^64 / r; rounding skew is negligible
-    (0..r).map(|i| Key(anchor.0.wrapping_add(i.wrapping_mul(stride)))).collect()
+    (0..r)
+        .map(|i| Key(anchor.0.wrapping_add(i.wrapping_mul(stride))))
+        .collect()
 }
 
 /// The ring anchor of a PID.
@@ -75,15 +80,15 @@ mod tests {
     #[test]
     fn deterministic() {
         let pid = Pid::of(b"block");
-        assert_eq!(replica_keys(pid_key(&pid), 7), replica_keys(pid_key(&pid), 7));
+        assert_eq!(
+            replica_keys(pid_key(&pid), 7),
+            replica_keys(pid_key(&pid), 7)
+        );
     }
 
     #[test]
     fn peer_set_resolves_to_live_owners() {
-        let overlay = Overlay::with_nodes(
-            (0..64u64).map(|i| Key::hash(&i.to_be_bytes())),
-            4,
-        );
+        let overlay = Overlay::with_nodes((0..64u64).map(|i| Key::hash(&i.to_be_bytes())), 4);
         let pid = Pid::of(b"data");
         let peers = peer_set(&overlay, pid_key(&pid), 4).unwrap();
         assert_eq!(peers.len(), 4, "64 nodes comfortably separate 4 keys");

@@ -4,12 +4,15 @@
 //! One harness instance models the peer set of a single GUID: `r` peers
 //! plus one or more client endpoints, all exchanging messages over the
 //! deterministic network simulator. Each peer serves its update
-//! attempts from a per-peer [`SessionPool`] over the compiled commit
-//! machine (one dense `u32` of state per attempt; slots of aborted or
-//! garbage-collected unfinished attempts are recycled through a free
-//! list, while finished attempts keep theirs as replay protection)
-//! instead of allocating a full interpreter instance per attempt — the
-//! deployment shape the paper's ASA peers need at scale. Peers vote for updates in arrival
+//! attempts from a per-peer [`Runtime`] over the shared compiled commit
+//! engine (one dense `u32` of state per attempt, addressed by a typed
+//! generational [`SessionId`]; slots of aborted or garbage-collected
+//! unfinished attempts are recycled through the runtime's free list —
+//! stale handles to them fail loudly instead of silently serving a
+//! recycled attempt — while finished attempts keep theirs as replay
+//! protection) instead of allocating a full interpreter instance per
+//! attempt — the deployment shape the paper's ASA peers need at scale.
+//! Peers vote for updates in arrival
 //! order, exchange `vote`/`commit` messages, and append an update to
 //! their local history once the external commit threshold is reached;
 //! endpoints detect completion when `f + 1` distinct peers report the
@@ -30,7 +33,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use asa_simnet::{Context, NodeId, SimConfig, SimNode, SimStats, SimTime, Simulation};
 use stategen_commit::{CommitConfig, CommitMessage, CommitModel, CommitStateExt};
-use stategen_core::{generate, CompiledMachine, MessageId, SessionPool, StateMachine};
+use stategen_core::{generate, MessageId, StateMachine};
+use stategen_runtime::{Engine, Runtime, SessionId, Spec};
 
 use crate::backoff::{RetryScheme, ServerOrdering};
 use crate::entities::Pid;
@@ -75,15 +79,19 @@ pub enum PeerBehaviour {
     Equivocator,
 }
 
-/// The compiled commit machine shared by a harness's whole peer set,
+/// The compiled commit engine shared by a harness's whole peer set,
 /// plus the per-state protocol facts the peer logic needs resolved to
 /// dense state ids: whether a state holds the node's choice lock
 /// (`has_chosen`) and whether it has already sent its commit
 /// (`commit_sent`). Compiling once and indexing per-state bitmaps
 /// replaces the old per-delivery `StateVector` inspection.
+///
+/// The engine is the owned [`Engine`] of the `stategen-runtime`
+/// pipeline — cheap to clone (shared `Arc` tables), so every peer's
+/// [`Runtime`] serves the same compiled artifact.
 #[derive(Debug)]
 pub struct PeerEngine {
-    compiled: CompiledMachine,
+    engine: Engine,
     has_chosen: Box<[bool]>,
     commit_sent: Box<[bool]>,
     message_ids: [MessageId; 5],
@@ -94,7 +102,6 @@ impl PeerEngine {
     /// ids are assigned in machine order, so the flags index by the
     /// compiled state id.
     pub fn new(machine: &StateMachine) -> Self {
-        let compiled = CompiledMachine::compile(machine);
         let has_chosen = machine
             .states()
             .iter()
@@ -105,21 +112,30 @@ impl PeerEngine {
             .iter()
             .map(|s| s.vector().is_some_and(CommitStateExt::commit_sent))
             .collect();
+        let engine = Engine::compile(Spec::machine(machine.clone()))
+            .expect("generated commit machine compiles");
         // Indexed by enum discriminant (not `ALL` order), matching the
         // `message_id` lookup below.
         let resolve = |m: CommitMessage| {
-            compiled.message_id(m.as_str()).expect("commit alphabet is fixed")
+            engine
+                .message_id(m.as_str())
+                .expect("commit alphabet is fixed")
         };
         let mut message_ids = [resolve(CommitMessage::Update); 5];
         for m in CommitMessage::ALL {
             message_ids[m as usize] = resolve(m);
         }
-        PeerEngine { compiled, has_chosen, commit_sent, message_ids }
+        PeerEngine {
+            engine,
+            has_chosen,
+            commit_sent,
+            message_ids,
+        }
     }
 
-    /// The compiled machine (e.g. for building further pools).
-    pub fn compiled(&self) -> &CompiledMachine {
-        &self.compiled
+    /// The owned compiled engine (e.g. for building further runtimes).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// The dense message id of a commit-protocol message (O(1), no
@@ -129,25 +145,40 @@ impl PeerEngine {
     }
 }
 
+/// A commit-protocol action resolved to its kind (the scratch form
+/// [`CommitPeer::feed`] replays after the delivery borrow ends).
+#[derive(Debug, Clone, Copy)]
+enum PeerAction {
+    Vote,
+    Commit,
+    Free,
+    NotFree,
+}
+
 /// One peer-set member serving the commit protocol from a per-peer
-/// [`SessionPool`]: one pool session per update attempt (one dense
-/// `u32` of state each) instead of one interpreter instance per
-/// attempt. Sessions of *unfinished* attempts that are aborted or
-/// garbage-collected are recycled through a free list; finished
-/// attempts deliberately keep their slot and `slots` entry forever, as
-/// replay protection — a replayed vote for a committed attempt must hit
-/// the absorbing finished session, not spawn a fresh execution.
+/// [`Runtime`]: one session per update attempt (one dense `u32` of
+/// state each, addressed by a typed [`SessionId`]) instead of one
+/// interpreter instance per attempt. Sessions of *unfinished* attempts
+/// that are aborted or garbage-collected are [`Runtime::release`]d —
+/// recycled through the runtime's generational free list, so a stale
+/// handle can never silently address the recycled slot's next attempt.
+/// Finished attempts deliberately keep their session and `slots` entry
+/// forever, as replay protection — a replayed vote for a committed
+/// attempt must hit the absorbing finished session, not spawn a fresh
+/// execution.
 #[derive(Debug)]
 pub struct CommitPeer<'m> {
     engine: &'m PeerEngine,
     behaviour: PeerBehaviour,
     peer_count: usize,
-    /// The attempt-execution pool: per-attempt state is one dense `u32`.
-    pool: SessionPool<'m>,
-    /// Which pool session serves each in-flight attempt.
-    slots: BTreeMap<AttemptId, usize>,
-    /// Recycled pool sessions awaiting a fresh attempt.
-    free_slots: Vec<usize>,
+    /// The attempt-execution runtime: per-attempt state is one dense
+    /// `u32` plus a generation counter.
+    runtime: Runtime,
+    /// Which session serves each in-flight attempt.
+    slots: BTreeMap<AttemptId, SessionId>,
+    /// Action-kind buffer reused across deliveries (see
+    /// [`CommitPeer::feed`]).
+    action_scratch: Vec<PeerAction>,
     /// Sender-level deduplication: each peer's vote/commit for an attempt
     /// is counted once, whatever a Byzantine sender replays.
     seen: BTreeSet<(AttemptId, NodeId, u8)>,
@@ -178,9 +209,9 @@ impl<'m> CommitPeer<'m> {
             engine,
             behaviour,
             peer_count,
-            pool: SessionPool::new(engine.compiled(), 0),
+            runtime: engine.engine().runtime(),
             slots: BTreeMap::new(),
-            free_slots: Vec::new(),
+            action_scratch: Vec::new(),
             seen: BTreeSet::new(),
             clients: BTreeMap::new(),
             committed: BTreeSet::new(),
@@ -206,10 +237,10 @@ impl<'m> CommitPeer<'m> {
         self.behaviour
     }
 
-    /// The session pool serving this peer's attempts (sessions spawned
-    /// so far; recycled slots stay in the pool).
-    pub fn pool(&self) -> &SessionPool<'m> {
-        &self.pool
+    /// The runtime serving this peer's attempts (live sessions; slots of
+    /// released attempts stay recycled inside it).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
     }
 
     /// Attempts currently tracked (in-flight or finished-and-recorded).
@@ -225,15 +256,10 @@ impl<'m> CommitPeer<'m> {
         }
     }
 
-    /// Delivers a protocol message to the attempt's pool session and
+    /// Delivers a protocol message to the attempt's runtime session and
     /// propagates all resulting actions, including the node-local
     /// `free`/`not free` signals between sibling attempts.
-    fn feed(
-        &mut self,
-        ctx: &mut Context<'_, VhMsg>,
-        attempt: AttemptId,
-        message: CommitMessage,
-    ) {
+    fn feed(&mut self, ctx: &mut Context<'_, VhMsg>, attempt: AttemptId, message: CommitMessage) {
         let mut queue: VecDeque<(AttemptId, CommitMessage)> = VecDeque::new();
         queue.push_back((attempt, message));
         while let Some((a, m)) = queue.pop_front() {
@@ -243,52 +269,67 @@ impl<'m> CommitPeer<'m> {
                 continue;
             }
             let message_id = self.engine.message_id(m);
-            let slot = match self.slots.get(&a) {
-                Some(&slot) => slot,
+            let session = match self.slots.get(&a) {
+                Some(&session) => session,
                 None => {
-                    // Recycle a garbage-collected session or grow the
-                    // pool (the only allocating path, amortised O(1)).
-                    let slot = match self.free_slots.pop() {
-                        Some(slot) => slot,
-                        None => self.pool.spawn(),
-                    };
+                    // Spawn a fresh execution (recycling a released slot
+                    // under a new generation, or growing the runtime —
+                    // the only allocating path, amortised O(1)).
+                    let session = self.runtime.spawn();
                     // A new attempt must reflect the node's current
                     // choice state: if a sibling attempt has already
                     // chosen an update, this node is not free (the
                     // `not_free` signal predates the session's creation).
                     if self.node_has_chosen() {
-                        self.pool.deliver(slot, self.engine.message_id(CommitMessage::NotFree));
+                        self.runtime
+                            .deliver(session, self.engine.message_id(CommitMessage::NotFree));
                     }
-                    self.slots.insert(a, slot);
+                    self.slots.insert(a, session);
                     let tag = self.next_gc_tag;
                     self.next_gc_tag += 1;
                     self.gc_tags.insert(tag, a);
                     ctx.set_timer(self.gc_after, tag);
-                    slot
+                    session
                 }
             };
-            // The returned slice borrows from the compiled machine's
-            // interned arena (lifetime 'm), so it stays usable while
-            // `self` is borrowed below. No per-delivery allocation.
-            let actions = self.pool.deliver(slot, message_id);
-            let finished = self.pool.is_finished(slot);
-            for action in actions {
-                match action.message() {
-                    "vote" => self.broadcast_peers(ctx, VhMsg::Vote(a)),
-                    "commit" => self.broadcast_peers(ctx, VhMsg::Commit(a)),
-                    "not_free" => {
+            // Resolve the actions to kinds in order before re-borrowing
+            // `self` for the broadcasts (the action slice's borrow is
+            // tied to the runtime's `&mut`). The scratch buffer is
+            // reused across deliveries — no steady-state allocation —
+            // and order is preserved, keeping the simulator's message
+            // schedule identical to direct arena iteration.
+            let mut kinds = std::mem::take(&mut self.action_scratch);
+            kinds.clear();
+            kinds.extend(
+                self.runtime
+                    .deliver(session, message_id)
+                    .iter()
+                    .map(|action| match action.message() {
+                        "vote" => PeerAction::Vote,
+                        "commit" => PeerAction::Commit,
+                        "not_free" => PeerAction::NotFree,
+                        "free" => PeerAction::Free,
+                        other => unreachable!("unexpected action {other}"),
+                    }),
+            );
+            let finished = self.runtime.is_finished(session);
+            for kind in &kinds {
+                match kind {
+                    PeerAction::Vote => self.broadcast_peers(ctx, VhMsg::Vote(a)),
+                    PeerAction::Commit => self.broadcast_peers(ctx, VhMsg::Commit(a)),
+                    PeerAction::NotFree => {
                         for sibling in self.local_siblings(a) {
                             queue.push_back((sibling, CommitMessage::NotFree));
                         }
                     }
-                    "free" => {
+                    PeerAction::Free => {
                         for sibling in self.local_siblings(a) {
                             queue.push_back((sibling, CommitMessage::Free));
                         }
                     }
-                    other => unreachable!("unexpected action {other}"),
                 }
             }
+            self.action_scratch = kinds;
             if finished && self.committed.insert(a) {
                 if !self.history.contains(&a.pid) {
                     self.history.push(a.pid);
@@ -304,16 +345,16 @@ impl<'m> CommitPeer<'m> {
     /// update (the node's choice lock is held). A per-state bitmap
     /// lookup, not a `StateVector` walk.
     fn node_has_chosen(&self) -> bool {
-        self.slots.values().any(|&slot| {
-            !self.pool.is_finished(slot)
-                && self.engine.has_chosen[self.pool.state(slot) as usize]
+        self.slots.values().any(|&session| {
+            !self.runtime.is_finished(session)
+                && self.engine.has_chosen[self.runtime.state(session) as usize]
         })
     }
 
     fn local_siblings(&self, attempt: AttemptId) -> Vec<AttemptId> {
         self.slots
             .iter()
-            .filter(|(a, &slot)| **a != attempt && !self.pool.is_finished(slot))
+            .filter(|(a, &session)| **a != attempt && !self.runtime.is_finished(session))
             .map(|(a, _)| *a)
             .collect()
     }
@@ -322,11 +363,13 @@ impl<'m> CommitPeer<'m> {
     /// sent a commit for it (the update may be about to agree; the
     /// session garbage collector reclaims it later if not).
     fn abort(&mut self, ctx: &mut Context<'_, VhMsg>, attempt: AttemptId) {
-        let Some(&slot) = self.slots.get(&attempt) else { return };
-        if self.pool.is_finished(slot) {
+        let Some(&session) = self.slots.get(&attempt) else {
+            return;
+        };
+        if self.runtime.is_finished(session) {
             return;
         }
-        if self.engine.commit_sent[self.pool.state(slot) as usize] {
+        if self.engine.commit_sent[self.runtime.state(session) as usize] {
             return;
         }
         self.drop_instance(ctx, attempt);
@@ -336,18 +379,21 @@ impl<'m> CommitPeer<'m> {
         self.seen.insert((attempt, from, kind))
     }
 
-    /// Drops an unfinished attempt (recycling its pool session) and, if
-    /// it held the node's choice lock, releases it by signalling `free`
-    /// to the sibling attempts.
+    /// Drops an unfinished attempt — releasing its runtime session, so
+    /// the slot is recycled under a fresh generation and any handle to
+    /// the dropped attempt is dead — and, if it held the node's choice
+    /// lock, releases the lock by signalling `free` to the sibling
+    /// attempts.
     fn drop_instance(&mut self, ctx: &mut Context<'_, VhMsg>, attempt: AttemptId) {
-        let Some(&slot) = self.slots.get(&attempt) else { return };
-        if self.pool.is_finished(slot) {
+        let Some(&session) = self.slots.get(&attempt) else {
+            return;
+        };
+        if self.runtime.is_finished(session) {
             return;
         }
-        let had_chosen = self.engine.has_chosen[self.pool.state(slot) as usize];
+        let had_chosen = self.engine.has_chosen[self.runtime.state(session) as usize];
         self.slots.remove(&attempt);
-        self.pool.reset_session(slot);
-        self.free_slots.push(slot);
+        self.runtime.release(session);
         if had_chosen {
             for sibling in self.local_siblings(attempt) {
                 self.feed(ctx, sibling, CommitMessage::Free);
@@ -492,8 +538,14 @@ impl ClientEndpoint {
     }
 
     fn submit_next(&mut self, ctx: &mut Context<'_, VhMsg>) {
-        let Some(pid) = self.updates.pop_front() else { return };
-        let attempt = AttemptId { pid, client: self.id, attempt: 0 };
+        let Some(pid) = self.updates.pop_front() else {
+            return;
+        };
+        let attempt = AttemptId {
+            pid,
+            client: self.id,
+            attempt: 0,
+        };
         let now = ctx.now();
         self.pending = Some(Pending {
             attempt,
@@ -513,14 +565,19 @@ impl ClientEndpoint {
             if delay == 0 {
                 ctx.send(NodeId(peer), VhMsg::ClientUpdate(attempt));
             } else {
-                ctx.set_timer(delay, TAG_CONTACT | (attempt.attempt as u64) << 16 | peer as u64);
+                ctx.set_timer(
+                    delay,
+                    TAG_CONTACT | (attempt.attempt as u64) << 16 | peer as u64,
+                );
             }
         }
         ctx.set_timer(self.timeout, TAG_TIMEOUT | u64::from(attempt.attempt));
     }
 
     fn on_committed(&mut self, ctx: &mut Context<'_, VhMsg>, from: NodeId, attempt: AttemptId) {
-        let Some(pending) = self.pending.as_mut() else { return };
+        let Some(pending) = self.pending.as_mut() else {
+            return;
+        };
         if attempt.pid != pending.attempt.pid || attempt.client != self.id {
             return;
         }
@@ -538,7 +595,9 @@ impl ClientEndpoint {
     }
 
     fn on_timeout(&mut self, ctx: &mut Context<'_, VhMsg>, stale_attempt: u32) {
-        let Some(pending) = self.pending.as_mut() else { return };
+        let Some(pending) = self.pending.as_mut() else {
+            return;
+        };
         if pending.attempt.attempt != stale_attempt {
             return; // a newer attempt is already in flight
         }
@@ -547,7 +606,11 @@ impl ClientEndpoint {
         for i in 0..self.peer_count {
             ctx.send(NodeId(i), VhMsg::Abort(old));
         }
-        let next = AttemptId { pid: old.pid, client: self.id, attempt: old.attempt + 1 };
+        let next = AttemptId {
+            pid: old.pid,
+            client: self.id,
+            attempt: old.attempt + 1,
+        };
         pending.attempt = next;
         pending.reporters.clear();
         pending.submitted_at = ctx.now();
@@ -573,7 +636,9 @@ impl SimNode<VhMsg> for ClientEndpoint {
         } else if tag & TAG_CONTACT != 0 {
             let peer = (tag & 0xFFFF) as usize;
             let attempt_no = ((tag >> 16) & 0xFFFF) as u32;
-            let Some(pending) = self.pending.as_ref() else { return };
+            let Some(pending) = self.pending.as_ref() else {
+                return;
+            };
             if pending.attempt.attempt != attempt_no {
                 return;
             }
@@ -651,7 +716,10 @@ impl Default for HarnessConfig {
             replication_factor: 4,
             behaviours: Vec::new(),
             client_updates: vec![vec![Pid::of(b"default update")]],
-            retry: RetryScheme::Exponential { base: 200, max: 5_000 },
+            retry: RetryScheme::Exponential {
+                base: 200,
+                max: 5_000,
+            },
             ordering: ServerOrdering::Fixed,
             timeout: 1_000,
             contact_stagger: 2,
@@ -747,7 +815,12 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
     let mut nodes: Vec<VhNode<'_>> = Vec::new();
     for i in 0..r {
         let behaviour = config.behaviours.get(i).copied().unwrap_or_default();
-        nodes.push(VhNode::Peer(CommitPeer::new(&engine, r, behaviour, config.peer_gc)));
+        nodes.push(VhNode::Peer(CommitPeer::new(
+            &engine,
+            r,
+            behaviour,
+            config.peer_gc,
+        )));
     }
     for (ci, updates) in config.client_updates.iter().enumerate() {
         nodes.push(VhNode::Client(ClientEndpoint::new(

@@ -2,9 +2,7 @@
 //! §2.2): agreement, Byzantine tolerance, deadlock and retry.
 
 use asa_simnet::SimConfig;
-use asa_storage::{
-    run_harness, HarnessConfig, PeerBehaviour, Pid, RetryScheme, ServerOrdering,
-};
+use asa_storage::{run_harness, HarnessConfig, PeerBehaviour, Pid, RetryScheme, ServerOrdering};
 
 fn pid(tag: &str) -> Pid {
     Pid::of(tag.as_bytes())
@@ -12,7 +10,12 @@ fn pid(tag: &str) -> Pid {
 
 fn base_config() -> HarnessConfig {
     HarnessConfig {
-        net: SimConfig { seed: 1, min_delay: 1, max_delay: 10, ..Default::default() },
+        net: SimConfig {
+            seed: 1,
+            min_delay: 1,
+            max_delay: 10,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -51,13 +54,28 @@ fn tolerates_one_equivocator_r4() {
         let config = HarnessConfig {
             behaviours: vec![PeerBehaviour::Equivocator],
             client_updates: vec![vec![pid("target")]],
-            net: SimConfig { seed, min_delay: 1, max_delay: 10, ..Default::default() },
+            net: SimConfig {
+                seed,
+                min_delay: 1,
+                max_delay: 10,
+                ..Default::default()
+            },
             ..base_config()
         };
         let report = run_harness(&config);
-        assert!(report.all_committed, "seed {seed}: update must commit despite equivocator");
-        assert!(report.orders_agree(), "seed {seed}: correct peers must agree");
-        assert_eq!(report.correct_histories()[0], &vec![pid("target")], "seed {seed}");
+        assert!(
+            report.all_committed,
+            "seed {seed}: update must commit despite equivocator"
+        );
+        assert!(
+            report.orders_agree(),
+            "seed {seed}: correct peers must agree"
+        );
+        assert_eq!(
+            report.correct_histories()[0],
+            &vec![pid("target")],
+            "seed {seed}"
+        );
     }
 }
 
@@ -69,7 +87,10 @@ fn tolerates_one_silent_peer_r4() {
         ..base_config()
     };
     let report = run_harness(&config);
-    assert!(report.all_committed, "3 live peers out of 4 reach the 2f+1 = 3 threshold");
+    assert!(
+        report.all_committed,
+        "3 live peers out of 4 reach the 2f+1 = 3 threshold"
+    );
     assert!(report.orders_agree());
 }
 
@@ -82,7 +103,10 @@ fn tolerates_two_silent_peers_r7() {
         ..base_config()
     };
     let report = run_harness(&config);
-    assert!(report.all_committed, "5 live peers out of 7 reach the 2f+1 = 5 threshold");
+    assert!(
+        report.all_committed,
+        "5 live peers out of 7 reach the 2f+1 = 5 threshold"
+    );
     assert!(report.orders_agree());
 }
 
@@ -92,7 +116,12 @@ fn equivocator_and_concurrent_clients_r7() {
         replication_factor: 7,
         behaviours: vec![PeerBehaviour::Equivocator, PeerBehaviour::Equivocator],
         client_updates: vec![vec![pid("alpha")], vec![pid("beta")]],
-        net: SimConfig { seed: 5, min_delay: 1, max_delay: 8, ..Default::default() },
+        net: SimConfig {
+            seed: 5,
+            min_delay: 1,
+            max_delay: 8,
+            ..Default::default()
+        },
         ..base_config()
     };
     let report = run_harness(&config);
@@ -117,7 +146,12 @@ fn concurrent_updates_deadlock_without_retry_commit_with_it() {
             contact_stagger: 0,
             timeout: 3_000_000, // beyond the deadline: no retry fires
             peer_gc: 3_000_000, // beyond the deadline: no GC fires
-            net: SimConfig { seed, min_delay: 1, max_delay: 30, ..Default::default() },
+            net: SimConfig {
+                seed,
+                min_delay: 1,
+                max_delay: 30,
+                ..Default::default()
+            },
             ..base_config()
         };
         let report = run_harness(&no_retry);
@@ -127,14 +161,20 @@ fn concurrent_updates_deadlock_without_retry_commit_with_it() {
         let with_retry = HarnessConfig {
             timeout: 2_000,
             peer_gc: 8_000,
-            retry: RetryScheme::Exponential { base: 500, max: 20_000 },
+            retry: RetryScheme::Exponential {
+                base: 500,
+                max: 20_000,
+            },
             ..no_retry
         };
         let report = run_harness(&with_retry);
         if report.all_committed {
             commits_with_retry += 1;
         }
-        assert!(report.sets_agree(), "seed {seed}: safety must hold under retries");
+        assert!(
+            report.sets_agree(),
+            "seed {seed}: safety must hold under retries"
+        );
     }
     assert!(
         deadlocks_without_retry > 0,
@@ -159,7 +199,12 @@ fn fixed_server_ordering_reduces_deadlocks() {
                     contact_stagger: 3,
                     timeout: 3_000_000,
                     peer_gc: 3_000_000,
-                    net: SimConfig { seed, min_delay: 1, max_delay: 4, ..Default::default() },
+                    net: SimConfig {
+                        seed,
+                        min_delay: 1,
+                        max_delay: 4,
+                        ..Default::default()
+                    },
                     ..base_config()
                 };
                 !run_harness(&config).all_committed
@@ -193,7 +238,10 @@ fn lossy_network_recovers_via_retry() {
     let config = HarnessConfig {
         client_updates: vec![vec![pid("lossy")]],
         timeout: 3_000,
-        retry: RetryScheme::Exponential { base: 500, max: 10_000 },
+        retry: RetryScheme::Exponential {
+            base: 500,
+            max: 10_000,
+        },
         net: SimConfig {
             seed: 11,
             min_delay: 1,
@@ -223,7 +271,10 @@ fn duplicated_messages_are_harmless() {
     };
     let report = run_harness(&config);
     assert!(report.all_committed);
-    assert!(report.orders_agree(), "sender dedup makes duplicates no-ops");
+    assert!(
+        report.orders_agree(),
+        "sender dedup makes duplicates no-ops"
+    );
     for h in report.correct_histories() {
         assert_eq!(h.len(), 1, "the update is recorded exactly once");
     }
@@ -236,8 +287,16 @@ fn many_clients_serialise() {
             .map(|c| vec![pid(&format!("client{c}-a")), pid(&format!("client{c}-b"))])
             .collect(),
         timeout: 2_000,
-        retry: RetryScheme::Exponential { base: 400, max: 15_000 },
-        net: SimConfig { seed: 17, min_delay: 1, max_delay: 12, ..Default::default() },
+        retry: RetryScheme::Exponential {
+            base: 400,
+            max: 15_000,
+        },
+        net: SimConfig {
+            seed: 17,
+            min_delay: 1,
+            max_delay: 12,
+            ..Default::default()
+        },
         ..base_config()
     };
     let report = run_harness(&config);
@@ -250,7 +309,12 @@ fn many_clients_serialise() {
 fn determinism_same_seed_same_report() {
     let config = HarnessConfig {
         client_updates: vec![vec![pid("p")], vec![pid("q")]],
-        net: SimConfig { seed: 23, min_delay: 1, max_delay: 15, ..Default::default() },
+        net: SimConfig {
+            seed: 23,
+            min_delay: 1,
+            max_delay: 15,
+            ..Default::default()
+        },
         ..base_config()
     };
     let a = run_harness(&config);

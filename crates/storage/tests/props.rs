@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use asa_chord::{Key, Overlay};
-use asa_storage::{
-    peer_set, pid_key, replica_keys, DataBlock, DataService, NodeBehaviour, Pid,
-};
+use asa_storage::{peer_set, pid_key, replica_keys, DataBlock, DataService, NodeBehaviour, Pid};
 
 fn overlay(n: usize) -> Overlay {
     Overlay::with_nodes((0..n as u64).map(|i| Key::hash(&i.to_be_bytes())), 4)

@@ -62,12 +62,7 @@ fn set_divergence_detected() {
 #[test]
 fn read_consistent_requires_f_plus_one() {
     let r = report(
-        vec![
-            vec![p("a")],
-            vec![p("a")],
-            vec![p("x")],
-            vec![p("y")],
-        ],
+        vec![vec![p("a")], vec![p("a")], vec![p("x")], vec![p("y")]],
         vec![PeerBehaviour::Correct; 4],
     );
     // f = 1: two agreeing answers suffice.
@@ -97,10 +92,22 @@ fn total_retries_sums_extra_attempts() {
     let mut r = report(vec![], vec![]);
     r.outcomes = vec![
         vec![
-            UpdateOutcome { pid: p("a"), attempts: 1, latency: 10 },
-            UpdateOutcome { pid: p("b"), attempts: 3, latency: 50 },
+            UpdateOutcome {
+                pid: p("a"),
+                attempts: 1,
+                latency: 10,
+            },
+            UpdateOutcome {
+                pid: p("b"),
+                attempts: 3,
+                latency: 50,
+            },
         ],
-        vec![UpdateOutcome { pid: p("c"), attempts: 2, latency: 20 }],
+        vec![UpdateOutcome {
+            pid: p("c"),
+            attempts: 2,
+            latency: 20,
+        }],
     ];
     assert_eq!(r.total_retries(), 3); // (1-1) + (3-1) + (2-1)
 }

@@ -24,14 +24,19 @@ impl Default for Criterion {
     fn default() -> Self {
         // Short by the real crate's standards; the shim reports a point
         // estimate, so long sampling buys nothing.
-        Criterion { measurement_time: Duration::from_millis(60) }
+        Criterion {
+            measurement_time: Duration::from_millis(60),
+        }
     }
 }
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 
     /// Runs a single benchmark outside any group.
@@ -103,12 +108,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id made of a function name and a parameter value.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// An id that is just a parameter value.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -147,7 +156,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &str, budget: Dura
     let mut iters: u64 = 1;
     let probe_budget = budget / 8;
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed >= probe_budget || iters >= 1 << 30 {
             break;
@@ -165,7 +177,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &str, budget: Dura
     // Measure: best of three runs at the calibrated iteration count.
     let mut best_ns_per_iter = f64::INFINITY;
     for _ in 0..3 {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let ns = b.elapsed.as_nanos() as f64 / iters as f64;
         if ns < best_ns_per_iter {

@@ -22,30 +22,42 @@ impl SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { min: n, max_inclusive: n }
+        SizeRange {
+            min: n,
+            max_inclusive: n,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.start() <= r.end(), "empty size range");
-        SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
     }
 }
 
 /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
@@ -66,7 +78,10 @@ where
     S: Strategy,
     S::Value: Ord,
 {
-    BTreeSetStrategy { element, size: size.into() }
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// Strategy returned by [`btree_set`].

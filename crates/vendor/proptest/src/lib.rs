@@ -25,7 +25,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Mirror of the real prelude's `prop` module path
     /// (`prop::collection::vec`, `prop::sample::Index`, ...).
@@ -144,7 +146,9 @@ macro_rules! prop_assert_ne {
                 $crate::prop_assert!(
                     *left != *right,
                     "assertion failed: `{}` != `{}`\n  both: {:?}",
-                    stringify!($left), stringify!($right), left,
+                    stringify!($left),
+                    stringify!($right),
+                    left,
                 );
             }
         }

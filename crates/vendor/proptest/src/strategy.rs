@@ -90,7 +90,10 @@ impl<T> OneOf<T> {
     ///
     /// Panics if `options` is empty.
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! requires at least one option");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! requires at least one option"
+        );
         OneOf { options }
     }
 }

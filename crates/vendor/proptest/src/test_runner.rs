@@ -86,10 +86,25 @@ mod tests {
 
     #[test]
     fn deterministic_per_name() {
-        let a: Vec<u64> = (0..4).map({ let mut r = TestRng::from_name("x"); move |_| r.next_u64() }).collect();
-        let b: Vec<u64> = (0..4).map({ let mut r = TestRng::from_name("x"); move |_| r.next_u64() }).collect();
+        let a: Vec<u64> = (0..4)
+            .map({
+                let mut r = TestRng::from_name("x");
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map({
+                let mut r = TestRng::from_name("x");
+                move |_| r.next_u64()
+            })
+            .collect();
         assert_eq!(a, b);
-        let c: Vec<u64> = (0..4).map({ let mut r = TestRng::from_name("y"); move |_| r.next_u64() }).collect();
+        let c: Vec<u64> = (0..4)
+            .map({
+                let mut r = TestRng::from_name("y");
+                move |_| r.next_u64()
+            })
+            .collect();
         assert_ne!(a, c);
     }
 

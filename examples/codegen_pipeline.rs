@@ -7,9 +7,10 @@
 use stategen::commit::{CommitConfig, CommitModel};
 use stategen::fsm::generate;
 use stategen::render::{
-    java_src, render_dot, render_mermaid, render_rust_module, render_xml, DotOptions,
-    JavaRenderer, TextRenderer,
+    java_src, render_dot, render_mermaid, render_rust_module, render_xml, DotOptions, JavaRenderer,
+    TextRenderer,
 };
+use stategen::runtime::{Engine, Spec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let generated = generate(&CommitModel::new(CommitConfig::new(4)?))?;
@@ -22,8 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rust = render_rust_module(machine);
     let java = JavaRenderer::new("CommitFsm", "CommitActions").render(machine);
 
-    println!("machine `{}`: {} states, {} transitions", machine.name(),
-        machine.state_count(), machine.transition_count());
+    println!(
+        "machine `{}`: {} states, {} transitions",
+        machine.name(),
+        machine.state_count(),
+        machine.transition_count()
+    );
     for (name, artefact) in [
         ("text (Fig 14)", &text),
         ("DOT (Fig 15)", &dot),
@@ -40,11 +45,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw = java_src::render_handlers_raw(machine);
     let abstracted = java_src::render_handlers(machine);
     assert_eq!(raw, abstracted);
-    println!("\nraw and abstracted generators emit identical code ({} bytes)", raw.len());
+    println!(
+        "\nraw and abstracted generators emit identical code ({} bytes)",
+        raw.len()
+    );
 
     println!("\nFirst lines of the generated Rust module:\n");
     for line in rust.lines().take(14) {
         println!("{line}");
     }
+
+    // The same machine the renderers drew is directly servable: one
+    // `Spec → Engine → Runtime` call chain runs the canonical trace.
+    let mut rt = Engine::compile(Spec::machine(generated.machine.clone()))?.runtime();
+    let session = rt.spawn();
+    for message in ["update", "vote", "vote", "commit", "commit"] {
+        let mid = rt.message_id(message).expect("commit alphabet");
+        rt.deliver(session, mid);
+    }
+    assert!(rt.is_finished(session));
+    println!("\nrendered machine also served a full commit via stategen-runtime");
     Ok(())
 }

@@ -6,8 +6,9 @@
 //! Run with: `cargo run --example commit_protocol`
 
 use stategen::commit::{CommitConfig, CommitModel, ReferenceCommit};
-use stategen::fsm::{generate, FsmInstance, ProtocolEngine};
+use stategen::fsm::{generate, ProtocolEngine};
 use stategen::render::TextRenderer;
+use stategen::runtime::{Engine, Spec};
 use stategen::simnet::SimConfig;
 use stategen::storage::{run_harness, HarnessConfig, PeerBehaviour, Pid};
 
@@ -26,28 +27,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // -- The Fig 14 state, with generated commentary. -----------------------
     let generated = generate(&CommitModel::new(CommitConfig::new(4)?))?;
-    let (fig14, _) = generated.machine.state_by_name("T/2/F/0/F/F/F").expect("exists");
-    println!("\n{}", TextRenderer::new().render_state(&generated.machine, fig14));
+    let (fig14, _) = generated
+        .machine
+        .state_by_name("T/2/F/0/F/F/F")
+        .expect("exists");
+    println!(
+        "\n{}",
+        TextRenderer::new().render_state(&generated.machine, fig14)
+    );
 
-    // -- The spectrum (paper §3.2): FSM vs hand-written algorithm. ----------
-    let mut fsm = FsmInstance::new(&generated.machine);
+    // -- The spectrum (paper §3.2): FSM vs hand-written algorithm. The
+    // generated machine runs behind the `Spec → Engine → Runtime`
+    // pipeline; the reference stays a plain hand-written struct.
+    let mut rt = Engine::compile(Spec::machine(generated.machine.clone()))?.runtime();
+    let session = rt.spawn();
     let mut reference = ReferenceCommit::new(CommitConfig::new(4)?);
     for message in ["update", "vote", "vote", "commit", "commit"] {
-        let a = fsm.deliver(message)?;
+        let mid = rt.message_id(message).expect("commit alphabet");
+        let a = rt.deliver(session, mid).to_vec();
         let b = reference.deliver(message)?;
         assert_eq!(a, b, "both ends of the spectrum behave identically");
     }
-    assert!(fsm.is_finished() && reference.is_finished());
+    assert!(rt.is_finished(session) && reference.is_finished());
     println!("FSM and hand-written algorithm agree on the canonical trace\n");
 
     // -- Simulated peer set with one Byzantine member (paper §2.2). ---------
     let config = HarnessConfig {
         behaviours: vec![PeerBehaviour::Equivocator],
-        client_updates: vec![vec![
-            Pid::of(b"version 1"),
-            Pid::of(b"version 2"),
-        ]],
-        net: SimConfig { seed: 3, min_delay: 1, max_delay: 10, ..Default::default() },
+        client_updates: vec![vec![Pid::of(b"version 1"), Pid::of(b"version 2")]],
+        net: SimConfig {
+            seed: 3,
+            min_delay: 1,
+            max_delay: 10,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let report = run_harness(&config);

@@ -1,42 +1,48 @@
-//! The compiled execution tier: flatten a generated machine into dense
-//! tables, then serve thousands of concurrent protocol sessions with
-//! zero per-message allocation.
+//! The compiled execution tier behind the runtime facade: compile a
+//! generated machine once (`Spec → Engine`), then serve one session or
+//! ten thousand with the same vocabulary and zero per-message
+//! allocation.
 //!
 //! ```text
 //! cargo run --release --example compiled_sessions
 //! ```
 
 use stategen::commit::{CommitConfig, CommitModel, MESSAGE_NAMES};
-use stategen::fsm::{generate, CompiledMachine, ProtocolEngine, SessionPool};
+use stategen::runtime::{Engine, Spec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Generate the r=4 commit machine and compile it once.
+    // Generate the r=4 commit machine and compile it once. The engine
+    // is owned (`Arc`-backed, `Send`): no borrow ties it to this scope.
     let model = CommitModel::new(CommitConfig::new(4)?);
-    let machine = generate(&model)?.machine;
-    let compiled = CompiledMachine::compile(&machine);
+    let engine = Engine::compile(Spec::generated(&model)?)?;
     println!(
-        "compiled {}: {} states x {} messages",
-        compiled.name(),
-        compiled.state_count(),
-        compiled.messages().len()
+        "compiled {}: {} states x {} messages on the `{}` tier",
+        engine.name(),
+        engine.state_count(),
+        engine.messages().len(),
+        engine.tier(),
     );
 
-    // Single instance: same engine interface as the interpreter. The
-    // id-based path returns action slices borrowed from the machine, so
-    // they stay usable while the instance moves on.
-    let mut instance = compiled.instance();
+    // Single session: spawn a typed handle and deliver by id. Action
+    // slices are borrowed from the engine's interned arena.
+    let mut rt = engine.runtime();
+    let session = rt.spawn();
     for message in ["update", "vote", "vote", "commit", "commit"] {
-        let id = compiled.message_id(message).expect("commit alphabet");
-        let actions = instance.deliver_id(id);
-        println!("  {message:>8} -> {:<16} {actions:?}", instance.state_name_str());
+        let id = rt.message_id(message).expect("commit alphabet");
+        let actions = rt.deliver(session, id).to_vec();
+        println!(
+            "  {message:>8} -> {:<16} {actions:?}",
+            rt.state_name(session)
+        );
     }
-    assert!(instance.is_finished());
+    assert!(rt.is_finished(session));
 
-    // Batched tier: 10k concurrent sessions, stepped struct-of-arrays.
-    let mut pool = SessionPool::new(&compiled, 10_000);
+    // Batched: 10k concurrent sessions in the same runtime type,
+    // stepped struct-of-arrays.
+    let mut pool = engine.runtime_with(10_000);
     let ids: Vec<_> = MESSAGE_NAMES
         .iter()
-        .map(|m| compiled.message_id(m).expect("commit alphabet"))
+        .map(|m| engine.message_id(m).expect("commit alphabet"))
         .collect();
     // Drive every session through the canonical happy path.
     for &mid in [0usize, 1, 1, 2, 2].iter().map(|i| &ids[*i]) {
@@ -49,5 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pool.steps()
     );
     assert!(pool.all_finished());
+
+    // Slots recycle through typed handles: releasing a session bumps
+    // the slot's generation, so the old handle is dead, loudly.
+    let mut recycler = engine.runtime();
+    let first = recycler.spawn();
+    recycler.release(first);
+    let second = recycler.spawn();
+    println!("recycled {first:?} -> {second:?} (stale handles now panic)");
+    assert!(!recycler.is_live(first));
     Ok(())
 }

@@ -1,70 +1,72 @@
-//! The compiled-EFSM execution tier: lower the guarded commit EFSM to
-//! fused-check/bytecode form, then batch-step tens of thousands of
-//! concurrent sessions across a work-sharded pool.
+//! The compiled-EFSM execution tier behind the runtime facade: one
+//! guarded machine, compiled once, serves the whole protocol family —
+//! parameters are bound at `Spec` ingest, and a 40k-session sharded
+//! runtime batch-steps the result on worker threads.
 //!
 //! The commit EFSM (paper §5.3) has 9 states *whatever the replication
 //! factor*: thresholds live in guards over parameters bound at
-//! instantiation time. Compiling it once therefore serves the whole
-//! machine family — here the same compiled machine runs r = 4 and
-//! r = 13 side by side, then drives a 40k-session sharded pool.
+//! instantiation time. Here the same machine runs r = 4 and r = 13
+//! side by side, then drives a 40k-session sharded runtime.
 //!
 //! ```text
 //! cargo run --release --example efsm_compiled
 //! ```
 
 use stategen::commit::{commit_efsm, commit_efsm_params, CommitConfig};
-use stategen::fsm::{CompiledEfsm, EfsmSessionPool, ProtocolEngine, ShardedPool};
+use stategen::runtime::{Engine, Spec, Tier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Build the 9-state guarded machine and lower it to the compiled
-    // tier. Compilation validates as it flattens: duplicate
-    // (state, message) transitions with identical guards are rejected.
+    // Build the 9-state guarded machine once; compile one engine per
+    // family member by binding different parameters at ingest.
+    // Compilation validates as it lowers: duplicate (state, message)
+    // transitions with identical guards are rejected.
     let efsm = commit_efsm();
-    let compiled = CompiledEfsm::compile(&efsm)?;
-    println!(
-        "compiled {}: {} states x {} messages, {} fused checks, {} bytecode ops",
-        compiled.name(),
-        compiled.state_count(),
-        compiled.messages().len(),
-        compiled.fused_check_count(),
-        compiled.code_len(),
-    );
 
-    // One machine, every family member: bind parameters per instance.
+    // One machine, every family member.
     for r in [4u32, 13] {
         let config = CommitConfig::new(r)?;
-        let mut instance = compiled.instance(commit_efsm_params(&config));
-        let mut delivered = 0;
-        while !instance.is_finished() {
-            delivered += 1;
-            instance.deliver_ref("vote")?;
-            instance.deliver_ref("commit")?;
+        let engine = Engine::compile(Spec::efsm(efsm.clone(), commit_efsm_params(&config)))?;
+        assert_eq!(engine.tier(), Tier::CompiledEfsm);
+        let mut rt = engine.runtime();
+        let session = rt.spawn();
+        let vote = rt.message_id("vote").expect("commit alphabet");
+        let commit = rt.message_id("commit").expect("commit alphabet");
+        let mut rounds = 0;
+        while !rt.is_finished(session) {
+            rounds += 1;
+            rt.deliver(session, vote);
+            rt.deliver(session, commit);
         }
         println!(
-            "  r={r:>2}: finished after {delivered} vote/commit rounds \
-             (votes={}, commits={})",
-            instance.vars()[0],
-            instance.vars()[1],
+            "  r={r:>2}: finished after {rounds} vote/commit rounds (votes={}, commits={})",
+            rt.vars(session)[0],
+            rt.vars(session)[1],
         );
     }
 
-    // Batch tier: 40k concurrent guarded sessions, partitioned over four
-    // shards. Each shard owns its registers and scratch buffers, so
-    // `deliver_all` steps them on independent worker threads — with
-    // results bit-identical to a single flat pool.
+    // Batch tier: 40k concurrent guarded sessions, partitioned over
+    // four shards as *configuration*. Each shard owns its registers and
+    // scratch buffers, so `deliver_all` steps them on independent
+    // worker threads — results bit-identical to a single flat runtime.
     let config = CommitConfig::new(4)?;
-    let params = commit_efsm_params(&config);
-    let mut pool = ShardedPool::split(40_000, 4, |len| {
-        EfsmSessionPool::new(&compiled, params.clone(), len)
-    });
+    let engine = Engine::compile(Spec::efsm(efsm, commit_efsm_params(&config)))?;
     println!(
-        "sharded pool: {} sessions over {} shards",
+        "compiled {}: {} states x {} messages, params {:?}",
+        engine.name(),
+        engine.state_count(),
+        engine.messages().len(),
+        engine.params(),
+    );
+    let mut pool = engine.runtime().sharded(4);
+    pool.spawn_many(40_000);
+    println!(
+        "sharded runtime: {} sessions over {} shards",
         pool.len(),
         pool.shard_count()
     );
-    let update = compiled.message_id("update").expect("commit alphabet");
-    let vote = compiled.message_id("vote").expect("commit alphabet");
-    let commit = compiled.message_id("commit").expect("commit alphabet");
+    let update = engine.message_id("update").expect("commit alphabet");
+    let vote = engine.message_id("vote").expect("commit alphabet");
+    let commit = engine.message_id("commit").expect("commit alphabet");
     // Drive every session through the canonical happy path:
     // update, two peer votes, two peer commits.
     for mid in [update, vote, vote, commit, commit] {

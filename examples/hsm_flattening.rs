@@ -1,16 +1,18 @@
 //! Hierarchical statecharts on the flat execution tiers: author a
 //! session-lifecycle statechart (composite states, entry/exit actions,
-//! shallow history), debug it on the direct interpreter, then flatten
-//! it into an ordinary `StateMachine` and serve it from the compiled
-//! tier and a sharded session pool — no engine changes anywhere.
+//! shallow history), debug it on the direct interpreter, then hand it
+//! to the runtime pipeline — `Spec::hierarchical` flattens it on
+//! ingest, and the same `Runtime` facade serves it interpreted or
+//! compiled, flat or sharded, with no engine changes anywhere.
 //!
 //! ```text
 //! cargo run --release --example hsm_flattening
 //! ```
 
-use stategen::fsm::{CompiledMachine, FsmInstance, ProtocolEngine, SessionPool, ShardedPool};
+use stategen::fsm::ProtocolEngine;
 use stategen::models::session_lifecycle;
 use stategen::render::{render_hsm_dot, render_hsm_mermaid};
+use stategen::runtime::{Engine, Spec, Tier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The statechart: a commit attempt wrapped in a connection
@@ -30,35 +32,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = hsm.instance();
     for message in ["connect", "update", "vote", "suspend", "resume", "ping"] {
         let actions = session.deliver_ref(message)?.to_vec();
-        println!("  {message:<8} -> {:<44} sends {:?}", session.state_name(), actions);
+        println!(
+            "  {message:<8} -> {:<44} sends {:?}",
+            session.state_name(),
+            actions
+        );
     }
 
-    // The flattening compiler: reachable configurations become flat
-    // states, inherited transitions and synthesized entry/exit action
-    // sequences become ordinary transitions.
-    let flat = hsm.flatten();
+    // The runtime pipeline flattens on ingest: reachable configurations
+    // become flat states, inherited transitions and synthesized
+    // entry/exit action sequences become ordinary transitions. The
+    // interpreted engine walks the flat machine directly...
+    let interp_engine = Engine::interpret(Spec::hierarchical(hsm.clone()))?;
+    let mut interp_rt = interp_engine.runtime();
+    let interp_session = interp_rt.spawn();
+    for message in ["connect", "update", "vote", "suspend", "resume", "ping"] {
+        let mid = interp_rt.message_id(message).expect("lifecycle alphabet");
+        interp_rt.deliver(interp_session, mid);
+    }
+    assert_eq!(interp_rt.state_name(interp_session), session.state_name());
     println!(
-        "\nflattened: {} configurations, {} transitions (from {} hierarchical states)",
-        flat.state_count(),
-        flat.transition_count(),
-        hsm.state_count(),
+        "\ninterpreted flat machine agrees: {}",
+        interp_rt.state_name(interp_session)
     );
 
-    // The flattened machine is an ordinary StateMachine: interpret it...
-    let mut interp = FsmInstance::new(&flat);
-    for message in ["connect", "update", "vote", "suspend", "resume", "ping"] {
-        interp.deliver_ref(message)?;
-    }
-    assert_eq!(interp.state_name(), session.state_name());
-    println!("interpreted flat machine agrees: {}", interp.state_name());
-
-    // ...or compile it and batch-step a sharded pool of sessions, with
-    // the same zero-allocation dispatch as any other compiled machine.
-    let compiled = CompiledMachine::compile(&flat);
-    let mut pool = ShardedPool::split(40_000, 4, |len| SessionPool::new(&compiled, len));
+    // ...and the compiled engine serves the same statechart from dense
+    // tables (the `flattened_hsm` tier), here batch-stepping a 40k
+    // sharded runtime on persistent parked workers with the same
+    // zero-allocation dispatch as any other compiled machine.
+    let engine = Engine::compile(Spec::hierarchical(hsm.clone()))?;
+    assert_eq!(engine.tier(), Tier::FlattenedHsm);
+    println!(
+        "flattened: {} configurations (from {} hierarchical states), tier `{}`",
+        engine.state_count(),
+        hsm.state_count(),
+        engine.tier(),
+    );
+    let mut pool = engine.runtime().sharded(4);
+    pool.spawn_many(40_000);
     let trace: Vec<_> = ["connect", "update", "vote", "commit", "close"]
         .iter()
-        .map(|m| compiled.message_id(m).expect("lifecycle alphabet"))
+        .map(|m| engine.message_id(m).expect("lifecycle alphabet"))
         .collect();
     let transitions = pool.with_workers(|workers| {
         let mut transitions = 0;
@@ -68,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         transitions
     });
     println!(
-        "sharded pool: {} sessions x {} messages = {} transitions, {} finished",
+        "sharded runtime: {} sessions x {} messages = {} transitions, {} finished",
         pool.len(),
         trace.len(),
         transitions,

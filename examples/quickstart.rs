@@ -1,6 +1,8 @@
-//! Quickstart: define an abstract model, generate a family member,
-//! render its artefacts, and run it — the complete paper workflow in
-//! fifty lines.
+//! Quickstart: define an abstract model, then run the whole pipeline —
+//! `Spec` (generate a family member) → `Engine` (pick an execution
+//! tier) → `Runtime` (serve sessions) — plus a rendered artefact. The
+//! complete paper workflow: design once, deploy under any execution
+//! policy.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -45,7 +47,11 @@ impl AbstractModel for AckQuorum {
             target.set_flag(1, true);
             actions.push(Action::send("proceed"));
         }
-        Outcome::Transition(TransitionSpec { target, actions, annotations: vec![] })
+        Outcome::Transition(TransitionSpec {
+            target,
+            actions,
+            annotations: vec![],
+        })
     }
 
     fn is_final_state(&self, state: &StateVector) -> bool {
@@ -54,7 +60,8 @@ impl AbstractModel for AckQuorum {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // One abstract model, three family members (paper §3.3).
+    // One abstract model, three family members (paper §3.3): `Spec`
+    // ingests anything the generation pipeline produces.
     for quorum in [2u32, 3, 5] {
         let generated = generate(&AckQuorum { quorum })?;
         println!(
@@ -66,16 +73,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Render and execute the quorum-3 member.
+    // Render the quorum-3 member (generation also feeds the renderers).
     let generated = generate(&AckQuorum { quorum: 3 })?;
     println!("\n{}", TextRenderer::new().render(&generated.machine));
 
-    let mut instance = FsmInstance::new(&generated.machine);
+    // The pipeline: Spec -> Engine -> Runtime. `Spec::generated` runs
+    // the model through the generator; `Engine::compile` picks the
+    // dense-table serving tier (swap in `Engine::interpret` while
+    // debugging a model — same Runtime API, no other change); the
+    // engine is owned and `Send`, so it can move into servers freely.
+    let engine = Engine::compile(Spec::generated(&AckQuorum { quorum: 3 })?)?;
+    println!("engine: {} on the `{}` tier", engine.name(), engine.tier());
+
+    // Serve one session and watch it reach the quorum.
+    let mut rt = engine.runtime();
+    let session = rt.spawn();
+    let ack = rt.message_id("ack").expect("declared message");
     let mut fired = Vec::new();
     for _ in 0..3 {
-        fired.extend(instance.deliver("ack")?);
+        fired.extend(rt.deliver(session, ack).to_vec());
     }
-    println!("after 3 acks: state {}, actions fired: {fired:?}", instance.state_name());
-    assert!(instance.is_finished());
+    println!(
+        "after 3 acks: state {}, actions fired: {fired:?}",
+        rt.state_name(session)
+    );
+    assert!(rt.is_finished(session));
+
+    // The same engine serves ten thousand concurrent sessions with the
+    // same vocabulary — batching is the same API, not a different type.
+    let mut many = engine.runtime_with(10_000);
+    for _ in 0..3 {
+        many.deliver_all(ack);
+    }
+    assert!(many.all_finished());
+    println!(
+        "10k sessions reached quorum in {} transitions",
+        many.steps()
+    );
     Ok(())
 }

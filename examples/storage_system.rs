@@ -56,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The full facade: append-only versioned storage where every version
     // is recorded through the BFT commit protocol (paper §2, Fig 2).
+    // Under the hood each peer serves its in-flight commit attempts
+    // from a `stategen-runtime` session pool over the shared compiled
+    // commit engine — typed generational handles per attempt.
     let overlay = Overlay::with_nodes((0..64u64).map(|i| Key::hash(&i.to_be_bytes())), 4);
     let mut store = AsaStore::new(overlay, StoreConfig::default(), 77);
     let report = store.create("reports/q2.txt");

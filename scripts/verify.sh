@@ -1,30 +1,43 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 gate plus lint and benchmark gates.
+# Repo verification: tier-1 gate plus lint, doc and benchmark gates.
 #
 #   scripts/verify.sh
 #
 # 1. builds the whole workspace in release mode;
 # 2. runs every test (default-members covers all crates) — this
 #    includes the HSM property suite (crates/core/tests/hsm_props.rs),
-#    the flattening compiler's trace-equivalence gate;
-# 3. lints the whole workspace (clippy, warnings denied);
+#    the flattening compiler's trace-equivalence gate, and the runtime
+#    facade's cross-tier conformance suite
+#    (crates/runtime/tests/conformance.rs);
+# 3. lints the whole workspace (clippy, warnings denied), checks
+#    formatting (rustfmt) and builds the docs with rustdoc warnings
+#    denied (broken intra-doc links fail the gate);
 # 4. regenerates BENCH_engine_tiers.json via the engine_tiers binary,
-#    which also asserts the zero-allocation and EFSM-speedup claims,
-#    and BENCH_storage.json via storage_throughput (end-to-end commit
-#    throughput on the pool-backed peers) — keeping the perf trajectory
-#    tracked on every PR;
-# 5. fails if the benchmark artefacts are missing required rows.
+#    which also asserts the zero-allocation claims and the
+#    runtime-facade overhead bound (≤ 1.10x raw compiled dispatch at
+#    64k sessions, paired measurement), and BENCH_storage.json via
+#    storage_throughput (end-to-end commit throughput on the
+#    runtime-backed peers) — keeping the perf trajectory tracked on
+#    every PR;
+# 5. fails if the benchmark artefacts are missing required rows
+#    (including the runtime_facade rows).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q (includes the HSM property suite) =="
+echo "== cargo test -q (includes the HSM property + facade conformance suites) =="
 cargo test -q
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo doc --workspace --no-deps (rustdoc warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== engine_tiers (regenerates BENCH_engine_tiers.json) =="
 cargo run --release -p repro-bench --bin engine_tiers
@@ -34,7 +47,8 @@ cargo run --release -p repro-bench --bin storage_throughput
 
 echo "== benchmark artefact checks =="
 for row in interpreted_name compiled hsm_flattened batched_pool efsm_compiled \
-           sharded_pool_4 sharded_persistent_4 generated; do
+           sharded_pool_4 sharded_persistent_4 generated \
+           runtime_facade runtime_facade_sharded_4; do
     grep -q "\"name\": \"$row\"" BENCH_engine_tiers.json \
         || { echo "BENCH_engine_tiers.json is missing the $row row" >&2; exit 1; }
 done

@@ -31,6 +31,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`fsm`] | `stategen-core` | state spaces, machines, generation pipeline, FSM/EFSM interpreters |
+//! | [`runtime`] | `stategen-runtime` | the deployment pipeline: `Spec → Engine → Runtime`, typed session handles, uniform across every execution tier |
 //! | [`commit`] | `stategen-commit` | the BFT commit protocol: abstract model, EFSM, reference algorithm |
 //! | [`render`] | `stategen-render` | text/diagram/source-code renderers |
 //! | [`generated`] | `stategen-generated` | build-time generated commit handlers |
@@ -52,6 +53,7 @@ pub use stategen_core as fsm;
 pub use stategen_generated as generated;
 pub use stategen_models as models;
 pub use stategen_render as render;
+pub use stategen_runtime as runtime;
 
 /// The most frequently used items, for glob import.
 pub mod prelude {
@@ -59,7 +61,8 @@ pub mod prelude {
     pub use stategen_core::{
         generate, generate_with, AbstractModel, Action, FsmInstance, GenerateOptions,
         GeneratedMachine, HierarchicalMachine, HsmBuilder, HsmInstance, Outcome, ProtocolEngine,
-        StateComponent, StateMachine, StateSpace, StateVector,
+        StateComponent, StateMachine, StateSpace, StateVector, StategenError,
     };
     pub use stategen_render::{render_dot, render_mermaid, render_xml, TextRenderer};
+    pub use stategen_runtime::{Engine, Runtime, SessionId, Spec, Tier};
 }

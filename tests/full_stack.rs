@@ -5,8 +5,7 @@
 use stategen::chord::{Key, Overlay};
 use stategen::commit::{CommitConfig, CommitModel, ReferenceCommit};
 use stategen::fsm::{
-    generate, merge_equivalent_states, validate_machine, FsmInstance, MergeStrategy,
-    ProtocolEngine,
+    generate, merge_equivalent_states, validate_machine, FsmInstance, MergeStrategy, ProtocolEngine,
 };
 use stategen::generated::GeneratedCommitR7;
 use stategen::render::{render_dot, render_mermaid, render_xml, DotOptions};
@@ -53,8 +52,8 @@ fn generated_code_in_the_stack() {
     let mut interpreted = FsmInstance::new(&machine);
     let mut reference = ReferenceCommit::new(config);
     let trace = [
-        "vote", "update", "vote", "not_free", "vote", "vote", "free", "commit", "vote",
-        "commit", "commit",
+        "vote", "update", "vote", "not_free", "vote", "vote", "free", "commit", "vote", "commit",
+        "commit",
     ];
     for m in trace {
         let a = generated.deliver(m).unwrap();
@@ -74,8 +73,9 @@ fn generated_code_in_the_stack() {
 fn storage_over_churning_overlay() {
     let overlay = Overlay::with_nodes((0..64u64).map(|i| Key::hash(&i.to_be_bytes())), 4);
     let mut service = DataService::new(overlay, 4, 99);
-    let blocks: Vec<DataBlock> =
-        (0..10).map(|i| DataBlock::new(format!("payload {i}").into_bytes())).collect();
+    let blocks: Vec<DataBlock> = (0..10)
+        .map(|i| DataBlock::new(format!("payload {i}").into_bytes()))
+        .collect();
     let mut pids = Vec::new();
     for b in &blocks {
         pids.push(service.store(b).unwrap());
@@ -110,7 +110,10 @@ fn version_history_full_stack() {
         ..Default::default()
     };
     let report = run_harness(&config);
-    assert!(report.all_committed, "updates commit despite 1 equivocator + 1 crash + loss");
+    assert!(
+        report.all_committed,
+        "updates commit despite 1 equivocator + 1 crash + loss"
+    );
     assert!(report.sets_agree());
     let history = report.read_consistent(2).expect("f+1 consistent read");
     assert_eq!(history.len(), 2);
