@@ -460,6 +460,30 @@ pub fn commit_efsm_instance<'e>(efsm: &'e Efsm, config: &CommitConfig) -> EfsmIn
     EfsmInstance::new(efsm, commit_efsm_params(config))
 }
 
+/// The `(has_chosen, commit_sent)` protocol flags of a [`commit_efsm`]
+/// state, resolved by name — the EFSM-tier analogue of inspecting a
+/// generated FSM state's `StateVector` (see the state-inventory table in
+/// the module docs: `has_chosen` is column `H`, `commit_sent` column
+/// `K`). Deployment code (e.g. `asa-storage`'s peers) indexes these into
+/// per-state bitmaps once at compile time, so the per-delivery path
+/// never inspects names.
+///
+/// # Panics
+///
+/// Panics if `name` is not a [`commit_efsm`] state.
+pub fn commit_efsm_state_flags(name: &str) -> (bool, bool) {
+    match name {
+        "idle-free" | "idle-blocked" | "update-blocked" => (false, false),
+        "voted-chosen" => (true, false),
+        "committed-chosen" | "forced-chosen" => (true, true),
+        "forced-voted" | "committed-blocked" => (false, true),
+        // The finished state absorbs everything; no unfinished-attempt
+        // logic ever reads its flags.
+        "finished" => (false, false),
+        other => panic!("`{other}` is not a commit EFSM state"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +493,24 @@ mod tests {
     fn has_nine_states() {
         // Paper §5.3: "The resulting EFSM contains 9 states."
         assert_eq!(commit_efsm().state_count(), 9);
+    }
+
+    #[test]
+    fn state_flags_cover_every_state() {
+        // `commit_efsm_state_flags` is a name-keyed mirror of the
+        // state-inventory table; adding or renaming a state must update
+        // it, and this test turns a desync into an immediate failure
+        // instead of a deployment-time panic. Spot-check the H/K
+        // columns against the table in the module docs.
+        for state in commit_efsm().states() {
+            let _ = commit_efsm_state_flags(state.name()); // must not panic
+        }
+        assert_eq!(commit_efsm_state_flags("idle-free"), (false, false));
+        assert_eq!(commit_efsm_state_flags("voted-chosen"), (true, false));
+        assert_eq!(commit_efsm_state_flags("committed-chosen"), (true, true));
+        assert_eq!(commit_efsm_state_flags("forced-voted"), (false, true));
+        assert_eq!(commit_efsm_state_flags("forced-chosen"), (true, true));
+        assert_eq!(commit_efsm_state_flags("committed-blocked"), (false, true));
     }
 
     #[test]

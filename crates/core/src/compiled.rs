@@ -48,8 +48,9 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 
-use crate::error::InterpError;
+use crate::error::{CompileError, InterpError};
 use crate::interp::ProtocolEngine;
+use crate::ir::{ActionArena, FlatIr};
 use crate::machine::{Action, MessageId, StateMachine, StateRole};
 
 /// Sentinel target meaning "message not applicable in this state".
@@ -84,21 +85,43 @@ pub struct CompiledMachine {
 }
 
 impl CompiledMachine {
-    /// Flattens `machine` into dense tables.
+    /// Flattens `machine` into dense tables, via the unified lowering IR
+    /// ([`FlatIr`]).
     ///
     /// This is the only expensive step — O(states × messages) time and
     /// space — and is meant to run once per machine, off the hot path.
     pub fn compile(machine: &StateMachine) -> Self {
-        let stride = machine.messages().len();
-        let state_count = machine.state_count();
+        Self::compile_ir(&FlatIr::from_machine(machine))
+            .expect("a StateMachine is unguarded and deterministic by construction")
+    }
+
+    /// Compiles an *unguarded* [`FlatIr`] into dense tables — the shared
+    /// entry point every front-end reaches through the unified lowering
+    /// pipeline (flat machines lift trivially; unguarded statecharts
+    /// arrive via
+    /// [`HierarchicalMachine::flatten_ir`](crate::HierarchicalMachine::flatten_ir)).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::GuardedMachine`] if any transition carries a
+    /// guard or update (or the IR declares variables/parameters) — the
+    /// dense table has no registers, so guarded IRs lower through
+    /// [`CompiledEfsm::compile_ir`](crate::CompiledEfsm::compile_ir)
+    /// instead; [`CompileError::DuplicateTransition`] if two transitions
+    /// share a `(state, message)` cell (the second could never fire).
+    pub fn compile_ir(ir: &FlatIr) -> Result<Self, CompileError> {
+        if ir.is_guarded() {
+            return Err(CompileError::GuardedMachine(ir.name().to_string()));
+        }
+        let stride = ir.messages().len();
+        let state_count = ir.state_count();
         let mut targets = vec![NO_TRANSITION; state_count * stride];
         let mut cells = vec![ActionRange::default(); state_count * stride];
-        let mut arena: Vec<Action> = Vec::new();
-        let mut interned: HashMap<Vec<Action>, ActionRange> = HashMap::new();
+        let mut arena = ActionArena::default();
         let mut state_names = Vec::with_capacity(state_count);
         let mut finish = Vec::with_capacity(state_count);
 
-        for (sid, state) in machine.states_with_ids() {
+        for (sid, state) in ir.states().iter().enumerate() {
             state_names.push(state.name().to_string());
             let is_finish = state.role() == StateRole::Finish;
             finish.push(is_finish);
@@ -108,42 +131,39 @@ impl CompiledMachine {
                 // (unreachable) transitions out of them.
                 continue;
             }
-            let row = sid.index() * stride;
-            for (mid, transition) in state.transitions() {
-                let idx = row + mid.index();
-                targets[idx] = transition.target().index() as u32;
-                if transition.actions().is_empty() {
-                    continue;
+            let row = sid * stride;
+            for transition in state.transitions() {
+                let idx = row + transition.message_index();
+                if targets[idx] != NO_TRANSITION {
+                    return Err(CompileError::DuplicateTransition {
+                        state: state.name().to_string(),
+                        message: ir.messages()[transition.message_index()].clone(),
+                    });
                 }
-                let range = match interned.get(transition.actions()) {
-                    Some(&range) => range,
-                    None => {
-                        let range = ActionRange {
-                            offset: arena.len() as u32,
-                            len: transition.actions().len() as u32,
-                        };
-                        arena.extend_from_slice(transition.actions());
-                        interned.insert(transition.actions().to_vec(), range);
-                        range
-                    }
-                };
-                cells[idx] = range;
+                targets[idx] = transition.target();
+                let (offset, len) = arena.intern(transition.actions());
+                cells[idx] = ActionRange { offset, len };
             }
         }
 
-        CompiledMachine {
-            name: machine.name().to_string(),
-            messages: machine.messages().to_vec().into_boxed_slice(),
-            message_lookup: machine.message_lookup().clone(),
+        Ok(CompiledMachine {
+            name: ir.name().to_string(),
+            messages: ir.messages().to_vec().into_boxed_slice(),
+            message_lookup: ir
+                .messages()
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (m.clone(), i as u16))
+                .collect(),
             state_names: state_names.into_boxed_slice(),
             finish: finish.into_boxed_slice(),
-            start: machine.start().index() as u32,
+            start: ir.start(),
             stride,
             targets: targets.into_boxed_slice(),
             cells: cells.into_boxed_slice(),
-            arena: arena.into_boxed_slice(),
-            interned_lists: interned.len(),
-        }
+            interned_lists: arena.interned_lists(),
+            arena: arena.into_arena(),
+        })
     }
 
     /// The machine's name.

@@ -248,6 +248,32 @@ pub enum Update {
     Inc(VarId),
 }
 
+/// Applies a transition's updates with the staged
+/// read-pre-transition-values semantics shared by every interpreter
+/// (EFSM, flat IR, guarded statechart) and mirrored by the compiled
+/// lowering: `vars` is snapshotted into the caller-provided `old_vars`
+/// buffer (reused across deliveries, so the hot path never allocates)
+/// and every update expression reads the snapshot.
+///
+/// # Panics
+///
+/// Panics if `old_vars` is shorter than `vars`, or an update references
+/// a register outside `vars`.
+pub(crate) fn apply_staged_updates(
+    updates: &[Update],
+    vars: &mut [i64],
+    old_vars: &mut [i64],
+    params: &[i64],
+) {
+    old_vars.copy_from_slice(vars);
+    for update in updates {
+        match update {
+            Update::Set(v, expr) => vars[v.index()] = expr.eval(old_vars, params),
+            Update::Inc(v) => vars[v.index()] = old_vars[v.index()] + 1,
+        }
+    }
+}
+
 /// A guarded transition of an EFSM.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EfsmTransition {
@@ -668,17 +694,7 @@ impl ProtocolEngine for EfsmInstance<'_> {
             if t.message != mid || !t.guard.eval(&self.vars, &self.params) {
                 continue;
             }
-            // Updates read pre-transition values (snapshot into the
-            // reusable buffer; no allocation per delivery).
-            self.old_vars.copy_from_slice(&self.vars);
-            for u in &t.updates {
-                match u {
-                    Update::Set(v, expr) => {
-                        self.vars[v.0] = expr.eval(&self.old_vars, &self.params)
-                    }
-                    Update::Inc(v) => self.vars[v.0] = self.old_vars[v.0] + 1,
-                }
-            }
+            apply_staged_updates(&t.updates, &mut self.vars, &mut self.old_vars, &self.params);
             self.current = t.target;
             return Ok(&t.actions);
         }

@@ -86,7 +86,8 @@ use std::collections::HashMap;
 use crate::efsm::{CmpOp, Cond, Efsm, LinExpr, Operand, Update};
 use crate::error::{CompileError, InterpError};
 use crate::interp::ProtocolEngine;
-use crate::machine::{Action, MessageId};
+use crate::ir::{ActionArena, FlatIr};
+use crate::machine::{Action, MessageId, StateRole};
 
 /// Sentinel for "no inline increment" in a [`Candidate`].
 const NO_INC: u32 = u32::MAX;
@@ -290,7 +291,9 @@ pub struct CompiledEfsm {
     message_lookup: HashMap<String, u16>,
     state_names: Box<[String]>,
     start: u32,
-    finish: Option<u32>,
+    /// Per-state finish flag: compiled from the IR's state roles, so a
+    /// flattened guarded statechart may carry several absorbing states.
+    finish: Box<[bool]>,
     stride: usize,
     n_vars: usize,
     n_params: usize,
@@ -466,10 +469,25 @@ fn cmp_zero(op: CmpOp, acc: i64) -> bool {
 
 impl CompiledEfsm {
     /// Flattens `efsm` into fused checks, bytecode and dense dispatch
-    /// tables.
+    /// tables, via the unified lowering IR ([`FlatIr`]).
     ///
     /// This is the only expensive step — O(states × messages +
     /// transitions) — and runs once per machine, off the hot path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledEfsm::compile_ir`].
+    pub fn compile(efsm: &Efsm) -> Result<Self, CompileError> {
+        Self::compile_ir(&FlatIr::from_efsm(efsm))
+    }
+
+    /// Compiles a [`FlatIr`] into fused checks, bytecode and dense
+    /// dispatch tables — the shared entry point of the unified lowering
+    /// pipeline. EFSMs lift trivially; guarded statecharts arrive via
+    /// [`HierarchicalMachine::flatten_ir`](crate::HierarchicalMachine::flatten_ir),
+    /// so one compiled machine serves an entire parameterized statechart
+    /// family. A fully unguarded IR compiles too (every cell is a single
+    /// always-true candidate) — a flat FSM is just the degenerate EFSM.
     ///
     /// # Errors
     ///
@@ -477,26 +495,29 @@ impl CompiledEfsm {
     /// transitions on the same message with identical guards: the second
     /// can never fire (declaration order resolves overlaps), so it is a
     /// specification bug rather than a priority choice.
-    pub fn compile(efsm: &Efsm) -> Result<Self, CompileError> {
-        let stride = efsm.messages().len();
-        let state_count = efsm.state_count();
+    pub fn compile_ir(ir: &FlatIr) -> Result<Self, CompileError> {
+        let stride = ir.messages().len();
+        let state_count = ir.state_count();
         let mut cells = vec![Cell::default(); state_count * stride];
         let mut candidates: Vec<Candidate> = Vec::new();
         let mut checks: Vec<FusedCheck> = Vec::new();
         let mut code: Vec<Op> = Vec::new();
         let mut consts = ConstPool::default();
         let mut bounds = BoundPool::default();
-        let mut arena: Vec<Action> = Vec::new();
-        let mut interned: HashMap<Vec<Action>, ActionRange> = HashMap::new();
+        let mut arena = ActionArena::default();
         let mut max_updates = 0usize;
-        let finish = efsm.finish().map(|f| f.index() as u32);
+        let finish: Vec<bool> = ir
+            .states()
+            .iter()
+            .map(|s| s.role() == StateRole::Finish)
+            .collect();
 
-        for (sid, state) in efsm.states().iter().enumerate() {
-            if Some(sid as u32) == finish {
-                // The finish state absorbs every message by construction
-                // (the interpreter checks `is_finished` before matching);
-                // leave its whole row empty even if the source machine
-                // carries unreachable transitions out of it.
+        for (sid, state) in ir.states().iter().enumerate() {
+            if finish[sid] {
+                // Finish states absorb every message by construction
+                // (the interpreters check for them before matching);
+                // leave their whole rows empty even if the source
+                // machine carries unreachable transitions out of them.
                 continue;
             }
             for mid in 0..stride {
@@ -511,7 +532,7 @@ impl CompiledEfsm {
                     if in_cell[..ti].iter().any(|prev| prev.guard() == t.guard()) {
                         return Err(CompileError::DuplicateTransition {
                             state: state.name().to_string(),
-                            message: efsm.messages()[mid].clone(),
+                            message: ir.messages()[mid].clone(),
                         });
                     }
                     let checks_start = checks.len() as u32;
@@ -562,30 +583,15 @@ impl CompiledEfsm {
                             code.push(Op::CommitVar { var, slot });
                         }
                     }
-                    let actions = if t.actions().is_empty() {
-                        ActionRange::default()
-                    } else {
-                        match interned.get(t.actions()) {
-                            Some(&range) => range,
-                            None => {
-                                let range = ActionRange {
-                                    offset: arena.len() as u32,
-                                    len: t.actions().len() as u32,
-                                };
-                                arena.extend_from_slice(t.actions());
-                                interned.insert(t.actions().to_vec(), range);
-                                range
-                            }
-                        }
-                    };
+                    let (offset, len) = arena.intern(t.actions());
                     candidates.push(Candidate {
                         checks_start,
                         checks_end: checks.len() as u32,
                         code_start,
                         code_end: code.len() as u32,
                         inc_var,
-                        target: t.target().index() as u32,
-                        actions,
+                        target: t.target(),
+                        actions: ActionRange { offset, len },
                     });
                     cell_count += 1;
                 }
@@ -597,20 +603,20 @@ impl CompiledEfsm {
         }
 
         Ok(CompiledEfsm {
-            name: efsm.name().to_string(),
-            messages: efsm.messages().to_vec().into_boxed_slice(),
-            message_lookup: efsm
+            name: ir.name().to_string(),
+            messages: ir.messages().to_vec().into_boxed_slice(),
+            message_lookup: ir
                 .messages()
                 .iter()
                 .enumerate()
                 .map(|(i, m)| (m.clone(), i as u16))
                 .collect(),
-            state_names: efsm.states().iter().map(|s| s.name().to_string()).collect(),
-            start: efsm.start().index() as u32,
-            finish,
+            state_names: ir.states().iter().map(|s| s.name().to_string()).collect(),
+            start: ir.start(),
+            finish: finish.into_boxed_slice(),
             stride,
-            n_vars: efsm.variables().len(),
-            n_params: efsm.params().len(),
+            n_vars: ir.variables().len(),
+            n_params: ir.params().len(),
             max_updates,
             cells: cells.into_boxed_slice(),
             candidates: candidates.into_boxed_slice(),
@@ -618,7 +624,7 @@ impl CompiledEfsm {
             code: code.into_boxed_slice(),
             consts: consts.values.into_boxed_slice(),
             bound_forms: bounds.forms.into_boxed_slice(),
-            arena: arena.into_boxed_slice(),
+            arena: arena.into_arena(),
         })
     }
 
@@ -743,14 +749,25 @@ impl CompiledEfsm {
         self.start
     }
 
-    /// The finish state's dense id, if any.
+    /// The unique finish state's dense id, if the machine has exactly
+    /// one (a flattened guarded statechart may carry several absorbing
+    /// states — query those with [`CompiledEfsm::is_finish_state`]).
     pub fn finish(&self) -> Option<u32> {
-        self.finish
+        let mut found = None;
+        for (i, &f) in self.finish.iter().enumerate() {
+            if f {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i as u32);
+            }
+        }
+        found
     }
 
-    /// `true` if `state` is the finish state.
+    /// `true` if `state` is an absorbing finish state.
     pub fn is_finish_state(&self, state: u32) -> bool {
-        Some(state) == self.finish
+        self.finish[state as usize]
     }
 
     /// Looks up a message id by name in O(1).

@@ -124,6 +124,10 @@ pub enum CompileError {
         /// Number of states declared so far.
         states: usize,
     },
+    /// A guarded IR was handed to the dense-table compiler, which has no
+    /// variable registers; guarded machines lower through the
+    /// register-machine tier instead.
+    GuardedMachine(String),
 }
 
 impl fmt::Display for CompileError {
@@ -142,6 +146,13 @@ impl fmt::Display for CompileError {
                 write!(
                     f,
                     "state id {index} is out of range ({states} states declared)"
+                )
+            }
+            CompileError::GuardedMachine(name) => {
+                write!(
+                    f,
+                    "machine `{name}` carries guards, updates or variables; compile it onto \
+                     the register-machine tier (CompiledEfsm) instead of the dense table"
                 )
             }
         }
@@ -201,6 +212,31 @@ pub enum HsmError {
     /// A transition targets the history pseudostate of a state that is
     /// not a composite with shallow history enabled.
     InvalidHistoryTarget(String),
+    /// A guard or update references a variable index the machine never
+    /// declared.
+    VariableOutOfRange {
+        /// The offending variable index.
+        index: usize,
+        /// Number of variables declared so far.
+        variables: usize,
+    },
+    /// A guard or update references a parameter index the machine never
+    /// declared.
+    ParamOutOfRange {
+        /// The offending parameter index.
+        index: usize,
+        /// Number of parameters declared so far.
+        params: usize,
+    },
+    /// A transition was declared after an *unconditional* transition on
+    /// the same `(state, message)` pair; declaration order is firing
+    /// priority, so it could never fire.
+    ShadowedTransition {
+        /// Display name of the offending state.
+        state: String,
+        /// The message both transitions claim.
+        message: String,
+    },
 }
 
 impl fmt::Display for HsmError {
@@ -250,6 +286,25 @@ impl fmt::Display for HsmError {
                      shallow history enabled"
                 )
             }
+            HsmError::VariableOutOfRange { index, variables } => {
+                write!(
+                    f,
+                    "variable id {index} is out of range ({variables} variable(s) declared)"
+                )
+            }
+            HsmError::ParamOutOfRange { index, params } => {
+                write!(
+                    f,
+                    "parameter id {index} is out of range ({params} parameter(s) declared)"
+                )
+            }
+            HsmError::ShadowedTransition { state, message } => {
+                write!(
+                    f,
+                    "transition from state `{state}` on message `{message}` is declared after \
+                     an unconditional transition and could never fire"
+                )
+            }
         }
     }
 }
@@ -286,6 +341,28 @@ pub enum StategenError {
         /// Parameters supplied.
         found: usize,
     },
+    /// A session handle addressed a released (and possibly recycled)
+    /// runtime slot — the non-panicking form of the generational
+    /// use-after-recycle guard, returned by fallible handle-taking APIs
+    /// such as `Runtime::try_deliver`.
+    StaleSession {
+        /// The shard the handle pointed into.
+        shard: usize,
+        /// The slot within the shard.
+        slot: usize,
+        /// The generation the handle carried.
+        generation: u32,
+    },
+    /// A message id is out of range for the engine's alphabet (it was
+    /// minted by a different machine) — returned by fallible
+    /// untrusted-input APIs such as `Runtime::try_deliver` instead of
+    /// silently dispatching from the wrong table cell.
+    MessageOutOfRange {
+        /// The offending message index.
+        index: usize,
+        /// Messages the engine declares.
+        messages: usize,
+    },
 }
 
 impl fmt::Display for StategenError {
@@ -300,6 +377,24 @@ impl fmt::Display for StategenError {
                 write!(
                     f,
                     "EFSM declares {expected} parameter(s), binding supplies {found}"
+                )
+            }
+            StategenError::StaleSession {
+                shard,
+                slot,
+                generation,
+            } => {
+                write!(
+                    f,
+                    "stale session handle s{shard}:{slot}#{generation}: the slot was released \
+                     and possibly recycled"
+                )
+            }
+            StategenError::MessageOutOfRange { index, messages } => {
+                write!(
+                    f,
+                    "message id {index} is out of range ({messages} message(s) declared); it \
+                     was minted by a different machine"
                 )
             }
         }

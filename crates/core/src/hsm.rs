@@ -13,20 +13,28 @@
 //!   forest of states where composites carry an initial child and
 //!   optional shallow history, every state carries entry/exit action
 //!   lists, and transitions may be internal, cross-level, or target a
-//!   composite's history pseudostate;
-//! * [`HierarchicalMachine::flatten`] — the compiler: enumerates the
+//!   composite's history pseudostate — and may carry a
+//!   [`Guard`] over declared variables/parameters plus variable
+//!   [`Update`]s, making a statechart *parameter-generic* exactly like
+//!   an [`Efsm`](crate::Efsm);
+//! * [`HierarchicalMachine::flatten_ir`] — the compiler: enumerates the
 //!   reachable *configurations* (active leaf × shallow-history memory)
-//!   breadth-first and lowers each to one flat
-//!   [`StateMachine`] state, expanding inherited
-//!   transitions, synthesizing the exit/transition/entry action
-//!   sequences, and resolving history by splitting states per remembered
-//!   child. The result runs on every existing execution tier —
-//!   [`FsmInstance`](crate::FsmInstance),
+//!   breadth-first and lowers each to one state of the unified flat IR
+//!   ([`FlatIr`]), expanding inherited transitions (guards carried
+//!   symbolically, in firing priority order), synthesizing the
+//!   exit/transition/entry action sequences, and resolving history by
+//!   splitting states per remembered child. Unguarded statecharts
+//!   project to an ordinary [`StateMachine`]
+//!   ([`HierarchicalMachine::flatten`]) and run on every dense-table
+//!   tier — [`FsmInstance`](crate::FsmInstance),
 //!   [`CompiledMachine`](crate::CompiledMachine) /
 //!   [`SessionPool`](crate::SessionPool) and
 //!   [`ShardedPool`](crate::ShardedPool) — with zero engine changes
 //!   (the compiled tier's action-arena interning folds the synthesized
-//!   sequences back together);
+//!   sequences back together); guarded statecharts compile onto the
+//!   register-machine tier
+//!   ([`CompiledEfsm::compile_ir`](crate::CompiledEfsm::compile_ir)),
+//!   one compiled machine per statechart *family*;
 //! * [`HsmInstance`] — a direct interpreter over the statechart, the
 //!   reference the flattened machines are property-checked against
 //!   (`HsmInstance ≡ FsmInstance(flatten) ≡ CompiledInstance(flatten)`
@@ -44,9 +52,15 @@
 //!
 //! 1. A final leaf absorbs every message (mirroring the flat machines'
 //!    absorbing [`StateRole::Finish`] states).
-//! 2. The handler is the *innermost* state on the active leaf's ancestor
-//!    chain declaring a transition for `m`; inner declarations override
-//!    inherited outer ones. No handler ⇒ the message is ignored.
+//! 2. The handler is resolved *innermost-first with guard fall-through*:
+//!    walking the active leaf's ancestor chain, each state's
+//!    declarations for `m` are tried in declaration order, and the
+//!    first transition whose guard holds over the live variable
+//!    registers fires — inner declarations override inherited outer
+//!    ones, and a state whose guards all fail falls through to its
+//!    enclosing state. No enabled handler ⇒ the message is ignored.
+//!    Updates apply with the EFSM tiers' staged semantics: every update
+//!    expression reads the pre-transition variable values.
 //! 3. An *internal* transition fires its actions and leaves the
 //!    configuration untouched (no exit/entry actions run). It flattens
 //!    to a self-loop.
@@ -100,9 +114,11 @@ use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 
+use crate::efsm::{Guard, LinExpr, Operand, ParamId, Update, VarId};
 use crate::error::{HsmError, InterpError};
 use crate::interp::ProtocolEngine;
-use crate::machine::{Action, MessageId, StateMachine, StateMachineBuilder, StateRole};
+use crate::ir::{FlatIr, FlatState, FlatTransition};
+use crate::machine::{Action, MessageId, StateMachine, StateRole};
 
 /// Identifier of a state within a [`HierarchicalMachine`] (index into
 /// its state tree, in declaration order).
@@ -133,9 +149,20 @@ pub enum HsmTarget {
 
 /// A transition declared on a hierarchical state (and inherited by all
 /// of its descendants unless overridden closer to the leaf).
+///
+/// A transition may carry a [`Guard`] over the machine's variables and
+/// parameters and a list of variable [`Update`]s. Guards participate in
+/// inheritance and conflict resolution *innermost-first*: the handler
+/// search walks the active leaf's ancestor chain and, within each
+/// state, that state's transitions for the message in declaration
+/// order; the first transition whose guard holds fires, and a state
+/// whose guards all fail falls through to its enclosing state's
+/// (inherited) transitions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HsmTransition {
     target: HsmTarget,
+    guard: Guard,
+    updates: Vec<Update>,
     actions: Vec<Action>,
 }
 
@@ -143,6 +170,19 @@ impl HsmTransition {
     /// The transition's target.
     pub fn target(&self) -> HsmTarget {
         self.target
+    }
+
+    /// The guard that must hold for this transition to fire (the empty
+    /// conjunction — always true — for unguarded transitions).
+    pub fn guard(&self) -> &Guard {
+        &self.guard
+    }
+
+    /// Variable updates applied when the transition fires, each reading
+    /// the pre-transition variable values (the same staged semantics as
+    /// the EFSM tiers).
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
     }
 
     /// Actions (messages sent) when the transition fires, not counting
@@ -163,7 +203,9 @@ pub struct HsmState {
     entry: Vec<Action>,
     exit: Vec<Action>,
     role: StateRole,
-    transitions: BTreeMap<u16, HsmTransition>,
+    /// Per message, the transitions declared directly on this state in
+    /// declaration (priority) order — several iff their guards differ.
+    transitions: BTreeMap<u16, Vec<HsmTransition>>,
 }
 
 impl HsmState {
@@ -229,10 +271,13 @@ impl HsmState {
         self.role
     }
 
-    /// Transitions declared directly on this state, keyed by message, in
-    /// message-id order (inherited transitions are *not* repeated here).
+    /// Transitions declared directly on this state, in message-id order
+    /// and declaration (priority) order within a message (inherited
+    /// transitions are *not* repeated here).
     pub fn transitions(&self) -> impl Iterator<Item = (MessageId, &HsmTransition)> {
-        self.transitions.iter().map(|(&m, t)| (MessageId(m), t))
+        self.transitions
+            .iter()
+            .flat_map(|(&m, ts)| ts.iter().map(move |t| (MessageId(m), t)))
     }
 }
 
@@ -247,6 +292,12 @@ pub struct HierarchicalMachine {
     name: String,
     messages: Vec<String>,
     message_lookup: HashMap<String, u16>,
+    /// Parameter names, bound when an instance (or compiled binding) is
+    /// created — what makes a guarded statechart generic over e.g. a
+    /// retry budget or replication factor.
+    params: Vec<String>,
+    /// Variable names (per-instance registers, initialised to zero).
+    variables: Vec<String>,
     states: Vec<HsmState>,
     start: HsmStateId,
     start_leaf: HsmStateId,
@@ -273,6 +324,44 @@ impl HierarchicalMachine {
         self.message_lookup.get(name).copied().map(MessageId)
     }
 
+    /// Parameter names, in declaration order (empty for plain
+    /// statecharts).
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Variable names, in declaration order (empty for plain
+    /// statecharts).
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// `true` if this statechart uses the extended-machine features —
+    /// declared variables or parameters, a non-trivial guard, or an
+    /// update on any transition. Guarded statecharts lower onto the
+    /// compiled-EFSM tier via [`HierarchicalMachine::flatten_ir`];
+    /// unguarded ones keep the dense-table
+    /// [`HierarchicalMachine::flatten`] projection.
+    ///
+    /// This is the author-level predicate (over *declared* transitions);
+    /// tier routing after flattening uses [`FlatIr::is_guarded`], the
+    /// same definition over the *reachable* lowered candidates. The two
+    /// agree whenever the machine declares a variable or parameter (the
+    /// normal guarded case — both predicates test the declaration
+    /// lists); they can differ only for a machine whose every guard is
+    /// variable-free *and* unreachable, where the flattened IR is the
+    /// authority.
+    pub fn is_guarded(&self) -> bool {
+        !self.variables.is_empty()
+            || !self.params.is_empty()
+            || self.states.iter().any(|s| {
+                s.transitions
+                    .values()
+                    .flatten()
+                    .any(|t| !t.guard.conditions().is_empty() || !t.updates.is_empty())
+            })
+    }
+
     /// Number of states in the tree (composites and leaves).
     pub fn state_count(&self) -> usize {
         self.states.len()
@@ -289,9 +378,13 @@ impl HierarchicalMachine {
     }
 
     /// Total transitions declared across all states (before inheritance
-    /// expansion).
+    /// expansion), counting each guarded variant.
     pub fn transition_count(&self) -> usize {
-        self.states.iter().map(|s| s.transitions.len()).sum()
+        self.states
+            .iter()
+            .flat_map(|s| s.transitions.values())
+            .map(Vec::len)
+            .sum()
     }
 
     /// The state with the given id.
@@ -430,36 +523,79 @@ impl HierarchicalMachine {
         None
     }
 
-    /// The run-to-completion kernel shared by [`HsmInstance`] and
-    /// [`HierarchicalMachine::flatten`]: steps the configuration
-    /// `(leaf, memory)` on `message`, appending the synthesized
-    /// exit/transition/entry action sequence to `actions` and updating
-    /// `memory` in place. Returns the new active leaf if a transition
-    /// fired (possibly the same leaf, for internal transitions), `None`
-    /// if the message was absorbed.
-    fn step_config(
+    /// The shared handler traversal: walks the ancestor chain from the
+    /// active leaf outwards (inner declarations take priority over
+    /// inherited outer ones), visiting each state's transitions for
+    /// `message` in declaration order until `visit` returns `true`.
+    /// Both handler-resolution strategies are built on it —
+    /// [`HsmInstance::deliver_id`] stops at the first transition whose
+    /// guard holds over the live registers, and
+    /// [`HierarchicalMachine::candidates`] collects the whole priority
+    /// list symbolically for the flattener — so the firing priority
+    /// order has exactly one definition.
+    fn walk_handlers<'a>(
+        &'a self,
+        leaf: HsmStateId,
+        message: u16,
+        mut visit: impl FnMut(HsmStateId, &'a HsmTransition) -> bool,
+    ) {
+        let mut cur = Some(leaf);
+        while let Some(state) = cur {
+            if let Some(ts) = self.states[state.index()].transitions.get(&message) {
+                for t in ts {
+                    if visit(state, t) {
+                        return;
+                    }
+                }
+            }
+            cur = self.states[state.index()].parent;
+        }
+    }
+
+    /// The candidate transitions for `(leaf, message)` in firing
+    /// priority order ([`HierarchicalMachine::walk_handlers`] order),
+    /// with the never-firing tail pruned: the scan stops after the
+    /// first *unconditional* candidate — nothing declared after an
+    /// always-true guard can ever fire — and an inherited candidate
+    /// whose guard is *identical* to an inner one's is dropped for the
+    /// same reason: whenever it would match, the inner declaration
+    /// already won (and keeping it would look like a duplicate to the
+    /// downstream compilers). At run time the first candidate whose
+    /// guard holds wins; a state whose guards all fail falls through to
+    /// its enclosing state's transitions.
+    fn candidates(&self, leaf: HsmStateId, message: u16) -> Vec<(HsmStateId, &HsmTransition)> {
+        let mut found: Vec<(HsmStateId, &HsmTransition)> = Vec::new();
+        self.walk_handlers(leaf, message, |state, t| {
+            if found.iter().any(|&(_, p)| p.guard == t.guard) {
+                return false; // shadowed by an identical inner guard
+            }
+            found.push((state, t));
+            t.guard.conditions().is_empty()
+        });
+        found
+    }
+
+    /// The run-to-completion kernel shared by [`HsmInstance`] and the
+    /// flattening compiler: fires `transition` (declared on `handler`,
+    /// an ancestor-or-self of the active `leaf`) from the configuration
+    /// `(leaf, memory)`, appending the synthesized exit/transition/entry
+    /// action sequence to `actions` and updating `memory` in place.
+    /// Guard evaluation and variable updates are *not* performed here —
+    /// the interpreter evaluates them against live registers, the
+    /// flattener carries them symbolically into the IR. Returns the new
+    /// active leaf (the same leaf for internal transitions).
+    fn apply_transition(
         &self,
         leaf: HsmStateId,
         memory: &mut [HsmStateId],
-        message: u16,
+        handler: HsmStateId,
+        transition: &HsmTransition,
         actions: &mut Vec<Action>,
-    ) -> Option<HsmStateId> {
-        if self.states[leaf.index()].role == StateRole::Finish {
-            return None;
-        }
-        // Innermost handler wins: walk the ancestor chain from the leaf.
-        let mut handler = leaf;
-        let transition = loop {
-            if let Some(t) = self.states[handler.index()].transitions.get(&message) {
-                break t;
-            }
-            handler = self.states[handler.index()].parent?;
-        };
-
+    ) -> HsmStateId {
         let (target, via_history) = match transition.target {
             HsmTarget::Internal => {
                 actions.extend(transition.actions.iter().cloned());
-                return Some(leaf);
+                return leaf;
             }
             HsmTarget::State(t) => (t, false),
             HsmTarget::History(t) => (t, true),
@@ -510,11 +646,68 @@ impl HierarchicalMachine {
             actions.extend(self.states[init.index()].entry.iter().cloned());
             cur = init;
         }
-        Some(cur)
+        cur
     }
 
-    /// Lowers the statechart to a flat [`StateMachine`] running on every
-    /// existing execution tier unchanged.
+    /// Checks that for every state, message and combination of variable
+    /// values in `0..=var_bound` (per variable), at most one of the
+    /// state's *own* guarded transitions is enabled — i.e. declaration
+    /// priority never actually disambiguates anything. Inherited
+    /// transitions are exempt by design: an inner state overriding an
+    /// enclosing one is the statechart priority rule, not
+    /// nondeterminism. The guard-disjointness companion to
+    /// [`Efsm::check_deterministic`](crate::Efsm::check_deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first overlapping pair found.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of parameters differs from the machine's
+    /// declaration.
+    pub fn check_guard_determinism(&self, params: &[i64], var_bound: i64) -> Result<(), String> {
+        assert_eq!(params.len(), self.params.len(), "wrong parameter count");
+        let nvars = self.variables.len();
+        let mut vars = vec![0i64; nvars];
+        loop {
+            for state in &self.states {
+                for (&mid, ts) in &state.transitions {
+                    let mut matched: Option<usize> = None;
+                    for (ti, t) in ts.iter().enumerate() {
+                        if !t.guard.eval(&vars, params) {
+                            continue;
+                        }
+                        if let Some(prev) = matched {
+                            return Err(format!(
+                                "state `{}`, message `{}`: transitions {prev} and {ti} both \
+                                 enabled at vars {vars:?}",
+                                state.name, self.messages[mid as usize]
+                            ));
+                        }
+                        matched = Some(ti);
+                    }
+                }
+            }
+            // Advance the mixed-radix counter over variable values.
+            let mut i = 0;
+            loop {
+                if i == nvars {
+                    return Ok(());
+                }
+                vars[i] += 1;
+                if vars[i] <= var_bound {
+                    break;
+                }
+                vars[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Lowers the statechart onto the unified flat IR
+    /// ([`FlatIr`]) — the one lowering pipeline shared by guarded and
+    /// unguarded statecharts.
     ///
     /// Flat states are the machine's *reachable configurations* (active
     /// leaf × shallow-history memory), discovered breadth-first from the
@@ -523,60 +716,126 @@ impl HierarchicalMachine {
     /// recorded) are pruned by construction. Each flat transition
     /// carries the full synthesized action sequence (exit actions
     /// innermost-first, then the transition's own actions, then entry
-    /// actions outermost-first); compiling the result interns identical
-    /// sequences in the action arena
-    /// ([`CompiledMachine::compile`](crate::CompiledMachine::compile)),
-    /// so the expansion costs table cells, not arena bytes.
+    /// actions outermost-first) plus the source transition's guard and
+    /// updates, symbolically: a flat `(state, message)` cell lists every
+    /// candidate in firing priority order (innermost state first,
+    /// declaration order within a state, cut off at the first
+    /// unconditional candidate), so the compiled tiers resolve guards
+    /// exactly as the direct interpreter does. Compiling the result
+    /// interns identical action sequences in the shared arena, so the
+    /// expansion costs table cells, not arena bytes.
     ///
     /// Final leaves lower to absorbing [`StateRole::Finish`] states with
     /// no outgoing transitions; flat state names are
     /// [`HierarchicalMachine::config_name`]s, shared with
-    /// [`HsmInstance::state_name`].
-    pub fn flatten(&self) -> StateMachine {
-        let mut builder = StateMachineBuilder::new(self.name.clone(), self.messages.clone());
+    /// [`HsmInstance::state_name`]. Unguarded statecharts produce an
+    /// unguarded IR that lowers to the dense-table tier
+    /// ([`CompiledMachine::compile_ir`](crate::CompiledMachine::compile_ir));
+    /// guarded ones lower to the register-machine tier
+    /// ([`CompiledEfsm::compile_ir`](crate::CompiledEfsm::compile_ir)).
+    pub fn flatten_ir(&self) -> FlatIr {
         let init_mem = self.initial_memory();
         let start_config = (self.start_leaf, init_mem);
 
-        let mut index: HashMap<(HsmStateId, Vec<HsmStateId>), crate::machine::StateId> =
-            HashMap::new();
+        let mut states: Vec<FlatState> = Vec::new();
+        let mut index: HashMap<(HsmStateId, Vec<HsmStateId>), u32> = HashMap::new();
         let mut queue = VecDeque::new();
-        let add_config = |builder: &mut StateMachineBuilder,
+        let add_config = |states: &mut Vec<FlatState>,
                           queue: &mut VecDeque<(HsmStateId, Vec<HsmStateId>)>,
-                          index: &mut HashMap<_, crate::machine::StateId>,
+                          index: &mut HashMap<_, u32>,
                           config: (HsmStateId, Vec<HsmStateId>)| {
             if let Some(&id) = index.get(&config) {
                 return id;
             }
-            let name = self.config_name(config.0, &config.1);
-            let role = self.states[config.0.index()].role;
-            let id = builder.add_state_full(name, None, role, Vec::new());
+            let id = states.len() as u32;
+            states.push(FlatState {
+                name: self.config_name(config.0, &config.1),
+                role: self.states[config.0.index()].role,
+                transitions: Vec::new(),
+            });
             index.insert(config.clone(), id);
             queue.push_back(config);
             id
         };
 
-        let start_id = add_config(&mut builder, &mut queue, &mut index, start_config);
+        let start_id = add_config(&mut states, &mut queue, &mut index, start_config);
         while let Some((leaf, memory)) = queue.pop_front() {
             if self.states[leaf.index()].role == StateRole::Finish {
                 continue; // absorbing: no outgoing flat transitions
             }
             let from = index[&(leaf, memory.clone())];
+            let mut lowered = Vec::new();
             for m in 0..self.messages.len() as u16 {
-                let mut mem = memory.clone();
-                let mut actions = Vec::new();
-                if let Some(new_leaf) = self.step_config(leaf, &mut mem, m, &mut actions) {
-                    let to = add_config(&mut builder, &mut queue, &mut index, (new_leaf, mem));
-                    builder.add_transition(from, &self.messages[m as usize], to, actions);
+                for (handler, t) in self.candidates(leaf, m) {
+                    let mut mem = memory.clone();
+                    let mut actions = Vec::new();
+                    let new_leaf = self.apply_transition(leaf, &mut mem, handler, t, &mut actions);
+                    let to = add_config(&mut states, &mut queue, &mut index, (new_leaf, mem));
+                    lowered.push(FlatTransition {
+                        message: m,
+                        guard: t.guard.clone(),
+                        updates: t.updates.clone(),
+                        actions,
+                        target: to,
+                    });
                 }
             }
+            states[from as usize].transitions = lowered;
         }
-        builder.build(start_id)
+        FlatIr {
+            name: self.name.clone(),
+            messages: self.messages.clone(),
+            message_lookup: self.message_lookup.clone(),
+            params: self.params.clone(),
+            variables: self.variables.clone(),
+            states,
+            start: start_id,
+        }
+    }
+
+    /// Lowers an *unguarded* statechart to a flat [`StateMachine`]
+    /// running on every existing execution tier unchanged — the trivial
+    /// projection of [`HierarchicalMachine::flatten_ir`] (an unguarded
+    /// IR carries exactly one candidate per reachable `(configuration,
+    /// message)` cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statechart is guarded
+    /// ([`HierarchicalMachine::is_guarded`]): guarded statecharts have
+    /// no flat-FSM projection and lower through
+    /// [`HierarchicalMachine::flatten_ir`] onto the compiled-EFSM tier
+    /// instead.
+    pub fn flatten(&self) -> StateMachine {
+        assert!(
+            !self.is_guarded(),
+            "guarded statechart `{}` has no flat StateMachine projection; \
+             lower it with flatten_ir() onto the compiled-EFSM tier",
+            self.name
+        );
+        self.flatten_ir().to_machine()
     }
 
     /// Creates a direct-interpretation instance positioned at the
     /// initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine declares parameters (bind them with
+    /// [`HierarchicalMachine::instance_with`]).
     pub fn instance(&self) -> HsmInstance<'_> {
         HsmInstance::new(self)
+    }
+
+    /// Creates a direct-interpretation instance with the given parameter
+    /// binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of parameters differs from the machine's
+    /// declaration.
+    pub fn instance_with(&self, params: Vec<i64>) -> HsmInstance<'_> {
+        HsmInstance::with_params(self, params)
     }
 }
 
@@ -586,7 +845,7 @@ impl HierarchicalMachine {
 /// states, [`HsmBuilder::add_child`] to nest); the first child added to
 /// a state becomes its initial child (overridable with
 /// [`HsmBuilder::set_initial`]). Like
-/// [`StateMachineBuilder`], the `add_*`
+/// [`StateMachineBuilder`](crate::StateMachineBuilder), the `add_*`
 /// methods panic on invariant violations and have `try_*` twins
 /// returning [`HsmError`] for generated or untrusted input;
 /// [`HsmBuilder::build`] validates the tree invariants the flattening
@@ -595,6 +854,8 @@ impl HierarchicalMachine {
 pub struct HsmBuilder {
     name: String,
     messages: Vec<String>,
+    params: Vec<String>,
+    variables: Vec<String>,
     states: Vec<HsmState>,
 }
 
@@ -623,8 +884,25 @@ impl HsmBuilder {
         HsmBuilder {
             name: name.into(),
             messages,
+            params: Vec::new(),
+            variables: Vec::new(),
             states: Vec::new(),
         }
+    }
+
+    /// Declares an instance parameter (bound when an instance or
+    /// compiled binding is created); returns its id for use in guards
+    /// and updates.
+    pub fn add_param(&mut self, name: impl Into<String>) -> ParamId {
+        self.params.push(name.into());
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Declares a variable (per-instance register, initial value zero);
+    /// returns its id for use in guards and updates.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        self.variables.push(name.into());
+        VarId(self.variables.len() - 1)
     }
 
     fn push_state(&mut self, name: String, parent: Option<HsmStateId>) -> HsmStateId {
@@ -723,11 +1001,51 @@ impl HsmBuilder {
         self.states[state.index()].role = StateRole::Finish;
     }
 
+    fn check_expr(&self, expr: &LinExpr) -> Result<(), HsmError> {
+        for &(_, operand) in expr.terms() {
+            match operand {
+                Operand::Var(v) if v.index() >= self.variables.len() => {
+                    return Err(HsmError::VariableOutOfRange {
+                        index: v.index(),
+                        variables: self.variables.len(),
+                    });
+                }
+                Operand::Param(p) if p.index() >= self.params.len() => {
+                    return Err(HsmError::ParamOutOfRange {
+                        index: p.index(),
+                        params: self.params.len(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn check_guard_and_updates(&self, guard: &Guard, updates: &[Update]) -> Result<(), HsmError> {
+        for cond in guard.conditions() {
+            self.check_expr(&cond.lhs)?;
+            self.check_expr(&cond.rhs)?;
+        }
+        for update in updates {
+            match update {
+                Update::Set(v, expr) => {
+                    self.check_expr(&LinExpr::var(*v))?;
+                    self.check_expr(expr)?;
+                }
+                Update::Inc(v) => self.check_expr(&LinExpr::var(*v))?,
+            }
+        }
+        Ok(())
+    }
+
     fn try_add(
         &mut self,
         from: HsmStateId,
         message: &str,
         target: HsmTarget,
+        guard: Guard,
+        updates: Vec<Update>,
         actions: Vec<Action>,
     ) -> Result<(), HsmError> {
         let mid = self
@@ -740,16 +1058,37 @@ impl HsmBuilder {
             HsmTarget::State(t) | HsmTarget::History(t) => self.check_id(t)?,
             HsmTarget::Internal => {}
         }
+        self.check_guard_and_updates(&guard, &updates)?;
         let state = &mut self.states[from.index()];
-        if state.transitions.contains_key(&mid) {
-            return Err(HsmError::DuplicateTransition {
-                state: state.name.clone(),
-                message: message.to_string(),
-            });
+        if let Some(list) = state.transitions.get(&mid) {
+            // Identical guards can never both be useful: the second
+            // silently loses every race.
+            if list.iter().any(|p| p.guard == guard) {
+                return Err(HsmError::DuplicateTransition {
+                    state: state.name.clone(),
+                    message: message.to_string(),
+                });
+            }
+            // A transition declared after an unconditional one on the
+            // same message can never fire either (declaration order is
+            // firing priority, and an always-true guard always wins).
+            if list.iter().any(|p| p.guard.conditions().is_empty()) {
+                return Err(HsmError::ShadowedTransition {
+                    state: state.name.clone(),
+                    message: message.to_string(),
+                });
+            }
         }
         state
             .transitions
-            .insert(mid, HsmTransition { target, actions });
+            .entry(mid)
+            .or_default()
+            .push(HsmTransition {
+                target,
+                guard,
+                updates,
+                actions,
+            });
         Ok(())
     }
 
@@ -784,7 +1123,61 @@ impl HsmBuilder {
         to: HsmStateId,
         actions: Vec<Action>,
     ) -> Result<(), HsmError> {
-        self.try_add(from, message, HsmTarget::State(to), actions)
+        self.try_add(
+            from,
+            message,
+            HsmTarget::State(to),
+            Guard::always(),
+            Vec::new(),
+            actions,
+        )
+    }
+
+    /// Adds a *guarded* external transition: it fires only while `guard`
+    /// holds over the machine's variables and parameters, applying
+    /// `updates` (each reading the pre-transition variable values) when
+    /// it does. Several guarded transitions may share a `(state,
+    /// message)` pair; declaration order is firing priority, and a state
+    /// whose guards all fail falls through to inherited transitions on
+    /// enclosing states.
+    ///
+    /// # Panics
+    ///
+    /// As for [`HsmBuilder::add_transition`], plus if the guard or an
+    /// update references an undeclared variable or parameter, or the
+    /// transition is unreachable (declared after an unconditional one on
+    /// the same message).
+    pub fn add_guarded_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        guard: Guard,
+        updates: Vec<Update>,
+        to: HsmStateId,
+        actions: Vec<Action>,
+    ) {
+        self.try_add_guarded_transition(from, message, guard, updates, to, actions)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`HsmBuilder::add_guarded_transition`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`HsmBuilder::try_add_transition`], plus
+    /// [`HsmError::VariableOutOfRange`] / [`HsmError::ParamOutOfRange`]
+    /// for dangling operand ids and [`HsmError::ShadowedTransition`] for
+    /// a transition declared after an unconditional one.
+    pub fn try_add_guarded_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        guard: Guard,
+        updates: Vec<Update>,
+        to: HsmStateId,
+        actions: Vec<Action>,
+    ) -> Result<(), HsmError> {
+        self.try_add(from, message, HsmTarget::State(to), guard, updates, actions)
     }
 
     /// Adds an external transition into the shallow-history pseudostate
@@ -817,7 +1210,58 @@ impl HsmBuilder {
         composite: HsmStateId,
         actions: Vec<Action>,
     ) -> Result<(), HsmError> {
-        self.try_add(from, message, HsmTarget::History(composite), actions)
+        self.try_add(
+            from,
+            message,
+            HsmTarget::History(composite),
+            Guard::always(),
+            Vec::new(),
+            actions,
+        )
+    }
+
+    /// Adds a guarded transition into the shallow-history pseudostate of
+    /// `composite` (see [`HsmBuilder::add_guarded_transition`] for the
+    /// guard/update semantics).
+    ///
+    /// # Panics
+    ///
+    /// As for [`HsmBuilder::add_guarded_transition`].
+    pub fn add_guarded_history_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        guard: Guard,
+        updates: Vec<Update>,
+        composite: HsmStateId,
+        actions: Vec<Action>,
+    ) {
+        self.try_add_guarded_history_transition(from, message, guard, updates, composite, actions)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`HsmBuilder::add_guarded_history_transition`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`HsmBuilder::try_add_guarded_transition`].
+    pub fn try_add_guarded_history_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        guard: Guard,
+        updates: Vec<Update>,
+        composite: HsmStateId,
+        actions: Vec<Action>,
+    ) -> Result<(), HsmError> {
+        self.try_add(
+            from,
+            message,
+            HsmTarget::History(composite),
+            guard,
+            updates,
+            actions,
+        )
     }
 
     /// Adds an internal transition on `from`: `actions` fire but the
@@ -847,7 +1291,49 @@ impl HsmBuilder {
         message: &str,
         actions: Vec<Action>,
     ) -> Result<(), HsmError> {
-        self.try_add(from, message, HsmTarget::Internal, actions)
+        self.try_add(
+            from,
+            message,
+            HsmTarget::Internal,
+            Guard::always(),
+            Vec::new(),
+            actions,
+        )
+    }
+
+    /// Adds a guarded internal transition: `actions` fire and `updates`
+    /// apply while `guard` holds, with the configuration unchanged and
+    /// no entry/exit actions run.
+    ///
+    /// # Panics
+    ///
+    /// As for [`HsmBuilder::add_guarded_transition`].
+    pub fn add_guarded_internal_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        guard: Guard,
+        updates: Vec<Update>,
+        actions: Vec<Action>,
+    ) {
+        self.try_add_guarded_internal_transition(from, message, guard, updates, actions)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`HsmBuilder::add_guarded_internal_transition`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`HsmBuilder::try_add_guarded_transition`].
+    pub fn try_add_guarded_internal_transition(
+        &mut self,
+        from: HsmStateId,
+        message: &str,
+        guard: Guard,
+        updates: Vec<Update>,
+        actions: Vec<Action>,
+    ) -> Result<(), HsmError> {
+        self.try_add(from, message, HsmTarget::Internal, guard, updates, actions)
     }
 
     /// Finalises the machine, validating the tree invariants.
@@ -908,7 +1394,7 @@ impl HsmBuilder {
             if s.role == StateRole::Finish && !s.is_leaf() {
                 return Err(HsmError::FinalNotLeaf(s.name.clone()));
             }
-            for t in s.transitions.values() {
+            for t in s.transitions.values().flatten() {
                 if let HsmTarget::History(c) = t.target {
                     let target = &self.states[c.index()];
                     if !target.history || target.is_leaf() {
@@ -943,6 +1429,8 @@ impl HsmBuilder {
             name: self.name,
             messages: self.messages,
             message_lookup,
+            params: self.params,
+            variables: self.variables,
             states: self.states,
             start,
             start_leaf,
@@ -967,17 +1455,46 @@ pub struct HsmInstance<'h> {
     machine: &'h HierarchicalMachine,
     leaf: HsmStateId,
     memory: Vec<HsmStateId>,
+    params: Vec<i64>,
+    vars: Vec<i64>,
+    /// Pre-transition variable snapshot, reused across deliveries so the
+    /// hot path does not allocate.
+    old_vars: Vec<i64>,
     steps: u64,
     scratch: Vec<Action>,
 }
 
 impl<'h> HsmInstance<'h> {
     /// Creates an instance positioned at the initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine declares parameters; bind them with
+    /// [`HsmInstance::with_params`].
     pub fn new(machine: &'h HierarchicalMachine) -> Self {
+        HsmInstance::with_params(machine, Vec::new())
+    }
+
+    /// Creates an instance positioned at the initial configuration with
+    /// the given parameter binding; variables start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of parameters differs from the machine's
+    /// declaration.
+    pub fn with_params(machine: &'h HierarchicalMachine, params: Vec<i64>) -> Self {
+        assert_eq!(
+            params.len(),
+            machine.params().len(),
+            "wrong parameter count"
+        );
         HsmInstance {
             machine,
             leaf: machine.start_leaf(),
             memory: machine.initial_memory(),
+            params,
+            vars: vec![0; machine.variables().len()],
+            old_vars: vec![0; machine.variables().len()],
             steps: 0,
             scratch: Vec::new(),
         }
@@ -986,6 +1503,16 @@ impl<'h> HsmInstance<'h> {
     /// The machine this instance executes.
     pub fn machine(&self) -> &'h HierarchicalMachine {
         self.machine
+    }
+
+    /// Current variable values, in declaration order.
+    pub fn vars(&self) -> &[i64] {
+        &self.vars
+    }
+
+    /// The bound parameter values.
+    pub fn params(&self) -> &[i64] {
+        &self.params
     }
 
     /// The active leaf state.
@@ -1024,15 +1551,46 @@ impl<'h> HsmInstance<'h> {
     /// Delivers a message by id; returns the synthesized action sequence
     /// (borrowed from an internal scratch buffer valid until the next
     /// delivery).
+    ///
+    /// The handler is resolved innermost-first with guard fall-through:
+    /// walking the active leaf's ancestor chain, the first transition
+    /// (declaration order within a state) whose guard holds over the
+    /// live variable registers fires; its updates apply with the EFSM
+    /// tiers' staged read-pre-transition-values semantics.
     pub fn deliver_id(&mut self, message: MessageId) -> &[Action] {
         self.scratch.clear();
-        if let Some(new_leaf) =
-            self.machine
-                .step_config(self.leaf, &mut self.memory, message.0, &mut self.scratch)
-        {
-            self.leaf = new_leaf;
-            self.steps += 1;
+        let machine = self.machine;
+        if machine.state(self.leaf).role() == StateRole::Finish {
+            return &self.scratch;
         }
+        // Innermost handler wins; a state whose guards all fail falls
+        // through to the enclosing state's (inherited) transitions.
+        let mut fired: Option<(HsmStateId, &HsmTransition)> = None;
+        let (vars, params) = (&self.vars, &self.params);
+        machine.walk_handlers(self.leaf, message.0, |state, t| {
+            if t.guard.eval(vars, params) {
+                fired = Some((state, t));
+                return true;
+            }
+            false
+        });
+        let Some((handler, transition)) = fired else {
+            return &self.scratch;
+        };
+        crate::efsm::apply_staged_updates(
+            &transition.updates,
+            &mut self.vars,
+            &mut self.old_vars,
+            &self.params,
+        );
+        self.leaf = machine.apply_transition(
+            self.leaf,
+            &mut self.memory,
+            handler,
+            transition,
+            &mut self.scratch,
+        );
+        self.steps += 1;
         &self.scratch
     }
 }
@@ -1057,6 +1615,7 @@ impl ProtocolEngine for HsmInstance<'_> {
     fn reset(&mut self) {
         self.leaf = self.machine.start_leaf();
         self.memory = self.machine.initial_memory();
+        self.vars.fill(0);
         self.steps = 0;
     }
 }
@@ -1436,5 +1995,301 @@ mod tests {
         assert_eq!(i.state_name(), "Idle");
         assert_eq!(i.steps(), 0);
         assert_eq!(i.memory(), m.initial_memory());
+    }
+
+    use crate::efsm::CmpOp;
+
+    /// A guarded statechart: a worker with a retry budget. `fail` in
+    /// `Busy` retries (back to `Busy`, incrementing `tries`) while below
+    /// the budget, and escalates into the `Down` superstate once the
+    /// budget is spent. The budget is an instance parameter.
+    fn retrying() -> HierarchicalMachine {
+        let mut b = HsmBuilder::new("retrying", ["go", "fail", "done", "reset"]);
+        let budget = b.add_param("budget");
+        let tries = b.add_var("tries");
+        let idle = b.add_state("Idle");
+        let up = b.add_state("Up");
+        let busy = b.add_child(up, "Busy");
+        let down = b.add_state("Down");
+        let probe = b.add_child(down, "Probe");
+        b.on_entry(up, vec![Action::send("up_in")]);
+        b.on_exit(up, vec![Action::send("up_out")]);
+        b.on_entry(busy, vec![Action::send("busy_in")]);
+        b.on_entry(down, vec![Action::send("alarm")]);
+        b.on_entry(probe, vec![Action::send("probe")]);
+        b.add_transition(idle, "go", busy, vec![]);
+        b.add_guarded_transition(
+            busy,
+            "fail",
+            Guard::when(
+                LinExpr::var(tries).plus_const(1),
+                CmpOp::Lt,
+                LinExpr::param(budget),
+            ),
+            vec![Update::Inc(tries)],
+            busy,
+            vec![Action::send("retry")],
+        );
+        b.add_guarded_transition(
+            busy,
+            "fail",
+            Guard::when(
+                LinExpr::var(tries).plus_const(1),
+                CmpOp::Ge,
+                LinExpr::param(budget),
+            ),
+            vec![Update::Inc(tries)],
+            down,
+            vec![Action::send("give_up")],
+        );
+        b.add_transition(busy, "done", idle, vec![]);
+        b.add_transition(down, "reset", idle, vec![]);
+        b.build(idle)
+    }
+
+    #[test]
+    fn guarded_transitions_retry_then_escalate() {
+        let m = retrying();
+        assert!(m.is_guarded());
+        assert_eq!(m.params(), ["budget"]);
+        assert_eq!(m.variables(), ["tries"]);
+        let mut i = m.instance_with(vec![2]);
+        i.deliver_ref("go").unwrap();
+        assert_eq!(i.state_name(), "Up.Busy");
+        // First failure: below budget — external self-transition on Busy
+        // exits and re-enters it.
+        assert_eq!(
+            i.deliver_ref("fail").unwrap(),
+            [Action::send("retry"), Action::send("busy_in"),]
+        );
+        assert_eq!(i.vars(), &[1]);
+        // Second failure: budget spent — escalate into the Down
+        // superstate, exiting Up on the way.
+        assert_eq!(
+            i.deliver_ref("fail").unwrap(),
+            [
+                Action::send("up_out"),
+                Action::send("give_up"),
+                Action::send("alarm"),
+                Action::send("probe"),
+            ]
+        );
+        assert_eq!(i.state_name(), "Down.Probe");
+        assert_eq!(i.vars(), &[2]);
+    }
+
+    #[test]
+    fn guard_falls_through_to_inherited_transitions() {
+        // The inner state declares a guarded transition that is disabled
+        // at first; the enclosing composite's unconditional transition
+        // handles the message until the guard opens.
+        let mut b = HsmBuilder::new("fallthrough", ["tick"]);
+        let n = b.add_var("n");
+        let top = b.add_state("Top");
+        let inner = b.add_child(top, "Inner");
+        let fired = b.add_state("Fired");
+        b.add_guarded_transition(
+            inner,
+            "tick",
+            Guard::when(LinExpr::var(n), CmpOp::Ge, LinExpr::constant(1)),
+            vec![],
+            fired,
+            vec![Action::send("inner_wins")],
+        );
+        b.add_guarded_internal_transition(
+            top,
+            "tick",
+            Guard::always(),
+            vec![Update::Inc(n)],
+            vec![Action::send("outer_counts")],
+        );
+        let m = b.build(top);
+        let mut i = m.instance();
+        // n = 0: the inner guard fails, the inherited internal
+        // transition fires and increments n.
+        assert_eq!(
+            i.deliver_ref("tick").unwrap(),
+            [Action::send("outer_counts")]
+        );
+        assert_eq!(i.state_name(), "Top.Inner");
+        // n = 1: the inner declaration now wins over the inherited one.
+        assert_eq!(i.deliver_ref("tick").unwrap(), [Action::send("inner_wins")]);
+        assert_eq!(i.state_name(), "Fired");
+    }
+
+    #[test]
+    fn updates_read_pre_transition_values() {
+        // swap-like: a := b, b := a + 10 across one transition — staged
+        // semantics, matching the EFSM tiers.
+        let mut b = HsmBuilder::new("swap", ["go"]);
+        let x = b.add_var("x");
+        let y = b.add_var("y");
+        let s = b.add_state("S");
+        b.add_guarded_transition(
+            s,
+            "go",
+            Guard::always(),
+            vec![
+                Update::Set(x, LinExpr::var(y)),
+                Update::Set(y, LinExpr::var(x).plus_const(10)),
+            ],
+            s,
+            vec![],
+        );
+        let m = b.build(s);
+        let mut i = m.instance();
+        i.deliver_ref("go").unwrap();
+        assert_eq!(i.vars(), &[0, 10]);
+        i.deliver_ref("go").unwrap();
+        assert_eq!(i.vars(), &[10, 10]);
+        i.reset();
+        assert_eq!(i.vars(), &[0, 0]);
+    }
+
+    #[test]
+    fn guardedness_predicates_agree_after_flattening() {
+        // The author-level predicate and the IR's routing predicate pin
+        // the same tier choice for both worked machines.
+        let guarded = retrying();
+        assert!(guarded.is_guarded());
+        assert!(guarded.flatten_ir().is_guarded());
+        let plain = connection();
+        assert!(!plain.is_guarded());
+        assert!(!plain.flatten_ir().is_guarded());
+    }
+
+    #[test]
+    fn guarded_flatten_ir_enumerates_candidates() {
+        let m = retrying();
+        let ir = m.flatten_ir();
+        assert!(ir.is_guarded());
+        assert_eq!(ir.params(), ["budget"]);
+        // Configurations: Idle, Up.Busy, Down.Probe.
+        assert_eq!(ir.state_count(), 3);
+        let busy = ir
+            .states()
+            .iter()
+            .find(|s| s.name() == "Up.Busy")
+            .expect("flattened Busy configuration");
+        // go is inapplicable; fail has two guarded candidates; done one.
+        assert_eq!(busy.transitions().len(), 3);
+        let fails: Vec<_> = busy
+            .transitions()
+            .iter()
+            .filter(|t| t.message_index() == 1)
+            .collect();
+        assert_eq!(fails.len(), 2);
+        assert!(fails.iter().all(|t| !t.guard().conditions().is_empty()));
+        assert!(fails.iter().all(|t| t.updates().len() == 1));
+    }
+
+    #[test]
+    fn guard_determinism_check() {
+        let m = retrying();
+        assert!(m.check_guard_determinism(&[3], 6).is_ok());
+        // Overlapping guards on one (state, message) are caught.
+        let mut b = HsmBuilder::new("overlap", ["m"]);
+        let v = b.add_var("v");
+        let s = b.add_state("S");
+        let t = b.add_state("T");
+        b.add_guarded_transition(
+            s,
+            "m",
+            Guard::when(LinExpr::var(v), CmpOp::Ge, LinExpr::constant(0)),
+            vec![],
+            t,
+            vec![],
+        );
+        b.add_guarded_transition(
+            s,
+            "m",
+            Guard::when(LinExpr::var(v), CmpOp::Ge, LinExpr::constant(1)),
+            vec![],
+            s,
+            vec![],
+        );
+        let m = b.build(s);
+        let err = m.check_guard_determinism(&[], 2).unwrap_err();
+        assert!(err.contains("both enabled"), "{err}");
+    }
+
+    #[test]
+    fn guarded_builder_validation() {
+        // Guards referencing undeclared operands are rejected.
+        let mut b = HsmBuilder::new("m", ["x"]);
+        let s = b.add_state("S");
+        assert_eq!(
+            b.try_add_guarded_transition(
+                s,
+                "x",
+                Guard::when(LinExpr::var(VarId(3)), CmpOp::Ge, LinExpr::constant(0)),
+                vec![],
+                s,
+                vec![],
+            ),
+            Err(HsmError::VariableOutOfRange {
+                index: 3,
+                variables: 0
+            })
+        );
+        assert_eq!(
+            b.try_add_guarded_transition(
+                s,
+                "x",
+                Guard::when(LinExpr::param(ParamId(0)), CmpOp::Ge, LinExpr::constant(0)),
+                vec![],
+                s,
+                vec![],
+            ),
+            Err(HsmError::ParamOutOfRange {
+                index: 0,
+                params: 0
+            })
+        );
+        assert_eq!(
+            b.try_add_guarded_transition(
+                s,
+                "x",
+                Guard::always(),
+                vec![Update::Inc(VarId(0))],
+                s,
+                vec![],
+            ),
+            Err(HsmError::VariableOutOfRange {
+                index: 0,
+                variables: 0
+            })
+        );
+        // A transition after an unconditional one can never fire.
+        let mut b = HsmBuilder::new("m", ["x"]);
+        let v = b.add_var("v");
+        let s = b.add_state("S");
+        b.add_transition(s, "x", s, vec![]);
+        assert_eq!(
+            b.try_add_guarded_transition(
+                s,
+                "x",
+                Guard::when(LinExpr::var(v), CmpOp::Ge, LinExpr::constant(1)),
+                vec![],
+                s,
+                vec![],
+            ),
+            Err(HsmError::ShadowedTransition {
+                state: "S".into(),
+                message: "x".into()
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no flat StateMachine projection")]
+    fn guarded_flatten_panics() {
+        retrying().flatten();
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong parameter count")]
+    fn instance_requires_parameter_binding() {
+        retrying().instance();
     }
 }

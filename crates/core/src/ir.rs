@@ -1,0 +1,591 @@
+//! The unified flat lowering IR: one target for every front-end, one
+//! source for every compiler.
+//!
+//! The toolkit's front-ends produce three machine shapes — generated
+//! flat [`StateMachine`]s, parameter-generic [`Efsm`]s, and hierarchical
+//! statecharts ([`HierarchicalMachine`](crate::HierarchicalMachine)) —
+//! and its execution tiers historically compiled from two *different*
+//! input types: the dense-table compiler consumed `StateMachine`, the
+//! register-machine compiler consumed `Efsm`, and the statechart
+//! flattener could only reach the first. [`FlatIr`] closes that split: a
+//! flat machine whose transitions carry *optional* guards and variable
+//! updates, so an unguarded FSM is simply the degenerate case of an
+//! EFSM. Every front-end lowers onto it —
+//!
+//! * [`FlatIr::from_machine`] lifts a flat [`StateMachine`] (trivially:
+//!   every guard is the always-true conjunction, no updates);
+//! * [`FlatIr::from_efsm`] lifts an [`Efsm`] (states keep their guarded
+//!   transition lists in declaration/priority order);
+//! * [`HierarchicalMachine::flatten_ir`](crate::HierarchicalMachine::flatten_ir)
+//!   lowers a statechart — guarded or not — by enumerating reachable
+//!   configurations;
+//!
+//! — and both compilers consume it:
+//! [`CompiledMachine::compile_ir`](crate::CompiledMachine::compile_ir)
+//! when no transition carries a guard (dense `states × messages` table),
+//! [`CompiledEfsm::compile_ir`](crate::CompiledEfsm::compile_ir)
+//! otherwise (fused threshold checks + register-machine bytecode). The
+//! action-arena interning and duplicate-transition rejection the two
+//! compilers used to duplicate live here, shared.
+//!
+//! [`FlatIr::to_machine`] is the trivial projection back to a plain
+//! [`StateMachine`] for unguarded IRs (what
+//! [`flatten`](crate::HierarchicalMachine::flatten) returns), and
+//! [`IrInstance`] interprets the IR directly — the mid-tier semantic
+//! reference the guarded-statechart property suites pin the compiled
+//! tiers against.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+use crate::efsm::{Efsm, Guard, Update};
+use crate::error::InterpError;
+use crate::interp::ProtocolEngine;
+use crate::machine::{Action, MessageId, StateMachine, StateMachineBuilder, StateRole};
+
+/// One transition of the unified flat IR: a (possibly trivial) guard, a
+/// (possibly empty) update list, the actions to emit, and the dense
+/// target state id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatTransition {
+    pub(crate) message: u16,
+    pub(crate) guard: Guard,
+    pub(crate) updates: Vec<Update>,
+    pub(crate) actions: Vec<Action>,
+    pub(crate) target: u32,
+}
+
+impl FlatTransition {
+    /// Index of the triggering message (into [`FlatIr::messages`]).
+    pub fn message_index(&self) -> usize {
+        usize::from(self.message)
+    }
+
+    /// The guard that must hold for this transition to fire (the empty
+    /// conjunction — always true — for unguarded transitions).
+    pub fn guard(&self) -> &Guard {
+        &self.guard
+    }
+
+    /// Variable updates applied when firing (empty for FSM-shaped IRs).
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Actions (messages sent) when firing.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Dense id of the destination state.
+    pub fn target(&self) -> u32 {
+        self.target
+    }
+}
+
+/// One state of the unified flat IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatState {
+    pub(crate) name: String,
+    pub(crate) role: StateRole,
+    /// Transitions in priority order (earlier wins when guards overlap);
+    /// a state may carry several per message iff their guards differ.
+    pub(crate) transitions: Vec<FlatTransition>,
+}
+
+impl FlatState {
+    /// The state's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The state's role; [`StateRole::Finish`] states absorb every
+    /// message.
+    pub fn role(&self) -> StateRole {
+        self.role
+    }
+
+    /// All transitions out of this state, in priority order.
+    pub fn transitions(&self) -> &[FlatTransition] {
+        &self.transitions
+    }
+}
+
+/// A flat machine with optional guards and updates per transition — the
+/// unified lowering IR every front-end targets and both compiled tiers
+/// consume (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatIr {
+    pub(crate) name: String,
+    pub(crate) messages: Vec<String>,
+    /// Prebuilt name→id map so [`FlatIr::message_id`] is O(1), like
+    /// every other machine shape (see [`FlatIr::build_lookup`]).
+    pub(crate) message_lookup: HashMap<String, u16>,
+    pub(crate) params: Vec<String>,
+    pub(crate) variables: Vec<String>,
+    pub(crate) states: Vec<FlatState>,
+    pub(crate) start: u32,
+}
+
+impl FlatIr {
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The message alphabet, in declaration order.
+    pub fn messages(&self) -> &[String] {
+        &self.messages
+    }
+
+    /// Parameter names (bound when compiling onto the EFSM tier).
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Variable names (per-session registers, all initialised to zero).
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// All states, in dense-id order.
+    pub fn states(&self) -> &[FlatState] {
+        &self.states
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The start state's dense id.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Looks up a message id by name in O(1).
+    pub fn message_id(&self, name: &str) -> Option<MessageId> {
+        self.message_lookup.get(name).copied().map(MessageId)
+    }
+
+    /// Builds the name→id map shared by every `FlatIr` constructor.
+    pub(crate) fn build_lookup(messages: &[String]) -> HashMap<String, u16> {
+        messages
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i as u16))
+            .collect()
+    }
+
+    /// `true` if this IR actually uses the extended-machine features:
+    /// any variable or parameter declared, any non-trivial guard, or any
+    /// update. Unguarded IRs lower to the dense-table tier
+    /// ([`CompiledMachine::compile_ir`](crate::CompiledMachine::compile_ir));
+    /// guarded ones need the register-machine tier
+    /// ([`CompiledEfsm::compile_ir`](crate::CompiledEfsm::compile_ir)).
+    pub fn is_guarded(&self) -> bool {
+        !self.variables.is_empty()
+            || !self.params.is_empty()
+            || self.states.iter().any(|s| {
+                s.transitions
+                    .iter()
+                    .any(|t| !t.guard.conditions().is_empty() || !t.updates.is_empty())
+            })
+    }
+
+    /// Lifts a flat [`StateMachine`] into the IR: every transition gets
+    /// the always-true guard and an empty update list.
+    pub fn from_machine(machine: &StateMachine) -> FlatIr {
+        let states = machine
+            .states()
+            .iter()
+            .map(|s| FlatState {
+                name: s.name().to_string(),
+                role: s.role(),
+                transitions: s
+                    .transitions()
+                    .map(|(mid, t)| FlatTransition {
+                        message: mid.0,
+                        guard: Guard::always(),
+                        updates: Vec::new(),
+                        actions: t.actions().to_vec(),
+                        target: t.target().index() as u32,
+                    })
+                    .collect(),
+            })
+            .collect();
+        FlatIr {
+            name: machine.name().to_string(),
+            message_lookup: FlatIr::build_lookup(machine.messages()),
+            messages: machine.messages().to_vec(),
+            params: Vec::new(),
+            variables: Vec::new(),
+            states,
+            start: machine.start().index() as u32,
+        }
+    }
+
+    /// Lifts an [`Efsm`] into the IR: guarded transition lists keep
+    /// their declaration (priority) order, and the EFSM's single finish
+    /// state becomes a [`StateRole::Finish`] state.
+    pub fn from_efsm(efsm: &Efsm) -> FlatIr {
+        let finish = efsm.finish().map(|f| f.index());
+        let states = efsm
+            .states()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| FlatState {
+                name: s.name().to_string(),
+                role: if Some(i) == finish {
+                    StateRole::Finish
+                } else {
+                    StateRole::Normal
+                },
+                transitions: s
+                    .transitions()
+                    .iter()
+                    .map(|t| FlatTransition {
+                        message: t.message_index() as u16,
+                        guard: t.guard().clone(),
+                        updates: t.updates().to_vec(),
+                        actions: t.actions().to_vec(),
+                        target: t.target().index() as u32,
+                    })
+                    .collect(),
+            })
+            .collect();
+        FlatIr {
+            name: efsm.name().to_string(),
+            message_lookup: FlatIr::build_lookup(efsm.messages()),
+            messages: efsm.messages().to_vec(),
+            params: efsm.params().to_vec(),
+            variables: efsm.variables().to_vec(),
+            states,
+            start: efsm.start().index() as u32,
+        }
+    }
+
+    /// The trivial projection back to a plain [`StateMachine`] — defined
+    /// only for unguarded IRs (an unguarded IR carries at most one
+    /// transition per `(state, message)` cell, so the projection is
+    /// lossless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IR is guarded ([`FlatIr::is_guarded`]); guarded
+    /// machines lower through
+    /// [`CompiledEfsm::compile_ir`](crate::CompiledEfsm::compile_ir)
+    /// instead.
+    pub fn to_machine(&self) -> StateMachine {
+        assert!(
+            !self.is_guarded(),
+            "guarded IR `{}` has no flat StateMachine projection; \
+             compile it onto the EFSM tier instead",
+            self.name
+        );
+        let mut builder = StateMachineBuilder::new(self.name.clone(), self.messages.clone());
+        let ids: Vec<_> = self
+            .states
+            .iter()
+            .map(|s| builder.add_state_full(s.name.clone(), None, s.role, Vec::new()))
+            .collect();
+        for (sid, state) in self.states.iter().enumerate() {
+            for t in &state.transitions {
+                builder.add_transition(
+                    ids[sid],
+                    &self.messages[t.message_index()],
+                    ids[t.target as usize],
+                    t.actions.clone(),
+                );
+            }
+        }
+        builder.build(ids[self.start as usize])
+    }
+
+    /// Creates a direct-interpretation instance with the given parameter
+    /// binding — the no-preparation execution of the IR, and the mid-tier
+    /// semantic reference of the guarded-statechart property suites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of parameters differs from the IR's
+    /// declaration.
+    pub fn instance(&self, params: Vec<i64>) -> IrInstance<'_> {
+        IrInstance::new(self, params)
+    }
+}
+
+/// One executing instance of a [`FlatIr`]: a dense state id plus
+/// variable registers, interpreting guards and updates directly (the
+/// same staged, read-pre-transition-values semantics as
+/// [`EfsmInstance`](crate::EfsmInstance) and the compiled tiers).
+#[derive(Debug, Clone)]
+pub struct IrInstance<'i> {
+    ir: &'i FlatIr,
+    params: Vec<i64>,
+    vars: Vec<i64>,
+    /// Pre-transition snapshot, reused so the hot path never allocates.
+    old_vars: Vec<i64>,
+    current: u32,
+    steps: u64,
+}
+
+impl<'i> IrInstance<'i> {
+    /// Creates an instance at the start state with all variables zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of parameters differs from the IR's
+    /// declaration.
+    pub fn new(ir: &'i FlatIr, params: Vec<i64>) -> Self {
+        assert_eq!(params.len(), ir.params.len(), "wrong parameter count");
+        IrInstance {
+            ir,
+            params,
+            vars: vec![0; ir.variables.len()],
+            old_vars: vec![0; ir.variables.len()],
+            current: ir.start,
+            steps: 0,
+        }
+    }
+
+    /// The IR this instance executes.
+    pub fn ir(&self) -> &'i FlatIr {
+        self.ir
+    }
+
+    /// Current variable values, in declaration order.
+    pub fn vars(&self) -> &[i64] {
+        &self.vars
+    }
+
+    /// The current state's dense id.
+    pub fn current_state(&self) -> u32 {
+        self.current
+    }
+
+    /// Number of transitions taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Display name of the current state, borrowed from the IR.
+    pub fn state_name_str(&self) -> &'i str {
+        &self.ir.states[self.current as usize].name
+    }
+
+    /// Delivers a message by id; returns the triggered actions, borrowed
+    /// from the IR (valid across further deliveries).
+    pub fn deliver_id(&mut self, message: MessageId) -> &'i [Action] {
+        let state = &self.ir.states[self.current as usize];
+        if state.role == StateRole::Finish {
+            return &[];
+        }
+        for t in &state.transitions {
+            if usize::from(t.message) != message.index() || !t.guard.eval(&self.vars, &self.params)
+            {
+                continue;
+            }
+            crate::efsm::apply_staged_updates(
+                &t.updates,
+                &mut self.vars,
+                &mut self.old_vars,
+                &self.params,
+            );
+            self.current = t.target;
+            self.steps += 1;
+            return &t.actions;
+        }
+        &[]
+    }
+}
+
+impl ProtocolEngine for IrInstance<'_> {
+    fn deliver_ref(&mut self, message: &str) -> Result<&[Action], InterpError> {
+        let id = self
+            .ir
+            .message_id(message)
+            .ok_or_else(|| InterpError::UnknownMessage(message.to_string()))?;
+        Ok(self.deliver_id(id))
+    }
+
+    fn is_finished(&self) -> bool {
+        self.ir.states[self.current as usize].role == StateRole::Finish
+    }
+
+    fn state_name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(self.state_name_str())
+    }
+
+    fn reset(&mut self) {
+        self.current = self.ir.start;
+        self.vars.fill(0);
+        self.steps = 0;
+    }
+}
+
+/// `(offset, len)` interning arena for action lists, shared by both
+/// compiled tiers: each distinct list is stored once and transitions
+/// reference it by range, so delivering a message returns a borrowed
+/// `&[Action]` without copying or allocating.
+#[derive(Debug, Default)]
+pub(crate) struct ActionArena {
+    arena: Vec<Action>,
+    interned: HashMap<Vec<Action>, (u32, u32)>,
+}
+
+impl ActionArena {
+    /// Interns `actions`, returning its `(offset, len)` range (the empty
+    /// list is always `(0, 0)`).
+    pub(crate) fn intern(&mut self, actions: &[Action]) -> (u32, u32) {
+        if actions.is_empty() {
+            return (0, 0);
+        }
+        match self.interned.get(actions) {
+            Some(&range) => range,
+            None => {
+                let range = (self.arena.len() as u32, actions.len() as u32);
+                self.arena.extend_from_slice(actions);
+                self.interned.insert(actions.to_vec(), range);
+                range
+            }
+        }
+    }
+
+    /// Number of distinct non-empty lists interned so far.
+    pub(crate) fn interned_lists(&self) -> usize {
+        self.interned.len()
+    }
+
+    /// Finalises into the backing arena.
+    pub(crate) fn into_arena(self) -> Box<[Action]> {
+        self.arena.into_boxed_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efsm::{CmpOp, EfsmBuilder, LinExpr};
+    use crate::machine::StateMachineBuilder;
+
+    fn counter_efsm() -> Efsm {
+        let mut b = EfsmBuilder::new("counter", ["tick"]);
+        let limit = b.add_param("limit");
+        let n = b.add_var("n");
+        let counting = b.add_state("counting");
+        let done = b.add_state("done");
+        b.add_transition(
+            counting,
+            "tick",
+            Guard::when(
+                LinExpr::var(n).plus_const(1),
+                CmpOp::Lt,
+                LinExpr::param(limit),
+            ),
+            vec![Update::Inc(n)],
+            vec![],
+            counting,
+        );
+        b.add_transition(
+            counting,
+            "tick",
+            Guard::when(
+                LinExpr::var(n).plus_const(1),
+                CmpOp::Ge,
+                LinExpr::param(limit),
+            ),
+            vec![Update::Inc(n)],
+            vec![Action::send("done")],
+            done,
+        );
+        b.build(counting, Some(done))
+    }
+
+    #[test]
+    fn machine_roundtrips_through_the_ir() {
+        let mut b = StateMachineBuilder::new("m", ["a", "b"]);
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let fin = b.add_state_full("fin", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "a", s1, vec![Action::send("x")]);
+        b.add_transition(s1, "b", fin, vec![]);
+        let machine = b.build(s0);
+
+        let ir = FlatIr::from_machine(&machine);
+        assert!(!ir.is_guarded());
+        assert_eq!(ir.state_count(), 3);
+        assert_eq!(
+            ir.states()[0].transitions()[0].actions(),
+            [Action::send("x")]
+        );
+        let back = ir.to_machine();
+        assert_eq!(back, machine);
+    }
+
+    #[test]
+    fn efsm_lifts_guarded() {
+        let ir = FlatIr::from_efsm(&counter_efsm());
+        assert!(ir.is_guarded());
+        assert_eq!(ir.params(), ["limit"]);
+        assert_eq!(ir.variables(), ["n"]);
+        assert_eq!(ir.states()[1].role(), StateRole::Finish);
+        assert_eq!(ir.states()[0].transitions().len(), 2);
+        assert_eq!(ir.states()[0].transitions()[0].message_index(), 0);
+        assert_eq!(ir.states()[0].transitions()[1].target(), 1);
+        assert_eq!(ir.states()[0].transitions()[0].updates().len(), 1);
+        assert!(!ir.states()[0].transitions()[0]
+            .guard()
+            .conditions()
+            .is_empty());
+    }
+
+    #[test]
+    fn ir_instance_matches_the_efsm_interpreter() {
+        let efsm = counter_efsm();
+        let ir = FlatIr::from_efsm(&efsm);
+        for limit in 1..5 {
+            let mut reference = crate::EfsmInstance::new(&efsm, vec![limit]);
+            let mut instance = ir.instance(vec![limit]);
+            for _ in 0..limit + 2 {
+                let want = reference.deliver_ref("tick").unwrap().to_vec();
+                assert_eq!(instance.deliver_ref("tick").unwrap(), want.as_slice());
+                assert_eq!(reference.vars(), instance.vars());
+                assert_eq!(reference.is_finished(), instance.is_finished());
+                assert_eq!(reference.state_name(), instance.state_name());
+            }
+            instance.reset();
+            assert_eq!(instance.vars(), &[0]);
+            assert_eq!(instance.state_name_str(), "counting");
+            assert_eq!(instance.steps(), 0);
+        }
+    }
+
+    #[test]
+    fn ir_instance_rejects_unknown_messages() {
+        let ir = FlatIr::from_efsm(&counter_efsm());
+        let mut i = ir.instance(vec![2]);
+        assert!(matches!(
+            i.deliver_ref("zap"),
+            Err(InterpError::UnknownMessage(_))
+        ));
+        assert_eq!(ir.message_id("tick"), Some(MessageId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no flat StateMachine projection")]
+    fn guarded_projection_panics() {
+        FlatIr::from_efsm(&counter_efsm()).to_machine();
+    }
+
+    #[test]
+    fn arena_interns_duplicate_lists() {
+        let mut arena = ActionArena::default();
+        assert_eq!(arena.intern(&[]), (0, 0));
+        let a = arena.intern(&[Action::send("x")]);
+        let b = arena.intern(&[Action::send("x")]);
+        assert_eq!(a, b);
+        assert_eq!(arena.interned_lists(), 1);
+        assert_eq!(arena.into_arena().len(), 1);
+    }
+}

@@ -29,8 +29,14 @@
 //!   the paper's algorithm↔FSM spectrum (§3.2, §5.3);
 //! * [`hsm`] — hierarchical statecharts (composite states, entry/exit
 //!   actions, inherited/internal/cross-level transitions, shallow
-//!   history) with a flattening compiler into [`StateMachine`], so
-//!   hierarchical specs run on every execution tier unchanged;
+//!   history, and guarded/updating transitions over declared variables
+//!   and parameters) with a flattening compiler onto the unified flat
+//!   IR, so hierarchical specs — guarded or not — run on the flat
+//!   execution tiers unchanged;
+//! * [`ir`] — the unified lowering IR ([`FlatIr`]): a flat machine with
+//!   *optional* guards/updates per transition, the one target every
+//!   front-end lowers onto and the one source both compiled tiers
+//!   consume (a plain FSM is the degenerate EFSM);
 //! * [`validate_machine`] — structural validation of machines.
 //!
 //! ## Engine tiers
@@ -53,19 +59,26 @@
 //!
 //! Hierarchical statecharts sit *in front of* these tiers rather than
 //! adding a fifth: author a [`HierarchicalMachine`] (composite states,
-//! entry/exit actions, shallow history), debug it on the direct
-//! [`HsmInstance`] interpreter, then
-//! [`flatten`](HierarchicalMachine::flatten) it into an ordinary
-//! [`StateMachine`] — reachable configurations become flat states, and
-//! inherited transitions plus synthesized exit/entry action sequences
-//! become ordinary transitions — and run it on any tier above. The
-//! property suites assert `HsmInstance ≡ FsmInstance(flatten) ≡
-//! CompiledInstance(flatten)` over random statecharts and traces. Use
-//! the direct interpreter while iterating on a spec (it reports
-//! hierarchical positions via [`HsmInstance::is_in`] and needs no
-//! compile step); flatten + compile for serving traffic, where dispatch
-//! cost and allocation behaviour are identical to any other compiled
-//! machine.
+//! entry/exit actions, shallow history, optionally guards and variable
+//! updates on any transition), debug it on the direct
+//! [`HsmInstance`] interpreter, then lower it through
+//! [`flatten_ir`](HierarchicalMachine::flatten_ir) — reachable
+//! configurations become flat states, and inherited transitions plus
+//! synthesized exit/entry action sequences become ordinary (possibly
+//! guarded) transitions of the unified [`FlatIr`] — and run it on the
+//! matching tier above: unguarded statecharts project to an ordinary
+//! [`StateMachine`] ([`flatten`](HierarchicalMachine::flatten)) for the
+//! dense-table tier, guarded ones compile onto the register-machine
+//! tier ([`CompiledEfsm::compile_ir`]), where one compiled machine
+//! serves the whole parameterized statechart family. The property
+//! suites assert `HsmInstance ≡ FsmInstance(flatten) ≡
+//! CompiledInstance(flatten)` over random statecharts and traces (and
+//! the guarded four-way equivalence in `stategen-runtime`'s
+//! `hsm_guarded_props`). Use the direct interpreter while iterating on
+//! a spec (it reports hierarchical positions via [`HsmInstance::is_in`]
+//! and needs no compile step); flatten + compile for serving traffic,
+//! where dispatch cost and allocation behaviour are identical to any
+//! other compiled machine.
 //! [`SessionPool`] / [`EfsmSessionPool`] extend the compiled tiers to
 //! thousands of concurrent protocol instances stored struct-of-arrays
 //! (one `u32` — plus the EFSM's variable registers — per session),
@@ -120,6 +133,7 @@ pub mod error;
 pub mod generator;
 pub mod hsm;
 pub mod interp;
+pub mod ir;
 pub mod machine;
 pub mod model;
 pub mod session;
@@ -140,6 +154,7 @@ pub use hsm::{
     HierarchicalMachine, HsmBuilder, HsmInstance, HsmState, HsmStateId, HsmTarget, HsmTransition,
 };
 pub use interp::{FsmInstance, ProtocolEngine};
+pub use ir::{FlatIr, FlatState, FlatTransition, IrInstance};
 pub use machine::{
     Action, MessageId, State, StateId, StateMachine, StateMachineBuilder, StateRole, Transition,
 };

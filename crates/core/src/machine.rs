@@ -240,12 +240,6 @@ impl StateMachine {
         self.message_lookup.get(name).copied().map(MessageId)
     }
 
-    /// The prebuilt name→id map (shared with the compiled tier so it is
-    /// constructed in exactly one place).
-    pub(crate) fn message_lookup(&self) -> &HashMap<String, u16> {
-        &self.message_lookup
-    }
-
     /// The message name for an id.
     ///
     /// # Panics

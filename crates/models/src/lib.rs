@@ -13,7 +13,11 @@
 //! * [`session_lifecycle`] — a *hierarchical* session-lifecycle
 //!   statechart wrapping the commit protocol with suspend/resume and
 //!   failure superstates (shallow history), flattened onto the same
-//!   execution tiers by `stategen-core`'s `hsm` layer.
+//!   execution tiers by `stategen-core`'s `hsm` layer;
+//! * [`session_lifecycle_guarded`] — the same statechart with a
+//!   parameter-bound *retry budget* (guards and variable updates on
+//!   hierarchical transitions), the worked model of the guarded
+//!   statechart pipeline onto the compiled-EFSM tier.
 //!
 //! Each is an ordinary [`AbstractModel`](stategen_core::AbstractModel):
 //! the same generation pipeline, renderers and interpreters apply without
@@ -32,6 +36,6 @@ pub mod termination;
 
 pub use broadcast::BroadcastModel;
 pub use broadcast_efsm::{broadcast_efsm, broadcast_efsm_instance, broadcast_efsm_params};
-pub use lifecycle::session_lifecycle;
+pub use lifecycle::{session_lifecycle, session_lifecycle_guarded};
 pub use rounds::RoundsModel;
 pub use termination::TerminationModel;

@@ -27,6 +27,7 @@
 //! protocol's retry semantics (an interrupted attempt is re-proposed,
 //! not resumed mid-quorum).
 
+use stategen_core::efsm::{CmpOp, Guard, LinExpr, Update};
 use stategen_core::{Action, HierarchicalMachine, HsmBuilder};
 
 /// Builds the hierarchical session-lifecycle machine.
@@ -122,6 +123,144 @@ pub fn session_lifecycle() -> HierarchicalMachine {
     );
 
     // Teardown, from every lifecycle phase.
+    b.add_transition(connecting, "close", closed, vec![]);
+    b.add_transition(established, "close", closed, vec![Action::send("bye")]);
+    b.add_transition(suspended, "close", closed, vec![]);
+    b.add_transition(failed, "close", closed, vec![]);
+
+    b.build(connecting)
+}
+
+/// The guarded session lifecycle: [`session_lifecycle`] plus a *retry
+/// budget* — the worked model proving the guarded statechart pipeline
+/// end-to-end (`HsmBuilder` → `flatten_ir` → compiled-EFSM tier).
+///
+/// The statechart declares one parameter, `max_retries`, and one
+/// variable, `retries`:
+///
+/// * aborting a commit attempt *below* the budget returns to `Idle` and
+///   increments `retries` — the ordinary retry loop;
+/// * aborting once the budget is spent (`retries + 1 >= max_retries`)
+///   suspends the session into the `Failed` superstate instead (the
+///   failure overlay's entry actions — `alarm`, `probe` — fire via the
+///   synthesized exit/entry sequences), still incrementing `retries`;
+/// * a successful commit resets the budget (`retries := 0`), exercising
+///   the staged `Set` update path through every tier.
+///
+/// Because the machine carries guards, it has no flat-FSM projection:
+/// `Spec::hsm_with_params(session_lifecycle_guarded(), vec![max])`
+/// lowers it onto the compiled-EFSM tier, where one compiled machine
+/// serves every budget value.
+///
+/// # Examples
+///
+/// ```
+/// use stategen_core::ProtocolEngine;
+/// use stategen_models::session_lifecycle_guarded;
+///
+/// let hsm = session_lifecycle_guarded();
+/// let mut session = hsm.instance_with(vec![2]); // budget: 2 attempts
+/// for m in ["connect", "update", "abort", "update"] {
+///     session.deliver_ref(m).unwrap();
+/// }
+/// assert_eq!(session.vars(), &[1]); // one retry consumed
+/// session.deliver_ref("abort").unwrap(); // budget spent: escalate
+/// assert_eq!(session.state_name(), "Failed.Probing~Established=Commit");
+/// ```
+pub fn session_lifecycle_guarded() -> HierarchicalMachine {
+    let mut b = HsmBuilder::new(
+        "session-lifecycle-guarded",
+        [
+            "connect", "update", "vote", "commit", "abort", "ping", "suspend", "resume", "fail",
+            "recover", "close",
+        ],
+    );
+    let max_retries = b.add_param("max_retries");
+    let retries = b.add_var("retries");
+
+    let connecting = b.add_state("Connecting");
+
+    let established = b.add_state("Established");
+    let idle = b.add_child(established, "Idle");
+    let commit = b.add_child(established, "Commit");
+    let voting = b.add_child(commit, "Voting");
+    let deciding = b.add_child(commit, "Deciding");
+    b.enable_history(established);
+    b.on_entry(established, vec![Action::send("online")]);
+    b.on_exit(established, vec![Action::send("offline")]);
+    b.on_entry(commit, vec![Action::send("attempt_begin")]);
+    b.on_exit(commit, vec![Action::send("attempt_end")]);
+    b.on_entry(voting, vec![Action::send("vote_req")]);
+    b.on_entry(deciding, vec![Action::send("commit_req")]);
+
+    let suspended = b.add_state("Suspended");
+    let failed = b.add_state("Failed");
+    let probing = b.add_child(failed, "Probing");
+    b.on_entry(failed, vec![Action::send("alarm")]);
+    b.on_entry(probing, vec![Action::send("probe")]);
+
+    let closed = b.add_state("Closed");
+    b.mark_final(closed);
+
+    b.add_transition(
+        connecting,
+        "connect",
+        established,
+        vec![Action::send("ack")],
+    );
+
+    // The wrapped commit attempt; success refunds the retry budget.
+    b.add_transition(idle, "update", commit, vec![]);
+    b.add_transition(voting, "vote", deciding, vec![]);
+    b.add_guarded_transition(
+        deciding,
+        "commit",
+        Guard::always(),
+        vec![Update::Set(retries, LinExpr::constant(0))],
+        idle,
+        vec![Action::send("committed")],
+    );
+    // Declared on Commit, inherited by Voting and Deciding: abort
+    // retries while the budget lasts, and suspends into the failure
+    // superstate once `retries >= max_retries` would be exceeded.
+    b.add_guarded_transition(
+        commit,
+        "abort",
+        Guard::when(
+            LinExpr::var(retries).plus_const(1),
+            CmpOp::Lt,
+            LinExpr::param(max_retries),
+        ),
+        vec![Update::Inc(retries)],
+        idle,
+        vec![Action::send("aborted")],
+    );
+    b.add_guarded_transition(
+        commit,
+        "abort",
+        Guard::when(
+            LinExpr::var(retries).plus_const(1),
+            CmpOp::Ge,
+            LinExpr::param(max_retries),
+        ),
+        vec![Update::Inc(retries)],
+        failed,
+        vec![Action::send("aborted")],
+    );
+
+    b.add_internal_transition(established, "ping", vec![Action::send("pong")]);
+
+    b.add_transition(established, "suspend", suspended, vec![]);
+    b.add_history_transition(suspended, "resume", established, vec![]);
+
+    b.add_transition(established, "fail", failed, vec![]);
+    b.add_history_transition(
+        probing,
+        "recover",
+        established,
+        vec![Action::send("recovered")],
+    );
+
     b.add_transition(connecting, "close", closed, vec![]);
     b.add_transition(established, "close", closed, vec![Action::send("bye")]);
     b.add_transition(suspended, "close", closed, vec![]);
@@ -238,6 +377,85 @@ mod tests {
             assert_eq!(reference.state_name(), interp.state_name(), "at {m}");
         }
         assert!(interp.is_finished());
+    }
+
+    #[test]
+    fn guarded_lifecycle_retries_then_escalates() {
+        let hsm = session_lifecycle_guarded();
+        assert!(hsm.is_guarded());
+        assert_eq!(hsm.params(), ["max_retries"]);
+        assert_eq!(hsm.variables(), ["retries"]);
+        let mut s = hsm.instance_with(vec![2]);
+        for m in ["connect", "update"] {
+            s.deliver_ref(m).unwrap();
+        }
+        // First abort: below budget, back to Idle.
+        assert_eq!(
+            s.deliver_ref("abort").unwrap(),
+            [Action::send("attempt_end"), Action::send("aborted")]
+        );
+        // Established itself was never exited, so its shallow history
+        // still remembers the initial child: no `~` decoration yet.
+        assert_eq!(s.state_name(), "Established.Idle");
+        assert_eq!(s.vars(), &[1]);
+        // Second attempt's abort: budget spent — exit through Commit and
+        // Established into the failure superstate, whose entry actions
+        // (alarm, probe) fire via the synthesized sequences.
+        s.deliver_ref("update").unwrap();
+        assert_eq!(
+            s.deliver_ref("abort").unwrap(),
+            [
+                Action::send("attempt_end"),
+                Action::send("offline"),
+                Action::send("aborted"),
+                Action::send("alarm"),
+                Action::send("probe"),
+            ]
+        );
+        assert_eq!(s.state_name(), "Failed.Probing~Established=Commit");
+        assert_eq!(s.vars(), &[2]);
+        // Recovery restores the remembered Commit child via history.
+        assert_eq!(
+            s.deliver_ref("recover").unwrap(),
+            [
+                Action::send("recovered"),
+                Action::send("online"),
+                Action::send("attempt_begin"),
+                Action::send("vote_req"),
+            ]
+        );
+    }
+
+    #[test]
+    fn guarded_lifecycle_commit_refunds_the_budget() {
+        let hsm = session_lifecycle_guarded();
+        let mut s = hsm.instance_with(vec![3]);
+        for m in ["connect", "update", "abort", "update", "vote", "commit"] {
+            s.deliver_ref(m).unwrap();
+        }
+        // The successful commit reset the spent retry (Set update).
+        assert_eq!(s.vars(), &[0]);
+        assert_eq!(s.state_name(), "Established.Idle");
+    }
+
+    #[test]
+    fn guarded_lifecycle_is_parameter_generic() {
+        // One statechart, every budget: the point of the guarded tier.
+        let hsm = session_lifecycle_guarded();
+        for max in 1..5 {
+            let mut s = hsm.instance_with(vec![max]);
+            s.deliver_ref("connect").unwrap();
+            let mut aborts = 0;
+            loop {
+                s.deliver_ref("update").unwrap();
+                s.deliver_ref("abort").unwrap();
+                aborts += 1;
+                if s.state_name().starts_with("Failed") {
+                    break;
+                }
+            }
+            assert_eq!(aborts, max, "escalates exactly at the budget");
+        }
     }
 
     #[test]

@@ -12,13 +12,15 @@ use std::fmt::Write as _;
 
 use stategen_core::efsm::{Efsm, EfsmTransition, Guard, LinExpr, Operand, Update};
 
-/// Formats a linear expression using the EFSM's variable/parameter names.
-pub fn format_expr(efsm: &Efsm, expr: &LinExpr) -> String {
+/// Formats a linear expression against explicit variable and parameter
+/// name tables (any machine shape carrying guards — EFSMs, guarded
+/// statecharts, the unified flat IR — renders through this).
+pub fn format_expr_names(variables: &[String], params: &[String], expr: &LinExpr) -> String {
     let mut parts: Vec<String> = Vec::new();
     for (coeff, op) in expr.terms() {
         let name = match op {
-            Operand::Var(v) => efsm.variables()[v.index()].clone(),
-            Operand::Param(p) => efsm.params()[p.index()].clone(),
+            Operand::Var(v) => variables[v.index()].clone(),
+            Operand::Param(p) => params[p.index()].clone(),
         };
         match coeff {
             1 => parts.push(name),
@@ -40,9 +42,9 @@ pub fn format_expr(efsm: &Efsm, expr: &LinExpr) -> String {
     out
 }
 
-/// Formats a guard as a bracketed conjunction, or the empty string for the
-/// always-true guard.
-pub fn format_guard(efsm: &Efsm, guard: &Guard) -> String {
+/// Formats a guard as a bracketed conjunction against explicit name
+/// tables, or the empty string for the always-true guard.
+pub fn format_guard_names(variables: &[String], params: &[String], guard: &Guard) -> String {
     if guard.conditions().is_empty() {
         return String::new();
     }
@@ -52,27 +54,47 @@ pub fn format_guard(efsm: &Efsm, guard: &Guard) -> String {
         .map(|c| {
             format!(
                 "{} {} {}",
-                format_expr(efsm, &c.lhs),
+                format_expr_names(variables, params, &c.lhs),
                 c.op,
-                format_expr(efsm, &c.rhs)
+                format_expr_names(variables, params, &c.rhs)
             )
         })
         .collect();
     format!("[{}]", conds.join(" && "))
 }
 
-/// Formats a transition's variable updates.
-pub fn format_updates(efsm: &Efsm, updates: &[Update]) -> String {
+/// Formats a transition's variable updates against explicit name tables.
+pub fn format_updates_names(variables: &[String], params: &[String], updates: &[Update]) -> String {
     updates
         .iter()
         .map(|u| match u {
-            Update::Inc(v) => format!("{}+=1", efsm.variables()[v.index()]),
+            Update::Inc(v) => format!("{}+=1", variables[v.index()]),
             Update::Set(v, e) => {
-                format!("{}:={}", efsm.variables()[v.index()], format_expr(efsm, e))
+                format!(
+                    "{}:={}",
+                    variables[v.index()],
+                    format_expr_names(variables, params, e)
+                )
             }
         })
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+/// Formats a linear expression using the EFSM's variable/parameter names.
+pub fn format_expr(efsm: &Efsm, expr: &LinExpr) -> String {
+    format_expr_names(efsm.variables(), efsm.params(), expr)
+}
+
+/// Formats a guard as a bracketed conjunction, or the empty string for the
+/// always-true guard.
+pub fn format_guard(efsm: &Efsm, guard: &Guard) -> String {
+    format_guard_names(efsm.variables(), efsm.params(), guard)
+}
+
+/// Formats a transition's variable updates.
+pub fn format_updates(efsm: &Efsm, updates: &[Update]) -> String {
+    format_updates_names(efsm.variables(), efsm.params(), updates)
 }
 
 fn format_transition(efsm: &Efsm, t: &EfsmTransition) -> String {

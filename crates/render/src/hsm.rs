@@ -15,6 +15,7 @@ use std::fmt::Write as _;
 use stategen_core::{HierarchicalMachine, HsmStateId, HsmTarget, StateRole};
 
 use crate::dot::escape;
+use crate::efsm_text::{format_guard_names, format_updates_names};
 
 /// The representative node of a state: itself for leaves, the leaf
 /// reached by descending through initial children for composites (DOT
@@ -112,6 +113,14 @@ pub fn render_hsm_dot(machine: &HierarchicalMachine) -> String {
             // do), so the `\n` separators stay literal DOT line breaks
             // whatever bytes the message names contain.
             let mut label = escape(&machine.messages()[mid.index()].to_uppercase());
+            let guard = format_guard_names(machine.variables(), machine.params(), t.guard());
+            if !guard.is_empty() {
+                let _ = write!(label, "\\n{}", escape(&guard));
+            }
+            let updates = format_updates_names(machine.variables(), machine.params(), t.updates());
+            if !updates.is_empty() {
+                let _ = write!(label, "\\n/ {}", escape(&updates));
+            }
             for a in t.actions() {
                 let _ = write!(label, "\\n->{}", escape(a.message()));
             }
@@ -195,9 +204,18 @@ pub fn render_hsm_mermaid(machine: &HierarchicalMachine) -> String {
     for (id, state) in machine.states_with_ids() {
         for (mid, t) in state.transitions() {
             let mut label = machine.messages()[mid.index()].to_uppercase();
-            if !t.actions().is_empty() {
-                let sends: Vec<&str> = t.actions().iter().map(|a| a.message()).collect();
-                let _ = write!(label, " / {}", sends.join(", "));
+            let guard = format_guard_names(machine.variables(), machine.params(), t.guard());
+            if !guard.is_empty() {
+                let _ = write!(label, " {guard}");
+            }
+            let updates = format_updates_names(machine.variables(), machine.params(), t.updates());
+            let mut effects: Vec<String> = Vec::new();
+            if !updates.is_empty() {
+                effects.push(updates);
+            }
+            effects.extend(t.actions().iter().map(|a| a.message().to_string()));
+            if !effects.is_empty() {
+                let _ = write!(label, " / {}", effects.join(", "));
             }
             let to = match t.target() {
                 HsmTarget::Internal => {
@@ -265,6 +283,73 @@ mod tests {
         ));
         assert!(out.contains("__start -> s0;"));
         assert!(out.trim_end().ends_with('}'));
+    }
+
+    fn guarded_sample() -> HierarchicalMachine {
+        use stategen_core::efsm::{CmpOp, Guard, LinExpr, Update};
+        let mut b = HsmBuilder::new("budgeted", ["go", "fail"]);
+        let max = b.add_param("max");
+        let tries = b.add_var("tries");
+        let idle = b.add_state("Idle");
+        let busy = b.add_state("Busy");
+        let down = b.add_state("Down");
+        b.add_transition(idle, "go", busy, vec![]);
+        b.add_guarded_transition(
+            busy,
+            "fail",
+            Guard::when(
+                LinExpr::var(tries).plus_const(1),
+                CmpOp::Lt,
+                LinExpr::param(max),
+            ),
+            vec![Update::Inc(tries)],
+            busy,
+            vec![Action::send("retry")],
+        );
+        b.add_guarded_transition(
+            busy,
+            "fail",
+            Guard::when(
+                LinExpr::var(tries).plus_const(1),
+                CmpOp::Ge,
+                LinExpr::param(max),
+            ),
+            vec![Update::Set(tries, LinExpr::constant(0))],
+            down,
+            vec![],
+        );
+        b.build(idle)
+    }
+
+    #[test]
+    fn dot_renders_guard_and_update_annotations() {
+        let out = render_hsm_dot(&guarded_sample());
+        // Both guarded variants of the cell are drawn, each with its
+        // guard bracket and update clause on the label.
+        assert!(
+            out.contains("s1 -> s1 [label=\"FAIL\\n[tries+1 < max]\\n/ tries+=1\\n->retry\"];"),
+            "{out}"
+        );
+        assert!(
+            out.contains("s1 -> s2 [label=\"FAIL\\n[tries+1 >= max]\\n/ tries:=0\"];"),
+            "{out}"
+        );
+        // Unguarded transitions keep their plain labels.
+        assert!(out.contains("s0 -> s1 [label=\"GO\"];"));
+    }
+
+    #[test]
+    fn mermaid_renders_guard_and_update_annotations() {
+        let out = render_hsm_mermaid(&guarded_sample());
+        assert!(
+            out.contains("    s1 --> s1 : FAIL [tries+1 < max] / tries+=1, retry\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("    s1 --> s2 : FAIL [tries+1 >= max] / tries:=0\n"),
+            "{out}"
+        );
+        assert!(out.contains("    s0 --> s1 : GO\n"));
     }
 
     #[test]

@@ -25,11 +25,18 @@ pub enum Tier {
     /// register-machine bytecode, parameters folded into a flat
     /// dispatch table — one engine serves the whole protocol family.
     CompiledEfsm,
-    /// A hierarchical statechart flattened into the dense tables:
-    /// reachable configurations became flat states, synthesized
+    /// An *unguarded* hierarchical statechart flattened into the dense
+    /// tables: reachable configurations became flat states, synthesized
     /// exit/transition/entry action sequences became ordinary interned
     /// action lists. Same dispatch cost class as [`Tier::Compiled`].
     FlattenedHsm,
+    /// A *guarded* hierarchical statechart flattened onto the
+    /// compiled-EFSM tier: configurations became flat states, and the
+    /// transitions' guards and updates lowered to fused threshold checks
+    /// plus register-machine bytecode with the statechart's parameters
+    /// folded into the binding. Same dispatch cost class as
+    /// [`Tier::CompiledEfsm`].
+    FlattenedHsmEfsm,
 }
 
 impl Tier {
@@ -40,6 +47,7 @@ impl Tier {
             Tier::Compiled => "compiled",
             Tier::CompiledEfsm => "compiled_efsm",
             Tier::FlattenedHsm => "flattened_hsm",
+            Tier::FlattenedHsmEfsm => "flattened_hsm_efsm",
         }
     }
 }
@@ -84,9 +92,10 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Compiles a spec onto its deployment tier: flat machines and
-    /// flattened statecharts onto the dense-table tier, EFSMs onto the
-    /// fused-bytecode tier with the parameters bound.
+    /// Compiles a spec onto its deployment tier through the unified
+    /// lowering IR: flat machines and unguarded flattened statecharts
+    /// onto the dense-table tier, EFSMs and *guarded* statecharts onto
+    /// the fused-bytecode tier with the parameters bound.
     ///
     /// This is the serving configuration — pay one flattening pass at
     /// ingest, then dispatch in a few nanoseconds with zero allocation
@@ -124,11 +133,50 @@ impl Engine {
                     name,
                 })
             }
-            Spec::Hierarchical(hsm) => Ok(Engine {
-                kind: EngineKind::Compiled(Arc::new(CompiledMachine::compile(&hsm.flatten()))),
+            Spec::Hierarchical { machine, params } => {
+                Engine::compile_hsm_ir(machine.flatten_ir(), params, name)
+            }
+        }
+    }
+
+    /// Compiles a statechart's flattened IR onto its tier: the
+    /// compiled-EFSM tier (parameters bound) when guarded, the dense
+    /// table otherwise. Shared by [`Engine::compile`] and
+    /// [`Engine::interpret`] so each pays the flattening pass once.
+    fn compile_hsm_ir(
+        ir: stategen_core::FlatIr,
+        params: Vec<i64>,
+        name: String,
+    ) -> Result<Engine, StategenError> {
+        if ir.is_guarded() {
+            let compiled = CompiledEfsm::compile_ir(&ir)?;
+            if params.len() != compiled.param_count() {
+                return Err(StategenError::ParamCountMismatch {
+                    expected: compiled.param_count(),
+                    found: params.len(),
+                });
+            }
+            let binding = Arc::new(compiled.bind(&params));
+            Ok(Engine {
+                kind: EngineKind::Efsm {
+                    machine: Arc::new(compiled),
+                    binding,
+                },
+                tier: Tier::FlattenedHsmEfsm,
+                name,
+            })
+        } else {
+            if !params.is_empty() {
+                return Err(StategenError::ParamCountMismatch {
+                    expected: 0,
+                    found: params.len(),
+                });
+            }
+            Ok(Engine {
+                kind: EngineKind::Compiled(Arc::new(CompiledMachine::compile_ir(&ir)?)),
                 tier: Tier::FlattenedHsm,
                 name,
-            }),
+            })
         }
     }
 
@@ -142,7 +190,13 @@ impl Engine {
     /// runtime serves per-session variable registers from the lowered
     /// form either way (the lowering is proven behaviourally equivalent
     /// to the tree-walking interpreter by the core property suites), so
-    /// an EFSM spec resolves to [`Tier::CompiledEfsm`] here too.
+    /// an EFSM spec resolves to [`Tier::CompiledEfsm`] here too. The
+    /// same applies to *guarded* statecharts: a guarded
+    /// `Spec::Hierarchical` resolves to [`Tier::FlattenedHsmEfsm`]
+    /// (paying the flatten + compile pass at ingest); only unguarded
+    /// statecharts get a genuinely interpreted flat walk. For truly
+    /// no-preparation guarded-statechart execution, drive
+    /// [`HsmInstance`](stategen_core::HsmInstance) directly.
     ///
     /// # Errors
     ///
@@ -156,11 +210,29 @@ impl Engine {
                 name,
             }),
             efsm @ Spec::Efsm { .. } => Engine::compile(efsm),
-            Spec::Hierarchical(hsm) => Ok(Engine {
-                kind: EngineKind::Interpreted(Arc::new(hsm.flatten())),
-                tier: Tier::Interpreted,
-                name,
-            }),
+            Spec::Hierarchical { machine, params } => {
+                let ir = machine.flatten_ir();
+                if ir.is_guarded() {
+                    // Guarded statecharts have no flat-machine walk; like
+                    // EFSMs they resolve onto the register-machine tier
+                    // either way (proven behaviourally equivalent to the
+                    // direct interpreters by the property suites). The
+                    // already-built IR is reused — flattening is the one
+                    // expensive ingest step.
+                    return Engine::compile_hsm_ir(ir, params, name);
+                }
+                if !params.is_empty() {
+                    return Err(StategenError::ParamCountMismatch {
+                        expected: 0,
+                        found: params.len(),
+                    });
+                }
+                Ok(Engine {
+                    kind: EngineKind::Interpreted(Arc::new(ir.to_machine())),
+                    tier: Tier::Interpreted,
+                    name,
+                })
+            }
         }
     }
 

@@ -18,8 +18,19 @@
 //!   [`StateMachine`](stategen_core::StateMachine), an
 //!   [`Efsm`](stategen_core::Efsm) plus its parameter binding, or a
 //!   [`HierarchicalMachine`](stategen_core::HierarchicalMachine)
-//!   (auto-flattened on ingest, so statecharts run on every tier
-//!   unchanged).
+//!   (auto-flattened on ingest, so statecharts run on the flat tiers
+//!   unchanged — with [`Spec::hsm_with_params`] binding a *guarded*
+//!   statechart's parameters, the statechart analogue of
+//!   [`Spec::efsm`]).
+//!
+//! Every ingest shape lowers through **one pipeline**: the unified flat
+//! IR ([`FlatIr`](stategen_core::FlatIr)), a flat machine whose
+//! transitions carry optional guards and updates — a plain FSM is just
+//! the degenerate EFSM. The IR picks the execution substrate: no guard
+//! anywhere → the dense transition table; any guard, update or
+//! variable → the register-machine (compiled-EFSM) tier, with the
+//! spec's parameters folded into the binding so one compiled artifact
+//! serves the whole machine *family*.
 //! * [`Engine`] — the compiled artifact, **owned** (`Send + Sync +
 //!   'static`, cheap to clone) behind `Arc`s instead of the borrow
 //!   lifetimes of `SessionPool<'m>` / `EfsmSessionPool<'e>`, so engines
@@ -37,7 +48,10 @@
 //! Everything fallible returns the unified
 //! [`StategenError`], and sessions are addressed by the generational
 //! [`SessionId`] handle — a recycled slot invalidates outstanding
-//! handles loudly instead of silently serving a stranger's session.
+//! handles loudly instead of silently serving a stranger's session
+//! (or, for handles from untrusted sources, *fallibly*:
+//! [`Runtime::try_deliver`] returns [`StategenError::StaleSession`]
+//! instead of panicking).
 //!
 //! ## Tier selection guide
 //!
@@ -46,7 +60,8 @@
 //! | a freshly generated `StateMachine` | [`Engine::interpret`] | [`Tier::Interpreted`] | debugging, one-off runs; no preparation pass |
 //! | a `StateMachine` to serve traffic | [`Engine::compile`] | [`Tier::Compiled`] | dense-table dispatch in ~1 ns, zero allocation per delivery |
 //! | an `Efsm` + parameter values | [`Engine::compile`] | [`Tier::CompiledEfsm`] | one machine generic over the protocol parameter (e.g. replication factor) |
-//! | a `HierarchicalMachine` | [`Engine::compile`] | [`Tier::FlattenedHsm`] | statecharts flattened into the dense tables; same dispatch cost class as `Compiled` |
+//! | an unguarded `HierarchicalMachine` | [`Engine::compile`] | [`Tier::FlattenedHsm`] | statecharts flattened into the dense tables; same dispatch cost class as `Compiled` |
+//! | a *guarded* `HierarchicalMachine` + parameter values | [`Engine::compile`] with [`Spec::hsm_with_params`] | [`Tier::FlattenedHsmEfsm`] | statecharts with variables/guards/updates, flattened onto the compiled-EFSM tier; one compiled machine per statechart family |
 //! | a machine known at *build* time | `stategen-generated` | — | rendered source, no machine data at runtime |
 //!
 //! All tiers are behaviourally equivalent — the conformance suite in

@@ -5,7 +5,7 @@ use std::cell::RefCell;
 
 use stategen_core::{
     Action, BatchEngine, CompiledEfsm, CompiledMachine, EfsmBinding, InterpError, MessageId,
-    ParkedWorkers, ProtocolEngine, ShardedPool, StateRole,
+    ParkedWorkers, ProtocolEngine, ShardedPool, StateRole, StategenError,
 };
 
 use crate::engine::{Engine, EngineKind};
@@ -695,6 +695,57 @@ impl Runtime {
         self.pool.shards_mut()[session.shard as usize].deliver_slot(session, message)
     }
 
+    /// Non-panicking form of [`Runtime::deliver`], for inputs from
+    /// untrusted sources (deserialized, long-stored, or cross-component
+    /// handles that may outlive their execution): a stale or recycled
+    /// generational handle returns [`StategenError::StaleSession`]
+    /// instead of panicking, and a message id out of range for this
+    /// engine's alphabet returns [`StategenError::MessageOutOfRange`]
+    /// instead of silently dispatching from the wrong table cell. Valid
+    /// inputs behave exactly like [`Runtime::deliver`]: the triggered
+    /// actions are returned, borrowed, with no allocation on any
+    /// compiled-tier path.
+    ///
+    /// The staleness check is scoped to handles *this runtime minted*:
+    /// a [`SessionId`] carries no runtime identity, so a handle from a
+    /// *different* runtime is rejected only when its coordinates do not
+    /// resolve here (shard out of range, unused slot, generation
+    /// mismatch) — one whose coordinates happen to collide with a live
+    /// session is indistinguishable from that session's own handle. Do
+    /// not mix handles across runtimes.
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::StaleSession`] if `session` does not address a
+    /// live execution in this runtime;
+    /// [`StategenError::MessageOutOfRange`] if `message` was minted by
+    /// a machine with a larger alphabet.
+    pub fn try_deliver(
+        &mut self,
+        session: SessionId,
+        message: MessageId,
+    ) -> Result<&[Action], StategenError> {
+        let alphabet = self.engine.messages().len();
+        if message.index() >= alphabet {
+            return Err(StategenError::MessageOutOfRange {
+                index: message.index(),
+                messages: alphabet,
+            });
+        }
+        let stale = StategenError::StaleSession {
+            shard: session.shard(),
+            slot: session.slot(),
+            generation: session.generation(),
+        };
+        let Some(shard) = self.pool.shards_mut().get_mut(session.shard as usize) else {
+            return Err(stale);
+        };
+        if !shard.is_live_slot(session) {
+            return Err(stale);
+        }
+        Ok(shard.deliver_slot(session, message))
+    }
+
     /// Delivers a message to every live session — one scoped worker
     /// thread per shard when sharded — and returns the number of
     /// transitions taken.
@@ -907,6 +958,79 @@ mod tests {
         assert_eq!(format!("{second:?}"), "s0:0#1");
         // The recycled slot starts a fresh execution.
         assert_eq!(rt.state_name(second), "s0");
+    }
+
+    #[test]
+    fn try_deliver_accepts_live_and_rejects_stale_handles() {
+        let mut rt = compiled_runtime();
+        let a = rt.message_id("a").unwrap();
+        let s = rt.spawn();
+        // Live handle: identical behaviour to `deliver`.
+        assert_eq!(rt.try_deliver(s, a).unwrap(), [Action::send("x")]);
+        assert_eq!(rt.state_name(s), "s1");
+        // Released handle: an error, not a panic.
+        rt.release(s);
+        assert_eq!(
+            rt.try_deliver(s, a),
+            Err(StategenError::StaleSession {
+                shard: 0,
+                slot: 0,
+                generation: 0
+            })
+        );
+        // Recycled slot: the stale generation still fails loudly while
+        // the fresh handle keeps working.
+        let fresh = rt.spawn();
+        assert!(matches!(
+            rt.try_deliver(s, a),
+            Err(StategenError::StaleSession { generation: 0, .. })
+        ));
+        assert!(rt.try_deliver(fresh, a).is_ok());
+        let err = rt.try_deliver(s, a).unwrap_err();
+        assert!(err.to_string().contains("stale session handle s0:0#0"));
+    }
+
+    #[test]
+    fn try_deliver_rejects_foreign_message_ids() {
+        // A message id minted by a machine with a larger alphabet must
+        // not index the wrong table cell: error, not misdelivery.
+        let mut wide = StateMachineBuilder::new("wide", ["a", "b", "c", "d"]);
+        let s0 = wide.add_state("s0");
+        wide.add_transition(s0, "d", s0, vec![]);
+        let wide_engine = Engine::compile(Spec::machine(wide.build(s0))).unwrap();
+        let foreign_mid = wide_engine.message_id("d").unwrap();
+
+        let mut rt = compiled_runtime(); // two-message alphabet
+        let s = rt.spawn();
+        assert_eq!(
+            rt.try_deliver(s, foreign_mid),
+            Err(StategenError::MessageOutOfRange {
+                index: 3,
+                messages: 2
+            })
+        );
+        // The session is untouched and still deliverable.
+        let a = rt.message_id("a").unwrap();
+        assert_eq!(rt.try_deliver(s, a).unwrap(), [Action::send("x")]);
+    }
+
+    #[test]
+    fn try_deliver_rejects_foreign_shard_handles() {
+        // A handle minted by a 4-shard runtime does not address anything
+        // in a single-shard one: error, not a panic or misdelivery.
+        let engine = Engine::compile(Spec::machine(finishing_machine())).unwrap();
+        let mut wide = engine.runtime().sharded(4);
+        wide.spawn_many(4);
+        let foreign = (0..4)
+            .map(|_| wide.spawn())
+            .find(|s| s.shard() == 3)
+            .expect("a session on shard 3");
+        let mut narrow = engine.runtime();
+        let a = narrow.message_id("a").unwrap();
+        assert!(matches!(
+            narrow.try_deliver(foreign, a),
+            Err(StategenError::StaleSession { shard: 3, .. })
+        ));
     }
 
     #[test]

@@ -30,10 +30,20 @@ pub enum Spec {
         params: Vec<i64>,
     },
     /// A hierarchical statechart; flattened automatically on ingest
-    /// (reachable configurations become flat states), so composite
-    /// states, inherited transitions and shallow history run on the
-    /// dense-table tiers unchanged.
-    Hierarchical(HierarchicalMachine),
+    /// (reachable configurations become flat states) through the
+    /// unified lowering IR, so composite states, inherited transitions
+    /// and shallow history run on the flat tiers unchanged. Unguarded
+    /// statecharts land on the dense-table tier; statecharts with
+    /// variables, guards or updates land on the compiled-EFSM tier with
+    /// `params` bound at ingest — one compiled machine serves the whole
+    /// parameterized statechart family.
+    Hierarchical {
+        /// The statechart.
+        machine: HierarchicalMachine,
+        /// Concrete values for the statechart's declared parameters, in
+        /// declaration order (empty for plain statecharts).
+        params: Vec<i64>,
+    },
 }
 
 impl Spec {
@@ -47,9 +57,23 @@ impl Spec {
         Spec::Efsm { machine, params }
     }
 
-    /// Wraps a hierarchical statechart.
+    /// Wraps a hierarchical statechart without parameters (for
+    /// parameter-generic guarded statecharts, use
+    /// [`Spec::hsm_with_params`]).
     pub fn hierarchical(machine: HierarchicalMachine) -> Self {
-        Spec::Hierarchical(machine)
+        Spec::Hierarchical {
+            machine,
+            params: Vec::new(),
+        }
+    }
+
+    /// Wraps a guarded hierarchical statechart with its parameter
+    /// binding — the statechart analogue of [`Spec::efsm`]: the machine
+    /// is flattened onto the compiled-EFSM tier and the parameters are
+    /// folded into the binding, so one compiled artifact covers every
+    /// member of the statechart family.
+    pub fn hsm_with_params(machine: HierarchicalMachine, params: Vec<i64>) -> Self {
+        Spec::Hierarchical { machine, params }
     }
 
     /// Runs an abstract model through the generation pipeline
@@ -69,7 +93,7 @@ impl Spec {
         match self {
             Spec::Machine(m) => m.name(),
             Spec::Efsm { machine, .. } => machine.name(),
-            Spec::Hierarchical(h) => h.name(),
+            Spec::Hierarchical { machine, .. } => machine.name(),
         }
     }
 
@@ -102,6 +126,6 @@ impl From<StateMachine> for Spec {
 
 impl From<HierarchicalMachine> for Spec {
     fn from(machine: HierarchicalMachine) -> Self {
-        Spec::Hierarchical(machine)
+        Spec::hierarchical(machine)
     }
 }

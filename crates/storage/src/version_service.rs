@@ -5,7 +5,11 @@
 //! plus one or more client endpoints, all exchanging messages over the
 //! deterministic network simulator. Each peer serves its update
 //! attempts from a per-peer [`Runtime`] over the shared compiled commit
-//! engine (one dense `u32` of state per attempt, addressed by a typed
+//! engine — the *EFSM tier*: the 9-state parameter-generic commit EFSM
+//! compiled once and bound to the replication factor's thresholds, so
+//! one artifact covers every `r` without regenerating an FSM family
+//! member (one dense `u32` of state plus two counter registers per
+//! attempt, addressed by a typed
 //! generational [`SessionId`]; slots of aborted or garbage-collected
 //! unfinished attempts are recycled through the runtime's free list —
 //! stale handles to them fail loudly instead of silently serving a
@@ -32,8 +36,10 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use asa_simnet::{Context, NodeId, SimConfig, SimNode, SimStats, SimTime, Simulation};
-use stategen_commit::{CommitConfig, CommitMessage, CommitModel, CommitStateExt};
-use stategen_core::{generate, MessageId, StateMachine};
+use stategen_commit::{
+    commit_efsm, commit_efsm_params, commit_efsm_state_flags, CommitConfig, CommitMessage,
+};
+use stategen_core::MessageId;
 use stategen_runtime::{Engine, Runtime, SessionId, Spec};
 
 use crate::backoff::{RetryScheme, ServerOrdering};
@@ -86,6 +92,13 @@ pub enum PeerBehaviour {
 /// (`commit_sent`). Compiling once and indexing per-state bitmaps
 /// replaces the old per-delivery `StateVector` inspection.
 ///
+/// The peers serve the *EFSM tier*: the 9-state parameter-generic
+/// commit EFSM is compiled once and bound to the harness's replication
+/// factor via `Spec::efsm` — one compiled machine covers every
+/// replication factor without regenerating an FSM family member, and
+/// each attempt session carries its two vote/commit counter registers
+/// inside the peer's [`Runtime`].
+///
 /// The engine is the owned [`Engine`] of the `stategen-runtime`
 /// pipeline — cheap to clone (shared `Arc` tables), so every peer's
 /// [`Runtime`] serves the same compiled artifact.
@@ -98,22 +111,19 @@ pub struct PeerEngine {
 }
 
 impl PeerEngine {
-    /// Compiles `machine` and extracts the per-state flags. Dense state
-    /// ids are assigned in machine order, so the flags index by the
+    /// Compiles the commit EFSM bound to `config`'s thresholds and
+    /// resolves the per-state flags by EFSM state name. Dense state ids
+    /// are assigned in machine order, so the flags index by the
     /// compiled state id.
-    pub fn new(machine: &StateMachine) -> Self {
-        let has_chosen = machine
+    pub fn new(config: &CommitConfig) -> Self {
+        let efsm = commit_efsm();
+        let (has_chosen, commit_sent): (Vec<bool>, Vec<bool>) = efsm
             .states()
             .iter()
-            .map(|s| s.vector().is_some_and(CommitStateExt::has_chosen))
-            .collect();
-        let commit_sent = machine
-            .states()
-            .iter()
-            .map(|s| s.vector().is_some_and(CommitStateExt::commit_sent))
-            .collect();
-        let engine = Engine::compile(Spec::machine(machine.clone()))
-            .expect("generated commit machine compiles");
+            .map(|s| commit_efsm_state_flags(s.name()))
+            .unzip();
+        let engine = Engine::compile(Spec::efsm(efsm, commit_efsm_params(config)))
+            .expect("commit EFSM compiles");
         // Indexed by enum discriminant (not `ALL` order), matching the
         // `message_id` lookup below.
         let resolve = |m: CommitMessage| {
@@ -127,8 +137,8 @@ impl PeerEngine {
         }
         PeerEngine {
             engine,
-            has_chosen,
-            commit_sent,
+            has_chosen: has_chosen.into_boxed_slice(),
+            commit_sent: commit_sent.into_boxed_slice(),
             message_ids,
         }
     }
@@ -801,16 +811,14 @@ impl HarnessReport {
     }
 }
 
-/// Runs a version-history simulation with the generated commit FSM for
-/// the configured replication factor.
+/// Runs a version-history simulation with the commit protocol served
+/// from the EFSM tier: one compiled 9-state machine, bound to the
+/// configured replication factor's thresholds at ingest.
 pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
     let commit_config =
         CommitConfig::new(config.replication_factor).expect("valid replication factor");
-    let machine = generate(&CommitModel::new(commit_config))
-        .expect("commit model generates")
-        .machine;
     // Compile once per harness; every peer's session pool shares it.
-    let engine = PeerEngine::new(&machine);
+    let engine = PeerEngine::new(&commit_config);
     let r = config.replication_factor as usize;
     let mut nodes: Vec<VhNode<'_>> = Vec::new();
     for i in 0..r {

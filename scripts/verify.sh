@@ -6,19 +6,25 @@
 # 1. builds the whole workspace in release mode;
 # 2. runs every test (default-members covers all crates) — this
 #    includes the HSM property suite (crates/core/tests/hsm_props.rs),
-#    the flattening compiler's trace-equivalence gate, and the runtime
-#    facade's cross-tier conformance suite
+#    the guarded-statechart property suite
+#    (crates/runtime/tests/hsm_guarded_props.rs: HsmInstance ≡
+#    interpreted IR ≡ compiled EFSM ≡ Runtime on randomized guarded
+#    statecharts), the flattening compiler's trace-equivalence gate,
+#    and the runtime facade's cross-tier conformance suite
 #    (crates/runtime/tests/conformance.rs);
 # 3. lints the whole workspace (clippy, warnings denied), checks
 #    formatting (rustfmt) and builds the docs with rustdoc warnings
 #    denied (broken intra-doc links fail the gate);
 # 4. regenerates BENCH_engine_tiers.json via the engine_tiers binary,
-#    which also asserts the zero-allocation claims and the
+#    which also asserts the zero-allocation claims (including the new
+#    hsm_guarded_flattened row: a guarded statechart on the
+#    compiled-EFSM tier, 64k sessions, 0 allocs/delivery hard-asserted,
+#    tracked within ~1.5x of the batched compiled-EFSM row) and the
 #    runtime-facade overhead bound (≤ 1.10x raw compiled dispatch at
 #    64k sessions, paired measurement), and BENCH_storage.json via
 #    storage_throughput (end-to-end commit throughput on the
-#    runtime-backed peers) — keeping the perf trajectory tracked on
-#    every PR;
+#    EFSM-tier runtime-backed peers) — keeping the perf trajectory
+#    tracked on every PR;
 # 5. fails if the benchmark artefacts are missing required rows
 #    (including the runtime_facade rows).
 set -euo pipefail
@@ -46,7 +52,8 @@ echo "== storage_throughput (regenerates BENCH_storage.json) =="
 cargo run --release -p repro-bench --bin storage_throughput
 
 echo "== benchmark artefact checks =="
-for row in interpreted_name compiled hsm_flattened batched_pool efsm_compiled \
+for row in interpreted_name compiled hsm_flattened hsm_guarded_flattened \
+           batched_pool efsm_compiled \
            sharded_pool_4 sharded_persistent_4 generated \
            runtime_facade runtime_facade_sharded_4; do
     grep -q "\"name\": \"$row\"" BENCH_engine_tiers.json \
