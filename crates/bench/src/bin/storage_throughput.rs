@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use asa_simnet::SimConfig;
-use asa_storage::{run_harness, HarnessConfig, Pid};
+use asa_storage::{run_harness, HarnessConfig, Pid, RetryScheme, ServerOrdering};
 
 /// Client endpoints submitting updates concurrently.
 const CLIENTS: usize = 6;
@@ -33,6 +33,83 @@ struct Row {
     commits_per_sec: f64,
     messages: u64,
     end_time: u64,
+}
+
+struct FaultedRow {
+    commits: usize,
+    all_committed: bool,
+    retries: u32,
+    commits_per_sec: f64,
+    mean_recovery_latency: f64,
+    crashes: u64,
+    restarts: u64,
+}
+
+/// The faulted run: the same stack under a fixed chaos mix — 5% loss,
+/// 5% duplication, 20% bounded reordering, one peer crash/restart with
+/// checkpoint-based recovery — so the trajectory tracks what robustness
+/// costs, not just the sunny-day number.
+fn run_faulted() -> FaultedRow {
+    let client_updates: Vec<Vec<Pid>> = (0..4)
+        .map(|c| {
+            (0..15)
+                .map(|u| Pid::of(format!("faulted/client{c}/update{u}").as_bytes()))
+                .collect()
+        })
+        .collect();
+    let config = HarnessConfig {
+        replication_factor: 4,
+        client_updates,
+        retry: RetryScheme::Exponential {
+            base: 200,
+            max: 5_000,
+        },
+        ordering: ServerOrdering::Random,
+        checkpoint_every: 500,
+        crashes: vec![(3, 20_000, 60_000)],
+        net: SimConfig {
+            seed: 7,
+            min_delay: 1,
+            max_delay: 10,
+            drop_probability: 0.05,
+            duplicate_probability: 0.05,
+            reorder_probability: 0.2,
+            reorder_bound: 50,
+            ..Default::default()
+        },
+        deadline: 50_000_000,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let report = run_harness(&config);
+    let wall = start.elapsed();
+    let confirmed: Vec<_> = report
+        .outcomes
+        .iter()
+        .flatten()
+        .filter(|o| o.committed)
+        .collect();
+    // Recovery latency: virtual time from first submission to
+    // confirmation for updates that hit a fault (needed > 1 attempt).
+    let recovered: Vec<u64> = confirmed
+        .iter()
+        .filter(|o| o.attempts > 1)
+        .map(|o| o.latency)
+        .collect();
+    let mean_recovery_latency = if recovered.is_empty() {
+        0.0
+    } else {
+        recovered.iter().sum::<u64>() as f64 / recovered.len() as f64
+    };
+    FaultedRow {
+        commits: confirmed.len(),
+        all_committed: report.all_committed,
+        retries: report.total_retries(),
+        commits_per_sec: confirmed.len() as f64 / wall.as_secs_f64(),
+        mean_recovery_latency,
+        crashes: report.stats.crashes,
+        restarts: report.stats.restarts,
+    }
 }
 
 fn main() {
@@ -127,7 +204,33 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    let faulted = run_faulted();
+    println!(
+        "storage_faulted — fixed fault mix (loss 5%, dup 5%, reorder 20%, 1 crash/restart): \
+         {} commits, complete {}, {} retries, {:.0} commits/sec, \
+         mean recovery latency {:.0} ticks",
+        faulted.commits,
+        faulted.all_committed,
+        faulted.retries,
+        faulted.commits_per_sec,
+        faulted.mean_recovery_latency
+    );
+    let _ = writeln!(
+        json,
+        "  \"storage_faulted\": {{\"commits\": {}, \"all_committed\": {}, \"retries\": {}, \
+         \"commits_per_sec\": {:.1}, \"mean_recovery_latency_ticks\": {:.1}, \
+         \"crashes\": {}, \"restarts\": {}}}",
+        faulted.commits,
+        faulted.all_committed,
+        faulted.retries,
+        faulted.commits_per_sec,
+        faulted.mean_recovery_latency,
+        faulted.crashes,
+        faulted.restarts
+    );
+    json.push_str("}\n");
 
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_storage.json");
     std::fs::write(&path, &json).expect("write BENCH_storage.json");

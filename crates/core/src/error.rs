@@ -363,6 +363,18 @@ pub enum StategenError {
         /// Messages the engine declares.
         messages: usize,
     },
+    /// A runtime snapshot was restored into an engine whose behavioural
+    /// fingerprint differs from the one the snapshot was taken under.
+    /// Snapshot state ids and variable registers are only meaningful
+    /// relative to a behaviourally identical machine, so the restore is
+    /// refused instead of silently resuming sessions in the wrong
+    /// machine.
+    SnapshotMismatch {
+        /// Fingerprint of the engine the restore targeted.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
 }
 
 impl fmt::Display for StategenError {
@@ -395,6 +407,14 @@ impl fmt::Display for StategenError {
                     f,
                     "message id {index} is out of range ({messages} message(s) declared); it \
                      was minted by a different machine"
+                )
+            }
+            StategenError::SnapshotMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot fingerprint {found:#018x} does not match the engine's \
+                     {expected:#018x}: snapshots restore only into behaviourally identical \
+                     machines"
                 )
             }
         }

@@ -38,10 +38,65 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 
-use crate::efsm::{Efsm, Guard, Update};
+use crate::efsm::{Efsm, Guard, LinExpr, Operand, Update};
 use crate::error::InterpError;
 use crate::interp::ProtocolEngine;
 use crate::machine::{Action, MessageId, StateMachine, StateMachineBuilder, StateRole};
+
+/// FNV-1a over a canonical word stream — the [`FlatIr::fingerprint`]
+/// hasher. Length-prefixed encodings keep the stream prefix-free, so
+/// structurally different IRs cannot collide by concatenation.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for byte in s.bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn strs(&mut self, strings: &[String]) {
+        self.u64(strings.len() as u64);
+        for s in strings {
+            self.str(s);
+        }
+    }
+
+    fn lin(&mut self, expr: &LinExpr) {
+        self.u64(expr.constant_part() as u64);
+        self.u64(expr.terms().len() as u64);
+        for &(coeff, operand) in expr.terms() {
+            self.u64(coeff as u64);
+            match operand {
+                Operand::Var(v) => {
+                    self.u64(0);
+                    self.u64(v.index() as u64);
+                }
+                Operand::Param(p) => {
+                    self.u64(1);
+                    self.u64(p.index() as u64);
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// One transition of the unified flat IR: a (possibly trivial) guard, a
 /// (possibly empty) update list, the actions to emit, and the dense
@@ -191,6 +246,64 @@ impl FlatIr {
                     .iter()
                     .any(|t| !t.guard.conditions().is_empty() || !t.updates.is_empty())
             })
+    }
+
+    /// A 64-bit behavioural fingerprint of the IR: an FNV-1a hash over a
+    /// canonical encoding of everything that determines execution —
+    /// messages, parameter and variable declarations, state names and
+    /// roles, every transition's trigger, guard, updates, actions and
+    /// target, and the start state. The machine's display name is
+    /// deliberately excluded (renaming a machine does not change its
+    /// behaviour).
+    ///
+    /// Two IRs with equal fingerprints step identically on every input
+    /// (up to hash collision), whatever front-end produced them — this
+    /// is what lets a serialized session snapshot be validated against
+    /// the engine it is restored into (see
+    /// `stategen_runtime::Runtime::restore`): state ids and variable
+    /// registers are only meaningful relative to a behaviourally
+    /// identical machine.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.strs(&self.messages);
+        h.strs(&self.params);
+        h.strs(&self.variables);
+        h.u64(self.states.len() as u64);
+        for state in &self.states {
+            h.str(&state.name);
+            h.u64(state.role as u64);
+            h.u64(state.transitions.len() as u64);
+            for t in &state.transitions {
+                h.u64(u64::from(t.message));
+                h.u64(t.guard.conditions().len() as u64);
+                for cond in t.guard.conditions() {
+                    h.lin(&cond.lhs);
+                    h.u64(cond.op as u64);
+                    h.lin(&cond.rhs);
+                }
+                h.u64(t.updates.len() as u64);
+                for update in &t.updates {
+                    match update {
+                        Update::Set(var, expr) => {
+                            h.u64(0);
+                            h.u64(var.index() as u64);
+                            h.lin(expr);
+                        }
+                        Update::Inc(var) => {
+                            h.u64(1);
+                            h.u64(var.index() as u64);
+                        }
+                    }
+                }
+                h.u64(t.actions.len() as u64);
+                for action in &t.actions {
+                    h.str(action.message());
+                }
+                h.u64(u64::from(t.target));
+            }
+        }
+        h.u64(u64::from(self.start));
+        h.finish()
     }
 
     /// Lifts a flat [`StateMachine`] into the IR: every transition gets

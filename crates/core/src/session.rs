@@ -296,6 +296,39 @@ impl<'m> SessionPool<'m> {
             }
         }
     }
+
+    /// Snapshot accessor: the dense state id of every session, in slot
+    /// order. Together with the machine this is the pool's complete
+    /// execution state (finished-ness is derivable — finish states are
+    /// absorbing).
+    pub fn states(&self) -> &[u32] {
+        &self.current
+    }
+
+    /// Restores every session's state from a snapshot taken via
+    /// [`SessionPool::states`] against the *same* machine, rebuilding
+    /// the finished set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` has a different length than the pool or names
+    /// a state id outside the machine.
+    pub fn restore_states(&mut self, states: &[u32]) {
+        assert_eq!(
+            states.len(),
+            self.current.len(),
+            "snapshot session count mismatch"
+        );
+        let n = self.machine.state_count() as u32;
+        self.finished.clear_all();
+        for (session, &state) in states.iter().enumerate() {
+            assert!(state < n, "snapshot state id {state} out of range");
+            self.current[session] = state;
+            if self.machine.is_finish_state(state) {
+                self.finished.set(session);
+            }
+        }
+    }
 }
 
 /// A pool of concurrent protocol sessions executing one
@@ -575,6 +608,53 @@ impl<'e> EfsmSessionPool<'e> {
                 self.finished.set(session);
             }
         }
+    }
+
+    /// Snapshot accessor: the dense state id of every session, in slot
+    /// order.
+    pub fn states(&self) -> &[u32] {
+        &self.current
+    }
+
+    /// Snapshot accessor: the session-major register file — session
+    /// `s`'s registers (declared variables first, then compiler
+    /// temporaries) are `registers()[s * reg_count .. (s+1) *
+    /// reg_count]`. Together with [`EfsmSessionPool::states`] and the
+    /// machine+binding, this is the pool's complete execution state.
+    pub fn registers(&self) -> &[i64] {
+        &self.vars
+    }
+
+    /// Restores every session's state and registers from a snapshot
+    /// taken via [`EfsmSessionPool::states`] /
+    /// [`EfsmSessionPool::registers`] against the *same* machine and
+    /// binding, rebuilding the finished set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the pool's session count and
+    /// register width, or a state id is outside the machine.
+    pub fn restore(&mut self, states: &[u32], registers: &[i64]) {
+        assert_eq!(
+            states.len(),
+            self.current.len(),
+            "snapshot session count mismatch"
+        );
+        assert_eq!(
+            registers.len(),
+            self.vars.len(),
+            "snapshot register file size mismatch"
+        );
+        let n = self.machine.state_count() as u32;
+        self.finished.clear_all();
+        for (session, &state) in states.iter().enumerate() {
+            assert!(state < n, "snapshot state id {state} out of range");
+            self.current[session] = state;
+            if self.machine.is_finish_state(state) {
+                self.finished.set(session);
+            }
+        }
+        self.vars.copy_from_slice(registers);
     }
 }
 

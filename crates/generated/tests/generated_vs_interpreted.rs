@@ -79,3 +79,56 @@ fn exhaustive_lockstep_r4() {
         }
     }
 }
+
+/// Duplicate-delivery safety on the build-time generated tier: once the
+/// engine reports finished, every further delivery is absorbed — no
+/// actions, no state change, still finished. (The three runtime-served
+/// tiers have the matching check in `stategen-runtime`'s conformance
+/// suite.)
+#[test]
+fn finished_generated_engine_absorbs_duplicate_deliveries() {
+    // Find a finishing trace by BFS on the interpreted machine, so the
+    // test does not hard-code protocol thresholds.
+    let config = CommitConfig::new(4).unwrap();
+    let machine = generate(&CommitModel::new(config)).unwrap().machine;
+    let finishing_trace = {
+        let mut frontier: Vec<Vec<&str>> = vec![Vec::new()];
+        let mut found: Option<Vec<&str>> = None;
+        'search: while let Some(trace) = frontier.pop() {
+            for &name in MESSAGE_NAMES.iter() {
+                let mut next = trace.clone();
+                next.push(name);
+                let mut probe = FsmInstance::new(&machine);
+                for m in &next {
+                    probe.deliver(m).unwrap();
+                }
+                if probe.is_finished() {
+                    found = Some(next);
+                    break 'search;
+                }
+                if next.len() < 6 {
+                    frontier.push(next);
+                }
+            }
+        }
+        found.expect("commit protocol has a finishing trace within 6 steps")
+    };
+
+    let mut generated = GeneratedCommitR4::new();
+    for m in &finishing_trace {
+        generated.deliver(m).unwrap();
+    }
+    assert!(generated.is_finished(), "trace must finish the engine");
+    let parked = generated.state_name().into_owned();
+    for _round in 0..2 {
+        for &name in MESSAGE_NAMES.iter() {
+            let actions = generated.deliver(name).unwrap();
+            assert!(
+                actions.is_empty(),
+                "finished engine emitted {actions:?} on {name}"
+            );
+            assert_eq!(generated.state_name(), parked, "state moved on {name}");
+            assert!(generated.is_finished(), "un-finished by {name}");
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use stategen_core::{
-    CompiledEfsm, CompiledMachine, EfsmBinding, MessageId, StateMachine, StategenError,
+    CompiledEfsm, CompiledMachine, EfsmBinding, FlatIr, MessageId, StateMachine, StategenError,
 };
 
 use crate::runtime::Runtime;
@@ -89,6 +89,24 @@ pub struct Engine {
     pub(crate) kind: EngineKind,
     tier: Tier,
     name: String,
+    /// Behavioural identity: [`FlatIr::fingerprint`] of the ingested
+    /// spec with the bound parameter values folded in. Equal
+    /// fingerprints ⇒ behaviourally identical engines, whatever tier
+    /// they resolved onto — the validity criterion for restoring a
+    /// [`RuntimeSnapshot`](crate::RuntimeSnapshot).
+    fingerprint: u64,
+}
+
+/// Folds the bound parameter values into an IR fingerprint: the same
+/// compiled EFSM bound to different thresholds is a *different*
+/// behaviour, so snapshots must not cross bindings.
+fn fold_params(mut fp: u64, params: &[i64]) -> u64 {
+    fp ^= (params.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &p in params {
+        fp = (fp ^ (p as u64)).wrapping_mul(0x0000_0100_0000_01b3);
+        fp = fp.rotate_left(29);
+    }
+    fp
 }
 
 impl Engine {
@@ -111,11 +129,13 @@ impl Engine {
         let name = spec.name().to_string();
         match spec {
             Spec::Machine(machine) => Ok(Engine {
+                fingerprint: FlatIr::from_machine(&machine).fingerprint(),
                 kind: EngineKind::Compiled(Arc::new(CompiledMachine::compile(&machine))),
                 tier: Tier::Compiled,
                 name,
             }),
             Spec::Efsm { machine, params } => {
+                let fingerprint = fold_params(FlatIr::from_efsm(&machine).fingerprint(), &params);
                 let compiled = CompiledEfsm::compile(&machine)?;
                 if params.len() != compiled.param_count() {
                     return Err(StategenError::ParamCountMismatch {
@@ -131,6 +151,7 @@ impl Engine {
                     },
                     tier: Tier::CompiledEfsm,
                     name,
+                    fingerprint,
                 })
             }
             Spec::Hierarchical { machine, params } => {
@@ -148,6 +169,7 @@ impl Engine {
         params: Vec<i64>,
         name: String,
     ) -> Result<Engine, StategenError> {
+        let fingerprint = fold_params(ir.fingerprint(), &params);
         if ir.is_guarded() {
             let compiled = CompiledEfsm::compile_ir(&ir)?;
             if params.len() != compiled.param_count() {
@@ -164,6 +186,7 @@ impl Engine {
                 },
                 tier: Tier::FlattenedHsmEfsm,
                 name,
+                fingerprint,
             })
         } else {
             if !params.is_empty() {
@@ -176,6 +199,7 @@ impl Engine {
                 kind: EngineKind::Compiled(Arc::new(CompiledMachine::compile_ir(&ir)?)),
                 tier: Tier::FlattenedHsm,
                 name,
+                fingerprint,
             })
         }
     }
@@ -205,6 +229,7 @@ impl Engine {
         let name = spec.name().to_string();
         match spec {
             Spec::Machine(machine) => Ok(Engine {
+                fingerprint: FlatIr::from_machine(&machine).fingerprint(),
                 kind: EngineKind::Interpreted(Arc::new(machine)),
                 tier: Tier::Interpreted,
                 name,
@@ -227,10 +252,12 @@ impl Engine {
                         found: params.len(),
                     });
                 }
+                let fingerprint = ir.fingerprint();
                 Ok(Engine {
                     kind: EngineKind::Interpreted(Arc::new(ir.to_machine())),
                     tier: Tier::Interpreted,
                     name,
+                    fingerprint,
                 })
             }
         }
@@ -244,6 +271,15 @@ impl Engine {
     /// The machine's display name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The engine's behavioural fingerprint: a hash of the lowered IR
+    /// with the bound parameter values folded in. Two engines with equal
+    /// fingerprints are behaviourally identical regardless of tier, so a
+    /// [`RuntimeSnapshot`](crate::RuntimeSnapshot) taken under one can
+    /// be restored under the other.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of (flat) states in the resolved machine.

@@ -68,6 +68,40 @@
 //! this crate drives the same trace corpus through every tier and
 //! asserts identical action sequences, finished flags and state names.
 //!
+//! ## Crash safety: snapshots, restore, and timeouts
+//!
+//! A deployed runtime must survive its host process. Two facilities
+//! cover that:
+//!
+//! * **Snapshots.** [`Runtime::snapshot`] captures one session (state,
+//!   full register file, handle generation);
+//!   [`Runtime::snapshot_all`] captures the whole pool as a
+//!   [`RuntimeSnapshot`], tagged with the engine's *behavioural
+//!   fingerprint* ([`Engine::fingerprint`] — a hash of the lowered IR
+//!   plus bound parameters, identical across tiers for identical
+//!   behaviour). [`Runtime::restore`] rebuilds a runtime from a
+//!   snapshot, refusing with [`StategenError::SnapshotMismatch`]
+//!   unless the fingerprints agree: a snapshot restores only into a
+//!   behaviourally identical machine. Restoration is *bit-identical* —
+//!   states, registers, free lists, step counters and slot
+//!   generations — so [`SessionId`]s minted before a crash keep
+//!   addressing their sessions afterwards; recovered peers resume
+//!   in-flight protocol executions instead of orphaning them.
+//!
+//!   **Not captured:** armed timeouts (the wheel is volatile
+//!   coordination state — re-arm after restore from your own durable
+//!   bookkeeping) and the engine itself (recompile from the spec; the
+//!   fingerprint check catches a divergent recompile).
+//!
+//! * **Timeouts as transitions.** [`Runtime::arm_timeout`] /
+//!   [`Runtime::cancel_timeout`] maintain one deadline per session in
+//!   a hashed hierarchical [`TimerWheel`] (O(1) arm/cancel);
+//!   [`Runtime::advance_time`] expires due deadlines *without any
+//!   full-session scan* and feeds the caller's timeout message through
+//!   the normal delivery path — a timeout is just another transition
+//!   in the machine, so retry/give-up behaviour lives in the spec, not
+//!   in runtime hooks.
+//!
 //! ## Example
 //!
 //! ```
@@ -119,10 +153,12 @@
 mod engine;
 mod runtime;
 mod spec;
+mod timer;
 
 pub use engine::{Engine, Tier};
-pub use runtime::{Runtime, Session, SessionId, Shard, Workers};
+pub use runtime::{Runtime, RuntimeSnapshot, Session, SessionId, SessionSnapshot, Shard, Workers};
 pub use spec::Spec;
+pub use timer::TimerWheel;
 
 // The unified error and the trait vocabulary, re-exported so deployment
 // sites need only this crate.

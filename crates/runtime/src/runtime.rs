@@ -9,6 +9,7 @@ use stategen_core::{
 };
 
 use crate::engine::{Engine, EngineKind};
+use crate::timer::TimerWheel;
 
 /// Sentinel state id marking a released (recycled, currently unowned)
 /// session slot. Slots in this state are skipped by batch delivery and
@@ -407,6 +408,75 @@ impl Shard {
             && self.generations[slot] == id.generation
             && self.current[slot] != RETIRED
     }
+
+    fn state_count(&self) -> usize {
+        match &self.kind {
+            EngineKind::Interpreted(m) => m.state_count(),
+            EngineKind::Compiled(m) => m.state_count(),
+            EngineKind::Efsm { machine, .. } => machine.state_count(),
+        }
+    }
+
+    /// Captures the shard's complete durable state. The finished bitset
+    /// is *not* captured — it is derivable from the state array and is
+    /// rebuilt lazily on restore.
+    fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            current: self.current.clone(),
+            generations: self.generations.clone(),
+            vars: self.vars.clone(),
+            free: self.free.clone(),
+            steps: self.steps,
+        }
+    }
+
+    /// Rebuilds a shard from a snapshot taken under a behaviourally
+    /// identical engine (the caller has already matched fingerprints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is structurally corrupt: mismatched array
+    /// lengths, a state id outside the engine's state space, or a
+    /// free-list entry that does not point at a retired slot.
+    fn restore(kind: EngineKind, snap: &ShardSnapshot) -> Shard {
+        let mut shard = Shard::new(kind);
+        let slots = snap.current.len();
+        assert_eq!(
+            snap.generations.len(),
+            slots,
+            "corrupt shard snapshot: {} generation counters for {slots} slots",
+            snap.generations.len(),
+        );
+        assert_eq!(
+            snap.vars.len(),
+            slots * shard.n_regs,
+            "corrupt shard snapshot: {} registers for {slots} slots of {} registers each",
+            snap.vars.len(),
+            shard.n_regs,
+        );
+        let states = shard.state_count() as u32;
+        for (slot, &state) in snap.current.iter().enumerate() {
+            assert!(
+                state == RETIRED || state < states,
+                "corrupt shard snapshot: slot {slot} in state {state} but the engine has {states} states",
+            );
+        }
+        for &free in &snap.free {
+            assert!(
+                snap.current.get(free as usize) == Some(&RETIRED),
+                "corrupt shard snapshot: free-list entry {free} is not a retired slot",
+            );
+        }
+        shard.current = snap.current.clone();
+        shard.generations = snap.generations.clone();
+        shard.vars = snap.vars.clone();
+        shard.free = snap.free.clone();
+        shard.steps = snap.steps;
+        let finished = shard.finished.get_mut();
+        finished.grow_for(slots);
+        finished.dirty = true;
+        shard
+    }
 }
 
 impl BatchEngine for Shard {
@@ -549,6 +619,73 @@ impl BatchEngine for Shard {
 /// spawn/join total instead of one per batch.
 pub type Workers<'a> = ParkedWorkers<'a, Shard>;
 
+/// A point-in-time capture of one session (see [`Runtime::snapshot`]):
+/// everything needed to recognise the same execution later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// The dense state id the session was in.
+    pub state: u32,
+    /// The session's complete register file — declared EFSM variables
+    /// first, then any compiler temporaries; empty on the non-register
+    /// tiers. Capturing the *full* file (not just the declared
+    /// variables) is what makes restoration bit-identical.
+    pub vars: Vec<i64>,
+    /// The slot generation the snapshot was taken at; a handle with
+    /// this generation addresses the captured execution.
+    pub generation: u32,
+}
+
+/// One shard's durable state inside a [`RuntimeSnapshot`]. The finished
+/// bitset is deliberately absent: finish states are absorbing, so it is
+/// derivable from the state array and rebuilt lazily after restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShardSnapshot {
+    current: Vec<u32>,
+    generations: Vec<u32>,
+    vars: Vec<i64>,
+    free: Vec<u32>,
+    steps: u64,
+}
+
+/// A whole-pool capture of a [`Runtime`] (see [`Runtime::snapshot_all`])
+/// restorable with [`Runtime::restore`]: every shard's state array,
+/// register file, generation counters, free list and step counter, plus
+/// the engine's behavioural fingerprint.
+///
+/// The fingerprint is the validity criterion: a snapshot restores only
+/// into an engine whose [`Engine::fingerprint`] matches — i.e. a
+/// behaviourally identical machine, whatever tier it resolved onto.
+/// Restoration preserves slot generations, so [`SessionId`]s minted
+/// before the snapshot keep addressing their sessions in the restored
+/// runtime — recovered peers keep talking to their old sessions.
+///
+/// Armed timeouts are *not* part of a snapshot: the timer wheel is
+/// volatile coordination state, and a restored runtime starts with an
+/// empty wheel. Callers re-arm whatever deadlines still matter (a
+/// recovering node typically re-arms retry/GC timers from its own
+/// durable bookkeeping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeSnapshot {
+    fingerprint: u64,
+    shards: Vec<ShardSnapshot>,
+}
+
+impl RuntimeSnapshot {
+    /// The behavioural fingerprint of the engine the snapshot was taken
+    /// under (see [`Engine::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Sessions that were live (spawned and not released) at capture.
+    pub fn live_sessions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.current.len() - s.free.len())
+            .sum()
+    }
+}
+
 /// The serving facade: a pool of concurrent protocol sessions over one
 /// owned [`Engine`], with one vocabulary across every execution tier.
 ///
@@ -577,13 +714,23 @@ pub type Workers<'a> = ParkedWorkers<'a, Shard>;
 pub struct Runtime {
     engine: Engine,
     pool: ShardedPool<Shard>,
+    /// Session deadlines (see [`Runtime::arm_timeout`]); volatile —
+    /// deliberately excluded from [`RuntimeSnapshot`]s.
+    timers: TimerWheel<SessionId>,
+    /// Reused buffer for expired timers in [`Runtime::advance_time`].
+    expired_scratch: Vec<SessionId>,
 }
 
 impl Runtime {
     /// A runtime over `engine` with one shard and no sessions.
     pub fn new(engine: Engine) -> Self {
         let pool = ShardedPool::new(vec![Shard::new(engine.kind.clone())]);
-        Runtime { engine, pool }
+        Runtime {
+            engine,
+            pool,
+            timers: TimerWheel::new(),
+            expired_scratch: Vec::new(),
+        }
     }
 
     /// Reconfigures the runtime to `shards` shards. Sharding is pure
@@ -607,6 +754,8 @@ impl Runtime {
         Runtime {
             engine: self.engine,
             pool,
+            timers: TimerWheel::new(),
+            expired_scratch: Vec::new(),
         }
     }
 
@@ -785,6 +934,7 @@ impl Runtime {
     /// Panics if `session` is already stale (double release).
     pub fn release(&mut self, session: SessionId) {
         self.pool.shards_mut()[session.shard as usize].release_slot(session);
+        self.timers.cancel(&session);
     }
 
     /// `true` while `session` addresses a live execution (its slot has
@@ -862,6 +1012,225 @@ impl Runtime {
     /// drivers).
     pub fn session(&mut self, id: SessionId) -> Session<'_> {
         Session { runtime: self, id }
+    }
+
+    /// The `StaleSession` error for a handle that failed validation.
+    fn stale(session: SessionId) -> StategenError {
+        StategenError::StaleSession {
+            shard: session.shard(),
+            slot: session.slot(),
+            generation: session.generation(),
+        }
+    }
+
+    /// Validates a handle fallibly, returning its shard.
+    fn live_shard(&self, session: SessionId) -> Result<&Shard, StategenError> {
+        let shard = self
+            .pool
+            .shards()
+            .get(session.shard as usize)
+            .ok_or_else(|| Runtime::stale(session))?;
+        if !shard.is_live_slot(session) {
+            return Err(Runtime::stale(session));
+        }
+        Ok(shard)
+    }
+
+    /// Validates a handle fallibly, returning its shard mutably.
+    fn live_shard_mut(&mut self, session: SessionId) -> Result<&mut Shard, StategenError> {
+        let shard = self
+            .pool
+            .shards_mut()
+            .get_mut(session.shard as usize)
+            .ok_or_else(|| Runtime::stale(session))?;
+        if !shard.is_live_slot(session) {
+            return Err(Runtime::stale(session));
+        }
+        Ok(shard)
+    }
+
+    /// Non-panicking form of [`Runtime::reset`]: returns the session to
+    /// the start state, or [`StategenError::StaleSession`] if the
+    /// handle no longer addresses a live execution.
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::StaleSession`] if `session` is stale.
+    pub fn try_reset(&mut self, session: SessionId) -> Result<(), StategenError> {
+        self.live_shard_mut(session)?.reset_slot(session);
+        Ok(())
+    }
+
+    /// Non-panicking form of [`Runtime::release`]: recycles the slot
+    /// (bumping its generation and cancelling any armed timeout), or
+    /// returns [`StategenError::StaleSession`] — so a double release is
+    /// an error, not a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::StaleSession`] if `session` is stale.
+    pub fn try_release(&mut self, session: SessionId) -> Result<(), StategenError> {
+        self.live_shard_mut(session)?.release_slot(session);
+        self.timers.cancel(&session);
+        Ok(())
+    }
+
+    /// Non-panicking form of [`Runtime::state`].
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::StaleSession`] if `session` is stale.
+    pub fn try_state(&self, session: SessionId) -> Result<u32, StategenError> {
+        Ok(self.live_shard(session)?.state_of(session))
+    }
+
+    /// Non-panicking form of [`Runtime::vars`].
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::StaleSession`] if `session` is stale.
+    pub fn try_vars(&self, session: SessionId) -> Result<&[i64], StategenError> {
+        Ok(self.live_shard(session)?.vars_of(session))
+    }
+
+    /// Captures one live session: state id, full register file and the
+    /// handle generation (see [`SessionSnapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is stale.
+    pub fn snapshot(&self, session: SessionId) -> SessionSnapshot {
+        let shard = &self.pool.shards()[session.shard as usize];
+        shard.check(session);
+        let slot = session.slot as usize;
+        SessionSnapshot {
+            state: shard.current[slot],
+            vars: shard.vars[slot * shard.n_regs..][..shard.n_regs].to_vec(),
+            generation: session.generation,
+        }
+    }
+
+    /// Captures the whole pool — every shard's sessions, registers,
+    /// generations, free lists and step counters — tagged with the
+    /// engine's fingerprint. Restore with [`Runtime::restore`].
+    ///
+    /// Armed timeouts are not captured (see [`RuntimeSnapshot`]).
+    pub fn snapshot_all(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            fingerprint: self.engine.fingerprint(),
+            shards: self.pool.shards().iter().map(Shard::snapshot).collect(),
+        }
+    }
+
+    /// Rebuilds a runtime from a [`RuntimeSnapshot`], validated against
+    /// `engine`'s behavioural fingerprint: a snapshot restores only
+    /// into a behaviourally identical machine (any tier). The restored
+    /// pool is bit-identical to the captured one — states, registers,
+    /// free lists, step counters *and slot generations*, so
+    /// [`SessionId`]s minted before the crash keep addressing their
+    /// sessions.
+    ///
+    /// The timer wheel starts empty; re-arm deadlines that still matter.
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::SnapshotMismatch`] if the snapshot was taken
+    /// under an engine with a different fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is structurally corrupt (impossible for a
+    /// snapshot produced by [`Runtime::snapshot_all`]).
+    pub fn restore(engine: &Engine, snapshot: &RuntimeSnapshot) -> Result<Runtime, StategenError> {
+        if engine.fingerprint() != snapshot.fingerprint {
+            return Err(StategenError::SnapshotMismatch {
+                expected: engine.fingerprint(),
+                found: snapshot.fingerprint,
+            });
+        }
+        assert!(
+            !snapshot.shards.is_empty(),
+            "corrupt runtime snapshot: zero shards"
+        );
+        let shards = snapshot
+            .shards
+            .iter()
+            .map(|s| Shard::restore(engine.kind.clone(), s))
+            .collect();
+        Ok(Runtime {
+            engine: engine.clone(),
+            pool: ShardedPool::new(shards),
+            timers: TimerWheel::new(),
+            expired_scratch: Vec::new(),
+        })
+    }
+
+    /// Arms (or moves) a timeout for one live session. When
+    /// [`Runtime::advance_time`] passes `deadline`, the session is
+    /// delivered the caller's timeout message through the normal
+    /// delivery path — timeouts are just transitions. One deadline per
+    /// session: re-arming moves it. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` is stale.
+    pub fn arm_timeout(&mut self, session: SessionId, deadline: u64) {
+        self.pool.shards()[session.shard as usize].check(session);
+        self.timers.arm(session, deadline);
+    }
+
+    /// Cancels a session's armed timeout; returns `true` if one was
+    /// armed. O(1); never panics (a stale handle simply has no timer —
+    /// [`Runtime::release`] cancels eagerly).
+    pub fn cancel_timeout(&mut self, session: SessionId) -> bool {
+        self.timers.cancel(&session)
+    }
+
+    /// Advances the timer clock to `now` and delivers `timeout` to
+    /// every session whose deadline passed, in deadline order (ties in
+    /// arm order), through the normal delivery path. Sessions released
+    /// after arming are skipped (their generational key no longer
+    /// addresses a live execution); finished sessions absorb the
+    /// message like any other. Returns how many sessions were delivered
+    /// the timeout.
+    ///
+    /// No full-session scan happens here — cost is O(expired) plus the
+    /// wheel's slot bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than a previous `advance_time` call
+    /// (the timer clock is monotone).
+    pub fn advance_time(&mut self, now: u64, timeout: MessageId) -> usize {
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.clear();
+        expired.extend_from_slice(self.timers.advance(now));
+        let mut delivered = 0;
+        for &session in &expired {
+            let Some(shard) = self.pool.shards_mut().get_mut(session.shard as usize) else {
+                continue;
+            };
+            if !shard.is_live_slot(session) {
+                continue;
+            }
+            shard.deliver_slot(session, timeout);
+            delivered += 1;
+        }
+        self.expired_scratch = expired;
+        delivered
+    }
+
+    /// A lower bound on the earliest armed deadline, if any timer is
+    /// armed — a wake-up hint for callers that sleep between
+    /// [`Runtime::advance_time`] calls (see
+    /// [`TimerWheel::next_deadline`]).
+    pub fn next_timeout(&self) -> Option<u64> {
+        self.timers.next_deadline()
+    }
+
+    /// Number of currently armed timeouts.
+    pub fn pending_timeouts(&self) -> usize {
+        self.timers.len()
     }
 }
 
@@ -1128,6 +1497,128 @@ mod tests {
         session.reset();
         assert_eq!(session.state_name(), "s0");
         assert!(!session.is_finished());
+    }
+
+    #[test]
+    fn try_surface_rejects_stale_handles_without_panicking() {
+        let mut rt = compiled_runtime();
+        let a = rt.message_id("a").unwrap();
+        let s = rt.spawn();
+        rt.deliver(s, a);
+        assert_eq!(rt.try_state(s).unwrap(), rt.state(s));
+        assert_eq!(rt.try_vars(s).unwrap(), rt.vars(s));
+        rt.try_reset(s).unwrap();
+        assert_eq!(rt.state_name(s), "s0");
+        rt.try_release(s).unwrap();
+        // Every fallible call reports the same stale handle; double
+        // release is an error, not a panic.
+        let expect_stale = StategenError::StaleSession {
+            shard: 0,
+            slot: 0,
+            generation: 0,
+        };
+        assert_eq!(rt.try_release(s), Err(expect_stale.clone()));
+        assert_eq!(rt.try_reset(s), Err(expect_stale.clone()));
+        assert_eq!(rt.try_state(s), Err(expect_stale.clone()));
+        assert_eq!(rt.try_vars(s), Err(expect_stale));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_preserves_handles() {
+        let mut rt = compiled_runtime();
+        let a = rt.message_id("a").unwrap();
+        let s1 = rt.spawn();
+        let s2 = rt.spawn();
+        let gone = rt.spawn();
+        rt.deliver(s1, a);
+        rt.release(gone); // free list + bumped generation must survive
+        let snap = rt.snapshot_all();
+        assert_eq!(snap.fingerprint(), rt.engine().fingerprint());
+        assert_eq!(snap.live_sessions(), 2);
+
+        let mut restored = Runtime::restore(rt.engine(), &snap).unwrap();
+        // Bit-identical: a re-snapshot equals the original.
+        assert_eq!(restored.snapshot_all(), snap);
+        // Old handles keep addressing their sessions...
+        assert_eq!(restored.state_name(s1), "s1");
+        assert_eq!(restored.state_name(s2), "s0");
+        assert_eq!(restored.steps(), rt.steps());
+        // ...stale ones stay stale...
+        assert!(!restored.is_live(gone));
+        // ...and the free list recycles with the bumped generation.
+        let fresh = restored.spawn();
+        assert_eq!(fresh.slot(), gone.slot());
+        assert_eq!(fresh.generation(), gone.generation() + 1);
+        // The restored pool keeps executing.
+        restored.deliver(s1, a);
+        assert!(restored.is_finished(s1));
+    }
+
+    #[test]
+    fn restore_rejects_fingerprint_mismatch() {
+        let rt = compiled_runtime();
+        let snap = rt.snapshot_all();
+        let mut other = StateMachineBuilder::new("other", ["a"]);
+        let s0 = other.add_state("s0");
+        other.add_transition(s0, "a", s0, vec![]);
+        let other = Engine::compile(Spec::machine(other.build(s0))).unwrap();
+        assert!(matches!(
+            Runtime::restore(&other, &snap),
+            Err(StategenError::SnapshotMismatch { .. })
+        ));
+        // Same behaviour on a different tier restores fine.
+        let interp = Engine::interpret(Spec::machine(finishing_machine())).unwrap();
+        assert_eq!(interp.fingerprint(), rt.engine().fingerprint());
+        let restored = Runtime::restore(&interp, &snap).unwrap();
+        assert_eq!(restored.snapshot_all(), snap);
+    }
+
+    #[test]
+    fn session_snapshot_captures_state_and_generation() {
+        let mut rt = compiled_runtime();
+        let a = rt.message_id("a").unwrap();
+        let s = rt.spawn();
+        rt.deliver(s, a);
+        let snap = rt.snapshot(s);
+        assert_eq!(snap.state, rt.state(s));
+        assert_eq!(snap.generation, s.generation());
+        assert!(snap.vars.is_empty()); // non-EFSM tier
+    }
+
+    #[test]
+    fn timeouts_fire_through_the_delivery_path() {
+        let mut rt = compiled_runtime();
+        let a = rt.message_id("a").unwrap();
+        let slow = rt.spawn();
+        let done = rt.spawn();
+        let released = rt.spawn();
+        rt.arm_timeout(slow, 100);
+        rt.arm_timeout(done, 100);
+        rt.arm_timeout(released, 100);
+        assert_eq!(rt.pending_timeouts(), 3);
+        // One finishes early, one is released: neither may time out.
+        rt.deliver(done, a);
+        rt.cancel_timeout(done);
+        rt.release(released); // cancels eagerly
+        assert_eq!(rt.pending_timeouts(), 1);
+        // The wake hint is a coarse lower bound, never later than the
+        // real deadline.
+        assert!(rt.next_timeout().is_some_and(|hint| hint <= 100));
+        assert_eq!(rt.advance_time(99, a), 0);
+        assert_eq!(rt.state_name(slow), "s0");
+        // The timeout is an ordinary message: here it drives "a".
+        assert_eq!(rt.advance_time(100, a), 1);
+        assert_eq!(rt.state_name(slow), "s1");
+        assert_eq!(rt.pending_timeouts(), 0);
+        // Re-arming moves the deadline; a session released after arming
+        // is skipped even without an explicit cancel.
+        rt.arm_timeout(slow, 150);
+        rt.arm_timeout(slow, 200);
+        let stale_target = rt.spawn();
+        rt.arm_timeout(stale_target, 200);
+        rt.pool.shards_mut()[stale_target.shard as usize].release_slot(stale_target);
+        assert_eq!(rt.advance_time(200, a), 1);
+        assert!(rt.is_finished(slow));
     }
 
     #[test]

@@ -262,3 +262,76 @@ fn protocol_engine_is_object_safe() {
         engine.reset();
     }
 }
+
+/// Duplicate-delivery safety (the fault model's at-least-once half):
+/// once a session is finished, every further delivery — any message,
+/// any number of times — is absorbed: no actions, no state change,
+/// still finished. Checked on all three runtime-served tiers (the
+/// build-time generated tier has the matching check in
+/// `stategen-generated`'s suite).
+#[test]
+fn finished_sessions_absorb_duplicate_deliveries_on_all_tiers() {
+    // Find a finishing trace by breadth-first search on the interpreted
+    // tier, so the test does not hard-code protocol thresholds.
+    let config = CommitConfig::new(4).unwrap();
+    let interpreted = Engine::interpret(Spec::machine(commit_machine(4))).unwrap();
+    let finishing_trace = {
+        let mut frontier: Vec<Vec<&str>> = vec![Vec::new()];
+        let mut found: Option<Vec<&str>> = None;
+        'search: while let Some(trace) = frontier.pop() {
+            for name in MESSAGE_NAMES {
+                let mut next = trace.clone();
+                next.push(name);
+                let mut rt = interpreted.runtime();
+                let s = rt.spawn();
+                for m in &next {
+                    let id = rt.message_id(m).unwrap();
+                    rt.deliver(s, id);
+                }
+                if rt.is_finished(s) {
+                    found = Some(next);
+                    break 'search;
+                }
+                if next.len() < 6 {
+                    frontier.push(next);
+                }
+            }
+        }
+        found.expect("commit protocol has a finishing trace within 6 steps")
+    };
+
+    let engines = [
+        interpreted,
+        Engine::compile(Spec::machine(commit_machine(4))).unwrap(),
+        Engine::compile(Spec::efsm(commit_efsm(), commit_efsm_params(&config))).unwrap(),
+    ];
+    for engine in engines {
+        let tier = engine.tier();
+        let mut rt = engine.runtime();
+        let s = rt.spawn();
+        for m in &finishing_trace {
+            let id = rt.message_id(m).unwrap();
+            rt.deliver(s, id);
+        }
+        assert!(rt.is_finished(s), "{tier:?}: trace must finish");
+        let parked_state = rt.state(s);
+        let parked_vars = rt.snapshot(s).vars;
+        for _round in 0..2 {
+            for name in MESSAGE_NAMES {
+                let id = rt.message_id(name).unwrap();
+                let actions = rt.deliver(s, id);
+                assert!(
+                    actions.is_empty(),
+                    "{tier:?}: finished session emitted {actions:?} on {name}"
+                );
+                assert_eq!(rt.state(s), parked_state, "{tier:?}: state moved");
+                assert!(rt.is_finished(s), "{tier:?}: un-finished by {name}");
+            }
+        }
+        assert_eq!(
+            rt.snapshot(s).vars,
+            parked_vars,
+            "{tier:?}: registers changed after finish"
+        );
+    }
+}

@@ -20,6 +20,34 @@
 //! Byzantine behaviour is modelled at the node level (a faulty node is
 //! just a different [`SimNode`] implementation); the network itself
 //! provides the asynchrony and unreliability.
+//!
+//! ## Fault model
+//!
+//! Every injection is drawn from the seeded network RNG (or scheduled
+//! as an ordinary queue event), so any failing run replays exactly from
+//! its `(seed, workload)` pair, and each has a counter in [`SimStats`]:
+//!
+//! * **Loss** — [`SimConfig::drop_probability`]: the message silently
+//!   never arrives.
+//! * **Duplication** — [`SimConfig::duplicate_probability`]: a second
+//!   copy is delivered with an independently drawn latency.
+//! * **Reordering** — [`SimConfig::reorder_probability`] /
+//!   [`SimConfig::reorder_bound`]: a message is held back by a bounded
+//!   extra delay, letting later sends overtake it. (Independent latency
+//!   draws already reorder mildly; this injects it deliberately and
+//!   measurably.)
+//! * **Crash** — [`Simulation::crash`] (immediate) or
+//!   [`Simulation::schedule_crash`] (part of the deterministic
+//!   schedule): fail-stop, per the paper's §2.2 fault model. Messages
+//!   addressed to a down node are discarded; its armed timers die.
+//! * **Restart** — [`Simulation::schedule_restart`]: the node comes
+//!   back up and its [`SimNode::on_restart`] hook runs before any new
+//!   delivery. The hook is where recovery semantics live: discard
+//!   volatile state, reload the last durable checkpoint (e.g. a
+//!   `stategen-runtime` `RuntimeSnapshot`), and re-arm timers — timers
+//!   set before the crash do **not** survive it (per-node incarnation
+//!   epochs filter them), while messages still in flight at restart
+//!   time are delivered normally.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -119,6 +147,118 @@ mod tests {
         assert_eq!(stats.to_crashed, 1);
         assert_eq!(sim.node(NodeId(1)).pings, 0);
         assert!(sim.is_crashed(NodeId(1)));
+    }
+
+    #[test]
+    fn reordering_lets_later_sends_overtake() {
+        struct Order {
+            got: Vec<u32>,
+        }
+        impl SimNode<u32> for Order {
+            fn on_message(&mut self, _ctx: &mut Context<'_, u32>, _from: NodeId, m: u32) {
+                self.got.push(m);
+            }
+        }
+        // Fixed latency + certain reordering of every message would
+        // keep relative order; use per-message reordering on a seed
+        // that demonstrably flips a pair, and assert the injection is
+        // counted and seed-stable.
+        let run = |seed: u64| {
+            let config = SimConfig {
+                seed,
+                min_delay: 5,
+                max_delay: 5,
+                reorder_probability: 0.5,
+                reorder_bound: 50,
+                ..Default::default()
+            };
+            let mut sim =
+                Simulation::new(config, vec![Order { got: vec![] }, Order { got: vec![] }]);
+            for m in 0..20u32 {
+                sim.post(NodeId(0), NodeId(1), m);
+            }
+            let stats = sim.run();
+            (sim.node(NodeId(1)).got.clone(), stats)
+        };
+        let (got, stats) = run(12);
+        assert!(stats.reordered > 0);
+        assert_eq!(stats.delivered, 20, "reordering never loses messages");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+        assert_ne!(got, sorted, "some pair was overtaken");
+        assert_eq!(run(12), run(12), "seed-replayable");
+    }
+
+    #[test]
+    fn crash_and_restart_with_epoch_filtered_timers() {
+        struct Node {
+            pings: u32,
+            timers: Vec<u64>,
+            restarts: u32,
+        }
+        impl SimNode<Msg> for Node {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                // Armed pre-crash, due *after* the restart: its epoch
+                // is stale by then, so it must not fire.
+                ctx.set_timer(300, 7);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, m: Msg) {
+                if m == Msg::Ping {
+                    self.pings += 1;
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, tag: u64) {
+                self.timers.push(tag);
+            }
+            fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+                self.restarts += 1;
+                // Recovery re-arms its own timer in the new epoch.
+                ctx.set_timer(10, 99);
+            }
+        }
+        let nodes = vec![
+            Node {
+                pings: 0,
+                timers: vec![],
+                restarts: 0,
+            },
+            Node {
+                pings: 0,
+                timers: vec![],
+                restarts: 0,
+            },
+        ];
+        let mut sim = Simulation::new(SimConfig::default(), nodes);
+        sim.schedule_crash(NodeId(1), 50);
+        sim.schedule_restart(NodeId(1), 200);
+        let stats = sim.run_until(60);
+        assert!(sim.is_crashed(NodeId(1)));
+        assert_eq!(stats.crashes, 1);
+        // Delivered while the node is down: discarded.
+        sim.post(NodeId(0), NodeId(1), Msg::Ping);
+        let stats = sim.run_until(80);
+        assert_eq!(stats.to_crashed, 1);
+        let stats = sim.run();
+        assert!(!sim.is_crashed(NodeId(1)));
+        assert_eq!(stats.restarts, 1);
+        {
+            let n1 = sim.node(NodeId(1));
+            assert_eq!(n1.restarts, 1);
+            // The pre-crash timer (tag 7, due at t=300 — after the
+            // restart, but armed in a dead incarnation) never fired;
+            // the post-restart one did.
+            assert_eq!(n1.timers, vec![99]);
+            assert_eq!(n1.pings, 0);
+        }
+        // The recovered node receives normally again.
+        sim.post(NodeId(0), NodeId(1), Msg::Ping);
+        sim.run();
+        assert_eq!(sim.node(NodeId(1)).pings, 1);
+        // Restarting an up node is a no-op.
+        sim.schedule_restart(NodeId(1), 400);
+        let stats = sim.run();
+        assert_eq!(stats.restarts, 1);
     }
 
     #[test]

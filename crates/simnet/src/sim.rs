@@ -51,6 +51,22 @@ pub trait SimNode<M> {
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: u64) {
         let _ = (ctx, tag);
     }
+
+    /// Invoked when this node restarts after a crash (see
+    /// [`Simulation::schedule_restart`]), *before* any post-restart
+    /// message is delivered to it.
+    ///
+    /// The default is a no-op, which models a node whose in-memory
+    /// state survived intact — fine for hand-written test nodes.
+    /// Realistic recovery overrides this to discard volatile state and
+    /// reload the last durable checkpoint (crashing loses everything
+    /// that was not checkpointed), then re-arm whatever timers still
+    /// matter: timers set before the crash die with it, while in-flight
+    /// *messages* addressed to the node survive and are delivered once
+    /// it is back up.
+    fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
 }
 
 /// Network and schedule parameters.
@@ -66,6 +82,13 @@ pub struct SimConfig {
     pub drop_probability: f64,
     /// Probability that a delivered message is delivered twice.
     pub duplicate_probability: f64,
+    /// Probability that a message is *reordered*: held back by an extra
+    /// delay beyond its drawn latency, letting later sends overtake it.
+    pub reorder_probability: f64,
+    /// Upper bound (inclusive, in ticks) on the extra hold-back applied
+    /// to a reordered message — reordering is bounded, not arbitrary.
+    /// Treated as at least 1.
+    pub reorder_bound: SimTime,
     /// Upper bound on processed events (guards against runaway loops).
     pub max_steps: u64,
 }
@@ -78,6 +101,8 @@ impl Default for SimConfig {
             max_delay: 10,
             drop_probability: 0.0,
             duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_bound: 100,
             max_steps: 10_000_000,
         }
     }
@@ -146,8 +171,22 @@ enum Effect<M> {
 
 #[derive(Debug)]
 enum Payload<M> {
-    Message { from: NodeId, message: M },
-    Timer { tag: u64 },
+    Message {
+        from: NodeId,
+        message: M,
+    },
+    /// A timer armed during incarnation `epoch` of the target node;
+    /// stale epochs are discarded (timers die with a crash, messages
+    /// survive it).
+    Timer {
+        tag: u64,
+        epoch: u32,
+    },
+    /// Fault-schedule control: fail-stop the target node.
+    Crash,
+    /// Fault-schedule control: bring the target node back up (invoking
+    /// [`SimNode::on_restart`]).
+    Restart,
 }
 
 #[derive(Debug)]
@@ -188,6 +227,12 @@ pub struct SimStats {
     pub duplicated: u64,
     /// Messages discarded because the destination had crashed.
     pub to_crashed: u64,
+    /// Messages held back past later sends (reordering injections).
+    pub reordered: u64,
+    /// Node crash events (immediate or scheduled).
+    pub crashes: u64,
+    /// Node restart events.
+    pub restarts: u64,
     /// Timer events fired.
     pub timers: u64,
     /// Total events processed.
@@ -218,6 +263,10 @@ pub struct Simulation<M, N> {
     config: SimConfig,
     nodes: Vec<N>,
     crashed: Vec<bool>,
+    /// Per-node incarnation counter, bumped on every crash; timers
+    /// carry the epoch they were armed in and are discarded when it is
+    /// stale.
+    epochs: Vec<u32>,
     queue: BinaryHeap<Reverse<Event<M>>>,
     node_rngs: Vec<SimRng>,
     net_rng: SimRng,
@@ -240,10 +289,12 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
         let node_rngs = (0..nodes.len()).map(|_| root.fork()).collect();
         let net_rng = root.fork();
         let crashed = vec![false; nodes.len()];
+        let epochs = vec![0; nodes.len()];
         Simulation {
             config,
             nodes,
             crashed,
+            epochs,
             queue: BinaryHeap::new(),
             node_rngs,
             net_rng,
@@ -310,15 +361,40 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
         self.nodes.len()
     }
 
-    /// Marks a node fail-stopped: all its queued and future events are
-    /// discarded (paper §2.2: fail-stop faults detected by timeouts).
+    /// Marks a node fail-stopped *now*: its queued and future events
+    /// are discarded and its armed timers die (paper §2.2: fail-stop
+    /// faults detected by timeouts). A crashed node can come back via
+    /// [`Simulation::schedule_restart`]. Idempotent while down.
     pub fn crash(&mut self, id: NodeId) {
-        self.crashed[id.0] = true;
+        if !self.crashed[id.0] {
+            self.crashed[id.0] = true;
+            self.epochs[id.0] += 1;
+            self.stats.crashes += 1;
+            self.record(TraceKind::Crashed { node: id });
+        }
     }
 
-    /// Whether a node has been crashed.
+    /// Whether a node is currently crashed.
     pub fn is_crashed(&self, id: NodeId) -> bool {
         self.crashed[id.0]
+    }
+
+    /// Schedules a fail-stop of `node` at absolute time `at` (clamped
+    /// to now). Part of a seed-replayable fault schedule: the crash is
+    /// an ordinary event in the deterministic queue.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        self.push_event(at.max(self.now), node, Payload::Crash);
+    }
+
+    /// Schedules `node` to come back up at absolute time `at` (clamped
+    /// to now). On restart the node's [`SimNode::on_restart`] hook runs
+    /// before any further delivery: timers from before the crash are
+    /// gone (re-arm in the hook), while messages sent to the node while
+    /// it was down were discarded and messages still in flight at
+    /// restart are delivered normally. A restart for a node that is up
+    /// is a no-op.
+    pub fn schedule_restart(&mut self, node: NodeId, at: SimTime) {
+        self.push_event(at.max(self.now), node, Payload::Restart);
     }
 
     /// Injects a message from an external source (e.g. a client outside
@@ -331,7 +407,8 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
     /// Schedules a timer for `node` at `now + delay` (external injection).
     pub fn post_timer(&mut self, node: NodeId, delay: SimTime, tag: u64) {
         let at = self.now + delay;
-        self.push_event(at, node, Payload::Timer { tag });
+        let epoch = self.epochs[node.0];
+        self.push_event(at, node, Payload::Timer { tag, epoch });
     }
 
     /// Runs `on_start` on every node (idempotent; called automatically by
@@ -373,12 +450,48 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
         self.now = event.at;
         self.stats.steps += 1;
         let to = event.to;
+        // Fault-schedule control events apply to crashed nodes too, so
+        // they are handled before the crashed early-return.
+        match &event.payload {
+            Payload::Crash => {
+                self.crash(to);
+                return true;
+            }
+            Payload::Restart => {
+                if self.crashed[to.0] {
+                    self.crashed[to.0] = false;
+                    self.stats.restarts += 1;
+                    self.record(TraceKind::Restarted { node: to });
+                    let mut effects = std::mem::take(&mut self.scratch);
+                    let mut ctx = Context {
+                        now: self.now,
+                        self_id: to,
+                        node_count: self.nodes.len(),
+                        rng: &mut self.node_rngs[to.0],
+                        effects: &mut effects,
+                    };
+                    self.nodes[to.0].on_restart(&mut ctx);
+                    self.apply_effects(to, &mut effects);
+                    self.scratch = effects;
+                }
+                return true;
+            }
+            _ => {}
+        }
         if self.crashed[to.0] {
             self.stats.to_crashed += 1;
             if let Payload::Message { from, .. } = event.payload {
                 self.record(TraceKind::ToCrashed { from, to });
             }
             return true;
+        }
+        // A timer armed before the node's last crash belongs to a dead
+        // incarnation: discard it (messages survive crashes, timers
+        // do not).
+        if let Payload::Timer { epoch, .. } = &event.payload {
+            if *epoch != self.epochs[to.0] {
+                return true;
+            }
         }
         let mut effects = std::mem::take(&mut self.scratch);
         let mut ctx = Context {
@@ -394,11 +507,12 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
                 self.nodes[to.0].on_message(&mut ctx, from, message);
                 self.record(TraceKind::Delivered { from, to });
             }
-            Payload::Timer { tag } => {
+            Payload::Timer { tag, .. } => {
                 self.stats.timers += 1;
                 self.nodes[to.0].on_timer(&mut ctx, tag);
                 self.record(TraceKind::Timer { node: to, tag });
             }
+            Payload::Crash | Payload::Restart => unreachable!("handled above"),
         }
         self.apply_effects(to, &mut effects);
         self.scratch = effects;
@@ -435,7 +549,8 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
                 Effect::Send { to, message } => self.enqueue_send(origin, to, message),
                 Effect::Timer { delay, tag } => {
                     let at = self.now + delay;
-                    self.push_event(at, origin, Payload::Timer { tag });
+                    let epoch = self.epochs[origin.0];
+                    self.push_event(at, origin, Payload::Timer { tag, epoch });
                 }
             }
         }
@@ -447,9 +562,18 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
             self.record(TraceKind::Dropped { from, to });
             return;
         }
-        let delay = self
+        let mut delay = self
             .net_rng
             .range_inclusive(self.config.min_delay, self.config.max_delay);
+        if self.net_rng.chance(self.config.reorder_probability) {
+            // Hold this copy back by a bounded extra delay so later
+            // sends can overtake it.
+            delay += self
+                .net_rng
+                .range_inclusive(1, self.config.reorder_bound.max(1));
+            self.stats.reordered += 1;
+            self.record(TraceKind::Reordered { from, to });
+        }
         if self.net_rng.chance(self.config.duplicate_probability) {
             self.stats.duplicated += 1;
             self.record(TraceKind::Duplicated { from, to });

@@ -34,6 +34,23 @@ pub enum TraceKind {
         /// Crashed recipient.
         to: NodeId,
     },
+    /// A message was held back past later sends (reordering injection).
+    Reordered {
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+    },
+    /// A node fail-stopped.
+    Crashed {
+        /// The node that went down.
+        node: NodeId,
+    },
+    /// A crashed node came back up.
+    Restarted {
+        /// The node that recovered.
+        node: NodeId,
+    },
     /// A timer fired.
     Timer {
         /// The node whose timer fired.

@@ -23,7 +23,10 @@ pub enum RetryScheme {
         max: SimTime,
     },
     /// Exponential back-off: `base * 2^attempt`, capped at `max`, with
-    /// ±50% jitter.
+    /// ±25% jitter. The jittered delay is always within `[base, max]`,
+    /// and the worst-case delay of attempt `n` never exceeds the
+    /// best-case delay of attempt `n + 1` while the raw (un-jittered)
+    /// delay is still below the cap.
     Exponential {
         /// First retry delay.
         base: SimTime,
@@ -39,12 +42,19 @@ impl RetryScheme {
             RetryScheme::Fixed { delay } => delay,
             RetryScheme::Random { min, max } => rng.range_inclusive(min, max.max(min)),
             RetryScheme::Exponential { base, max } => {
+                let base = base.max(1);
+                let cap = max.max(base);
                 let raw = base
                     .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
-                    .min(max);
-                let jitter_span = (raw / 2).max(1);
-                let low = raw.saturating_sub(jitter_span / 2).max(1);
-                rng.range_inclusive(low, low + jitter_span)
+                    .min(cap);
+                // ±25% jitter around `raw`, clamped into [base, cap]. The
+                // window is raw/4 wide on each side, so attempt n's worst
+                // case (1.25 * raw) stays below attempt n+1's best case
+                // (0.75 * 2 * raw = 1.5 * raw) until the cap flattens the
+                // curve.
+                let span = raw / 4;
+                let jittered = (raw - span).saturating_add(rng.below(2 * span + 1));
+                jittered.clamp(base, cap)
             }
         }
     }
@@ -102,11 +112,11 @@ mod tests {
             max: 1000,
         };
         let d0 = s.delay(0, &mut rng);
-        assert!((5..=20).contains(&d0), "d0 = {d0}");
+        assert!((10..=13).contains(&d0), "d0 = {d0}");
         let d6 = s.delay(6, &mut rng);
-        assert!(d6 >= 300, "d6 = {d6}");
+        assert!((480..=800).contains(&d6), "d6 = {d6}");
         let d20 = s.delay(20, &mut rng);
-        assert!(d20 <= 1600, "capped with jitter: {d20}");
+        assert!((750..=1000).contains(&d20), "capped: {d20}");
     }
 
     #[test]
@@ -114,9 +124,9 @@ mod tests {
         let mut rng = SimRng::new(4);
         let s = RetryScheme::Exponential { base: 10, max: 500 };
         let d = s.delay(63, &mut rng);
-        assert!(d <= 800);
+        assert!(d <= 500);
         let d = s.delay(64, &mut rng); // shift overflow guarded
-        assert!(d <= 800);
+        assert!(d <= 500);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use stategen_commit::{
     commit_efsm, commit_efsm_params, commit_efsm_state_flags, CommitConfig, CommitMessage,
 };
 use stategen_core::MessageId;
-use stategen_runtime::{Engine, Runtime, SessionId, Spec};
+use stategen_runtime::{Engine, Runtime, RuntimeSnapshot, SessionId, Spec, TimerWheel};
 
 use crate::backoff::{RetryScheme, ServerOrdering};
 use crate::entities::Pid;
@@ -204,7 +204,38 @@ pub struct CommitPeer<'m> {
     gc_after: SimTime,
     gc_tags: BTreeMap<u64, AttemptId>,
     next_gc_tag: u64,
+    /// Checkpoint cadence in ticks (0 disables checkpointing: a
+    /// restarted peer then recovers with nothing).
+    checkpoint_every: SimTime,
+    /// Whether a periodic checkpoint timer is currently armed. The
+    /// cadence pauses while the peer has no in-flight attempts (commits
+    /// are checkpointed synchronously, so a quiescent peer is already
+    /// durable) and resumes when an attempt spawns.
+    checkpoint_armed: bool,
+    /// The peer's simulated durable store: the last checkpoint written.
+    /// `on_restart` recovers from *only* this — everything else above is
+    /// treated as lost with the crash.
+    checkpoint: Option<PeerCheckpoint>,
 }
+
+/// What a peer persists: its [`Runtime`] snapshot plus the protocol
+/// bookkeeping that gives the restored sessions meaning. Written
+/// atomically (it is one in-memory value), so a recovered peer is
+/// always internally consistent — it may merely be *stale* by up to one
+/// checkpoint interval.
+#[derive(Debug, Clone)]
+struct PeerCheckpoint {
+    runtime: RuntimeSnapshot,
+    slots: BTreeMap<AttemptId, SessionId>,
+    seen: BTreeSet<(AttemptId, NodeId, u8)>,
+    clients: BTreeMap<AttemptId, NodeId>,
+    committed: BTreeSet<AttemptId>,
+    history: Vec<Pid>,
+}
+
+/// Peer timer tag for the periodic checkpoint (GC tags count up from 0
+/// and can never reach it).
+const TAG_PEER_CHECKPOINT: u64 = u64::MAX;
 
 impl<'m> CommitPeer<'m> {
     /// Creates a peer serving `engine`'s compiled machine; the first
@@ -214,6 +245,7 @@ impl<'m> CommitPeer<'m> {
         peer_count: usize,
         behaviour: PeerBehaviour,
         gc_after: SimTime,
+        checkpoint_every: SimTime,
     ) -> Self {
         CommitPeer {
             engine,
@@ -229,6 +261,9 @@ impl<'m> CommitPeer<'m> {
             gc_after,
             gc_tags: BTreeMap::new(),
             next_gc_tag: 0,
+            checkpoint_every,
+            checkpoint_armed: false,
+            checkpoint: None,
         }
     }
 
@@ -295,10 +330,8 @@ impl<'m> CommitPeer<'m> {
                             .deliver(session, self.engine.message_id(CommitMessage::NotFree));
                     }
                     self.slots.insert(a, session);
-                    let tag = self.next_gc_tag;
-                    self.next_gc_tag += 1;
-                    self.gc_tags.insert(tag, a);
-                    ctx.set_timer(self.gc_after, tag);
+                    self.arm_gc(ctx, a);
+                    self.arm_checkpoint(ctx);
                     session
                 }
             };
@@ -346,6 +379,12 @@ impl<'m> CommitPeer<'m> {
                 }
                 if let Some(&client) = self.clients.get(&a) {
                     ctx.send(client, VhMsg::Committed(a));
+                }
+                // A commit is durable the moment it is externally
+                // visible: checkpoint synchronously on history append,
+                // not just at the periodic cadence.
+                if self.checkpoint_every > 0 {
+                    self.write_checkpoint();
                 }
             }
         }
@@ -410,13 +449,113 @@ impl<'m> CommitPeer<'m> {
             }
         }
     }
+
+    /// Arms a fresh GC deadline for `attempt`.
+    fn arm_gc(&mut self, ctx: &mut Context<'_, VhMsg>, attempt: AttemptId) {
+        let tag = self.next_gc_tag;
+        self.next_gc_tag += 1;
+        self.gc_tags.insert(tag, attempt);
+        ctx.set_timer(self.gc_after, tag);
+    }
+
+    /// `true` while some tracked attempt is still executing.
+    fn has_unfinished_attempts(&self) -> bool {
+        self.slots
+            .values()
+            .any(|&session| !self.runtime.is_finished(session))
+    }
+
+    /// Starts the periodic checkpoint cadence if it is enabled and not
+    /// already ticking.
+    fn arm_checkpoint(&mut self, ctx: &mut Context<'_, VhMsg>) {
+        if self.checkpoint_every > 0 && !self.checkpoint_armed {
+            self.checkpoint_armed = true;
+            ctx.set_timer(self.checkpoint_every, TAG_PEER_CHECKPOINT);
+        }
+    }
+
+    /// Writes the durable checkpoint: runtime snapshot + bookkeeping.
+    fn write_checkpoint(&mut self) {
+        self.checkpoint = Some(PeerCheckpoint {
+            runtime: self.runtime.snapshot_all(),
+            slots: self.slots.clone(),
+            seen: self.seen.clone(),
+            clients: self.clients.clone(),
+            committed: self.committed.clone(),
+            history: self.history.clone(),
+        });
+    }
 }
 
 impl SimNode<VhMsg> for CommitPeer<'_> {
+    fn on_start(&mut self, ctx: &mut Context<'_, VhMsg>) {
+        self.arm_checkpoint(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut Context<'_, VhMsg>, tag: u64) {
+        if tag == TAG_PEER_CHECKPOINT {
+            self.write_checkpoint();
+            // Keep ticking only while an attempt is in flight; a
+            // quiescent peer's last commit was checkpointed
+            // synchronously, so re-arming would just keep the
+            // simulation alive for nothing. `feed` resumes the cadence
+            // on the next spawn.
+            if self.has_unfinished_attempts() {
+                ctx.set_timer(self.checkpoint_every, TAG_PEER_CHECKPOINT);
+            } else {
+                self.checkpoint_armed = false;
+            }
+            return;
+        }
         if let Some(attempt) = self.gc_tags.remove(&tag) {
             self.drop_instance(ctx, attempt);
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, VhMsg>) {
+        // Everything volatile died with the crash; recover from the
+        // durable checkpoint alone. `Runtime::restore` revalidates the
+        // snapshot against the engine fingerprint and brings every
+        // session back bit-identically — including generations, so the
+        // checkpointed `slots` handles keep addressing their attempts.
+        match self.checkpoint.clone() {
+            Some(cp) => {
+                self.runtime = Runtime::restore(self.engine.engine(), &cp.runtime)
+                    .expect("checkpoint was written by this peer's own engine");
+                self.slots = cp.slots;
+                self.seen = cp.seen;
+                self.clients = cp.clients;
+                self.committed = cp.committed;
+                self.history = cp.history;
+            }
+            None => {
+                self.runtime = self.engine.engine().runtime();
+                self.slots.clear();
+                self.seen.clear();
+                self.clients.clear();
+                self.committed.clear();
+                self.history.clear();
+            }
+        }
+        // Timers died with the crash (the simulator discards stale-epoch
+        // expiries): resume the checkpoint cadence and re-arm a fresh GC
+        // budget for every restored unfinished attempt so stalled
+        // executions are still reclaimed.
+        self.gc_tags.clear();
+        let unfinished: Vec<AttemptId> = self
+            .slots
+            .iter()
+            .filter(|(_, &session)| !self.runtime.is_finished(session))
+            .map(|(a, _)| *a)
+            .collect();
+        for attempt in unfinished {
+            self.arm_gc(ctx, attempt);
+        }
+        // The crash killed the old checkpoint timer with the epoch; the
+        // armed flag is volatile-but-surviving state, so reset it before
+        // restarting the cadence.
+        self.checkpoint_armed = false;
+        self.arm_checkpoint(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, VhMsg>, from: NodeId, message: VhMsg) {
@@ -476,13 +615,25 @@ pub struct UpdateOutcome {
     pub pid: Pid,
     /// Attempts needed (1 = no retry).
     pub attempts: u32,
-    /// Virtual time from first submission to confirmed commit.
+    /// Virtual time from first submission to confirmed commit (or to
+    /// giving up).
     pub latency: SimTime,
+    /// `false` if the endpoint exhausted its attempt budget and gave up
+    /// on this update without confirmation.
+    pub committed: bool,
 }
 
 /// A client endpoint: submits its updates sequentially, confirms each
 /// commit via `f + 1` peer reports, retries deadlocked attempts with the
-/// configured back-off (paper §2.2).
+/// configured back-off (paper §2.2), and gives up after a bounded number
+/// of attempts instead of spinning forever.
+///
+/// All endpoint deadlines — per-peer contact staggers, the attempt
+/// timeout, the retry back-off — are logical timers in a hierarchical
+/// [`TimerWheel`]; the simulator only sees coalesced `TAG_WHEEL`
+/// wake-ups at the wheel's next-deadline hint. Confirmed commits
+/// *cancel* their timeout in O(1) rather than letting it fire and be
+/// filtered.
 #[derive(Debug)]
 pub struct ClientEndpoint {
     id: u32,
@@ -493,8 +644,16 @@ pub struct ClientEndpoint {
     ordering: ServerOrdering,
     timeout: SimTime,
     contact_stagger: SimTime,
+    /// Give up on an update after this many attempts (≥ 1).
+    max_attempts: u32,
     pending: Option<Pending>,
     outcomes: Vec<UpdateOutcome>,
+    /// Logical timers, keyed by the endpoint tag encoding.
+    wheel: TimerWheel<u64>,
+    /// Earliest simulator wake-up currently scheduled for the wheel.
+    wheel_wake: Option<SimTime>,
+    /// Expired-tag buffer reused across wake-ups.
+    fire_scratch: Vec<u64>,
 }
 
 #[derive(Debug)]
@@ -505,9 +664,12 @@ struct Pending {
     first_submitted_at: SimTime,
 }
 
-/// Endpoint timer tags.
+/// Endpoint timer tags. `TAG_TIMEOUT`/`TAG_CONTACT` key logical timers
+/// inside the endpoint's wheel; `TAG_WHEEL` is the only tag the
+/// simulator ever carries for a client (the coalesced wake-up).
 const TAG_TIMEOUT: u64 = 1 << 62;
 const TAG_CONTACT: u64 = 1 << 61;
+const TAG_WHEEL: u64 = 1 << 60;
 
 impl ClientEndpoint {
     /// Creates an endpoint submitting `updates` (in order) to the peer
@@ -522,6 +684,7 @@ impl ClientEndpoint {
         ordering: ServerOrdering,
         timeout: SimTime,
         contact_stagger: SimTime,
+        max_attempts: u32,
     ) -> Self {
         ClientEndpoint {
             id,
@@ -532,8 +695,12 @@ impl ClientEndpoint {
             ordering,
             timeout,
             contact_stagger,
+            max_attempts: max_attempts.max(1),
             pending: None,
             outcomes: Vec::new(),
+            wheel: TimerWheel::new(),
+            wheel_wake: None,
+            fire_scratch: Vec::new(),
         }
     }
 
@@ -542,9 +709,38 @@ impl ClientEndpoint {
         &self.outcomes
     }
 
-    /// `true` once every queued update committed.
+    /// `true` once every queued update has been resolved — committed or
+    /// given up on (check [`UpdateOutcome::committed`] to distinguish).
     pub fn is_done(&self) -> bool {
         self.pending.is_none() && self.updates.is_empty()
+    }
+
+    /// Arms a logical timer `delay` ticks from now in the endpoint's
+    /// wheel (re-arming if the tag is already pending) and makes sure a
+    /// simulator wake-up covers it.
+    fn arm(&mut self, ctx: &mut Context<'_, VhMsg>, delay: SimTime, tag: u64) {
+        self.wheel.arm(tag, ctx.now() + delay.max(1));
+        self.schedule_wake(ctx);
+    }
+
+    /// Schedules a `TAG_WHEEL` wake-up at the wheel's next-deadline
+    /// hint unless an earlier one is already outstanding. The hint is a
+    /// coarse lower bound, so a wake-up may find nothing expired and
+    /// simply re-schedule — bounded by the wheel's level count.
+    fn schedule_wake(&mut self, ctx: &mut Context<'_, VhMsg>) {
+        let Some(hint) = self.wheel.next_deadline() else {
+            return;
+        };
+        let now = ctx.now();
+        let at = hint.max(now + 1);
+        let earlier = match self.wheel_wake {
+            Some(scheduled) => at < scheduled,
+            None => true,
+        };
+        if earlier {
+            ctx.set_timer(at - now, TAG_WHEEL);
+            self.wheel_wake = Some(at);
+        }
     }
 
     fn submit_next(&mut self, ctx: &mut Context<'_, VhMsg>) {
@@ -575,13 +771,14 @@ impl ClientEndpoint {
             if delay == 0 {
                 ctx.send(NodeId(peer), VhMsg::ClientUpdate(attempt));
             } else {
-                ctx.set_timer(
+                self.arm(
+                    ctx,
                     delay,
                     TAG_CONTACT | (attempt.attempt as u64) << 16 | peer as u64,
                 );
             }
         }
-        ctx.set_timer(self.timeout, TAG_TIMEOUT | u64::from(attempt.attempt));
+        self.arm(ctx, self.timeout, TAG_TIMEOUT | u64::from(attempt.attempt));
     }
 
     fn on_committed(&mut self, ctx: &mut Context<'_, VhMsg>, from: NodeId, attempt: AttemptId) {
@@ -597,9 +794,18 @@ impl ClientEndpoint {
                 pid: attempt.pid,
                 attempts: pending.attempt.attempt + 1,
                 latency: ctx.now() - pending.first_submitted_at,
+                committed: true,
             };
+            let attempt_no = pending.attempt.attempt;
             self.outcomes.push(outcome);
             self.pending = None;
+            // The attempt is confirmed: cancel its timeout (and any
+            // still-staggered contacts) instead of letting them fire.
+            self.wheel.cancel(&(TAG_TIMEOUT | u64::from(attempt_no)));
+            for peer in 0..self.peer_count as u64 {
+                self.wheel
+                    .cancel(&(TAG_CONTACT | (attempt_no as u64) << 16 | peer));
+            }
             self.submit_next(ctx);
         }
     }
@@ -611,11 +817,27 @@ impl ClientEndpoint {
         if pending.attempt.attempt != stale_attempt {
             return; // a newer attempt is already in flight
         }
-        // Abort the stalled attempt, back off, retry as a new execution.
+        // Abort the stalled attempt everywhere.
         let old = pending.attempt;
         for i in 0..self.peer_count {
             ctx.send(NodeId(i), VhMsg::Abort(old));
         }
+        if old.attempt + 1 >= self.max_attempts {
+            // Attempt budget exhausted: degrade gracefully. Surface the
+            // failure as an uncommitted outcome and move on to the next
+            // update instead of retrying forever.
+            let first_submitted_at = pending.first_submitted_at;
+            self.pending = None;
+            self.outcomes.push(UpdateOutcome {
+                pid: old.pid,
+                attempts: old.attempt + 1,
+                latency: ctx.now() - first_submitted_at,
+                committed: false,
+            });
+            self.submit_next(ctx);
+            return;
+        }
+        // Back off, then retry as a fresh execution.
         let next = AttemptId {
             pid: old.pid,
             client: self.id,
@@ -625,22 +847,15 @@ impl ClientEndpoint {
         pending.reporters.clear();
         pending.submitted_at = ctx.now();
         let backoff = self.retry.delay(old.attempt, ctx.rng());
-        ctx.set_timer(backoff, TAG_CONTACT | (next.attempt as u64) << 16 | 0xFFFF);
-    }
-}
-
-impl SimNode<VhMsg> for ClientEndpoint {
-    fn on_start(&mut self, ctx: &mut Context<'_, VhMsg>) {
-        self.submit_next(ctx);
+        self.arm(
+            ctx,
+            backoff,
+            TAG_CONTACT | (next.attempt as u64) << 16 | 0xFFFF,
+        );
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, VhMsg>, from: NodeId, message: VhMsg) {
-        if let VhMsg::Committed(attempt) = message {
-            self.on_committed(ctx, from, attempt);
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Context<'_, VhMsg>, tag: u64) {
+    /// Dispatches one expired logical timer from the wheel.
+    fn fire(&mut self, ctx: &mut Context<'_, VhMsg>, tag: u64) {
         if tag & TAG_TIMEOUT != 0 {
             self.on_timeout(ctx, (tag & 0xFFFF) as u32);
         } else if tag & TAG_CONTACT != 0 {
@@ -663,13 +878,46 @@ impl SimNode<VhMsg> for ClientEndpoint {
     }
 }
 
-/// Heterogeneous node wrapper for the harness.
+impl SimNode<VhMsg> for ClientEndpoint {
+    fn on_start(&mut self, ctx: &mut Context<'_, VhMsg>) {
+        self.submit_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, VhMsg>, from: NodeId, message: VhMsg) {
+        if let VhMsg::Committed(attempt) = message {
+            self.on_committed(ctx, from, attempt);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, VhMsg>, tag: u64) {
+        if tag != TAG_WHEEL {
+            return;
+        }
+        // A coalesced wake-up: advance the wheel to virtual now and
+        // dispatch every expired logical timer. The expired slice
+        // borrows the wheel, so buffer the tags before dispatching
+        // (dispatch may arm new timers in the same wheel).
+        self.wheel_wake = None;
+        let mut fired = std::mem::take(&mut self.fire_scratch);
+        fired.clear();
+        fired.extend_from_slice(self.wheel.advance(ctx.now()));
+        for &tag in &fired {
+            self.fire(ctx, tag);
+        }
+        self.fire_scratch = fired;
+        self.schedule_wake(ctx);
+    }
+}
+
+/// Heterogeneous node wrapper for the harness. Both variants are boxed:
+/// they are dispatch targets, not data the simulator moves around, and
+/// boxing keeps the enum (and the harness's node vector) slot-sized.
 #[derive(Debug)]
 pub enum VhNode<'m> {
     /// A peer-set member.
-    Peer(CommitPeer<'m>),
+    Peer(Box<CommitPeer<'m>>),
     /// A client endpoint.
-    Client(ClientEndpoint),
+    Client(Box<ClientEndpoint>),
 }
 
 impl SimNode<VhMsg> for VhNode<'_> {
@@ -693,6 +941,13 @@ impl SimNode<VhMsg> for VhNode<'_> {
             VhNode::Client(c) => c.on_timer(ctx, tag),
         }
     }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, VhMsg>) {
+        match self {
+            VhNode::Peer(p) => p.on_restart(ctx),
+            VhNode::Client(c) => c.on_restart(ctx),
+        }
+    }
 }
 
 /// Parameters of a version-history simulation.
@@ -714,6 +969,17 @@ pub struct HarnessConfig {
     pub contact_stagger: SimTime,
     /// Peers abandon unfinished protocol executions after this long.
     pub peer_gc: SimTime,
+    /// Endpoints give up on an update after this many attempts,
+    /// surfacing an uncommitted [`UpdateOutcome`] instead of retrying
+    /// forever.
+    pub max_attempts: u32,
+    /// Peer checkpoint cadence in ticks; 0 disables checkpointing, so a
+    /// restarted peer recovers with empty state.
+    pub checkpoint_every: SimTime,
+    /// Fault schedule: `(peer, crash_at, restart_at)` triples applied as
+    /// simulator control events. A `restart_at <= crash_at` means the
+    /// peer never comes back.
+    pub crashes: Vec<(u32, SimTime, SimTime)>,
     /// Network parameters.
     pub net: SimConfig,
     /// Abandon the run at this virtual time.
@@ -734,6 +1000,9 @@ impl Default for HarnessConfig {
             timeout: 1_000,
             contact_stagger: 2,
             peer_gc: 4_000,
+            max_attempts: 1_000,
+            checkpoint_every: 0,
+            crashes: Vec::new(),
             net: SimConfig::default(),
             deadline: 2_000_000,
         }
@@ -749,7 +1018,11 @@ pub struct HarnessReport {
     pub behaviours: Vec<PeerBehaviour>,
     /// Per-client outcomes.
     pub outcomes: Vec<Vec<UpdateOutcome>>,
-    /// `true` if every client confirmed every update.
+    /// Which peers were crash-scheduled at any point (same indexing as
+    /// `histories`).
+    pub crashed: Vec<bool>,
+    /// `true` if every client confirmed every update (a given-up update
+    /// counts as not committed).
     pub all_committed: bool,
     /// Network statistics.
     pub stats: SimStats,
@@ -780,6 +1053,37 @@ impl HarnessReport {
     pub fn sets_agree(&self) -> bool {
         let correct = self.correct_histories();
         correct.windows(2).all(|w| {
+            let a: BTreeSet<&Pid> = w[0].iter().collect();
+            let b: BTreeSet<&Pid> = w[1].iter().collect();
+            a == b
+        })
+    }
+
+    /// Histories of the correct peers that were never crash-scheduled.
+    /// The protocol has no anti-entropy/catch-up phase, so a restarted
+    /// peer may legitimately lag behind its checkpoint; agreement claims
+    /// under a crash schedule are made over the stable peers.
+    pub fn stable_histories(&self) -> Vec<&Vec<Pid>> {
+        self.histories
+            .iter()
+            .zip(&self.behaviours)
+            .zip(&self.crashed)
+            .filter(|((_, b), c)| **b == PeerBehaviour::Correct && !**c)
+            .map(|((h, _), _)| h)
+            .collect()
+    }
+
+    /// [`HarnessReport::orders_agree`] restricted to stable (correct,
+    /// never-crashed) peers.
+    pub fn orders_agree_stable(&self) -> bool {
+        let stable = self.stable_histories();
+        stable.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// [`HarnessReport::sets_agree`] restricted to stable peers.
+    pub fn sets_agree_stable(&self) -> bool {
+        let stable = self.stable_histories();
+        stable.windows(2).all(|w| {
             let a: BTreeSet<&Pid> = w[0].iter().collect();
             let b: BTreeSet<&Pid> = w[1].iter().collect();
             a == b
@@ -823,15 +1127,16 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
     let mut nodes: Vec<VhNode<'_>> = Vec::new();
     for i in 0..r {
         let behaviour = config.behaviours.get(i).copied().unwrap_or_default();
-        nodes.push(VhNode::Peer(CommitPeer::new(
+        nodes.push(VhNode::Peer(Box::new(CommitPeer::new(
             &engine,
             r,
             behaviour,
             config.peer_gc,
-        )));
+            config.checkpoint_every,
+        ))));
     }
     for (ci, updates) in config.client_updates.iter().enumerate() {
-        nodes.push(VhNode::Client(ClientEndpoint::new(
+        nodes.push(VhNode::Client(Box::new(ClientEndpoint::new(
             ci as u32,
             r,
             commit_config.max_faulty(),
@@ -840,9 +1145,20 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
             config.ordering,
             config.timeout,
             config.contact_stagger,
-        )));
+            config.max_attempts,
+        ))));
     }
     let mut sim = Simulation::new(config.net.clone(), nodes);
+    let mut crashed = vec![false; r];
+    for &(peer, crash_at, restart_at) in &config.crashes {
+        let node = NodeId(peer as usize);
+        assert!((peer as usize) < r, "crash schedule names a non-peer node");
+        crashed[peer as usize] = true;
+        sim.schedule_crash(node, crash_at);
+        if restart_at > crash_at {
+            sim.schedule_restart(node, restart_at);
+        }
+    }
     sim.run_until(config.deadline);
     let mut histories = Vec::with_capacity(r);
     let mut behaviours = Vec::with_capacity(r);
@@ -860,7 +1176,7 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
     for i in r..sim.node_count() {
         match sim.node(NodeId(i)) {
             VhNode::Client(c) => {
-                all_committed &= c.is_done();
+                all_committed &= c.is_done() && c.outcomes().iter().all(|o| o.committed);
                 outcomes.push(c.outcomes().to_vec());
             }
             VhNode::Peer(_) => unreachable!("clients follow peers"),
@@ -871,6 +1187,7 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
         histories,
         behaviours,
         outcomes,
+        crashed,
         all_committed,
         stats: sim.stats(),
         end_time,

@@ -1,0 +1,71 @@
+//! Property tests for the endpoint retry schemes (paper §2.2): the
+//! exponential back-off's jittered delay is always within `[base, cap]`,
+//! grows monotonically in the attempt number until the cap flattens the
+//! curve, and is fully determined by the RNG seed.
+
+use asa_simnet::SimRng;
+use asa_storage::RetryScheme;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn exponential_delay_within_base_and_cap(
+        base in 1u64..10_000,
+        span in 0u64..1_000_000,
+        attempt in 0u32..80,
+        seed in any::<u64>(),
+    ) {
+        let cap = base + span;
+        let s = RetryScheme::Exponential { base, max: cap };
+        let d = s.delay(attempt, &mut SimRng::new(seed));
+        prop_assert!(d >= base, "delay {d} below base {base}");
+        prop_assert!(d <= cap, "delay {d} above cap {cap}");
+    }
+
+    /// Worst-case jitter of attempt n stays at or below best-case jitter
+    /// of attempt n + 1 while the raw delay is under the cap: the
+    /// back-off curve is monotone, not just monotone in expectation.
+    #[test]
+    fn exponential_monotone_before_the_cap(
+        base in 1u64..1_000,
+        attempt in 0u32..20,
+        seeds in prop::collection::vec(any::<u64>(), 8),
+    ) {
+        let cap = u64::MAX; // never flattens in this range
+        let s = RetryScheme::Exponential { base, max: cap };
+        let max_now = seeds
+            .iter()
+            .map(|&seed| s.delay(attempt, &mut SimRng::new(seed)))
+            .max()
+            .unwrap();
+        let min_next = seeds
+            .iter()
+            .map(|&seed| s.delay(attempt + 1, &mut SimRng::new(seed)))
+            .min()
+            .unwrap();
+        // 1.25 * base * 2^n <= 0.75 * base * 2^(n+1), with integer
+        // truncation only widening the gap.
+        prop_assert!(
+            max_now <= min_next,
+            "attempt {attempt}: max {max_now} > next min {min_next}"
+        );
+    }
+
+    #[test]
+    fn delays_are_seed_deterministic(
+        base in 1u64..10_000,
+        span in 0u64..100_000,
+        attempt in 0u32..64,
+        seed in any::<u64>(),
+    ) {
+        for scheme in [
+            RetryScheme::Fixed { delay: base },
+            RetryScheme::Random { min: base, max: base + span },
+            RetryScheme::Exponential { base, max: base + span },
+        ] {
+            let a = scheme.delay(attempt, &mut SimRng::new(seed));
+            let b = scheme.delay(attempt, &mut SimRng::new(seed));
+            prop_assert_eq!(a, b, "{:?}", scheme);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Chaos campaign: the commit harness under randomized loss,
+//! duplication, reordering, and crash/restart schedules.
+//!
+//! Every run is fully determined by its seed; a failing assertion
+//! prints the seed, and re-running with that seed replays the exact
+//! event schedule (`chaos_is_seed_replayable` pins the guarantee being
+//! relied on).
+//!
+//! What is asserted where, and why:
+//!
+//! - **Core invariants** (every seed, every mix): all updates confirm
+//!   (liveness via timeout/retry), every confirmed update is durably
+//!   recorded by at least `f + 1` correct peers, and no correct history
+//!   holds a fabricated or duplicated version.
+//! - **Set agreement** is asserted for the loss-free sweeps: without
+//!   drops every commit broadcast eventually arrives, so the stable
+//!   (correct, never-crashed) peers converge on the same set. Under
+//!   loss a correct peer can permanently miss a commit — the protocol
+//!   retransmits nothing after the client confirms — so set equality is
+//!   genuinely not an invariant of the lossy mix.
+//! - **Order agreement** and the exact `f + 1` consistent read are
+//!   asserted on pinned seeds: concurrent commits race, and reordered
+//!   deliveries can interleave two commit waves differently at
+//!   different peers (the repo's contention tests make the same
+//!   distinction: sets are the safety property, orders hold in the
+//!   uncontended/pinned cases).
+//!
+//! Restarted peers recover from their last checkpoint and may lag (no
+//! anti-entropy phase); agreement claims are made over the stable peers
+//! and safety-only claims over the restarted ones.
+
+use std::collections::BTreeSet;
+
+use asa_simnet::SimConfig;
+use asa_storage::{run_harness, HarnessConfig, HarnessReport, Pid, RetryScheme, ServerOrdering};
+
+/// The full fault mix: lossy, duplicating, reordering network plus one
+/// peer crashing early and restarting later from its checkpoint.
+fn chaos_config(seed: u64) -> HarnessConfig {
+    HarnessConfig {
+        replication_factor: 4,
+        client_updates: vec![
+            vec![
+                Pid::of(b"chaos-a1"),
+                Pid::of(b"chaos-a2"),
+                Pid::of(b"chaos-a3"),
+            ],
+            vec![
+                Pid::of(b"chaos-b1"),
+                Pid::of(b"chaos-b2"),
+                Pid::of(b"chaos-b3"),
+            ],
+        ],
+        retry: RetryScheme::Exponential {
+            base: 200,
+            max: 5_000,
+        },
+        ordering: ServerOrdering::Random,
+        checkpoint_every: 500,
+        crashes: vec![(3, 5_000, 20_000)],
+        net: SimConfig {
+            seed,
+            min_delay: 1,
+            max_delay: 10,
+            drop_probability: 0.05,
+            duplicate_probability: 0.05,
+            reorder_probability: 0.2,
+            reorder_bound: 50,
+            ..SimConfig::default()
+        },
+        ..HarnessConfig::default()
+    }
+}
+
+/// The same campaign without message loss (duplication, reordering and
+/// the crash/restart schedule remain).
+fn lossless_chaos_config(seed: u64) -> HarnessConfig {
+    let mut config = chaos_config(seed);
+    config.net.drop_probability = 0.0;
+    config.net.duplicate_probability = 0.1;
+    config.net.reorder_probability = 0.3;
+    config
+}
+
+/// All submitted versions (the only things any honest history may hold).
+fn submitted(config: &HarnessConfig) -> BTreeSet<Pid> {
+    config.client_updates.iter().flatten().copied().collect()
+}
+
+/// Invariants that must hold under *any* fault mix.
+fn assert_core_invariants(seed: u64, config: &HarnessConfig, report: &HarnessReport) {
+    assert!(
+        report.all_committed,
+        "seed {seed}: not every update was confirmed: {:?}",
+        report.outcomes
+    );
+    let legal = submitted(config);
+    let correct = report.correct_histories();
+    for (peer, history) in correct.iter().enumerate() {
+        let unique: BTreeSet<&Pid> = history.iter().collect();
+        assert_eq!(
+            unique.len(),
+            history.len(),
+            "seed {seed}: peer {peer} recorded a version twice: {history:?}"
+        );
+        for pid in history.iter() {
+            assert!(
+                legal.contains(pid),
+                "seed {seed}: peer {peer} fabricated {pid:?}"
+            );
+        }
+    }
+    // A confirmed update was reported by f + 1 = 2 peers, each of which
+    // appended it durably (commits are checkpointed synchronously), so
+    // it must survive in at least 2 correct histories.
+    for pid in &legal {
+        let holders = correct.iter().filter(|h| h.contains(pid)).count();
+        assert!(
+            holders >= 2,
+            "seed {seed}: {pid:?} held by only {holders} correct peers: {:?}",
+            report.histories
+        );
+    }
+}
+
+/// The strong agreement properties, for runs where they are invariant.
+fn assert_agreement(seed: u64, report: &HarnessReport) {
+    assert!(
+        report.orders_agree_stable(),
+        "seed {seed}: stable peers diverge in order: {:?}",
+        report.histories
+    );
+    assert!(
+        report.sets_agree_stable(),
+        "seed {seed}: stable peers diverge in set: {:?}",
+        report.histories
+    );
+    assert!(
+        report.read_consistent(1).is_some(),
+        "seed {seed}: no f+1-consistent read answer: {:?}",
+        report.histories
+    );
+}
+
+fn run_chaos(seed: u64) -> (HarnessConfig, HarnessReport) {
+    let config = chaos_config(seed);
+    let report = run_harness(&config);
+    (config, report)
+}
+
+#[test]
+fn chaos_pinned_seed_0xc0ffee() {
+    let seed = 0xC0FFEE;
+    let (config, report) = run_chaos(seed);
+    assert_core_invariants(seed, &config, &report);
+    assert_agreement(seed, &report);
+    // The fault mix actually fired.
+    assert!(report.stats.dropped > 0, "seed {seed}: no drops injected");
+    assert!(report.stats.reordered > 0, "seed {seed}: no reorders");
+    assert_eq!(report.stats.crashes, 1);
+    assert_eq!(report.stats.restarts, 1);
+    assert_eq!(report.crashed, vec![false, false, false, true]);
+}
+
+#[test]
+fn chaos_pinned_seed_2007() {
+    let seed = 2007;
+    let (config, report) = run_chaos(seed);
+    assert_core_invariants(seed, &config, &report);
+    assert_agreement(seed, &report);
+    assert!(report.stats.duplicated > 0, "seed {seed}: no duplicates");
+}
+
+/// Duplication + reordering + crash/restart, no loss: every commit
+/// broadcast eventually lands, so on top of the core invariants the
+/// stable peers must agree on the recorded *set* for every seed.
+#[test]
+fn chaos_sweep_dup_reorder_crash() {
+    for seed in 1..=12 {
+        let config = lossless_chaos_config(seed);
+        let report = run_harness(&config);
+        assert_core_invariants(seed, &config, &report);
+        assert!(
+            report.sets_agree_stable(),
+            "seed {seed}: stable peers diverge in set without loss: {:?}",
+            report.histories
+        );
+    }
+}
+
+/// The full mix including 5% loss: core invariants only — a dropped
+/// commit broadcast is never retransmitted, so a correct peer can
+/// permanently miss an update another pair confirmed.
+#[test]
+fn chaos_sweep_lossy() {
+    for seed in 1..=12 {
+        let (config, report) = run_chaos(seed);
+        assert_core_invariants(seed, &config, &report);
+    }
+}
+
+#[test]
+fn chaos_is_seed_replayable() {
+    let (_, a) = run_chaos(42);
+    let (_, b) = run_chaos(42);
+    assert_eq!(a.histories, b.histories);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.end_time, b.end_time);
+}
+
+/// Without checkpointing the restarted peer recovers empty. Stable-peer
+/// agreement and the f+1 read bound must still hold — durability is a
+/// liveness aid for the crashed peer, not a safety precondition for the
+/// rest of the set.
+#[test]
+fn crash_without_checkpoint_keeps_stable_peers_safe() {
+    let seed = 7;
+    let mut config = chaos_config(seed);
+    config.checkpoint_every = 0;
+    let report = run_harness(&config);
+    assert!(
+        report.orders_agree_stable(),
+        "seed {seed}: stable peers diverge: {:?}",
+        report.histories
+    );
+    assert!(report.sets_agree_stable(), "seed {seed}");
+    assert!(
+        report.read_consistent(1).is_some(),
+        "seed {seed}: no consistent read: {:?}",
+        report.histories
+    );
+}
+
+/// A checkpointed restart preserves the peer's pre-crash commits: the
+/// recovered history holds only versions the stable set also committed,
+/// nothing fabricated.
+#[test]
+fn restarted_peer_recovers_its_checkpointed_history() {
+    let seed = 0xC0FFEE;
+    let (config, report) = run_chaos(seed);
+    let legal = submitted(&config);
+    let restarted = &report.histories[3];
+    for pid in restarted {
+        assert!(legal.contains(pid), "seed {seed}: fabricated {pid:?}");
+    }
+    let stable = report.stable_histories();
+    let reference: BTreeSet<&Pid> = stable[0].iter().collect();
+    let recovered: BTreeSet<&Pid> = restarted.iter().collect();
+    assert!(
+        recovered.is_subset(&reference),
+        "seed {seed}: restarted peer holds versions the stable set never \
+         committed: {restarted:?} vs {:?}",
+        stable[0]
+    );
+}

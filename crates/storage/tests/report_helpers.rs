@@ -4,10 +4,12 @@ use asa_simnet::SimStats;
 use asa_storage::{HarnessReport, PeerBehaviour, Pid};
 
 fn report(histories: Vec<Vec<Pid>>, behaviours: Vec<PeerBehaviour>) -> HarnessReport {
+    let crashed = vec![false; histories.len()];
     HarnessReport {
         histories,
         behaviours,
         outcomes: vec![],
+        crashed,
         all_committed: true,
         stats: SimStats::default(),
         end_time: 0,
@@ -96,18 +98,38 @@ fn total_retries_sums_extra_attempts() {
                 pid: p("a"),
                 attempts: 1,
                 latency: 10,
+                committed: true,
             },
             UpdateOutcome {
                 pid: p("b"),
                 attempts: 3,
                 latency: 50,
+                committed: true,
             },
         ],
         vec![UpdateOutcome {
             pid: p("c"),
             attempts: 2,
             latency: 20,
+            committed: true,
         }],
     ];
     assert_eq!(r.total_retries(), 3); // (1-1) + (3-1) + (2-1)
+}
+
+#[test]
+fn stable_helpers_ignore_crashed_peers() {
+    let mut r = report(
+        vec![
+            vec![p("a"), p("b")],
+            vec![p("a"), p("b")],
+            vec![p("a")], // restarted peer lagging behind its checkpoint
+        ],
+        vec![PeerBehaviour::Correct; 3],
+    );
+    r.crashed = vec![false, false, true];
+    assert!(!r.orders_agree(), "full agreement sees the lagging peer");
+    assert!(r.orders_agree_stable());
+    assert!(r.sets_agree_stable());
+    assert_eq!(r.stable_histories().len(), 2);
 }

@@ -1,0 +1,105 @@
+//! Crash-safe sessions: snapshot a live runtime pool, "crash" it, and
+//! restore every session — states, registers and generational handles
+//! all intact — validated against the engine's behavioural fingerprint,
+//! with the recovery layer re-arming its own timeout policy.
+//!
+//! ```text
+//! cargo run --release --example crash_recovery
+//! ```
+//!
+//! The walkthrough mirrors what `asa-storage`'s `CommitPeer` does under
+//! the chaos campaign (see `crates/storage/tests/chaos.rs`): checkpoint
+//! periodically, lose everything volatile, recover from the checkpoint
+//! alone and finish the protocol as if nothing happened.
+
+use stategen::commit::{CommitConfig, CommitModel};
+use stategen::runtime::{Engine, Runtime, Spec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Compile the r=4 commit machine once; the engine's behavioural
+    // fingerprint (flat-IR hash + parameter fold) is what makes a
+    // snapshot portable: restore succeeds only into an engine that
+    // would replay it identically.
+    let config = CommitConfig::new(4)?;
+    let model = CommitModel::new(config);
+    let engine = Engine::compile(Spec::generated(&model)?)?;
+    println!("engine `{}` on the {} tier", engine.name(), engine.tier());
+
+    // A pool with three in-flight attempts at different protocol
+    // phases, plus an armed timeout on the laggard.
+    let mut rt = engine.runtime();
+    let update = rt.message_id("update").expect("commit alphabet");
+    let vote = rt.message_id("vote").expect("commit alphabet");
+    let commit = rt.message_id("commit").expect("commit alphabet");
+
+    let fresh = rt.spawn(); // still in the start state
+    let voting = rt.spawn(); // mid-protocol
+    let committing = rt.spawn(); // one message from finishing
+
+    rt.deliver(voting, update);
+    rt.deliver(voting, vote);
+    for m in [update, vote, vote, commit] {
+        rt.deliver(committing, m);
+    }
+    rt.arm_timeout(fresh, 500); // retry deadline for the laggard
+    println!(
+        "before crash: fresh={} voting={} committing={} ({} timeout armed)",
+        rt.state_name(fresh),
+        rt.state_name(voting),
+        rt.state_name(committing),
+        rt.pending_timeouts(),
+    );
+
+    // Checkpoint: one value captures the whole pool. In a deployment
+    // this is what goes to the durable store.
+    let checkpoint = rt.snapshot_all();
+
+    // Crash: drop the runtime. Everything volatile is gone; only the
+    // engine (code) and the checkpoint (data) survive.
+    drop(rt);
+
+    // Recovery: restore validates the checkpoint's fingerprint against
+    // the engine and rebuilds the pool bit-identically. The *old*
+    // generational handles keep working because generations are part of
+    // the snapshot.
+    let mut recovered = Runtime::restore(&engine, &checkpoint)?;
+    assert_eq!(recovered.snapshot_all(), checkpoint, "bit-identical");
+    // Timer deadlines are deployment policy, not machine state, so the
+    // snapshot does not carry them: the recovery layer re-arms what it
+    // still needs (exactly how `CommitPeer::on_restart` re-arms its GC
+    // deadlines for unfinished attempts).
+    assert_eq!(recovered.pending_timeouts(), 0);
+    recovered.arm_timeout(fresh, 500);
+    println!(
+        "after restore: fresh={} voting={} committing={} ({} timeout re-armed)",
+        recovered.state_name(fresh),
+        recovered.state_name(voting),
+        recovered.state_name(committing),
+        recovered.pending_timeouts(),
+    );
+
+    // A snapshot only restores into a behaviourally identical engine:
+    // the r=5 machine is rejected, not silently mis-restored.
+    let other = Engine::compile(Spec::generated(&CommitModel::new(CommitConfig::new(5)?))?)?;
+    assert!(Runtime::restore(&other, &checkpoint).is_err());
+    println!("restore into the r=5 engine: rejected (fingerprint mismatch)");
+
+    // Finish the protocol on the recovered pool. The armed timeout
+    // fires through the timer wheel as an ordinary transition.
+    recovered.deliver(committing, commit);
+    assert!(recovered.is_finished(committing));
+    let fired = recovered.advance_time(1_000, update);
+    assert_eq!(fired, 1, "the laggard's timeout fired as an `update`");
+    for m in [vote, vote, commit, commit] {
+        recovered.deliver(fresh, m);
+        recovered.deliver(voting, m);
+    }
+    // `voting` had already consumed update/vote before the crash, so
+    // replaying the tail past `finished` is absorbed, not an error.
+    assert!(recovered.is_finished(fresh) && recovered.is_finished(voting));
+    println!(
+        "recovered pool finished all {} sessions after the crash",
+        recovered.len()
+    );
+    Ok(())
+}

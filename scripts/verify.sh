@@ -25,8 +25,12 @@
 #    storage_throughput (end-to-end commit throughput on the
 #    EFSM-tier runtime-backed peers) — keeping the perf trajectory
 #    tracked on every PR;
-# 5. fails if the benchmark artefacts are missing required rows
-#    (including the runtime_facade rows).
+# 5. replays the chaos campaign's pinned seeds (loss + duplication +
+#    reordering + a peer crash/restart recovering from its checkpoint,
+#    full agreement asserted) so the crash-safety guarantees are
+#    exercised on every verification run, not just in CI roulette;
+# 6. fails if the benchmark artefacts are missing required rows
+#    (including the runtime_facade rows and the storage_faulted row).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,6 +55,9 @@ cargo run --release -p repro-bench --bin engine_tiers
 echo "== storage_throughput (regenerates BENCH_storage.json) =="
 cargo run --release -p repro-bench --bin storage_throughput
 
+echo "== chaos campaign: pinned-seed replay (crash/restart + full agreement) =="
+cargo test -q --release -p asa-storage --test chaos chaos_pinned_seed
+
 echo "== benchmark artefact checks =="
 for row in interpreted_name compiled hsm_flattened hsm_guarded_flattened \
            batched_pool efsm_compiled \
@@ -63,5 +70,7 @@ for r in 4 7 10; do
     grep -q "\"replication_factor\": $r" BENCH_storage.json \
         || { echo "BENCH_storage.json is missing the r=$r run" >&2; exit 1; }
 done
+grep -q '"storage_faulted"' BENCH_storage.json \
+    || { echo "BENCH_storage.json is missing the storage_faulted row" >&2; exit 1; }
 
 echo "verify.sh: all green"
