@@ -38,6 +38,13 @@
 //! batch for the scoped rows, per measurement pass for the persistent
 //! parked-worker row — allocates by design, amortised over tens of
 //! thousands of sessions per batch).
+//!
+//! The deployment path gets its own rows: `artifact_cold_load` times
+//! the full ship-and-boot cycle (encode to the versioned artifact
+//! image, load through the paranoid loader, build the engine, first
+//! delivery — ns per cold boot, allocations included by nature), and
+//! `artifact_booted_pool` hard-asserts that an artifact-booted engine's
+//! steady state is allocation-free like every other compiled row.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -51,7 +58,7 @@ use stategen_commit::{
 use stategen_core::{generate, CompiledEfsm, CompiledMachine, FsmInstance, ProtocolEngine};
 use stategen_generated::GeneratedCommitR4;
 use stategen_models::{session_lifecycle, session_lifecycle_guarded};
-use stategen_runtime::{Engine, Spec};
+use stategen_runtime::{Artifact, Engine, Spec};
 
 /// System allocator wrapped with an allocation counter, so the harness
 /// can assert which tiers allocate on the delivery path.
@@ -365,6 +372,55 @@ fn main() {
         }
         transitions
     }));
+
+    // Tier 7b: the deployment path. `artifact_cold_load` measures the
+    // full ship-and-boot cycle — encode the bound commit EFSM to its
+    // versioned artifact image (`save`), run the image back through the
+    // paranoid loader (section checksums, structural validation,
+    // content fingerprint, canonical re-encoding), build the engine
+    // from the loaded bytes alone, and deliver a first message — the
+    // work between an image arriving on a serving host and its first
+    // served event, reported as ns per cold boot. `artifact_booted_pool`
+    // then serves the canonical trace from an artifact-booted engine
+    // and hard-asserts the deployment guarantee: once loaded, the
+    // steady state is exactly the compiled tier — zero allocations per
+    // delivery.
+    let artifact = Artifact::from_efsm(&efsm, efsm_params.clone()).expect("binding arity");
+    let cold_boots = 512u64;
+    results.push(measure("artifact_cold_load", cold_boots, false, || {
+        let mut actions = 0;
+        for _ in 0..cold_boots {
+            let image = artifact.save();
+            let loaded = Artifact::load(&image).expect("canonical image");
+            let engine = Engine::from_artifact(&loaded).expect("artifact boots");
+            let mut rt = engine.runtime();
+            let session = rt.spawn();
+            let first = engine.message_id(TRACE[0]).expect("valid message");
+            actions += rt.deliver(session, first).len() as u64;
+        }
+        actions
+    }));
+    {
+        let image = artifact.save();
+        let booted = Engine::from_artifact(&Artifact::load(&image).expect("canonical image"))
+            .expect("artifact boots");
+        let mut booted_pool = booted.runtime_with(POOL_SESSIONS);
+        results.push(measure(
+            "artifact_booted_pool",
+            pool_deliveries,
+            true,
+            || {
+                let mut transitions = 0;
+                for _ in 0..pool_rounds {
+                    for &id in &efsm_ids {
+                        transitions += booted_pool.deliver_all(id);
+                    }
+                    booted_pool.reset_all();
+                }
+                transitions
+            },
+        ));
+    }
 
     // Tiers 8–10: sharded multi-core batch stepping over 64k sessions,
     // one worker thread per shard. Shard results are bit-identical to a

@@ -311,9 +311,178 @@ impl fmt::Display for HsmError {
 
 impl Error for HsmError {}
 
+/// An error rejecting a deployable machine artifact (see
+/// [`crate::artifact::Artifact::load`]).
+///
+/// The loader treats its input as hostile: every count, offset, index
+/// and checksum is validated before any derived structure is built, and
+/// the error names what failed and where so a corrupt fleet rollout can
+/// be diagnosed from the rejection alone. Marked `#[non_exhaustive]`:
+/// future format revisions may reject in new ways.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The bytes do not begin with the artifact magic (or are shorter
+    /// than a header) — not an artifact at all.
+    NotAnArtifact,
+    /// The artifact declares a format version this loader does not
+    /// implement. Version skew is rejected up front, never papered
+    /// over: re-save the machine with a matching toolchain.
+    UnsupportedVersion {
+        /// The format version the artifact declares.
+        found: u32,
+        /// The format version this loader implements.
+        supported: u32,
+    },
+    /// The input ended before a declared structure was complete
+    /// (truncation, or a length field inflated past the file).
+    Truncated {
+        /// The section being read.
+        section: &'static str,
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// A stored checksum does not match the bytes it covers (bit rot,
+    /// splicing, or tampering).
+    ChecksumMismatch {
+        /// The section whose checksum failed (`"file"` for the
+        /// whole-file footer checksum).
+        section: &'static str,
+    },
+    /// A field's value is structurally impossible: an index out of
+    /// range, an unknown tag, an over-large count, a non-UTF-8 string.
+    Malformed {
+        /// The section the field lives in.
+        section: &'static str,
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// The decoded machine does not hash to the content fingerprint the
+    /// footer declares — the payload and footer disagree about what
+    /// machine this is.
+    FingerprintMismatch {
+        /// Fingerprint declared by the footer.
+        declared: u64,
+        /// Fingerprint of the decoded machine.
+        actual: u64,
+    },
+    /// The bytes decode to a valid machine but are not the canonical
+    /// encoding of it ([`crate::artifact::Artifact::save`] is
+    /// deterministic; accepting non-canonical spellings would break
+    /// byte-identity re-save and content addressing).
+    NotCanonical,
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::NotAnArtifact => {
+                write!(f, "not a stategen artifact (bad magic or too short)")
+            }
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "artifact format version {found} is not supported (this loader implements \
+                     version {supported})"
+                )
+            }
+            ArtifactError::Truncated { section, offset } => {
+                write!(
+                    f,
+                    "artifact truncated in the {section} section (needed more bytes at offset \
+                     {offset})"
+                )
+            }
+            ArtifactError::ChecksumMismatch { section } => {
+                write!(f, "artifact {section} checksum mismatch")
+            }
+            ArtifactError::Malformed { section, detail } => {
+                write!(f, "malformed artifact {section} section: {detail}")
+            }
+            ArtifactError::FingerprintMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "artifact content fingerprint mismatch: footer declares {declared:#018x}, \
+                     decoded machine hashes to {actual:#018x}"
+                )
+            }
+            ArtifactError::NotCanonical => {
+                write!(
+                    f,
+                    "artifact bytes are not the canonical encoding of the machine they decode to"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ArtifactError {}
+
+/// An error from the runtime's drain-and-switch hot-swap state machine
+/// (`Runtime::begin_swap` / `finish_swap` / `abort_swap`).
+///
+/// Incompatibility is always rejected *before* any session moves, so a
+/// failed swap attempt leaves the runtime exactly as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SwapError {
+    /// A swap is already in progress; finish or abort it first.
+    AlreadyInProgress,
+    /// The incoming engine's message alphabet differs from the serving
+    /// engine's. During a drain both engines serve concurrently from
+    /// the same message ids, so the alphabets must be identical —
+    /// protocol revisions that change the alphabet deploy by draining
+    /// the whole runtime, not by hot-swap.
+    AlphabetMismatch {
+        /// Messages the serving engine declares.
+        serving: usize,
+        /// Messages the incoming engine declares.
+        incoming: usize,
+    },
+    /// The swap cannot complete yet: sessions are still live on the
+    /// outgoing engine.
+    Draining {
+        /// Sessions still live on the outgoing engine.
+        remaining: usize,
+    },
+    /// `finish_swap`/`abort_swap` was called with no swap in progress.
+    NotInProgress,
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::AlreadyInProgress => {
+                write!(
+                    f,
+                    "a hot-swap is already in progress; finish or abort it first"
+                )
+            }
+            SwapError::AlphabetMismatch { serving, incoming } => {
+                write!(
+                    f,
+                    "incoming engine's message alphabet ({incoming} message(s)) differs from \
+                     the serving engine's ({serving} message(s)); hot-swap requires identical \
+                     alphabets"
+                )
+            }
+            SwapError::Draining { remaining } => {
+                write!(
+                    f,
+                    "swap cannot complete: {remaining} session(s) still live on the outgoing \
+                     engine"
+                )
+            }
+            SwapError::NotInProgress => write!(f, "no hot-swap is in progress"),
+        }
+    }
+}
+
+impl Error for SwapError {}
+
 /// The unified error of the whole toolkit, wrapping every stage-specific
 /// error (`SchemaError`, `GenerateError`, `CompileError`, `HsmError`,
-/// `InterpError`) behind one type.
+/// `InterpError`, `ArtifactError`, `SwapError`) behind one type.
 ///
 /// The staged APIs keep returning their precise error types; anything
 /// that spans stages — above all the `stategen-runtime` pipeline
@@ -375,6 +544,10 @@ pub enum StategenError {
         /// Fingerprint recorded in the snapshot.
         found: u64,
     },
+    /// A deployable machine artifact was rejected by the loader.
+    Artifact(ArtifactError),
+    /// A runtime hot-swap was rejected or cannot proceed.
+    Swap(SwapError),
 }
 
 impl fmt::Display for StategenError {
@@ -417,6 +590,8 @@ impl fmt::Display for StategenError {
                      machines"
                 )
             }
+            StategenError::Artifact(e) => write!(f, "artifact rejected: {e}"),
+            StategenError::Swap(e) => write!(f, "hot-swap failed: {e}"),
         }
     }
 }
@@ -429,6 +604,8 @@ impl Error for StategenError {
             StategenError::Compile(e) => Some(e),
             StategenError::Hsm(e) => Some(e),
             StategenError::Interp(e) => Some(e),
+            StategenError::Artifact(e) => Some(e),
+            StategenError::Swap(e) => Some(e),
             _ => None,
         }
     }
@@ -461,6 +638,18 @@ impl From<HsmError> for StategenError {
 impl From<InterpError> for StategenError {
     fn from(e: InterpError) -> Self {
         StategenError::Interp(e)
+    }
+}
+
+impl From<ArtifactError> for StategenError {
+    fn from(e: ArtifactError) -> Self {
+        StategenError::Artifact(e)
+    }
+}
+
+impl From<SwapError> for StategenError {
+    fn from(e: SwapError) -> Self {
+        StategenError::Swap(e)
     }
 }
 

@@ -1,0 +1,129 @@
+//! The toolkit's one checksum/fingerprint definition: FNV-1a over a
+//! canonical word stream.
+//!
+//! Three consumers share it, so behavioural identity means the same
+//! thing everywhere:
+//!
+//! * [`FlatIr::fingerprint`](crate::FlatIr::fingerprint) hashes the
+//!   lowered IR through [`Fnv64`]'s word-stream methods;
+//! * `stategen_runtime::Engine` folds bound parameter values into that
+//!   hash with [`fold_params`] (the same EFSM bound to different
+//!   thresholds is a *different* behaviour), and hot-swap compatibility
+//!   checks compare the folded values;
+//! * the deployable-artifact format ([`crate::artifact`]) uses
+//!   [`fnv1a`] for its section and whole-file checksums and stores the
+//!   folded content fingerprint in its footer, so an artifact on disk
+//!   can be compared against a running engine before a swap is
+//!   attempted.
+
+/// FNV-1a over a canonical word stream. Length-prefixed encodings keep
+/// the stream prefix-free, so structurally different inputs cannot
+/// collide by concatenation.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+/// The FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(OFFSET_BASIS)
+    }
+
+    /// Absorbs raw bytes (no length prefix — use the typed methods for
+    /// prefix-free streams).
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorbs one word, little-endian.
+    pub fn u64(&mut self, word: u64) {
+        self.bytes(&word.to_le_bytes());
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Absorbs a length-prefixed list of length-prefixed strings.
+    pub fn strs(&mut self, strings: &[String]) {
+        self.u64(strings.len() as u64);
+        for s in strings {
+            self.str(s);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a of a byte slice in one call — the artifact format's section
+/// and whole-file checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.bytes(bytes);
+    h.finish()
+}
+
+/// Folds bound parameter values into an IR fingerprint: the same
+/// compiled EFSM bound to different thresholds is a *different*
+/// behaviour, so snapshots and hot-swaps must not cross bindings.
+/// Folding an empty binding is the identity, so unparameterised
+/// machines fingerprint the same whether or not a binding step ran.
+pub fn fold_params(mut fp: u64, params: &[i64]) -> u64 {
+    fp ^= (params.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &p in params {
+        fp = (fp ^ (p as u64)).wrapping_mul(PRIME);
+        fp = fp.rotate_left(29);
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_prefix_free() {
+        let mut a = Fnv64::new();
+        a.strs(&["ab".into()]);
+        let mut b = Fnv64::new();
+        b.strs(&["a".into(), "b".into()]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fold_params_distinguishes_bindings_and_fixes_empty() {
+        let fp = fnv1a(b"machine");
+        assert_eq!(fold_params(fp, &[]), fp);
+        assert_ne!(fold_params(fp, &[1]), fp);
+        assert_ne!(fold_params(fp, &[1]), fold_params(fp, &[2]));
+        assert_ne!(fold_params(fp, &[1, 2]), fold_params(fp, &[2, 1]));
+        assert_ne!(fold_params(fp, &[0]), fold_params(fp, &[0, 0]));
+    }
+}

@@ -40,61 +40,27 @@ use std::collections::HashMap;
 
 use crate::efsm::{Efsm, Guard, LinExpr, Operand, Update};
 use crate::error::InterpError;
+use crate::fingerprint::Fnv64;
 use crate::interp::ProtocolEngine;
 use crate::machine::{Action, MessageId, StateMachine, StateMachineBuilder, StateRole};
 
-/// FNV-1a over a canonical word stream — the [`FlatIr::fingerprint`]
-/// hasher. Length-prefixed encodings keep the stream prefix-free, so
-/// structurally different IRs cannot collide by concatenation.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn u64(&mut self, word: u64) {
-        for byte in word.to_le_bytes() {
-            self.0 ^= u64::from(byte);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn str(&mut self, s: &str) {
-        self.u64(s.len() as u64);
-        for byte in s.bytes() {
-            self.0 ^= u64::from(byte);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn strs(&mut self, strings: &[String]) {
-        self.u64(strings.len() as u64);
-        for s in strings {
-            self.str(s);
-        }
-    }
-
-    fn lin(&mut self, expr: &LinExpr) {
-        self.u64(expr.constant_part() as u64);
-        self.u64(expr.terms().len() as u64);
-        for &(coeff, operand) in expr.terms() {
-            self.u64(coeff as u64);
-            match operand {
-                Operand::Var(v) => {
-                    self.u64(0);
-                    self.u64(v.index() as u64);
-                }
-                Operand::Param(p) => {
-                    self.u64(1);
-                    self.u64(p.index() as u64);
-                }
+/// Absorbs a linear expression into the canonical fingerprint stream
+/// (also mirrored by the artifact format's expression encoding).
+fn hash_lin(h: &mut Fnv64, expr: &LinExpr) {
+    h.u64(expr.constant_part() as u64);
+    h.u64(expr.terms().len() as u64);
+    for &(coeff, operand) in expr.terms() {
+        h.u64(coeff as u64);
+        match operand {
+            Operand::Var(v) => {
+                h.u64(0);
+                h.u64(v.index() as u64);
+            }
+            Operand::Param(p) => {
+                h.u64(1);
+                h.u64(p.index() as u64);
             }
         }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 
@@ -264,7 +230,7 @@ impl FlatIr {
     /// registers are only meaningful relative to a behaviourally
     /// identical machine.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = Fnv::new();
+        let mut h = Fnv64::new();
         h.strs(&self.messages);
         h.strs(&self.params);
         h.strs(&self.variables);
@@ -277,9 +243,9 @@ impl FlatIr {
                 h.u64(u64::from(t.message));
                 h.u64(t.guard.conditions().len() as u64);
                 for cond in t.guard.conditions() {
-                    h.lin(&cond.lhs);
+                    hash_lin(&mut h, &cond.lhs);
                     h.u64(cond.op as u64);
-                    h.lin(&cond.rhs);
+                    hash_lin(&mut h, &cond.rhs);
                 }
                 h.u64(t.updates.len() as u64);
                 for update in &t.updates {
@@ -287,7 +253,7 @@ impl FlatIr {
                         Update::Set(var, expr) => {
                             h.u64(0);
                             h.u64(var.index() as u64);
-                            h.lin(expr);
+                            hash_lin(&mut h, expr);
                         }
                         Update::Inc(var) => {
                             h.u64(1);

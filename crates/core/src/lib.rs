@@ -37,6 +37,11 @@
 //!   *optional* guards/updates per transition, the one target every
 //!   front-end lowers onto and the one source both compiled tiers
 //!   consume (a plain FSM is the degenerate EFSM);
+//! * [`artifact`] — deployable machine artifacts: the versioned,
+//!   checksummed, canonical binary encoding of a lowered machine plus
+//!   its parameter binding, with a paranoid loader that survives
+//!   truncation, bit-flips, version skew and hostile bytes (byte layout
+//!   and trust model specified in `docs/ARTIFACT_FORMAT.md`);
 //! * [`validate_machine`] — structural validation of machines.
 //!
 //! ## Engine tiers
@@ -125,11 +130,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod compiled;
 pub mod component;
 pub mod efsm;
 pub mod efsm_compiled;
 pub mod error;
+pub mod fingerprint;
 pub mod generator;
 pub mod hsm;
 pub mod interp;
@@ -139,13 +146,16 @@ pub mod model;
 pub mod session;
 pub mod validate;
 
+pub use artifact::Artifact;
 pub use compiled::{CompiledInstance, CompiledMachine};
 pub use component::{ComponentKind, StateComponent, StateSpace, StateVector};
 pub use efsm::{Efsm, EfsmBuilder, EfsmInstance};
 pub use efsm_compiled::{CompiledEfsm, CompiledEfsmInstance, EfsmBinding};
 pub use error::{
-    CompileError, GenerateError, HsmError, InterpError, ParseNameError, SchemaError, StategenError,
+    ArtifactError, CompileError, GenerateError, HsmError, InterpError, ParseNameError, SchemaError,
+    StategenError, SwapError,
 };
+pub use fingerprint::{fnv1a, fold_params, Fnv64};
 pub use generator::{
     generate, generate_with, merge_equivalent_states, prune_unreachable, GenerateOptions,
     GeneratedMachine, GenerationReport, MergeStrategy, StageTimings,

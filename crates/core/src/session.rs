@@ -828,6 +828,14 @@ impl<P: BatchEngine> ShardedPool<P> {
         self.shards.len()
     }
 
+    /// Appends a shard at the end of the shard list (existing shard
+    /// indices — and any handles derived from them — stay valid). Used
+    /// by the `stategen-runtime` hot-swap machinery to add shards for
+    /// an incoming engine while existing shards drain.
+    pub fn push(&mut self, shard: P) {
+        self.shards.push(shard);
+    }
+
     /// Total sessions across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(P::session_count).sum()

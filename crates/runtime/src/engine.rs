@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use stategen_core::{
-    CompiledEfsm, CompiledMachine, EfsmBinding, FlatIr, MessageId, StateMachine, StategenError,
+    fold_params, Artifact, CompiledEfsm, CompiledMachine, EfsmBinding, FlatIr, MessageId,
+    StateMachine, StategenError,
 };
 
 use crate::runtime::Runtime;
@@ -95,18 +96,6 @@ pub struct Engine {
     /// they resolved onto — the validity criterion for restoring a
     /// [`RuntimeSnapshot`](crate::RuntimeSnapshot).
     fingerprint: u64,
-}
-
-/// Folds the bound parameter values into an IR fingerprint: the same
-/// compiled EFSM bound to different thresholds is a *different*
-/// behaviour, so snapshots must not cross bindings.
-fn fold_params(mut fp: u64, params: &[i64]) -> u64 {
-    fp ^= (params.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    for &p in params {
-        fp = (fp ^ (p as u64)).wrapping_mul(0x0000_0100_0000_01b3);
-        fp = fp.rotate_left(29);
-    }
-    fp
 }
 
 impl Engine {
@@ -204,6 +193,70 @@ impl Engine {
         }
     }
 
+    /// Compiles a deployable [`Artifact`] — typically just
+    /// [`Artifact::load`]ed from bytes shipped to this host — onto its
+    /// serving tier: guarded machines onto the fused-bytecode tier with
+    /// the artifact's parameter binding applied, unguarded ones onto the
+    /// dense table. This is the paper's deployment end game: the model
+    /// is generated and verified once, and a peer boots from the
+    /// artifact bytes alone — no model, no generator, no spec.
+    ///
+    /// The resulting engine's [`Engine::fingerprint`] equals
+    /// [`Artifact::fingerprint`], and equals the fingerprint of an
+    /// engine compiled in-process from the same spec — so snapshots,
+    /// hot-swap compatibility checks and operator tooling treat
+    /// artifact-loaded and spec-compiled engines interchangeably. (An
+    /// artifact lowered from a statechart reports [`Tier::Compiled`] /
+    /// [`Tier::CompiledEfsm`] rather than the `FlattenedHsm*` tiers:
+    /// the artifact records the lowered machine, not its front-end
+    /// provenance. Behaviour and fingerprint are identical.)
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::Compile`] if the artifact's IR cannot be lowered
+    /// (e.g. duplicate `(state, message)` transitions with identical
+    /// guards — possible, since artifacts are authored externally);
+    /// [`StategenError::ParamCountMismatch`] if the binding arity
+    /// disagrees with the compiled machine.
+    pub fn from_artifact(artifact: &Artifact) -> Result<Engine, StategenError> {
+        let ir = artifact.ir();
+        let params = artifact.params();
+        let fingerprint = artifact.fingerprint();
+        let name = ir.name().to_string();
+        if ir.is_guarded() {
+            let compiled = CompiledEfsm::compile_ir(ir)?;
+            if params.len() != compiled.param_count() {
+                return Err(StategenError::ParamCountMismatch {
+                    expected: compiled.param_count(),
+                    found: params.len(),
+                });
+            }
+            let binding = Arc::new(compiled.bind(params));
+            Ok(Engine {
+                kind: EngineKind::Efsm {
+                    machine: Arc::new(compiled),
+                    binding,
+                },
+                tier: Tier::CompiledEfsm,
+                name,
+                fingerprint,
+            })
+        } else {
+            if !params.is_empty() {
+                return Err(StategenError::ParamCountMismatch {
+                    expected: 0,
+                    found: params.len(),
+                });
+            }
+            Ok(Engine {
+                kind: EngineKind::Compiled(Arc::new(CompiledMachine::compile_ir(ir)?)),
+                tier: Tier::Compiled,
+                name,
+                fingerprint,
+            })
+        }
+    }
+
     /// Resolves a spec onto the no-preparation tier: flat machines (and
     /// flattened statecharts) are walked directly instead of being
     /// compiled into dense tables. Use while authoring or debugging a
@@ -274,10 +327,22 @@ impl Engine {
     }
 
     /// The engine's behavioural fingerprint: a hash of the lowered IR
-    /// with the bound parameter values folded in. Two engines with equal
-    /// fingerprints are behaviourally identical regardless of tier, so a
+    /// with the bound parameter values folded in
+    /// ([`FlatIr::fingerprint`] + [`fold_params`] — one definition in
+    /// `stategen_core::fingerprint`, shared with the artifact format).
+    /// Two engines with equal fingerprints are behaviourally identical
+    /// regardless of tier or provenance, so a
     /// [`RuntimeSnapshot`](crate::RuntimeSnapshot) taken under one can
     /// be restored under the other.
+    ///
+    /// Operators use this to compare a *running* engine against an
+    /// artifact *on disk* before attempting a rollout: an
+    /// [`Artifact::fingerprint`] (also stored in the artifact's footer,
+    /// so it can be read without compiling anything) equal to the
+    /// serving engine's means [`Runtime::begin_swap`] will migrate every
+    /// live session in place instead of draining — and a snapshot taken
+    /// under this engine restores into an engine loaded from that
+    /// artifact, and vice versa.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }

@@ -90,8 +90,31 @@
 //!
 //!   **Not captured:** armed timeouts (the wheel is volatile
 //!   coordination state — re-arm after restore from your own durable
-//!   bookkeeping) and the engine itself (recompile from the spec; the
-//!   fingerprint check catches a divergent recompile).
+//!   bookkeeping) and the engine itself (recompile from the spec or
+//!   reload its artifact; the fingerprint check catches a divergent
+//!   recompile).
+//!
+//! ## Deployment: artifacts and hot-swap
+//!
+//! The paper's end game is shipping the verified machine to a fleet.
+//! [`Artifact`] is the deployable form — a
+//! versioned, checksummed, canonical binary encoding of the lowered IR
+//! plus its parameter binding (byte layout and trust model in
+//! `docs/ARTIFACT_FORMAT.md`) — and [`Engine::from_artifact`] boots an
+//! engine from loaded bytes alone: no model, no generator, no spec on
+//! the serving host, zero allocations per delivered message once
+//! loaded. [`Engine::fingerprint`] equals the artifact's stored
+//! fingerprint, so operators compare a running engine against bytes on
+//! disk before rolling anything out.
+//!
+//! Version rollout on a *live* runtime is
+//! [`Runtime::begin_swap`]: behaviourally identical engines migrate
+//! every session in place (handles stay valid); behaviourally different
+//! ones drain-and-switch — new spawns land on the incoming engine,
+//! in-flight sessions finish on the outgoing one, and
+//! [`Runtime::finish_swap`] / [`Runtime::abort_swap`] complete or roll
+//! back the switch. Incompatible engines (different message alphabets)
+//! are rejected before any session moves.
 //!
 //! * **Timeouts as transitions.** [`Runtime::arm_timeout`] /
 //!   [`Runtime::cancel_timeout`] maintain one deadline per session in
@@ -156,10 +179,14 @@ mod spec;
 mod timer;
 
 pub use engine::{Engine, Tier};
-pub use runtime::{Runtime, RuntimeSnapshot, Session, SessionId, SessionSnapshot, Shard, Workers};
+pub use runtime::{
+    Runtime, RuntimeSnapshot, Session, SessionId, SessionSnapshot, Shard, SwapOutcome, Workers,
+};
 pub use spec::Spec;
 pub use timer::TimerWheel;
 
 // The unified error and the trait vocabulary, re-exported so deployment
 // sites need only this crate.
-pub use stategen_core::{Action, MessageId, ProtocolEngine, StategenError};
+pub use stategen_core::{
+    Action, Artifact, ArtifactError, MessageId, ProtocolEngine, StategenError, SwapError,
+};

@@ -5,7 +5,7 @@ use std::cell::RefCell;
 
 use stategen_core::{
     Action, BatchEngine, CompiledEfsm, CompiledMachine, EfsmBinding, InterpError, MessageId,
-    ParkedWorkers, ProtocolEngine, ShardedPool, StateRole, StategenError,
+    ParkedWorkers, ProtocolEngine, ShardedPool, StateRole, StategenError, SwapError,
 };
 
 use crate::engine::{Engine, EngineKind};
@@ -477,6 +477,30 @@ impl Shard {
         finished.dirty = true;
         shard
     }
+
+    /// Re-targets a shard with no live sessions at a different engine.
+    /// Slot count, generation counters, free list and step counter are
+    /// preserved — outstanding stale handles stay stale and recycled
+    /// slots keep their generation history, so no handle minted under
+    /// the old engine can ever silently address a session spawned under
+    /// the new one — while the register file and scratch are rebuilt
+    /// for the new machine (safe precisely because no slot is live).
+    fn rekind_empty(&mut self, kind: EngineKind) {
+        debug_assert_eq!(self.live(), 0, "rekind_empty on a shard with live sessions");
+        let (n_regs, scratch) = match &kind {
+            EngineKind::Efsm { machine, .. } => {
+                (machine.reg_count(), vec![0; machine.scratch_len()])
+            }
+            _ => (0, Vec::new()),
+        };
+        self.kind = kind;
+        self.n_regs = n_regs;
+        self.scratch = scratch;
+        self.vars = vec![0; self.current.len() * n_regs];
+        let finished = self.finished.get_mut();
+        finished.clear_all();
+        finished.grow_for(self.current.len());
+    }
 }
 
 impl BatchEngine for Shard {
@@ -686,6 +710,44 @@ impl RuntimeSnapshot {
     }
 }
 
+/// The result of [`Runtime::begin_swap`]: how the runtime moved (or is
+/// moving) to the incoming engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapOutcome {
+    /// The incoming engine is behaviourally identical to the serving
+    /// one ([`Engine::fingerprint`] matched), so every live session was
+    /// migrated in place via snapshot/restore. The swap is complete;
+    /// every outstanding [`SessionId`] remains valid.
+    Migrated {
+        /// Sessions migrated onto the incoming engine.
+        sessions: usize,
+    },
+    /// No session was live, so every shard was re-targeted at the
+    /// incoming engine immediately. The swap is complete.
+    Completed,
+    /// The runtime is draining: new spawns land on the incoming engine,
+    /// sessions on the outgoing engine keep being served until they are
+    /// released, and [`Runtime::finish_swap`] completes the switch once
+    /// [`Runtime::draining_sessions`] reaches zero.
+    Draining {
+        /// Sessions still live on the outgoing engine.
+        sessions: usize,
+    },
+}
+
+/// An in-progress drain-and-switch (see [`Runtime::begin_swap`]).
+#[derive(Debug)]
+struct PendingSwap {
+    /// The engine being swapped in.
+    engine: Engine,
+    /// Shard indices still serving the outgoing engine until their
+    /// sessions are released.
+    draining: Vec<usize>,
+    /// Shard indices serving the incoming engine (the only spawn
+    /// targets while the swap is in progress).
+    incoming: Vec<usize>,
+}
+
 /// The serving facade: a pool of concurrent protocol sessions over one
 /// owned [`Engine`], with one vocabulary across every execution tier.
 ///
@@ -701,7 +763,15 @@ impl RuntimeSnapshot {
 /// * introspection — [`state_name`](Runtime::state_name),
 ///   [`is_finished`](Runtime::is_finished), [`vars`](Runtime::vars),
 ///   [`finished_count`](Runtime::finished_count), … — is uniform and
-///   allocation-free.
+///   allocation-free;
+/// * [`begin_swap`](Runtime::begin_swap) /
+///   [`finish_swap`](Runtime::finish_swap) /
+///   [`abort_swap`](Runtime::abort_swap) roll a *live* runtime onto a
+///   new engine — typically loaded from a deployable
+///   [`Artifact`](stategen_core::Artifact) — migrating sessions in
+///   place when the behavioural fingerprint matches and
+///   drain-and-switching otherwise, with incompatible engines rejected
+///   before any session moves.
 ///
 /// Sharding is configuration: [`sharded(k)`](Runtime::sharded)
 /// partitions future sessions across `k` shards, and batch deliveries
@@ -719,6 +789,8 @@ pub struct Runtime {
     timers: TimerWheel<SessionId>,
     /// Reused buffer for expired timers in [`Runtime::advance_time`].
     expired_scratch: Vec<SessionId>,
+    /// An in-progress drain-and-switch (see [`Runtime::begin_swap`]).
+    pending: Option<PendingSwap>,
 }
 
 impl Runtime {
@@ -730,6 +802,7 @@ impl Runtime {
             pool,
             timers: TimerWheel::new(),
             expired_scratch: Vec::new(),
+            pending: None,
         }
     }
 
@@ -756,6 +829,7 @@ impl Runtime {
             pool,
             timers: TimerWheel::new(),
             expired_scratch: Vec::new(),
+            pending: None,
         }
     }
 
@@ -779,11 +853,22 @@ impl Runtime {
     /// free, else growing the least-loaded shard) and returns its
     /// handle. Amortised O(1); the only runtime operation that may
     /// allocate, and never per-event.
+    ///
+    /// While a hot-swap is draining (see [`Runtime::begin_swap`]), new
+    /// sessions land only on shards serving the *incoming* engine.
     pub fn spawn(&mut self) -> SessionId {
         let shards = self.pool.shards_mut();
-        let shard = (0..shards.len())
-            .min_by_key(|&i| shards[i].live())
-            .expect("runtime has at least one shard");
+        let shard = match &self.pending {
+            Some(p) => p
+                .incoming
+                .iter()
+                .copied()
+                .min_by_key(|&i| shards[i].live())
+                .expect("a draining swap has at least one incoming shard"),
+            None => (0..shards.len())
+                .min_by_key(|&i| shards[i].live())
+                .expect("runtime has at least one shard"),
+        };
         let (slot, generation) = shards[shard].spawn_slot();
         SessionId {
             shard: shard as u32,
@@ -792,8 +877,17 @@ impl Runtime {
         }
     }
 
-    /// Starts `count` fresh executions, balanced across shards.
+    /// Starts `count` fresh executions, balanced across shards (only
+    /// the incoming engine's shards while a hot-swap is draining).
     pub fn spawn_many(&mut self, count: usize) {
+        if self.pending.is_some() {
+            // Mid-swap spawns are rare and restricted to the incoming
+            // shards; route each through the swap-aware single path.
+            for _ in 0..count {
+                self.spawn();
+            }
+            return;
+        }
         // Spawn shard-by-shard to keep balancing O(shards), not
         // O(count × shards).
         let shards = self.pool.shards_mut();
@@ -1115,7 +1209,18 @@ impl Runtime {
     /// engine's fingerprint. Restore with [`Runtime::restore`].
     ///
     /// Armed timeouts are not captured (see [`RuntimeSnapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics while a hot-swap is draining: a mixed-engine pool has no
+    /// single fingerprint to restore under. Finish or abort the swap
+    /// first (crash recovery composes with hot-swap by restoring the
+    /// last pre-swap checkpoint and re-attempting the rollout).
     pub fn snapshot_all(&self) -> RuntimeSnapshot {
+        assert!(
+            self.pending.is_none(),
+            "cannot snapshot during a draining hot-swap; finish or abort it first"
+        );
         RuntimeSnapshot {
             fingerprint: self.engine.fingerprint(),
             shards: self.pool.shards().iter().map(Shard::snapshot).collect(),
@@ -1162,7 +1267,195 @@ impl Runtime {
             pool: ShardedPool::new(shards),
             timers: TimerWheel::new(),
             expired_scratch: Vec::new(),
+            pending: None,
         })
+    }
+
+    /// Begins a drain-and-switch hot-swap to `incoming` — the live
+    /// half of a fleet protocol-version rollout: load the new version's
+    /// [`Artifact`](stategen_core::Artifact) into an
+    /// [`Engine`](Engine::from_artifact), then swap it in without
+    /// dropping in-flight sessions.
+    ///
+    /// Three outcomes, decided *before any session moves*:
+    ///
+    /// * **Migrated** — `incoming` has the same behavioural fingerprint
+    ///   as the serving engine (same machine, any tier/provenance):
+    ///   every live session is migrated in place via snapshot/restore,
+    ///   all handles stay valid, and the swap completes immediately.
+    /// * **Completed** — different behaviour but no live sessions:
+    ///   every shard is re-targeted immediately.
+    /// * **Draining** — different behaviour with live sessions: those
+    ///   sessions keep being served by the outgoing engine until
+    ///   [`release`](Runtime::release)d, new spawns land on the
+    ///   incoming engine, and [`Runtime::finish_swap`] completes the
+    ///   switch once [`Runtime::draining_sessions`] reaches zero.
+    ///   [`Runtime::abort_swap`] rolls back instead.
+    ///
+    /// An incompatible engine is rejected with the runtime untouched:
+    /// behaviourally different engines may only swap when their message
+    /// alphabets are identical, because both serve the same
+    /// [`MessageId`]s during the drain.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::AlreadyInProgress`] if a swap is draining;
+    /// [`SwapError::AlphabetMismatch`] if the alphabets differ (both
+    /// via [`StategenError::Swap`]).
+    pub fn begin_swap(&mut self, incoming: Engine) -> Result<SwapOutcome, StategenError> {
+        if self.pending.is_some() {
+            return Err(SwapError::AlreadyInProgress.into());
+        }
+        if incoming.fingerprint() == self.engine.fingerprint() {
+            // Behaviourally identical: migrate every session in place.
+            // State ids and registers are meaningful under the incoming
+            // engine by the fingerprint's definition, and Shard::restore
+            // re-validates them structurally.
+            let sessions = self.len();
+            for shard in self.pool.shards_mut() {
+                *shard = Shard::restore(incoming.kind.clone(), &shard.snapshot());
+            }
+            self.engine = incoming;
+            return Ok(SwapOutcome::Migrated { sessions });
+        }
+        if incoming.messages() != self.engine.messages() {
+            return Err(SwapError::AlphabetMismatch {
+                serving: self.engine.messages().len(),
+                incoming: incoming.messages().len(),
+            }
+            .into());
+        }
+        let mut draining = Vec::new();
+        let mut fresh = Vec::new();
+        for (i, shard) in self.pool.shards_mut().iter_mut().enumerate() {
+            if shard.live() == 0 {
+                shard.rekind_empty(incoming.kind.clone());
+                fresh.push(i);
+            } else {
+                draining.push(i);
+            }
+        }
+        if draining.is_empty() {
+            self.engine = incoming;
+            return Ok(SwapOutcome::Completed);
+        }
+        if fresh.is_empty() {
+            // Every shard is draining: append fresh shards for the
+            // incoming engine (matching the outgoing parallelism) so
+            // new spawns have somewhere to land. Appending never
+            // disturbs existing shard indices or handles.
+            for _ in 0..draining.len() {
+                fresh.push(self.pool.shard_count());
+                self.pool.push(Shard::new(incoming.kind.clone()));
+            }
+        }
+        let sessions = draining.iter().map(|&i| self.pool.shards()[i].live()).sum();
+        self.pending = Some(PendingSwap {
+            engine: incoming,
+            draining,
+            incoming: fresh,
+        });
+        Ok(SwapOutcome::Draining { sessions })
+    }
+
+    /// Completes a draining hot-swap: once every session on the
+    /// outgoing engine has been released, the drained shards are
+    /// re-targeted at the incoming engine (generation history intact,
+    /// so pre-swap handles stay loudly stale) and it becomes the
+    /// serving [`Runtime::engine`].
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::NotInProgress`] if no swap is draining;
+    /// [`SwapError::Draining`] (with the live count) if sessions still
+    /// hold the outgoing engine — note a *finished* session still
+    /// counts until it is [`release`](Runtime::release)d (both via
+    /// [`StategenError::Swap`]).
+    pub fn finish_swap(&mut self) -> Result<(), StategenError> {
+        let Some(pending) = &self.pending else {
+            return Err(SwapError::NotInProgress.into());
+        };
+        let remaining: usize = pending
+            .draining
+            .iter()
+            .map(|&i| self.pool.shards()[i].live())
+            .sum();
+        if remaining > 0 {
+            return Err(SwapError::Draining { remaining }.into());
+        }
+        let pending = self.pending.take().expect("checked above");
+        for &i in &pending.draining {
+            self.pool.shards_mut()[i].rekind_empty(pending.engine.kind.clone());
+        }
+        self.engine = pending.engine;
+        Ok(())
+    }
+
+    /// Rolls back a draining hot-swap: sessions spawned on the incoming
+    /// engine since [`Runtime::begin_swap`] are force-released (their
+    /// handles become stale and their timeouts are cancelled — the cost
+    /// of aborting a rollout), the incoming shards are re-targeted back
+    /// at the outgoing engine, and the runtime serves exactly the
+    /// engine it served before the swap began. Returns how many
+    /// incoming-engine sessions were dropped.
+    ///
+    /// Shards appended for the swap are kept (re-targeted, empty) —
+    /// never removed, so slot generations can never restart and collide
+    /// with handles minted during the aborted swap.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::NotInProgress`] (via [`StategenError::Swap`]) if no
+    /// swap is draining.
+    pub fn abort_swap(&mut self) -> Result<usize, StategenError> {
+        let Some(pending) = self.pending.take() else {
+            return Err(SwapError::NotInProgress.into());
+        };
+        let mut dropped = 0;
+        for &i in &pending.incoming {
+            let shard = &mut self.pool.shards_mut()[i];
+            for slot in 0..shard.current.len() {
+                if shard.current[slot] == RETIRED {
+                    continue;
+                }
+                let id = SessionId {
+                    shard: i as u32,
+                    slot: slot as u32,
+                    generation: shard.generations[slot],
+                };
+                shard.release_slot(id);
+                self.timers.cancel(&id);
+                dropped += 1;
+            }
+            self.pool.shards_mut()[i].rekind_empty(self.engine.kind.clone());
+        }
+        Ok(dropped)
+    }
+
+    /// `true` while a hot-swap is draining (between a
+    /// [`SwapOutcome::Draining`] and the matching
+    /// [`finish_swap`](Runtime::finish_swap) /
+    /// [`abort_swap`](Runtime::abort_swap)).
+    pub fn swap_in_progress(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Sessions still live on the outgoing engine of a draining
+    /// hot-swap (0 when no swap is in progress). The swap can
+    /// [`finish`](Runtime::finish_swap) once this reaches zero.
+    pub fn draining_sessions(&self) -> usize {
+        self.pending.as_ref().map_or(0, |p| {
+            p.draining
+                .iter()
+                .map(|&i| self.pool.shards()[i].live())
+                .sum()
+        })
+    }
+
+    /// The engine a draining hot-swap is switching to, if one is in
+    /// progress.
+    pub fn incoming_engine(&self) -> Option<&Engine> {
+        self.pending.as_ref().map(|p| &p.engine)
     }
 
     /// Arms (or moves) a timeout for one live session. When

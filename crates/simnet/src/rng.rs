@@ -91,6 +91,21 @@ impl SimRng {
     pub fn fork(&mut self) -> SimRng {
         SimRng::new(self.next_u64())
     }
+
+    /// Flips `flips` seeded random bits of `bytes` in place — the fault
+    /// hook deployment chaos campaigns use to model a binary artifact
+    /// image damaged in transit or on disk (the loader must reject it,
+    /// never panic). Deterministic per seed, like every other fault in
+    /// the simulator; a no-op on an empty slice.
+    pub fn corrupt(&mut self, bytes: &mut [u8], flips: usize) {
+        if bytes.is_empty() {
+            return;
+        }
+        for _ in 0..flips {
+            let i = self.below(bytes.len() as u64) as usize;
+            bytes[i] ^= 1 << self.below(8);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ use stategen_commit::{
     commit_efsm, commit_efsm_params, commit_efsm_state_flags, CommitConfig, CommitMessage,
 };
 use stategen_core::MessageId;
-use stategen_runtime::{Engine, Runtime, RuntimeSnapshot, SessionId, Spec, TimerWheel};
+use stategen_runtime::{Artifact, Engine, Runtime, RuntimeSnapshot, SessionId, TimerWheel};
 
 use crate::backoff::{RetryScheme, ServerOrdering};
 use crate::entities::Pid;
@@ -111,10 +111,15 @@ pub struct PeerEngine {
 }
 
 impl PeerEngine {
-    /// Compiles the commit EFSM bound to `config`'s thresholds and
-    /// resolves the per-state flags by EFSM state name. Dense state ids
-    /// are assigned in machine order, so the flags index by the
-    /// compiled state id.
+    /// Boots the commit engine *through its deployable artifact*: the
+    /// EFSM bound to `config`'s thresholds is encoded to the versioned
+    /// binary image ([`PeerEngine::artifact_image`]) and the engine is
+    /// built from the loaded bytes alone, exactly as a serving host in
+    /// the fleet would — so every harness, property and chaos run in
+    /// this crate exercises the artifact loader end to end. Per-state
+    /// flags are resolved by EFSM state name; dense state ids are
+    /// assigned in machine order, so the flags index by the compiled
+    /// state id.
     pub fn new(config: &CommitConfig) -> Self {
         let efsm = commit_efsm();
         let (has_chosen, commit_sent): (Vec<bool>, Vec<bool>) = efsm
@@ -122,8 +127,9 @@ impl PeerEngine {
             .iter()
             .map(|s| commit_efsm_state_flags(s.name()))
             .unzip();
-        let engine = Engine::compile(Spec::efsm(efsm, commit_efsm_params(config)))
-            .expect("commit EFSM compiles");
+        let image = PeerEngine::artifact_image(config);
+        let artifact = Artifact::load(&image).expect("freshly saved image is canonical");
+        let engine = Engine::from_artifact(&artifact).expect("commit artifact boots");
         // Indexed by enum discriminant (not `ALL` order), matching the
         // `message_id` lookup below.
         let resolve = |m: CommitMessage| {
@@ -146,6 +152,17 @@ impl PeerEngine {
     /// The owned compiled engine (e.g. for building further runtimes).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The deployable artifact image of the commit protocol bound to
+    /// `config`'s thresholds: the exact bytes a rollout coordinator
+    /// ships to the fleet. [`PeerEngine::new`] boots from these bytes;
+    /// the chaos campaigns corrupt and version-skew them to pin down
+    /// the loader's rejection behaviour.
+    pub fn artifact_image(config: &CommitConfig) -> Vec<u8> {
+        Artifact::from_efsm(&commit_efsm(), commit_efsm_params(config))
+            .expect("commit binding arity matches the EFSM's parameters")
+            .save()
     }
 
     /// The dense message id of a commit-protocol message (O(1), no

@@ -27,10 +27,16 @@
 #    tracked on every PR;
 # 5. replays the chaos campaign's pinned seeds (loss + duplication +
 #    reordering + a peer crash/restart recovering from its checkpoint,
-#    full agreement asserted) so the crash-safety guarantees are
-#    exercised on every verification run, not just in CI roulette;
+#    full agreement asserted), the artifact corruption campaign's
+#    pinned seeds (truncation at every prefix, every single-bit flip,
+#    seeded multi-bit flips and cross-artifact splices — the loader
+#    must reject, never panic) and the fleet-rollout campaign's pinned
+#    seeds (drain-and-switch hot-swap with mid-swap crash recovery),
+#    so the crash-safety and deployment guarantees are exercised on
+#    every verification run, not just in CI roulette;
 # 6. fails if the benchmark artefacts are missing required rows
-#    (including the runtime_facade rows and the storage_faulted row).
+#    (including the runtime_facade, artifact_cold_load and
+#    storage_faulted rows).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,9 +64,16 @@ cargo run --release -p repro-bench --bin storage_throughput
 echo "== chaos campaign: pinned-seed replay (crash/restart + full agreement) =="
 cargo test -q --release -p asa-storage --test chaos chaos_pinned_seed
 
+echo "== artifact corruption campaign: pinned-seed replay (loader rejects, never panics) =="
+cargo test -q --release -p stategen-core --test artifact_props artifact_corruption_pinned
+
+echo "== fleet-rollout campaign: pinned-seed replay (hot-swap + mid-swap crash recovery) =="
+cargo test -q --release -p asa-storage --test rollout rollout_pinned_seed
+
 echo "== benchmark artefact checks =="
 for row in interpreted_name compiled hsm_flattened hsm_guarded_flattened \
            batched_pool efsm_compiled \
+           artifact_cold_load artifact_booted_pool \
            sharded_pool_4 sharded_persistent_4 generated \
            runtime_facade runtime_facade_sharded_4; do
     grep -q "\"name\": \"$row\"" BENCH_engine_tiers.json \
