@@ -534,6 +534,37 @@ fn main() {
         ));
     }
 
+    // Tier 10c: the observability row. The same 64k-session batch work
+    // with the full telemetry stack live: per-shard counters (always
+    // compiled in), the batch-latency histogram, and a 256-event
+    // flight-recorder ring receiving every transition. 256 events is
+    // the deployment-shaped size: an 8 KiB ring rides in L1 next to
+    // the streaming state array, where a 1024-event (32 KiB) ring
+    // would evict it and bill pure cache misses to the recorder. The
+    // ring and histogram are sized once at attach, so steady state
+    // must stay allocation-free — hard-asserted like every
+    // single-shard compiled row; the paired gate below bounds the
+    // recording overhead.
+    {
+        let mut observed = facade_engine.runtime_with(SHARDED_SESSIONS);
+        observed.attach_recorder(256);
+        results.push(measure(
+            "runtime_observed",
+            sharded_deliveries,
+            true,
+            || {
+                let mut transitions = 0;
+                for _ in 0..sharded_rounds {
+                    for &id in &ids {
+                        transitions += observed.deliver_all(id);
+                    }
+                    observed.reset_all();
+                }
+                transitions
+            },
+        ));
+    }
+
     // Tier 11: build-time generated source (match over enum states,
     // static send lists).
     results.push(measure(
@@ -703,6 +734,48 @@ fn main() {
         "runtime facade dispatch is {facade_overhead:.3}x raw compiled dispatch \
          (gate: <= 1.10x, paired passes at 64k sessions)"
     );
+    // The observability gate: with a flight recorder attached — every
+    // transition written into the per-shard ring, every batch timed
+    // into the latency histogram — the same 64k-session work must stay
+    // within 25% of the unobserved facade, at zero steady-state
+    // allocations (asserted on the `runtime_observed` row above). Same
+    // paired-alternating-pass discipline as the facade gate: drift on
+    // this shared box hits both sides equally, and the best-of ratio
+    // isolates the real per-transition recording cost.
+    let observed_overhead = {
+        let batch_pass = |rt: &mut stategen_runtime::Runtime| {
+            let mut transitions = 0u64;
+            for _ in 0..sharded_rounds {
+                for &id in &ids {
+                    transitions += rt.deliver_all(id);
+                }
+                rt.reset_all();
+            }
+            transitions
+        };
+        let mut plain = facade_engine.runtime_with(SHARDED_SESSIONS);
+        let mut observed = facade_engine.runtime_with(SHARDED_SESSIONS);
+        observed.attach_recorder(256);
+        std::hint::black_box(batch_pass(&mut plain));
+        std::hint::black_box(batch_pass(&mut observed));
+        let mut plain_best = f64::INFINITY;
+        let mut observed_best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            std::hint::black_box(batch_pass(&mut plain));
+            plain_best = plain_best.min(start.elapsed().as_nanos() as f64);
+            let start = Instant::now();
+            std::hint::black_box(batch_pass(&mut observed));
+            observed_best = observed_best.min(start.elapsed().as_nanos() as f64);
+        }
+        observed_best / plain_best
+    };
+    println!("runtime_observed vs facade (paired): {observed_overhead:.3}x");
+    assert!(
+        observed_overhead <= 1.25,
+        "observed runtime dispatch is {observed_overhead:.3}x the unobserved facade \
+         (gate: <= 1.25x, paired passes at 64k sessions with a live flight recorder)"
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -738,6 +811,10 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"runtime_facade_vs_raw_compiled\": {facade_overhead:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"runtime_observed_vs_facade\": {observed_overhead:.3},"
     );
     let _ = writeln!(
         json,

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use asa_simnet::SimConfig;
-use asa_storage::{run_harness, HarnessConfig, Pid, RetryScheme, ServerOrdering};
+use asa_storage::{run_harness, HarnessConfig, LogHistogram, Pid, RetryScheme, ServerOrdering};
 
 /// Client endpoints submitting updates concurrently.
 const CLIENTS: usize = 6;
@@ -33,6 +33,9 @@ struct Row {
     commits_per_sec: f64,
     messages: u64,
     end_time: u64,
+    /// 99th-percentile commit latency in virtual ticks, from the
+    /// harness's merged per-client [`LogHistogram`].
+    commit_latency_p99: u64,
 }
 
 struct FaultedRow {
@@ -40,7 +43,12 @@ struct FaultedRow {
     all_committed: bool,
     retries: u32,
     commits_per_sec: f64,
-    mean_recovery_latency: f64,
+    /// Recovery-latency distribution (virtual ticks, over updates that
+    /// needed more than one attempt): a single mean hides the
+    /// retry-backoff tail, so the trajectory tracks p50/p99 from a
+    /// log-bucketed histogram.
+    recovery_latency_p50: u64,
+    recovery_latency_p99: u64,
     crashes: u64,
     restarts: u64,
 }
@@ -91,22 +99,17 @@ fn run_faulted() -> FaultedRow {
         .collect();
     // Recovery latency: virtual time from first submission to
     // confirmation for updates that hit a fault (needed > 1 attempt).
-    let recovered: Vec<u64> = confirmed
-        .iter()
-        .filter(|o| o.attempts > 1)
-        .map(|o| o.latency)
-        .collect();
-    let mean_recovery_latency = if recovered.is_empty() {
-        0.0
-    } else {
-        recovered.iter().sum::<u64>() as f64 / recovered.len() as f64
-    };
+    let mut recovery = LogHistogram::new();
+    for o in confirmed.iter().filter(|o| o.attempts > 1) {
+        recovery.record(o.latency);
+    }
     FaultedRow {
         commits: confirmed.len(),
         all_committed: report.all_committed,
         retries: report.total_retries(),
         commits_per_sec: confirmed.len() as f64 / wall.as_secs_f64(),
-        mean_recovery_latency,
+        recovery_latency_p50: recovery.p50(),
+        recovery_latency_p99: recovery.p99(),
         crashes: report.stats.crashes,
         restarts: report.stats.restarts,
     }
@@ -154,6 +157,7 @@ fn main() {
             commits_per_sec: commits as f64 / wall.as_secs_f64(),
             messages: report.stats.delivered,
             end_time: report.end_time,
+            commit_latency_p99: report.commit_latency.p99(),
         });
     }
 
@@ -162,19 +166,20 @@ fn main() {
          pool-backed peers"
     );
     println!(
-        "{:<4} {:>8} {:>10} {:>8} {:>14} {:>10} {:>12}",
-        "r", "commits", "complete", "retries", "commits/sec", "messages", "virtual end"
+        "{:<4} {:>8} {:>10} {:>8} {:>14} {:>10} {:>12} {:>10}",
+        "r", "commits", "complete", "retries", "commits/sec", "messages", "virtual end", "p99 lat"
     );
     for row in &rows {
         println!(
-            "{:<4} {:>8} {:>10} {:>8} {:>14.0} {:>10} {:>12}",
+            "{:<4} {:>8} {:>10} {:>8} {:>14.0} {:>10} {:>12} {:>10}",
             row.replication_factor,
             row.commits,
             row.all_committed,
             row.retries,
             row.commits_per_sec,
             row.messages,
-            row.end_time
+            row.end_time,
+            row.commit_latency_p99
         );
     }
 
@@ -193,7 +198,7 @@ fn main() {
             json,
             "    {{\"replication_factor\": {}, \"commits\": {}, \"all_committed\": {}, \
              \"retries\": {}, \"commits_per_sec\": {:.1}, \"messages_delivered\": {}, \
-             \"virtual_end_time\": {}}}{}",
+             \"virtual_end_time\": {}, \"commit_latency_p99\": {}}}{}",
             row.replication_factor,
             row.commits,
             row.all_committed,
@@ -201,6 +206,7 @@ fn main() {
             row.commits_per_sec,
             row.messages,
             row.end_time,
+            row.commit_latency_p99,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
@@ -210,23 +216,25 @@ fn main() {
     println!(
         "storage_faulted — fixed fault mix (loss 5%, dup 5%, reorder 20%, 1 crash/restart): \
          {} commits, complete {}, {} retries, {:.0} commits/sec, \
-         mean recovery latency {:.0} ticks",
+         recovery latency p50 {} / p99 {} ticks",
         faulted.commits,
         faulted.all_committed,
         faulted.retries,
         faulted.commits_per_sec,
-        faulted.mean_recovery_latency
+        faulted.recovery_latency_p50,
+        faulted.recovery_latency_p99
     );
     let _ = writeln!(
         json,
         "  \"storage_faulted\": {{\"commits\": {}, \"all_committed\": {}, \"retries\": {}, \
-         \"commits_per_sec\": {:.1}, \"mean_recovery_latency_ticks\": {:.1}, \
-         \"crashes\": {}, \"restarts\": {}}}",
+         \"commits_per_sec\": {:.1}, \"recovery_latency_p50_ticks\": {}, \
+         \"recovery_latency_p99_ticks\": {}, \"crashes\": {}, \"restarts\": {}}}",
         faulted.commits,
         faulted.all_committed,
         faulted.retries,
         faulted.commits_per_sec,
-        faulted.mean_recovery_latency,
+        faulted.recovery_latency_p50,
+        faulted.recovery_latency_p99,
         faulted.crashes,
         faulted.restarts
     );

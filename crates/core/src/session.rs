@@ -682,6 +682,14 @@ pub trait BatchEngine {
 
     /// Returns every session to the start state.
     fn reset_all(&mut self);
+
+    /// Accumulates this engine's telemetry counters into `into`.
+    ///
+    /// The default is a no-op: plain pools carry no counter block, and
+    /// engines that do (the `stategen-runtime` shard) override this so
+    /// [`ShardedPool::metrics`] can merge per-shard counters on read
+    /// without knowing the shard type.
+    fn merge_metrics(&self, _into: &mut stategen_telemetry::MetricsSnapshot) {}
 }
 
 impl BatchEngine for SessionPool<'_> {
@@ -859,6 +867,18 @@ impl<P: BatchEngine> ShardedPool<P> {
     /// Total transitions taken across all shards.
     pub fn steps(&self) -> u64 {
         self.shards.iter().map(P::steps).sum()
+    }
+
+    /// Merges every shard's telemetry counters into one snapshot (see
+    /// [`BatchEngine::merge_metrics`]). Shards are single-writer, so
+    /// this read-side merge needs no locks; pools without counters
+    /// contribute nothing.
+    pub fn metrics(&self) -> stategen_telemetry::MetricsSnapshot {
+        let mut merged = stategen_telemetry::MetricsSnapshot::default();
+        for shard in &self.shards {
+            shard.merge_metrics(&mut merged);
+        }
+        merged
     }
 
     /// Dense state id of a globally numbered session (shard blocks are

@@ -116,6 +116,31 @@
 //! back the switch. Incompatible engines (different message alphabets)
 //! are rejected before any session moves.
 //!
+//! ## Observability: metrics, histograms, flight recorder
+//!
+//! Telemetry is woven in at three costs (see `docs/OBSERVABILITY.md`):
+//!
+//! * **Counters — always on.** [`Runtime::metrics`] merges per-shard
+//!   and runtime-level relaxed atomic counters (deliveries,
+//!   transitions, guard fall-throughs, spawns, finished/aborted
+//!   releases, resets, timeouts, timer cascades, swaps, snapshots,
+//!   restores) into a plain [`MetricsSnapshot`], exportable as JSON.
+//!   One cache-local add per event; no configuration.
+//! * **Histograms — armed with the recorder.** Log-bucketed fixed-size
+//!   [`LogHistogram`]s (≤ 6.25 % relative error, no allocation after
+//!   construction) record per-[`deliver_all`](Runtime::deliver_all)
+//!   batch latency ([`Runtime::batch_latency`]) with
+//!   p50/p99/p999 extraction.
+//! * **Flight recorder — opt-in.** [`Runtime::attach_recorder`] gives
+//!   every shard a fixed-capacity ring of [`TransitionEvent`]s behind
+//!   a sealed observer hook whose no-op default is statically
+//!   dispatched — the unobserved batch loop compiles to exactly the
+//!   pre-telemetry walk. [`Runtime::dump_trace`] renders the rings as
+//!   a human-readable trace; [`Runtime::abort_swap`] captures one
+//!   automatically ([`Runtime::abort_dump`]). Attaching a recorder
+//!   never changes behaviour — delivered actions, states and
+//!   snapshots are bit-identical to an unobserved run.
+//!
 //! * **Timeouts as transitions.** [`Runtime::arm_timeout`] /
 //!   [`Runtime::cancel_timeout`] maintain one deadline per session in
 //!   a hashed hierarchical [`TimerWheel`] (O(1) arm/cancel);
@@ -184,6 +209,12 @@ pub use runtime::{
 };
 pub use spec::Spec;
 pub use timer::TimerWheel;
+
+// The telemetry vocabulary, re-exported so deployment sites need only
+// this crate to read metrics and traces.
+pub use stategen_telemetry::{
+    FlightRecorder, LogHistogram, MetricsSnapshot, NoopObserver, RuntimeObserver, TransitionEvent,
+};
 
 // The unified error and the trait vocabulary, re-exported so deployment
 // sites need only this crate.

@@ -2,10 +2,16 @@
 
 use std::borrow::Cow;
 use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::Instant;
 
 use stategen_core::{
     Action, BatchEngine, CompiledEfsm, CompiledMachine, EfsmBinding, InterpError, MessageId,
     ParkedWorkers, ProtocolEngine, ShardedPool, StateRole, StategenError, SwapError,
+};
+use stategen_telemetry::{
+    FlightRecorder, LogHistogram, MetricsSnapshot, NoopObserver, RuntimeCounters, RuntimeObserver,
+    ShardCounters, TransitionEvent,
 };
 
 use crate::engine::{Engine, EngineKind};
@@ -161,6 +167,25 @@ pub struct Shard {
     scratch: Vec<i64>,
     n_regs: usize,
     steps: u64,
+    /// Per-shard telemetry counters (single-writer, merged on read; see
+    /// [`stategen_telemetry::ShardCounters`]). Not part of snapshots —
+    /// counters describe this process's activity, not durable state.
+    counters: ShardCounters,
+    /// The shard's flight recorder, when one is attached (see
+    /// [`Runtime::attach_recorder`]). Taken out and re-seated around
+    /// batch delivery so the observer and the slot arrays borrow
+    /// disjointly.
+    recorder: Option<FlightRecorder>,
+    /// Pre-batch copy of `current`, kept only while a recorder is
+    /// attached: observed batches run the unobserved hot loop and then
+    /// *replay* the batch tail from this copy (see
+    /// [`Shard::replay_batch_tail`]). Never snapshotted.
+    replay_states: Vec<u32>,
+    /// Pre-batch copy of `vars` (EFSM tiers only), same lifecycle as
+    /// `replay_states`; the replay steps mutate it freely.
+    replay_vars: Vec<i64>,
+    /// Reverse-order staging for the replayed tail (≤ ring capacity).
+    replay_tail: Vec<TransitionEvent>,
 }
 
 impl Shard {
@@ -181,6 +206,11 @@ impl Shard {
             scratch,
             n_regs,
             steps: 0,
+            counters: ShardCounters::new(),
+            recorder: None,
+            replay_states: Vec::new(),
+            replay_vars: Vec::new(),
+            replay_tail: Vec::new(),
         }
     }
 
@@ -231,6 +261,7 @@ impl Shard {
                 finished.set(slot as usize);
             }
         }
+        self.counters.inc_spawns();
         (slot, self.generations[slot as usize])
     }
 
@@ -255,18 +286,39 @@ impl Shard {
         let Shard {
             kind,
             current,
+            generations,
             finished,
             vars,
             scratch,
             n_regs,
             steps,
+            counters,
+            recorder,
             ..
         } = self;
+        counters.add_deliveries(1);
+        // One closure records the transition for every tier arm; the
+        // recorder stamps the tick.
+        let mut observe = |from: u32, to: u32, actions: usize| {
+            if let Some(rec) = recorder {
+                rec.record(TransitionEvent {
+                    slot: slot as u32,
+                    generation: generations[slot],
+                    from,
+                    to,
+                    message: message.index() as u32,
+                    actions: actions as u32,
+                    tick: 0,
+                });
+            }
+        };
         match kind {
             EngineKind::Compiled(m) => match m.step(current[slot], message) {
                 Some((target, actions)) => {
+                    observe(current[slot], target, actions.len());
                     current[slot] = target;
                     *steps += 1;
+                    counters.add_transitions(1);
                     if m.is_finish_state(target) {
                         let finished = finished.get_mut();
                         if !finished.dirty {
@@ -281,8 +333,10 @@ impl Shard {
                 let regs = &mut vars[slot * *n_regs..][..*n_regs];
                 match machine.step(current[slot], message, binding, regs, scratch) {
                     Some((target, actions)) => {
+                        observe(current[slot], target, actions.len());
                         current[slot] = target;
                         *steps += 1;
+                        counters.add_transitions(1);
                         if machine.is_finish_state(target) {
                             let finished = finished.get_mut();
                             if !finished.dirty {
@@ -302,8 +356,10 @@ impl Shard {
                 match state.transition(message) {
                     Some(t) => {
                         let target = t.target().index() as u32;
+                        observe(current[slot], target, t.actions().len());
                         current[slot] = target;
                         *steps += 1;
+                        counters.add_transitions(1);
                         if m.states()[target as usize].role() == StateRole::Finish {
                             let finished = finished.get_mut();
                             if !finished.dirty {
@@ -325,6 +381,7 @@ impl Shard {
         let slot = id.slot as usize;
         let start = self.start_state();
         let start_finishes = self.is_finish(start);
+        self.counters.add_resets(1);
         self.current[slot] = start;
         self.vars[slot * self.n_regs..][..self.n_regs].fill(0);
         let finished = self.finished.get_mut();
@@ -341,6 +398,11 @@ impl Shard {
     fn release_slot(&mut self, id: SessionId) {
         self.check(id);
         let slot = id.slot as usize;
+        if self.is_finish(self.current[slot]) {
+            self.counters.inc_releases_finished();
+        } else {
+            self.counters.inc_releases_aborted();
+        }
         let finished = self.finished.get_mut();
         if !finished.dirty {
             finished.clear(slot);
@@ -357,6 +419,13 @@ impl Shard {
 
     fn state_name_of(&self, id: SessionId) -> &str {
         let state = self.state_of(id);
+        self.state_label(state)
+    }
+
+    /// Resolves a dense state id to its source-level name without
+    /// validating any handle — used by flight-recorder dumps, where the
+    /// recorded session may already be retired.
+    fn state_label(&self, state: u32) -> &str {
         match &self.kind {
             EngineKind::Interpreted(m) => m.states()[state as usize].name(),
             EngineKind::Compiled(m) => m.state_name(state),
@@ -501,6 +570,332 @@ impl Shard {
         finished.clear_all();
         finished.grow_for(self.current.len());
     }
+
+    /// The generic batch hot loop behind [`BatchEngine::deliver_all`].
+    ///
+    /// Monomorphized per observer: with [`NoopObserver`] the
+    /// `on_transition` call is an inlined empty body and the loop
+    /// compiles to exactly the unobserved walk (the `runtime_facade`
+    /// benchmark row keeps gating it at ≤ 1.10× raw stepping with
+    /// telemetry compiled in). With a [`FlightRecorder`] each
+    /// transition additionally appends one fixed-size event to the
+    /// ring — the production observed path ([`BatchEngine::deliver_all`])
+    /// instead replays only the ring-sized tail after an unobserved
+    /// pass, and a unit test pins the two paths to identical rings.
+    fn deliver_batch<O: RuntimeObserver>(&mut self, message: MessageId, observer: &mut O) -> u64 {
+        let live = self.live() as u64;
+        let msg_idx = message.index() as u32;
+        let Shard {
+            kind,
+            current,
+            generations,
+            free,
+            vars,
+            scratch,
+            n_regs,
+            steps,
+            counters,
+            ..
+        } = self;
+        let mut transitions = 0;
+        match kind {
+            EngineKind::Compiled(m) => {
+                // Bind the machine as a plain reference so every table
+                // pointer is a hoistable loop invariant (not re-derefed
+                // through the `Arc` each iteration).
+                let m: &CompiledMachine = m;
+                // `O::ENABLED` is a monomorphization-time constant, so
+                // exactly one branch of each `if` survives per
+                // instantiation. The disabled loops are written
+                // *separately* (not as an observed loop with a dead
+                // event block) so their bodies stay literally the
+                // pre-telemetry walk — relying on the optimizer to
+                // strip an unused `enumerate`/`zip` stream from a
+                // shared loop measurably leaks ~5-10% into the no-op
+                // path.
+                if !O::ENABLED {
+                    if free.is_empty() {
+                        // Dense fast path: no retired slots, so the
+                        // loop is *identical* to stepping a bare state
+                        // array.
+                        for cur in current.iter_mut() {
+                            if let Some((target, _)) = m.step(*cur, message) {
+                                *cur = target;
+                                transitions += 1;
+                            }
+                        }
+                    } else {
+                        for cur in current.iter_mut() {
+                            if *cur == RETIRED {
+                                continue;
+                            }
+                            if let Some((target, _)) = m.step(*cur, message) {
+                                *cur = target;
+                                transitions += 1;
+                            }
+                        }
+                    }
+                } else if free.is_empty() {
+                    // Observed dense path: the generations ride along
+                    // zipped (not indexed), keeping the event build
+                    // bounds-check-free.
+                    let gens = generations.iter();
+                    for (slot, (cur, gen)) in current.iter_mut().zip(gens).enumerate() {
+                        if let Some((target, actions)) = m.step(*cur, message) {
+                            observer.on_transition(TransitionEvent {
+                                slot: slot as u32,
+                                generation: *gen,
+                                from: *cur,
+                                to: target,
+                                message: msg_idx,
+                                actions: actions.len() as u32,
+                                tick: 0,
+                            });
+                            *cur = target;
+                            transitions += 1;
+                        }
+                    }
+                } else {
+                    let gens = generations.iter();
+                    for (slot, (cur, gen)) in current.iter_mut().zip(gens).enumerate() {
+                        if *cur == RETIRED {
+                            continue;
+                        }
+                        if let Some((target, actions)) = m.step(*cur, message) {
+                            observer.on_transition(TransitionEvent {
+                                slot: slot as u32,
+                                generation: *gen,
+                                from: *cur,
+                                to: target,
+                                message: msg_idx,
+                                actions: actions.len() as u32,
+                                tick: 0,
+                            });
+                            *cur = target;
+                            transitions += 1;
+                        }
+                    }
+                }
+            }
+            EngineKind::Efsm { machine, binding } => {
+                let machine: &CompiledEfsm = machine;
+                let binding: &EfsmBinding = binding;
+                let regs = vars.chunks_exact_mut(*n_regs);
+                if !O::ENABLED {
+                    for (cur, regs) in current.iter_mut().zip(regs) {
+                        if *cur == RETIRED {
+                            continue;
+                        }
+                        if let Some((target, _)) =
+                            machine.step(*cur, message, binding, regs, scratch)
+                        {
+                            *cur = target;
+                            transitions += 1;
+                        }
+                    }
+                } else {
+                    let walk = current.iter_mut().zip(regs).zip(generations.iter());
+                    for (slot, ((cur, regs), gen)) in walk.enumerate() {
+                        if *cur == RETIRED {
+                            continue;
+                        }
+                        if let Some((target, actions)) =
+                            machine.step(*cur, message, binding, regs, scratch)
+                        {
+                            observer.on_transition(TransitionEvent {
+                                slot: slot as u32,
+                                generation: *gen,
+                                from: *cur,
+                                to: target,
+                                message: msg_idx,
+                                actions: actions.len() as u32,
+                                tick: 0,
+                            });
+                            *cur = target;
+                            transitions += 1;
+                        }
+                    }
+                }
+            }
+            EngineKind::Interpreted(m) => {
+                let states = m.states();
+                if !O::ENABLED {
+                    for cur in current.iter_mut() {
+                        if *cur == RETIRED {
+                            continue;
+                        }
+                        let state = &states[*cur as usize];
+                        if state.role() == StateRole::Finish {
+                            continue;
+                        }
+                        if let Some(t) = state.transition(message) {
+                            *cur = t.target().index() as u32;
+                            transitions += 1;
+                        }
+                    }
+                } else {
+                    let gens = generations.iter();
+                    for (slot, (cur, gen)) in current.iter_mut().zip(gens).enumerate() {
+                        if *cur == RETIRED {
+                            continue;
+                        }
+                        let state = &states[*cur as usize];
+                        if state.role() == StateRole::Finish {
+                            continue;
+                        }
+                        if let Some(t) = state.transition(message) {
+                            let target = t.target().index() as u32;
+                            observer.on_transition(TransitionEvent {
+                                slot: slot as u32,
+                                generation: *gen,
+                                from: *cur,
+                                to: target,
+                                message: msg_idx,
+                                actions: t.actions().len() as u32,
+                                tick: 0,
+                            });
+                            *cur = target;
+                            transitions += 1;
+                        }
+                    }
+                }
+            }
+        }
+        counters.add_deliveries(live);
+        counters.add_transitions(transitions);
+        *steps += transitions;
+        if transitions > 0 {
+            self.finished.get_mut().dirty = true;
+        }
+        transitions
+    }
+
+    /// Reconstructs the flight-recorder tail of a batch that already ran
+    /// unobserved (see [`BatchEngine::deliver_all`]).
+    ///
+    /// A ring of capacity `c` only ever keeps a batch's *last* `c`
+    /// transitions, and every engine tier is deterministic, so the
+    /// surviving events can be rebuilt after the fact: walk the
+    /// pre-batch state copy backwards, re-step each live slot, and stop
+    /// once `min(transitions, c)` transitions have been found. The
+    /// overwritten prefix is accounted with
+    /// [`FlightRecorder::skip_overwritten`], then the tail is recorded
+    /// in forward order — yielding a ring (contents, order, and derived
+    /// ticks) bit-identical to per-transition recording at
+    /// O(tail scan + c) cost instead of an event build per transition.
+    ///
+    /// The EFSM arm re-steps against `replay_vars`, the pre-batch
+    /// register copy: guards must see pre-transition registers, and the
+    /// copy is discarded afterwards so the replayed actions mutating it
+    /// are harmless.
+    fn replay_batch_tail(
+        &mut self,
+        rec: &mut FlightRecorder,
+        message: MessageId,
+        transitions: u64,
+    ) {
+        if transitions == 0 {
+            return;
+        }
+        let want = transitions.min(rec.capacity() as u64) as usize;
+        let msg_idx = message.index() as u32;
+        let Shard {
+            kind,
+            generations,
+            scratch,
+            n_regs,
+            replay_states,
+            replay_vars,
+            replay_tail,
+            ..
+        } = self;
+        replay_tail.clear();
+        match kind {
+            EngineKind::Compiled(m) => {
+                let m: &CompiledMachine = m;
+                for (slot, &pre) in replay_states.iter().enumerate().rev() {
+                    if replay_tail.len() == want {
+                        break;
+                    }
+                    if pre == RETIRED {
+                        continue;
+                    }
+                    if let Some((target, actions)) = m.step(pre, message) {
+                        replay_tail.push(TransitionEvent {
+                            slot: slot as u32,
+                            generation: generations[slot],
+                            from: pre,
+                            to: target,
+                            message: msg_idx,
+                            actions: actions.len() as u32,
+                            tick: 0,
+                        });
+                    }
+                }
+            }
+            EngineKind::Efsm { machine, binding } => {
+                let machine: &CompiledEfsm = machine;
+                let binding: &EfsmBinding = binding;
+                for (slot, &pre) in replay_states.iter().enumerate().rev() {
+                    if replay_tail.len() == want {
+                        break;
+                    }
+                    if pre == RETIRED {
+                        continue;
+                    }
+                    let regs = &mut replay_vars[slot * *n_regs..][..*n_regs];
+                    if let Some((target, actions)) =
+                        machine.step(pre, message, binding, regs, scratch)
+                    {
+                        replay_tail.push(TransitionEvent {
+                            slot: slot as u32,
+                            generation: generations[slot],
+                            from: pre,
+                            to: target,
+                            message: msg_idx,
+                            actions: actions.len() as u32,
+                            tick: 0,
+                        });
+                    }
+                }
+            }
+            EngineKind::Interpreted(m) => {
+                let states = m.states();
+                for (slot, &pre) in replay_states.iter().enumerate().rev() {
+                    if replay_tail.len() == want {
+                        break;
+                    }
+                    if pre == RETIRED {
+                        continue;
+                    }
+                    let state = &states[pre as usize];
+                    if state.role() == StateRole::Finish {
+                        continue;
+                    }
+                    if let Some(t) = state.transition(message) {
+                        replay_tail.push(TransitionEvent {
+                            slot: slot as u32,
+                            generation: generations[slot],
+                            from: pre,
+                            to: t.target().index() as u32,
+                            message: msg_idx,
+                            actions: t.actions().len() as u32,
+                            tick: 0,
+                        });
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            replay_tail.len(),
+            want,
+            "replay found fewer transitions than the batch reported"
+        );
+        rec.skip_overwritten(transitions - replay_tail.len() as u64);
+        for event in replay_tail.drain(..).rev() {
+            rec.record(event);
+        }
+    }
 }
 
 impl BatchEngine for Shard {
@@ -528,81 +923,38 @@ impl BatchEngine for Shard {
     /// stepping a bare state array through `CompiledMachine::step`,
     /// plus one predictable retired-slot compare; the `runtime_facade`
     /// benchmark row gates it at ≤ 1.10× raw stepping.
+    ///
+    /// Dispatches on the recorder statically: the no-recorder path runs
+    /// the [`NoopObserver`] instantiation of `Shard::deliver_batch` —
+    /// bit-identical codegen to the pre-telemetry loop. The observed
+    /// path runs the *same* unobserved loop at full speed and then
+    /// reconstructs the ring's surviving tail by replaying a pre-batch
+    /// copy of the slot arrays (engines are deterministic, so the
+    /// replayed events are exactly the ones a per-transition observer
+    /// would have recorded) — recording cost is O(sessions memcpy +
+    /// ring capacity) per batch instead of an event build per
+    /// transition inside the 4-cycle hot loop. `runtime_observed`
+    /// benches this at ≤ 1.25× the unobserved facade.
     fn deliver_all(&mut self, message: MessageId) -> u64 {
-        let Shard {
-            kind,
-            current,
-            free,
-            vars,
-            scratch,
-            n_regs,
-            steps,
-            ..
-        } = self;
-        let mut transitions = 0;
-        match kind {
-            EngineKind::Compiled(m) => {
-                // Bind the machine as a plain reference so every table
-                // pointer is a hoistable loop invariant (not re-derefed
-                // through the `Arc` each iteration).
-                let m: &CompiledMachine = m;
-                if free.is_empty() {
-                    // Dense fast path: no retired slots, so the loop is
-                    // *identical* to stepping a bare state array.
-                    for cur in current.iter_mut() {
-                        if let Some((target, _)) = m.step(*cur, message) {
-                            *cur = target;
-                            transitions += 1;
-                        }
-                    }
-                } else {
-                    for cur in current.iter_mut() {
-                        if *cur == RETIRED {
-                            continue;
-                        }
-                        if let Some((target, _)) = m.step(*cur, message) {
-                            *cur = target;
-                            transitions += 1;
-                        }
-                    }
+        match self.recorder.take() {
+            Some(mut rec) => {
+                self.replay_states.clear();
+                self.replay_states.extend_from_slice(&self.current);
+                if matches!(self.kind, EngineKind::Efsm { .. }) {
+                    self.replay_vars.clear();
+                    self.replay_vars.extend_from_slice(&self.vars);
                 }
+                let transitions = self.deliver_batch(message, &mut NoopObserver);
+                self.replay_batch_tail(&mut rec, message, transitions);
+                self.recorder = Some(rec);
+                transitions
             }
-            EngineKind::Efsm { machine, binding } => {
-                let machine: &CompiledEfsm = machine;
-                let binding: &EfsmBinding = binding;
-                let regs = vars.chunks_exact_mut(*n_regs);
-                for (cur, regs) in current.iter_mut().zip(regs) {
-                    if *cur == RETIRED {
-                        continue;
-                    }
-                    if let Some((target, _)) = machine.step(*cur, message, binding, regs, scratch) {
-                        *cur = target;
-                        transitions += 1;
-                    }
-                }
-            }
-            EngineKind::Interpreted(m) => {
-                let states = m.states();
-                for cur in current.iter_mut() {
-                    if *cur == RETIRED {
-                        continue;
-                    }
-                    let state = &states[*cur as usize];
-                    if state.role() == StateRole::Finish {
-                        continue;
-                    }
-                    if let Some(t) = state.transition(message) {
-                        *cur = t.target().index() as u32;
-                        transitions += 1;
-                    }
-                }
-            }
+            None => self.deliver_batch(message, &mut NoopObserver),
         }
-        *steps += transitions;
-        if transitions > 0 {
-            self.finished.get_mut().dirty = true;
-        }
-        transitions
+    }
+
+    fn merge_metrics(&self, into: &mut MetricsSnapshot) {
+        self.counters.merge_into(into);
     }
 
     fn finished_count(&self) -> usize {
@@ -617,6 +969,7 @@ impl BatchEngine for Shard {
     /// Returns every *live* slot to the start state; retired slots stay
     /// on the free list.
     fn reset_all(&mut self) {
+        self.counters.add_resets(self.live() as u64);
         let start = self.start_state();
         let start_finishes = self.is_finish(start);
         for slot in 0..self.current.len() {
@@ -791,6 +1144,19 @@ pub struct Runtime {
     expired_scratch: Vec<SessionId>,
     /// An in-progress drain-and-switch (see [`Runtime::begin_swap`]).
     pending: Option<PendingSwap>,
+    /// Runtime-level telemetry (timeouts, swaps, snapshots) — the
+    /// per-session counters live on each [`Shard`]. Merged on demand by
+    /// [`Runtime::metrics`]; never part of a [`RuntimeSnapshot`].
+    counters: RuntimeCounters,
+    /// Wall-clock nanoseconds per [`Runtime::deliver_all`] batch, armed
+    /// by [`Runtime::attach_recorder`] (boxed: ~8 KiB of buckets).
+    batch_latency: Option<Box<LogHistogram>>,
+    /// Ring capacity requested by [`Runtime::attach_recorder`], so
+    /// shards appended mid-swap get recorders too.
+    recorder_capacity: Option<usize>,
+    /// The flight-recorder dump captured by the last
+    /// [`Runtime::abort_swap`] (see [`Runtime::abort_dump`]).
+    abort_dump: Option<String>,
 }
 
 impl Runtime {
@@ -803,6 +1169,10 @@ impl Runtime {
             timers: TimerWheel::new(),
             expired_scratch: Vec::new(),
             pending: None,
+            counters: RuntimeCounters::new(),
+            batch_latency: None,
+            recorder_capacity: None,
+            abort_dump: None,
         }
     }
 
@@ -821,7 +1191,13 @@ impl Runtime {
         );
         let pool = ShardedPool::new(
             (0..shards)
-                .map(|_| Shard::new(self.engine.kind.clone()))
+                .map(|_| {
+                    let mut shard = Shard::new(self.engine.kind.clone());
+                    if let Some(cap) = self.recorder_capacity {
+                        shard.recorder = Some(FlightRecorder::new(cap));
+                    }
+                    shard
+                })
                 .collect(),
         );
         Runtime {
@@ -830,6 +1206,10 @@ impl Runtime {
             timers: TimerWheel::new(),
             expired_scratch: Vec::new(),
             pending: None,
+            counters: self.counters,
+            batch_latency: self.batch_latency,
+            recorder_capacity: self.recorder_capacity,
+            abort_dump: self.abort_dump,
         }
     }
 
@@ -992,8 +1372,21 @@ impl Runtime {
     /// Delivers a message to every live session — one scoped worker
     /// thread per shard when sharded — and returns the number of
     /// transitions taken.
+    ///
+    /// While a recorder is attached (see [`Runtime::attach_recorder`])
+    /// the batch's wall-clock latency is also recorded into
+    /// [`Runtime::batch_latency`]; unobserved runtimes skip the clock
+    /// reads entirely.
     pub fn deliver_all(&mut self, message: MessageId) -> u64 {
-        self.pool.deliver_all(message)
+        match &mut self.batch_latency {
+            Some(hist) => {
+                let start = Instant::now();
+                let transitions = self.pool.deliver_all(message);
+                hist.record(start.elapsed().as_nanos() as u64);
+                transitions
+            }
+            None => self.pool.deliver_all(message),
+        }
     }
 
     /// Runs `f` with persistent parked workers, one per shard: a batch
@@ -1028,7 +1421,9 @@ impl Runtime {
     /// Panics if `session` is already stale (double release).
     pub fn release(&mut self, session: SessionId) {
         self.pool.shards_mut()[session.shard as usize].release_slot(session);
-        self.timers.cancel(&session);
+        if self.timers.cancel(&session) {
+            self.counters.inc_timeouts_cancelled();
+        }
     }
 
     /// `true` while `session` addresses a live execution (its slot has
@@ -1165,7 +1560,9 @@ impl Runtime {
     /// [`StategenError::StaleSession`] if `session` is stale.
     pub fn try_release(&mut self, session: SessionId) -> Result<(), StategenError> {
         self.live_shard_mut(session)?.release_slot(session);
-        self.timers.cancel(&session);
+        if self.timers.cancel(&session) {
+            self.counters.inc_timeouts_cancelled();
+        }
         Ok(())
     }
 
@@ -1196,6 +1593,7 @@ impl Runtime {
     pub fn snapshot(&self, session: SessionId) -> SessionSnapshot {
         let shard = &self.pool.shards()[session.shard as usize];
         shard.check(session);
+        self.counters.inc_snapshots();
         let slot = session.slot as usize;
         SessionSnapshot {
             state: shard.current[slot],
@@ -1221,6 +1619,7 @@ impl Runtime {
             self.pending.is_none(),
             "cannot snapshot during a draining hot-swap; finish or abort it first"
         );
+        self.counters.inc_snapshots();
         RuntimeSnapshot {
             fingerprint: self.engine.fingerprint(),
             shards: self.pool.shards().iter().map(Shard::snapshot).collect(),
@@ -1262,13 +1661,19 @@ impl Runtime {
             .iter()
             .map(|s| Shard::restore(engine.kind.clone(), s))
             .collect();
-        Ok(Runtime {
+        let runtime = Runtime {
             engine: engine.clone(),
             pool: ShardedPool::new(shards),
             timers: TimerWheel::new(),
             expired_scratch: Vec::new(),
             pending: None,
-        })
+            counters: RuntimeCounters::new(),
+            batch_latency: None,
+            recorder_capacity: None,
+            abort_dump: None,
+        };
+        runtime.counters.inc_restores();
+        Ok(runtime)
     }
 
     /// Begins a drain-and-switch hot-swap to `incoming` — the live
@@ -1313,9 +1718,17 @@ impl Runtime {
             // re-validates them structurally.
             let sessions = self.len();
             for shard in self.pool.shards_mut() {
-                *shard = Shard::restore(incoming.kind.clone(), &shard.snapshot());
+                // Shard::restore builds a fresh shard; telemetry is not
+                // part of durable state, so carry the counters and the
+                // recorder ring across the migration by hand.
+                let mut migrated = Shard::restore(incoming.kind.clone(), &shard.snapshot());
+                migrated.counters = shard.counters.clone();
+                migrated.recorder = shard.recorder.take();
+                *shard = migrated;
             }
             self.engine = incoming;
+            self.counters.add_swap_migrated(sessions as u64);
+            self.counters.inc_swaps_completed();
             return Ok(SwapOutcome::Migrated { sessions });
         }
         if incoming.messages() != self.engine.messages() {
@@ -1337,6 +1750,7 @@ impl Runtime {
         }
         if draining.is_empty() {
             self.engine = incoming;
+            self.counters.inc_swaps_completed();
             return Ok(SwapOutcome::Completed);
         }
         if fresh.is_empty() {
@@ -1346,7 +1760,11 @@ impl Runtime {
             // disturbs existing shard indices or handles.
             for _ in 0..draining.len() {
                 fresh.push(self.pool.shard_count());
-                self.pool.push(Shard::new(incoming.kind.clone()));
+                let mut shard = Shard::new(incoming.kind.clone());
+                if let Some(cap) = self.recorder_capacity {
+                    shard.recorder = Some(FlightRecorder::new(cap));
+                }
+                self.pool.push(shard);
             }
         }
         let sessions = draining.iter().map(|&i| self.pool.shards()[i].live()).sum();
@@ -1355,6 +1773,7 @@ impl Runtime {
             draining,
             incoming: fresh,
         });
+        self.counters.inc_swaps_drained();
         Ok(SwapOutcome::Draining { sessions })
     }
 
@@ -1388,6 +1807,7 @@ impl Runtime {
             self.pool.shards_mut()[i].rekind_empty(pending.engine.kind.clone());
         }
         self.engine = pending.engine;
+        self.counters.inc_swaps_completed();
         Ok(())
     }
 
@@ -1411,6 +1831,13 @@ impl Runtime {
         let Some(pending) = self.pending.take() else {
             return Err(SwapError::NotInProgress.into());
         };
+        self.counters.inc_swaps_aborted();
+        // Capture the trace *before* the force-release below retires
+        // the incoming sessions and re-targets their shards (which
+        // would invalidate the dump's state labels).
+        if self.recorder_capacity.is_some() {
+            self.abort_dump = Some(self.dump_trace());
+        }
         let mut dropped = 0;
         for &i in &pending.incoming {
             let shard = &mut self.pool.shards_mut()[i];
@@ -1476,7 +1903,11 @@ impl Runtime {
     /// armed. O(1); never panics (a stale handle simply has no timer —
     /// [`Runtime::release`] cancels eagerly).
     pub fn cancel_timeout(&mut self, session: SessionId) -> bool {
-        self.timers.cancel(&session)
+        let cancelled = self.timers.cancel(&session);
+        if cancelled {
+            self.counters.inc_timeouts_cancelled();
+        }
+        cancelled
     }
 
     /// Advances the timer clock to `now` and delivers `timeout` to
@@ -1510,6 +1941,7 @@ impl Runtime {
             delivered += 1;
         }
         self.expired_scratch = expired;
+        self.counters.add_timeouts_fired(delivered as u64);
         delivered
     }
 
@@ -1524,6 +1956,119 @@ impl Runtime {
     /// Number of currently armed timeouts.
     pub fn pending_timeouts(&self) -> usize {
         self.timers.len()
+    }
+
+    /// A point-in-time [`MetricsSnapshot`] of every telemetry counter:
+    /// per-shard session counters (deliveries, transitions, guard
+    /// fall-throughs, spawns, releases, resets) merged with the
+    /// runtime-level ones (timeouts, timer cascades, swaps, snapshots,
+    /// restores). O(shards); never blocks delivery — the counters are
+    /// relaxed atomics written by at most one thread each.
+    ///
+    /// Counters are always on: they cost one cache-local add per event
+    /// and need no [`Runtime::attach_recorder`] call.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.pool.metrics();
+        self.counters.merge_into(&mut snap);
+        snap.timer_cascades = self.timers.cascades();
+        snap
+    }
+
+    /// Attaches a flight recorder: every shard gets a fixed-capacity
+    /// ring (rounded up to a power of two) retaining its last
+    /// `capacity` transitions, and [`Runtime::deliver_all`] starts
+    /// recording per-batch wall-clock latency into
+    /// [`Runtime::batch_latency`]. Idempotent re-attach clears the
+    /// rings. Allocation happens *here*, once — the per-transition
+    /// record path never allocates.
+    ///
+    /// Observation never changes behaviour: delivered actions, states,
+    /// snapshots and swap outcomes are bit-identical with or without a
+    /// recorder attached (the unobserved path is a statically-dispatched
+    /// no-op, not a branch per event).
+    pub fn attach_recorder(&mut self, capacity: usize) {
+        self.recorder_capacity = Some(capacity);
+        for shard in self.pool.shards_mut() {
+            shard.recorder = Some(FlightRecorder::new(capacity));
+        }
+        self.batch_latency = Some(Box::new(LogHistogram::new()));
+    }
+
+    /// Detaches the flight recorder (and the batch-latency histogram),
+    /// returning the runtime to the provably-free unobserved path.
+    /// Counters stay on; a pending [`Runtime::abort_dump`] is kept.
+    pub fn detach_recorder(&mut self) {
+        self.recorder_capacity = None;
+        for shard in self.pool.shards_mut() {
+            shard.recorder = None;
+        }
+        self.batch_latency = None;
+    }
+
+    /// `true` while a flight recorder is attached.
+    pub fn recorder_attached(&self) -> bool {
+        self.recorder_capacity.is_some()
+    }
+
+    /// Wall-clock nanoseconds per [`Runtime::deliver_all`] batch,
+    /// recorded while a recorder is attached (`None` otherwise).
+    pub fn batch_latency(&self) -> Option<&LogHistogram> {
+        self.batch_latency.as_deref()
+    }
+
+    /// Renders every shard's flight-recorder ring as a human-readable
+    /// trace, oldest event first — the post-mortem artifact printed on
+    /// invariant failures and captured by [`Runtime::abort_swap`].
+    /// State ids recorded under a since-swapped-out engine that no
+    /// longer resolve are rendered as `state#N`.
+    pub fn dump_trace(&self) -> String {
+        let mut out = String::new();
+        let messages = self.engine.messages();
+        for (i, shard) in self.pool.shards().iter().enumerate() {
+            let Some(rec) = &shard.recorder else { continue };
+            let _ = writeln!(
+                out,
+                "shard {i}: retaining {} of {} recorded transitions",
+                rec.len(),
+                rec.recorded(),
+            );
+            let label = |state: u32| -> String {
+                if (state as usize) < shard.state_count() {
+                    shard.state_label(state).to_string()
+                } else {
+                    format!("state#{state}")
+                }
+            };
+            for event in rec.iter() {
+                let message = messages
+                    .get(event.message as usize)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                let _ = writeln!(
+                    out,
+                    "  [{:>6}] s{}g{}: {} --{}--> {} ({} actions)",
+                    event.tick,
+                    event.slot,
+                    event.generation,
+                    label(event.from),
+                    message,
+                    label(event.to),
+                    event.actions,
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("flight recorder not attached\n");
+        }
+        out
+    }
+
+    /// The flight-recorder dump captured by the last
+    /// [`Runtime::abort_swap`] while a recorder was attached (`None`
+    /// otherwise): what every session was doing when the rollout was
+    /// rolled back.
+    pub fn abort_dump(&self) -> Option<&str> {
+        self.abort_dump.as_deref()
     }
 }
 
@@ -1931,5 +2476,72 @@ mod tests {
         }
         let (sc, si) = (rc.spawn(), ri.spawn());
         assert_eq!(rc.state_name(sc), ri.state_name(si));
+    }
+
+    /// The production observed path (unobserved pass + tail replay, see
+    /// [`Shard::replay_batch_tail`]) must leave the ring bit-identical —
+    /// events, order, and sequence accounting — to recording every
+    /// transition inline from the batch loop, across all three engine
+    /// tiers, dense and holed slot arrays, guard fall-throughs, and
+    /// batches larger than the ring. This is also what keeps the
+    /// observed [`Shard::deliver_batch`] instantiations exercised.
+    #[test]
+    fn replayed_ring_matches_per_transition_recording() {
+        use stategen_commit::{commit_efsm, commit_efsm_params, CommitConfig, MESSAGE_NAMES};
+
+        let config = CommitConfig::new(3).unwrap();
+        let tiers: [(Engine, &[&str]); 3] = [
+            (
+                Engine::compile(Spec::machine(finishing_machine())).unwrap(),
+                &["a", "b", "a", "a"],
+            ),
+            (
+                Engine::interpret(Spec::machine(finishing_machine())).unwrap(),
+                &["a", "b", "a", "a"],
+            ),
+            (
+                Engine::compile(Spec::efsm(commit_efsm(), commit_efsm_params(&config))).unwrap(),
+                &MESSAGE_NAMES,
+            ),
+        ];
+        for (engine, script) in tiers {
+            let mut replayed = engine.runtime();
+            let mut inline = engine.runtime();
+            let handles: Vec<_> = (0..8).map(|_| replayed.spawn()).collect();
+            for _ in 0..8 {
+                inline.spawn();
+            }
+            // Ring smaller than the live set: the first batch overruns
+            // it, exercising the overwritten-prefix accounting.
+            replayed.attach_recorder(4);
+            let mut rec = FlightRecorder::new(4);
+            for (i, name) in script.iter().enumerate() {
+                if i == 2 {
+                    // Punch holes mid-script so later batches walk a
+                    // retired-slot (sparse) loop.
+                    for &h in &[handles[2], handles[5]] {
+                        replayed.release(h);
+                        inline.release(h);
+                    }
+                }
+                let mid = replayed.message_id(name).unwrap();
+                replayed.deliver_all(mid);
+                inline.pool.shards_mut()[0].deliver_batch(mid, &mut rec);
+
+                let shards = replayed.pool.shards_mut();
+                let ring = shards[0].recorder.as_ref().unwrap();
+                assert_eq!(
+                    ring.recorded(),
+                    rec.recorded(),
+                    "sequence accounting diverged"
+                );
+                let got: Vec<TransitionEvent> = ring.iter().collect();
+                let expect: Vec<TransitionEvent> = rec.iter().collect();
+                assert_eq!(
+                    got, expect,
+                    "ring contents diverged after batch {i} ({name})"
+                );
+            }
+        }
     }
 }

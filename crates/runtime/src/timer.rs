@@ -88,6 +88,11 @@ pub struct TimerWheel<T> {
     now: u64,
     /// Reused expiry output buffer.
     expired: Vec<T>,
+    /// Cascade operations performed while advancing: a not-yet-due
+    /// entry re-filed from a drained coarse slot into a finer level (or
+    /// later slot). A telemetry counter — never consulted by wheel
+    /// logic.
+    cascades: u64,
 }
 
 impl<T> TimerWheel<T> {
@@ -109,7 +114,17 @@ impl<T: Copy + Eq + Hash> TimerWheel<T> {
             overdue: Vec::new(),
             now: 0,
             expired: Vec::new(),
+            cascades: 0,
         }
+    }
+
+    /// Total cascade operations performed by
+    /// [`advance`](TimerWheel::advance) over the wheel's lifetime: each
+    /// counts one armed entry re-filed from a drained coarse slot into
+    /// a finer level. A cheap health signal — a wheel that cascades far
+    /// more than it expires is being polled too coarsely.
+    pub fn cascades(&self) -> u64 {
+        self.cascades
     }
 
     /// The wheel's current time (the `to` of the last
@@ -214,6 +229,7 @@ impl<T: Copy + Eq + Hash> TimerWheel<T> {
                 } else {
                     // Not yet due: cascade to a finer level (or later
                     // slot) relative to the new `now`.
+                    self.cascades += 1;
                     self.place(idx);
                 }
             }
@@ -281,7 +297,17 @@ impl<T: Copy + Eq + Hash> TimerWheel<T> {
         }
         // Clamp far deadlines into the top level; they re-cascade.
         let horizon = 1u64 << (SLOT_BITS * LEVELS as u32);
-        let effective = deadline.min(self.now.saturating_add(horizon - 1));
+        let effective = if deadline.saturating_sub(self.now) >= horizon {
+            // Park exactly 63 top-level slots ahead, aligned to the
+            // slot grid. A plain `now + horizon - 1` clamp lets the
+            // carry from finer bits wrap the slot offset to 64 ≡ 0 —
+            // the *current* top-level slot, whose start is `now` — and
+            // `advance` would then cascade the entry in place forever.
+            let top_shift = SLOT_BITS * (LEVELS as u32 - 1);
+            (self.now & !((1u64 << top_shift) - 1)) + ((SLOTS as u64 - 1) << top_shift)
+        } else {
+            deadline
+        };
         let diff = effective ^ self.now;
         let level = (((63 - diff.leading_zeros()) / SLOT_BITS) as usize).min(LEVELS - 1);
         let shift = SLOT_BITS * level as u32;

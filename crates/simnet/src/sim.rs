@@ -235,6 +235,12 @@ pub struct SimStats {
     pub restarts: u64,
     /// Timer events fired.
     pub timers: u64,
+    /// Timers armed (via [`Context::set_timer`] or
+    /// [`Simulation::post_timer`]), whether or not they later fired.
+    pub timers_set: u64,
+    /// Timers discarded because their arming incarnation had crashed
+    /// before they came due (stale-epoch filter).
+    pub timers_stale: u64,
     /// Total events processed.
     pub steps: u64,
 }
@@ -408,6 +414,7 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
     pub fn post_timer(&mut self, node: NodeId, delay: SimTime, tag: u64) {
         let at = self.now + delay;
         let epoch = self.epochs[node.0];
+        self.stats.timers_set += 1;
         self.push_event(at, node, Payload::Timer { tag, epoch });
     }
 
@@ -490,6 +497,7 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
         // do not).
         if let Payload::Timer { epoch, .. } = &event.payload {
             if *epoch != self.epochs[to.0] {
+                self.stats.timers_stale += 1;
                 return true;
             }
         }
@@ -550,6 +558,7 @@ impl<M: Clone, N: SimNode<M>> Simulation<M, N> {
                 Effect::Timer { delay, tag } => {
                     let at = self.now + delay;
                     let epoch = self.epochs[origin.0];
+                    self.stats.timers_set += 1;
                     self.push_event(at, origin, Payload::Timer { tag, epoch });
                 }
             }

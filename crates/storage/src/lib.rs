@@ -31,7 +31,8 @@ pub use backoff::{RetryScheme, ServerOrdering};
 pub use data_service::{DataService, DataServiceError, DataServiceStats, NodeBehaviour};
 pub use entities::{DataBlock, Guid, Pid};
 pub use placement::{guid_key, peer_set, pid_key, replica_keys};
+pub use stategen_telemetry::{LogHistogram, MetricsSnapshot};
 pub use version_service::{
     run_harness, AttemptId, ClientEndpoint, CommitPeer, HarnessConfig, HarnessReport,
-    PeerBehaviour, PeerEngine, UpdateOutcome, VhMsg, VhNode,
+    PeerBehaviour, PeerEngine, PeerGcStats, UpdateOutcome, VhMsg, VhNode,
 };

@@ -41,6 +41,7 @@ use stategen_commit::{
 };
 use stategen_core::MessageId;
 use stategen_runtime::{Artifact, Engine, Runtime, RuntimeSnapshot, SessionId, TimerWheel};
+use stategen_telemetry::{LogHistogram, MetricsSnapshot};
 
 use crate::backoff::{RetryScheme, ServerOrdering};
 use crate::entities::Pid;
@@ -233,6 +234,24 @@ pub struct CommitPeer<'m> {
     /// `on_restart` recovers from *only* this — everything else above is
     /// treated as lost with the crash.
     checkpoint: Option<PeerCheckpoint>,
+    /// Flight-recorder ring capacity (0 = unobserved). Remembered so
+    /// the recorder is re-attached after a crash recovery rebuilds the
+    /// runtime — telemetry is volatile, not checkpointed.
+    recorder_capacity: usize,
+}
+
+/// Session-reclaim statistics for one peer's runtime (see
+/// [`CommitPeer::gc_stats`]), split by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerGcStats {
+    /// Sessions reclaimed after their execution reached a finish state.
+    /// In this protocol finished attempts deliberately keep their
+    /// session as replay protection, so this stays 0 for correct peers —
+    /// a nonzero value flags a replay-protection regression.
+    pub finished: u64,
+    /// Sessions reclaimed *before* finishing: GC abandonment of stalled
+    /// executions and client-requested aborts.
+    pub aborted: u64,
 }
 
 /// What a peer persists: its [`Runtime`] snapshot plus the protocol
@@ -281,7 +300,40 @@ impl<'m> CommitPeer<'m> {
             checkpoint_every,
             checkpoint_armed: false,
             checkpoint: None,
+            recorder_capacity: 0,
         }
+    }
+
+    /// Attaches a flight recorder (per-shard ring of `capacity`
+    /// transitions) to this peer's runtime, surviving crash recoveries:
+    /// `on_restart` re-attaches it to the restored runtime (the ring
+    /// contents die with the crash — telemetry is volatile by design).
+    pub fn attach_recorder(&mut self, capacity: usize) {
+        self.recorder_capacity = capacity;
+        if capacity > 0 {
+            self.runtime.attach_recorder(capacity);
+        }
+    }
+
+    /// A point-in-time snapshot of this peer runtime's telemetry
+    /// counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.runtime.metrics()
+    }
+
+    /// Session-reclaim counters split by cause (see [`PeerGcStats`]).
+    pub fn gc_stats(&self) -> PeerGcStats {
+        let m = self.runtime.metrics();
+        PeerGcStats {
+            finished: m.releases_finished,
+            aborted: m.releases_aborted,
+        }
+    }
+
+    /// Renders this peer's flight-recorder rings as a human-readable
+    /// trace (see [`Runtime::dump_trace`]).
+    pub fn dump_trace(&self) -> String {
+        self.runtime.dump_trace()
     }
 
     /// The sequence of versions this peer has recorded.
@@ -554,6 +606,11 @@ impl SimNode<VhMsg> for CommitPeer<'_> {
                 self.history.clear();
             }
         }
+        // Telemetry is volatile: the rebuilt runtime starts unobserved,
+        // so re-attach the recorder the operator configured.
+        if self.recorder_capacity > 0 {
+            self.runtime.attach_recorder(self.recorder_capacity);
+        }
         // Timers died with the crash (the simulator discards stale-epoch
         // expiries): resume the checkpoint cadence and re-arm a fresh GC
         // budget for every restored unfinished attempt so stalled
@@ -671,6 +728,13 @@ pub struct ClientEndpoint {
     wheel_wake: Option<SimTime>,
     /// Expired-tag buffer reused across wake-ups.
     fire_scratch: Vec<u64>,
+    /// Virtual-time-to-commit of each *confirmed* update (first
+    /// submission → `f + 1` reports), log-bucketed for p50/p99
+    /// extraction without retaining per-update samples.
+    latency_hist: Box<LogHistogram>,
+    /// Attempts needed per resolved update (committed or given up);
+    /// bucket 1 = no retry.
+    retry_hist: Box<LogHistogram>,
 }
 
 #[derive(Debug)]
@@ -718,12 +782,25 @@ impl ClientEndpoint {
             wheel: TimerWheel::new(),
             wheel_wake: None,
             fire_scratch: Vec::new(),
+            latency_hist: Box::new(LogHistogram::new()),
+            retry_hist: Box::new(LogHistogram::new()),
         }
     }
 
     /// Completed updates, in submission order.
     pub fn outcomes(&self) -> &[UpdateOutcome] {
         &self.outcomes
+    }
+
+    /// Commit-latency histogram over this endpoint's confirmed updates.
+    pub fn commit_latency(&self) -> &LogHistogram {
+        &self.latency_hist
+    }
+
+    /// Attempts-per-update histogram over this endpoint's resolved
+    /// updates (committed or given up).
+    pub fn retry_attempts(&self) -> &LogHistogram {
+        &self.retry_hist
     }
 
     /// `true` once every queued update has been resolved — committed or
@@ -814,6 +891,8 @@ impl ClientEndpoint {
                 committed: true,
             };
             let attempt_no = pending.attempt.attempt;
+            self.latency_hist.record(outcome.latency);
+            self.retry_hist.record(u64::from(outcome.attempts));
             self.outcomes.push(outcome);
             self.pending = None;
             // The attempt is confirmed: cancel its timeout (and any
@@ -845,6 +924,9 @@ impl ClientEndpoint {
             // update instead of retrying forever.
             let first_submitted_at = pending.first_submitted_at;
             self.pending = None;
+            // Given-up updates count toward the retry histogram but not
+            // the commit-latency one (nothing committed).
+            self.retry_hist.record(u64::from(old.attempt + 1));
             self.outcomes.push(UpdateOutcome {
                 pid: old.pid,
                 attempts: old.attempt + 1,
@@ -1001,6 +1083,10 @@ pub struct HarnessConfig {
     pub net: SimConfig,
     /// Abandon the run at this virtual time.
     pub deadline: SimTime,
+    /// Flight-recorder ring capacity per peer shard (0 = unobserved).
+    /// Recorders survive crash recoveries (re-attached on restart) and
+    /// their dumps are collected into [`HarnessReport::flight_dumps`].
+    pub flight_recorder: usize,
 }
 
 impl Default for HarnessConfig {
@@ -1022,6 +1108,7 @@ impl Default for HarnessConfig {
             crashes: Vec::new(),
             net: SimConfig::default(),
             deadline: 2_000_000,
+            flight_recorder: 0,
         }
     }
 }
@@ -1045,6 +1132,17 @@ pub struct HarnessReport {
     pub stats: SimStats,
     /// Virtual time when the run ended.
     pub end_time: SimTime,
+    /// Commit-latency histogram (virtual time from first submission to
+    /// `f + 1` confirmations), merged across every client.
+    pub commit_latency: LogHistogram,
+    /// Attempts-per-resolved-update histogram, merged across every
+    /// client (bucket 1 = committed without retry).
+    pub retry_attempts: LogHistogram,
+    /// Telemetry counters merged across every peer's runtime.
+    pub peer_metrics: MetricsSnapshot,
+    /// Per-peer flight-recorder dumps (index = peer node id); empty
+    /// unless [`HarnessConfig::flight_recorder`] was nonzero.
+    pub flight_dumps: Vec<String>,
 }
 
 impl HarnessReport {
@@ -1144,13 +1242,15 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
     let mut nodes: Vec<VhNode<'_>> = Vec::new();
     for i in 0..r {
         let behaviour = config.behaviours.get(i).copied().unwrap_or_default();
-        nodes.push(VhNode::Peer(Box::new(CommitPeer::new(
+        let mut peer = CommitPeer::new(
             &engine,
             r,
             behaviour,
             config.peer_gc,
             config.checkpoint_every,
-        ))));
+        );
+        peer.attach_recorder(config.flight_recorder);
+        nodes.push(VhNode::Peer(Box::new(peer)));
     }
     for (ci, updates) in config.client_updates.iter().enumerate() {
         nodes.push(VhNode::Client(Box::new(ClientEndpoint::new(
@@ -1179,22 +1279,32 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
     sim.run_until(config.deadline);
     let mut histories = Vec::with_capacity(r);
     let mut behaviours = Vec::with_capacity(r);
+    let mut peer_metrics = MetricsSnapshot::default();
+    let mut flight_dumps = Vec::new();
     for i in 0..r {
         match sim.node(NodeId(i)) {
             VhNode::Peer(p) => {
                 histories.push(p.history().to_vec());
                 behaviours.push(p.behaviour());
+                peer_metrics.merge(&p.metrics());
+                if config.flight_recorder > 0 {
+                    flight_dumps.push(p.dump_trace());
+                }
             }
             VhNode::Client(_) => unreachable!("peers precede clients"),
         }
     }
     let mut outcomes = Vec::new();
     let mut all_committed = true;
+    let mut commit_latency = LogHistogram::new();
+    let mut retry_attempts = LogHistogram::new();
     for i in r..sim.node_count() {
         match sim.node(NodeId(i)) {
             VhNode::Client(c) => {
                 all_committed &= c.is_done() && c.outcomes().iter().all(|o| o.committed);
                 outcomes.push(c.outcomes().to_vec());
+                commit_latency.merge(c.commit_latency());
+                retry_attempts.merge(c.retry_attempts());
             }
             VhNode::Peer(_) => unreachable!("clients follow peers"),
         }
@@ -1208,5 +1318,9 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
         all_committed,
         stats: sim.stats(),
         end_time,
+        commit_latency,
+        retry_attempts,
+        peer_metrics,
+        flight_dumps,
     }
 }

@@ -58,6 +58,7 @@ fn chaos_config(seed: u64) -> HarnessConfig {
         ordering: ServerOrdering::Random,
         checkpoint_every: 500,
         crashes: vec![(3, 5_000, 20_000)],
+        flight_recorder: 32,
         net: SimConfig {
             seed,
             min_delay: 1,
@@ -87,9 +88,25 @@ fn submitted(config: &HarnessConfig) -> BTreeSet<Pid> {
     config.client_updates.iter().flatten().copied().collect()
 }
 
+/// `assert!` that prints every peer's flight-recorder dump (the last
+/// transitions each attempt session took) before panicking, so a failed
+/// chaos invariant comes with the post-mortem trace, not just the seed.
+macro_rules! check {
+    ($report:expr, $cond:expr, $($msg:tt)+) => {
+        if !$cond {
+            eprintln!("--- flight recorder: last transitions per peer ---");
+            for (peer, dump) in $report.flight_dumps.iter().enumerate() {
+                eprint!("peer {peer}:\n{dump}");
+            }
+            panic!($($msg)+);
+        }
+    };
+}
+
 /// Invariants that must hold under *any* fault mix.
 fn assert_core_invariants(seed: u64, config: &HarnessConfig, report: &HarnessReport) {
-    assert!(
+    check!(
+        report,
         report.all_committed,
         "seed {seed}: not every update was confirmed: {:?}",
         report.outcomes
@@ -98,13 +115,14 @@ fn assert_core_invariants(seed: u64, config: &HarnessConfig, report: &HarnessRep
     let correct = report.correct_histories();
     for (peer, history) in correct.iter().enumerate() {
         let unique: BTreeSet<&Pid> = history.iter().collect();
-        assert_eq!(
-            unique.len(),
-            history.len(),
+        check!(
+            report,
+            unique.len() == history.len(),
             "seed {seed}: peer {peer} recorded a version twice: {history:?}"
         );
         for pid in history.iter() {
-            assert!(
+            check!(
+                report,
                 legal.contains(pid),
                 "seed {seed}: peer {peer} fabricated {pid:?}"
             );
@@ -115,7 +133,8 @@ fn assert_core_invariants(seed: u64, config: &HarnessConfig, report: &HarnessRep
     // it must survive in at least 2 correct histories.
     for pid in &legal {
         let holders = correct.iter().filter(|h| h.contains(pid)).count();
-        assert!(
+        check!(
+            report,
             holders >= 2,
             "seed {seed}: {pid:?} held by only {holders} correct peers: {:?}",
             report.histories
@@ -125,17 +144,20 @@ fn assert_core_invariants(seed: u64, config: &HarnessConfig, report: &HarnessRep
 
 /// The strong agreement properties, for runs where they are invariant.
 fn assert_agreement(seed: u64, report: &HarnessReport) {
-    assert!(
+    check!(
+        report,
         report.orders_agree_stable(),
         "seed {seed}: stable peers diverge in order: {:?}",
         report.histories
     );
-    assert!(
+    check!(
+        report,
         report.sets_agree_stable(),
         "seed {seed}: stable peers diverge in set: {:?}",
         report.histories
     );
-    assert!(
+    check!(
+        report,
         report.read_consistent(1).is_some(),
         "seed {seed}: no f+1-consistent read answer: {:?}",
         report.histories
@@ -207,6 +229,47 @@ fn chaos_is_seed_replayable() {
     assert_eq!(a.outcomes, b.outcomes);
     assert_eq!(a.stats, b.stats);
     assert_eq!(a.end_time, b.end_time);
+    // Telemetry replays with the run: same counters, same traces.
+    assert_eq!(a.peer_metrics, b.peer_metrics);
+    assert_eq!(a.flight_dumps, b.flight_dumps);
+}
+
+/// Observation must never change behaviour: the same seed with the
+/// flight recorder off produces identical histories, outcomes, and
+/// network statistics.
+#[test]
+fn chaos_is_unchanged_by_observation() {
+    let (_, observed) = run_chaos(0xC0FFEE);
+    let mut config = chaos_config(0xC0FFEE);
+    config.flight_recorder = 0;
+    let unobserved = run_harness(&config);
+    assert_eq!(observed.histories, unobserved.histories);
+    assert_eq!(observed.outcomes, unobserved.outcomes);
+    assert_eq!(observed.stats, unobserved.stats);
+    assert_eq!(observed.end_time, unobserved.end_time);
+    assert!(unobserved.flight_dumps.is_empty());
+}
+
+/// Not a test of the system — a demo of the observability tentpole.
+/// The invariant below is intentionally false, so the run always
+/// "fails" and prints every peer's flight-recorder ring: the last
+/// transitions each attempt session took, with state and message names
+/// resolved. Run it with:
+///
+/// ```text
+/// cargo test -p asa-storage --test chaos flight_recorder_dump_demo -- --ignored
+/// ```
+#[test]
+#[ignore = "forced failure demonstrating the flight-recorder dump"]
+fn flight_recorder_dump_demo() {
+    let seed = 0xC0FFEE;
+    let (_, report) = run_chaos(seed);
+    check!(
+        report,
+        report.histories.iter().all(|h| h.is_empty()),
+        "seed {seed}: intentionally-broken invariant (\"no peer records anything\") — \
+         the flight-recorder dump above shows what every peer was actually doing"
+    );
 }
 
 /// Without checkpointing the restarted peer recovers empty. Stable-peer

@@ -1,7 +1,7 @@
 //! Unit-level checks of the harness report helpers on synthetic data.
 
 use asa_simnet::SimStats;
-use asa_storage::{HarnessReport, PeerBehaviour, Pid};
+use asa_storage::{HarnessReport, LogHistogram, MetricsSnapshot, PeerBehaviour, Pid};
 
 fn report(histories: Vec<Vec<Pid>>, behaviours: Vec<PeerBehaviour>) -> HarnessReport {
     let crashed = vec![false; histories.len()];
@@ -13,6 +13,10 @@ fn report(histories: Vec<Vec<Pid>>, behaviours: Vec<PeerBehaviour>) -> HarnessRe
         all_committed: true,
         stats: SimStats::default(),
         end_time: 0,
+        commit_latency: LogHistogram::new(),
+        retry_attempts: LogHistogram::new(),
+        peer_metrics: MetricsSnapshot::default(),
+        flight_dumps: vec![],
     }
 }
 

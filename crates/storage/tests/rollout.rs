@@ -50,12 +50,30 @@ fn fingerprint_of(image: &[u8]) -> u64 {
     Artifact::load(image).expect("valid image").fingerprint()
 }
 
+/// `assert!` that prints the peer's flight-recorder dump before
+/// panicking, so a failed rollout invariant comes with the last
+/// transitions the peer served.
+macro_rules! check_peer {
+    ($peer:expr, $cond:expr, $($msg:tt)+) => {
+        if !$cond {
+            eprint!(
+                "--- flight recorder: last transitions ---\n{}",
+                $peer.rt.dump_trace()
+            );
+            panic!($($msg)+);
+        }
+    };
+}
+
 /// Boots a fleet of `size` peers from `image` and applies a seeded
 /// burst of spawns and deliveries to each.
 fn boot_fleet(size: usize, image: &[u8], rng: &mut SimRng) -> Vec<Peer> {
     (0..size)
         .map(|_| {
             let mut rt = boot(image).runtime();
+            // Fleet runtimes fly with the recorder on: rollout failures
+            // below print the last transitions per peer.
+            rt.attach_recorder(32);
             let mut live = Vec::new();
             for _ in 0..rng.range_inclusive(1, 6) {
                 live.push(rt.spawn());
@@ -120,6 +138,9 @@ fn rollout_campaign(seed: u64) {
             let recovered = boot(&peer.image);
             peer.rt = Runtime::restore(&recovered, &peer.checkpoint)
                 .expect("checkpoint matches the image it was taken under");
+            // Telemetry is volatile: re-attach the recorder, as a
+            // recovering operator would.
+            peer.rt.attach_recorder(32);
             assert!(!peer.rt.swap_in_progress(), "no half-applied switch");
             assert_eq!(peer.rt.engine().fingerprint(), v1_fp);
             // Pre-crash handles still address their attempts.
@@ -145,8 +166,16 @@ fn rollout_campaign(seed: u64) {
     // The acceptance bar: a single consistent engine fleet-wide, every
     // peer still serving.
     for peer in &mut fleet {
-        assert_eq!(peer.rt.engine().fingerprint(), v2_fp);
-        assert!(!peer.rt.swap_in_progress());
+        check_peer!(
+            peer,
+            peer.rt.engine().fingerprint() == v2_fp,
+            "seed {seed}: peer still serving the outgoing engine"
+        );
+        check_peer!(
+            peer,
+            !peer.rt.swap_in_progress(),
+            "seed {seed}: half-applied switch survived the campaign"
+        );
         let s = peer.rt.spawn();
         let id = peer.rt.message_id(MESSAGE_NAMES[0]).unwrap();
         peer.rt.deliver(s, id);
@@ -172,6 +201,37 @@ fn rollout_sweep() {
     for seed in 1..=12 {
         rollout_campaign(seed);
     }
+}
+
+/// An aborted rollout automatically captures a flight-recorder dump:
+/// what every session was doing when the rollback happened, with the
+/// incoming-engine sessions that were force-released.
+#[test]
+fn abort_swap_captures_flight_dump() {
+    let mut rng = SimRng::new(77);
+    let v1 = PeerEngine::artifact_image(&CommitConfig::new(4).unwrap());
+    let v2 = PeerEngine::artifact_image(&CommitConfig::new(5).unwrap());
+    let mut fleet = boot_fleet(1, &v1, &mut rng);
+    let peer = &mut fleet[0];
+    match peer.rt.begin_swap(boot(&v2)).expect("alphabets match") {
+        SwapOutcome::Draining { .. } => {}
+        other => panic!("expected a draining swap, got {other:?}"),
+    }
+    // Mid-drain traffic lands on the incoming engine, then the
+    // coordinator rolls the rollout back.
+    let young = peer.rt.spawn();
+    let id = peer.rt.message_id(MESSAGE_NAMES[0]).unwrap();
+    peer.rt.deliver(young, id);
+    let dropped = peer.rt.abort_swap().expect("swap was draining");
+    assert_eq!(dropped, 1, "the mid-drain spawn is force-released");
+    let dump = peer.rt.abort_dump().expect("recorder was attached");
+    assert!(dump.contains("shard"), "dump is readable: {dump}");
+    let metrics = peer.rt.metrics();
+    assert_eq!(metrics.swaps_aborted, 1);
+    assert_eq!(
+        metrics.releases_aborted, 1,
+        "the force-release counts as an aborted (not finished) reclaim"
+    );
 }
 
 #[test]

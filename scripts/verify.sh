@@ -20,11 +20,15 @@
 #    hsm_guarded_flattened row: a guarded statechart on the
 #    compiled-EFSM tier, 64k sessions, 0 allocs/delivery hard-asserted,
 #    tracked within ~1.5x of the batched compiled-EFSM row) and the
-#    runtime-facade overhead bound (≤ 1.10x raw compiled dispatch at
-#    64k sessions, paired measurement), and BENCH_storage.json via
-#    storage_throughput (end-to-end commit throughput on the
-#    EFSM-tier runtime-backed peers) — keeping the perf trajectory
-#    tracked on every PR;
+#    telemetry overhead bounds — runtime_facade ≤ 1.10x raw compiled
+#    dispatch with telemetry compiled in but disabled, and
+#    runtime_observed (flight recorder + metrics on) ≤ 1.25x the
+#    facade, both at 64k sessions / 0 allocs per delivery, paired
+#    measurement — and BENCH_storage.json via storage_throughput
+#    (end-to-end commit throughput on the EFSM-tier runtime-backed
+#    peers, with commit-latency p99 per replication factor and
+#    recovery-latency p50/p99 on the faulted row) — keeping the perf
+#    trajectory tracked on every PR;
 # 5. replays the chaos campaign's pinned seeds (loss + duplication +
 #    reordering + a peer crash/restart recovering from its checkpoint,
 #    full agreement asserted), the artifact corruption campaign's
@@ -75,7 +79,7 @@ for row in interpreted_name compiled hsm_flattened hsm_guarded_flattened \
            batched_pool efsm_compiled \
            artifact_cold_load artifact_booted_pool \
            sharded_pool_4 sharded_persistent_4 generated \
-           runtime_facade runtime_facade_sharded_4; do
+           runtime_facade runtime_facade_sharded_4 runtime_observed; do
     grep -q "\"name\": \"$row\"" BENCH_engine_tiers.json \
         || { echo "BENCH_engine_tiers.json is missing the $row row" >&2; exit 1; }
 done
