@@ -1,0 +1,103 @@
+//! Per-run analyzer configuration: lint level overrides and the knobs
+//! of the abstract-interpretation and witness-search passes.
+
+use stategen_core::{Level, Lint};
+
+/// Configuration for one [`analyze`](crate::analyze) run.
+///
+/// Levels follow the compiler-lint convention: every [`Lint`] has a
+/// [default level](Lint::default_level), and the configuration can
+/// override it per lint — [`deny`](AnalysisConfig::deny) to make a
+/// finding reject the machine, [`warn`](AnalysisConfig::warn) to report
+/// without gating, [`allow`](AnalysisConfig::allow) to record it for
+/// the report only.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    overrides: Vec<(Lint, Level)>,
+    /// Upper bound (inclusive, from 0) of the per-variable range the
+    /// overlap witness search enumerates when parameters are bound.
+    pub var_bound: i64,
+    /// Number of joins a state absorbs before the fixpoint switches to
+    /// widening (higher = more precision on short chains, slower
+    /// convergence on loops).
+    pub widen_after: usize,
+}
+
+/// Hard cap on assignments the overlap witness search will try per
+/// transition pair, whatever `var_bound` and the variable count say.
+pub(crate) const MAX_WITNESS_ENUM: u64 = 20_000;
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            overrides: Vec::new(),
+            var_bound: 8,
+            widen_after: 3,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The default configuration (no overrides, `var_bound = 8`,
+    /// `widen_after = 3`).
+    pub fn new() -> Self {
+        AnalysisConfig::default()
+    }
+
+    /// Overrides one lint's level (the last override for a lint wins).
+    #[must_use]
+    pub fn set(mut self, lint: Lint, level: Level) -> Self {
+        self.overrides.push((lint, level));
+        self
+    }
+
+    /// Shorthand for [`set`](AnalysisConfig::set)`(lint, Level::Allow)`.
+    #[must_use]
+    pub fn allow(self, lint: Lint) -> Self {
+        self.set(lint, Level::Allow)
+    }
+
+    /// Shorthand for [`set`](AnalysisConfig::set)`(lint, Level::Warn)`.
+    #[must_use]
+    pub fn warn(self, lint: Lint) -> Self {
+        self.set(lint, Level::Warn)
+    }
+
+    /// Shorthand for [`set`](AnalysisConfig::set)`(lint, Level::Deny)`.
+    #[must_use]
+    pub fn deny(self, lint: Lint) -> Self {
+        self.set(lint, Level::Deny)
+    }
+
+    /// The effective level of a lint under this configuration.
+    pub fn level(&self, lint: Lint) -> Level {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(l, _)| *l == lint)
+            .map(|&(_, level)| level)
+            .unwrap_or_else(|| lint.default_level())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_overrides() {
+        let c = AnalysisConfig::new();
+        assert_eq!(c.level(Lint::UnreachableState), Level::Warn);
+        assert_eq!(c.level(Lint::OverlappingGuards), Level::Deny);
+        assert_eq!(c.level(Lint::EquivalentStates), Level::Allow);
+        let c = c
+            .deny(Lint::UnreachableState)
+            .allow(Lint::OverlappingGuards)
+            .warn(Lint::OverlappingGuards);
+        assert_eq!(c.level(Lint::UnreachableState), Level::Deny);
+        // Last override wins.
+        assert_eq!(c.level(Lint::OverlappingGuards), Level::Warn);
+        assert_eq!(c.var_bound, 8);
+        assert_eq!(c.widen_after, 3);
+    }
+}

@@ -1,0 +1,304 @@
+//! Behavioural equivalence and provably-safe state minimization.
+//!
+//! [`equivalence_classes`] partitions the *live* states of a
+//! [`FlatIr`] — reachable along transitions that can actually fire —
+//! into behavioural equivalence classes by Moore-style partition
+//! refinement, and [`minimize`] rebuilds the quotient machine: one
+//! state per class, unreachable states and provably-dead transitions
+//! dropped, everything else untouched.
+//!
+//! Safety argument (the "provably" in provably-safe): every fact the
+//! transform relies on holds for **every** parameter binding —
+//!
+//! * reachability follows only transitions whose guards are not proved
+//!   unsatisfiable by [`guard_unsat`] (a binding-independent proof) and
+//!   never leaves a [`Finish`](StateRole::Finish) state (finish states
+//!   absorb every message by definition);
+//! * a transition shadowed by an earlier *unconditional* transition on
+//!   the same message can never fire under the first-match rule,
+//!   whatever the bindings;
+//! * two states merge only when their signatures agree **structurally**:
+//!   same role, and per message the same guards, updates, actions and
+//!   (up to the partition) targets, in the same priority order. A
+//!   structural match steps identically under any binding, so the
+//!   quotient is observation-equivalent (actions emitted and
+//!   `is_finished`) on every execution tier.
+//!
+//! The refinement is conservative for guarded machines (structurally
+//! different but semantically equal guards keep states apart — a missed
+//! merge, never a wrong one); for unguarded machines the per-message
+//! signature normalizes a missing transition to the implicit no-action
+//! self-loop, so it computes the coarsest observational partition and
+//! [`minimize`] is a true minimizer there.
+
+use stategen_core::efsm::Guard;
+use stategen_core::interval::guard_unsat;
+use stategen_core::{FlatIr, FlatState, FlatTransition, StateRole};
+
+/// What [`minimize`] did, for reports and the bench harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimizeReport {
+    /// States in the input machine.
+    pub states_before: usize,
+    /// States in the quotient machine.
+    pub states_after: usize,
+    /// Transitions in the input machine (all states).
+    pub transitions_before: usize,
+    /// Transitions in the quotient machine.
+    pub transitions_after: usize,
+    /// The behavioural classes over live original state ids, in quotient
+    /// state order; a class with more than one member was merged.
+    pub classes: Vec<Vec<u32>>,
+}
+
+impl MinimizeReport {
+    /// Number of live states removed by merging (`0` when the input was
+    /// already minimal).
+    pub fn merged(&self) -> usize {
+        self.classes.iter().map(|c| c.len() - 1).sum()
+    }
+}
+
+/// The transitions of `state` that can ever fire, in priority order:
+/// none for a finish state (finish absorbs everything), and otherwise
+/// every transition that is neither provably unsatisfiable
+/// ([`guard_unsat`], binding-independent) nor shadowed by an earlier
+/// unconditional transition on the same message.
+pub(crate) fn live_transitions(state: &FlatState) -> Vec<&FlatTransition> {
+    if state.role() == StateRole::Finish {
+        return Vec::new();
+    }
+    let mut closed: Vec<u16> = Vec::new();
+    let mut live = Vec::new();
+    for t in state.transitions() {
+        let message = t.message_index() as u16;
+        if closed.contains(&message) || guard_unsat(t.guard()) {
+            continue;
+        }
+        if t.guard().conditions().is_empty() {
+            closed.push(message);
+        }
+        live.push(t);
+    }
+    live
+}
+
+/// Dense ids of the states reachable from the start along live
+/// transitions, in ascending order.
+pub(crate) fn live_reachable(ir: &FlatIr) -> Vec<u32> {
+    let n = ir.state_count();
+    let mut seen = vec![false; n];
+    let mut stack = vec![ir.start()];
+    seen[ir.start() as usize] = true;
+    while let Some(s) = stack.pop() {
+        for t in live_transitions(&ir.states()[s as usize]) {
+            if !seen[t.target() as usize] {
+                seen[t.target() as usize] = true;
+                stack.push(t.target());
+            }
+        }
+    }
+    (0..n as u32).filter(|&s| seen[s as usize]).collect()
+}
+
+/// One component of a state's behavioural signature under the current
+/// partition. Structural guard/update encodings keep the comparison
+/// binding-independent (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum SigPart {
+    /// Finish states absorb everything; their outgoing shape is
+    /// irrelevant.
+    Finish,
+    /// A guarded transition: message, structural guard and update
+    /// encodings, action names, and the target's class.
+    Guarded(usize, String, String, Vec<String>, usize),
+    /// An unguarded machine's cell for one message: action names and the
+    /// target's class (the implicit self-loop when the message is
+    /// unhandled).
+    Cell(Vec<String>, usize),
+}
+
+fn encode_guard(guard: &Guard) -> String {
+    format!("{:?}", guard.conditions())
+}
+
+fn signature(
+    ir: &FlatIr,
+    state_id: u32,
+    live: &[&FlatTransition],
+    class_of: &[usize],
+) -> Vec<SigPart> {
+    let state = &ir.states()[state_id as usize];
+    if state.role() == StateRole::Finish {
+        return vec![SigPart::Finish];
+    }
+    let actions = |t: &FlatTransition| {
+        t.actions()
+            .iter()
+            .map(|a| a.message().to_string())
+            .collect::<Vec<_>>()
+    };
+    if ir.is_guarded() {
+        live.iter()
+            .map(|t| {
+                SigPart::Guarded(
+                    t.message_index(),
+                    encode_guard(t.guard()),
+                    format!("{:?}", t.updates()),
+                    actions(t),
+                    class_of[t.target() as usize],
+                )
+            })
+            .collect()
+    } else {
+        // Per-message normal form: the first live transition wins under
+        // first-match; a missing message is the implicit no-action
+        // self-loop.
+        (0..ir.messages().len())
+            .map(|m| match live.iter().find(|t| t.message_index() == m) {
+                Some(t) => SigPart::Cell(actions(t), class_of[t.target() as usize]),
+                None => SigPart::Cell(Vec::new(), class_of[state_id as usize]),
+            })
+            .collect()
+    }
+}
+
+/// Partitions the live states of `ir` into behavioural equivalence
+/// classes (see the module docs for the exact relation). Returns the
+/// classes in quotient order — each a sorted list of original dense
+/// ids, ordered by first member — so `classes[k][0]` is the
+/// representative of quotient state `k`.
+pub fn equivalence_classes(ir: &FlatIr) -> Vec<Vec<u32>> {
+    let nodes = live_reachable(ir);
+    let live: Vec<Vec<&FlatTransition>> = nodes
+        .iter()
+        .map(|&s| live_transitions(&ir.states()[s as usize]))
+        .collect();
+
+    // Initial partition: by role. `class_of` is indexed by original
+    // dense id (unreachable slots keep a dummy value nothing reads).
+    let mut class_of = vec![0usize; ir.state_count()];
+    let mut count = 0usize;
+    let mut role_class: Vec<(StateRole, usize)> = Vec::new();
+    for &s in &nodes {
+        let role = ir.states()[s as usize].role();
+        let class = match role_class.iter().find(|(r, _)| *r == role) {
+            Some(&(_, c)) => c,
+            None => {
+                role_class.push((role, count));
+                count += 1;
+                count - 1
+            }
+        };
+        class_of[s as usize] = class;
+    }
+
+    // Refine until stable: split classes whose members' signatures under
+    // the current partition differ. New class ids are assigned by first
+    // occurrence in dense-id order, which makes the numbering (and the
+    // rebuilt machine) deterministic and minimization idempotent.
+    loop {
+        let mut keys: Vec<((usize, Vec<SigPart>), usize)> = Vec::new();
+        let mut next = vec![0usize; ir.state_count()];
+        let mut next_count = 0usize;
+        for (i, &s) in nodes.iter().enumerate() {
+            let key = (class_of[s as usize], signature(ir, s, &live[i], &class_of));
+            let class = match keys.iter().find(|(k, _)| *k == key) {
+                Some(&(_, c)) => c,
+                None => {
+                    keys.push((key, next_count));
+                    next_count += 1;
+                    next_count - 1
+                }
+            };
+            next[s as usize] = class;
+        }
+        let stable = next_count == count;
+        class_of = next;
+        count = next_count;
+        if stable {
+            break;
+        }
+    }
+
+    let mut classes: Vec<Vec<u32>> = vec![Vec::new(); count];
+    for &s in &nodes {
+        classes[class_of[s as usize]].push(s);
+    }
+    classes
+}
+
+/// Rebuilds `ir` as its behavioural quotient: one state per
+/// [`equivalence_classes`] class (the first member is the
+/// representative and keeps its name and role), unreachable states and
+/// provably-dead transitions dropped, targets remapped, exact duplicate
+/// transitions collapsed. The message alphabet, parameters, variables
+/// and machine name are preserved, so any parameter binding valid for
+/// the input is valid for the quotient.
+///
+/// The result is observation-equivalent to the input — same actions,
+/// same `is_finished` — on every execution tier, for every binding
+/// (the property suite pins this against all four tiers), and
+/// `minimize` is idempotent: minimizing a quotient returns it
+/// unchanged.
+pub fn minimize(ir: &FlatIr) -> (FlatIr, MinimizeReport) {
+    let classes = equivalence_classes(ir);
+    let mut class_of = vec![0usize; ir.state_count()];
+    for (k, class) in classes.iter().enumerate() {
+        for &s in class {
+            class_of[s as usize] = k;
+        }
+    }
+
+    let states: Vec<FlatState> = classes
+        .iter()
+        .map(|class| {
+            let rep = &ir.states()[class[0] as usize];
+            let live = live_transitions(rep);
+            let mut transitions: Vec<FlatTransition> = Vec::new();
+            if rep.role() != StateRole::Finish {
+                let picked: Vec<&FlatTransition> = if ir.is_guarded() {
+                    live
+                } else {
+                    // One transition per message: the first-match winner.
+                    (0..ir.messages().len())
+                        .filter_map(|m| live.iter().copied().find(|t| t.message_index() == m))
+                        .collect()
+                };
+                for t in picked {
+                    let rebuilt = FlatTransition::new(
+                        t.message_index(),
+                        t.guard().clone(),
+                        t.updates().to_vec(),
+                        t.actions().to_vec(),
+                        class_of[t.target() as usize] as u32,
+                    );
+                    // Merging targets can turn distinct transitions into
+                    // exact duplicates; the later one can never fire.
+                    if !transitions.contains(&rebuilt) {
+                        transitions.push(rebuilt);
+                    }
+                }
+            }
+            FlatState::new(rep.name(), rep.role(), transitions)
+        })
+        .collect();
+
+    let report = MinimizeReport {
+        states_before: ir.state_count(),
+        states_after: states.len(),
+        transitions_before: ir.states().iter().map(|s| s.transitions().len()).sum(),
+        transitions_after: states.iter().map(|s| s.transitions().len()).sum(),
+        classes,
+    };
+    let start = class_of[ir.start() as usize] as u32;
+    let minimized = FlatIr::from_parts(
+        ir.name(),
+        ir.messages().to_vec(),
+        ir.params().to_vec(),
+        ir.variables().to_vec(),
+        states,
+        start,
+    );
+    (minimized, report)
+}

@@ -78,8 +78,13 @@ fn generated_machines_validate() {
     for r in [4u32, 7, 13] {
         let g = generate(&CommitModel::new(CommitConfig::new(r).unwrap())).unwrap();
         let report = validate_machine(&g.machine);
-        assert!(report.is_valid(), "r={r}: {:?}", report.issues);
-        assert_eq!(report.issues.len(), 0, "r={r}: {:?}", report.issues);
+        assert!(report.is_valid(), "r={r}: {:?}", report.diagnostics);
+        assert_eq!(
+            report.diagnostics.len(),
+            0,
+            "r={r}: {:?}",
+            report.diagnostics
+        );
     }
 }
 

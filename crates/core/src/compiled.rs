@@ -77,7 +77,11 @@ pub struct CompiledMachine {
     state_names: Box<[String]>,
     finish: Box<[bool]>,
     start: u32,
+    /// Width of a table row: the number of *message column classes*
+    /// (≤ the alphabet size; see [`CompiledMachine::compile_ir`]).
     stride: usize,
+    /// Message id → column class, the alphabet-compression indirection.
+    column_of: Box<[u16]>,
     targets: Box<[u32]>,
     cells: Box<[ActionRange]>,
     arena: Box<[Action]>,
@@ -100,6 +104,20 @@ impl CompiledMachine {
     /// pipeline (flat machines lift trivially; unguarded statecharts
     /// arrive via
     /// [`HierarchicalMachine::flatten_ir`](crate::HierarchicalMachine::flatten_ir)).
+    ///
+    /// # Errors
+    ///
+    /// The table is stored in *message-alphabet-compressed* form:
+    /// messages whose columns are identical across every state (same
+    /// target and same actions in every cell — equivalently, messages
+    /// the machine never distinguishes) share one physical column, and
+    /// a tiny `message id → column` map (one `u16` per message) is
+    /// consulted on dispatch. Machines whose messages are all distinct
+    /// pay one extra indexed load; machines with interchangeable
+    /// messages (common after statechart flattening and minimization)
+    /// shrink their hot table proportionally. The compression is
+    /// behaviour-preserving by construction: two messages share a
+    /// column only when every state already treated them identically.
     ///
     /// # Errors
     ///
@@ -146,6 +164,37 @@ impl CompiledMachine {
             }
         }
 
+        // Message-alphabet compression: group messages whose full
+        // columns (target + actions per state) are identical, then store
+        // only one physical column per class. Classes are numbered in
+        // first-occurrence order, so the column map is deterministic.
+        let mut column_of = vec![0u16; stride];
+        let mut class_rep: Vec<usize> = Vec::new(); // class → representative message
+        for m in 0..stride {
+            let class = class_rep.iter().position(|&rep| {
+                (0..state_count).all(|s| {
+                    targets[s * stride + m] == targets[s * stride + rep]
+                        && cells[s * stride + m] == cells[s * stride + rep]
+                })
+            });
+            column_of[m] = match class {
+                Some(c) => c as u16,
+                None => {
+                    class_rep.push(m);
+                    (class_rep.len() - 1) as u16
+                }
+            };
+        }
+        let n_classes = class_rep.len().max(1);
+        let mut compact_targets = vec![NO_TRANSITION; state_count * n_classes];
+        let mut compact_cells = vec![ActionRange::default(); state_count * n_classes];
+        for s in 0..state_count {
+            for (c, &rep) in class_rep.iter().enumerate() {
+                compact_targets[s * n_classes + c] = targets[s * stride + rep];
+                compact_cells[s * n_classes + c] = cells[s * stride + rep];
+            }
+        }
+
         Ok(CompiledMachine {
             name: ir.name().to_string(),
             messages: ir.messages().to_vec().into_boxed_slice(),
@@ -158,9 +207,10 @@ impl CompiledMachine {
             state_names: state_names.into_boxed_slice(),
             finish: finish.into_boxed_slice(),
             start: ir.start(),
-            stride,
-            targets: targets.into_boxed_slice(),
-            cells: cells.into_boxed_slice(),
+            stride: n_classes,
+            column_of: column_of.into_boxed_slice(),
+            targets: compact_targets.into_boxed_slice(),
+            cells: compact_cells.into_boxed_slice(),
             interned_lists: arena.interned_lists(),
             arena: arena.into_arena(),
         })
@@ -223,6 +273,14 @@ impl CompiledMachine {
         self.interned_lists
     }
 
+    /// Number of *message column classes* the table stores — the width
+    /// of a physical row after alphabet compression. Equal to the
+    /// alphabet size when every message behaves distinctly; smaller
+    /// when some messages are interchangeable in every state.
+    pub fn message_column_classes(&self) -> usize {
+        self.stride
+    }
+
     /// Executes one transition: from `state` on `message`, returns the
     /// target state and the borrowed action list, or `None` if the
     /// message is not applicable (including any message in a finish
@@ -243,10 +301,11 @@ impl CompiledMachine {
     #[inline]
     pub fn step(&self, state: u32, message: MessageId) -> Option<(u32, &[Action])> {
         debug_assert!(
-            message.index() < self.stride,
+            message.index() < self.column_of.len(),
             "message id from a different machine"
         );
-        let idx = state as usize * self.stride + message.index();
+        let column = self.column_of[message.index()] as usize;
+        let idx = state as usize * self.stride + column;
         let target = self.targets[idx];
         if target == NO_TRANSITION {
             return None;
@@ -446,6 +505,39 @@ mod tests {
         let _ = i.deliver_id(compiled.message_id("a").unwrap());
         // `first` borrows from the machine arena, not the instance.
         assert_eq!(first, [Action::send("x")]);
+    }
+
+    #[test]
+    fn identical_message_columns_share_storage() {
+        // `a` and `b` are treated identically in every state; `c` is
+        // distinct. The table stores two physical columns, and behaviour
+        // is unchanged.
+        let mut b = StateMachineBuilder::new("m", ["a", "b", "c"]);
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        b.add_transition(s0, "a", s1, vec![Action::send("x")]);
+        b.add_transition(s0, "b", s1, vec![Action::send("x")]);
+        b.add_transition(s0, "c", s0, vec![]);
+        b.add_transition(s1, "a", s0, vec![]);
+        b.add_transition(s1, "b", s0, vec![]);
+        let m = b.build(s0);
+        let compiled = CompiledMachine::compile(&m);
+        assert_eq!(compiled.messages().len(), 3);
+        assert_eq!(compiled.message_column_classes(), 2);
+        let mut i = compiled.instance();
+        assert_eq!(i.deliver_ref("b").unwrap(), [Action::send("x")]);
+        assert_eq!(i.state_name_str(), "s1");
+        assert!(i.deliver_ref("a").unwrap().is_empty());
+        assert_eq!(i.state_name_str(), "s0");
+        assert!(i.deliver_ref("c").unwrap().is_empty());
+        assert_eq!(i.state_name_str(), "s0");
+    }
+
+    #[test]
+    fn distinct_columns_are_not_compressed() {
+        let m = finishing_machine();
+        let compiled = CompiledMachine::compile(&m);
+        assert_eq!(compiled.message_column_classes(), 2);
     }
 
     #[test]

@@ -548,6 +548,13 @@ pub enum StategenError {
     Artifact(ArtifactError),
     /// A runtime hot-swap was rejected or cannot proceed.
     Swap(SwapError),
+    /// The semantic analyzer found deny-level diagnostics (the
+    /// `Spec::analyzed` gate in `stategen-runtime` rejects the machine
+    /// before it compiles; see the `stategen-analysis` crate).
+    Analysis {
+        /// The deny-level findings, in report order.
+        diagnostics: Vec<crate::diag::Diagnostic>,
+    },
 }
 
 impl fmt::Display for StategenError {
@@ -592,6 +599,17 @@ impl fmt::Display for StategenError {
             }
             StategenError::Artifact(e) => write!(f, "artifact rejected: {e}"),
             StategenError::Swap(e) => write!(f, "hot-swap failed: {e}"),
+            StategenError::Analysis { diagnostics } => {
+                write!(
+                    f,
+                    "analysis rejected the machine: {} deny-level finding(s)",
+                    diagnostics.len()
+                )?;
+                if let Some(first) = diagnostics.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

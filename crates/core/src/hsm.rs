@@ -668,25 +668,49 @@ impl HierarchicalMachine {
     /// declaration.
     pub fn check_guard_determinism(&self, params: &[i64], var_bound: i64) -> Result<(), String> {
         assert_eq!(params.len(), self.params.len(), "wrong parameter count");
+        // Sound interval prefilter: a `(state, message)` group needs the
+        // bounded enumeration only if some pair of its transitions is
+        // *not* provably disjoint by the canonical-difference analysis
+        // ([`guards_disjoint`](crate::interval::guards_disjoint)). For
+        // the common complementary-guard idiom (`v + 1 < b` vs.
+        // `v + 1 >= b`) every pair is proved disjoint and the
+        // exponential enumeration is skipped entirely.
+        let mut suspect: Vec<(usize, u16)> = Vec::new();
+        for (si, state) in self.states.iter().enumerate() {
+            for (&mid, ts) in &state.transitions {
+                let provably_disjoint = (0..ts.len()).all(|i| {
+                    (i + 1..ts.len())
+                        .all(|j| crate::interval::guards_disjoint(&ts[i].guard, &ts[j].guard))
+                });
+                if !provably_disjoint {
+                    suspect.push((si, mid));
+                }
+            }
+        }
+        if suspect.is_empty() {
+            return Ok(());
+        }
+        // Refinement fallback: enumerate variable values for the groups
+        // the intervals could not discharge.
         let nvars = self.variables.len();
         let mut vars = vec![0i64; nvars];
         loop {
-            for state in &self.states {
-                for (&mid, ts) in &state.transitions {
-                    let mut matched: Option<usize> = None;
-                    for (ti, t) in ts.iter().enumerate() {
-                        if !t.guard.eval(&vars, params) {
-                            continue;
-                        }
-                        if let Some(prev) = matched {
-                            return Err(format!(
-                                "state `{}`, message `{}`: transitions {prev} and {ti} both \
-                                 enabled at vars {vars:?}",
-                                state.name, self.messages[mid as usize]
-                            ));
-                        }
-                        matched = Some(ti);
+            for &(si, mid) in &suspect {
+                let state = &self.states[si];
+                let ts = &state.transitions[&mid];
+                let mut matched: Option<usize> = None;
+                for (ti, t) in ts.iter().enumerate() {
+                    if !t.guard.eval(&vars, params) {
+                        continue;
                     }
+                    if let Some(prev) = matched {
+                        return Err(format!(
+                            "state `{}`, message `{}`: transitions {prev} and {ti} both \
+                             enabled at vars {vars:?}",
+                            state.name, self.messages[mid as usize]
+                        ));
+                    }
+                    matched = Some(ti);
                 }
             }
             // Advance the mixed-radix counter over variable values.
@@ -713,7 +737,12 @@ impl HierarchicalMachine {
     /// leaf × shallow-history memory), discovered breadth-first from the
     /// initial configuration — so unreachable corners of the
     /// configuration product (e.g. a history memory that can never be
-    /// recorded) are pruned by construction. Each flat transition
+    /// recorded) are pruned by construction. The enumeration is
+    /// *guard-aware*: a candidate transition whose guard is provably
+    /// unsatisfiable ([`guard_unsat`](crate::interval::guard_unsat) —
+    /// e.g. it conjoins the complementary `v + 1 < b` and `v + 1 ≥ b`)
+    /// is skipped, so configurations reachable only through it are
+    /// never enumerated. Each flat transition
     /// carries the full synthesized action sequence (exit actions
     /// innermost-first, then the transition's own actions, then entry
     /// actions outermost-first) plus the source transition's guard and
@@ -767,6 +796,15 @@ impl HierarchicalMachine {
             let mut lowered = Vec::new();
             for m in 0..self.messages.len() as u16 {
                 for (handler, t) in self.candidates(leaf, m) {
+                    // Guard-aware reachability pruning: a candidate whose
+                    // guard is provably unsatisfiable (for every variable
+                    // and parameter assignment — see
+                    // [`guard_unsat`](crate::interval::guard_unsat)) can
+                    // never fire, so neither it nor any configuration
+                    // only reachable through it is enumerated.
+                    if crate::interval::guard_unsat(&t.guard) {
+                        continue;
+                    }
                     let mut mem = memory.clone();
                     let mut actions = Vec::new();
                     let new_leaf = self.apply_transition(leaf, &mut mem, handler, t, &mut actions);

@@ -77,6 +77,30 @@ pub struct FlatTransition {
 }
 
 impl FlatTransition {
+    /// Builds a transition from its parts. Range validity against the
+    /// owning machine (message index, target state, guard/update
+    /// operands) is checked when the transition is assembled into an IR
+    /// by [`FlatIr::from_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message` does not fit the IR's `u16` message index.
+    pub fn new(
+        message: usize,
+        guard: Guard,
+        updates: Vec<Update>,
+        actions: Vec<Action>,
+        target: u32,
+    ) -> FlatTransition {
+        FlatTransition {
+            message: u16::try_from(message).expect("message index fits u16"),
+            guard,
+            updates,
+            actions,
+            target,
+        }
+    }
+
     /// Index of the triggering message (into [`FlatIr::messages`]).
     pub fn message_index(&self) -> usize {
         usize::from(self.message)
@@ -115,6 +139,15 @@ pub struct FlatState {
 }
 
 impl FlatState {
+    /// Builds a state from its parts (see [`FlatIr::from_parts`]).
+    pub fn new(name: impl Into<String>, role: StateRole, transitions: Vec<FlatTransition>) -> Self {
+        FlatState {
+            name: name.into(),
+            role,
+            transitions,
+        }
+    }
+
     /// The state's display name.
     pub fn name(&self) -> &str {
         &self.name
@@ -341,6 +374,100 @@ impl FlatIr {
             variables: efsm.variables().to_vec(),
             states,
             start: efsm.start().index() as u32,
+        }
+    }
+
+    /// Assembles an IR from its parts, validating the cross-references
+    /// the interpreters and compilers rely on. This is the programmatic
+    /// construction path used by IR-to-IR transforms (above all
+    /// `stategen_analysis::minimize`); the front-end lowerings
+    /// ([`FlatIr::from_machine`], [`FlatIr::from_efsm`],
+    /// [`HierarchicalMachine::flatten_ir`](crate::HierarchicalMachine::flatten_ir))
+    /// remain the normal entry points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IR would be malformed: no states, a start id or
+    /// transition target out of range, a message index outside the
+    /// alphabet, or a guard/update operand referencing an undeclared
+    /// variable or parameter.
+    pub fn from_parts(
+        name: impl Into<String>,
+        messages: Vec<String>,
+        params: Vec<String>,
+        variables: Vec<String>,
+        states: Vec<FlatState>,
+        start: u32,
+    ) -> FlatIr {
+        assert!(!states.is_empty(), "IR must have at least one state");
+        assert!(
+            (start as usize) < states.len(),
+            "start state {start} is out of range ({} states)",
+            states.len()
+        );
+        let check_lin = |expr: &LinExpr, what: &str| {
+            for &(_, operand) in expr.terms() {
+                match operand {
+                    Operand::Var(v) => assert!(
+                        v.index() < variables.len(),
+                        "{what} references undeclared variable {}",
+                        v.index()
+                    ),
+                    Operand::Param(p) => assert!(
+                        p.index() < params.len(),
+                        "{what} references undeclared parameter {}",
+                        p.index()
+                    ),
+                }
+            }
+        };
+        for state in &states {
+            for t in &state.transitions {
+                assert!(
+                    t.message_index() < messages.len(),
+                    "state `{}`: message index {} is out of range ({} messages)",
+                    state.name,
+                    t.message_index(),
+                    messages.len()
+                );
+                assert!(
+                    (t.target as usize) < states.len(),
+                    "state `{}`: target {} is out of range ({} states)",
+                    state.name,
+                    t.target,
+                    states.len()
+                );
+                for cond in t.guard.conditions() {
+                    check_lin(&cond.lhs, "guard");
+                    check_lin(&cond.rhs, "guard");
+                }
+                for update in &t.updates {
+                    match update {
+                        Update::Set(v, expr) => {
+                            assert!(
+                                v.index() < variables.len(),
+                                "update sets undeclared variable {}",
+                                v.index()
+                            );
+                            check_lin(expr, "update");
+                        }
+                        Update::Inc(v) => assert!(
+                            v.index() < variables.len(),
+                            "update increments undeclared variable {}",
+                            v.index()
+                        ),
+                    }
+                }
+            }
+        }
+        FlatIr {
+            name: name.into(),
+            message_lookup: FlatIr::build_lookup(&messages),
+            messages,
+            params,
+            variables,
+            states,
+            start,
         }
     }
 

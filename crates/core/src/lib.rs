@@ -42,7 +42,13 @@
 //!   its parameter binding, with a paranoid loader that survives
 //!   truncation, bit-flips, version skew and hostile bytes (byte layout
 //!   and trust model specified in `docs/ARTIFACT_FORMAT.md`);
-//! * [`validate_machine`] — structural validation of machines.
+//! * [`validate_machine`] — structural validation of machines, reported
+//!   in the unified [`diag`] vocabulary shared with the semantic
+//!   analyzer (`stategen-analysis`);
+//! * [`interval`] — the interval abstract domain over the EFSM guard
+//!   language, used by the analyzer's guard passes, the flattener's
+//!   guard-aware reachability pruning and the statechart determinism
+//!   checker.
 //!
 //! ## Engine tiers
 //!
@@ -133,6 +139,7 @@
 pub mod artifact;
 pub mod compiled;
 pub mod component;
+pub mod diag;
 pub mod efsm;
 pub mod efsm_compiled;
 pub mod error;
@@ -140,6 +147,7 @@ pub mod fingerprint;
 pub mod generator;
 pub mod hsm;
 pub mod interp;
+pub mod interval;
 pub mod ir;
 pub mod machine;
 pub mod model;
@@ -149,6 +157,7 @@ pub mod validate;
 pub use artifact::Artifact;
 pub use compiled::{CompiledInstance, CompiledMachine};
 pub use component::{ComponentKind, StateComponent, StateSpace, StateVector};
+pub use diag::{Diagnostic, Level, Lint};
 pub use efsm::{Efsm, EfsmBuilder, EfsmInstance};
 pub use efsm_compiled::{CompiledEfsm, CompiledEfsmInstance, EfsmBinding};
 pub use error::{
@@ -164,6 +173,9 @@ pub use hsm::{
     HierarchicalMachine, HsmBuilder, HsmInstance, HsmState, HsmStateId, HsmTarget, HsmTransition,
 };
 pub use interp::{FsmInstance, ProtocolEngine};
+pub use interval::{
+    cond_status, eval_lin, guard_status, guard_unsat, guards_disjoint, CondStatus, Interval,
+};
 pub use ir::{FlatIr, FlatState, FlatTransition, IrInstance};
 pub use machine::{
     Action, MessageId, State, StateId, StateMachine, StateMachineBuilder, StateRole, Transition,
@@ -171,5 +183,5 @@ pub use machine::{
 pub use model::{AbstractModel, Outcome, TransitionSpec};
 pub use session::{BatchEngine, EfsmSessionPool, ParkedWorkers, SessionPool, ShardedPool};
 pub use validate::{
-    missing_transitions, validate_machine, Severity, ValidationIssue, ValidationReport,
+    missing_transitions, structural_diagnostics, validate_machine, ValidationReport,
 };

@@ -3,101 +3,76 @@
 //! The generation engine produces machines that are well-formed by
 //! construction; this module provides an independent checker used by the
 //! test-suites, and by callers that build machines by hand.
+//!
+//! Findings are reported in the unified diagnostic vocabulary of
+//! [`crate::diag`] — the same [`Diagnostic`] type and [`Level`] enum the
+//! semantic analyzer (the `stategen-analysis` crate) uses — so
+//! structural and semantic findings render and gate uniformly.
+//! [`validate_machine`] is the historical entry point, kept as a thin
+//! shim over [`structural_diagnostics`].
 
 use std::collections::VecDeque;
-use std::fmt;
 
+use crate::diag::{Diagnostic, Level, Lint};
 use crate::machine::{MessageId, StateId, StateMachine, StateRole};
 
-/// Severity of a validation finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Severity {
-    /// The machine violates a structural invariant.
-    Error,
-    /// Suspicious but not structurally invalid.
-    Warning,
-}
-
-/// A single validation finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ValidationIssue {
-    /// How severe the finding is.
-    pub severity: Severity,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl fmt::Display for ValidationIssue {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let tag = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
-        write!(f, "{tag}: {}", self.message)
-    }
-}
-
-/// The outcome of validating a machine.
+/// The outcome of validating a machine: the structural findings, in the
+/// unified diagnostic vocabulary.
 #[derive(Debug, Clone, Default)]
 pub struct ValidationReport {
     /// All findings.
-    pub issues: Vec<ValidationIssue>,
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl ValidationReport {
-    /// `true` if no error-severity issues were found.
+    /// `true` if no deny-level diagnostics were found.
     pub fn is_valid(&self) -> bool {
-        self.issues.iter().all(|i| i.severity != Severity::Error)
+        self.diagnostics.iter().all(|d| d.level != Level::Deny)
     }
 
-    /// Error-severity issues.
-    pub fn errors(&self) -> impl Iterator<Item = &ValidationIssue> {
-        self.issues.iter().filter(|i| i.severity == Severity::Error)
+    /// Deny-level diagnostics (structural invariant violations).
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.level == Level::Deny)
     }
 
-    /// Warning-severity issues.
-    pub fn warnings(&self) -> impl Iterator<Item = &ValidationIssue> {
-        self.issues
-            .iter()
-            .filter(|i| i.severity == Severity::Warning)
-    }
-
-    fn error(&mut self, message: String) {
-        self.issues.push(ValidationIssue {
-            severity: Severity::Error,
-            message,
-        });
-    }
-
-    fn warning(&mut self, message: String) {
-        self.issues.push(ValidationIssue {
-            severity: Severity::Warning,
-            message,
-        });
+    /// Warn-level diagnostics (suspicious but not structurally invalid).
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.level == Level::Warn)
     }
 }
 
-/// Validates the structural invariants of a machine:
+/// Computes the structural findings of a machine, each at its lint's
+/// default level:
 ///
-/// * final states (role `Finish`) have no outgoing transitions (error);
-/// * all states are reachable from the start state (warning otherwise);
-/// * non-final dead-end states (warning);
-/// * state names are unique (warning otherwise).
+/// * [`Lint::FinalWithOutgoing`] (deny) — final states (role `Finish`)
+///   must have no outgoing transitions;
+/// * [`Lint::UnreachableState`] (warn) — every state should be
+///   reachable from the start state;
+/// * [`Lint::DeadEndState`] (warn) — non-final states should have at
+///   least one outgoing transition;
+/// * [`Lint::DuplicateStateName`] (warn) — state names should be
+///   unique.
 ///
 /// Transition-target and message-id range validity are enforced by
-/// construction ([`StateMachineBuilder`](crate::StateMachineBuilder) panics
-/// on violations), so they cannot be observed here.
-pub fn validate_machine(machine: &StateMachine) -> ValidationReport {
-    let mut report = ValidationReport::default();
+/// construction ([`StateMachineBuilder`](crate::StateMachineBuilder)
+/// panics on violations), so they cannot be observed here.
+pub fn structural_diagnostics(machine: &StateMachine) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
 
     // Final states process no messages.
-    for (_id, state) in machine.states_with_ids() {
+    for (id, state) in machine.states_with_ids() {
         if state.role() == StateRole::Finish && state.transition_count() != 0 {
-            report.error(format!(
-                "final state `{}` has {} outgoing transitions",
-                state.name(),
-                state.transition_count()
-            ));
+            diagnostics.push(
+                Diagnostic::new(
+                    Lint::FinalWithOutgoing,
+                    format!(
+                        "final state `{}` has {} outgoing transitions",
+                        state.name(),
+                        state.transition_count()
+                    ),
+                )
+                .at_state(id.index() as u32),
+            );
         }
     }
 
@@ -116,20 +91,32 @@ pub fn validate_machine(machine: &StateMachine) -> ValidationReport {
     }
     for (id, state) in machine.states_with_ids() {
         if !seen[id.index()] {
-            report.warning(format!(
-                "state `{}` is unreachable from the start state",
-                state.name()
-            ));
+            diagnostics.push(
+                Diagnostic::new(
+                    Lint::UnreachableState,
+                    format!(
+                        "state `{}` is unreachable from the start state",
+                        state.name()
+                    ),
+                )
+                .at_state(id.index() as u32),
+            );
         }
     }
 
     // Dead ends that are not final states.
-    for (_id, state) in machine.states_with_ids() {
+    for (id, state) in machine.states_with_ids() {
         if state.transition_count() == 0 && state.role() != StateRole::Finish {
-            report.warning(format!(
-                "state `{}` has no outgoing transitions but is not a final state",
-                state.name()
-            ));
+            diagnostics.push(
+                Diagnostic::new(
+                    Lint::DeadEndState,
+                    format!(
+                        "state `{}` has no outgoing transitions but is not a final state",
+                        state.name()
+                    ),
+                )
+                .at_state(id.index() as u32),
+            );
         }
     }
 
@@ -138,11 +125,22 @@ pub fn validate_machine(machine: &StateMachine) -> ValidationReport {
     names.sort_unstable();
     for pair in names.windows(2) {
         if pair[0] == pair[1] {
-            report.warning(format!("duplicate state name `{}`", pair[0]));
+            diagnostics.push(Diagnostic::new(
+                Lint::DuplicateStateName,
+                format!("duplicate state name `{}`", pair[0]),
+            ));
         }
     }
 
-    report
+    diagnostics
+}
+
+/// Validates the structural invariants of a machine — the historical
+/// entry point, now a thin shim over [`structural_diagnostics`].
+pub fn validate_machine(machine: &StateMachine) -> ValidationReport {
+    ValidationReport {
+        diagnostics: structural_diagnostics(machine),
+    }
 }
 
 /// Lists the `(state, message)` pairs with no transition — the messages
@@ -181,8 +179,12 @@ mod tests {
         b.add_transition(s0, "a", fin, vec![Action::send("x")]);
         let m = b.build(s0);
         let report = validate_machine(&m);
-        assert!(report.is_valid(), "unexpected issues: {:?}", report.issues);
-        assert_eq!(report.issues.len(), 0);
+        assert!(
+            report.is_valid(),
+            "unexpected issues: {:?}",
+            report.diagnostics
+        );
+        assert_eq!(report.diagnostics.len(), 0);
     }
 
     #[test]
@@ -195,6 +197,10 @@ mod tests {
         let report = validate_machine(&m);
         assert!(report.is_valid());
         assert_eq!(report.warnings().count(), 2); // unreachable + dead end
+        assert!(report
+            .warnings()
+            .any(|d| d.lint == Lint::UnreachableState && d.state == Some(1)));
+        assert!(report.warnings().any(|d| d.lint == Lint::DeadEndState));
     }
 
     #[test]
@@ -206,6 +212,10 @@ mod tests {
         let report = validate_machine(&m);
         assert!(!report.is_valid());
         assert_eq!(report.errors().count(), 1);
+        assert_eq!(
+            report.errors().next().unwrap().lint,
+            Lint::FinalWithOutgoing
+        );
     }
 
     #[test]
@@ -219,7 +229,7 @@ mod tests {
         let report = validate_machine(&m);
         assert!(report
             .warnings()
-            .any(|w| w.message.contains("duplicate state name")));
+            .any(|w| w.lint == Lint::DuplicateStateName && w.message.contains("dup")));
     }
 
     #[test]
@@ -237,11 +247,16 @@ mod tests {
     }
 
     #[test]
-    fn issue_display() {
-        let issue = ValidationIssue {
-            severity: Severity::Error,
-            message: "boom".to_string(),
-        };
-        assert_eq!(issue.to_string(), "error: boom");
+    fn diagnostics_render_uniformly() {
+        let mut b = StateMachineBuilder::new("m", ["a"]);
+        let s0 = b.add_state_full("s0", None, StateRole::Finish, vec![]);
+        b.add_transition(s0, "a", s0, vec![]);
+        let m = b.build(s0);
+        let report = validate_machine(&m);
+        let rendered = report.errors().next().unwrap().to_string();
+        assert!(
+            rendered.starts_with("deny[final-with-outgoing]:"),
+            "{rendered}"
+        );
     }
 }

@@ -142,7 +142,7 @@ proptest! {
         let hsm = build_random_hsm(&r);
         let flat = hsm.flatten();
         let report = validate_machine(&flat);
-        prop_assert!(report.is_valid(), "{:?}", report.issues);
+        prop_assert!(report.is_valid(), "{:?}", report.diagnostics);
         let compiled = CompiledMachine::compile(&flat);
 
         let mut reference = hsm.instance();

@@ -143,8 +143,8 @@ proptest! {
     fn generated_machines_validate(model in two_counter()) {
         let g = generate(&model).expect("generates");
         let report = validate_machine(&g.machine);
-        prop_assert!(report.is_valid(), "{:?}", report.issues);
-        prop_assert_eq!(report.issues.len(), 0, "{:?}", report.issues);
+        prop_assert!(report.is_valid(), "{:?}", report.diagnostics);
+        prop_assert_eq!(report.diagnostics.len(), 0, "{:?}", report.diagnostics);
     }
 
     #[test]

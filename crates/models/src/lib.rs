@@ -17,7 +17,11 @@
 //! * [`session_lifecycle_guarded`] — the same statechart with a
 //!   parameter-bound *retry budget* (guards and variable updates on
 //!   hierarchical transitions), the worked model of the guarded
-//!   statechart pipeline onto the compiled-EFSM tier.
+//!   statechart pipeline onto the compiled-EFSM tier;
+//! * [`redundant_ring`] — a deliberately redundant statechart family
+//!   whose flattened work states are all behaviourally equivalent, the
+//!   worked input of `stategen-analysis`' provably-safe state
+//!   minimization (and its `hsm_minimized` bench row).
 //!
 //! Each is an ordinary [`AbstractModel`](stategen_core::AbstractModel):
 //! the same generation pipeline, renderers and interpreters apply without
@@ -31,11 +35,13 @@
 pub mod broadcast;
 pub mod broadcast_efsm;
 pub mod lifecycle;
+pub mod redundant;
 pub mod rounds;
 pub mod termination;
 
 pub use broadcast::BroadcastModel;
 pub use broadcast_efsm::{broadcast_efsm, broadcast_efsm_instance, broadcast_efsm_params};
 pub use lifecycle::{session_lifecycle, session_lifecycle_guarded};
+pub use redundant::redundant_ring;
 pub use rounds::RoundsModel;
 pub use termination::TerminationModel;

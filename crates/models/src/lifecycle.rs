@@ -145,7 +145,12 @@ pub fn session_lifecycle() -> HierarchicalMachine {
 ///   failure overlay's entry actions — `alarm`, `probe` — fire via the
 ///   synthesized exit/entry sequences), still incrementing `retries`;
 /// * a successful commit resets the budget (`retries := 0`), exercising
-///   the staged `Set` update path through every tier.
+///   the staged `Set` update path through every tier;
+/// * recovery (`recover`, via shallow history) also restores a fresh
+///   budget — the reset keeps `retries` provably bounded, which the
+///   semantic analyzer (`stategen-analysis`) verifies: without it the
+///   abort→fail→recover cycle grows the register without limit and the
+///   `possible-overflow` lint fires.
 ///
 /// Because the machine carries guards, it has no flat-FSM projection:
 /// `Spec::hsm_with_params(session_lifecycle_guarded(), vec![max])`
@@ -254,9 +259,15 @@ pub fn session_lifecycle_guarded() -> HierarchicalMachine {
     b.add_history_transition(suspended, "resume", established, vec![]);
 
     b.add_transition(established, "fail", failed, vec![]);
-    b.add_history_transition(
+    // Recovery restores a *fresh* budget (`retries := 0`): without the
+    // reset, abort→fail→recover cycles would grow `retries` without
+    // bound — exactly what the analyzer's `possible-overflow` lint
+    // flagged on the original formulation of this model.
+    b.add_guarded_history_transition(
         probing,
         "recover",
+        Guard::always(),
+        vec![Update::Set(retries, LinExpr::constant(0))],
         established,
         vec![Action::send("recovered")],
     );
@@ -364,7 +375,7 @@ mod tests {
         let hsm = session_lifecycle();
         let flat = hsm.flatten();
         let report = validate_machine(&flat);
-        assert!(report.is_valid(), "{:?}", report.issues);
+        assert!(report.is_valid(), "{:?}", report.diagnostics);
         let mut reference = hsm.instance();
         let mut interp = FsmInstance::new(&flat);
         let trace = [

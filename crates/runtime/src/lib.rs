@@ -208,6 +208,7 @@ pub use runtime::{
     Runtime, RuntimeSnapshot, Session, SessionId, SessionSnapshot, Shard, SwapOutcome, Workers,
 };
 pub use spec::Spec;
+pub use stategen_analysis::{Analysis, AnalysisConfig};
 pub use timer::TimerWheel;
 
 // The telemetry vocabulary, re-exported so deployment sites need only

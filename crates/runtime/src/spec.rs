@@ -1,8 +1,9 @@
 //! Pipeline ingest: everything the toolkit can turn into a running
 //! engine, under one roof.
 
+use stategen_analysis::{analyze, analyze_bound, Analysis, AnalysisConfig};
 use stategen_core::{
-    generate, AbstractModel, Efsm, HierarchicalMachine, StateMachine, StategenError,
+    generate, AbstractModel, Efsm, FlatIr, HierarchicalMachine, StateMachine, StategenError,
 };
 
 use crate::engine::Engine;
@@ -94,6 +95,52 @@ impl Spec {
             Spec::Machine(m) => m.name(),
             Spec::Efsm { machine, .. } => machine.name(),
             Spec::Hierarchical { machine, .. } => machine.name(),
+        }
+    }
+
+    /// Runs the semantic analyzer (`stategen-analysis`) over the spec's
+    /// lowered IR with the default configuration and returns the spec
+    /// unchanged when it is clean — the opt-in ingest gate: put it
+    /// between construction and [`Spec::compile`] and no machine with a
+    /// deny-level finding ever becomes an engine.
+    ///
+    /// For EFSMs and parameterized statecharts the analysis runs under
+    /// the spec's concrete binding (enabling the binding-dependent
+    /// passes); when the binding does not match the machine's parameter
+    /// count the analysis falls back to the binding-independent form
+    /// and leaves reporting the mismatch to [`Spec::compile`].
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::Analysis`] carrying the deny-level findings.
+    pub fn analyzed(self) -> Result<Self, StategenError> {
+        self.analyzed_with(&AnalysisConfig::new())
+    }
+
+    /// [`Spec::analyzed`] with an explicit lint configuration (override
+    /// levels per lint, tune the fixpoint and witness-search knobs).
+    ///
+    /// # Errors
+    ///
+    /// [`StategenError::Analysis`] carrying the deny-level findings.
+    pub fn analyzed_with(self, config: &AnalysisConfig) -> Result<Self, StategenError> {
+        self.analysis(config).check()?;
+        Ok(self)
+    }
+
+    /// Runs the semantic analyzer and returns the full report (every
+    /// finding, reachability, proved variable ranges) without gating —
+    /// the inspection form of [`Spec::analyzed`].
+    pub fn analysis(&self, config: &AnalysisConfig) -> Analysis {
+        let (ir, params) = match self {
+            Spec::Machine(m) => (FlatIr::from_machine(m), &[][..]),
+            Spec::Efsm { machine, params } => (FlatIr::from_efsm(machine), params.as_slice()),
+            Spec::Hierarchical { machine, params } => (machine.flatten_ir(), params.as_slice()),
+        };
+        if params.len() == ir.params().len() {
+            analyze_bound(&ir, params, config)
+        } else {
+            analyze(&ir, config)
         }
     }
 

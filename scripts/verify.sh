@@ -38,9 +38,16 @@
 #    seeds (drain-and-switch hot-swap with mid-swap crash recovery),
 #    so the crash-safety and deployment guarantees are exercised on
 #    every verification run, not just in CI roulette;
-# 6. fails if the benchmark artefacts are missing required rows
-#    (including the runtime_facade, artifact_cold_load and
-#    storage_faulted rows).
+# 6. runs the static-analyzer corpus sweep at deny level: every model
+#    machine in the workspace goes through `stategen-analysis` and none
+#    may carry a deny-level finding, and minimization must stay
+#    observation-equivalent and idempotent on the whole corpus (the
+#    engine_tiers run additionally hard-gates the hsm_minimized row:
+#    the ring quotient must be smaller, allocation-free, and no slower
+#    than the unminimized original in paired passes);
+# 7. fails if the benchmark artefacts are missing required rows
+#    (including the runtime_facade, artifact_cold_load,
+#    hsm_minimized and storage_faulted rows).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -74,8 +81,12 @@ cargo test -q --release -p stategen-core --test artifact_props artifact_corrupti
 echo "== fleet-rollout campaign: pinned-seed replay (hot-swap + mid-swap crash recovery) =="
 cargo test -q --release -p asa-storage --test rollout rollout_pinned_seed
 
+echo "== analyzer corpus sweep: every model machine deny-clean, minimization equivalent =="
+cargo test -q --release -p stategen-analysis --test corpus
+
 echo "== benchmark artefact checks =="
 for row in interpreted_name compiled hsm_flattened hsm_guarded_flattened \
+           hsm_unminimized hsm_minimized \
            batched_pool efsm_compiled \
            artifact_cold_load artifact_booted_pool \
            sharded_pool_4 sharded_persistent_4 generated \

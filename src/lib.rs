@@ -31,6 +31,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`fsm`] | `stategen-core` | state spaces, machines, generation pipeline, FSM/EFSM interpreters |
+//! | [`analysis`] | `stategen-analysis` | semantic lints, interval abstract interpretation, provably-safe state minimization (see `docs/ANALYSIS.md`) |
 //! | [`runtime`] | `stategen-runtime` | the deployment pipeline: `Spec → Engine → Runtime`, typed session handles, uniform across every execution tier |
 //! | [`commit`] | `stategen-commit` | the BFT commit protocol: abstract model, EFSM, reference algorithm |
 //! | [`render`] | `stategen-render` | text/diagram/source-code renderers |
@@ -48,6 +49,7 @@ pub use asa_chord as chord;
 pub use asa_sha1 as sha1;
 pub use asa_simnet as simnet;
 pub use asa_storage as storage;
+pub use stategen_analysis as analysis;
 pub use stategen_commit as commit;
 pub use stategen_core as fsm;
 pub use stategen_generated as generated;
@@ -57,6 +59,7 @@ pub use stategen_runtime as runtime;
 
 /// The most frequently used items, for glob import.
 pub mod prelude {
+    pub use stategen_analysis::{analyze, minimize, Analysis, AnalysisConfig};
     pub use stategen_commit::{CommitConfig, CommitModel};
     pub use stategen_core::{
         generate, generate_with, AbstractModel, Action, FsmInstance, GenerateOptions,

@@ -22,7 +22,7 @@ fn generate_validate_render() {
     for r in [4u32, 7] {
         let g = generate(&CommitModel::new(CommitConfig::new(r).unwrap())).unwrap();
         let report = validate_machine(&g.machine);
-        assert!(report.is_valid(), "r={r}: {:?}", report.issues);
+        assert!(report.is_valid(), "r={r}: {:?}", report.diagnostics);
 
         let dot = render_dot(&g.machine, &DotOptions::default());
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());
