@@ -1,9 +1,18 @@
 //! Engine-tier comparison: ns/delivery and allocation counts for the
-//! interpreted, compiled, batched, sharded, EFSM and
+//! interpreted, compiled, batched, kernel-batched, sharded, EFSM and
 //! build-time-generated execution tiers, all running the same canonical
 //! commit trace at r = 4.
 //!
-//! The batched and sharded tiers are measured **through the
+//! The batch-kernel gate: `batched_pool` / `efsm_pool` measure the
+//! *scalar* per-session batch walk (`deliver_all_scalar` on the core
+//! pools — the pre-kernel reference semantics), while `batched_kernel`
+//! / `efsm_kernel` measure the bucketed branchless kernels behind
+//! `deliver_all`. The paired alternating measurement at the bottom
+//! hard-fails unless the kernels win by ≥ 1.25× (dense) and ≥ 1.4×
+//! (EFSM) on a single core — branch elimination alone, no
+//! multi-threading involved — at zero allocations per delivery.
+//!
+//! The sharded and facade tiers are measured **through the
 //! `stategen-runtime` facade** (`Spec → Engine → Runtime`) — the owned
 //! pipeline every deployment site now consumes — and the dedicated
 //! `runtime_facade` row hard-gates the facade's overhead: 64k-session
@@ -13,8 +22,8 @@
 //! baseline as a reported row) at zero allocations per delivery, both
 //! hard assertions — the facade is only allowed to exist if it is
 //! free. `runtime_facade_sharded_4` tracks the same work with 4-way
-//! sharding as configuration; like the other sharded rows it spawns
-//! scoped worker threads per batch, so it is exempt from the
+//! sharding as configuration; like the scoped `sharded_pool_*` rows it
+//! spawns scoped worker threads per batch, so it is exempt from the
 //! zero-alloc assertion and reported rather than gated.
 //!
 //! Emits a machine-readable `BENCH_engine_tiers.json` at the workspace
@@ -23,21 +32,21 @@
 //! performance trajectory, plus a human-readable table on stdout.
 //!
 //! A counting global allocator verifies the headline claims directly:
-//! every steady-state *compiled* hot path — and the interpreted FSM
-//! paths, including the name path, which resolves messages through the
-//! machine's interned name→id map and borrows the action slice instead
-//! of copying it — performs **zero** heap allocations per delivered
-//! message; that includes `hsm_flattened`, a flattened hierarchical
-//! statechart dispatching through the same dense tables, and
-//! `hsm_guarded_flattened`, a *guarded* statechart (retry-budget
-//! session lifecycle) flattened through the unified IR onto the
-//! compiled-EFSM tier and batch-served at 64k sessions. Exempt from
-//! the assertion: the interpreted EFSM baseline (driven through the
-//! owned-`Vec` trait path its callers use, so it allocates per phase
-//! transition) and the sharded tiers (spawning worker threads — per
-//! batch for the scoped rows, per measurement pass for the persistent
-//! parked-worker row — allocates by design, amortised over tens of
-//! thousands of sessions per batch).
+//! every steady-state *compiled* hot path — and the interpreted paths,
+//! including the FSM name path and the interpreted EFSM, which both
+//! borrow the action slice through `deliver_ref` instead of copying it
+//! — performs **zero** heap allocations per delivered message; that
+//! includes `hsm_flattened`, a flattened hierarchical statechart
+//! dispatching through the same dense tables, `hsm_guarded_flattened`,
+//! a *guarded* statechart (retry-budget session lifecycle) flattened
+//! through the unified IR onto the compiled-EFSM tier and batch-served
+//! at 64k sessions, and the persistent-worker rows
+//! (`sharded_persistent_4`, `work_stealing_4`), whose workers are
+//! spawned once *outside* the measurement and whose shard scratch is
+//! worker-resident. Exempt from the assertion: only the scoped sharded
+//! rows (`sharded_pool_*`, `runtime_facade_sharded_4`), which spawn
+//! worker threads per batch by design, amortised over tens of
+//! thousands of sessions per batch.
 //!
 //! The deployment path gets its own rows: `artifact_cold_load` times
 //! the full ship-and-boot cycle (encode to the versioned artifact
@@ -56,7 +65,10 @@ use stategen_analysis::minimize;
 use stategen_commit::{
     commit_efsm, commit_efsm_instance, commit_efsm_params, CommitConfig, CommitModel,
 };
-use stategen_core::{generate, CompiledEfsm, CompiledMachine, FsmInstance, ProtocolEngine};
+use stategen_core::{
+    generate, CompiledEfsm, CompiledMachine, EfsmSessionPool, FsmInstance, ProtocolEngine,
+    SessionPool,
+};
 use stategen_generated::GeneratedCommitR4;
 use stategen_models::{redundant_ring, session_lifecycle, session_lifecycle_guarded};
 use stategen_runtime::{Artifact, Engine, Spec};
@@ -152,11 +164,9 @@ fn main() {
     let efsm = commit_efsm();
     let compiled_efsm = CompiledEfsm::compile(&efsm).expect("commit EFSM compiles");
     let efsm_params = commit_efsm_params(&config);
-    // The owned pipeline engines every batched/sharded row serves from.
+    // The owned pipeline engine every sharded/facade row serves from.
     let facade_engine =
         Engine::compile(Spec::machine(machine.clone())).expect("commit machine compiles");
-    let facade_efsm_engine = Engine::compile(Spec::efsm(efsm.clone(), efsm_params.clone()))
-        .expect("commit EFSM compiles");
     let ids: Vec<_> = TRACE
         .iter()
         .map(|m| machine.message_id(m).expect("valid message"))
@@ -404,13 +414,30 @@ fn main() {
         small_best / full_best
     };
 
-    // Tier 4: batched sessions through the runtime facade (shard
-    // arrays struct-of-arrays; per-delivery cost amortised over
-    // POOL_SESSIONS concurrent instances).
+    // Tier 4: batched sessions over the core struct-of-arrays pool —
+    // two rows for the same work. `batched_pool` is the *scalar*
+    // reference walk (`deliver_all_scalar`: the per-session stepping
+    // loop every batch caller ran before the kernels landed, preserved
+    // as the semantic oracle and the observer visit-order path);
+    // `batched_kernel` is `deliver_all`, which counting-sorts the
+    // pending sessions into (state, message) buckets and steps each
+    // bucket with one branchless loop (table cell hoisted out, finished
+    // bits by mask arithmetic). The paired alternating gate below
+    // hard-asserts the kernel's ≥ 1.25× win at 0 allocs/delivery.
     let pool_rounds = (SINGLE_DELIVERIES / (POOL_SESSIONS as u64 * TRACE.len() as u64)).max(1);
     let pool_deliveries = pool_rounds * POOL_SESSIONS as u64 * TRACE.len() as u64;
-    let mut pool = facade_engine.runtime_with(POOL_SESSIONS);
+    let mut pool = SessionPool::new(&compiled, POOL_SESSIONS);
     results.push(measure("batched_pool", pool_deliveries, true, || {
+        let mut transitions = 0;
+        for _ in 0..pool_rounds {
+            for &id in &ids {
+                transitions += pool.deliver_all_scalar(id);
+            }
+            pool.reset_all();
+        }
+        transitions
+    }));
+    results.push(measure("batched_kernel", pool_deliveries, true, || {
         let mut transitions = 0;
         for _ in 0..pool_rounds {
             for &id in &ids {
@@ -420,23 +447,67 @@ fn main() {
         }
         transitions
     }));
+    // The dense-kernel gate, as paired alternating passes (same
+    // discipline as the minimization gate below: scheduler drift on
+    // this shared box hits both sides equally, so the best-of ratio
+    // isolates the real effect of branch elimination + bucketing).
+    let batched_kernel_ratio = {
+        let scalar_pass = |pool: &mut SessionPool| {
+            let mut transitions = 0u64;
+            for _ in 0..pool_rounds {
+                for &id in &ids {
+                    transitions += pool.deliver_all_scalar(id);
+                }
+                pool.reset_all();
+            }
+            transitions
+        };
+        let kernel_pass = |pool: &mut SessionPool| {
+            let mut transitions = 0u64;
+            for _ in 0..pool_rounds {
+                for &id in &ids {
+                    transitions += pool.deliver_all(id);
+                }
+                pool.reset_all();
+            }
+            transitions
+        };
+        let scalar_transitions = std::hint::black_box(scalar_pass(&mut pool));
+        let kernel_transitions = std::hint::black_box(kernel_pass(&mut pool));
+        assert_eq!(
+            scalar_transitions, kernel_transitions,
+            "the dense kernel must transition exactly like the scalar walk"
+        );
+        let mut scalar_best = f64::INFINITY;
+        let mut kernel_best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            std::hint::black_box(scalar_pass(&mut pool));
+            scalar_best = scalar_best.min(start.elapsed().as_nanos() as f64);
+            let start = Instant::now();
+            std::hint::black_box(kernel_pass(&mut pool));
+            kernel_best = kernel_best.min(start.elapsed().as_nanos() as f64);
+        }
+        scalar_best / kernel_best
+    };
 
     // Tier 5: the EFSM interpreter — the machine generic over r, walking
     // `Guard`/`Update` enum trees per message with a linear name scan,
-    // driven through the trait-level `deliver` path every current EFSM
-    // caller uses (PR 1's baseline-shape convention: owned action
-    // vectors, so this tier allocates per phase transition).
+    // driven through the borrow-returning `deliver_ref` path (the
+    // transition's action slice is lent out, never copied), so even the
+    // slow interpreted baseline is allocation-free and joins the hard
+    // zero-alloc gate.
     let efsm_rounds = rounds / 4; // the enum-tree walk is slow; keep runs short
     let mut efsm_interp = commit_efsm_instance(&efsm, &config);
     results.push(measure(
         "efsm_interpreted",
         efsm_rounds * TRACE.len() as u64,
-        false,
+        true,
         || {
             let mut actions = 0;
             for _ in 0..efsm_rounds {
                 for m in TRACE {
-                    actions += efsm_interp.deliver(m).expect("valid message").len() as u64;
+                    actions += efsm_interp.deliver_ref(m).expect("valid message").len() as u64;
                 }
                 efsm_interp.reset();
             }
@@ -464,10 +535,31 @@ fn main() {
         },
     ));
 
-    // Tier 7: batched EFSM sessions through the runtime facade
-    // (variable registers struct-of-arrays).
-    let mut efsm_pool = facade_efsm_engine.runtime_with(POOL_SESSIONS);
+    // Tier 7: batched EFSM sessions over the core pool (variable
+    // registers struct-of-arrays) — the same scalar/kernel split as
+    // tier 4. `efsm_pool` steps sessions one at a time through the
+    // fused bytecode; `efsm_kernel` buckets by state and evaluates the
+    // fused threshold checks `sign·vars[v] + bound ≤ 0` as masked
+    // compares across each bucket's register lanes (the per-session
+    // `(v ^ m) − m + t` form lifted to a column sweep), spilling to
+    // scalar bytecode only for non-fused cells. Gate below: ≥ 1.4×.
+    assert_eq!(
+        compiled_efsm.bind(&efsm_params).spill_cell_count(),
+        0,
+        "the commit EFSM must stay entirely on the fused kernel fast path"
+    );
+    let mut efsm_pool = EfsmSessionPool::new(&compiled_efsm, efsm_params.clone(), POOL_SESSIONS);
     results.push(measure("efsm_pool", pool_deliveries, true, || {
+        let mut transitions = 0;
+        for _ in 0..pool_rounds {
+            for &id in &efsm_ids {
+                transitions += efsm_pool.deliver_all_scalar(id);
+            }
+            efsm_pool.reset_all();
+        }
+        transitions
+    }));
+    results.push(measure("efsm_kernel", pool_deliveries, true, || {
         let mut transitions = 0;
         for _ in 0..pool_rounds {
             for &id in &efsm_ids {
@@ -477,6 +569,46 @@ fn main() {
         }
         transitions
     }));
+    // The EFSM-kernel gate, paired like the dense one.
+    let efsm_kernel_ratio = {
+        let scalar_pass = |pool: &mut EfsmSessionPool| {
+            let mut transitions = 0u64;
+            for _ in 0..pool_rounds {
+                for &id in &efsm_ids {
+                    transitions += pool.deliver_all_scalar(id);
+                }
+                pool.reset_all();
+            }
+            transitions
+        };
+        let kernel_pass = |pool: &mut EfsmSessionPool| {
+            let mut transitions = 0u64;
+            for _ in 0..pool_rounds {
+                for &id in &efsm_ids {
+                    transitions += pool.deliver_all(id);
+                }
+                pool.reset_all();
+            }
+            transitions
+        };
+        let scalar_transitions = std::hint::black_box(scalar_pass(&mut efsm_pool));
+        let kernel_transitions = std::hint::black_box(kernel_pass(&mut efsm_pool));
+        assert_eq!(
+            scalar_transitions, kernel_transitions,
+            "the EFSM kernel must transition exactly like the scalar walk"
+        );
+        let mut scalar_best = f64::INFINITY;
+        let mut kernel_best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            std::hint::black_box(scalar_pass(&mut efsm_pool));
+            scalar_best = scalar_best.min(start.elapsed().as_nanos() as f64);
+            let start = Instant::now();
+            std::hint::black_box(kernel_pass(&mut efsm_pool));
+            kernel_best = kernel_best.min(start.elapsed().as_nanos() as f64);
+        }
+        scalar_best / kernel_best
+    };
 
     // Tier 7b: the deployment path. `artifact_cold_load` measures the
     // full ship-and-boot cycle — encode the bound commit EFSM to its
@@ -554,28 +686,65 @@ fn main() {
     }
 
     // Tier 10b: the same 4-shard batch work on persistent parked
-    // workers — one spawn per measurement pass instead of one per
-    // batch, with every batch a condvar handshake.
+    // workers. The workers are spawned once, *outside* the measured
+    // passes, and every shard's kernel scratch lives in the shard
+    // itself — so unlike the scoped rows above, the steady state is
+    // pure condvar handshakes over pre-sized buffers and the row joins
+    // the hard zero-alloc gate.
     {
         let mut sharded = facade_engine.runtime().sharded(4);
         sharded.spawn_many(SHARDED_SESSIONS);
-        results.push(measure(
-            "sharded_persistent_4",
-            sharded_deliveries,
-            false,
-            || {
-                sharded.with_workers(|workers| {
-                    let mut transitions = 0;
-                    for _ in 0..sharded_rounds {
-                        for &id in &ids {
-                            transitions += workers.deliver_all(id);
-                        }
-                        workers.reset_all();
+        let row = sharded.with_workers(|workers| {
+            measure("sharded_persistent_4", sharded_deliveries, true, || {
+                let mut transitions = 0;
+                for _ in 0..sharded_rounds {
+                    for &id in &ids {
+                        transitions += workers.deliver_all(id);
                     }
-                    transitions
-                })
-            },
-        ));
+                    workers.reset_all();
+                }
+                transitions
+            })
+        });
+        results.push(row);
+    }
+
+    // Tier 10c: work stealing. Eight shards over four persistent
+    // workers: each worker drains its own deque front-first and steals
+    // from its neighbours' tails when empty, so an unlucky shard split
+    // can't idle three cores. Every shard is still processed exactly
+    // once per batch by exactly one worker, so the results are
+    // bit-identical to the flat pool — asserted per batch against a
+    // flat runtime before measuring, and the row joins the hard
+    // zero-alloc gate (deques are refilled in place within retained
+    // capacity).
+    {
+        let mut flat = facade_engine.runtime_with(SHARDED_SESSIONS);
+        let mut sharded = facade_engine.runtime().sharded(8);
+        sharded.spawn_many(SHARDED_SESSIONS);
+        let row = sharded.with_stealing_workers(4, |workers| {
+            for &id in &ids {
+                assert_eq!(
+                    workers.deliver_all(id),
+                    flat.deliver_all(id),
+                    "stealing workers must transition exactly like the flat pool"
+                );
+                assert_eq!(workers.finished_count(), flat.finished_count());
+                assert_eq!(workers.steps(), flat.steps());
+            }
+            workers.reset_all();
+            measure("work_stealing_4", sharded_deliveries, true, || {
+                let mut transitions = 0;
+                for _ in 0..sharded_rounds {
+                    for &id in &ids {
+                        transitions += workers.deliver_all(id);
+                    }
+                    workers.reset_all();
+                }
+                transitions
+            })
+        });
+        results.push(row);
     }
 
     // The facade-overhead gate. `compiled_raw_64k` is plain compiled
@@ -769,11 +938,13 @@ fn main() {
     }
     // Guarded statecharts ride the compiled-EFSM tier; their batch
     // dispatch must stay in its cost class — tracked against the
-    // batched EFSM row (`efsm_pool`), the closest like-for-like loop.
-    // A wall-clock ratio between rows, so it warns rather than
-    // hard-failing the gate (the zero-alloc assert above *is* hard).
-    let hsm_guarded_ratio = by_name("hsm_guarded_flattened") / by_name("efsm_pool");
-    println!("hsm_guarded_flattened vs efsm_pool:  {hsm_guarded_ratio:.2}x");
+    // kernel-batched EFSM row (`efsm_kernel`, the same bucketed sweep
+    // the facade routes `deliver_all` through), the closest
+    // like-for-like loop. A wall-clock ratio between rows, so it warns
+    // rather than hard-failing the gate (the zero-alloc assert above
+    // *is* hard).
+    let hsm_guarded_ratio = by_name("hsm_guarded_flattened") / by_name("efsm_kernel");
+    println!("hsm_guarded_flattened vs efsm_kernel: {hsm_guarded_ratio:.2}x");
     if hsm_guarded_ratio > 1.5 {
         eprintln!(
             "warning: guarded-statechart dispatch is {hsm_guarded_ratio:.2}x the batched \
@@ -798,6 +969,28 @@ fn main() {
     );
     let persistent_vs_scoped = by_name("sharded_pool_4") / by_name("sharded_persistent_4");
     println!("persistent vs scoped workers (4):    {persistent_vs_scoped:.2}x");
+    let stealing_vs_persistent = by_name("sharded_persistent_4") / by_name("work_stealing_4");
+    println!("stealing vs persistent workers (4):  {stealing_vs_persistent:.2}x");
+    // The batch-kernel gates: bucketed branchless stepping must beat
+    // the scalar per-session walk on a single core — ≥ 1.25× for the
+    // dense tier, ≥ 1.4× for the EFSM tier, where the kernel also
+    // replaces per-session guard dispatch with masked column compares.
+    // Hard-failed on the paired best-of ratios computed above: the
+    // kernels' only reason to exist is this win, and the paired
+    // alternating passes make the measurement drift-proof enough to
+    // gate on.
+    println!("batched_kernel vs scalar (paired):   {batched_kernel_ratio:.3}x");
+    assert!(
+        batched_kernel_ratio >= 1.25,
+        "dense batch kernel is only {batched_kernel_ratio:.3}x the scalar walk \
+         (gate: >= 1.25x, paired passes at {POOL_SESSIONS} sessions)"
+    );
+    println!("efsm_kernel vs scalar (paired):      {efsm_kernel_ratio:.3}x");
+    assert!(
+        efsm_kernel_ratio >= 1.4,
+        "EFSM batch kernel is only {efsm_kernel_ratio:.3}x the scalar walk \
+         (gate: >= 1.4x, paired passes at {POOL_SESSIONS} sessions)"
+    );
     // The facade-overhead gate: serving 64k sessions through the
     // `Spec → Engine → Runtime` facade must stay within 10% of raw
     // dense-table stepping. Wall-clock ratios between rows measured
@@ -918,7 +1111,16 @@ fn main() {
     let _ = writeln!(json, "  \"hsm_flattened_vs_compiled\": {hsm_ratio:.3},");
     let _ = writeln!(
         json,
-        "  \"hsm_guarded_vs_efsm_pool\": {hsm_guarded_ratio:.3},"
+        "  \"hsm_guarded_vs_efsm_kernel\": {hsm_guarded_ratio:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"batched_kernel_vs_scalar\": {batched_kernel_ratio:.3},"
+    );
+    let _ = writeln!(json, "  \"efsm_kernel_vs_scalar\": {efsm_kernel_ratio:.3},");
+    let _ = writeln!(
+        json,
+        "  \"work_stealing_vs_persistent_4\": {stealing_vs_persistent:.3},"
     );
     let _ = writeln!(
         json,

@@ -54,7 +54,7 @@ use crate::ir::{ActionArena, FlatIr};
 use crate::machine::{Action, MessageId, StateMachine, StateRole};
 
 /// Sentinel target meaning "message not applicable in this state".
-const NO_TRANSITION: u32 = u32::MAX;
+pub(crate) const NO_TRANSITION: u32 = u32::MAX;
 
 /// `(offset, len)` range into the interned action arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -279,6 +279,30 @@ impl CompiledMachine {
     /// when some messages are interchangeable in every state.
     pub fn message_column_classes(&self) -> usize {
         self.stride
+    }
+
+    /// The compressed table column `message` dispatches through —
+    /// invariant for a whole batch, so the kernels hoist it once.
+    #[inline]
+    pub(crate) fn column(&self, message: MessageId) -> usize {
+        debug_assert!(
+            message.index() < self.column_of.len(),
+            "message id from a different machine"
+        );
+        self.column_of[message.index()] as usize
+    }
+
+    /// The dense target table, `state_count × message_column_classes`,
+    /// for the batch kernels' hoisted cell loads.
+    #[inline]
+    pub(crate) fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Per-state finish flags, indexed by dense state id.
+    #[inline]
+    pub(crate) fn finish_flags(&self) -> &[bool] {
+        &self.finish
     }
 
     /// Executes one transition: from `state` on `message`, returns the

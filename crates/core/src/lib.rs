@@ -149,6 +149,7 @@ pub mod hsm;
 pub mod interp;
 pub mod interval;
 pub mod ir;
+pub mod kernel;
 pub mod machine;
 pub mod model;
 pub mod session;
@@ -177,11 +178,14 @@ pub use interval::{
     cond_status, eval_lin, guard_status, guard_unsat, guards_disjoint, CondStatus, Interval,
 };
 pub use ir::{FlatIr, FlatState, FlatTransition, IrInstance};
+pub use kernel::KernelScratch;
 pub use machine::{
     Action, MessageId, State, StateId, StateMachine, StateMachineBuilder, StateRole, Transition,
 };
 pub use model::{AbstractModel, Outcome, TransitionSpec};
-pub use session::{BatchEngine, EfsmSessionPool, ParkedWorkers, SessionPool, ShardedPool};
+pub use session::{
+    BatchEngine, EfsmSessionPool, ParkedWorkers, SessionPool, ShardedPool, StealingWorkers,
+};
 pub use validate::{
     missing_transitions, structural_diagnostics, validate_machine, ValidationReport,
 };

@@ -50,13 +50,14 @@ use std::sync::{Condvar, Mutex};
 
 use crate::compiled::CompiledMachine;
 use crate::efsm_compiled::{CompiledEfsm, EfsmBinding};
+use crate::kernel::{dense_batch, efsm_batch, KernelScratch};
 use crate::machine::{Action, MessageId};
 
 /// Incrementally maintained finished-session bitset, shared by
 /// [`SessionPool`] and [`EfsmSessionPool`] so the word/bit arithmetic
 /// and the count bookkeeping live in exactly one place.
 #[derive(Debug, Clone, Default)]
-struct FinishedSet {
+pub(crate) struct FinishedSet {
     words: Vec<u64>,
     count: usize,
 }
@@ -80,6 +81,31 @@ impl FinishedSet {
 
     fn get(&self, session: usize) -> bool {
         self.words[session / 64] & (1 << (session % 64)) != 0
+    }
+
+    /// Branchless OR of a 0/1 `fin` mask into one session's bit, used
+    /// by the batch kernels: the count bookkeeping is mask arithmetic
+    /// (`setcc`/`cmov`), not a data-dependent branch.
+    #[inline]
+    pub(crate) fn or_bit(&mut self, session: usize, fin: u64) {
+        debug_assert!(fin <= 1);
+        let word = &mut self.words[session / 64];
+        let shift = session % 64;
+        let was = (*word >> shift) & 1;
+        self.count += (fin & (was ^ 1)) as usize;
+        *word |= fin << shift;
+    }
+
+    /// ORs a whole 64-session word of finished bits at once — the batch
+    /// kernels' bulk path. Neighbouring sessions share a word, so
+    /// per-session read-modify-writes serialize on it; sweeps that
+    /// visit sessions in ascending order accumulate the mask locally
+    /// and flush once per word to stay pipelined.
+    #[inline]
+    pub(crate) fn or_word(&mut self, word: usize, mask: u64) {
+        let w = &mut self.words[word];
+        self.count += (mask & !*w).count_ones() as usize;
+        *w |= mask;
     }
 
     #[inline]
@@ -120,6 +146,9 @@ pub struct SessionPool<'m> {
     current: Vec<u32>,
     finished: FinishedSet,
     steps: u64,
+    /// Bucketing scratch for the batch kernel; pool-resident so batch
+    /// delivery stays allocation-free after the first call.
+    kernel: KernelScratch,
 }
 
 impl<'m> SessionPool<'m> {
@@ -130,6 +159,7 @@ impl<'m> SessionPool<'m> {
             current: Vec::with_capacity(count),
             finished: FinishedSet::with_capacity(count),
             steps: 0,
+            kernel: KernelScratch::new(),
         };
         for _ in 0..count {
             pool.spawn();
@@ -237,15 +267,40 @@ impl<'m> SessionPool<'m> {
     }
 
     /// Delivers a message to every session, discarding actions; returns
-    /// the number of transitions taken. This is the batch hot loop: a
-    /// linear walk over the contiguous state array with no allocation.
+    /// the number of transitions taken. This is the batch hot loop: the
+    /// `(state, message)`-bucketed kernel (see the
+    /// [`kernel`](crate::kernel) module) counting-sorts sessions by
+    /// current state into pool-resident scratch and steps each bucket
+    /// with one branchless loop — no allocation, results bit-identical
+    /// to [`SessionPool::deliver_all_scalar`].
     pub fn deliver_all(&mut self, message: MessageId) -> u64 {
+        let transitions = dense_batch(
+            self.machine,
+            message,
+            &mut self.current,
+            Some(&mut self.finished),
+            &mut self.kernel,
+        );
+        self.steps += transitions;
+        transitions
+    }
+
+    /// The scalar reference form of [`SessionPool::deliver_all`]: a
+    /// per-session [`CompiledMachine::step`] walk in session order.
+    /// Kept public as the oracle the kernel-equivalence property suites
+    /// and the paired `batched_kernel` benchmark row compare against.
+    pub fn deliver_all_scalar(&mut self, message: MessageId) -> u64 {
         self.deliver_all_with(message, |_, _| {})
     }
 
     /// Delivers a message to every session, invoking `visit(session,
     /// actions)` for each delivery that triggered a non-empty action
     /// list; returns the number of transitions taken.
+    ///
+    /// Visit order is ascending session order — this path deliberately
+    /// keeps the scalar walk rather than the bucketed kernel, so the
+    /// order observers see is independent of how sessions are
+    /// distributed across states (see `docs/KERNELS.md`).
     pub fn deliver_all_with<F>(&mut self, message: MessageId, mut visit: F) -> u64
     where
         F: FnMut(usize, &'m [Action]),
@@ -390,6 +445,9 @@ pub struct EfsmSessionPool<'e> {
     n_regs: usize,
     finished: FinishedSet,
     steps: u64,
+    /// Bucketing scratch for the batch kernel; pool-resident so batch
+    /// delivery stays allocation-free after the first call.
+    kernel: KernelScratch,
 }
 
 impl<'e> EfsmSessionPool<'e> {
@@ -412,6 +470,7 @@ impl<'e> EfsmSessionPool<'e> {
             n_regs,
             finished: FinishedSet::with_capacity(count),
             steps: 0,
+            kernel: KernelScratch::new(),
         };
         for _ in 0..count {
             pool.spawn();
@@ -541,15 +600,44 @@ impl<'e> EfsmSessionPool<'e> {
     }
 
     /// Delivers a message to every session, discarding actions; returns
-    /// the number of transitions taken. The batch hot loop: a linear walk
-    /// over the contiguous state and register arrays with no allocation.
+    /// the number of transitions taken. The batch hot loop: the
+    /// bucketed masked-sweep kernel (see the [`kernel`](crate::kernel)
+    /// module) evaluates each bucket's fused threshold checks as masked
+    /// compares over the register columns, falling back to the scalar
+    /// bytecode path only for buckets whose cell spilled — no
+    /// allocation, results bit-identical to
+    /// [`EfsmSessionPool::deliver_all_scalar`].
     pub fn deliver_all(&mut self, message: MessageId) -> u64 {
+        let transitions = efsm_batch(
+            self.machine,
+            &self.binding,
+            message,
+            &mut self.current,
+            &mut self.vars,
+            &mut self.scratch,
+            Some(&mut self.finished),
+            &mut self.kernel,
+        );
+        self.steps += transitions;
+        transitions
+    }
+
+    /// The scalar reference form of [`EfsmSessionPool::deliver_all`]: a
+    /// per-session [`CompiledEfsm::step`] walk in session order. Kept
+    /// public as the oracle the kernel-equivalence property suites and
+    /// the paired `efsm_kernel` benchmark row compare against.
+    pub fn deliver_all_scalar(&mut self, message: MessageId) -> u64 {
         self.deliver_all_with(message, |_, _| {})
     }
 
     /// Delivers a message to every session, invoking `visit(session,
     /// actions)` for each delivery that triggered a non-empty action
     /// list; returns the number of transitions taken.
+    ///
+    /// Visit order is ascending session order — this path deliberately
+    /// keeps the scalar walk rather than the bucketed kernel, so the
+    /// order observers see is independent of how sessions are
+    /// distributed across states (see `docs/KERNELS.md`).
     pub fn deliver_all_with<F>(&mut self, message: MessageId, mut visit: F) -> u64
     where
         F: FnMut(usize, &'e [Action]),
@@ -1019,6 +1107,70 @@ impl<P: BatchEngine + Send> ShardedPool<P> {
             f(&mut workers)
         })
     }
+
+    /// Runs `f` with `workers` persistent work-stealing threads over
+    /// the shards — the multi-core layer for `shard_count > workers`.
+    ///
+    /// Unlike [`ShardedPool::with_workers`] (one thread pinned per
+    /// shard), each stealing worker owns a deque holding a contiguous
+    /// region of shard indices; it drains its own deque from the front
+    /// and, when that runs dry, steals shards from the backs of the
+    /// other workers' deques. Uneven shards therefore balance
+    /// automatically, and a machine with fewer cores than shards isn't
+    /// oversubscribed. Each shard sits behind a mutex and is claimed by
+    /// exactly one worker per batch, so results are bit-identical to
+    /// [`ShardedPool::deliver_all`] and to a flat pool regardless of
+    /// which worker ends up stepping which shard.
+    ///
+    /// With one worker (or one shard) no thread is spawned and the
+    /// driver steps the shards inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_stealing_workers<R>(
+        &mut self,
+        workers: usize,
+        f: impl FnOnce(&mut StealingWorkers<'_, P>) -> R,
+    ) -> R {
+        assert!(workers > 0, "need at least one stealing worker");
+        let workers = workers.min(self.shards.len());
+        if workers == 1 {
+            return f(&mut StealingWorkers {
+                inner: StealingImpl::Inline(&mut self.shards),
+            });
+        }
+        // Contiguous shard regions per worker, earlier workers taking
+        // the remainder (mirrors `ShardedPool::split`).
+        let base = self.shards.len() / workers;
+        let extra = self.shards.len() % workers;
+        let mut next = 0;
+        let queues: Vec<ShardDeque> = (0..workers)
+            .map(|w| {
+                let start = next;
+                next += base + usize::from(w < extra);
+                ShardDeque::new(start, next)
+            })
+            .collect();
+        let slots: Vec<Mutex<&mut P>> = self.shards.iter_mut().map(Mutex::new).collect();
+        let cells: Vec<WorkerCell> = (0..workers).map(|_| WorkerCell::new()).collect();
+        std::thread::scope(|scope| {
+            let (slots, queues) = (&slots, &queues);
+            for (index, cell) in cells.iter().enumerate() {
+                scope.spawn(move || stealing_worker_loop(index, slots, queues, cell));
+            }
+            let mut workers = StealingWorkers {
+                inner: StealingImpl::Parked {
+                    cells: &cells,
+                    queues,
+                    seq: 0,
+                },
+            };
+            // Shutdown is published by `StealingWorkers`'s `Drop`, so
+            // it reaches the workers even when `f` unwinds.
+            f(&mut workers)
+        })
+    }
 }
 
 /// What a parked shard worker should do next.
@@ -1253,6 +1405,252 @@ impl<P> Drop for ParkedWorkers<'_, P> {
     /// scope's implicit join.
     fn drop(&mut self) {
         if let WorkersImpl::Parked { cells, seq } = &mut self.inner {
+            *seq += 1;
+            for cell in *cells {
+                if let Ok(mut mailbox) = cell.mailbox.lock() {
+                    mailbox.command = WorkerCommand::Shutdown;
+                    mailbox.seq = *seq;
+                }
+                cell.signal.notify_all();
+            }
+        }
+    }
+}
+
+/// One worker's deque of shard work items for a work-stealing batch:
+/// the owner drains its contiguous region from the front, idle workers
+/// steal from the back. Refilled by the driver before each command, so
+/// the steady-state batch path never allocates (the `VecDeque` keeps
+/// its capacity across refills).
+#[derive(Debug)]
+struct ShardDeque {
+    /// The contiguous shard-index region this deque is refilled with.
+    start: usize,
+    end: usize,
+    items: Mutex<std::collections::VecDeque<usize>>,
+}
+
+impl ShardDeque {
+    fn new(start: usize, end: usize) -> Self {
+        ShardDeque {
+            start,
+            end,
+            items: Mutex::new(std::collections::VecDeque::with_capacity(end - start)),
+        }
+    }
+
+    /// Refills the deque with its shard region (driver side, workers
+    /// parked). Clearing keeps capacity, so no allocation after
+    /// construction.
+    fn refill(&self) {
+        let mut items = self.items.lock().expect("shard deque poisoned");
+        items.clear();
+        items.extend(self.start..self.end);
+    }
+
+    /// Owner pop: next shard from the front of the deque.
+    fn pop_own(&self) -> Option<usize> {
+        self.items.lock().expect("shard deque poisoned").pop_front()
+    }
+
+    /// Thief pop: a shard from the back of the deque.
+    fn steal(&self) -> Option<usize> {
+        self.items.lock().expect("shard deque poisoned").pop_back()
+    }
+}
+
+/// The loop run by each work-stealing worker: park until a command
+/// sequence appears, then drain the own deque front-to-back and steal
+/// from the other workers' deque backs until every deque is dry.
+///
+/// Exclusive shard access is enforced at runtime: a shard index is
+/// claimed by exactly one worker (deque pops are atomic under the deque
+/// mutex) and the shard itself sits behind its own mutex in `slots`, so
+/// the borrow handed to `deliver_all` is unique. Because every shard is
+/// processed exactly once per command and shards never share session
+/// state, results are bit-identical to sequential stepping whichever
+/// worker ends up running which shard.
+fn stealing_worker_loop<P: BatchEngine>(
+    index: usize,
+    slots: &[Mutex<&mut P>],
+    queues: &[ShardDeque],
+    cell: &WorkerCell,
+) {
+    let mut notice = WorkerDeathNotice {
+        cell,
+        clean_exit: false,
+    };
+    let mut seen = 0u64;
+    loop {
+        let command = {
+            let mut mailbox = cell.mailbox.lock().expect("worker mailbox poisoned");
+            while mailbox.seq == seen {
+                mailbox = cell.signal.wait(mailbox).expect("worker mailbox poisoned");
+            }
+            seen = mailbox.seq;
+            mailbox.command
+        };
+        let mut transitions = 0u64;
+        let mut finished = 0usize;
+        let mut steps = 0u64;
+        if matches!(command, WorkerCommand::Deliver(_) | WorkerCommand::Reset) {
+            // Own deque first; steal from the other deques' backs once
+            // it runs dry.
+            while let Some(shard) = queues[index].pop_own().or_else(|| {
+                (1..queues.len()).find_map(|k| queues[(index + k) % queues.len()].steal())
+            }) {
+                let mut shard = slots[shard].lock().expect("shard slot poisoned");
+                match command {
+                    WorkerCommand::Deliver(message) => transitions += shard.deliver_all(message),
+                    WorkerCommand::Reset => shard.reset_all(),
+                    WorkerCommand::Park | WorkerCommand::Shutdown => unreachable!(),
+                }
+                finished += shard.finished_count();
+                steps += shard.steps();
+            }
+        }
+        {
+            let mut mailbox = cell.mailbox.lock().expect("worker mailbox poisoned");
+            mailbox.transitions = transitions;
+            mailbox.finished = finished;
+            mailbox.steps = steps;
+            mailbox.done = seen;
+        }
+        cell.signal.notify_all();
+        if command == WorkerCommand::Shutdown {
+            notice.clean_exit = true;
+            return;
+        }
+    }
+}
+
+/// How a [`StealingWorkers`] driver reaches its shards: parked stealing
+/// workers, or (single-worker fast path) the shard slice itself.
+#[derive(Debug)]
+enum StealingImpl<'a, P> {
+    Parked {
+        cells: &'a [WorkerCell],
+        queues: &'a [ShardDeque],
+        seq: u64,
+    },
+    Inline(&'a mut [P]),
+}
+
+/// Driver handle for a [`ShardedPool`]'s work-stealing persistent
+/// workers (see [`ShardedPool::with_stealing_workers`]): fewer workers
+/// than shards, each owning a deque of shard work items and stealing
+/// from the others' deques when its own runs dry.
+#[derive(Debug)]
+pub struct StealingWorkers<'a, P> {
+    inner: StealingImpl<'a, P>,
+}
+
+impl<P: BatchEngine> StealingWorkers<'_, P> {
+    /// Refills every deque, publishes `command` to every worker and
+    /// waits for completion; returns the summed transition counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker died (its shard panicked mid-command), like
+    /// [`ShardedPool::with_workers`]'s driver.
+    fn broadcast(&mut self, command: WorkerCommand) -> u64 {
+        let (cells, queues, seq) = match &mut self.inner {
+            StealingImpl::Inline(shards) => {
+                let mut transitions = 0;
+                for shard in shards.iter_mut() {
+                    match command {
+                        WorkerCommand::Deliver(message) => {
+                            transitions += shard.deliver_all(message);
+                        }
+                        WorkerCommand::Reset => shard.reset_all(),
+                        WorkerCommand::Park | WorkerCommand::Shutdown => {}
+                    }
+                }
+                return transitions;
+            }
+            StealingImpl::Parked { cells, queues, seq } => (*cells, *queues, seq),
+        };
+        // Refill the work deques before the command becomes visible —
+        // workers only touch deques after observing the new sequence.
+        if matches!(command, WorkerCommand::Deliver(_) | WorkerCommand::Reset) {
+            for queue in queues {
+                queue.refill();
+            }
+        }
+        *seq += 1;
+        let seq = *seq;
+        for cell in cells {
+            let mut mailbox = cell.mailbox.lock().expect("worker mailbox poisoned");
+            mailbox.command = command;
+            mailbox.seq = seq;
+            drop(mailbox);
+            cell.signal.notify_all();
+        }
+        let mut transitions = 0;
+        for cell in cells {
+            let mut mailbox = cell.mailbox.lock().expect("worker mailbox poisoned");
+            while mailbox.done < seq {
+                assert!(!mailbox.dead, "shard worker panicked");
+                mailbox = cell.signal.wait(mailbox).expect("worker mailbox poisoned");
+            }
+            transitions += mailbox.transitions;
+        }
+        transitions
+    }
+
+    /// Number of stealing workers (1 means the inline fast path).
+    pub fn worker_count(&self) -> usize {
+        match &self.inner {
+            StealingImpl::Parked { cells, .. } => cells.len(),
+            StealingImpl::Inline(_) => 1,
+        }
+    }
+
+    /// Delivers a message to every session across all shards; returns
+    /// the total number of transitions taken. Bit-identical to
+    /// [`ShardedPool::deliver_all`] and to a flat pool, whichever
+    /// worker steals which shard.
+    pub fn deliver_all(&mut self, message: MessageId) -> u64 {
+        self.broadcast(WorkerCommand::Deliver(message))
+    }
+
+    /// Returns every session in every shard to the start state.
+    pub fn reset_all(&mut self) {
+        self.broadcast(WorkerCommand::Reset);
+    }
+
+    /// Total finished sessions, as aggregated by the workers over the
+    /// shards each processed during the most recent command (0 before
+    /// the first command).
+    pub fn finished_count(&self) -> usize {
+        match &self.inner {
+            StealingImpl::Parked { cells, .. } => cells
+                .iter()
+                .map(|c| c.mailbox.lock().expect("worker mailbox poisoned").finished)
+                .sum(),
+            StealingImpl::Inline(shards) => shards.iter().map(|s| s.finished_count()).sum(),
+        }
+    }
+
+    /// Total transitions taken across all shards, aggregated like
+    /// [`StealingWorkers::finished_count`].
+    pub fn steps(&self) -> u64 {
+        match &self.inner {
+            StealingImpl::Parked { cells, .. } => cells
+                .iter()
+                .map(|c| c.mailbox.lock().expect("worker mailbox poisoned").steps)
+                .sum(),
+            StealingImpl::Inline(shards) => shards.iter().map(|s| s.steps()).sum(),
+        }
+    }
+}
+
+impl<P> Drop for StealingWorkers<'_, P> {
+    /// Publishes shutdown without waiting, exactly like
+    /// [`ParkedWorkers`]'s drop, so an unwinding closure still releases
+    /// the parked workers.
+    fn drop(&mut self) {
+        if let StealingImpl::Parked { cells, seq, .. } = &mut self.inner {
             *seq += 1;
             for cell in *cells {
                 if let Ok(mut mailbox) = cell.mailbox.lock() {

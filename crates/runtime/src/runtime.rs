@@ -6,8 +6,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use stategen_core::{
-    Action, BatchEngine, CompiledEfsm, CompiledMachine, EfsmBinding, InterpError, MessageId,
-    ParkedWorkers, ProtocolEngine, ShardedPool, StateRole, StategenError, SwapError,
+    Action, BatchEngine, CompiledEfsm, CompiledMachine, EfsmBinding, InterpError, KernelScratch,
+    MessageId, ParkedWorkers, ProtocolEngine, ShardedPool, StateRole, StategenError,
+    StealingWorkers, SwapError,
 };
 use stategen_telemetry::{
     FlightRecorder, LogHistogram, MetricsSnapshot, NoopObserver, RuntimeCounters, RuntimeObserver,
@@ -165,6 +166,10 @@ pub struct Shard {
     vars: Vec<i64>,
     /// Staged-update scratch for the EFSM bytecode path.
     scratch: Vec<i64>,
+    /// Bucketing scratch for the batch kernels (see
+    /// `stategen_core::kernel`); shard-resident so unobserved
+    /// `deliver_all` stays allocation-free after the first batch.
+    kernel: KernelScratch,
     n_regs: usize,
     steps: u64,
     /// Per-shard telemetry counters (single-writer, merged on read; see
@@ -176,15 +181,22 @@ pub struct Shard {
     /// batch delivery so the observer and the slot arrays borrow
     /// disjointly.
     recorder: Option<FlightRecorder>,
-    /// Pre-batch copy of `current`, kept only while a recorder is
-    /// attached: observed batches run the unobserved hot loop and then
-    /// *replay* the batch tail from this copy (see
-    /// [`Shard::replay_batch_tail`]). Never snapshotted.
-    replay_states: Vec<u32>,
-    /// Pre-batch copy of `vars` (EFSM tiers only), same lifecycle as
-    /// `replay_states`; the replay steps mutate it freely.
+    /// The *lockstep hint*: `Some(s)` guarantees every slot in
+    /// `current` holds state `s` (in particular, none are retired) —
+    /// the dominant shape for a pool spawned together and fed one
+    /// message stream. Maintained incrementally by every slot mutation
+    /// (spawn, deliver, reset, release, batch) and dropped to `None`
+    /// whenever uniformity can't be proven cheaply; consumers may only
+    /// rely on `Some`. [`Shard::capture_batch_tail`] uses it to build
+    /// the observed-batch ring tail in O(ring capacity) with no pass
+    /// over the slot arrays. Never snapshotted (restore starts `None`).
+    lockstep: Option<u32>,
+    /// One register row of scratch for the pre-batch tail probe (EFSM
+    /// tiers only): [`Shard::capture_batch_tail`] re-steps each probed
+    /// slot against this copy so guard evaluation can run without the
+    /// step's updates touching the live row. Never snapshotted.
     replay_vars: Vec<i64>,
-    /// Reverse-order staging for the replayed tail (≤ ring capacity).
+    /// Reverse-order staging for the probed tail (≤ ring capacity).
     replay_tail: Vec<TransitionEvent>,
 }
 
@@ -204,11 +216,12 @@ impl Shard {
             free: Vec::new(),
             vars: Vec::new(),
             scratch,
+            kernel: KernelScratch::new(),
             n_regs,
             steps: 0,
             counters: ShardCounters::new(),
             recorder: None,
-            replay_states: Vec::new(),
+            lockstep: None,
             replay_vars: Vec::new(),
             replay_tail: Vec::new(),
         }
@@ -261,6 +274,13 @@ impl Shard {
                 finished.set(slot as usize);
             }
         }
+        // A spawn keeps the pool lockstep only if it already was (at
+        // the start state) or this is the pool's sole slot.
+        self.lockstep = if self.current.len() == 1 || self.lockstep == Some(start) {
+            Some(start)
+        } else {
+            None
+        };
         self.counters.inc_spawns();
         (slot, self.generations[slot as usize])
     }
@@ -294,6 +314,7 @@ impl Shard {
             steps,
             counters,
             recorder,
+            lockstep,
             ..
         } = self;
         counters.add_deliveries(1);
@@ -317,6 +338,11 @@ impl Shard {
                 Some((target, actions)) => {
                     observe(current[slot], target, actions.len());
                     current[slot] = target;
+                    // A single-slot transition splits a lockstep pool
+                    // unless it was a self-loop.
+                    if *lockstep != Some(target) {
+                        *lockstep = None;
+                    }
                     *steps += 1;
                     counters.add_transitions(1);
                     if m.is_finish_state(target) {
@@ -335,6 +361,9 @@ impl Shard {
                     Some((target, actions)) => {
                         observe(current[slot], target, actions.len());
                         current[slot] = target;
+                        if *lockstep != Some(target) {
+                            *lockstep = None;
+                        }
                         *steps += 1;
                         counters.add_transitions(1);
                         if machine.is_finish_state(target) {
@@ -358,6 +387,9 @@ impl Shard {
                         let target = t.target().index() as u32;
                         observe(current[slot], target, t.actions().len());
                         current[slot] = target;
+                        if *lockstep != Some(target) {
+                            *lockstep = None;
+                        }
                         *steps += 1;
                         counters.add_transitions(1);
                         if m.states()[target as usize].role() == StateRole::Finish {
@@ -383,6 +415,11 @@ impl Shard {
         let start_finishes = self.is_finish(start);
         self.counters.add_resets(1);
         self.current[slot] = start;
+        self.lockstep = if self.current.len() == 1 || self.lockstep == Some(start) {
+            Some(start)
+        } else {
+            None
+        };
         self.vars[slot * self.n_regs..][..self.n_regs].fill(0);
         let finished = self.finished.get_mut();
         if !finished.dirty {
@@ -408,6 +445,8 @@ impl Shard {
             finished.clear(slot);
         }
         self.current[slot] = RETIRED;
+        // A retired slot is never uniform with live ones.
+        self.lockstep = None;
         self.generations[slot] += 1;
         self.free.push(id.slot);
     }
@@ -592,9 +631,11 @@ impl Shard {
             free,
             vars,
             scratch,
+            kernel,
             n_regs,
             steps,
             counters,
+            lockstep,
             ..
         } = self;
         let mut transitions = 0;
@@ -606,35 +647,15 @@ impl Shard {
                 let m: &CompiledMachine = m;
                 // `O::ENABLED` is a monomorphization-time constant, so
                 // exactly one branch of each `if` survives per
-                // instantiation. The disabled loops are written
-                // *separately* (not as an observed loop with a dead
-                // event block) so their bodies stay literally the
-                // pre-telemetry walk — relying on the optimizer to
-                // strip an unused `enumerate`/`zip` stream from a
-                // shared loop measurably leaks ~5-10% into the no-op
-                // path.
+                // instantiation. The unobserved arm routes through the
+                // bucketed batch kernel ([`KernelScratch`]) — `RETIRED`
+                // slots land in the kernel's out-of-range skip bucket,
+                // so one call covers the dense and recycled cases. The
+                // observed loops are written *separately* (not as an
+                // observed loop with a dead event block) so their
+                // bodies stay literally the pre-telemetry walk.
                 if !O::ENABLED {
-                    if free.is_empty() {
-                        // Dense fast path: no retired slots, so the
-                        // loop is *identical* to stepping a bare state
-                        // array.
-                        for cur in current.iter_mut() {
-                            if let Some((target, _)) = m.step(*cur, message) {
-                                *cur = target;
-                                transitions += 1;
-                            }
-                        }
-                    } else {
-                        for cur in current.iter_mut() {
-                            if *cur == RETIRED {
-                                continue;
-                            }
-                            if let Some((target, _)) = m.step(*cur, message) {
-                                *cur = target;
-                                transitions += 1;
-                            }
-                        }
-                    }
+                    transitions = m.deliver_batch_states(message, current, kernel);
                 } else if free.is_empty() {
                     // Observed dense path: the generations ride along
                     // zipped (not indexed), keeping the event build
@@ -680,20 +701,11 @@ impl Shard {
             EngineKind::Efsm { machine, binding } => {
                 let machine: &CompiledEfsm = machine;
                 let binding: &EfsmBinding = binding;
-                let regs = vars.chunks_exact_mut(*n_regs);
                 if !O::ENABLED {
-                    for (cur, regs) in current.iter_mut().zip(regs) {
-                        if *cur == RETIRED {
-                            continue;
-                        }
-                        if let Some((target, _)) =
-                            machine.step(*cur, message, binding, regs, scratch)
-                        {
-                            *cur = target;
-                            transitions += 1;
-                        }
-                    }
+                    transitions = machine
+                        .deliver_batch_states(message, binding, current, vars, scratch, kernel);
                 } else {
+                    let regs = vars.chunks_exact_mut(*n_regs);
                     let walk = current.iter_mut().zip(regs).zip(generations.iter());
                     for (slot, ((cur, regs), gen)) in walk.enumerate() {
                         if *cur == RETIRED {
@@ -761,6 +773,18 @@ impl Shard {
                 }
             }
         }
+        // Keep the lockstep hint truthful across the batch: the dense
+        // tiers step deterministically by state, so a uniform pool
+        // either took the same transition everywhere (uniform at the
+        // shared target) or nowhere; EFSM guards read per-slot
+        // registers and can split a uniform pool, so any transition
+        // drops the hint there.
+        if transitions > 0 {
+            *lockstep = match kind {
+                EngineKind::Efsm { .. } => None,
+                _ => lockstep.and(current.first().copied()),
+            };
+        }
         counters.add_deliveries(live);
         counters.add_transitions(transitions);
         *steps += transitions;
@@ -770,41 +794,75 @@ impl Shard {
         transitions
     }
 
-    /// Reconstructs the flight-recorder tail of a batch that already ran
-    /// unobserved (see [`BatchEngine::deliver_all`]).
+    /// Probes the flight-recorder tail of a batch *before* running it
+    /// (see [`BatchEngine::deliver_all`]).
     ///
     /// A ring of capacity `c` only ever keeps a batch's *last* `c`
-    /// transitions, and every engine tier is deterministic, so the
-    /// surviving events can be rebuilt after the fact: walk the
-    /// pre-batch state copy backwards, re-step each live slot, and stop
-    /// once `min(transitions, c)` transitions have been found. The
-    /// overwritten prefix is accounted with
-    /// [`FlightRecorder::skip_overwritten`], then the tail is recorded
-    /// in forward order — yielding a ring (contents, order, and derived
-    /// ticks) bit-identical to per-transition recording at
-    /// O(tail scan + c) cost instead of an event build per transition.
+    /// transitions, and every engine tier is deterministic, so those
+    /// events are computable from the pre-batch state alone: walk the
+    /// live state array backwards, re-step each live slot, and stop
+    /// once `c` transitions have been found. Running the probe ahead of
+    /// the batch means no copy of the slot arrays is ever taken — the
+    /// probe reads the arrays the batch is about to overwrite — so the
+    /// recording cost is O(probed suffix + c) per batch (O(c) when
+    /// transitions are dense at the tail) instead of an O(sessions)
+    /// memcpy plus the same scan.
     ///
-    /// The EFSM arm re-steps against `replay_vars`, the pre-batch
-    /// register copy: guards must see pre-transition registers, and the
-    /// copy is discarded afterwards so the replayed actions mutating it
-    /// are harmless.
-    fn replay_batch_tail(
-        &mut self,
-        rec: &mut FlightRecorder,
-        message: MessageId,
-        transitions: u64,
-    ) {
-        if transitions == 0 {
-            return;
-        }
-        let want = transitions.min(rec.capacity() as u64) as usize;
+    /// The EFSM arm must not let [`CompiledEfsm::step`]'s updates touch
+    /// the live registers, so each probed slot's row is copied into the
+    /// one-row `replay_vars` scratch first and the step runs on the
+    /// copy.
+    fn capture_batch_tail(&mut self, message: MessageId, capacity: usize) {
         let msg_idx = message.index() as u32;
+        // Lockstep fast path: when the hint proves every slot shares
+        // one state, the dense tiers' step outcome is decided by a
+        // single table probe — the tail is the last `capacity` slots
+        // taking that one transition (or empty), built in O(capacity)
+        // with no pass over the slot arrays. EFSM guards read per-slot
+        // registers, which a shared *state* says nothing about, so that
+        // tier always takes the scan below.
+        if let Some(state) = self.lockstep {
+            let probe = match &self.kind {
+                EngineKind::Compiled(m) => {
+                    Some(m.step(state, message).map(|(t, a)| (t, a.len() as u32)))
+                }
+                EngineKind::Interpreted(m) => {
+                    let st = &m.states()[state as usize];
+                    Some(if st.role() == StateRole::Finish {
+                        None
+                    } else {
+                        st.transition(message)
+                            .map(|t| (t.target().index() as u32, t.actions().len() as u32))
+                    })
+                }
+                EngineKind::Efsm { .. } => None,
+            };
+            if let Some(outcome) = probe {
+                self.replay_tail.clear();
+                if let Some((target, actions)) = outcome {
+                    let n = self.current.len();
+                    for slot in (n.saturating_sub(capacity)..n).rev() {
+                        self.replay_tail.push(TransitionEvent {
+                            slot: slot as u32,
+                            generation: self.generations[slot],
+                            from: state,
+                            to: target,
+                            message: msg_idx,
+                            actions,
+                            tick: 0,
+                        });
+                    }
+                }
+                return;
+            }
+        }
         let Shard {
             kind,
+            current,
             generations,
+            vars,
             scratch,
             n_regs,
-            replay_states,
             replay_vars,
             replay_tail,
             ..
@@ -813,8 +871,8 @@ impl Shard {
         match kind {
             EngineKind::Compiled(m) => {
                 let m: &CompiledMachine = m;
-                for (slot, &pre) in replay_states.iter().enumerate().rev() {
-                    if replay_tail.len() == want {
+                for (slot, &pre) in current.iter().enumerate().rev() {
+                    if replay_tail.len() == capacity {
                         break;
                     }
                     if pre == RETIRED {
@@ -836,16 +894,17 @@ impl Shard {
             EngineKind::Efsm { machine, binding } => {
                 let machine: &CompiledEfsm = machine;
                 let binding: &EfsmBinding = binding;
-                for (slot, &pre) in replay_states.iter().enumerate().rev() {
-                    if replay_tail.len() == want {
+                replay_vars.resize(*n_regs, 0);
+                for (slot, &pre) in current.iter().enumerate().rev() {
+                    if replay_tail.len() == capacity {
                         break;
                     }
                     if pre == RETIRED {
                         continue;
                     }
-                    let regs = &mut replay_vars[slot * *n_regs..][..*n_regs];
+                    replay_vars.copy_from_slice(&vars[slot * *n_regs..][..*n_regs]);
                     if let Some((target, actions)) =
-                        machine.step(pre, message, binding, regs, scratch)
+                        machine.step(pre, message, binding, replay_vars, scratch)
                     {
                         replay_tail.push(TransitionEvent {
                             slot: slot as u32,
@@ -861,8 +920,8 @@ impl Shard {
             }
             EngineKind::Interpreted(m) => {
                 let states = m.states();
-                for (slot, &pre) in replay_states.iter().enumerate().rev() {
-                    if replay_tail.len() == want {
+                for (slot, &pre) in current.iter().enumerate().rev() {
+                    if replay_tail.len() == capacity {
                         break;
                     }
                     if pre == RETIRED {
@@ -886,13 +945,21 @@ impl Shard {
                 }
             }
         }
+    }
+
+    /// Records the tail probed by [`Shard::capture_batch_tail`] once
+    /// the batch has reported its transition count: the overwritten
+    /// prefix is accounted with [`FlightRecorder::skip_overwritten`],
+    /// then the tail lands in forward order — a ring (contents, order,
+    /// and derived ticks) bit-identical to per-transition recording.
+    fn commit_batch_tail(&mut self, rec: &mut FlightRecorder, transitions: u64) {
         debug_assert_eq!(
-            replay_tail.len(),
-            want,
-            "replay found fewer transitions than the batch reported"
+            self.replay_tail.len() as u64,
+            transitions.min(rec.capacity() as u64),
+            "the pre-batch probe and the batch disagree on the tail length"
         );
-        rec.skip_overwritten(transitions - replay_tail.len() as u64);
-        for event in replay_tail.drain(..).rev() {
+        rec.skip_overwritten(transitions - self.replay_tail.len() as u64);
+        for event in self.replay_tail.drain(..).rev() {
             rec.record(event);
         }
     }
@@ -927,25 +994,21 @@ impl BatchEngine for Shard {
     /// Dispatches on the recorder statically: the no-recorder path runs
     /// the [`NoopObserver`] instantiation of `Shard::deliver_batch` —
     /// bit-identical codegen to the pre-telemetry loop. The observed
-    /// path runs the *same* unobserved loop at full speed and then
-    /// reconstructs the ring's surviving tail by replaying a pre-batch
-    /// copy of the slot arrays (engines are deterministic, so the
-    /// replayed events are exactly the ones a per-transition observer
-    /// would have recorded) — recording cost is O(sessions memcpy +
-    /// ring capacity) per batch instead of an event build per
-    /// transition inside the 4-cycle hot loop. `runtime_observed`
-    /// benches this at ≤ 1.25× the unobserved facade.
+    /// path *probes* the ring's surviving tail before the batch
+    /// (engines are deterministic, so a backward scan over the
+    /// pre-batch states yields exactly the events a per-transition
+    /// observer would have kept), then runs the same unobserved loop at
+    /// full speed and commits the probed tail — recording cost is
+    /// O(probed suffix + ring capacity) per batch, with no copy of the
+    /// slot arrays and no event build inside the hot loop.
+    /// `runtime_observed` benches this at ≤ 1.25× the unobserved
+    /// facade.
     fn deliver_all(&mut self, message: MessageId) -> u64 {
         match self.recorder.take() {
             Some(mut rec) => {
-                self.replay_states.clear();
-                self.replay_states.extend_from_slice(&self.current);
-                if matches!(self.kind, EngineKind::Efsm { .. }) {
-                    self.replay_vars.clear();
-                    self.replay_vars.extend_from_slice(&self.vars);
-                }
+                self.capture_batch_tail(message, rec.capacity());
                 let transitions = self.deliver_batch(message, &mut NoopObserver);
-                self.replay_batch_tail(&mut rec, message, transitions);
+                self.commit_batch_tail(&mut rec, transitions);
                 self.recorder = Some(rec);
                 transitions
             }
@@ -977,6 +1040,11 @@ impl BatchEngine for Shard {
                 self.current[slot] = start;
             }
         }
+        self.lockstep = if self.free.is_empty() {
+            Some(start)
+        } else {
+            None
+        };
         self.vars.fill(0);
         let finished = self.finished.get_mut();
         finished.clear_all();
@@ -1395,6 +1463,25 @@ impl Runtime {
     /// spawned and batches run inline.
     pub fn with_workers<R>(&mut self, f: impl FnOnce(&mut Workers<'_>) -> R) -> R {
         self.pool.with_workers(f)
+    }
+
+    /// Runs `f` with `workers` persistent *work-stealing* threads over
+    /// the shards (see [`ShardedPool::with_stealing_workers`]): the
+    /// multi-core layer when the runtime holds more shards than the
+    /// machine has cores. Each worker drains its own deque of shards
+    /// and steals from the others when idle; every shard is stepped by
+    /// exactly one worker per batch, so results are bit-identical to
+    /// [`Runtime::deliver_all`] whatever the interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_stealing_workers<R>(
+        &mut self,
+        workers: usize,
+        f: impl FnOnce(&mut StealingWorkers<'_, Shard>) -> R,
+    ) -> R {
+        self.pool.with_stealing_workers(workers, f)
     }
 
     /// Returns one session to the start state (same slot, handle stays

@@ -185,6 +185,59 @@ fn hsm_tiers_agree_on_trace_corpus() {
     }
 }
 
+/// The build-time `generated` tier participates in the pipeline: the
+/// machine reconstructed from the rendered `match` code
+/// (`to_machine()`) runs through the `Spec → Engine → Runtime` facade
+/// and agrees with the directly-executed generated code on actions,
+/// finished flags and state names — on both the interpreted and the
+/// compiled (kernel-batched) facade tiers, and against the
+/// generation-pipeline machine for the same replication factor.
+#[test]
+fn generated_tier_agrees_through_the_facade() {
+    fn check<G: ProtocolEngine + Default>(reconstructed: StateMachine, r: u32) {
+        let pipeline = commit_machine(r);
+        assert_eq!(reconstructed.state_count(), pipeline.state_count());
+        let interpreted = Engine::interpret(Spec::machine(reconstructed.clone())).unwrap();
+        let compiled = Engine::compile(Spec::machine(reconstructed)).unwrap();
+        let mut rt_interp = interpreted.runtime();
+        let mut rt_compiled = compiled.runtime();
+        for trace in commit_traces() {
+            let mut generated = G::default();
+            let expected: Vec<Observation> = trace
+                .iter()
+                .map(|name| Observation {
+                    actions: generated
+                        .deliver(name)
+                        .unwrap()
+                        .into_iter()
+                        .map(|a| a.message().to_string())
+                        .collect(),
+                    finished: generated.is_finished(),
+                    state_name: Some(generated.state_name().into_owned()),
+                })
+                .collect();
+            assert_eq!(
+                expected,
+                observe(&mut rt_interp, &trace, true),
+                "r={r} generated vs facade-interpreted on {trace:?}"
+            );
+            assert_eq!(
+                expected,
+                observe(&mut rt_compiled, &trace, true),
+                "r={r} generated vs facade-compiled on {trace:?}"
+            );
+        }
+    }
+    check::<stategen_generated::GeneratedCommitR4>(
+        stategen_generated::GeneratedCommitR4::to_machine(),
+        4,
+    );
+    check::<stategen_generated::GeneratedCommitR7>(
+        stategen_generated::GeneratedCommitR7::to_machine(),
+        7,
+    );
+}
+
 /// The `Session` view speaks the same `ProtocolEngine` vocabulary as
 /// every core engine, so generic drivers run unchanged on the facade.
 #[test]

@@ -19,8 +19,11 @@
 #    which also asserts the zero-allocation claims (including the new
 #    hsm_guarded_flattened row: a guarded statechart on the
 #    compiled-EFSM tier, 64k sessions, 0 allocs/delivery hard-asserted,
-#    tracked within ~1.5x of the batched compiled-EFSM row) and the
-#    telemetry overhead bounds — runtime_facade ≤ 1.10x raw compiled
+#    tracked within ~1.5x of the batched compiled-EFSM row), the batch
+#    kernel gates — batched_kernel ≥ 1.25x the scalar pool walk and
+#    efsm_kernel ≥ 1.4x the scalar EFSM walk, paired passes at 4096
+#    sessions, 0 allocs/delivery (docs/KERNELS.md) — and the telemetry
+#    overhead bounds — runtime_facade ≤ 1.10x raw compiled
 #    dispatch with telemetry compiled in but disabled, and
 #    runtime_observed (flight recorder + metrics on) ≤ 1.25x the
 #    facade, both at 64k sessions / 0 allocs per delivery, paired
@@ -87,9 +90,9 @@ cargo test -q --release -p stategen-analysis --test corpus
 echo "== benchmark artefact checks =="
 for row in interpreted_name compiled hsm_flattened hsm_guarded_flattened \
            hsm_unminimized hsm_minimized \
-           batched_pool efsm_compiled \
+           batched_pool batched_kernel efsm_pool efsm_kernel efsm_compiled \
            artifact_cold_load artifact_booted_pool \
-           sharded_pool_4 sharded_persistent_4 generated \
+           sharded_pool_4 sharded_persistent_4 work_stealing_4 generated \
            runtime_facade runtime_facade_sharded_4 runtime_observed; do
     grep -q "\"name\": \"$row\"" BENCH_engine_tiers.json \
         || { echo "BENCH_engine_tiers.json is missing the $row row" >&2; exit 1; }
